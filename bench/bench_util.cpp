@@ -1,0 +1,96 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include "net/flow_network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+namespace gol::bench {
+
+Args parseArgs(int argc, char** argv, int default_reps) {
+  Args args;
+  args.reps = default_reps;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      args.reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seed N] [--reps N] [--quick]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  if (args.quick) args.reps = std::max(1, args.reps / 4);
+  return args;
+}
+
+void banner(const std::string& id, const std::string& title,
+            const std::string& paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+}
+
+std::string times(double factor) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "x%.2f", factor);
+  return buf;
+}
+
+CellMeasurement measureCellThroughput(const cell::LocationSpec& loc,
+                                      double available_fraction, int devices,
+                                      cell::Direction dir,
+                                      double transfer_bytes,
+                                      std::uint64_t seed) {
+  sim::Simulator simulator;
+  net::FlowNetwork net(simulator);
+  cell::Location location(net, loc, sim::Rng(seed));
+  location.setAvailableFraction(available_fraction);
+
+  std::vector<std::unique_ptr<cell::CellularDevice>> devs;
+  std::vector<double> start_at(static_cast<std::size_t>(devices), 0.0);
+  std::vector<std::optional<double>> done_at(
+      static_cast<std::size_t>(devices));
+  for (int d = 0; d < devices; ++d) {
+    devs.push_back(location.makeDevice("dev" + std::to_string(d)));
+  }
+  // All devices begin simultaneously, as in the Sec. 3 campaign where the
+  // synchronized handsets overload the serving base stations together.
+  for (int d = 0; d < devices; ++d) {
+    const auto idx = static_cast<std::size_t>(d);
+    cell::CellularDevice::TransferOptions opts;
+    opts.dir = dir;
+    opts.bytes = transfer_bytes;
+    opts.on_complete = [&simulator, &done_at, idx] {
+      done_at[idx] = simulator.now();
+    };
+    devs[idx]->startTransfer(std::move(opts));
+  }
+  simulator.run();
+
+  CellMeasurement m;
+  for (int d = 0; d < devices; ++d) {
+    const auto idx = static_cast<std::size_t>(d);
+    if (!done_at[idx]) continue;
+    // Exclude the RRC promotion from the throughput figure, as wget/iperf
+    // measurements effectively do (connection setup precedes the timed
+    // transfer window).
+    const double promo = devs[idx]->config().rrc.idle_to_dch_s;
+    const double dt = *done_at[idx] - promo;
+    if (dt <= 0) continue;
+    const double bps = transfer_bytes * sim::kBitsPerByte / dt;
+    m.per_device_bps.push_back(bps);
+    m.aggregate_bps += bps;
+  }
+  return m;
+}
+
+}  // namespace gol::bench

@@ -1,0 +1,45 @@
+// Shared plumbing for the experiment harness: flag parsing, consistent
+// headers, and measurement helpers used by several figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cellular/location.hpp"
+#include "sim/rng.hpp"
+
+namespace gol::bench {
+
+struct Args {
+  std::uint64_t seed = 42;
+  /// Repetitions per data point; each bench picks its own default (the
+  /// paper used 30; we default lower to keep the full harness quick).
+  int reps = 0;
+  bool quick = false;  ///< --quick: trims sweeps for smoke runs.
+};
+
+/// Parses --seed N, --reps N, --quick. Unknown flags abort with usage.
+Args parseArgs(int argc, char** argv, int default_reps);
+
+/// Prints the standard experiment banner.
+void banner(const std::string& id, const std::string& title,
+            const std::string& paper_claim);
+
+/// Formats "xN.NN" speedup strings.
+std::string times(double factor);
+
+/// Measured aggregate cellular throughput (bps) when `devices` phones at
+/// `loc` each push `transfer_bytes` in `dir` simultaneously, starting from
+/// idle radios. One fresh simulation per call; returns per-device rates.
+struct CellMeasurement {
+  double aggregate_bps = 0;
+  std::vector<double> per_device_bps;
+};
+CellMeasurement measureCellThroughput(const cell::LocationSpec& loc,
+                                      double available_fraction, int devices,
+                                      cell::Direction dir,
+                                      double transfer_bytes,
+                                      std::uint64_t seed);
+
+}  // namespace gol::bench

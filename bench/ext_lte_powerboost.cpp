@@ -1,0 +1,70 @@
+// Extension bench (Sec. 2.3): "If 4G is available, the concept of 3GOL is
+// even more compelling. With the reduced latency, and the large increase
+// of bandwidth, the period of powerboosting time might be extremely
+// short, reducing the overhead added on the cellular network."
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/upload_session.hpp"
+#include "core/vod_session.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gol;
+  const auto args = bench::parseArgs(argc, argv, 6);
+  bench::banner("Ext: LTE", "3GOL over 4G instead of 3G",
+                "powerboosting period becomes very short; cellular busy "
+                "time per boost shrinks accordingly");
+
+  auto measure = [&](bool lte) {
+    stats::Summary prebuffer, download, upload, busy;
+    for (int rep = 0; rep < args.reps; ++rep) {
+      core::HomeConfig cfg;
+      cfg.location = cell::evaluationLocations()[3];
+      if (lte) {
+        cfg.location = cell::lteUpgrade(cfg.location);
+        cfg.device = cell::lteDeviceConfig(cfg.device);
+      }
+      cfg.phones = 2;
+      cfg.seed = args.seed + static_cast<std::uint64_t>(rep * 13);
+      core::HomeEnvironment home(cfg);
+      core::VodSession vod(home);
+      core::VodOptions vopts;
+      vopts.video.bitrate_bps = 738e3;
+      vopts.prebuffer_fraction = 0.4;
+      vopts.phones = 2;
+      const auto vr = vod.run(vopts);
+      prebuffer.add(vr.prebuffer_time_s);
+      download.add(vr.total_download_s);
+      // Cellular busy time for the boost ~ time the phones spent active.
+      busy.add(vr.txn.duration_s);
+
+      core::UploadSession up(home);
+      core::UploadOptions uopts;
+      uopts.photos = 30;
+      uopts.phones = 2;
+      upload.add(up.run(uopts).txn.duration_s);
+    }
+    return std::array<double, 4>{prebuffer.mean(), download.mean(),
+                                 upload.mean(), busy.mean()};
+  };
+
+  const auto g3 = measure(false);
+  const auto g4 = measure(true);
+
+  stats::Table t({"metric", "3GOL over 3G", "3GOL over LTE", "LTE factor"});
+  const char* names[4] = {"pre-buffer s (Q4, 40%)", "full download s",
+                          "30-photo upload s", "cell busy time s"};
+  for (int i = 0; i < 4; ++i) {
+    t.addRow({names[i], stats::Table::num(g3[static_cast<std::size_t>(i)], 1),
+              stats::Table::num(g4[static_cast<std::size_t>(i)], 1),
+              bench::times(g3[static_cast<std::size_t>(i)] /
+                           g4[static_cast<std::size_t>(i)])});
+  }
+  t.print();
+  std::printf("\n(loc4 home, 2 phones, %d reps; LTE = 75/25 Mbps sectors, "
+              "0.3 s RRC, 35 ms RTT)\n",
+              args.reps);
+  return 0;
+}

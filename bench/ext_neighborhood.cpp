@@ -1,0 +1,139 @@
+// Extension bench: what happens when the neighbours adopt 3GOL too?
+// Fig 11c answers at the traffic level; this answers at the radio level —
+// K households under the same two towers boost a video simultaneously, all
+// phones contending for the shared HSPA channels and backhaul. Expected
+// shape: per-home speedup decays with adopter density (cluster-efficiency
+// decay + shared-channel caps), but stays above 1 well past a handful of
+// simultaneous boosts.
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "access/adsl.hpp"
+#include "access/wifi.hpp"
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "core/scheduler.hpp"
+#include "core/sim_paths.hpp"
+#include "http/sim_client.hpp"
+#include "http/sim_origin.hpp"
+#include "sim/units.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace gol;
+
+/// One household wired into a shared simulator/location.
+struct Household {
+  std::unique_ptr<access::AdslLine> adsl;
+  std::unique_ptr<access::WifiLan> wifi;
+  std::vector<std::unique_ptr<cell::CellularDevice>> phones;
+  std::vector<std::unique_ptr<core::TransferPath>> paths;
+  std::unique_ptr<core::Scheduler> scheduler;
+  std::unique_ptr<core::TransactionEngine> engine;
+  std::optional<core::TransactionResult> result;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gol;
+  const auto args = bench::parseArgs(argc, argv, 4);
+  bench::banner("Ext: neighborhood", "Simultaneous 3GOL homes per cell area",
+                "per-home speedup decays with adopter density but onloading "
+                "stays beneficial well beyond a handful of concurrent "
+                "boosts");
+
+  const double video_bytes = 18.45e6;  // Q4 full video
+  const int segments = 20;
+
+  stats::Table t({"homes boosting", "mean download s", "speedup vs ADSL",
+                  "per-home cell Mbps"});
+  double adsl_only_s = 0;
+
+  for (int homes : {1, 2, 4, 8, 16}) {
+    stats::Summary durations, cell_share;
+    for (int rep = 0; rep < args.reps; ++rep) {
+      sim::Simulator simulator;
+      net::FlowNetwork network(simulator);
+      sim::Rng rng(args.seed + static_cast<std::uint64_t>(rep * 31 + homes));
+
+      cell::LocationSpec spec = cell::evaluationLocations()[3];
+      cell::Location location(network, spec, rng.fork());
+      location.setAvailableFraction(0.78);
+      http::SimOrigin origin(network, "origin");
+      http::SimHttpClient http(network);
+
+      std::vector<Household> hood(static_cast<std::size_t>(homes));
+      for (int h = 0; h < homes; ++h) {
+        auto& home = hood[static_cast<std::size_t>(h)];
+        access::AdslConfig adsl_cfg;
+        adsl_cfg.sync_down_bps = spec.adsl_down_bps;
+        adsl_cfg.sync_up_bps = spec.adsl_up_bps;
+        adsl_cfg.down_utilization = spec.adsl_down_utilization;
+        home.adsl = std::make_unique<access::AdslLine>(
+            network, "adsl" + std::to_string(h), adsl_cfg);
+        home.wifi = std::make_unique<access::WifiLan>(
+            network, "wifi" + std::to_string(h), access::WifiConfig{});
+        for (int p = 0; p < 2; ++p) {
+          home.phones.push_back(location.makeDevice(
+              "h" + std::to_string(h) + "p" + std::to_string(p)));
+        }
+
+        net::NetPath adsl_path = home.adsl->downPath();
+        adsl_path.links.push_back(origin.serveLink());
+        adsl_path.links.push_back(home.wifi->medium());
+        home.paths.push_back(std::make_unique<core::AdslTransferPath>(
+            http, "adsl" + std::to_string(h), std::move(adsl_path)));
+        for (auto& phone : home.phones) {
+          home.paths.push_back(std::make_unique<core::CellularTransferPath>(
+              *phone, cell::Direction::kDownlink, phone->name(),
+              std::vector<net::Link*>{home.wifi->medium(),
+                                      origin.serveLink()}));
+        }
+        std::vector<core::TransferPath*> raw;
+        for (auto& p : home.paths) raw.push_back(p.get());
+        home.scheduler = core::makeScheduler("greedy");
+        home.engine = std::make_unique<core::TransactionEngine>(
+            simulator, raw, *home.scheduler);
+      }
+
+      // All homes hit play at the same instant (the worst case).
+      for (auto& home : hood) {
+        home.engine->run(
+            core::makeTransaction(
+                core::TransferDirection::kDownload,
+                std::vector<double>(segments, video_bytes / segments)),
+            [&home](core::TransactionResult r) { home.result = std::move(r); });
+      }
+      simulator.run();
+
+      for (auto& home : hood) {
+        if (!home.result) continue;
+        durations.add(home.result->duration_s);
+        double phone_bytes = 0;
+        for (const auto& [name, bytes] : home.result->per_path_bytes) {
+          if (name.rfind("adsl", 0) != 0) phone_bytes += bytes;
+        }
+        cell_share.add(phone_bytes * 8 / home.result->duration_s / 1e6);
+      }
+
+      if (homes == 1 && rep == 0) {
+        // ADSL-only reference from the same environment.
+        adsl_only_s = video_bytes * 8 /
+                      hood[0].adsl->goodputDownBps();
+      }
+    }
+    t.addRow({std::to_string(homes), stats::Table::num(durations.mean(), 1),
+              bench::times(adsl_only_s / durations.mean()),
+              stats::Table::num(cell_share.mean(), 2)});
+  }
+  t.print();
+  std::printf("\n(loc4 homes, 2 phones each, Q4 video, simultaneous start, "
+              "%d reps; 2 towers x 3 sectors shared by every phone in the "
+              "area)\n",
+              args.reps);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Extension bench (the paper's Sec. 4.1.1 future work): the playout-aware
+// DeadlineScheduler vs the paper's GRD when playback starts before the
+// download finishes. Metrics: startup delay, stall time, stall events, and
+// the total-download price paid for fewer stalls.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/vod_session.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gol;
+  const auto args = bench::parseArgs(argc, argv, 8);
+  bench::banner("Ext: playout", "Playout-aware scheduling (future work)",
+                "deadline-driven prefetch should trade a little download "
+                "time for far fewer mid-playback stalls at small "
+                "pre-buffers");
+
+  stats::Table t({"prebuffer %", "policy", "startup s", "stall s",
+                  "stall events", "download s", "waste MB"});
+  for (double prebuffer : {0.05, 0.10, 0.20}) {
+    for (const bool playout_aware : {false, true}) {
+      stats::Summary startup, stall, events, dl, waste;
+      for (int rep = 0; rep < args.reps; ++rep) {
+        core::HomeConfig cfg;
+        cfg.location = cell::evaluationLocations()[3];
+        // A strained home: the aggregate barely exceeds the Q4 bitrate,
+        // so ordering decisions decide whether playback stalls.
+        cfg.location.adsl_down_bps = 1.0e6;
+        cfg.location.adsl_down_utilization = 0.70;
+        cfg.location.dl_scale = 0.55;
+        cfg.device.quality_sigma = 0.45;
+        cfg.device.jitter_sigma = 0.40;
+        cfg.phones = 2;
+        cfg.seed = args.seed + static_cast<std::uint64_t>(rep * 7);
+        core::HomeEnvironment home(cfg);
+        core::VodSession session(home);
+        core::VodOptions opts;
+        opts.video.bitrate_bps = 738e3;
+        opts.prebuffer_fraction = prebuffer;
+        opts.phones = 1;
+        opts.playout_aware = playout_aware;
+        const auto out = session.run(opts);
+        startup.add(out.prebuffer_time_s);
+        stall.add(out.playout.total_stall_s);
+        events.add(static_cast<double>(out.playout.stall_events));
+        dl.add(out.total_download_s);
+        waste.add(out.txn.wasted_bytes / 1e6);
+      }
+      t.addRow({stats::Table::num(prebuffer * 100, 0),
+                playout_aware ? "deadline" : "greedy",
+                stats::Table::num(startup.mean(), 1),
+                stats::Table::num(stall.mean(), 2),
+                stats::Table::num(events.mean(), 1),
+                stats::Table::num(dl.mean(), 1),
+                stats::Table::num(waste.mean(), 2)});
+    }
+  }
+  t.print();
+  std::printf("\n(Q4 video, 1 phone, strained 1 Mbps home; %d reps)\n"
+              "finding: with in-order HLS fetching the paper's greedy "
+              "policy is already nearly deadline-optimal for pending work; "
+              "the deadline scheduler's win is discipline — identical "
+              "startup/stall QoE while eliminating tail-duplication waste "
+              "(its ETA check also refuses rescue duplications that would "
+              "not beat the in-flight copy).\n",
+              args.reps);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig 1: normalized traffic over a day on the cellular and wired networks.
+// Regenerated from the synthetic DSLAM trace (wired) and a mobile request
+// process following the cellular diurnal profile. The reproduced claims:
+// both curves are diurnal and their peaks do not align.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cellular/location.hpp"
+#include "sim/units.hpp"
+#include "stats/table.hpp"
+#include "stats/timeseries.hpp"
+#include "trace/dslam_trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gol;
+  const auto args = bench::parseArgs(argc, argv, 1);
+  bench::banner("Fig 1", "Diurnal traffic pattern, cellular vs wired",
+                "both networks are diurnal; peaks are NOT aligned "
+                "(cellular peaks earlier in the evening than wired)");
+
+  sim::Rng rng(args.seed);
+
+  // Wired: volume of the DSLAM trace per hour.
+  trace::DslamTraceConfig cfg;
+  cfg.subscribers = args.quick ? 2000 : 6000;
+  const auto dslam = trace::generateDslamTrace(cfg, rng);
+  stats::BinnedSeries wired(sim::days(1), sim::hours(1));
+  for (const auto& r : dslam.requests) wired.add(r.time_s, r.bytes);
+
+  // Mobile: a request process sampled from the cellular diurnal shape
+  // (stand-in for the "3G web traffic" HTTP logs of Table 1).
+  stats::BinnedSeries mobile(sim::days(1), sim::hours(1));
+  const auto& mshape = cell::mobileDiurnalShape();
+  const int mobile_events = args.quick ? 50000 : 200000;
+  for (int i = 0; i < mobile_events; ++i) {
+    const double t = trace::sampleTimeOfDay(mshape, rng);
+    mobile.add(t, rng.lognormalMeanSd(2e6, 4e6));  // web-object tail
+  }
+
+  const auto wired_n = wired.normalized();
+  const auto mobile_n = mobile.normalized();
+
+  stats::Table table({"hour", "mobile (norm)", "wired (norm)"});
+  for (std::size_t h = 0; h < 24; ++h) {
+    table.addRow({std::to_string(h), stats::Table::num(mobile_n[h], 3),
+                  stats::Table::num(wired_n[h], 3)});
+  }
+  table.print();
+
+  std::printf("\nmobile peak hour: %zu   wired peak hour: %zu   -> %s\n",
+              mobile.peakBin(), wired.peakBin(),
+              mobile.peakBin() != wired.peakBin()
+                  ? "peaks not aligned (matches paper)"
+                  : "PEAKS ALIGNED (mismatch)");
+  const double trough =
+      *std::min_element(mobile_n.begin(), mobile_n.end());
+  std::printf("mobile trough/peak ratio: %.2f (clear diurnal swing)\n",
+              trough);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Fig 3: aggregate 3G throughput (uplink and downlink) as the number of
+// synchronized devices ramps from 1 to 10, at the first four measurement
+// locations. Reproduced shapes: downlink keeps scaling (up to ~14 Mbps),
+// uplink plateaus near the 5.76 Mbps HSUPA cap at ~5 devices — except at
+// Location 3 whose dense deployment load-balances across sectors.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/units.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gol;
+  const auto args = bench::parseArgs(argc, argv, 4);
+  bench::banner("Fig 3", "Aggregate throughput vs number of devices (1-10)",
+                "downlink scales near-linearly to 10 devices; uplink "
+                "plateaus ~5 Mbps at 5 devices except where multi-sector "
+                "load balancing kicks in (Location 3)");
+
+  const auto locations = cell::measurementLocations();
+  const double hours[4] = {1, 16, 22, 1};  // Table 2 measurement times
+  const auto& shape = cell::mobileDiurnalShape();
+
+  for (int li = 0; li < 4; ++li) {
+    const auto& loc = locations[static_cast<std::size_t>(li)];
+    sim::Simulator tmp_sim;
+    net::FlowNetwork tmp_net(tmp_sim);
+    cell::Location tmp_loc(tmp_net, loc, sim::Rng(1));
+    const double avail =
+        tmp_loc.availableFractionAt(shape, sim::hours(hours[li]));
+
+    std::printf("\n-- %s (%.0fh, availability %.2f) --\n", loc.name.c_str(),
+                hours[li], avail);
+    stats::Table t({"devices", "down Mbps (agg)", "up Mbps (agg)"});
+    double up_at_5 = 0, up_at_10 = 0, down_at_1 = 0, down_at_10 = 0;
+    for (int n = 1; n <= 10; ++n) {
+      stats::Summary down, up;
+      for (int rep = 0; rep < args.reps; ++rep) {
+        const auto seed_base = args.seed +
+                               static_cast<std::uint64_t>(li * 1000 +
+                                                          n * 10 + rep);
+        down.add(sim::toMbps(
+            bench::measureCellThroughput(loc, avail, n,
+                                         cell::Direction::kDownlink,
+                                         sim::megabytes(2), seed_base)
+                .aggregate_bps));
+        up.add(sim::toMbps(
+            bench::measureCellThroughput(loc, avail, n,
+                                         cell::Direction::kUplink,
+                                         sim::megabytes(2), seed_base + 7)
+                .aggregate_bps));
+      }
+      t.addRow({std::to_string(n), stats::Table::num(down.mean(), 2),
+                stats::Table::num(up.mean(), 2)});
+      if (n == 1) down_at_1 = down.mean();
+      if (n == 5) up_at_5 = up.mean();
+      if (n == 10) {
+        up_at_10 = up.mean();
+        down_at_10 = down.mean();
+      }
+    }
+    t.print();
+    std::printf("downlink scaling 1->10 devices: x%.1f (%s); "
+                "uplink 5->10 devices: x%.2f (%s)\n",
+                down_at_10 / down_at_1,
+                down_at_10 / down_at_1 > 4 ? "keeps scaling, matches paper"
+                                           : "saturates",
+                up_at_10 / up_at_5,
+                up_at_10 / up_at_5 < 1.5
+                    ? "plateau, matches paper"
+                    : li == 2 ? "no plateau - the paper's multi-sector "
+                                "Location 3 exception"
+                              : "no plateau");
+    if (li == 2) {
+      std::printf("note: the paper reports Location 3's uplink exceeding "
+                  "5.76 Mbps at 10 devices, which its own Table 2 value "
+                  "(1.29 Mbps aggregate at 3 devices) cannot extrapolate "
+                  "to; we calibrate to Table 2 and reproduce the *shape* "
+                  "(no plateau thanks to sector load balancing).\n");
+    }
+  }
+  return 0;
+}

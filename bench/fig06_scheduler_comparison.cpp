@@ -1,0 +1,94 @@
+// Fig 6: scheduler comparison downloading the 200 s HLS "bipbop" video at
+// qualities Q1..Q4 over a 2 Mbps / 0.512 Mbps ADSL line, with one and two
+// phones, at night (1 am). Policies: ADSL alone, 3GOL_MIN, 3GOL_RR,
+// 3GOL_GRD. Reproduced shape: GRD best, then RR, MIN worst; all 3GOL
+// variants far ahead of ADSL alone; gains do not double with the second
+// phone.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/vod_session.hpp"
+#include "sim/units.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+// Paper's Fig 6 mean download times (s), [quality][policy] with policies
+// ADSL, MIN, RR, GRD.
+constexpr double kPaper1Ph[4][4] = {{41, 29, 17, 11},
+                                    {65, 43, 25, 14},
+                                    {83, 53, 35, 19},
+                                    {127, 66, 44, 29}};
+constexpr double kPaper2Ph[4][4] = {{41, 20, 11, 8},
+                                    {65, 24, 15, 10},
+                                    {83, 29, 23, 15},
+                                    {127, 38, 37, 21}};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gol;
+  const auto args = bench::parseArgs(argc, argv, 10);
+  bench::banner("Fig 6", "Scheduler comparison (GRD vs RR vs MIN vs ADSL)",
+                "GRD best, RR second, MIN worst at every quality; e.g. Q4 "
+                "1 phone: ADSL 127 s, MIN 66, RR 44, GRD 29");
+
+  const auto qualities = hls::paperVideoQualitiesBps();
+  const char* policies[3] = {"min", "rr", "greedy"};
+
+  for (int phones = 1; phones <= 2; ++phones) {
+    std::printf("\n-- %d phone(s) --\n", phones);
+    stats::Table t({"quality", "ADSL s (paper)", "MIN s (paper)",
+                    "RR s (paper)", "GRD s (paper)"});
+    for (std::size_t q = 0; q < qualities.size(); ++q) {
+      std::vector<std::string> row;
+      row.push_back("Q" + std::to_string(q + 1));
+      const auto& paper = phones == 1 ? kPaper1Ph[q] : kPaper2Ph[q];
+
+      auto run_mean = [&](const std::string& policy, int use_phones) {
+        stats::Summary s;
+        for (int rep = 0; rep < args.reps; ++rep) {
+          core::HomeConfig cfg;
+          cfg.location = cell::evaluationLocations()[3];
+          cfg.location.adsl_down_bps = sim::mbps(2.0);
+          cfg.location.adsl_up_bps = sim::kbps(512);
+          cfg.location.adsl_down_utilization = 0.70;
+          // The Fig 6 testbed phones sustained ~2-3 Mbps at night; radio
+          // bandwidth is volatile, which is what defeats MIN's estimator.
+          cfg.location.dl_scale = 1.8;
+          cfg.device.quality_sigma = 0.45;
+          cfg.device.jitter_sigma = 0.40;
+          cfg.phones = 2;
+          cfg.available_fraction = 0.92;  // 1 am
+          cfg.seed = args.seed + static_cast<std::uint64_t>(
+                                     rep * 97 + q * 7 + use_phones);
+          core::HomeEnvironment home(cfg);
+          core::VodSession session(home);
+          core::VodOptions opts;
+          opts.video.bitrate_bps = qualities[q];
+          opts.prebuffer_fraction = 1.0;  // full download
+          opts.scheduler = policy.empty() ? "greedy" : policy;
+          opts.phones = use_phones;
+          s.add(session.run(opts).total_download_s);
+        }
+        return s.mean();
+      };
+
+      const double adsl = run_mean("greedy", 0);
+      row.push_back(stats::Table::num(adsl, 1) + " (" +
+                    stats::Table::num(paper[0], 0) + ")");
+      for (int p = 0; p < 3; ++p) {
+        const double v = run_mean(policies[p], phones);
+        row.push_back(stats::Table::num(v, 1) + " (" +
+                      stats::Table::num(paper[p + 1], 0) + ")");
+      }
+      t.addRow(std::move(row));
+    }
+    t.print();
+  }
+  std::printf("\n(mean of %d repetitions per cell; paper used 30; paper "
+              "2-phone MIN/RR/GRD values read off Fig 6 bottom panel)\n",
+              args.reps);
+  return 0;
+}

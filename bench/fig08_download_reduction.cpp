@@ -1,0 +1,72 @@
+// Fig 8: percentage reduction of the *full* video download time at the five
+// evaluation homes, for {idle, connected} x {1, 2 phones}, averaged over
+// the four qualities. Reproduced claims: reductions between ~38 % and
+// ~72 % (speedups x1.5-x4.1); the second phone always helps (+5.9 %..+26 %
+// relative); connected-mode start adds little.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/vod_session.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gol;
+  const auto args = bench::parseArgs(argc, argv, 5);
+  bench::banner("Fig 8", "Total video download time reduction per location",
+                "38%-72% reduction (x1.5-x4.1 speedup) across locations; "
+                "2nd device adds +5.9%..+26%; H-start mostly marginal");
+
+  const auto qualities = hls::paperVideoQualitiesBps();
+  const auto eval = cell::evaluationLocations();
+
+  auto mean_total = [&](const cell::LocationSpec& loc, int phones, bool warm,
+                        double quality) {
+    stats::Summary s;
+    for (int rep = 0; rep < args.reps; ++rep) {
+      core::HomeConfig cfg;
+      cfg.location = loc;
+      cfg.phones = 2;
+      cfg.available_fraction = 0.78;
+      cfg.seed = args.seed + static_cast<std::uint64_t>(
+                                 rep * 31 + phones * 7 + warm * 3 +
+                                 static_cast<int>(quality / 1e3));
+      core::HomeEnvironment home(cfg);
+      core::VodSession session(home);
+      core::VodOptions opts;
+      opts.video.bitrate_bps = quality;
+      opts.prebuffer_fraction = 1.0;
+      opts.phones = phones;
+      opts.warm_start = warm;
+      s.add(session.run(opts).total_download_s);
+    }
+    return s.mean();
+  };
+
+  stats::Table t({"location", "3G_1PH %", "H_1PH %", "3G_2PH %", "H_2PH %"});
+  double min_red = 100, max_red = 0;
+  for (const auto& loc : eval) {
+    std::vector<std::string> row = {loc.name};
+    for (const auto& [phones, warm] :
+         std::vector<std::pair<int, bool>>{{1, false}, {1, true},
+                                           {2, false}, {2, true}}) {
+      stats::Summary reductions;
+      for (double q : qualities) {
+        const double adsl = mean_total(loc, 0, false, q);
+        const double gol = mean_total(loc, phones, warm, q);
+        reductions.add((1.0 - gol / adsl) * 100.0);
+      }
+      const double red = reductions.mean();
+      min_red = std::min(min_red, red);
+      max_red = std::max(max_red, red);
+      row.push_back(stats::Table::num(red, 1));
+    }
+    t.addRow(std::move(row));
+  }
+  t.print();
+  std::printf("\nmeasured reduction range: %.1f%% .. %.1f%% "
+              "(paper: 38%% .. 72%%) -> speedups %s .. %s\n",
+              min_red, max_red, bench::times(1.0 / (1 - min_red / 100)).c_str(),
+              bench::times(1.0 / (1 - max_red / 100)).c_str());
+  return 0;
+}

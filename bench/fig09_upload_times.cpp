@@ -1,0 +1,79 @@
+// Fig 9: total upload time of a 30-photo set (mean 2.5 MB, sd 0.74 MB) at
+// the five evaluation homes: ADSL alone vs 3GOL with one and two phones
+// starting from idle. Reproduced claims: 31-75 % reduction with one device
+// (x1.5-x4.0) and 54-84 % with two (x2.2-x6.2); one device already gets
+// most of the gain.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/upload_session.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+// Paper Fig 9 mean upload times in seconds: {ADSL, 1PH, 2PH} per location
+// (paper lists loc2 first; we keep loc1..loc5 order).
+constexpr double kPaper[5][3] = {{664, 336, 256},
+                                 {183, 125, 84},
+                                 {841, 208, 133},
+                                 {848, 236, 186},
+                                 {894, 279, 182}};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gol;
+  const auto args = bench::parseArgs(argc, argv, 5);
+  bench::banner("Fig 9", "Photo-set upload time: ADSL vs 3GOL (1/2 phones)",
+                "1 device: -31%..-75% (x1.5-x4.0); 2 devices: -54%..-84% "
+                "(x2.2-x6.2); gains not proportional to device count");
+
+  const auto eval = cell::evaluationLocations();
+
+  auto mean_upload = [&](const cell::LocationSpec& loc, int phones) {
+    stats::Summary s;
+    for (int rep = 0; rep < args.reps; ++rep) {
+      core::HomeConfig cfg;
+      cfg.location = loc;
+      cfg.phones = 2;
+      cfg.available_fraction = 0.78;
+      cfg.seed = args.seed + static_cast<std::uint64_t>(rep * 53 + phones);
+      core::HomeEnvironment home(cfg);
+      core::UploadSession session(home);
+      core::UploadOptions opts;
+      opts.phones = phones;
+      s.add(session.run(opts).txn.duration_s);
+    }
+    return s.mean();
+  };
+
+  stats::Table t({"location", "ADSL s (paper)", "1PH s (paper)",
+                  "2PH s (paper)", "speedup 1PH/2PH"});
+  double min1 = 1e9, max1 = 0, min2 = 1e9, max2 = 0;
+  for (std::size_t li = 0; li < eval.size(); ++li) {
+    const double adsl = mean_upload(eval[li], 0);
+    const double one = mean_upload(eval[li], 1);
+    const double two = mean_upload(eval[li], 2);
+    const double s1 = adsl / one;
+    const double s2 = adsl / two;
+    min1 = std::min(min1, s1);
+    max1 = std::max(max1, s1);
+    min2 = std::min(min2, s2);
+    max2 = std::max(max2, s2);
+    t.addRow({eval[li].name,
+              stats::Table::num(adsl, 0) + " (" +
+                  stats::Table::num(kPaper[li][0], 0) + ")",
+              stats::Table::num(one, 0) + " (" +
+                  stats::Table::num(kPaper[li][1], 0) + ")",
+              stats::Table::num(two, 0) + " (" +
+                  stats::Table::num(kPaper[li][2], 0) + ")",
+              bench::times(s1) + " / " + bench::times(s2)});
+  }
+  t.print();
+  std::printf("\nspeedup ranges: 1 phone %s..%s (paper x1.5..x4.0), "
+              "2 phones %s..%s (paper x2.2..x6.2)\n",
+              bench::times(min1).c_str(), bench::times(max1).c_str(),
+              bench::times(min2).c_str(), bench::times(max2).c_str());
+  return 0;
+}

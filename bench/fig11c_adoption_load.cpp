@@ -1,0 +1,74 @@
+// Fig 11c: relative increase of cellular traffic (total and at the mobile
+// peak hour) as a function of the fraction of subscribers adopting 3GOL at
+// 20 MB/day. Reproduced claims: the increase is linear in adoption and
+// modest at low adoption; the peak-hour increase is smaller than the total
+// increase because 3GOL demand follows the *wired* diurnal profile, whose
+// peak misses the mobile busy hour (Fig 1 non-alignment) — though the
+// difference is small.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cellular/location.hpp"
+#include "sim/units.hpp"
+#include "stats/table.hpp"
+#include "trace/mno.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gol;
+  const auto args = bench::parseArgs(argc, argv, 1);
+  bench::banner("Fig 11c", "Traffic increase vs 3GOL adoption fraction",
+                "linear growth; ~2x total traffic at 100% adoption with "
+                "20 MB/day; peak-hour increase below total increase");
+
+  trace::MnoConfig cfg;
+  cfg.users = args.quick ? 10000 : 30000;
+  cfg.months = 1;
+  sim::Rng rng(args.seed);
+  const auto ds = trace::generateMnoDataset(cfg, rng);
+
+  // Existing cellular demand per user per day, from the MNO dataset.
+  double total_usage = 0;
+  for (const auto& u : ds.users) total_usage += u.monthly_usage_bytes[0];
+  const double mean_daily = total_usage / static_cast<double>(ds.users.size()) / 30.0;
+  const double gol_daily = sim::megabytes(20);
+
+  // Hourly weights of existing mobile demand vs 3GOL (wired-driven) demand.
+  const auto& mobile = cell::mobileDiurnalShape();
+  const auto& wired = cell::wiredDiurnalShape();
+  double mobile_sum = 0, wired_sum = 0;
+  int mobile_peak_h = 0;
+  for (int h = 0; h < 24; ++h) {
+    mobile_sum += mobile.at(sim::hours(h));
+    wired_sum += wired.at(sim::hours(h));
+    if (mobile.at(sim::hours(h)) > mobile.at(sim::hours(mobile_peak_h)))
+      mobile_peak_h = h;
+  }
+  const double mobile_peak_share = mobile.at(sim::hours(mobile_peak_h)) / mobile_sum;
+  const double gol_at_mobile_peak_share =
+      wired.at(sim::hours(mobile_peak_h)) / wired_sum;
+
+  stats::Table t({"adoption", "total increase", "peak-hour increase"});
+  for (double f = 0.0; f <= 1.0001; f += 0.1) {
+    const double total_inc = f * gol_daily / mean_daily;
+    const double peak_inc = f * gol_daily * gol_at_mobile_peak_share /
+                            (mean_daily * mobile_peak_share);
+    t.addRow({stats::Table::num(f, 1),
+              stats::Table::num(total_inc * 100, 1) + " %",
+              stats::Table::num(peak_inc * 100, 1) + " %"});
+  }
+  t.print();
+
+  std::printf("\nexisting demand: %.1f MB/day/user; mobile peak hour %dh; "
+              "3GOL share at that hour %.3f vs mobile share %.3f -> "
+              "peak increase %s total increase\n",
+              mean_daily / 1e6, mobile_peak_h, gol_at_mobile_peak_share,
+              mobile_peak_share,
+              gol_at_mobile_peak_share < mobile_peak_share ? "BELOW"
+                                                           : "NOT below");
+  std::printf("note: the paper's '~2x at 100%% adoption' implies existing "
+              "demand ~20 MB/day/user, which is inconsistent with its own "
+              "600 MB/month spare-volume figure; we keep the Fig 10 "
+              "calibration and report the resulting curve (same linear "
+              "shape). See EXPERIMENTS.md.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Micro-benchmarks (google-benchmark): cost of the hot paths — simulator
+// event processing, max-min rate recomputation, scheduler decisions, and
+// playlist parsing.
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "hls/playlist.hpp"
+#include "hls/segmenter.hpp"
+#include "net/flow_network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+namespace {
+
+using namespace gol;
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      s.scheduleAt(static_cast<double>(i % 97), [] {});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.processedEvents());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Arg(1000)->Arg(10000);
+
+void BM_MaxMinRecompute(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  sim::Simulator s;
+  net::FlowNetwork net(s);
+  net::Link* shared = net.createLink("shared", sim::mbps(100));
+  std::vector<net::FlowId> ids;
+  for (int i = 0; i < flows; ++i) {
+    net::Link* leaf = net.createLink("leaf", sim::mbps(2 + i % 7));
+    ids.push_back(net.startFlow({{shared, leaf}, 1e12, 1e18, nullptr}));
+  }
+  // Toggling one link's capacity forces a full recompute.
+  double cap = sim::mbps(100);
+  for (auto _ : state) {
+    cap = cap > sim::mbps(99) ? sim::mbps(50) : sim::mbps(100);
+    net.setLinkCapacity(shared, cap);
+    benchmark::DoNotOptimize(net.flowRateBps(ids[0]));
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_MaxMinRecompute)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_GreedySchedulerDecision(benchmark::State& state) {
+  const std::size_t items = static_cast<std::size_t>(state.range(0));
+  core::Transaction txn = core::makeTransaction(
+      core::TransferDirection::kDownload,
+      std::vector<double>(items, 1e6));
+  std::vector<core::ItemView> views;
+  for (const auto& it : txn.items) {
+    core::ItemView iv;
+    iv.item = &it;
+    iv.status = core::ItemStatus::kInFlight;
+    iv.carriers = {0};
+    views.push_back(iv);
+  }
+  views.back().status = core::ItemStatus::kPending;
+  core::EngineView view{&views, 4, 0.0};
+  core::GreedyScheduler g;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.nextItem(view, 2));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GreedySchedulerDecision)->Arg(20)->Arg(200);
+
+void BM_M3u8Parse(benchmark::State& state) {
+  hls::VideoSpec spec;
+  spec.duration_s = static_cast<double>(state.range(0));
+  const auto video = hls::segmentVideo(spec);
+  const std::string text = video.playlist.serialize();
+  for (auto _ : state) {
+    auto parsed = hls::parseMedia(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_M3u8Parse)->Arg(200)->Arg(3600);
+
+void BM_EndToEndVodTransaction(benchmark::State& state) {
+  // Whole-stack cost of simulating one 20-segment multipath transaction.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::FlowNetwork net(sim);
+    net::Link* a = net.createLink("a", sim::mbps(2));
+    net::Link* b = net.createLink("b", sim::mbps(3));
+    (void)a;
+    (void)b;
+    benchmark::DoNotOptimize(net.activeFlowCount());
+  }
+}
+BENCHMARK(BM_EndToEndVodTransaction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

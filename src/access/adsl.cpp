@@ -1,0 +1,57 @@
+#include "access/adsl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/units.hpp"
+
+namespace gol::access {
+
+AdslConfig adslFromLoopLength(double metres) {
+  AdslConfig cfg;
+  // Piecewise-linear ADSL2+ reach curve: 24 Mbps up to 1 km, then roughly
+  // -5.6 Mbps per km down to 1.5 Mbps at 5 km and beyond.
+  const double km = std::max(0.0, metres / 1000.0);
+  double down_mbps;
+  if (km <= 1.0) {
+    down_mbps = 24.0;
+  } else if (km >= 5.0) {
+    down_mbps = 1.5;
+  } else {
+    down_mbps = 24.0 - (24.0 - 1.5) * (km - 1.0) / 4.0;
+  }
+  cfg.sync_down_bps = sim::mbps(down_mbps);
+  // Uplink: annex-A cap 1.2 Mbps, with the same relative roll-off.
+  cfg.sync_up_bps = sim::mbps(std::min(1.2, 1.2 * down_mbps / 24.0 + 0.25));
+  // Longer loops mean higher serialization/interleave latency.
+  cfg.rtt_s = 0.040 + 0.006 * km;
+  return cfg;
+}
+
+AdslLine::AdslLine(net::FlowNetwork& net, std::string name,
+                   const AdslConfig& cfg)
+    : cfg_(cfg),
+      down_(net.createLink(name + "/down", cfg.sync_down_bps *
+                                               cfg.atm_efficiency *
+                                               cfg.down_utilization)),
+      up_(net.createLink(name + "/up", cfg.sync_up_bps * cfg.atm_efficiency)) {}
+
+net::NetPath AdslLine::downPath() const {
+  net::NetPath p;
+  p.name = down_->name();
+  p.links = {down_};
+  p.rtt_s = cfg_.rtt_s;
+  p.loss_rate = cfg_.loss_rate;
+  return p;
+}
+
+net::NetPath AdslLine::upPath() const {
+  net::NetPath p;
+  p.name = up_->name();
+  p.links = {up_};
+  p.rtt_s = cfg_.rtt_s;
+  p.loss_rate = cfg_.loss_rate;
+  return p;
+}
+
+}  // namespace gol::access

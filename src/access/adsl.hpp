@@ -1,0 +1,60 @@
+// ADSL access-line model.
+//
+// ADSL is the bottleneck 3GOL powerboosts: sync rate falls with the copper
+// loop length to the exchange, the uplink is ~1/10 of the downlink, and ATM
+// framing plus TCP/IP headers shave the IP goodput below sync rate (the
+// paper's Sec. 1-2 framing). A line owns two simulator links (down, up).
+#pragma once
+
+#include <string>
+
+#include "net/flow_network.hpp"
+#include "net/path.hpp"
+
+namespace gol::access {
+
+struct AdslConfig {
+  double sync_down_bps = 6.7e6;  ///< Paper's quoted average ADSL downlink.
+  double sync_up_bps = 0.67e6;
+  /// Fraction of sync rate available as IP goodput (ATM cell tax ~= 0.9,
+  /// then TCP/IP headers; 0.85 reproduces measured ADSL goodput well).
+  double atm_efficiency = 0.85;
+  /// Sustained-download utilization of the downlink relative to the burst
+  /// (speedtest) rate. Real lines deliver well below sync rate on long
+  /// sequential HLS fetches — DSLAM contention, cross traffic, remote
+  /// pacing. The paper's Sec. 5 numbers imply ~0.5-0.65 at its eval homes
+  /// (e.g. Fig 6's 2 Mbps line moving a 5 MB video in 41 s).
+  double down_utilization = 1.0;
+  double rtt_s = 0.060;  ///< Typical interleaved-path ADSL RTT.
+  double loss_rate = 0.0;
+};
+
+/// Computes ADSL2+ sync rates from loop length (metres): ~24 Mbps below
+/// 1 km decaying to ~1.5 Mbps at 5 km; uplink capped at 1.2 Mbps with the
+/// same roll-off. A coarse but standard attenuation curve.
+AdslConfig adslFromLoopLength(double metres);
+
+class AdslLine {
+ public:
+  AdslLine(net::FlowNetwork& net, std::string name, const AdslConfig& cfg);
+
+  const AdslConfig& config() const { return cfg_; }
+  double goodputDownBps() const {
+    return cfg_.sync_down_bps * cfg_.atm_efficiency * cfg_.down_utilization;
+  }
+  double goodputUpBps() const { return cfg_.sync_up_bps * cfg_.atm_efficiency; }
+
+  net::Link* downLink() { return down_; }
+  net::Link* upLink() { return up_; }
+
+  /// Paths for building end-to-end transfers across this line.
+  net::NetPath downPath() const;
+  net::NetPath upPath() const;
+
+ private:
+  AdslConfig cfg_;
+  net::Link* down_;
+  net::Link* up_;
+};
+
+}  // namespace gol::access

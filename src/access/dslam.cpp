@@ -1,0 +1,25 @@
+#include "access/dslam.hpp"
+
+namespace gol::access {
+
+Dslam::Dslam(net::FlowNetwork& net, std::string name, const DslamConfig& cfg)
+    : net_(net), name_(std::move(name)), cfg_(cfg),
+      backhaul_down_(net.createLink(name_ + "/backhaul-down", backhaulBps())),
+      backhaul_up_(net.createLink(name_ + "/backhaul-up", backhaulBps())) {}
+
+AdslLine& Dslam::addLine(const AdslConfig& line_cfg) {
+  auto line = std::make_unique<AdslLine>(
+      net_, name_ + "/line" + std::to_string(lines_.size()), line_cfg);
+  lines_.push_back(std::move(line));
+  return *lines_.back();
+}
+
+double Dslam::nominalAggregateDownBps() const {
+  return static_cast<double>(cfg_.subscribers) * cfg_.avg_sync_down_bps;
+}
+
+double Dslam::backhaulBps() const {
+  return nominalAggregateDownBps() / cfg_.oversubscription;
+}
+
+}  // namespace gol::access

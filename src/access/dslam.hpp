@@ -1,0 +1,49 @@
+// DSLAM aggregation: many ADSL lines share an oversubscribed uplink to the
+// metro network. Used for the Sec. 2.1 capacity comparison and as the
+// aggregation point of the Fig 11 trace-driven experiments.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "access/adsl.hpp"
+#include "net/flow_network.hpp"
+
+namespace gol::access {
+
+struct DslamConfig {
+  std::size_t subscribers = 875;    ///< Paper: ADSL lines per cell-tower area.
+  double avg_sync_down_bps = 6.7e6; ///< Paper: Netalyzr average.
+  double oversubscription = 20.0;   ///< Typical access aggregation ratio.
+};
+
+class Dslam {
+ public:
+  Dslam(net::FlowNetwork& net, std::string name, const DslamConfig& cfg);
+
+  /// Adds a subscriber line whose traffic also crosses the shared backhaul.
+  AdslLine& addLine(const AdslConfig& line_cfg);
+
+  /// Aggregate (non-oversubscribed) downlink sync capacity across all
+  /// possible subscribers — the Sec. 2.1 back-of-envelope number.
+  double nominalAggregateDownBps() const;
+  /// The actually provisioned shared backhaul capacity.
+  double backhaulBps() const;
+
+  net::Link* backhaulDown() { return backhaul_down_; }
+  net::Link* backhaulUp() { return backhaul_up_; }
+  const DslamConfig& config() const { return cfg_; }
+  std::size_t lineCount() const { return lines_.size(); }
+  AdslLine& line(std::size_t i) { return *lines_.at(i); }
+
+ private:
+  net::FlowNetwork& net_;
+  std::string name_;
+  DslamConfig cfg_;
+  net::Link* backhaul_down_;
+  net::Link* backhaul_up_;
+  std::vector<std::unique_ptr<AdslLine>> lines_;
+};
+
+}  // namespace gol::access

@@ -1,0 +1,36 @@
+#include "access/wifi.hpp"
+
+#include <algorithm>
+
+#include "sim/units.hpp"
+
+namespace gol::access {
+
+double wifiGoodputBps(WifiStandard standard) {
+  switch (standard) {
+    case WifiStandard::k80211g:
+      return sim::mbps(24.0);
+    case WifiStandard::k80211n:
+      return sim::mbps(110.0);
+  }
+  return sim::mbps(24.0);
+}
+
+WifiLan::WifiLan(net::FlowNetwork& net, std::string name,
+                 const WifiConfig& cfg)
+    : cfg_(cfg),
+      medium_(net.createLink(std::move(name), wifiGoodputBps(cfg.standard) *
+                                                  (1.0 - std::clamp(cfg.interference_loss, 0.0, 1.0)))) {}
+
+double WifiLan::goodputBps() const { return medium_->capacityBps(); }
+
+net::NetPath WifiLan::hop() const {
+  net::NetPath p;
+  p.name = medium_->name();
+  p.links = {medium_};
+  p.rtt_s = cfg_.rtt_s;
+  p.loss_rate = cfg_.loss_rate;
+  return p;
+}
+
+}  // namespace gol::access

@@ -1,0 +1,46 @@
+// Home Wi-Fi LAN model.
+//
+// In the paper's OTT architecture every 3GOL hop crosses the home Wi-Fi
+// (client <-> gateway <-> phone), which upper-bounds how much cellular
+// bandwidth can be aggregated: ~24 Mbps TCP goodput for 802.11g and
+// ~110 Mbps for 802.11n (Sec. 4.1). The LAN is one shared medium: all
+// stations' flows cross a single link.
+#pragma once
+
+#include <string>
+
+#include "net/flow_network.hpp"
+#include "net/path.hpp"
+
+namespace gol::access {
+
+enum class WifiStandard { k80211g, k80211n };
+
+struct WifiConfig {
+  WifiStandard standard = WifiStandard::k80211n;
+  /// Extra degradation from co-channel interference / distance, in [0, 1].
+  double interference_loss = 0.0;
+  double rtt_s = 0.003;
+  double loss_rate = 0.0;  ///< Residual loss visible to TCP after ARQ.
+};
+
+/// Maximum TCP goodput of the BSS for the given standard (Sec. 4.1 numbers).
+double wifiGoodputBps(WifiStandard standard);
+
+class WifiLan {
+ public:
+  WifiLan(net::FlowNetwork& net, std::string name, const WifiConfig& cfg);
+
+  double goodputBps() const;
+  net::Link* medium() { return medium_; }
+  const WifiConfig& config() const { return cfg_; }
+
+  /// A one-hop path across the BSS (used when composing multi-hop paths).
+  net::NetPath hop() const;
+
+ private:
+  WifiConfig cfg_;
+  net::Link* medium_;
+};
+
+}  // namespace gol::access

@@ -1,0 +1,24 @@
+#include "cellular/base_station.hpp"
+
+#include <stdexcept>
+
+namespace gol::cell {
+
+BaseStation::BaseStation(net::FlowNetwork& net, std::string name,
+                         const BaseStationConfig& cfg)
+    : name_(std::move(name)),
+      cfg_(cfg),
+      backhaul_down_(net.createLink(name_ + "/bh-down", cfg.backhaul_bps)),
+      backhaul_up_(net.createLink(name_ + "/bh-up", cfg.backhaul_bps)) {
+  if (cfg.sectors < 1) throw std::invalid_argument("BaseStation: sectors >= 1");
+  for (int s = 0; s < cfg.sectors; ++s) {
+    sectors_.push_back(std::make_unique<Sector>(
+        net, name_ + "/sec" + std::to_string(s), cfg.sector));
+  }
+}
+
+void BaseStation::setAvailableFraction(double f) {
+  for (auto& s : sectors_) s->setAvailableFraction(f);
+}
+
+}  // namespace gol::cell

@@ -1,0 +1,48 @@
+// A base station: several sectors plus a backhaul pipe to the Internet.
+// The paper's Sec. 2.1 sizes the backhaul at 40-50 Mbps; Fig 11b compares
+// onloaded traffic against 2 x 40 Mbps for a two-tower area.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cellular/sector.hpp"
+#include "net/flow_network.hpp"
+
+namespace gol::cell {
+
+struct BaseStationConfig {
+  int sectors = 3;
+  double backhaul_bps = 40e6;  ///< Per direction.
+  SectorConfig sector;
+};
+
+class BaseStation {
+ public:
+  BaseStation(net::FlowNetwork& net, std::string name,
+              const BaseStationConfig& cfg);
+  BaseStation(const BaseStation&) = delete;
+  BaseStation& operator=(const BaseStation&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::size_t sectorCount() const { return sectors_.size(); }
+  Sector& sector(std::size_t i) { return *sectors_.at(i); }
+  const Sector& sector(std::size_t i) const { return *sectors_.at(i); }
+  net::Link* backhaul(Direction d) {
+    return d == Direction::kDownlink ? backhaul_down_ : backhaul_up_;
+  }
+  const BaseStationConfig& config() const { return cfg_; }
+
+  /// Applies the background-load fraction to every sector.
+  void setAvailableFraction(double f);
+
+ private:
+  std::string name_;
+  BaseStationConfig cfg_;
+  net::Link* backhaul_down_;
+  net::Link* backhaul_up_;
+  std::vector<std::unique_ptr<Sector>> sectors_;
+};
+
+}  // namespace gol::cell

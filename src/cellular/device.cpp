@@ -1,0 +1,167 @@
+#include "cellular/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/units.hpp"
+
+namespace gol::cell {
+
+CellularDevice::CellularDevice(net::FlowNetwork& net, std::string name,
+                               std::vector<BaseStation*> visible,
+                               const DeviceConfig& cfg, sim::Rng rng)
+    : net_(net),
+      name_(std::move(name)),
+      visible_(std::move(visible)),
+      cfg_(cfg),
+      rng_(rng),
+      rrc_(net.simulator(), cfg.rrc) {}
+
+double CellularDevice::sectorBias(const Sector* s) {
+  auto it = sector_bias_db_.find(s);
+  if (it != sector_bias_db_.end()) return it->second;
+  const double bias = rng_.normal(0.0, cfg_.sector_diversity_db);
+  sector_bias_db_.emplace(s, bias);
+  return bias;
+}
+
+Sector* CellularDevice::chooseSector(Direction d) {
+  Sector* best = nullptr;
+  double best_score = -1e18;
+  for (std::size_t b = 0; b < visible_.size(); ++b) {
+    BaseStation* bs = visible_[b];
+    for (std::size_t s = 0; s < bs->sectorCount(); ++s) {
+      Sector& sec = bs->sector(s);
+      double score = sectorBias(&sec);
+      if (b == 0 && s == 0) score += cfg_.primary_bonus_db;
+      score -= cfg_.load_penalty_db * sec.activeCount(d);
+      if (score > best_score) {
+        best_score = score;
+        best = &sec;
+      }
+    }
+  }
+  return best;
+}
+
+double CellularDevice::nominalRateBps(Direction d) const {
+  if (visible_.empty()) return 0;
+  const SectorConfig& sc = visible_.front()->config().sector;
+  const double base = d == Direction::kDownlink
+                          ? sc.per_device_dl_base_bps * sc.dl_scale
+                          : sc.per_device_ul_base_bps * sc.ul_scale;
+  return base * cfg_.radio.quality();
+}
+
+CellularDevice::TransferId CellularDevice::startTransfer(TransferOptions opts) {
+  const TransferId id = next_id_++;
+  Transfer t;
+  t.dir = opts.dir;
+  t.bytes = opts.bytes;
+  t.extra_links = std::move(opts.extra_links);
+  t.on_complete = std::move(opts.on_complete);
+  transfers_.emplace(id, std::move(t));
+  rrc_.requestDch([this, id] { beginFlow(id); });
+  if (!ticking_) {
+    ticking_ = true;
+    net_.simulator().scheduleIn(cfg_.jitter_interval_s, [this] { jitterTick(); });
+  }
+  return id;
+}
+
+void CellularDevice::beginFlow(TransferId id) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;  // aborted during RRC promotion
+  Transfer& t = it->second;
+
+  Sector* sec = chooseSector(t.dir);
+  if (sec == nullptr) {
+    // No coverage: fail the transfer by completing with zero progress.
+    auto cb = std::move(t.on_complete);
+    transfers_.erase(it);
+    if (cb) cb();
+    return;
+  }
+  BaseStation* bs = nullptr;
+  for (BaseStation* cand : visible_) {
+    for (std::size_t s = 0; s < cand->sectorCount(); ++s) {
+      if (&cand->sector(s) == sec) bs = cand;
+    }
+  }
+  t.bs = bs;
+  t.sector = sec;
+  t.quality = cfg_.radio.quality() *
+              std::clamp(rng_.lognormal(0.0, cfg_.quality_sigma), 0.3, 2.0);
+  t.handle = sec->registerTransfer(
+      t.dir, t.quality, [this, id](double cap) { onSectorCap(id, cap); });
+
+  std::vector<net::Link*> path = {sec->sharedLink(t.dir),
+                                  bs->backhaul(t.dir)};
+  path.insert(path.end(), t.extra_links.begin(), t.extra_links.end());
+
+  net::FlowSpec spec;
+  spec.path = std::move(path);
+  spec.bytes = t.bytes;
+  spec.rate_cap_bps = 1.0;  // placeholder; applyCap sets the real value
+  spec.on_complete = [this, id](net::FlowId) { completeTransfer(id); };
+  t.flow = net_.startFlow(std::move(spec));
+  applyCap(t);
+}
+
+void CellularDevice::onSectorCap(TransferId id, double cap_bps) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;
+  it->second.sector_cap_bps = cap_bps;
+  if (it->second.flow != 0) applyCap(it->second);
+}
+
+void CellularDevice::applyCap(Transfer& t) {
+  const double dev_max =
+      t.dir == Direction::kDownlink ? cfg_.max_dl_bps : cfg_.max_ul_bps;
+  const double cap = std::min(dev_max, t.sector_cap_bps *
+                                           std::exp(t.log_jitter));
+  net_.setFlowRateCap(t.flow, std::max(cap, 1e3));
+}
+
+void CellularDevice::completeTransfer(TransferId id) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;
+  Transfer t = std::move(it->second);
+  transfers_.erase(it);
+  if (t.sector != nullptr) t.sector->unregisterTransfer(t.dir, t.handle);
+  metered_bytes_ += t.bytes;
+  rrc_.notifyActivity();
+  if (t.on_complete) t.on_complete();
+}
+
+double CellularDevice::abortTransfer(TransferId id) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return 0.0;
+  Transfer t = std::move(it->second);
+  transfers_.erase(it);
+  double moved = 0.0;
+  if (t.flow != 0) moved = net_.abortFlow(t.flow);
+  if (t.sector != nullptr) t.sector->unregisterTransfer(t.dir, t.handle);
+  metered_bytes_ += moved;
+  rrc_.notifyActivity();
+  return moved;
+}
+
+void CellularDevice::jitterTick() {
+  if (transfers_.empty()) {
+    ticking_ = false;
+    return;
+  }
+  // Ticking doubles as the RRC keepalive: the interval (2 s) is shorter
+  // than the DCH inactivity timer, so the radio never demotes mid-transfer.
+  rrc_.notifyActivity();
+  const double phi = 0.8;
+  const double innov = cfg_.jitter_sigma * std::sqrt(1.0 - phi * phi);
+  for (auto& [id, t] : transfers_) {
+    t.log_jitter = phi * t.log_jitter + rng_.normal(0.0, innov);
+    if (t.flow != 0) applyCap(t);
+  }
+  net_.simulator().scheduleIn(cfg_.jitter_interval_s, [this] { jitterTick(); });
+}
+
+}  // namespace gol::cell

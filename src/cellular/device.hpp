@@ -1,0 +1,118 @@
+// A 3G-capable handset: RRC state machine, sector attachment with
+// signal-biased load balancing, and fluid transfers whose rate cap follows
+// the sector's sharing state plus short-term radio jitter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cellular/base_station.hpp"
+#include "cellular/radio.hpp"
+#include "cellular/rrc.hpp"
+#include "net/flow_network.hpp"
+#include "sim/rng.hpp"
+
+namespace gol::cell {
+
+struct DeviceConfig {
+  RadioConditions radio{-85.0};
+  /// Lognormal sigma of per-transfer radio-quality noise (fast fading,
+  /// body loss...). Produces the per-measurement spread of Table 3.
+  double quality_sigma = 0.30;
+  /// Short-term in-transfer jitter: AR(1) in log space, stationary sigma.
+  double jitter_sigma = 0.15;
+  double jitter_interval_s = 2.0;
+  double rtt_s = 0.10;      ///< DCH-state RTT.
+  double loss_rate = 0.0;
+  double max_dl_bps = 21.1e6;  ///< HSDPA Cat-20 class device (Galaxy S II).
+  double max_ul_bps = 5.76e6;  ///< HSUPA Cat-6.
+  RrcConfig rrc;
+  /// Sector-attachment scoring (dB domain): per-(device, sector) random
+  /// bias, a bonus for the location's dominant sector, and a penalty per
+  /// active device already in the sector (NodeB load balancing).
+  double sector_diversity_db = 2.0;
+  double primary_bonus_db = 6.0;
+  double load_penalty_db = 0.5;
+};
+
+class CellularDevice {
+ public:
+  using TransferId = std::uint64_t;
+
+  struct TransferOptions {
+    Direction dir = Direction::kDownlink;
+    double bytes = 0;
+    /// Extra links the transfer also crosses (home Wi-Fi, server uplink...).
+    std::vector<net::Link*> extra_links;
+    std::function<void()> on_complete;
+  };
+
+  CellularDevice(net::FlowNetwork& net, std::string name,
+                 std::vector<BaseStation*> visible, const DeviceConfig& cfg,
+                 sim::Rng rng);
+  CellularDevice(const CellularDevice&) = delete;
+  CellularDevice& operator=(const CellularDevice&) = delete;
+
+  /// Starts a transfer: waits for RRC promotion if needed, attaches to a
+  /// sector, then moves bytes at the shared-channel fair rate.
+  TransferId startTransfer(TransferOptions opts);
+  /// Aborts; returns the bytes moved so far (counts toward quota/waste).
+  double abortTransfer(TransferId id);
+  bool transferActive(TransferId id) const { return transfers_.count(id) != 0; }
+
+  const std::string& name() const { return name_; }
+  net::FlowNetwork& net() { return net_; }
+  RrcMachine& rrc() { return rrc_; }
+  const DeviceConfig& config() const { return cfg_; }
+  double rttS() const { return cfg_.rtt_s; }
+  double lossRate() const { return cfg_.loss_rate; }
+  /// Total bytes moved over the cellular interface (both directions),
+  /// including partial transfers — what a data plan would meter.
+  double meteredBytes() const { return metered_bytes_; }
+  std::size_t activeTransferCount() const { return transfers_.size(); }
+
+  /// A coarse a-priori rate guess (used to seed bandwidth estimators).
+  double nominalRateBps(Direction d) const;
+
+  /// The sector the device would attach to right now for direction `d`.
+  Sector* chooseSector(Direction d);
+
+ private:
+  struct Transfer {
+    Direction dir;
+    double bytes;
+    std::vector<net::Link*> extra_links;
+    std::function<void()> on_complete;
+    net::FlowId flow = 0;
+    BaseStation* bs = nullptr;
+    Sector* sector = nullptr;
+    Sector::TransferHandle handle = 0;
+    double quality = 1.0;
+    double log_jitter = 0.0;
+    double sector_cap_bps = 0.0;
+  };
+
+  void beginFlow(TransferId id);
+  void onSectorCap(TransferId id, double cap_bps);
+  void applyCap(Transfer& t);
+  void completeTransfer(TransferId id);
+  void jitterTick();
+  double sectorBias(const Sector* s);
+
+  net::FlowNetwork& net_;
+  std::string name_;
+  std::vector<BaseStation*> visible_;
+  DeviceConfig cfg_;
+  sim::Rng rng_;
+  RrcMachine rrc_;
+  std::map<TransferId, Transfer> transfers_;
+  std::map<const Sector*, double> sector_bias_db_;
+  TransferId next_id_ = 1;
+  double metered_bytes_ = 0;
+  bool ticking_ = false;
+};
+
+}  // namespace gol::cell

@@ -1,0 +1,36 @@
+#include "cellular/energy.hpp"
+
+namespace gol::cell {
+
+EnergyMeter::EnergyMeter(sim::Simulator& sim, RrcMachine& rrc,
+                         PowerModel model)
+    : sim_(sim), model_(model), state_(rrc.state()), span_start_(sim.now()) {
+  rrc.setStateListener(
+      [this](RrcState from, RrcState to) { onTransition(from, to); });
+}
+
+void EnergyMeter::onTransition(RrcState /*from*/, RrcState to) {
+  const double span = currentSpanS();
+  joules_ += span * model_.draw(state_);
+  residency_[static_cast<int>(state_)] += span;
+  state_ = to;
+  span_start_ = sim_.now();
+}
+
+double EnergyMeter::joules() const {
+  return joules_ + currentSpanS() * model_.draw(state_);
+}
+
+double EnergyMeter::residencyS(RrcState state) const {
+  double r = residency_[static_cast<int>(state)];
+  if (state == state_) r += currentSpanS();
+  return r;
+}
+
+void EnergyMeter::reset() {
+  joules_ = 0;
+  residency_[0] = residency_[1] = residency_[2] = 0;
+  span_start_ = sim_.now();
+}
+
+}  // namespace gol::cell

@@ -1,0 +1,57 @@
+// Handset radio energy model.
+//
+// The paper explicitly scopes energy out ("3GOL devices are often connected
+// for recharging while at home, hence energy consumption is not a primary
+// concern") — this module quantifies the claim instead of assuming it:
+// per-RRC-state power draw integrated over simulated time, including the
+// classic tail energy (DCH/FACH residency after the transfer finishes).
+// Power numbers follow the common UMTS handset measurements (Huang et al.):
+// ~0.8 W in DCH, ~0.45 W in FACH, near-zero radio draw in IDLE.
+#pragma once
+
+#include "cellular/rrc.hpp"
+#include "sim/simulator.hpp"
+
+namespace gol::cell {
+
+struct PowerModel {
+  double idle_w = 0.02;
+  double fach_w = 0.45;
+  double dch_w = 0.80;
+
+  double draw(RrcState s) const {
+    switch (s) {
+      case RrcState::kIdle: return idle_w;
+      case RrcState::kFach: return fach_w;
+      case RrcState::kDch: return dch_w;
+    }
+    return 0;
+  }
+};
+
+/// Attaches to an RrcMachine and integrates radio energy over simulated
+/// time. One meter per machine (it takes the machine's state listener).
+class EnergyMeter {
+ public:
+  EnergyMeter(sim::Simulator& sim, RrcMachine& rrc, PowerModel model = {});
+
+  /// Total joules from attach time to now.
+  double joules() const;
+  /// Seconds spent in `state` so far.
+  double residencyS(RrcState state) const;
+  /// Resets the accumulators (e.g. at transaction start).
+  void reset();
+
+ private:
+  void onTransition(RrcState from, RrcState to);
+  double currentSpanS() const { return sim_.now() - span_start_; }
+
+  sim::Simulator& sim_;
+  PowerModel model_;
+  RrcState state_;
+  double span_start_;
+  double joules_ = 0;
+  double residency_[3] = {0, 0, 0};
+};
+
+}  // namespace gol::cell

@@ -1,0 +1,187 @@
+#include "cellular/location.hpp"
+
+#include <algorithm>
+
+#include "sim/units.hpp"
+
+namespace gol::cell {
+
+Location::Location(net::FlowNetwork& net, const LocationSpec& spec,
+                   sim::Rng rng)
+    : net_(net), spec_(spec), rng_(rng) {
+  BaseStationConfig bs_cfg;
+  bs_cfg.sectors = spec_.sectors_per_bs;
+  bs_cfg.backhaul_bps = spec_.backhaul_bps;
+  bs_cfg.sector.dl_scale = spec_.dl_scale;
+  bs_cfg.sector.ul_scale = spec_.ul_scale;
+  bs_cfg.sector.hsdpa_aggregate_bps = spec_.shared_dl_aggregate_bps;
+  bs_cfg.sector.hsupa_aggregate_bps = spec_.shared_ul_aggregate_bps;
+  for (int b = 0; b < spec_.base_stations; ++b) {
+    stations_.push_back(std::make_unique<BaseStation>(
+        net_, spec_.name + "/bs" + std::to_string(b), bs_cfg));
+  }
+}
+
+std::vector<BaseStation*> Location::baseStations() {
+  std::vector<BaseStation*> out;
+  out.reserve(stations_.size());
+  for (auto& s : stations_) out.push_back(s.get());
+  return out;
+}
+
+std::unique_ptr<CellularDevice> Location::makeDevice(const std::string& name,
+                                                     DeviceConfig base) {
+  base.radio.signal_dbm =
+      rng_.normal(spec_.signal_dbm, spec_.signal_sd_db);
+  base.sector_diversity_db = spec_.sector_diversity_db;
+  base.primary_bonus_db = spec_.primary_bonus_db;
+  base.load_penalty_db = spec_.load_penalty_db;
+  return std::make_unique<CellularDevice>(net_, name, baseStations(), base,
+                                          rng_.fork());
+}
+
+void Location::setAvailableFraction(double f) {
+  for (auto& s : stations_) s->setAvailableFraction(f);
+}
+
+double Location::availableFractionAt(const net::DiurnalShape& shape,
+                                     double tod_s) const {
+  const double norm = shape.at(tod_s) / shape.maxValue();
+  return std::clamp(1.0 - spec_.background_peak_util * norm, 0.0, 1.0);
+}
+
+void Location::startDiurnalLoad(const net::DiurnalShape& shape,
+                                double day_offset_s, double interval_s) {
+  diurnal_ = &shape;
+  day_offset_s_ = day_offset_s;
+  diurnal_interval_s_ = interval_s;
+  diurnalTick();
+}
+
+void Location::diurnalTick() {
+  if (diurnal_ == nullptr) return;
+  const double tod = day_offset_s_ + net_.simulator().now();
+  setAvailableFraction(availableFractionAt(*diurnal_, tod));
+  net_.simulator().scheduleIn(diurnal_interval_s_, [this] { diurnalTick(); });
+}
+
+namespace {
+
+LocationSpec makeSpec(std::string name, int bs, double signal_dbm,
+                      double dl_scale, double ul_scale, double peak_util,
+                      double diversity_db, double bonus_db, double penalty_db,
+                      double adsl_down_mbps, double adsl_up_mbps) {
+  LocationSpec s;
+  s.name = std::move(name);
+  s.base_stations = bs;
+  s.signal_dbm = signal_dbm;
+  s.dl_scale = dl_scale;
+  s.ul_scale = ul_scale;
+  s.background_peak_util = peak_util;
+  s.sector_diversity_db = diversity_db;
+  s.primary_bonus_db = bonus_db;
+  s.load_penalty_db = penalty_db;
+  s.adsl_down_bps = sim::mbps(adsl_down_mbps);
+  s.adsl_up_bps = sim::mbps(adsl_up_mbps);
+  return s;
+}
+
+}  // namespace
+
+std::vector<LocationSpec> measurementLocations() {
+  // Table 2 of the paper. dl/ul scales are calibrated so the 3-device
+  // aggregate 3G throughput at the stated time of day lands on the
+  // "3G Mbps (d/u)" column; attachment parameters encode the observed
+  // sector behaviour (Location 3 exceeds the single-sector HSUPA cap
+  // thanks to a dense deployment -> strong spreading).
+  std::vector<LocationSpec> v;
+  v.push_back(makeSpec("1-dense-residential-center", 2, -78, 1.60, 1.49,
+                       0.35, 1.5, 8.0, 0.3, 3.44, 0.30));
+  v.push_back(makeSpec("2-office-rush-hour", 2, -85, 0.94, 0.75, 0.35, 3.0,
+                       3.0, 1.0, 4.51, 0.47));
+  v.push_back(makeSpec("3-residential-tourist-hotspot", 2, -88, 0.66, 0.57,
+                       0.45, 4.0, 2.0, 1.2, 6.72, 0.84));
+  v.push_back(makeSpec("4-sparse-residential-suburbs", 1, -84, 1.41, 0.78,
+                       0.25, 1.5, 6.0, 0.4, 2.84, 0.45));
+  v.push_back(makeSpec("5-dense-residential-center", 2, -82, 1.26, 1.50,
+                       0.35, 2.5, 5.0, 0.8, 8.57, 0.63));
+  v.push_back(makeSpec("6-dense-residential-center", 2, -90, 1.15, 0.84,
+                       0.35, 2.5, 5.0, 0.8, 55.48, 11.35));
+  return v;
+}
+
+std::vector<LocationSpec> evaluationLocations() {
+  // Table 4 of the paper: the five homes of the Sec. 5 in-the-wild study.
+  // Signal strengths are the paper's; scales are calibrated against the
+  // Fig 8 (download reduction) and Fig 9 (upload time) outcomes — measured
+  // signal was a poor predictor of throughput in the paper's own data, so
+  // the scale knob absorbs the observed per-home rate.
+  std::vector<LocationSpec> v;
+  v.push_back(makeSpec("loc1", 2, -81, 3.05, 1.00, 0.30, 2.0, 5.0, 0.6,
+                       6.48, 0.83));
+  v.push_back(makeSpec("loc2", 2, -95, 6.00, 2.50, 0.30, 2.0, 5.0, 0.6,
+                       21.64, 2.77));
+  v.push_back(makeSpec("loc3", 2, -97, 5.05, 3.90, 0.30, 2.0, 5.0, 0.6,
+                       8.67, 0.62));
+  v.push_back(makeSpec("loc4", 2, -89, 3.45, 2.75, 0.30, 2.0, 5.0, 0.6,
+                       6.20, 0.65));
+  v.push_back(makeSpec("loc5", 2, -89, 3.65, 2.10, 0.30, 2.0, 5.0, 0.6,
+                       6.82, 0.58));
+  // Sustained HLS downloads at these homes ran well below the speedtest
+  // rate (the paper's Fig 7/8 gains are unreachable otherwise; see
+  // DESIGN.md calibration notes).
+  for (auto& spec : v) spec.adsl_down_utilization = 0.55;
+  return v;
+}
+
+LocationSpec lteUpgrade(LocationSpec spec) {
+  spec.name += "-lte";
+  // 20 MHz LTE sector: ~75 Mbps down / 25 Mbps up shared; per-device
+  // achievable rates roughly 6x/5x the HSPA deployment at equal radio
+  // conditions (the spec scales already encode local conditions).
+  spec.shared_dl_aggregate_bps = 75e6;
+  spec.shared_ul_aggregate_bps = 25e6;
+  spec.dl_scale *= 6.0;
+  spec.ul_scale *= 5.0;
+  // LTE backhaul is provisioned to match the fatter air interface.
+  spec.backhaul_bps = 200e6;
+  return spec;
+}
+
+DeviceConfig lteDeviceConfig(DeviceConfig base) {
+  // LTE RRC: idle -> connected in ~0.3 s, connected DRX instead of FACH.
+  base.rrc.idle_to_dch_s = 0.3;
+  base.rrc.fach_to_dch_s = 0.05;
+  base.rrc.dch_inactivity_s = 10.0;
+  base.rrc.fach_inactivity_s = 10.0;
+  base.rtt_s = 0.035;
+  base.max_dl_bps = 150e6;  // category 4 class
+  base.max_ul_bps = 50e6;
+  return base;
+}
+
+const net::DiurnalShape& mobileDiurnalShape() {
+  // Fig 1, cellular curve: clear diurnal swing with a working/afternoon
+  // peak (people at home in the evening prefer their wired connection) and
+  // a deep pre-dawn trough. The peak deliberately misses the wired evening
+  // peak — the non-alignment Fig 1 and Fig 11c rely on.
+  static const net::DiurnalShape shape(std::array<double, 24>{{
+      0.35, 0.28, 0.22, 0.18, 0.16, 0.18, 0.25, 0.40,  // 0-7h
+      0.60, 0.75, 0.85, 0.92, 0.95, 0.97, 1.00, 0.99,  // 8-15h
+      0.97, 0.95, 0.90, 0.82, 0.72, 0.62, 0.52, 0.42,  // 16-23h
+  }});
+  return shape;
+}
+
+const net::DiurnalShape& wiredDiurnalShape() {
+  // Fig 1, wired/DSLAM curve: flatter daytime, sharper peak shifted to 22h
+  // (people stream at home after the mobile busy hour).
+  static const net::DiurnalShape shape(std::array<double, 24>{{
+      0.60, 0.45, 0.32, 0.25, 0.22, 0.22, 0.25, 0.32,  // 0-7h
+      0.40, 0.45, 0.50, 0.53, 0.55, 0.56, 0.55, 0.56,  // 8-15h
+      0.60, 0.66, 0.74, 0.82, 0.90, 0.97, 1.00, 0.82,  // 16-23h
+  }});
+  return shape;
+}
+
+}  // namespace gol::cell

@@ -1,0 +1,112 @@
+// Location profiles: the radio environment at one geographic spot, plus the
+// constants for the paper's measurement locations (Table 2, Sec. 3) and
+// in-the-wild evaluation locations (Table 4, Sec. 5).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cellular/base_station.hpp"
+#include "cellular/device.hpp"
+#include "net/capacity_profile.hpp"
+#include "net/flow_network.hpp"
+#include "sim/rng.hpp"
+
+namespace gol::cell {
+
+struct LocationSpec {
+  std::string name;
+  int base_stations = 2;       ///< Paper: devices saw >= 2 BSs everywhere.
+  int sectors_per_bs = 3;
+  double backhaul_bps = 40e6;  ///< Per BS, per direction (Sec. 2.1).
+  double signal_dbm = -85.0;
+  double signal_sd_db = 4.0;   ///< Per-device spread around the location mean.
+  /// Provisioning-density tuning so 3-device aggregates match Table 2.
+  double dl_scale = 1.0;
+  double ul_scale = 1.0;
+  /// Shared-channel fraction consumed by background subscribers at the
+  /// mobile network's busiest hour. Diurnal shaping scales this.
+  double background_peak_util = 0.35;
+  /// Attachment behaviour: high diversity + low primary bonus spreads
+  /// devices across sectors (dense deployments, the paper's Location 3);
+  /// low diversity clusters them on one shared channel.
+  double sector_diversity_db = 2.0;
+  double primary_bonus_db = 6.0;
+  double load_penalty_db = 0.5;
+  /// The measured ADSL line at this location (paper Tables 2 and 4).
+  double adsl_down_bps = 6.7e6;
+  double adsl_up_bps = 0.67e6;
+  /// Sustained-download utilization of the line (see AdslConfig); the
+  /// Sec. 5 evaluation homes deliver well below their speedtest rate.
+  double adsl_down_utilization = 1.0;
+  /// Shared-channel aggregates (HSPA defaults; lteUpgrade raises them).
+  double shared_dl_aggregate_bps = 14.4e6;
+  double shared_ul_aggregate_bps = 5.76e6;
+};
+
+/// Instantiated radio environment: base stations, background-load diurnal
+/// driver, and a factory for devices observing this location's conditions.
+class Location {
+ public:
+  Location(net::FlowNetwork& net, const LocationSpec& spec, sim::Rng rng);
+  Location(const Location&) = delete;
+  Location& operator=(const Location&) = delete;
+
+  const LocationSpec& spec() const { return spec_; }
+  std::vector<BaseStation*> baseStations();
+  BaseStation& baseStation(std::size_t i) { return *stations_.at(i); }
+  std::size_t baseStationCount() const { return stations_.size(); }
+
+  /// Creates a device at this location; signal is sampled around the
+  /// location mean, attachment parameters come from the spec.
+  std::unique_ptr<CellularDevice> makeDevice(const std::string& name,
+                                             DeviceConfig base = {});
+
+  /// Immediately applies a background-load level (0 = fully loaded cell,
+  /// 1 = empty). For experiments pinned at one time of day.
+  void setAvailableFraction(double f);
+  /// Drives background load from a diurnal shape; `day_offset_s` maps sim
+  /// t=0 to a time of day. `shape` must outlive the location.
+  void startDiurnalLoad(const net::DiurnalShape& shape, double day_offset_s,
+                        double interval_s = 60.0);
+
+  /// Background availability the diurnal driver would set at time-of-day t.
+  double availableFractionAt(const net::DiurnalShape& shape,
+                             double tod_s) const;
+
+ private:
+  void diurnalTick();
+
+  net::FlowNetwork& net_;
+  LocationSpec spec_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<BaseStation>> stations_;
+  const net::DiurnalShape* diurnal_ = nullptr;
+  double day_offset_s_ = 0;
+  double diurnal_interval_s_ = 60;
+};
+
+/// Sec. 2.3's 4G scenario: "If 4G is available, the concept of 3GOL is
+/// even more compelling. With the reduced latency, and the large increase
+/// of bandwidth, the period of powerboosting time might be extremely
+/// short." Upgrades a location to an LTE deployment: wider shared
+/// channels, much higher per-device rates.
+LocationSpec lteUpgrade(LocationSpec spec);
+/// Companion handset config: LTE RRC (sub-second idle->connected), lower
+/// RTT, category-4-class rate caps.
+DeviceConfig lteDeviceConfig(DeviceConfig base = {});
+
+/// The six Sec. 3 measurement spots of Table 2, in paper order.
+std::vector<LocationSpec> measurementLocations();
+/// The five Sec. 5 in-the-wild evaluation homes of Table 4 (loc1..loc5).
+std::vector<LocationSpec> evaluationLocations();
+
+/// The mobile-network diurnal load shape used across experiments: evening
+/// peak (~21h), deep night trough — the cellular curve of Fig 1.
+const net::DiurnalShape& mobileDiurnalShape();
+/// The wired/DSLAM diurnal demand shape: later, sharper evening peak —
+/// the wired curve of Fig 1.
+const net::DiurnalShape& wiredDiurnalShape();
+
+}  // namespace gol::cell

@@ -1,0 +1,23 @@
+#include "cellular/radio.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gol::cell {
+
+int RadioConditions::asu() const {
+  const int v = static_cast<int>(std::lround((signal_dbm + 113.0) / 2.0));
+  return std::clamp(v, 0, 31);
+}
+
+double RadioConditions::quality() const {
+  // Piecewise-linear in dBm: full quality at/above -75, floor 0.2 at -110.
+  constexpr double kHi = -75.0;
+  constexpr double kLo = -110.0;
+  constexpr double kFloor = 0.20;
+  if (signal_dbm >= kHi) return 1.0;
+  if (signal_dbm <= kLo) return kFloor;
+  return kFloor + (1.0 - kFloor) * (signal_dbm - kLo) / (kHi - kLo);
+}
+
+}  // namespace gol::cell

@@ -1,0 +1,25 @@
+// Radio-condition model: signal strength and its effect on achievable rate.
+#pragma once
+
+namespace gol::cell {
+
+/// Received signal strength and the derived link-quality multiplier.
+/// The paper reports per-location signal as "dBm/ASU" (Table 4); ASU is the
+/// GSM/UMTS arbitrary strength unit: ASU = (dBm + 113) / 2, clamped [0, 31].
+struct RadioConditions {
+  double signal_dbm = -85.0;
+
+  int asu() const;
+
+  /// Quality multiplier in (0, 1]: ~1.0 at -75 dBm and better, falling to
+  /// ~0.35 at -105 dBm. Scales the per-device achievable HSPA rate; HSPA
+  /// link adaptation picks lower-order modulation as SNR drops.
+  double quality() const;
+};
+
+/// Dedicated-channel (non-HSPA) fallback rates shown as the solid reference
+/// lines in the paper's Fig 5: 384 kbps down / 64 kbps up under good radio.
+constexpr double kUmtsDedicatedDownBps = 384e3;
+constexpr double kUmtsDedicatedUpBps = 64e3;
+
+}  // namespace gol::cell

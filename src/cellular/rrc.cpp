@@ -1,0 +1,101 @@
+#include "cellular/rrc.hpp"
+
+#include <utility>
+
+namespace gol::cell {
+
+const char* toString(RrcState s) {
+  switch (s) {
+    case RrcState::kIdle: return "IDLE";
+    case RrcState::kFach: return "FACH";
+    case RrcState::kDch: return "DCH";
+  }
+  return "?";
+}
+
+RrcMachine::RrcMachine(sim::Simulator& sim, const RrcConfig& cfg)
+    : sim_(sim), cfg_(cfg) {}
+
+double RrcMachine::pendingPromotionDelayS() const {
+  switch (state_) {
+    case RrcState::kIdle: return cfg_.idle_to_dch_s;
+    case RrcState::kFach: return cfg_.fach_to_dch_s;
+    case RrcState::kDch: return 0.0;
+  }
+  return 0.0;
+}
+
+void RrcMachine::requestDch(std::function<void()> on_ready) {
+  notifyActivity();
+  if (state_ == RrcState::kDch) {
+    if (on_ready) on_ready();
+    return;
+  }
+  waiters_.push_back(std::move(on_ready));
+  if (promoting_) return;
+  promoting_ = true;
+  sim_.scheduleIn(pendingPromotionDelayS(), [this] { enterDch(); });
+}
+
+void RrcMachine::transitionTo(RrcState next) {
+  if (next == state_) return;
+  const RrcState prev = state_;
+  state_ = next;
+  if (listener_) listener_(prev, next);
+}
+
+void RrcMachine::setStateListener(StateListener listener) {
+  listener_ = std::move(listener);
+}
+
+void RrcMachine::enterDch() {
+  promoting_ = false;
+  transitionTo(RrcState::kDch);
+  notifyActivity();
+  auto waiters = std::exchange(waiters_, {});
+  for (auto& w : waiters) {
+    if (w) w();
+  }
+}
+
+void RrcMachine::notifyActivity() {
+  last_activity_ = sim_.now();
+  if (state_ != RrcState::kIdle) armDemotionTimer();
+}
+
+void RrcMachine::forceDch() {
+  promoting_ = false;
+  transitionTo(RrcState::kDch);
+  notifyActivity();
+  auto waiters = std::exchange(waiters_, {});
+  for (auto& w : waiters) {
+    if (w) w();
+  }
+}
+
+void RrcMachine::armDemotionTimer() {
+  if (demotion_event_ != 0) sim_.cancel(demotion_event_);
+  const double timer = state_ == RrcState::kDch ? cfg_.dch_inactivity_s
+                                                : cfg_.fach_inactivity_s;
+  demotion_event_ =
+      sim_.scheduleAt(last_activity_ + timer, [this] { demotionCheck(); });
+}
+
+void RrcMachine::demotionCheck() {
+  demotion_event_ = 0;
+  const double timer = state_ == RrcState::kDch ? cfg_.dch_inactivity_s
+                                                : cfg_.fach_inactivity_s;
+  if (sim_.now() < last_activity_ + timer) {
+    armDemotionTimer();
+    return;
+  }
+  if (state_ == RrcState::kDch) {
+    transitionTo(RrcState::kFach);
+    last_activity_ = sim_.now();
+    armDemotionTimer();
+  } else if (state_ == RrcState::kFach) {
+    transitionTo(RrcState::kIdle);
+  }
+}
+
+}  // namespace gol::cell

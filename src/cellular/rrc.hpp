@@ -1,0 +1,74 @@
+// UMTS RRC connection state machine.
+//
+// A 3G radio moves between IDLE, CELL_FACH and CELL_DCH. Promotion to DCH
+// costs seconds of signalling — the "channel acquisition delay" the paper
+// probes by starting experiments from idle ("3G") versus pre-warmed
+// connected mode ("H", via an ICMP train) in Sec. 5.2 / Fig 7. Demotions
+// are driven by inactivity timers.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace gol::cell {
+
+enum class RrcState { kIdle, kFach, kDch };
+
+const char* toString(RrcState s);
+
+struct RrcConfig {
+  double idle_to_dch_s = 2.0;   ///< Promotion delay from IDLE.
+  double fach_to_dch_s = 1.5;   ///< Promotion delay from FACH.
+  double dch_inactivity_s = 5.0;   ///< DCH -> FACH demotion timer.
+  double fach_inactivity_s = 12.0; ///< FACH -> IDLE demotion timer.
+};
+
+class RrcMachine {
+ public:
+  RrcMachine(sim::Simulator& sim, const RrcConfig& cfg);
+  RrcMachine(const RrcMachine&) = delete;
+  RrcMachine& operator=(const RrcMachine&) = delete;
+
+  RrcState state() const { return state_; }
+
+  /// Requests the DCH state; `on_ready` fires once DCH is reached (possibly
+  /// immediately, synchronously, when already connected). Concurrent
+  /// requests during an ongoing promotion share it.
+  void requestDch(std::function<void()> on_ready);
+
+  /// Marks radio activity, restarting the inactivity timers. Call while a
+  /// transfer is in flight so the radio does not demote under it.
+  void notifyActivity();
+
+  /// Forces the connected state with no delay — models the paper's "H" runs
+  /// where an ICMP train pre-warms the radio before the transaction.
+  void forceDch();
+
+  /// Promotion delay a requestDch() would incur right now, seconds.
+  double pendingPromotionDelayS() const;
+
+  /// Observer for state transitions (energy metering, logging). Invoked
+  /// as (from, to) at the simulated instant of each transition.
+  using StateListener = std::function<void(RrcState, RrcState)>;
+  void setStateListener(StateListener listener);
+
+ private:
+  void transitionTo(RrcState next);
+
+  void enterDch();
+  void armDemotionTimer();
+  void demotionCheck();
+
+  sim::Simulator& sim_;
+  RrcConfig cfg_;
+  RrcState state_ = RrcState::kIdle;
+  bool promoting_ = false;
+  std::vector<std::function<void()>> waiters_;
+  sim::Time last_activity_ = 0;
+  sim::EventId demotion_event_ = 0;
+  StateListener listener_;
+};
+
+}  // namespace gol::cell

@@ -1,0 +1,130 @@
+#include "cellular/sector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gol::cell {
+
+const char* toString(Direction d) {
+  return d == Direction::kDownlink ? "down" : "up";
+}
+
+namespace {
+
+struct Anchor {
+  int n;
+  double eta;
+};
+
+double interpolate(const Anchor* anchors, std::size_t count, int n,
+                   double floor_eta) {
+  if (n <= anchors[0].n) return anchors[0].eta;
+  for (std::size_t i = 1; i < count; ++i) {
+    if (n <= anchors[i].n) {
+      const auto& a = anchors[i - 1];
+      const auto& b = anchors[i];
+      const double frac = static_cast<double>(n - a.n) /
+                          static_cast<double>(b.n - a.n);
+      return a.eta + frac * (b.eta - a.eta);
+    }
+  }
+  // Extrapolate with the last segment's slope.
+  const auto& a = anchors[count - 2];
+  const auto& b = anchors[count - 1];
+  const double slope = (b.eta - a.eta) / static_cast<double>(b.n - a.n);
+  return std::max(floor_eta, b.eta + slope * static_cast<double>(n - b.n));
+}
+
+}  // namespace
+
+double clusterEfficiency(Direction d, int n) {
+  if (n < 1) throw std::invalid_argument("clusterEfficiency: n >= 1");
+  // Anchors derived from Table 3 per-device means normalized to n=1:
+  //   downlink 1.61 / 1.33 / 1.16 Mbps  ->  1.0 / 0.826 / 0.720
+  //   uplink   1.09 / 0.90 / 0.65 Mbps  ->  1.0 / 0.826 / 0.596
+  static constexpr Anchor kDl[] = {{1, 1.0}, {3, 0.826}, {5, 0.720}};
+  static constexpr Anchor kUl[] = {{1, 1.0}, {3, 0.826}, {5, 0.596}};
+  if (d == Direction::kDownlink) return interpolate(kDl, 3, n, 0.35);
+  return interpolate(kUl, 3, n, 0.25);
+}
+
+Sector::Sector(net::FlowNetwork& net, std::string name,
+               const SectorConfig& cfg)
+    : net_(net),
+      name_(std::move(name)),
+      cfg_(cfg),
+      dl_(net.createLink(name_ + "/hsdpa", cfg.hsdpa_aggregate_bps)),
+      ul_(net.createLink(name_ + "/hsupa", cfg.hsupa_aggregate_bps)) {}
+
+net::Link* Sector::sharedLink(Direction d) {
+  return d == Direction::kDownlink ? dl_ : ul_;
+}
+
+std::vector<Sector::Entry>& Sector::entries(Direction d) {
+  return d == Direction::kDownlink ? dl_entries_ : ul_entries_;
+}
+
+const std::vector<Sector::Entry>& Sector::entries(Direction d) const {
+  return d == Direction::kDownlink ? dl_entries_ : ul_entries_;
+}
+
+int Sector::activeCount(Direction d) const {
+  return static_cast<int>(entries(d).size());
+}
+
+double Sector::capBps(Direction d, double quality, int n) const {
+  const double base = d == Direction::kDownlink
+                          ? cfg_.per_device_dl_base_bps * cfg_.dl_scale
+                          : cfg_.per_device_ul_base_bps * cfg_.ul_scale;
+  return base * quality * clusterEfficiency(d, std::max(1, n)) *
+         available_fraction_;
+}
+
+double Sector::prospectiveCapBps(Direction d, double quality) const {
+  return capBps(d, quality, activeCount(d) + 1);
+}
+
+Sector::TransferHandle Sector::registerTransfer(Direction d, double quality,
+                                                CapSetter apply) {
+  const TransferHandle h = next_handle_++;
+  entries(d).push_back(Entry{h, quality, std::move(apply)});
+  reapply(d);
+  return h;
+}
+
+void Sector::unregisterTransfer(Direction d, TransferHandle h) {
+  auto& es = entries(d);
+  es.erase(std::remove_if(es.begin(), es.end(),
+                          [h](const Entry& e) { return e.handle == h; }),
+           es.end());
+  reapply(d);
+}
+
+void Sector::reapply(Direction d) {
+  auto& es = entries(d);
+  const int n = static_cast<int>(es.size());
+  for (const Entry& e : es) {
+    if (e.apply) e.apply(capBps(d, e.quality, n));
+  }
+}
+
+void Sector::setAvailableFraction(double f) {
+  available_fraction_ = std::clamp(f, 0.0, 1.0);
+  net_.setLinkCapacity(dl_, cfg_.hsdpa_aggregate_bps * available_fraction_);
+  net_.setLinkCapacity(ul_, cfg_.hsupa_aggregate_bps * available_fraction_);
+  reapply(Direction::kDownlink);
+  reapply(Direction::kUplink);
+}
+
+double Sector::utilization(Direction d) const {
+  const net::Link* l = d == Direction::kDownlink ? dl_ : ul_;
+  // Background users consume (1 - available_fraction) of the nominal
+  // channel; 3GOL flows consume measured load on top.
+  const double nominal = d == Direction::kDownlink
+                             ? cfg_.hsdpa_aggregate_bps
+                             : cfg_.hsupa_aggregate_bps;
+  const double onload = net_.linkLoadBps(l);
+  return std::clamp((1.0 - available_fraction_) + onload / nominal, 0.0, 1.0);
+}
+
+}  // namespace gol::cell

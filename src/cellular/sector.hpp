@@ -1,0 +1,101 @@
+// One sector of a UMTS/HSPA base station: shared best-effort HSDPA (down)
+// and HSUPA (up) channels whose capacity is divided among active devices by
+// the NodeB scheduler.
+//
+// Two effects shape per-device throughput (Sec. 3 of the paper):
+//   - aggregate channel caps (HSUPA tops out at 5.76 Mbps -> the uplink
+//     plateau at ~5 devices in Fig 3),
+//   - per-device scheduling efficiency that decays with the number of
+//     devices sharing the sector; our decay curve is anchored directly on
+//     the paper's Table 3 cluster statistics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/flow_network.hpp"
+
+namespace gol::cell {
+
+enum class Direction { kDownlink, kUplink };
+
+const char* toString(Direction d);
+
+struct SectorConfig {
+  double hsdpa_aggregate_bps = 14.4e6;  ///< HSDPA shared-channel ceiling.
+  double hsupa_aggregate_bps = 5.76e6;  ///< HSUPA ceiling (paper Sec. 3).
+  /// Per-device achievable rate under perfect radio, alone in the sector.
+  /// Calibrated so cluster-size-1 statistics match Table 3.
+  double per_device_dl_base_bps = 1.8e6;
+  double per_device_ul_base_bps = 1.25e6;
+  /// Location-specific tuning multipliers (provisioning density, spectrum).
+  double dl_scale = 1.0;
+  double ul_scale = 1.0;
+};
+
+/// Scheduling efficiency for a device when `n` devices share the sector in
+/// one direction. Piecewise-linear through the anchors implied by Table 3:
+/// downlink 1.0 / 0.826 / 0.720 and uplink 1.0 / 0.826 / 0.596 at n=1/3/5,
+/// extrapolated with the 3->5 slope and floored.
+double clusterEfficiency(Direction d, int n);
+
+class Sector {
+ public:
+  using TransferHandle = std::uint64_t;
+  /// Callback through which the sector pushes updated rate caps to the
+  /// device's active flow whenever sharing conditions change.
+  using CapSetter = std::function<void(double cap_bps)>;
+
+  Sector(net::FlowNetwork& net, std::string name, const SectorConfig& cfg);
+  Sector(const Sector&) = delete;
+  Sector& operator=(const Sector&) = delete;
+
+  net::Link* sharedLink(Direction d);
+  const SectorConfig& config() const { return cfg_; }
+  const std::string& name() const { return name_; }
+
+  /// Registers an active device transfer. The sector immediately pushes the
+  /// current cap through `apply` and re-pushes to everyone on membership or
+  /// load changes.
+  TransferHandle registerTransfer(Direction d, double quality, CapSetter apply);
+  void unregisterTransfer(Direction d, TransferHandle h);
+
+  int activeCount(Direction d) const;
+  /// Cap a device with radio `quality` would get right now if it joined.
+  double prospectiveCapBps(Direction d, double quality) const;
+
+  /// Sets the fraction of the sector not consumed by background subscribers
+  /// (1 = empty cell). Rescales shared channels and per-device caps —
+  /// the diurnal effect of Fig 4.
+  void setAvailableFraction(double f);
+  double availableFraction() const { return available_fraction_; }
+
+  /// Current utilization of the shared channel (for the permit server).
+  double utilization(Direction d) const;
+
+ private:
+  struct Entry {
+    TransferHandle handle;
+    double quality;
+    CapSetter apply;
+  };
+
+  double capBps(Direction d, double quality, int n) const;
+  void reapply(Direction d);
+  std::vector<Entry>& entries(Direction d);
+  const std::vector<Entry>& entries(Direction d) const;
+
+  net::FlowNetwork& net_;
+  std::string name_;
+  SectorConfig cfg_;
+  net::Link* dl_;
+  net::Link* ul_;
+  double available_fraction_ = 1.0;
+  std::vector<Entry> dl_entries_;
+  std::vector<Entry> ul_entries_;
+  TransferHandle next_handle_ = 1;
+};
+
+}  // namespace gol::cell

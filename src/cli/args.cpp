@@ -1,0 +1,133 @@
+#include "cli/args.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gol::cli {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::addString(const std::string& name, const std::string& help,
+                          std::optional<std::string> default_value) {
+  options_[name] = Option{Kind::kString, help, std::move(default_value), {}};
+  order_.push_back(name);
+}
+
+void ArgParser::addInt(const std::string& name, const std::string& help,
+                       std::optional<long> default_value) {
+  options_[name] = Option{
+      Kind::kInt, help,
+      default_value ? std::optional(std::to_string(*default_value))
+                    : std::nullopt,
+      {}};
+  order_.push_back(name);
+}
+
+void ArgParser::addDouble(const std::string& name, const std::string& help,
+                          std::optional<double> default_value) {
+  options_[name] = Option{
+      Kind::kDouble, help,
+      default_value ? std::optional(std::to_string(*default_value))
+                    : std::nullopt,
+      {}};
+  order_.push_back(name);
+}
+
+void ArgParser::addFlag(const std::string& name, const std::string& help) {
+  options_[name] = Option{Kind::kFlag, help, std::string("0"), {}};
+  order_.push_back(name);
+}
+
+bool ArgParser::fail(const std::string& message) {
+  error_ = message;
+  return false;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv, int start_index) {
+  for (int i = start_index; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(arg);
+      continue;
+    }
+    const std::string name = arg.substr(2);
+    auto it = options_.find(name);
+    if (it == options_.end()) return fail("unknown option --" + name);
+    Option& opt = it->second;
+    if (opt.kind == Kind::kFlag) {
+      opt.value = "1";
+      continue;
+    }
+    if (i + 1 >= argc) return fail("--" + name + " needs a value");
+    const std::string value = argv[++i];
+    if (opt.kind == Kind::kInt || opt.kind == Kind::kDouble) {
+      char* end = nullptr;
+      if (opt.kind == Kind::kInt) {
+        std::strtol(value.c_str(), &end, 10);
+      } else {
+        std::strtod(value.c_str(), &end);
+      }
+      if (end == value.c_str() || *end != '\0')
+        return fail("--" + name + " expects a number, got '" + value + "'");
+    }
+    opt.value = value;
+  }
+  for (const auto& [name, opt] : options_) {
+    if (!opt.value && !opt.default_value)
+      return fail("missing required option --" + name);
+  }
+  return true;
+}
+
+std::string ArgParser::usage() const {
+  std::string out = "usage: " + program_ + " [options]\n";
+  if (!description_.empty()) out += description_ + "\n";
+  out += "options:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    out += "  --" + name;
+    if (opt.kind != Kind::kFlag) out += " <value>";
+    out += "  " + opt.help;
+    if (opt.default_value && opt.kind != Kind::kFlag)
+      out += " (default: " + *opt.default_value + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+const ArgParser::Option& ArgParser::lookup(const std::string& name) const {
+  auto it = options_.find(name);
+  if (it == options_.end())
+    throw std::logic_error("undeclared option --" + name);
+  return it->second;
+}
+
+std::string ArgParser::getString(const std::string& name) const {
+  const Option& opt = lookup(name);
+  if (opt.value) return *opt.value;
+  if (opt.default_value) return *opt.default_value;
+  throw std::logic_error("option --" + name + " has no value");
+}
+
+long ArgParser::getInt(const std::string& name) const {
+  return std::strtol(getString(name).c_str(), nullptr, 10);
+}
+
+double ArgParser::getDouble(const std::string& name) const {
+  return std::strtod(getString(name).c_str(), nullptr);
+}
+
+bool ArgParser::getFlag(const std::string& name) const {
+  return getString(name) == "1";
+}
+
+bool ArgParser::provided(const std::string& name) const {
+  return lookup(name).value.has_value();
+}
+
+}  // namespace gol::cli

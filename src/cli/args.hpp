@@ -1,0 +1,65 @@
+// Minimal declarative command-line parser for the gol3 tool: long flags
+// with typed values, defaults, required markers, and generated usage text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gol::cli {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program, std::string description = "");
+
+  /// Declares --name <value> options. Call before parse().
+  void addString(const std::string& name, const std::string& help,
+                 std::optional<std::string> default_value = std::nullopt);
+  void addInt(const std::string& name, const std::string& help,
+              std::optional<long> default_value = std::nullopt);
+  void addDouble(const std::string& name, const std::string& help,
+                 std::optional<double> default_value = std::nullopt);
+  /// Declares a boolean --name switch (no value; default false).
+  void addFlag(const std::string& name, const std::string& help);
+
+  /// Parses argv after the subcommand. Returns false (and fills error())
+  /// on unknown options, missing values, type errors, or missing required
+  /// options. `--help` sets helpRequested() and returns false.
+  bool parse(int argc, const char* const* argv, int start_index = 1);
+
+  std::string usage() const;
+  const std::string& error() const { return error_; }
+  bool helpRequested() const { return help_requested_; }
+
+  std::string getString(const std::string& name) const;
+  long getInt(const std::string& name) const;
+  double getDouble(const std::string& name) const;
+  bool getFlag(const std::string& name) const;
+  bool provided(const std::string& name) const;
+  /// Non-option positional arguments, in order.
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kFlag };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::optional<std::string> default_value;
+    std::optional<std::string> value;
+  };
+
+  bool fail(const std::string& message);
+  const Option& lookup(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positionals_;
+  std::string error_;
+  bool help_requested_ = false;
+};
+
+}  // namespace gol::cli

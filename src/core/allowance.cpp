@@ -1,0 +1,80 @@
+#include "core/allowance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/summary.hpp"
+
+namespace gol::core {
+
+double estimateMonthlyAllowance(std::span<const double> free_history,
+                                const AllowanceConfig& cfg) {
+  if (free_history.size() < 2) return 0.0;
+  const std::size_t window =
+      std::min<std::size_t>(free_history.size(),
+                            static_cast<std::size_t>(std::max(cfg.tau_months, 1)));
+  stats::Summary s;
+  for (std::size_t i = free_history.size() - window; i < free_history.size();
+       ++i) {
+    s.add(free_history[i]);
+  }
+  return std::max(0.0, s.mean() - cfg.alpha * s.stddev());
+}
+
+std::vector<EstimatorOutcome> backtestEstimator(
+    std::span<const double> monthly_usage_bytes, double cap_bytes,
+    const AllowanceConfig& cfg, int days_per_month) {
+  std::vector<EstimatorOutcome> out;
+  std::vector<double> free_history;
+  free_history.reserve(monthly_usage_bytes.size());
+  for (std::size_t t = 0; t < monthly_usage_bytes.size(); ++t) {
+    const double free_now = std::max(0.0, cap_bytes - monthly_usage_bytes[t]);
+    if (static_cast<int>(t) >= cfg.tau_months) {
+      EstimatorOutcome o;
+      o.allowance_bytes = estimateMonthlyAllowance(free_history, cfg);
+      o.free_bytes = free_now;
+      if (o.allowance_bytes > free_now) {
+        o.overran = true;
+        // Spending is uniform over the month, so the excess translates to
+        // day-equivalents of 3GOL spend beyond the true free capacity.
+        const double daily = o.allowance_bytes / days_per_month;
+        o.overrun_days =
+            daily > 0 ? (o.allowance_bytes - free_now) / daily : 0.0;
+      }
+      out.push_back(o);
+    }
+    free_history.push_back(free_now);
+  }
+  return out;
+}
+
+UsageTracker::UsageTracker(double monthly_allowance_bytes, int days_per_month)
+    : monthly_allowance_(std::max(0.0, monthly_allowance_bytes)),
+      days_per_month_(std::max(1, days_per_month)) {}
+
+double UsageTracker::dailyAllowanceBytes() const {
+  return monthly_allowance_ / days_per_month_;
+}
+
+double UsageTracker::availableTodayBytes() const {
+  const double monthly_left = monthly_allowance_ - used_month_;
+  return std::max(0.0, std::min(dailyAllowanceBytes() - used_today_,
+                                monthly_left));
+}
+
+void UsageTracker::recordUsage(double bytes) {
+  if (bytes < 0) return;
+  used_today_ += bytes;
+  used_month_ += bytes;
+}
+
+void UsageTracker::nextDay() {
+  used_today_ = 0;
+  ++day_;
+  if (day_ >= days_per_month_) {
+    day_ = 0;
+    used_month_ = 0;
+  }
+}
+
+}  // namespace gol::core

@@ -1,0 +1,77 @@
+// The Sec. 6 volume-cap machinery for the multi-provider deployment:
+//
+//   * the guard-band allowance estimator
+//       3GOLa(t) = Fbar_u(t) - alpha * sigma_u(t)
+//     over the free capacity (cap - usage) of the trailing tau months, with
+//     the paper's operating point tau = 5 months, alpha = 4;
+//   * the on-device usage tracker: daily allowance, A(t) = 3GOLa - U(t),
+//     and the eligibility signal that gates discovery advertisements.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace gol::core {
+
+struct AllowanceConfig {
+  int tau_months = 5;   ///< Averaging window (paper's tau).
+  double alpha = 4.0;   ///< Guard multiplier on the free-capacity stddev.
+};
+
+/// Monthly 3GOL allowance from trailing free-capacity history (bytes per
+/// month, most recent last). Uses at most the last tau entries; clamps at
+/// zero. With fewer than 2 samples the stddev is unknown, so the estimate
+/// is conservative: zero (no history -> no onloading).
+double estimateMonthlyAllowance(std::span<const double> free_history,
+                                const AllowanceConfig& cfg = {});
+
+/// Evaluation of the estimator against realized usage, for the Sec. 6
+/// result ("tau = 5 and alpha = 4 allows around 65 % of the available free
+/// capacity to be used by 3GOL with expected overrun time of under 1 day
+/// per month").
+struct EstimatorOutcome {
+  double allowance_bytes = 0;   ///< What 3GOL was allowed to spend.
+  double free_bytes = 0;        ///< What was actually free that month.
+  double overrun_days = 0;      ///< Day-equivalents by which the allowance
+                                ///< exceeded the realized free capacity.
+  bool overran = false;
+};
+
+/// Simulates applying the estimator month-by-month over a user's usage
+/// series (`monthly_usage_bytes`) under `cap_bytes`, starting once tau
+/// months of history exist.
+std::vector<EstimatorOutcome> backtestEstimator(
+    std::span<const double> monthly_usage_bytes, double cap_bytes,
+    const AllowanceConfig& cfg = {}, int days_per_month = 30);
+
+/// On-device tracker: slices a monthly allowance into daily budgets and
+/// meters 3GOL usage. The paper's client advertises availability only
+/// while quota remains (A(t) > 0), needing no input from the network.
+class UsageTracker {
+ public:
+  UsageTracker(double monthly_allowance_bytes, int days_per_month = 30);
+
+  double dailyAllowanceBytes() const;
+  /// Remaining budget for today, A(t).
+  double availableTodayBytes() const;
+  bool eligible() const { return availableTodayBytes() > 0; }
+
+  /// Meters 3GOL bytes (call with metered cellular bytes, waste included).
+  void recordUsage(double bytes);
+  /// Rolls to the next day; unused budget does not carry over beyond the
+  /// monthly allowance.
+  void nextDay();
+
+  double usedThisMonthBytes() const { return used_month_; }
+  double usedTodayBytes() const { return used_today_; }
+  int dayOfMonth() const { return day_; }
+
+ private:
+  double monthly_allowance_;
+  int days_per_month_;
+  double used_today_ = 0;
+  double used_month_ = 0;
+  int day_ = 0;
+};
+
+}  // namespace gol::core

@@ -1,0 +1,101 @@
+#include "core/deadline_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "sim/units.hpp"
+
+namespace gol::core {
+
+DeadlineScheduler::DeadlineScheduler(std::vector<double> deadlines_s,
+                                     double urgency_horizon_s)
+    : deadlines_(std::move(deadlines_s)), horizon_(urgency_horizon_s) {}
+
+void DeadlineScheduler::onTransactionStart(
+    const Transaction& txn, const std::vector<double>& nominal_rates_bps) {
+  if (txn.items.size() != deadlines_.size())
+    throw std::invalid_argument(
+        "DeadlineScheduler: one deadline per item required");
+  path_rates_bps_ = nominal_rates_bps;
+}
+
+std::optional<std::size_t> DeadlineScheduler::nextItem(
+    const EngineView& view, std::size_t path_index) {
+  const auto& items = *view.items;
+
+  // Earliest-deadline pending item.
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].status != ItemStatus::kPending) continue;
+    if (!best || deadlines_[i] < deadlines_[*best]) best = i;
+  }
+
+  // Most imminent in-flight item this path could duplicate.
+  std::optional<std::size_t> urgent;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const ItemView& iv = items[i];
+    if (iv.status != ItemStatus::kInFlight) continue;
+    if (std::find(iv.carriers.begin(), iv.carriers.end(), path_index) !=
+        iv.carriers.end())
+      continue;
+    if (deadlines_[i] > view.now + horizon_) continue;
+    if (!urgent || deadlines_[i] < deadlines_[*urgent]) urgent = i;
+  }
+
+  if (!best) return urgent;  // tail: urgency-gated duplication only
+  if (!urgent) return best;
+
+  // Rescue: the urgent in-flight item outranks all pending work, AND a
+  // fresh copy on this path is expected to land before the best current
+  // carrier finishes (estimated from nominal rates and elapsed time) —
+  // otherwise duplicating from scratch only burns capacity the later
+  // segments need.
+  // Rescue urgency is tighter than tail urgency: mid-stream duplication
+  // steals capacity from every later segment, so it must be a near-miss.
+  if (deadlines_[*urgent] < deadlines_[*best] &&
+      deadlines_[*urgent] <= view.now + horizon_ / 3.0 &&
+      !path_rates_bps_.empty()) {
+    const ItemView& uv = items[*urgent];
+    const double bytes = uv.item->bytes;
+    double carrier_eta = std::numeric_limits<double>::infinity();
+    for (std::size_t c : uv.carriers) {
+      const double rate = std::max(path_rates_bps_.at(c), 1e3);
+      const double moved =
+          std::max(0.0, (view.now - uv.first_assigned_at)) * rate / 8.0;
+      const double remaining = std::max(0.0, bytes - moved);
+      carrier_eta = std::min(carrier_eta, remaining * 8.0 / rate);
+    }
+    const double fresh_eta =
+        bytes * 8.0 / std::max(path_rates_bps_.at(path_index), 1e3);
+    if (fresh_eta < carrier_eta) return urgent;
+  }
+  return best;
+}
+
+std::vector<double> DeadlineScheduler::hlsDeadlines(
+    const std::vector<double>& segment_durations_s,
+    const std::vector<double>& segment_bytes,
+    std::size_t prebuffer_segments, double aggregate_rate_bps) {
+  if (segment_durations_s.size() != segment_bytes.size())
+    throw std::invalid_argument("hlsDeadlines: size mismatch");
+  double prebuffer_bytes = 0;
+  const std::size_t k =
+      std::min(prebuffer_segments, segment_bytes.size());
+  for (std::size_t i = 0; i < k; ++i) prebuffer_bytes += segment_bytes[i];
+  const double start_estimate =
+      aggregate_rate_bps > 0
+          ? prebuffer_bytes * sim::kBitsPerByte / aggregate_rate_bps
+          : 0.0;
+
+  std::vector<double> deadlines;
+  deadlines.reserve(segment_durations_s.size());
+  double media_clock = 0;
+  for (double dur : segment_durations_s) {
+    deadlines.push_back(start_estimate + media_clock);
+    media_clock += dur;
+  }
+  return deadlines;
+}
+
+}  // namespace gol::core

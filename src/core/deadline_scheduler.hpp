@@ -1,0 +1,57 @@
+// Playout-aware scheduler — the extension the paper leaves as future work
+// (Sec. 4.1.1: "We could modify the scheduler to cover also the playout
+// phase"). Items carry playout deadlines (when the player will need them);
+// the policy is earliest-deadline-first with urgency-driven duplication:
+//
+//   1. An idle path takes the pending item with the earliest deadline.
+//   2. When none are pending, it duplicates the in-flight item with the
+//      earliest deadline it is not already carrying, but only if that
+//      deadline is within the urgency horizon — duplicating a segment
+//      needed in three minutes wastes cellular bytes for nothing.
+//   3. Rescue: even while items are pending, an in-flight item whose
+//      deadline is imminent AND earlier than every pending deadline gets
+//      duplicated by an idle path at least as fast as its current
+//      carriers — the stalled-segment case a pure in-order policy cannot
+//      fix.
+//
+// Against GRD this trades a little total-download time for far fewer
+// stalls when playback starts before the download finishes (see
+// ext_playout_scheduler bench).
+#pragma once
+
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace gol::core {
+
+class DeadlineScheduler : public Scheduler {
+ public:
+  /// `deadlines_s[i]` is when item i is needed, relative to transaction
+  /// start (for HLS: startup estimate + cumulative duration of earlier
+  /// segments). `urgency_horizon_s` gates duplication.
+  explicit DeadlineScheduler(std::vector<double> deadlines_s,
+                             double urgency_horizon_s = 15.0);
+
+  std::string name() const override { return "deadline"; }
+
+  void onTransactionStart(const Transaction& txn,
+                          const std::vector<double>& nominal_rates_bps) override;
+  std::optional<std::size_t> nextItem(const EngineView& view,
+                                      std::size_t path_index) override;
+
+  /// Deadlines for an HLS playout: playback is assumed to start once the
+  /// pre-buffer is filled, estimated as prebuffer bytes over the aggregate
+  /// nominal rate; segment i is needed at start + sum of durations before i.
+  static std::vector<double> hlsDeadlines(
+      const std::vector<double>& segment_durations_s,
+      const std::vector<double>& segment_bytes,
+      std::size_t prebuffer_segments, double aggregate_rate_bps);
+
+ private:
+  std::vector<double> deadlines_;
+  double horizon_;
+  std::vector<double> path_rates_bps_;
+};
+
+}  // namespace gol::core

@@ -1,0 +1,51 @@
+#include "core/discovery.hpp"
+
+#include <utility>
+
+namespace gol::core {
+
+DiscoveryAgent::DiscoveryAgent(sim::Simulator& sim, std::string device_name,
+                               ClientDiscovery& registry,
+                               std::function<bool()> eligible)
+    : DiscoveryAgent(sim, std::move(device_name), registry,
+                     std::move(eligible), Options()) {}
+
+DiscoveryAgent::DiscoveryAgent(sim::Simulator& sim, std::string device_name,
+                               ClientDiscovery& registry,
+                               std::function<bool()> eligible, Options opts)
+    : sim_(sim),
+      name_(std::move(device_name)),
+      registry_(registry),
+      eligible_(std::move(eligible)),
+      opts_(opts) {}
+
+void DiscoveryAgent::start() {
+  if (running_) return;
+  running_ = true;
+  beacon();
+}
+
+void DiscoveryAgent::beacon() {
+  if (!running_) return;
+  if (!eligible_ || eligible_()) registry_.onAdvertisement(name_);
+  sim_.scheduleIn(opts_.interval_s, [this] { beacon(); });
+}
+
+void ClientDiscovery::onAdvertisement(const std::string& device_name) {
+  last_seen_[device_name] = sim_.now();
+}
+
+std::vector<std::string> ClientDiscovery::admissibleSet() const {
+  std::vector<std::string> out;
+  for (const auto& [name, seen] : last_seen_) {
+    if (sim_.now() - seen <= ttl_s_) out.push_back(name);
+  }
+  return out;
+}
+
+bool ClientDiscovery::admissible(const std::string& device_name) const {
+  auto it = last_seen_.find(device_name);
+  return it != last_seen_.end() && sim_.now() - it->second <= ttl_s_;
+}
+
+}  // namespace gol::core

@@ -1,0 +1,70 @@
+// Bonjour-like service discovery on the home LAN (Sec. 2.4): each 3GOL
+// phone advertises itself periodically — but only while eligible (it holds
+// a network permit in the integrated deployment, or has quota A(t) > 0 in
+// the capped multi-provider deployment). The client builds the admissible
+// set Phi from fresh advertisements.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace gol::core {
+
+class ClientDiscovery;
+
+/// Device-side advertiser. `eligible` is evaluated on every beacon; when it
+/// returns false the device stays silent and ages out of Phi.
+class DiscoveryAgent {
+ public:
+  struct Options {
+    double interval_s = 5.0;
+  };
+
+  DiscoveryAgent(sim::Simulator& sim, std::string device_name,
+                 ClientDiscovery& registry, std::function<bool()> eligible);
+  DiscoveryAgent(sim::Simulator& sim, std::string device_name,
+                 ClientDiscovery& registry, std::function<bool()> eligible,
+                 Options opts);
+  DiscoveryAgent(const DiscoveryAgent&) = delete;
+  DiscoveryAgent& operator=(const DiscoveryAgent&) = delete;
+
+  void start();
+  void stop() { running_ = false; }
+  const std::string& deviceName() const { return name_; }
+
+ private:
+  void beacon();
+
+  sim::Simulator& sim_;
+  std::string name_;
+  ClientDiscovery& registry_;
+  std::function<bool()> eligible_;
+  Options opts_;
+  bool running_ = false;
+};
+
+/// Client-side view: names seen recently enough. Advertisements expire
+/// after `ttl_s`, so a device that stops beaconing (quota exhausted, permit
+/// revoked, left the LAN) drops out of the admissible set automatically.
+class ClientDiscovery {
+ public:
+  explicit ClientDiscovery(sim::Simulator& sim, double ttl_s = 12.0)
+      : sim_(sim), ttl_s_(ttl_s) {}
+
+  void onAdvertisement(const std::string& device_name);
+  /// The admissible set Phi right now (expired entries pruned).
+  std::vector<std::string> admissibleSet() const;
+  bool admissible(const std::string& device_name) const;
+  double ttlS() const { return ttl_s_; }
+
+ private:
+  sim::Simulator& sim_;
+  double ttl_s_;
+  std::map<std::string, double> last_seen_;
+};
+
+}  // namespace gol::core

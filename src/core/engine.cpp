@@ -1,0 +1,130 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gol::core {
+
+TransactionEngine::TransactionEngine(sim::Simulator& sim,
+                                     std::vector<TransferPath*> paths,
+                                     Scheduler& scheduler)
+    : sim_(sim), scheduler_(scheduler) {
+  if (paths.empty())
+    throw std::invalid_argument("TransactionEngine needs >= 1 path");
+  for (TransferPath* p : paths) {
+    if (p == nullptr) throw std::invalid_argument("null TransferPath");
+    paths_.push_back(PathState{p, 0});
+  }
+}
+
+void TransactionEngine::run(Transaction txn,
+                            std::function<void(TransactionResult)> on_done) {
+  if (active_) throw std::logic_error("engine already running a transaction");
+  active_ = true;
+  txn_ = std::move(txn);
+  on_done_ = std::move(on_done);
+  result_ = TransactionResult{};
+  result_.total_bytes = txn_.totalBytes();
+  result_.item_completion_s.assign(txn_.items.size(), 0.0);
+  done_count_ = 0;
+  started_at_ = sim_.now();
+
+  items_.clear();
+  items_.reserve(txn_.items.size());
+  for (const auto& it : txn_.items) {
+    ItemView iv;
+    iv.item = &it;
+    items_.push_back(std::move(iv));
+  }
+
+  std::vector<double> nominal;
+  nominal.reserve(paths_.size());
+  for (const auto& ps : paths_) nominal.push_back(ps.path->nominalRateBps());
+  scheduler_.onTransactionStart(txn_, nominal);
+
+  if (txn_.items.empty()) {
+    finish();
+    return;
+  }
+  for (std::size_t p = 0; p < paths_.size(); ++p) dispatch(p);
+}
+
+void TransactionEngine::dispatch(std::size_t path_index) {
+  if (!active_) return;
+  PathState& ps = paths_[path_index];
+  if (ps.path->busy()) return;
+
+  EngineView view{&items_, paths_.size(), sim_.now()};
+  const auto choice = scheduler_.nextItem(view, path_index);
+  if (!choice) return;
+  const std::size_t idx = *choice;
+  ItemView& iv = items_.at(idx);
+  if (iv.status == ItemStatus::kDone)
+    throw std::logic_error("scheduler assigned a completed item");
+  if (std::find(iv.carriers.begin(), iv.carriers.end(), path_index) !=
+      iv.carriers.end())
+    throw std::logic_error("scheduler re-assigned item to its own carrier");
+
+  if (iv.status == ItemStatus::kPending) {
+    iv.status = ItemStatus::kInFlight;
+    iv.first_assigned_at = sim_.now();
+  } else {
+    ++result_.duplicated_items;
+  }
+  iv.carriers.push_back(path_index);
+  ps.busy_since = sim_.now();
+  ps.path->start(*iv.item, [this, path_index](const Item& item) {
+    onItemDone(path_index, item);
+  });
+}
+
+void TransactionEngine::onItemDone(std::size_t path_index, const Item& item) {
+  if (!active_) return;
+  ItemView& iv = items_.at(item.index);
+  PathState& ps = paths_[path_index];
+
+  // The duplicate race: a copy may complete on another path in the same
+  // instant; only the first counts.
+  if (iv.status == ItemStatus::kDone) {
+    iv.carriers.erase(
+        std::remove(iv.carriers.begin(), iv.carriers.end(), path_index),
+        iv.carriers.end());
+    result_.wasted_bytes += item.bytes;
+    dispatch(path_index);
+    return;
+  }
+
+  iv.status = ItemStatus::kDone;
+  ++done_count_;
+  result_.item_completion_s[item.index] = sim_.now() - started_at_;
+  result_.per_path_bytes[ps.path->name()] += item.bytes;
+  scheduler_.onItemComplete(path_index, item, sim_.now() - ps.busy_since);
+
+  // Abort the losing duplicates and free their paths.
+  std::vector<std::size_t> others = iv.carriers;
+  iv.carriers.clear();
+  for (std::size_t other : others) {
+    if (other == path_index) continue;
+    result_.wasted_bytes += paths_[other].path->abortCurrent();
+  }
+
+  if (done_count_ == txn_.items.size()) {
+    finish();
+    return;
+  }
+  for (std::size_t other : others) {
+    if (other != path_index) dispatch(other);
+  }
+  dispatch(path_index);
+}
+
+void TransactionEngine::finish() {
+  active_ = false;
+  result_.duration_s = sim_.now() - started_at_;
+  if (on_done_) {
+    auto cb = std::move(on_done_);
+    cb(std::move(result_));
+  }
+}
+
+}  // namespace gol::core

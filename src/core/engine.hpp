@@ -1,0 +1,71 @@
+// The transaction engine: drives a Scheduler over N TransferPaths until all
+// M items have landed, handling duplicate aborts and waste accounting
+// (Sec. 4.1.1). Event-driven: paths call back on completion, the engine
+// re-dispatches.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/item.hpp"
+#include "core/scheduler.hpp"
+#include "core/transfer_path.hpp"
+#include "sim/simulator.hpp"
+
+namespace gol::core {
+
+struct TransactionResult {
+  double duration_s = 0;        ///< Start of transaction to last item done.
+  double total_bytes = 0;       ///< Payload bytes (each item counted once).
+  double wasted_bytes = 0;      ///< Bytes moved by aborted duplicates.
+  std::size_t duplicated_items = 0;
+  /// Completion time of each item, relative to transaction start, indexed
+  /// like Transaction::items. Feed into hls::analyzePlayout for VoD runs.
+  std::vector<double> item_completion_s;
+  /// Payload bytes successfully delivered per path name.
+  std::map<std::string, double> per_path_bytes;
+
+  double goodputBps() const {
+    return duration_s > 0 ? total_bytes * 8.0 / duration_s : 0.0;
+  }
+};
+
+class TransactionEngine {
+ public:
+  TransactionEngine(sim::Simulator& sim, std::vector<TransferPath*> paths,
+                    Scheduler& scheduler);
+  TransactionEngine(const TransactionEngine&) = delete;
+  TransactionEngine& operator=(const TransactionEngine&) = delete;
+
+  /// Runs one transaction; `on_done` fires when the last item completes.
+  /// Only one transaction may be active per engine at a time.
+  void run(Transaction txn, std::function<void(TransactionResult)> on_done);
+
+  bool active() const { return active_; }
+
+ private:
+  struct PathState {
+    TransferPath* path;
+    double busy_since = 0;
+  };
+
+  void dispatch(std::size_t path_index);
+  void onItemDone(std::size_t path_index, const Item& item);
+  void finish();
+
+  sim::Simulator& sim_;
+  std::vector<PathState> paths_;
+  Scheduler& scheduler_;
+
+  Transaction txn_;
+  std::vector<ItemView> items_;
+  std::function<void(TransactionResult)> on_done_;
+  TransactionResult result_;
+  double started_at_ = 0;
+  std::size_t done_count_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace gol::core

@@ -1,0 +1,35 @@
+#include "core/greedy_scheduler.hpp"
+
+#include <algorithm>
+
+namespace gol::core {
+
+std::optional<std::size_t> GreedyScheduler::nextItem(const EngineView& view,
+                                                     std::size_t path_index) {
+  const auto& items = *view.items;
+
+  // Step 1: first pending item, in transaction order.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].status == ItemStatus::kPending) return i;
+  }
+  if (!reschedule_) return std::nullopt;
+
+  // Step 2: duplicate the oldest-scheduled in-flight item this path is not
+  // already carrying ("reassign the oldest scheduled item among the ones
+  // being transferred by the other N-1 paths").
+  std::optional<std::size_t> oldest;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const ItemView& iv = items[i];
+    if (iv.status != ItemStatus::kInFlight) continue;
+    if (std::find(iv.carriers.begin(), iv.carriers.end(), path_index) !=
+        iv.carriers.end())
+      continue;
+    if (!oldest || iv.first_assigned_at <
+                       items[*oldest].first_assigned_at) {
+      oldest = i;
+    }
+  }
+  return oldest;
+}
+
+}  // namespace gol::core

@@ -1,0 +1,34 @@
+// The paper's scheduler (GRD, Sec. 4.1.1): work-conserving greedy
+// assignment with tail re-scheduling.
+//
+//   1. While pending items exist, an idle path takes the next one in order
+//      — all paths stay busy.
+//   2. When none are pending but the transaction is unfinished, the idle
+//      path *duplicates* the oldest-scheduled in-flight item it is not
+//      already carrying; whichever copy finishes first wins and the others
+//      are aborted. Waste is bounded by (N-1) * Sm.
+#pragma once
+
+#include "core/scheduler.hpp"
+
+namespace gol::core {
+
+class GreedyScheduler : public Scheduler {
+ public:
+  /// `enable_rescheduling` = false turns step 2 off (idle tails), used by
+  /// the ablation bench to quantify what tail duplication buys.
+  explicit GreedyScheduler(bool enable_rescheduling = true)
+      : reschedule_(enable_rescheduling) {}
+
+  std::string name() const override {
+    return reschedule_ ? "greedy" : "greedy-noresched";
+  }
+
+  std::optional<std::size_t> nextItem(const EngineView& view,
+                                      std::size_t path_index) override;
+
+ private:
+  bool reschedule_;
+};
+
+}  // namespace gol::core

@@ -1,0 +1,76 @@
+#include "core/home.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+namespace gol::core {
+
+HomeEnvironment::HomeEnvironment(const HomeConfig& cfg)
+    : cfg_(cfg), net_(sim_), rng_(cfg.seed) {
+  access::AdslConfig adsl_cfg;
+  adsl_cfg.sync_down_bps = cfg_.location.adsl_down_bps;
+  adsl_cfg.sync_up_bps = cfg_.location.adsl_up_bps;
+  adsl_cfg.down_utilization = cfg_.location.adsl_down_utilization;
+  adsl_ = std::make_unique<access::AdslLine>(net_, "adsl", adsl_cfg);
+  wifi_ = std::make_unique<access::WifiLan>(net_, "wifi", cfg_.wifi);
+  origin_ = std::make_unique<http::SimOrigin>(net_, "origin", cfg_.origin);
+  http_ = std::make_unique<http::SimHttpClient>(net_);
+  location_ = std::make_unique<cell::Location>(net_, cfg_.location,
+                                               rng_.fork());
+  location_->setAvailableFraction(cfg_.available_fraction);
+  for (int p = 0; p < cfg_.phones; ++p) {
+    phones_.push_back(
+        location_->makeDevice("phone" + std::to_string(p), cfg_.device));
+  }
+}
+
+void HomeEnvironment::warmPhones() {
+  for (auto& p : phones_) p->rrc().forceDch();
+}
+
+std::vector<std::unique_ptr<TransferPath>> HomeEnvironment::makePaths(
+    TransferDirection dir, int use_phones, bool include_adsl) {
+  if (use_phones > static_cast<int>(phones_.size()))
+    throw std::invalid_argument("makePaths: not enough phones");
+  std::vector<std::unique_ptr<TransferPath>> out;
+
+  const bool down = dir == TransferDirection::kDownload;
+  if (include_adsl) {
+    net::NetPath path = down ? adsl_->downPath() : adsl_->upPath();
+    path.links.push_back(down ? origin_->serveLink() : origin_->ingestLink());
+    if (!cfg_.client_wired) path.links.push_back(wifi_->medium());
+    path.rtt_s += origin_->config().rtt_s +
+                  (cfg_.client_wired ? 0.0 : wifi_->config().rtt_s);
+    path.loss_rate += cfg_.client_wired ? 0.0 : wifi_->config().loss_rate;
+    out.push_back(
+        std::make_unique<AdslTransferPath>(*http_, "adsl", std::move(path)));
+  }
+
+  for (int p = 0; p < use_phones; ++p) {
+    // Phone traffic always crosses the home Wi-Fi (client <-> phone proxy)
+    // and the origin's access link.
+    std::vector<net::Link*> extra = {
+        wifi_->medium(),
+        down ? origin_->serveLink() : origin_->ingestLink()};
+    const double extra_rtt =
+        wifi_->config().rtt_s + origin_->config().rtt_s;
+    out.push_back(std::make_unique<CellularTransferPath>(
+        *phones_[p], down ? cell::Direction::kDownlink : cell::Direction::kUplink,
+        phones_[p]->name(), std::move(extra), extra_rtt));
+  }
+  return out;
+}
+
+TransactionResult runTransaction(sim::Simulator& sim,
+                                 TransactionEngine& engine, Transaction txn) {
+  std::optional<TransactionResult> result;
+  engine.run(std::move(txn),
+             [&result](TransactionResult r) { result = std::move(r); });
+  while (!result && sim.step()) {
+  }
+  if (!result)
+    throw std::logic_error("transaction did not complete (deadlocked paths?)");
+  return *result;
+}
+
+}  // namespace gol::core

@@ -1,0 +1,86 @@
+// Assembles one 3GOL household (the paper's Fig 2): residential gateway
+// with an ADSL line, home Wi-Fi, a client, N phones at the local radio
+// conditions, and a well-provisioned origin server — all over one
+// simulator/flow-network instance.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "access/adsl.hpp"
+#include "access/wifi.hpp"
+#include "cellular/location.hpp"
+#include "core/engine.hpp"
+#include "core/sim_paths.hpp"
+#include "core/transfer_path.hpp"
+#include "http/sim_client.hpp"
+#include "http/sim_origin.hpp"
+#include "net/flow_network.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace gol::core {
+
+struct HomeConfig {
+  cell::LocationSpec location;   ///< Radio environment + measured ADSL line.
+  int phones = 2;
+  access::WifiConfig wifi;       ///< Default 802.11n (paper's Sec. 5 setup).
+  http::SimOriginConfig origin;  ///< Default 100/40 Mbps dedicated server.
+  /// Clients on Wi-Fi (paper's worst case) or wired to the gateway.
+  bool client_wired = false;
+  /// Static background cell load (1 = empty). Experiments pinned to a time
+  /// of day set this from Location::availableFractionAt.
+  double available_fraction = 0.78;
+  std::uint64_t seed = 42;
+  cell::DeviceConfig device;     ///< Base handset parameters.
+};
+
+class HomeEnvironment {
+ public:
+  explicit HomeEnvironment(const HomeConfig& cfg);
+  HomeEnvironment(const HomeEnvironment&) = delete;
+  HomeEnvironment& operator=(const HomeEnvironment&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+  net::FlowNetwork& network() { return net_; }
+  access::AdslLine& adsl() { return *adsl_; }
+  access::WifiLan& wifi() { return *wifi_; }
+  http::SimOrigin& origin() { return *origin_; }
+  http::SimHttpClient& http() { return *http_; }
+  cell::Location& location() { return *location_; }
+  sim::Rng& rng() { return rng_; }
+
+  std::size_t phoneCount() const { return phones_.size(); }
+  cell::CellularDevice& phone(std::size_t i) { return *phones_.at(i); }
+
+  /// Pre-warms every phone's radio into DCH — the paper's "H" runs.
+  void warmPhones();
+
+  /// Builds the transfer paths for a transaction: the ADSL line first,
+  /// then `use_phones` phone paths. Paths are single-transaction objects
+  /// (their connection warmth is per-transaction state).
+  std::vector<std::unique_ptr<TransferPath>> makePaths(
+      TransferDirection dir, int use_phones, bool include_adsl = true);
+
+  const HomeConfig& config() const { return cfg_; }
+
+ private:
+  HomeConfig cfg_;
+  sim::Simulator sim_;
+  net::FlowNetwork net_;
+  sim::Rng rng_;
+  std::unique_ptr<access::AdslLine> adsl_;
+  std::unique_ptr<access::WifiLan> wifi_;
+  std::unique_ptr<http::SimOrigin> origin_;
+  std::unique_ptr<http::SimHttpClient> http_;
+  std::unique_ptr<cell::Location> location_;
+  std::vector<std::unique_ptr<cell::CellularDevice>> phones_;
+};
+
+/// Convenience: run `engine.run(txn, ...)` to completion on `sim`,
+/// returning the result synchronously.
+TransactionResult runTransaction(sim::Simulator& sim,
+                                 TransactionEngine& engine, Transaction txn);
+
+}  // namespace gol::core

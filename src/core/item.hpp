@@ -1,0 +1,50 @@
+// The unit of work 3GOL schedules: a transaction is a set of M items
+// (HLS segments, photos) to move over N paths as fast as possible (Sec. 2.4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gol::core {
+
+enum class TransferDirection { kDownload, kUpload };
+
+struct Item {
+  std::uint32_t index = 0;  ///< Position within the transaction.
+  std::string name;
+  double bytes = 0;
+};
+
+struct Transaction {
+  TransferDirection direction = TransferDirection::kDownload;
+  std::vector<Item> items;
+
+  double totalBytes() const {
+    double t = 0;
+    for (const auto& i : items) t += i.bytes;
+    return t;
+  }
+  /// Largest item size Sm — the unit of the waste bound (N-1)*Sm (Sec. 4.1.1).
+  double maxItemBytes() const {
+    double m = 0;
+    for (const auto& i : items) m = i.bytes > m ? i.bytes : m;
+    return m;
+  }
+};
+
+/// Builds a transaction from raw sizes, naming items "<prefix><i>".
+inline Transaction makeTransaction(TransferDirection dir,
+                                   const std::vector<double>& sizes,
+                                   const std::string& prefix = "item") {
+  Transaction t;
+  t.direction = dir;
+  t.items.reserve(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    t.items.push_back(Item{static_cast<std::uint32_t>(i),
+                           prefix + std::to_string(i), sizes[i]});
+  }
+  return t;
+}
+
+}  // namespace gol::core

@@ -1,0 +1,78 @@
+#include "core/mptcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "net/tcp_model.hpp"
+#include "sim/units.hpp"
+
+namespace gol::core {
+
+double mptcpSubflowRateBps(const MptcpSubflow& subflow, double rtt_min_s,
+                           const MptcpParams& params) {
+  if (subflow.rtt_s <= 0) throw std::invalid_argument("mptcp: rtt <= 0");
+  const double rtt_share =
+      std::min(1.0, (rtt_min_s / subflow.rtt_s) * (rtt_min_s / subflow.rtt_s));
+  const double stability =
+      std::exp(-params.variability_penalty * subflow.variability_sigma);
+  const double coupled_utilization = rtt_share * stability;
+  const double utilization =
+      params.coupling * coupled_utilization + (1.0 - params.coupling) * 1.0;
+  return subflow.capacity_bps * std::clamp(utilization, 0.0, 1.0);
+}
+
+double mptcpAggregateRateBps(std::span<const MptcpSubflow> subflows,
+                             const MptcpParams& params) {
+  if (subflows.empty()) return 0;
+  double rtt_min = subflows[0].rtt_s;
+  double best_single = 0;
+  for (const auto& s : subflows) {
+    rtt_min = std::min(rtt_min, s.rtt_s);
+    best_single = std::max(best_single, s.capacity_bps);
+  }
+  double total = 0;
+  for (const auto& s : subflows) {
+    total += mptcpSubflowRateBps(s, rtt_min, params);
+  }
+  // MPTCP's stated goal: never do worse than the best single path would.
+  return std::max(total, best_single);
+}
+
+MptcpOutcome mptcpDownload(HomeEnvironment& home, double bytes, int phones,
+                           const MptcpParams& params) {
+  if (phones > static_cast<int>(home.phoneCount()))
+    throw std::invalid_argument("mptcpDownload: not enough phones");
+  std::vector<MptcpSubflow> subflows;
+
+  MptcpSubflow adsl;
+  adsl.capacity_bps = home.adsl().goodputDownBps();
+  adsl.rtt_s = home.adsl().config().rtt_s + home.origin().config().rtt_s;
+  adsl.variability_sigma = 0.02;  // wired paths are steady
+  subflows.push_back(adsl);
+
+  for (int p = 0; p < phones; ++p) {
+    auto& dev = home.phone(static_cast<std::size_t>(p));
+    MptcpSubflow sf;
+    sf.capacity_bps = dev.nominalRateBps(cell::Direction::kDownlink);
+    sf.rtt_s = dev.rttS() + home.wifi().config().rtt_s +
+               home.origin().config().rtt_s;
+    sf.variability_sigma = std::hypot(dev.config().quality_sigma,
+                                      dev.config().jitter_sigma);
+    subflows.push_back(sf);
+  }
+
+  MptcpOutcome out;
+  double rtt_min = subflows[0].rtt_s;
+  for (const auto& s : subflows) rtt_min = std::min(rtt_min, s.rtt_s);
+  for (const auto& s : subflows) {
+    out.subflow_bps.push_back(mptcpSubflowRateBps(s, rtt_min, params));
+  }
+  out.aggregate_bps = mptcpAggregateRateBps(subflows, params);
+  out.duration_s =
+      net::transferOverheadS(bytes, rtt_min, out.aggregate_bps) +
+      bytes * sim::kBitsPerByte / out.aggregate_bps;
+  return out;
+}
+
+}  // namespace gol::core

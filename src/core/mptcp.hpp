@@ -1,0 +1,59 @@
+// MPTCP baseline (Sec. 5.2): the paper tried MP-TCP over ADSL + 3G and it
+// "provided no benefit due to the Coupled Congestion Control (CCC)
+// algorithm ... not optimized for wireless use yet". This module models
+// that outcome analytically so the comparison is reproducible:
+//
+//   * LIA-style coupling favours low-RTT subflows quadratically, so the
+//     high-RTT 3G subflow gets a small share of its own capacity;
+//   * bandwidth variability on the wireless path further suppresses the
+//     coupled window (spurious back-off on every capacity dip).
+//
+// subflow_rate = capacity * min(1, (rtt_min/rtt)^2) * exp(-k * sigma)
+// blended toward full capacity as `coupling` goes from 1 (stock CCC) to 0
+// (ideal uncoupled bonding — what 3GOL approximates at application level
+// without touching either endpoint's kernel).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/home.hpp"
+
+namespace gol::core {
+
+struct MptcpSubflow {
+  double capacity_bps = 0;
+  double rtt_s = 0.05;
+  /// Short-term bandwidth variability (lognormal sigma) of the path.
+  double variability_sigma = 0.0;
+};
+
+struct MptcpParams {
+  /// 1 = stock coupled congestion control, 0 = perfectly uncoupled.
+  double coupling = 1.0;
+  /// Variability back-off aggressiveness (exp(-k * sigma)).
+  double variability_penalty = 5.0;
+};
+
+/// Steady-state rate LIA-coupled MPTCP extracts from one subflow, given
+/// the minimum RTT across subflows.
+double mptcpSubflowRateBps(const MptcpSubflow& subflow, double rtt_min_s,
+                           const MptcpParams& params = {});
+
+/// Aggregate across subflows; never below the best single subflow (MPTCP's
+/// design goal: do no worse than the best path).
+double mptcpAggregateRateBps(std::span<const MptcpSubflow> subflows,
+                             const MptcpParams& params = {});
+
+struct MptcpOutcome {
+  double duration_s = 0;
+  double aggregate_bps = 0;
+  std::vector<double> subflow_bps;
+};
+
+/// Downloads `bytes` over a home's ADSL + `phones` cellular subflows using
+/// the MPTCP model (single connection, no item scheduling).
+MptcpOutcome mptcpDownload(HomeEnvironment& home, double bytes, int phones,
+                           const MptcpParams& params = {});
+
+}  // namespace gol::core

@@ -1,0 +1,92 @@
+#include "core/onload_controller.hpp"
+
+#include <algorithm>
+
+namespace gol::core {
+
+OnloadController::OnloadController(HomeEnvironment& home,
+                                   const ControllerConfig& cfg)
+    : home_(home),
+      cfg_(cfg),
+      discovery_(home.simulator(), cfg.discovery_ttl_s) {
+  // Utilization probe: worst sector utilization across the location's base
+  // stations (a stand-in for the operator's monitoring system).
+  permits_ = std::make_unique<PermitServer>(
+      home_.simulator(), cfg_.permit, [this](const std::string&) {
+        double worst = 0;
+        for (cell::BaseStation* bs : home_.location().baseStations()) {
+          for (std::size_t s = 0; s < bs->sectorCount(); ++s) {
+            worst = std::max(
+                worst, bs->sector(s).utilization(cell::Direction::kDownlink));
+            worst = std::max(
+                worst, bs->sector(s).utilization(cell::Direction::kUplink));
+          }
+        }
+        return worst;
+      });
+
+  for (std::size_t p = 0; p < home_.phoneCount(); ++p) {
+    trackers_.push_back(std::make_unique<UsageTracker>(
+        cfg_.monthly_allowance_bytes, cfg_.days_per_month));
+    metered_baseline_.push_back(home_.phone(p).meteredBytes());
+    DiscoveryAgent::Options opts;
+    opts.interval_s = cfg_.discovery_interval_s;
+    agents_.push_back(std::make_unique<DiscoveryAgent>(
+        home_.simulator(), home_.phone(p).name(), discovery_,
+        [this, p] { return phoneEligible(p); }, opts));
+  }
+}
+
+bool OnloadController::phoneEligible(std::size_t index) {
+  switch (cfg_.mode) {
+    case DeploymentMode::kNetworkIntegrated:
+      return permits_->requestPermit(home_.phone(index).name());
+    case DeploymentMode::kOttCapped:
+      return trackers_[index]->eligible();
+  }
+  return false;
+}
+
+void OnloadController::start() {
+  for (auto& a : agents_) a->start();
+}
+
+std::size_t OnloadController::admissibleCount() const {
+  return discovery_.admissibleSet().size();
+}
+
+std::vector<std::unique_ptr<TransferPath>> OnloadController::buildPaths(
+    TransferDirection dir, int max_phones) {
+  auto paths = home_.makePaths(dir, 0, true);  // ADSL only
+  const bool down = dir == TransferDirection::kDownload;
+  int added = 0;
+  for (std::size_t p = 0; p < home_.phoneCount(); ++p) {
+    if (max_phones > 0 && added >= max_phones) break;
+    cell::CellularDevice& dev = home_.phone(p);
+    if (!discovery_.admissible(dev.name())) continue;
+    std::vector<net::Link*> extra = {
+        home_.wifi().medium(),
+        down ? home_.origin().serveLink() : home_.origin().ingestLink()};
+    paths.push_back(std::make_unique<CellularTransferPath>(
+        dev, down ? cell::Direction::kDownlink : cell::Direction::kUplink,
+        dev.name(), std::move(extra),
+        home_.wifi().config().rtt_s + home_.origin().config().rtt_s));
+    ++added;
+  }
+  return paths;
+}
+
+void OnloadController::chargeUsage() {
+  for (std::size_t p = 0; p < home_.phoneCount(); ++p) {
+    const double now = home_.phone(p).meteredBytes();
+    const double delta = now - metered_baseline_[p];
+    metered_baseline_[p] = now;
+    if (delta > 0) trackers_[p]->recordUsage(delta);
+  }
+}
+
+void OnloadController::advanceDay() {
+  for (auto& t : trackers_) t->nextDay();
+}
+
+}  // namespace gol::core

@@ -1,0 +1,74 @@
+// Ties the admission machinery together (Secs. 2.4 and 6): phones
+// advertise over discovery while eligible — holding a network permit in
+// the network-integrated deployment, or having remaining daily quota
+// A(t) > 0 in the capped multi-provider (OTT) deployment — and the client
+// builds its path set from the admissible set Phi.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/allowance.hpp"
+#include "core/discovery.hpp"
+#include "core/home.hpp"
+#include "core/permit.hpp"
+
+namespace gol::core {
+
+enum class DeploymentMode {
+  kNetworkIntegrated,  ///< Permit server gates onloading; traffic unmetered.
+  kOttCapped,          ///< Client-side caps gate onloading; no network input.
+};
+
+struct ControllerConfig {
+  DeploymentMode mode = DeploymentMode::kOttCapped;
+  PermitConfig permit;
+  /// Monthly 3GOL allowance per device in the OTT mode (the paper derives
+  /// ~600 MB/month = 20 MB/day from the MNO dataset).
+  double monthly_allowance_bytes = 600e6;
+  int days_per_month = 30;
+  double discovery_interval_s = 5.0;
+  double discovery_ttl_s = 12.0;
+};
+
+class OnloadController {
+ public:
+  OnloadController(HomeEnvironment& home, const ControllerConfig& cfg);
+  OnloadController(const OnloadController&) = delete;
+  OnloadController& operator=(const OnloadController&) = delete;
+
+  /// Begins discovery beaconing (advance the simulator afterwards so at
+  /// least one beacon lands before asking for paths).
+  void start();
+
+  /// Number of phones currently in the admissible set Phi.
+  std::size_t admissibleCount() const;
+
+  /// Builds the path set for a transaction: ADSL plus every admissible
+  /// phone (up to `max_phones`, 0 = no limit).
+  std::vector<std::unique_ptr<TransferPath>> buildPaths(
+      TransferDirection dir, int max_phones = 0);
+
+  /// Meters each phone's cellular bytes since the last call into its usage
+  /// tracker. Call after every transaction in OTT mode.
+  void chargeUsage();
+  /// Rolls every tracker to the next day.
+  void advanceDay();
+
+  UsageTracker& tracker(std::size_t phone) { return *trackers_.at(phone); }
+  PermitServer& permits() { return *permits_; }
+  ClientDiscovery& discovery() { return discovery_; }
+
+ private:
+  bool phoneEligible(std::size_t index);
+
+  HomeEnvironment& home_;
+  ControllerConfig cfg_;
+  ClientDiscovery discovery_;
+  std::unique_ptr<PermitServer> permits_;
+  std::vector<std::unique_ptr<UsageTracker>> trackers_;
+  std::vector<std::unique_ptr<DiscoveryAgent>> agents_;
+  std::vector<double> metered_baseline_;
+};
+
+}  // namespace gol::core

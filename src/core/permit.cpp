@@ -1,0 +1,32 @@
+#include "core/permit.hpp"
+
+#include <utility>
+
+namespace gol::core {
+
+PermitServer::PermitServer(
+    sim::Simulator& sim, PermitConfig cfg,
+    std::function<double(const std::string&)> utilization_probe)
+    : sim_(sim), cfg_(cfg), probe_(std::move(utilization_probe)) {}
+
+bool PermitServer::hasValidPermit(const std::string& device) const {
+  auto it = granted_at_.find(device);
+  return it != granted_at_.end() && sim_.now() - it->second <= cfg_.ttl_s;
+}
+
+bool PermitServer::requestPermit(const std::string& device) {
+  if (hasValidPermit(device)) return true;
+  const double util = probe_ ? probe_(device) : 0.0;
+  if (util < cfg_.acceptance_threshold) {
+    granted_at_[device] = sim_.now();
+    ++grants_;
+    return true;
+  }
+  granted_at_.erase(device);
+  ++denials_;
+  return false;
+}
+
+void PermitServer::revokeAll() { granted_at_.clear(); }
+
+}  // namespace gol::core

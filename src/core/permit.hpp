@@ -1,0 +1,50 @@
+// The network-integrated admission backend (Sec. 2.4): a device asks for
+// permission to onload; the backend checks utilization of the affected cell
+// area against an acceptance threshold. Grants are cached for a few
+// minutes; congestion revokes everything.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace gol::core {
+
+struct PermitConfig {
+  /// Utilization in the affected area must be below this to grant.
+  double acceptance_threshold = 0.70;
+  /// Permit cache duration ("a permit is cached for a certain duration —
+  /// few minutes").
+  double ttl_s = 180.0;
+};
+
+class PermitServer {
+ public:
+  /// `utilization_probe` interfaces with the 3G monitoring system: returns
+  /// current utilization [0, 1] of the area a device would load.
+  PermitServer(sim::Simulator& sim, PermitConfig cfg,
+               std::function<double(const std::string& device)> utilization_probe);
+
+  /// Returns true when the device may onload right now: either a cached
+  /// unexpired permit, or a fresh grant if utilization is acceptable.
+  bool requestPermit(const std::string& device);
+  /// True while the device holds an unexpired permit (no probe, no renew).
+  bool hasValidPermit(const std::string& device) const;
+  /// Congestion detected: invalidates every cached permit.
+  void revokeAll();
+
+  std::size_t grantsIssued() const { return grants_; }
+  std::size_t denials() const { return denials_; }
+
+ private:
+  sim::Simulator& sim_;
+  PermitConfig cfg_;
+  std::function<double(const std::string&)> probe_;
+  std::map<std::string, double> granted_at_;
+  std::size_t grants_ = 0;
+  std::size_t denials_ = 0;
+};
+
+}  // namespace gol::core

@@ -1,0 +1,27 @@
+#include "core/round_robin_scheduler.hpp"
+
+namespace gol::core {
+
+void RoundRobinScheduler::onTransactionStart(
+    const Transaction& txn, const std::vector<double>& nominal_rates_bps) {
+  queues_.assign(nominal_rates_bps.size(), {});
+  if (queues_.empty()) return;
+  for (std::size_t i = 0; i < txn.items.size(); ++i) {
+    queues_[i % queues_.size()].push_back(i);
+  }
+}
+
+std::optional<std::size_t> RoundRobinScheduler::nextItem(
+    const EngineView& view, std::size_t path_index) {
+  auto& q = queues_.at(path_index);
+  while (!q.empty()) {
+    const std::size_t idx = q.front();
+    q.pop_front();
+    // An item may have been completed elsewhere only in pathological
+    // configurations; skip anything no longer pending.
+    if ((*view.items)[idx].status == ItemStatus::kPending) return idx;
+  }
+  return std::nullopt;
+}
+
+}  // namespace gol::core

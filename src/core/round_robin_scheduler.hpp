@@ -1,0 +1,27 @@
+// Round-robin baseline (Sec. 5.1): items are dealt cyclically to paths at
+// transaction start; each path drains its own queue and never steals.
+// Suboptimal when path capacities differ — the ADSL line and a phone rarely
+// match — which is exactly what Fig 6 demonstrates.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace gol::core {
+
+class RoundRobinScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "rr"; }
+
+  void onTransactionStart(const Transaction& txn,
+                          const std::vector<double>& nominal_rates_bps) override;
+  std::optional<std::size_t> nextItem(const EngineView& view,
+                                      std::size_t path_index) override;
+
+ private:
+  std::vector<std::deque<std::size_t>> queues_;
+};
+
+}  // namespace gol::core

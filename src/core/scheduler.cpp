@@ -1,0 +1,26 @@
+#include "core/scheduler.hpp"
+
+#include <stdexcept>
+
+#include "core/greedy_scheduler.hpp"
+#include "core/min_time_scheduler.hpp"
+#include "core/round_robin_scheduler.hpp"
+
+namespace gol::core {
+
+void Scheduler::onTransactionStart(const Transaction&,
+                                   const std::vector<double>&) {}
+
+void Scheduler::onItemComplete(std::size_t, const Item&, double) {}
+
+std::unique_ptr<Scheduler> makeScheduler(const std::string& policy) {
+  if (policy == "greedy" || policy == "grd")
+    return std::make_unique<GreedyScheduler>();
+  if (policy == "greedy-noresched")
+    return std::make_unique<GreedyScheduler>(false);
+  if (policy == "rr") return std::make_unique<RoundRobinScheduler>();
+  if (policy == "min") return std::make_unique<MinTimeScheduler>();
+  throw std::invalid_argument("unknown scheduler policy: " + policy);
+}
+
+}  // namespace gol::core

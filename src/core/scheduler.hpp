@@ -1,0 +1,65 @@
+// Multipath item schedulers (Sec. 4.1.1): the paper's greedy policy (GRD)
+// and the two baselines it is evaluated against in Fig 6 — round robin (RR)
+// and minimum-estimated-time (MIN).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/item.hpp"
+
+namespace gol::core {
+
+enum class ItemStatus { kPending, kInFlight, kDone };
+
+/// Read-only view of the engine's bookkeeping, given to schedulers.
+struct ItemView {
+  const Item* item = nullptr;
+  ItemStatus status = ItemStatus::kPending;
+  /// Paths currently carrying this item (indices into the engine's list).
+  std::vector<std::size_t> carriers;
+  double first_assigned_at = 0;
+};
+
+struct EngineView {
+  const std::vector<ItemView>* items = nullptr;
+  std::size_t path_count = 0;
+  double now = 0;
+
+  std::size_t pendingCount() const {
+    std::size_t n = 0;
+    for (const auto& iv : *items)
+      if (iv.status == ItemStatus::kPending) ++n;
+    return n;
+  }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+
+  /// Transaction begins; `nominal_rates_bps[p]` seeds estimators.
+  virtual void onTransactionStart(const Transaction& txn,
+                                  const std::vector<double>& nominal_rates_bps);
+
+  /// Path `path_index` is idle; return the index (into txn.items) of the
+  /// item to put on it, or nullopt to leave the path idle. Returning an
+  /// in-flight item duplicates it (tail re-scheduling).
+  virtual std::optional<std::size_t> nextItem(const EngineView& view,
+                                              std::size_t path_index) = 0;
+
+  /// An item finished on `path_index` having moved `bytes` in `seconds`
+  /// of path-busy time (observed goodput sample for estimators).
+  virtual void onItemComplete(std::size_t path_index, const Item& item,
+                              double seconds);
+};
+
+/// Factory used by benches/examples to sweep policies by name:
+/// "greedy" | "rr" | "min".
+std::unique_ptr<Scheduler> makeScheduler(const std::string& policy);
+
+}  // namespace gol::core

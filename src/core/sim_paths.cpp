@@ -1,0 +1,102 @@
+#include "core/sim_paths.hpp"
+
+#include <utility>
+
+namespace gol::core {
+
+AdslTransferPath::AdslTransferPath(http::SimHttpClient& http,
+                                   std::string name, net::NetPath path)
+    : http_(http), name_(std::move(name)), path_(std::move(path)) {}
+
+void AdslTransferPath::start(const Item& item,
+                             std::function<void(const Item&)> done) {
+  item_ = item;
+  http::TransferRequest req;
+  req.bytes = item.bytes;
+  req.path = path_;
+  req.warm = !first_transfer_;
+  first_transfer_ = false;
+  req.on_done = [this, done = std::move(done)](double) {
+    const Item finished = *item_;
+    item_.reset();
+    current_ = 0;
+    done(finished);
+  };
+  current_ = http_.transfer(std::move(req));
+}
+
+double AdslTransferPath::abortCurrent() {
+  if (!item_) return 0.0;
+  const double moved = http_.abort(current_);
+  item_.reset();
+  current_ = 0;
+  return moved;
+}
+
+double AdslTransferPath::nominalRateBps() const {
+  return http::pathNominalRateBps(path_);
+}
+
+CellularTransferPath::CellularTransferPath(cell::CellularDevice& device,
+                                           cell::Direction dir,
+                                           std::string name,
+                                           std::vector<net::Link*> extra_links,
+                                           double extra_rtt_s,
+                                           net::TcpParams tcp)
+    : device_(device),
+      dir_(dir),
+      name_(std::move(name)),
+      extra_links_(std::move(extra_links)),
+      extra_rtt_s_(extra_rtt_s),
+      tcp_(tcp) {}
+
+void CellularTransferPath::start(const Item& item,
+                                 std::function<void(const Item&)> done) {
+  item_ = item;
+  const double rtt = device_.rttS() + extra_rtt_s_;
+  const double nominal = device_.nominalRateBps(dir_);
+  const double overhead =
+      first_transfer_
+          ? net::transferOverheadS(item.bytes, rtt, nominal, tcp_)
+          : net::warmTransferOverheadS(item.bytes, rtt, nominal, tcp_);
+  first_transfer_ = false;
+
+  // The HTTP proxy hop pays its setup first; RRC promotion (if the radio is
+  // idle) is added by the device itself once the transfer starts.
+  pending_start_ = device_.net().simulator().scheduleIn(
+      overhead, [this, done = std::move(done)]() mutable {
+        pending_start_ = 0;
+        cell::CellularDevice::TransferOptions opts;
+        opts.dir = dir_;
+        opts.bytes = item_->bytes / tcp_.efficiency;
+        opts.extra_links = extra_links_;
+        opts.on_complete = [this, done = std::move(done)] {
+          const Item finished = *item_;
+          item_.reset();
+          transfer_ = 0;
+          done(finished);
+        };
+        transfer_ = device_.startTransfer(std::move(opts));
+      });
+}
+
+double CellularTransferPath::abortCurrent() {
+  if (!item_) return 0.0;
+  double moved = 0.0;
+  if (pending_start_ != 0) {
+    device_.net().simulator().cancel(pending_start_);
+    pending_start_ = 0;
+  }
+  if (transfer_ != 0) {
+    moved = device_.abortTransfer(transfer_) * tcp_.efficiency;
+    transfer_ = 0;
+  }
+  item_.reset();
+  return moved;
+}
+
+double CellularTransferPath::nominalRateBps() const {
+  return device_.nominalRateBps(dir_);
+}
+
+}  // namespace gol::core

@@ -1,0 +1,83 @@
+// TransferPath implementations over the fluid simulator: the ADSL line
+// (via the simulated HTTP client) and a 3G phone proxying over the home
+// Wi-Fi (via the cellular device model, which adds RRC promotion and
+// shared-channel dynamics).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cellular/device.hpp"
+#include "core/transfer_path.hpp"
+#include "http/sim_client.hpp"
+#include "net/path.hpp"
+#include "net/tcp_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace gol::core {
+
+/// The wired path: sequential HTTP transfers across the ADSL line (plus any
+/// upstream links composed into `path`). The first item pays a cold
+/// connection setup; later items reuse the warm connection.
+class AdslTransferPath : public TransferPath {
+ public:
+  AdslTransferPath(http::SimHttpClient& http, std::string name,
+                   net::NetPath path);
+
+  const std::string& name() const override { return name_; }
+  bool busy() const override { return item_.has_value(); }
+  const Item* currentItem() const override {
+    return item_ ? &*item_ : nullptr;
+  }
+  void start(const Item& item,
+             std::function<void(const Item&)> done) override;
+  double abortCurrent() override;
+  double nominalRateBps() const override;
+
+ private:
+  http::SimHttpClient& http_;
+  std::string name_;
+  net::NetPath path_;
+  http::SimHttpClient::TransferId current_ = 0;
+  std::optional<Item> item_;
+  bool first_transfer_ = true;
+};
+
+/// A phone path: client -> Wi-Fi -> phone proxy -> 3G -> origin. The phone
+/// side is the cellular device model (RRC, sector sharing, jitter); the
+/// HTTP setup overhead uses the end-to-end RTT (device RTT + extra hops).
+class CellularTransferPath : public TransferPath {
+ public:
+  CellularTransferPath(cell::CellularDevice& device, cell::Direction dir,
+                       std::string name, std::vector<net::Link*> extra_links,
+                       double extra_rtt_s = 0.005,
+                       net::TcpParams tcp = {});
+
+  const std::string& name() const override { return name_; }
+  bool busy() const override { return item_.has_value(); }
+  const Item* currentItem() const override {
+    return item_ ? &*item_ : nullptr;
+  }
+  void start(const Item& item,
+             std::function<void(const Item&)> done) override;
+  double abortCurrent() override;
+  double nominalRateBps() const override;
+
+  cell::CellularDevice& device() { return device_; }
+
+ private:
+  cell::CellularDevice& device_;
+  cell::Direction dir_;
+  std::string name_;
+  std::vector<net::Link*> extra_links_;
+  double extra_rtt_s_;
+  net::TcpParams tcp_;
+
+  std::optional<Item> item_;
+  sim::EventId pending_start_ = 0;
+  cell::CellularDevice::TransferId transfer_ = 0;
+  bool first_transfer_ = true;
+};
+
+}  // namespace gol::core

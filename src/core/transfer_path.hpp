@@ -1,0 +1,39 @@
+// Abstraction of one of the N paths a transaction can use: the ADSL line or
+// a 3G device reached over the home Wi-Fi. The scheduler and engine operate
+// purely on this interface, so the same policies drive the simulator and
+// the real-socket prototype.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/item.hpp"
+
+namespace gol::core {
+
+class TransferPath {
+ public:
+  virtual ~TransferPath() = default;
+
+  virtual const std::string& name() const = 0;
+  /// A path carries at most one item at a time (HTTP is sequential per
+  /// connection in the paper's applications).
+  virtual bool busy() const = 0;
+  virtual const Item* currentItem() const = 0;
+
+  /// Begins transferring `item`; `done` fires exactly once on completion
+  /// (never after abortCurrent()).
+  virtual void start(const Item& item,
+                     std::function<void(const Item&)> done) = 0;
+
+  /// Aborts the in-flight item, returning the bytes it had moved (these
+  /// count as waste when the abort is due to a duplicate completing
+  /// elsewhere). No-op returning 0 when idle.
+  virtual double abortCurrent() = 0;
+
+  /// A-priori throughput guess, used to seed bandwidth estimators before
+  /// any sample exists. Never a promise.
+  virtual double nominalRateBps() const = 0;
+};
+
+}  // namespace gol::core

@@ -1,0 +1,52 @@
+#include "core/upload_session.hpp"
+
+#include "http/multipart.hpp"
+
+namespace gol::core {
+
+std::vector<double> UploadSession::drawPhotoSizes(sim::Rng& rng, int count,
+                                                  double mean_bytes,
+                                                  double sd_bytes) {
+  std::vector<double> sizes;
+  sizes.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    sizes.push_back(rng.lognormalMeanSd(mean_bytes, sd_bytes));
+  }
+  return sizes;
+}
+
+UploadOutcome UploadSession::run(const UploadOptions& opts) {
+  UploadOutcome out;
+  if (opts.warm_start) home_.warmPhones();
+
+  auto sizes = drawPhotoSizes(home_.rng(), opts.photos, opts.mean_bytes,
+                              opts.sd_bytes);
+  // Each photo travels as one multipart POST part; account for framing.
+  std::vector<double> wire_sizes;
+  wire_sizes.reserve(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    http::MultipartPart part;
+    part.field_name = "photo";
+    part.filename = "img" + std::to_string(i) + ".jpg";
+    part.content_type = "image/jpeg";
+    const double framing =
+        static_cast<double>(http::MultipartEncoder::framingOverhead(part));
+    out.payload_bytes += sizes[i];
+    out.framing_bytes += framing;
+    wire_sizes.push_back(sizes[i] + framing);
+  }
+
+  auto scheduler = makeScheduler(opts.scheduler);
+  auto paths = home_.makePaths(TransferDirection::kUpload, opts.phones,
+                               opts.use_adsl);
+  std::vector<TransferPath*> raw;
+  raw.reserve(paths.size());
+  for (auto& p : paths) raw.push_back(p.get());
+  TransactionEngine engine(home_.simulator(), raw, *scheduler);
+  out.txn = runTransaction(home_.simulator(), engine,
+                           makeTransaction(TransferDirection::kUpload,
+                                           wire_sizes, "photo"));
+  return out;
+}
+
+}  // namespace gol::core

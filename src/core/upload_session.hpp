@@ -1,0 +1,46 @@
+// Multimedia upload over 3GOL (Sec. 4.1, Fig 9): a set of photos posted as
+// multipart/form-data, parallelized across the ADSL uplink and the phones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/home.hpp"
+#include "sim/rng.hpp"
+
+namespace gol::core {
+
+struct UploadOptions {
+  int photos = 30;            ///< Paper: 30 pictures per run.
+  double mean_bytes = 2.5e6;  ///< Paper: iPhone 4S/5 Flickr sample mean.
+  double sd_bytes = 0.74e6;   ///< ... and standard deviation.
+  std::string scheduler = "greedy";
+  int phones = 1;
+  bool use_adsl = true;
+  bool warm_start = false;
+};
+
+struct UploadOutcome {
+  TransactionResult txn;
+  double payload_bytes = 0;   ///< Photo bytes, excluding multipart framing.
+  double framing_bytes = 0;   ///< multipart/form-data overhead.
+};
+
+class UploadSession {
+ public:
+  explicit UploadSession(HomeEnvironment& home) : home_(home) {}
+
+  /// Draws photo sizes from the home's RNG stream and runs the upload.
+  UploadOutcome run(const UploadOptions& opts);
+
+  /// Deterministic photo-size generator, exposed for tests and benches.
+  static std::vector<double> drawPhotoSizes(sim::Rng& rng, int count,
+                                            double mean_bytes,
+                                            double sd_bytes);
+
+ private:
+  HomeEnvironment& home_;
+};
+
+}  // namespace gol::core

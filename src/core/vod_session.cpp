@@ -1,0 +1,87 @@
+#include "core/vod_session.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "core/deadline_scheduler.hpp"
+
+namespace gol::core {
+
+VodOutcome VodSession::run(const VodOptions& opts) {
+  auto& sim = home_.simulator();
+  VodOutcome out;
+
+  if (opts.warm_start) home_.warmPhones();
+
+  // 1. Fetch the extended-M3U playlist over the ADSL path (the client
+  //    component intercepts it before engaging the scheduler, Sec. 4.1).
+  const hls::SegmentedVideo video = hls::segmentVideo(opts.video);
+  const std::string playlist_text = video.playlist.serialize();
+  {
+    std::optional<double> done;
+    http::TransferRequest req;
+    // Rebuild the ADSL path directly for the playlist fetch.
+    net::NetPath p = home_.adsl().downPath();
+    p.links.push_back(home_.origin().serveLink());
+    if (!home_.config().client_wired)
+      p.links.push_back(home_.wifi().medium());
+    req.path = p;
+    req.bytes = static_cast<double>(playlist_text.size());
+    req.on_done = [&done](double seconds) { done = seconds; };
+    home_.http().transfer(std::move(req));
+    while (!done && sim.step()) {
+    }
+    if (!done) throw std::logic_error("playlist fetch stalled");
+    out.playlist_fetch_s = *done;
+  }
+
+  // 2. Prefetch all segments through the multipath scheduler.
+  auto paths = home_.makePaths(TransferDirection::kDownload, opts.phones,
+                               opts.use_adsl);
+  std::vector<TransferPath*> raw;
+  raw.reserve(paths.size());
+  for (auto& p : paths) raw.push_back(p.get());
+
+  std::unique_ptr<Scheduler> scheduler;
+  if (opts.playout_aware) {
+    std::vector<double> durations_s;
+    for (const auto& s : video.playlist.segments)
+      durations_s.push_back(s.duration_s);
+    double aggregate = 0;
+    for (const TransferPath* p : raw) aggregate += p->nominalRateBps();
+    scheduler = std::make_unique<DeadlineScheduler>(
+        DeadlineScheduler::hlsDeadlines(
+            durations_s, video.segment_bytes,
+            hls::prebufferSegmentsForFraction(durations_s,
+                                              opts.prebuffer_fraction),
+            aggregate));
+  } else {
+    scheduler = makeScheduler(opts.scheduler);
+  }
+  TransactionEngine engine(sim, raw, *scheduler);
+
+  Transaction txn = makeTransaction(TransferDirection::kDownload,
+                                    video.segment_bytes, "seg");
+  out.txn = runTransaction(sim, engine, std::move(txn));
+
+  // 3. Player metrics.
+  std::vector<double> durations;
+  durations.reserve(video.playlist.segments.size());
+  for (const auto& s : video.playlist.segments)
+    durations.push_back(s.duration_s);
+  out.prebuffer_segments =
+      hls::prebufferSegmentsForFraction(durations, opts.prebuffer_fraction);
+
+  // Segment arrivals relative to the initial user request include the
+  // playlist round trip.
+  std::vector<double> arrivals = out.txn.item_completion_s;
+  for (double& a : arrivals) a += out.playlist_fetch_s;
+  out.playout = hls::analyzePlayout(arrivals, durations,
+                                    out.prebuffer_segments);
+  out.prebuffer_time_s = out.playout.startup_delay_s;
+  out.total_download_s = out.playlist_fetch_s + out.txn.duration_s;
+  return out;
+}
+
+}  // namespace gol::core

@@ -1,0 +1,59 @@
+// Umbrella header for the 3GOL reproduction's public API.
+//
+// Pull in everything a downstream application needs to powerboost a wired
+// connection in simulation:
+//
+//   #include "gol3.hpp"
+//
+//   gol::core::HomeEnvironment home(config);
+//   gol::core::VodSession vod(home);
+//   auto outcome = vod.run(options);
+//
+// Individual subsystem headers remain includable on their own; this header
+// is a convenience, not a requirement. The live-socket prototype
+// (gol::proto, Linux-only) and the packet-level validator (gol::pkt) are
+// intentionally not included here — include proto/*.hpp or
+// pkt/tcp_packet_sim.hpp explicitly where needed.
+#pragma once
+
+// Simulation substrate.
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+// Networks.
+#include "access/adsl.hpp"
+#include "access/dslam.hpp"
+#include "access/wifi.hpp"
+#include "cellular/device.hpp"
+#include "cellular/energy.hpp"
+#include "cellular/location.hpp"
+#include "net/capacity_profile.hpp"
+#include "net/flow_network.hpp"
+#include "net/tcp_model.hpp"
+
+// Application substrates.
+#include "hls/player.hpp"
+#include "hls/playlist.hpp"
+#include "hls/segmenter.hpp"
+#include "http/message.hpp"
+#include "http/multipart.hpp"
+
+// The 3GOL system.
+#include "core/allowance.hpp"
+#include "core/deadline_scheduler.hpp"
+#include "core/discovery.hpp"
+#include "core/engine.hpp"
+#include "core/home.hpp"
+#include "core/mptcp.hpp"
+#include "core/onload_controller.hpp"
+#include "core/permit.hpp"
+#include "core/scheduler.hpp"
+#include "core/upload_session.hpp"
+#include "core/vod_session.hpp"
+
+// Synthetic datasets.
+#include "trace/dslam_trace.hpp"
+#include "trace/export.hpp"
+#include "trace/mno.hpp"
+#include "trace/onload_replay.hpp"

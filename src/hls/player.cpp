@@ -1,0 +1,51 @@
+#include "hls/player.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gol::hls {
+
+PlayoutResult analyzePlayout(const std::vector<double>& arrival_s,
+                             const std::vector<double>& duration_s,
+                             std::size_t prebuffer_segments) {
+  if (arrival_s.size() != duration_s.size())
+    throw std::invalid_argument("analyzePlayout: size mismatch");
+  PlayoutResult res;
+  if (arrival_s.empty()) return res;
+  prebuffer_segments = std::clamp<std::size_t>(prebuffer_segments, 1,
+                                               arrival_s.size());
+
+  // Startup: all pre-buffered segments present.
+  res.startup_delay_s =
+      *std::max_element(arrival_s.begin(),
+                        arrival_s.begin() + static_cast<long>(prebuffer_segments));
+
+  // Playout: segment i is needed at play_clock; stall if not yet arrived.
+  double clock = res.startup_delay_s;
+  for (std::size_t i = 0; i < arrival_s.size(); ++i) {
+    if (arrival_s[i] > clock) {
+      res.total_stall_s += arrival_s[i] - clock;
+      ++res.stall_events;
+      clock = arrival_s[i];
+    }
+    clock += duration_s[i];
+  }
+  res.playback_end_s = clock;
+  return res;
+}
+
+std::size_t prebufferSegmentsForFraction(const std::vector<double>& duration_s,
+                                         double fraction) {
+  if (duration_s.empty()) return 1;
+  double total = 0;
+  for (double d : duration_s) total += d;
+  const double target = total * std::clamp(fraction, 0.0, 1.0);
+  double acc = 0;
+  for (std::size_t i = 0; i < duration_s.size(); ++i) {
+    acc += duration_s[i];
+    if (acc >= target - 1e-9) return i + 1;
+  }
+  return duration_s.size();
+}
+
+}  // namespace gol::hls

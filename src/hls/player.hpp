@@ -1,0 +1,37 @@
+// HLS playout model: given when each segment finished downloading, derive
+// the user-visible metrics the paper reports — startup (pre-buffering)
+// delay and playback stalls. The pre-buffer amount is application dependent
+// (Sec. 4.1), so it is a parameter swept by the Fig 7 experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gol::hls {
+
+struct PlayoutResult {
+  /// When playback starts: the moment the pre-buffer is filled.
+  double startup_delay_s = 0;
+  /// Total time the playhead was starved after starting.
+  double total_stall_s = 0;
+  std::size_t stall_events = 0;
+  /// When the final segment's playback completes.
+  double playback_end_s = 0;
+};
+
+/// `arrival_s[i]` is the download-completion time of segment i (relative to
+/// the initial request, monotonically usable in any order); `duration_s[i]`
+/// its media duration. Playback begins once the first `prebuffer_segments`
+/// have all arrived and then consumes segments in order at real-time speed,
+/// stalling whenever the next segment has not arrived.
+PlayoutResult analyzePlayout(const std::vector<double>& arrival_s,
+                             const std::vector<double>& duration_s,
+                             std::size_t prebuffer_segments);
+
+/// Pre-buffer expressed as a fraction of the video (the paper sweeps 20 %
+/// to 100 % of the video length): number of whole segments covering
+/// `fraction` of the total duration, at least 1.
+std::size_t prebufferSegmentsForFraction(const std::vector<double>& duration_s,
+                                         double fraction);
+
+}  // namespace gol::hls

@@ -1,0 +1,175 @@
+#include "hls/playlist.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+namespace gol::hls {
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(text);
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+bool startsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Parses "KEY=VALUE,KEY=VALUE" attribute lists (values may be quoted).
+std::optional<std::string> attribute(const std::string& attrs,
+                                     const std::string& key) {
+  std::size_t pos = 0;
+  while (pos < attrs.size()) {
+    const std::size_t eq = attrs.find('=', pos);
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string name = attrs.substr(pos, eq - pos);
+    std::size_t value_end;
+    std::string value;
+    if (eq + 1 < attrs.size() && attrs[eq + 1] == '"') {
+      value_end = attrs.find('"', eq + 2);
+      if (value_end == std::string::npos) return std::nullopt;
+      value = attrs.substr(eq + 2, value_end - eq - 2);
+      value_end = attrs.find(',', value_end);
+    } else {
+      value_end = attrs.find(',', eq + 1);
+      value = attrs.substr(eq + 1, value_end == std::string::npos
+                                       ? std::string::npos
+                                       : value_end - eq - 1);
+    }
+    if (name == key) return value;
+    if (value_end == std::string::npos) break;
+    pos = value_end + 1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+PlaylistKind classify(const std::string& text) {
+  if (text.rfind("#EXTM3U", 0) != 0) return PlaylistKind::kInvalid;
+  if (text.find("#EXT-X-STREAM-INF") != std::string::npos)
+    return PlaylistKind::kMaster;
+  return PlaylistKind::kMedia;
+}
+
+std::string MasterPlaylist::serialize() const {
+  std::string out = "#EXTM3U\n";
+  for (const auto& v : variants) {
+    out += "#EXT-X-STREAM-INF:PROGRAM-ID=" + std::to_string(v.program_id) +
+           ",BANDWIDTH=" + std::to_string(v.bandwidth_bps);
+    if (!v.resolution.empty()) out += ",RESOLUTION=" + v.resolution;
+    out += "\n" + v.uri + "\n";
+  }
+  return out;
+}
+
+std::optional<Variant> MasterPlaylist::pickVariant(double max_bps) const {
+  if (variants.empty()) return std::nullopt;
+  const Variant* best = nullptr;
+  const Variant* lowest = &variants.front();
+  for (const auto& v : variants) {
+    if (v.bandwidth_bps < lowest->bandwidth_bps) lowest = &v;
+    if (static_cast<double>(v.bandwidth_bps) <= max_bps &&
+        (best == nullptr || v.bandwidth_bps > best->bandwidth_bps)) {
+      best = &v;
+    }
+  }
+  return best != nullptr ? *best : *lowest;
+}
+
+std::string MediaPlaylist::serialize() const {
+  std::string out = "#EXTM3U\n";
+  out += "#EXT-X-VERSION:" + std::to_string(version) + "\n";
+  out += "#EXT-X-TARGETDURATION:" +
+         std::to_string(static_cast<long>(target_duration_s + 0.999)) + "\n";
+  out += "#EXT-X-MEDIA-SEQUENCE:" + std::to_string(media_sequence) + "\n";
+  char buf[64];
+  for (const auto& s : segments) {
+    std::snprintf(buf, sizeof buf, "#EXTINF:%.3f,\n", s.duration_s);
+    out += buf;
+    out += s.uri + "\n";
+  }
+  if (ended) out += "#EXT-X-ENDLIST\n";
+  return out;
+}
+
+double MediaPlaylist::totalDurationS() const {
+  double total = 0;
+  for (const auto& s : segments) total += s.duration_s;
+  return total;
+}
+
+std::optional<MasterPlaylist> parseMaster(const std::string& text) {
+  if (classify(text) != PlaylistKind::kMaster) return std::nullopt;
+  MasterPlaylist out;
+  const auto lines = splitLines(text);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!startsWith(lines[i], "#EXT-X-STREAM-INF:")) continue;
+    const std::string attrs = lines[i].substr(18);
+    Variant v;
+    if (const auto bw = attribute(attrs, "BANDWIDTH")) {
+      long value = 0;
+      std::from_chars(bw->data(), bw->data() + bw->size(), value);
+      v.bandwidth_bps = value;
+    } else {
+      return std::nullopt;  // BANDWIDTH is mandatory per the draft
+    }
+    if (const auto res = attribute(attrs, "RESOLUTION")) v.resolution = *res;
+    if (const auto pid = attribute(attrs, "PROGRAM-ID")) {
+      int value = 1;
+      std::from_chars(pid->data(), pid->data() + pid->size(), value);
+      v.program_id = value;
+    }
+    // The URI is the next non-comment line.
+    for (std::size_t j = i + 1; j < lines.size(); ++j) {
+      if (lines[j].empty() || lines[j][0] == '#') continue;
+      v.uri = lines[j];
+      break;
+    }
+    if (v.uri.empty()) return std::nullopt;
+    out.variants.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::optional<MediaPlaylist> parseMedia(const std::string& text) {
+  if (classify(text) != PlaylistKind::kMedia) return std::nullopt;
+  MediaPlaylist out;
+  out.ended = false;
+  const auto lines = splitLines(text);
+  bool has_pending = false;
+  double pending_duration = 0;
+  for (const auto& line : lines) {
+    if (startsWith(line, "#EXT-X-TARGETDURATION:")) {
+      out.target_duration_s = std::atof(line.c_str() + 22);
+    } else if (startsWith(line, "#EXT-X-MEDIA-SEQUENCE:")) {
+      out.media_sequence = std::atol(line.c_str() + 22);
+    } else if (startsWith(line, "#EXT-X-VERSION:")) {
+      out.version = std::atoi(line.c_str() + 15);
+    } else if (startsWith(line, "#EXTINF:")) {
+      pending_duration = std::atof(line.c_str() + 8);
+      has_pending = true;
+    } else if (startsWith(line, "#EXT-X-ENDLIST")) {
+      out.ended = true;
+    } else if (!line.empty() && line[0] != '#') {
+      if (!has_pending) return std::nullopt;  // URI without #EXTINF
+      has_pending = false;
+      Segment seg;
+      seg.uri = line;
+      seg.duration_s = pending_duration;
+      out.segments.push_back(std::move(seg));
+    }
+  }
+  return out;
+}
+
+}  // namespace gol::hls

@@ -1,0 +1,54 @@
+// Extended-M3U (m3u8) playlists, per Apple's HTTP Live Streaming draft the
+// paper builds on (draft-pantos-http-live-streaming). Supports the subset
+// HLS players need: master playlists with #EXT-X-STREAM-INF variants and
+// media playlists with #EXTINF segments.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gol::hls {
+
+struct Variant {
+  std::string uri;
+  long bandwidth_bps = 0;      ///< From #EXT-X-STREAM-INF BANDWIDTH=.
+  std::string resolution;      ///< Optional RESOLUTION= attribute, verbatim.
+  int program_id = 1;
+};
+
+struct MasterPlaylist {
+  std::vector<Variant> variants;
+
+  std::string serialize() const;
+  /// Variant with the highest bandwidth not exceeding `max_bps` (falls back
+  /// to the lowest when all exceed it). Returns nullopt when empty.
+  std::optional<Variant> pickVariant(double max_bps) const;
+};
+
+struct Segment {
+  std::string uri;
+  double duration_s = 0;  ///< From #EXTINF.
+};
+
+struct MediaPlaylist {
+  int version = 3;
+  double target_duration_s = 10;  ///< #EXT-X-TARGETDURATION.
+  long media_sequence = 0;
+  bool ended = true;              ///< #EXT-X-ENDLIST present (VoD).
+  std::vector<Segment> segments;
+
+  std::string serialize() const;
+  double totalDurationS() const;
+};
+
+enum class PlaylistKind { kMaster, kMedia, kInvalid };
+
+/// Cheap classification: master playlists contain #EXT-X-STREAM-INF.
+PlaylistKind classify(const std::string& text);
+
+/// Parsers return nullopt on malformed input (missing #EXTM3U, bad tags).
+std::optional<MasterPlaylist> parseMaster(const std::string& text);
+std::optional<MediaPlaylist> parseMedia(const std::string& text);
+
+}  // namespace gol::hls

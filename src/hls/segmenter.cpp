@@ -1,0 +1,53 @@
+#include "hls/segmenter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/units.hpp"
+
+namespace gol::hls {
+
+double SegmentedVideo::totalBytes() const {
+  double total = 0;
+  for (double b : segment_bytes) total += b;
+  return total;
+}
+
+SegmentedVideo segmentVideo(const VideoSpec& spec) {
+  if (spec.duration_s <= 0 || spec.segment_s <= 0 || spec.bitrate_bps <= 0)
+    throw std::invalid_argument("segmentVideo: positive spec required");
+  SegmentedVideo out;
+  out.playlist.target_duration_s = spec.segment_s;
+  double remaining = spec.duration_s;
+  int index = 0;
+  while (remaining > 1e-9) {
+    const double dur = std::min(spec.segment_s, remaining);
+    Segment seg;
+    seg.uri = spec.base_uri + std::to_string(index) + ".ts";
+    seg.duration_s = dur;
+    out.playlist.segments.push_back(seg);
+    out.segment_bytes.push_back(dur * spec.bitrate_bps / sim::kBitsPerByte);
+    remaining -= dur;
+    ++index;
+  }
+  out.playlist.ended = true;
+  return out;
+}
+
+std::vector<double> paperVideoQualitiesBps() {
+  return {200e3, 311e3, 484e3, 738e3};
+}
+
+MasterPlaylist masterForQualities(const std::vector<double>& qualities_bps,
+                                  const std::string& base_uri) {
+  MasterPlaylist master;
+  for (std::size_t i = 0; i < qualities_bps.size(); ++i) {
+    Variant v;
+    v.uri = base_uri + std::to_string(i + 1) + ".m3u8";
+    v.bandwidth_bps = static_cast<long>(qualities_bps[i]);
+    master.variants.push_back(std::move(v));
+  }
+  return master;
+}
+
+}  // namespace gol::hls

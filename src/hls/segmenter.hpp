@@ -1,0 +1,38 @@
+// Builds the HLS representation of a video: segment sizes and playlists.
+// Mirrors the paper's Fig 6 setup: Apple's "bipbop" sample layout, 10 s
+// segments, 200 s duration, qualities Q1..Q4 = 200/311/484/738 kbps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/playlist.hpp"
+
+namespace gol::hls {
+
+struct VideoSpec {
+  double duration_s = 200;     ///< Paper: YouTube median video length.
+  double segment_s = 10;       ///< Paper: Apple default segmentation.
+  double bitrate_bps = 200e3;  ///< Encoded bitrate of the variant.
+  std::string base_uri = "seg";
+};
+
+struct SegmentedVideo {
+  MediaPlaylist playlist;
+  std::vector<double> segment_bytes;  ///< Parallel to playlist.segments.
+
+  double totalBytes() const;
+};
+
+/// Splits the video into ceil(duration/segment) segments; the final segment
+/// carries the remainder. Sizes are duration * bitrate / 8.
+SegmentedVideo segmentVideo(const VideoSpec& spec);
+
+/// The paper's four tested qualities (Sec. 5.1), in bps.
+std::vector<double> paperVideoQualitiesBps();
+
+/// Builds a master playlist exposing one variant per quality.
+MasterPlaylist masterForQualities(const std::vector<double>& qualities_bps,
+                                  const std::string& base_uri = "quality");
+
+}  // namespace gol::hls

@@ -1,0 +1,189 @@
+#include "http/message.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace gol::http {
+
+namespace {
+
+char lowered(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Parses header lines between the start line and the blank line.
+/// Returns false on malformed fields.
+bool parseHeaderBlock(std::string_view block, HeaderMap& out) {
+  std::size_t pos = 0;
+  while (pos < block.size()) {
+    const std::size_t eol = block.find("\r\n", pos);
+    const std::string_view line =
+        block.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                        : eol - pos);
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) return false;
+    out[std::string(trim(line.substr(0, colon)))] =
+        std::string(trim(line.substr(colon + 1)));
+    if (eol == std::string_view::npos) break;
+    pos = eol + 2;
+  }
+  return true;
+}
+
+std::string serializeHeaders(const HeaderMap& headers) {
+  std::string out;
+  for (const auto& [k, v] : headers) {
+    out += k;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+bool CaseInsensitiveLess::operator()(const std::string& a,
+                                     const std::string& b) const {
+  return std::lexicographical_compare(
+      a.begin(), a.end(), b.begin(), b.end(),
+      [](char x, char y) { return lowered(x) < lowered(y); });
+}
+
+std::optional<std::string> Request::header(const std::string& name) const {
+  auto it = headers.find(name);
+  if (it == headers.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> Response::header(const std::string& name) const {
+  auto it = headers.find(name);
+  if (it == headers.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Request::serialize() const {
+  std::string out = method + " " + target + " " + version + "\r\n";
+  HeaderMap h = headers;
+  if (!body.empty() && h.find("Content-Length") == h.end())
+    h["Content-Length"] = std::to_string(body.size());
+  out += serializeHeaders(h);
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::string Response::serialize() const {
+  std::string out = version + " " + std::to_string(status) + " " + reason +
+                    "\r\n";
+  HeaderMap h = headers;
+  if (h.find("Content-Length") == h.end())
+    h["Content-Length"] = std::to_string(body.size());
+  out += serializeHeaders(h);
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::optional<std::size_t> contentLength(const HeaderMap& headers) {
+  auto it = headers.find("Content-Length");
+  if (it == headers.end()) return 0;
+  std::size_t value = 0;
+  const auto [ptr, ec] = std::from_chars(
+      it->second.data(), it->second.data() + it->second.size(), value);
+  if (ec != std::errc() || ptr != it->second.data() + it->second.size())
+    return std::nullopt;
+  return value;
+}
+
+RequestParseResult parseRequest(std::string_view data) {
+  RequestParseResult res;
+  const std::size_t head_end = data.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) return res;  // kNeedMore
+
+  const std::size_t line_end = data.find("\r\n");
+  const std::string_view start = data.substr(0, line_end);
+  const std::size_t sp1 = start.find(' ');
+  const std::size_t sp2 = start.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    res.status = ParseStatus::kError;
+    return res;
+  }
+  res.request.method = std::string(start.substr(0, sp1));
+  res.request.target = std::string(start.substr(sp1 + 1, sp2 - sp1 - 1));
+  res.request.version = std::string(start.substr(sp2 + 1));
+  if (!parseHeaderBlock(data.substr(line_end + 2, head_end - line_end - 2),
+                        res.request.headers)) {
+    res.status = ParseStatus::kError;
+    return res;
+  }
+  const auto len = contentLength(res.request.headers);
+  if (!len) {
+    res.status = ParseStatus::kError;
+    return res;
+  }
+  const std::size_t body_start = head_end + 4;
+  if (data.size() - body_start < *len) return res;  // kNeedMore
+  res.request.body = std::string(data.substr(body_start, *len));
+  res.consumed = body_start + *len;
+  res.status = ParseStatus::kComplete;
+  return res;
+}
+
+ResponseParseResult parseResponse(std::string_view data) {
+  ResponseParseResult res;
+  const std::size_t head_end = data.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) return res;
+
+  const std::size_t line_end = data.find("\r\n");
+  const std::string_view start = data.substr(0, line_end);
+  const std::size_t sp1 = start.find(' ');
+  if (sp1 == std::string_view::npos) {
+    res.status = ParseStatus::kError;
+    return res;
+  }
+  res.response.version = std::string(start.substr(0, sp1));
+  const std::size_t sp2 = start.find(' ', sp1 + 1);
+  const std::string_view code =
+      start.substr(sp1 + 1, sp2 == std::string_view::npos
+                                ? std::string_view::npos
+                                : sp2 - sp1 - 1);
+  int status_code = 0;
+  const auto [ptr, ec] =
+      std::from_chars(code.data(), code.data() + code.size(), status_code);
+  if (ec != std::errc() || status_code < 100 || status_code > 599) {
+    res.status = ParseStatus::kError;
+    return res;
+  }
+  res.response.status = status_code;
+  if (sp2 != std::string_view::npos)
+    res.response.reason = std::string(start.substr(sp2 + 1));
+  if (!parseHeaderBlock(data.substr(line_end + 2, head_end - line_end - 2),
+                        res.response.headers)) {
+    res.status = ParseStatus::kError;
+    return res;
+  }
+  const auto len = contentLength(res.response.headers);
+  if (!len) {
+    res.status = ParseStatus::kError;
+    return res;
+  }
+  const std::size_t body_start = head_end + 4;
+  if (data.size() - body_start < *len) return res;
+  res.response.body = std::string(data.substr(body_start, *len));
+  res.consumed = body_start + *len;
+  res.status = ParseStatus::kComplete;
+  return res;
+}
+
+}  // namespace gol::http

@@ -1,0 +1,69 @@
+// Minimal HTTP/1.1 message model: parse and serialize request/response heads
+// plus Content-Length bodies. Shared by the simulated HTTP layer (for
+// playlist/manifest handling) and the real-socket prototype proxy.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gol::http {
+
+/// Case-insensitive header map (HTTP field names are case-insensitive).
+struct CaseInsensitiveLess {
+  bool operator()(const std::string& a, const std::string& b) const;
+};
+using HeaderMap = std::map<std::string, std::string, CaseInsensitiveLess>;
+
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  std::string serialize() const;
+  std::optional<std::string> header(const std::string& name) const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  std::string serialize() const;
+  std::optional<std::string> header(const std::string& name) const;
+};
+
+/// Incremental parse outcomes.
+enum class ParseStatus {
+  kNeedMore,   ///< Message incomplete; feed more bytes.
+  kComplete,   ///< Parsed a full message; `consumed` bytes were used.
+  kError,      ///< Malformed input.
+};
+
+struct RequestParseResult {
+  ParseStatus status = ParseStatus::kNeedMore;
+  Request request;
+  std::size_t consumed = 0;
+};
+
+struct ResponseParseResult {
+  ParseStatus status = ParseStatus::kNeedMore;
+  Response response;
+  std::size_t consumed = 0;
+};
+
+/// Parses one request from the front of `data`. Bodies require a
+/// Content-Length header (chunked encoding is not supported; the proxy
+/// forwards unknown-length bodies by streaming until close).
+RequestParseResult parseRequest(std::string_view data);
+ResponseParseResult parseResponse(std::string_view data);
+
+/// Reads Content-Length, returning 0 when absent, nullopt when invalid.
+std::optional<std::size_t> contentLength(const HeaderMap& headers);
+
+}  // namespace gol::http

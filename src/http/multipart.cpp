@@ -1,0 +1,50 @@
+#include "http/multipart.hpp"
+
+namespace gol::http {
+
+MultipartEncoder::MultipartEncoder(std::string boundary)
+    : boundary_(std::move(boundary)) {}
+
+void MultipartEncoder::addPart(MultipartPart part) {
+  parts_.push_back(std::move(part));
+}
+
+std::string MultipartEncoder::contentType() const {
+  return "multipart/form-data; boundary=" + boundary_;
+}
+
+std::string MultipartEncoder::partHead(const MultipartPart& part) const {
+  std::string head = "--" + boundary_ + "\r\n";
+  head += "Content-Disposition: form-data; name=\"" + part.field_name + "\"";
+  if (!part.filename.empty()) head += "; filename=\"" + part.filename + "\"";
+  head += "\r\n";
+  head += "Content-Type: " + part.content_type + "\r\n\r\n";
+  return head;
+}
+
+std::string MultipartEncoder::encode() const {
+  std::string body;
+  body.reserve(encodedSize());
+  for (const auto& part : parts_) {
+    body += partHead(part);
+    body += part.data;
+    body += "\r\n";
+  }
+  body += "--" + boundary_ + "--\r\n";
+  return body;
+}
+
+std::size_t MultipartEncoder::encodedSize() const {
+  std::size_t size = boundary_.size() + 6;  // closing delimiter + CRLF
+  for (const auto& part : parts_) {
+    size += partHead(part).size() + part.data.size() + 2;
+  }
+  return size;
+}
+
+std::size_t MultipartEncoder::framingOverhead(const MultipartPart& part) {
+  MultipartEncoder tmp;
+  return tmp.partHead(part).size() + 2;
+}
+
+}  // namespace gol::http

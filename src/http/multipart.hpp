@@ -1,0 +1,45 @@
+// multipart/form-data encoding — how the paper's uplink application
+// (Facebook/Flickr/Picasa photo upload) frames its HTTP POST bodies.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gol::http {
+
+struct MultipartPart {
+  std::string field_name;
+  std::string filename;
+  std::string content_type = "application/octet-stream";
+  std::string data;
+};
+
+class MultipartEncoder {
+ public:
+  explicit MultipartEncoder(std::string boundary = "----gol3-boundary");
+
+  void addPart(MultipartPart part);
+  const std::string& boundary() const { return boundary_; }
+  std::size_t partCount() const { return parts_.size(); }
+
+  /// Value for the Content-Type request header.
+  std::string contentType() const;
+  /// Encodes the full body.
+  std::string encode() const;
+  /// Size the encoded body will have, without materializing it — used by
+  /// the simulator to account for framing overhead on large uploads.
+  std::size_t encodedSize() const;
+
+  /// Framing bytes added per part (boundary + part headers) for a part
+  /// with the given metadata sizes; exposed for overhead modelling.
+  static std::size_t framingOverhead(const MultipartPart& part);
+
+ private:
+  std::string partHead(const MultipartPart& part) const;
+
+  std::string boundary_;
+  std::vector<MultipartPart> parts_;
+};
+
+}  // namespace gol::http

@@ -1,0 +1,72 @@
+#include "http/sim_client.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace gol::http {
+
+double pathNominalRateBps(const net::NetPath& path) {
+  double rate = path.endpoint_cap_bps;
+  for (const net::Link* l : path.links)
+    rate = std::min(rate, l->capacityBps());
+  return rate;
+}
+
+SimHttpClient::TransferId SimHttpClient::transfer(TransferRequest req) {
+  const TransferId id = next_id_++;
+  const double requested_at = net_.simulator().now();
+  const double nominal = pathNominalRateBps(req.path);
+  const double overhead =
+      req.warm
+          ? net::warmTransferOverheadS(req.bytes, req.path.rtt_s, nominal, tcp_)
+          : net::transferOverheadS(req.bytes, req.path.rtt_s, nominal, tcp_);
+
+  Inflight inf;
+  inf.bytes = req.bytes;
+  auto shared = std::make_shared<TransferRequest>(std::move(req));
+  inf.start_event = net_.simulator().scheduleIn(
+      shared->extra_delay_s + overhead, [this, id, shared, requested_at] {
+        startFlow(id, std::move(*shared), requested_at);
+      });
+  inflight_.emplace(id, inf);
+  return id;
+}
+
+void SimHttpClient::startFlow(TransferId id, TransferRequest req,
+                              double requested_at) {
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) return;  // aborted while waiting
+  it->second.start_event = 0;
+
+  // Mathis ceiling under loss; endpoint cap from the path.
+  const double cap = std::min(
+      req.path.endpoint_cap_bps,
+      net::mathisCapBps(req.path.rtt_s, req.path.loss_rate, tcp_));
+
+  net::FlowSpec spec;
+  spec.path = req.path.links;
+  spec.bytes = req.bytes / tcp_.efficiency;  // wire bytes incl. header tax
+  spec.rate_cap_bps = cap;
+  spec.on_complete = [this, id, requested_at,
+                      cb = std::move(req.on_done)](net::FlowId) {
+    auto iter = inflight_.find(id);
+    if (iter == inflight_.end()) return;
+    inflight_.erase(iter);
+    if (cb) cb(net_.simulator().now() - requested_at);
+  };
+  it->second.flow = net_.startFlow(std::move(spec));
+}
+
+double SimHttpClient::abort(TransferId id) {
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) return 0.0;
+  double moved = 0.0;
+  if (it->second.start_event != 0)
+    net_.simulator().cancel(it->second.start_event);
+  if (it->second.flow != 0)
+    moved = net_.abortFlow(it->second.flow) * tcp_.efficiency;
+  inflight_.erase(it);
+  return moved;
+}
+
+}  // namespace gol::http

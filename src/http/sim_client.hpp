@@ -1,0 +1,66 @@
+// Message-level HTTP transfers over the fluid network: a fetch/upload is a
+// flow across a path plus the TCP setup/slow-start latency from
+// net::tcp_model. This is the building block the 3GOL transfer paths use
+// for the wired (ADSL) legs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/flow_network.hpp"
+#include "net/path.hpp"
+#include "net/tcp_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace gol::http {
+
+struct TransferRequest {
+  double bytes = 0;
+  net::NetPath path;
+  /// Warm connections skip the handshake and keep a partially open window
+  /// (HTTP keep-alive; the second and later HLS segments on a path).
+  bool warm = false;
+  /// Extra latency before the transfer starts (e.g. an RRC promotion that
+  /// the caller already accounted for passes 0 here).
+  double extra_delay_s = 0;
+  /// Called with the wall-clock duration once the last byte lands.
+  std::function<void(double seconds)> on_done;
+};
+
+class SimHttpClient {
+ public:
+  explicit SimHttpClient(net::FlowNetwork& net) : net_(net) {}
+  SimHttpClient(const SimHttpClient&) = delete;
+  SimHttpClient& operator=(const SimHttpClient&) = delete;
+
+  using TransferId = std::uint64_t;
+
+  TransferId transfer(TransferRequest req);
+  /// Aborts a pending/in-flight transfer; returns bytes already moved.
+  double abort(TransferId id);
+  bool active(TransferId id) const { return inflight_.count(id) != 0; }
+
+  const net::TcpParams& tcpParams() const { return tcp_; }
+  void setTcpParams(const net::TcpParams& p) { tcp_ = p; }
+
+ private:
+  struct Inflight {
+    net::FlowId flow = 0;          ///< 0 while waiting out the setup delay.
+    sim::EventId start_event = 0;  ///< Pending delayed start, if any.
+    double bytes = 0;
+  };
+
+  void startFlow(TransferId id, TransferRequest req, double start_time);
+
+  net::FlowNetwork& net_;
+  net::TcpParams tcp_;
+  std::map<TransferId, Inflight> inflight_;
+  TransferId next_id_ = 1;
+};
+
+/// Estimate of the bottleneck rate along a path (min link capacity and the
+/// endpoint cap) — used to size the slow-start penalty.
+double pathNominalRateBps(const net::NetPath& path);
+
+}  // namespace gol::http

@@ -1,0 +1,21 @@
+#include "http/sim_origin.hpp"
+
+namespace gol::http {
+
+SimOrigin::SimOrigin(net::FlowNetwork& net, std::string name,
+                     const SimOriginConfig& cfg)
+    : cfg_(cfg),
+      serve_(net.createLink(name + "/serve", cfg.serve_bps)),
+      ingest_(net.createLink(name + "/ingest", cfg.ingest_bps)) {}
+
+void SimOrigin::putObject(const std::string& uri, double bytes) {
+  objects_[uri] = bytes;
+}
+
+std::optional<double> SimOrigin::objectBytes(const std::string& uri) const {
+  auto it = objects_.find(uri);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace gol::http

@@ -1,0 +1,43 @@
+// The well-provisioned origin web server of the paper's evaluation
+// ("dedicated web server, 100 Mbps download / 40 Mbps upload, caching
+// disabled"). In the fluid model it contributes one link per direction that
+// every fetch/upload crosses, plus a catalog of named objects.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/flow_network.hpp"
+
+namespace gol::http {
+
+struct SimOriginConfig {
+  double serve_bps = 100e6;   ///< Server -> Internet (downloads).
+  double ingest_bps = 40e6;   ///< Internet -> server (uploads).
+  double rtt_s = 0.020;       ///< Server-side latency contribution.
+};
+
+class SimOrigin {
+ public:
+  SimOrigin(net::FlowNetwork& net, std::string name,
+            const SimOriginConfig& cfg = {});
+
+  net::Link* serveLink() { return serve_; }
+  net::Link* ingestLink() { return ingest_; }
+  const SimOriginConfig& config() const { return cfg_; }
+
+  /// Registers an object (e.g. an HLS segment URI) with its size in bytes.
+  void putObject(const std::string& uri, double bytes);
+  /// Size of a registered object; returns nullopt for unknown URIs.
+  std::optional<double> objectBytes(const std::string& uri) const;
+  std::size_t objectCount() const { return objects_.size(); }
+
+ private:
+  SimOriginConfig cfg_;
+  net::Link* serve_;
+  net::Link* ingest_;
+  std::map<std::string, double> objects_;
+};
+
+}  // namespace gol::http

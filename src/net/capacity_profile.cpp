@@ -1,0 +1,52 @@
+#include "net/capacity_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/units.hpp"
+
+namespace gol::net {
+
+DiurnalShape::DiurnalShape(std::array<double, 24> hourly) : hourly_(hourly) {}
+
+double DiurnalShape::at(double tod_s) const {
+  double h = std::fmod(tod_s / 3600.0, 24.0);
+  if (h < 0) h += 24.0;
+  const int lo = static_cast<int>(h) % 24;
+  const int hi = (lo + 1) % 24;
+  const double frac = h - std::floor(h);
+  return hourly_[lo] * (1.0 - frac) + hourly_[hi] * frac;
+}
+
+double DiurnalShape::maxValue() const {
+  return *std::max_element(hourly_.begin(), hourly_.end());
+}
+
+CapacityDriver::CapacityDriver(FlowNetwork& net, Link* link, Options opts,
+                               sim::Rng rng)
+    : net_(net), link_(link), opts_(opts), rng_(rng) {}
+
+void CapacityDriver::start() {
+  if (running_) return;
+  running_ = true;
+  tick();
+}
+
+void CapacityDriver::tick() {
+  if (!running_) return;
+  // AR(1) around zero with stationary sd = noise_sd.
+  const double innovation_sd =
+      opts_.noise_sd * std::sqrt(1.0 - opts_.noise_phi * opts_.noise_phi);
+  noise_state_ = opts_.noise_phi * noise_state_ +
+                 rng_.normal(0.0, innovation_sd);
+  double mult = 1.0 + noise_state_;
+  if (opts_.diurnal != nullptr) {
+    mult *= opts_.diurnal->at(opts_.day_offset_s + net_.simulator().now());
+  }
+  mult = std::max(mult, opts_.floor_fraction);
+  last_multiplier_ = mult;
+  net_.setLinkCapacity(link_, opts_.base_bps * mult);
+  net_.simulator().scheduleIn(opts_.update_interval_s, [this] { tick(); });
+}
+
+}  // namespace gol::net

@@ -1,0 +1,64 @@
+// Time-varying link capacity: diurnal shaping plus AR(1) short-term noise.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "net/flow_network.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace gol::net {
+
+/// A 24-hour multiplier curve, linearly interpolated between hourly anchors.
+/// Values are unitless multipliers applied to a base capacity.
+class DiurnalShape {
+ public:
+  explicit DiurnalShape(std::array<double, 24> hourly);
+  /// Multiplier at time-of-day `tod_s` seconds (wraps modulo 24 h).
+  double at(double tod_s) const;
+  double maxValue() const;
+
+ private:
+  std::array<double, 24> hourly_;
+};
+
+/// Drives a link's capacity over simulated time:
+///   capacity(t) = base * diurnal(t) * noise(t)
+/// where noise is a mean-one AR(1) process updated every `update_interval_s`.
+/// Models the paper's observation that per-device cellular throughput varies
+/// with hour of day and shows short-term variability (Sec. 3, Fig 4).
+class CapacityDriver {
+ public:
+  struct Options {
+    double base_bps = 0;
+    double update_interval_s = 5.0;
+    double noise_sd = 0.0;     ///< Stationary sd of the mean-one AR(1) noise.
+    double noise_phi = 0.8;    ///< AR(1) persistence in [0, 1).
+    double floor_fraction = 0.05;  ///< Capacity never drops below this.
+    const DiurnalShape* diurnal = nullptr;  ///< Optional; not owned.
+    double day_offset_s = 0.0;  ///< Simulation t=0 maps to this time-of-day.
+  };
+
+  CapacityDriver(FlowNetwork& net, Link* link, Options opts, sim::Rng rng);
+
+  /// Begins scheduling periodic capacity updates.
+  void start();
+  /// Stops future updates (already-queued update still fires harmlessly).
+  void stop() { running_ = false; }
+  double currentMultiplier() const { return last_multiplier_; }
+
+ private:
+  void tick();
+
+  FlowNetwork& net_;
+  Link* link_;
+  Options opts_;
+  sim::Rng rng_;
+  double noise_state_ = 0.0;  ///< Deviation from 1.0.
+  double last_multiplier_ = 1.0;
+  bool running_ = false;
+};
+
+}  // namespace gol::net

@@ -1,0 +1,237 @@
+#include "net/flow_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/units.hpp"
+
+namespace gol::net {
+
+namespace {
+constexpr double kDoneEpsilonBytes = 1e-6;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Link* FlowNetwork::createLink(std::string name, double capacity_bps) {
+  if (capacity_bps < 0) throw std::invalid_argument("negative link capacity");
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back(std::make_unique<Link>(id, std::move(name), capacity_bps));
+  return links_.back().get();
+}
+
+void FlowNetwork::setLinkCapacity(Link* link, double capacity_bps) {
+  if (link == nullptr) throw std::invalid_argument("null link");
+  if (capacity_bps < 0) throw std::invalid_argument("negative link capacity");
+  if (link->capacity_bps_ == capacity_bps) return;
+  advance();
+  link->capacity_bps_ = capacity_bps;
+  reschedule();
+}
+
+FlowId FlowNetwork::startFlow(FlowSpec spec) {
+  if (spec.bytes < 0) throw std::invalid_argument("negative flow size");
+  advance();
+  const FlowId id = next_flow_id_++;
+  FlowState st;
+  st.path = std::move(spec.path);
+  st.remaining_bytes = spec.bytes;
+  st.total_bytes = spec.bytes;
+  st.cap_bps = spec.rate_cap_bps;
+  st.on_complete = std::move(spec.on_complete);
+  flows_.emplace(id, std::move(st));
+  reschedule();
+  return id;
+}
+
+double FlowNetwork::abortFlow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return 0.0;
+  advance();
+  const double transferred =
+      it->second.total_bytes - it->second.remaining_bytes;
+  flows_.erase(it);
+  reschedule();
+  return transferred;
+}
+
+void FlowNetwork::setFlowRateCap(FlowId id, double cap_bps) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  if (cap_bps < 0) throw std::invalid_argument("negative rate cap");
+  advance();
+  it->second.cap_bps = cap_bps;
+  reschedule();
+}
+
+double FlowNetwork::flowRateBps(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate_bps;
+}
+
+double FlowNetwork::remainingBytes(FlowId id) const {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return 0.0;
+  // Account for time elapsed since the last advance without mutating state.
+  const double dt = sim_.now() - last_advance_;
+  return std::max(0.0, it->second.remaining_bytes -
+                           it->second.rate_bps / sim::kBitsPerByte * dt);
+}
+
+double FlowNetwork::transferredBytes(FlowId id) const {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return 0.0;
+  return it->second.total_bytes - remainingBytes(id);
+}
+
+double FlowNetwork::linkUtilization(const Link* link) const {
+  const double cap = link->capacityBps();
+  if (cap <= 0 || std::isinf(cap)) return 0.0;
+  return linkLoadBps(link) / cap;
+}
+
+double FlowNetwork::linkLoadBps(const Link* link) const {
+  double load = 0;
+  for (const auto& [id, st] : flows_) {
+    for (const Link* l : st.path) {
+      if (l == link) {
+        load += st.rate_bps;
+        break;
+      }
+    }
+  }
+  return load;
+}
+
+void FlowNetwork::advance() {
+  const sim::Time now = sim_.now();
+  const double dt = now - last_advance_;
+  if (dt > 0) {
+    for (auto& [id, st] : flows_) {
+      st.remaining_bytes -= st.rate_bps / sim::kBitsPerByte * dt;
+      if (st.remaining_bytes < 0) st.remaining_bytes = 0;
+    }
+  }
+  last_advance_ = now;
+}
+
+void FlowNetwork::computeRates() {
+  // Progressive filling (water-filling) max-min fairness with per-flow caps.
+  std::unordered_map<const Link*, double> residual;
+  std::unordered_map<const Link*, int> unfrozen_count;
+  std::unordered_set<FlowId> unfrozen;
+
+  for (auto& [id, st] : flows_) {
+    st.rate_bps = 0;
+    unfrozen.insert(id);
+    for (const Link* l : st.path) {
+      residual.emplace(l, l->capacityBps());
+      ++unfrozen_count[l];
+    }
+  }
+
+  while (!unfrozen.empty()) {
+    // Candidate level: the smallest of (a) any unfrozen flow's cap and
+    // (b) any link's equal share among its unfrozen flows.
+    double level = kInf;
+    for (FlowId id : unfrozen) level = std::min(level, flows_[id].cap_bps);
+    for (const auto& [l, res] : residual) {
+      const int n = unfrozen_count[l];
+      if (n > 0) level = std::min(level, std::max(0.0, res) / n);
+    }
+    if (std::isinf(level)) {
+      // Every remaining flow is uncapped and crosses no finite link.
+      for (FlowId id : unfrozen) flows_[id].rate_bps = kInf;
+      break;
+    }
+
+    // Freeze flows bound at this level: capped flows first, then flows on
+    // bottleneck links. At least one flow freezes per iteration.
+    std::vector<FlowId> to_freeze;
+    for (FlowId id : unfrozen) {
+      const FlowState& st = flows_[id];
+      bool bound = st.cap_bps <= level + 1e-12;
+      if (!bound) {
+        for (const Link* l : st.path) {
+          const int n = unfrozen_count[l];
+          if (n > 0 && std::max(0.0, residual[l]) / n <= level + 1e-12) {
+            bound = true;
+            break;
+          }
+        }
+      }
+      if (bound) to_freeze.push_back(id);
+    }
+    if (to_freeze.empty()) {
+      // Numerical safety net: freeze everything at the level.
+      to_freeze.assign(unfrozen.begin(), unfrozen.end());
+    }
+    for (FlowId id : to_freeze) {
+      FlowState& st = flows_[id];
+      st.rate_bps = std::min(level, st.cap_bps);
+      for (const Link* l : st.path) {
+        residual[l] -= st.rate_bps;
+        --unfrozen_count[l];
+      }
+      unfrozen.erase(id);
+    }
+  }
+}
+
+void FlowNetwork::reschedule() {
+  computeRates();
+  if (pending_event_ != 0) {
+    sim_.cancel(pending_event_);
+    pending_event_ = 0;
+  }
+  double dt_min = kInf;
+  for (const auto& [id, st] : flows_) {
+    if (st.rate_bps <= 0) continue;
+    if (st.remaining_bytes <= kDoneEpsilonBytes) {
+      dt_min = 0;
+      break;
+    }
+    const double dt =
+        st.remaining_bytes * sim::kBitsPerByte /
+        (std::isinf(st.rate_bps) ? kInf : st.rate_bps);
+    dt_min = std::min(dt_min, std::isinf(st.rate_bps) ? 0.0 : dt);
+  }
+  if (!std::isinf(dt_min)) {
+    if (dt_min > 0) {
+      // Clamp to the simulator's floating-point time resolution: at large
+      // timestamps, a dt below one ULP of `now` would re-fire the event at
+      // the *same* instant without advancing any flow, spinning forever.
+      // A few hundred ULPs costs sub-microsecond accuracy and guarantees
+      // progress.
+      const double min_dt = std::max(1e-12, sim_.now() * 1e-12);
+      dt_min = std::max(dt_min, min_dt);
+    }
+    pending_event_ = sim_.scheduleIn(dt_min, [this] { completionEvent(); });
+  }
+}
+
+void FlowNetwork::completionEvent() {
+  pending_event_ = 0;
+  advance();
+  // Collect finished flows, remove them, recompute, then fire callbacks.
+  // Callbacks may start new flows or abort others; by firing after the
+  // network state is consistent we allow that re-entrancy.
+  std::vector<std::pair<FlowId, std::function<void(FlowId)>>> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining_bytes <= kDoneEpsilonBytes ||
+        std::isinf(it->second.rate_bps)) {
+      done.emplace_back(it->first, std::move(it->second.on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reschedule();
+  for (auto& [id, cb] : done) {
+    if (cb) cb(id);
+  }
+}
+
+}  // namespace gol::net

@@ -1,0 +1,86 @@
+// Fluid-flow network with progressive-filling max-min fair bandwidth sharing.
+//
+// Flows are fluid: each holds a remaining-bytes counter and a current rate.
+// Whenever the flow set or any link capacity changes, all rates are
+// recomputed with the classic water-filling algorithm (respecting per-flow
+// rate caps, which model device limits and TCP loss ceilings), and the next
+// flow-completion event is (re)scheduled on the simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace gol::net {
+
+using FlowId = std::uint64_t;
+
+struct FlowSpec {
+  std::vector<Link*> path;  ///< Links traversed; flow is bound by each.
+  double bytes = 0;         ///< Payload to move.
+  double rate_cap_bps = std::numeric_limits<double>::infinity();
+  std::function<void(FlowId)> on_complete;  ///< Fired when bytes hit zero.
+};
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(sim::Simulator& sim) : sim_(sim) {}
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  Link* createLink(std::string name, double capacity_bps);
+  void setLinkCapacity(Link* link, double capacity_bps);
+
+  FlowId startFlow(FlowSpec spec);
+  /// Aborts a flow; returns bytes it had transferred (0 if unknown/finished).
+  double abortFlow(FlowId id);
+  /// Changes the per-flow rate cap (device throughput variation).
+  void setFlowRateCap(FlowId id, double cap_bps);
+
+  bool active(FlowId id) const { return flows_.count(id) != 0; }
+  double flowRateBps(FlowId id) const;
+  double remainingBytes(FlowId id) const;
+  double transferredBytes(FlowId id) const;
+  std::size_t activeFlowCount() const { return flows_.size(); }
+
+  /// Instantaneous utilization of a link: sum of crossing flow rates over
+  /// capacity. Returns 0 for an idle or infinite-capacity link.
+  double linkUtilization(const Link* link) const;
+  /// Sum of current flow rates crossing the link, in bps.
+  double linkLoadBps(const Link* link) const;
+
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  struct FlowState {
+    std::vector<Link*> path;
+    double remaining_bytes;
+    double total_bytes;
+    double rate_bps = 0;
+    double cap_bps;
+    std::function<void(FlowId)> on_complete;
+  };
+
+  /// Moves every flow forward to the current simulator time.
+  void advance();
+  /// Recomputes all flow rates (max-min) and reschedules completion.
+  void reschedule();
+  void computeRates();
+  void completionEvent();
+
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::map<FlowId, FlowState> flows_;  // ordered: determinism of iteration
+  FlowId next_flow_id_ = 1;
+  sim::Time last_advance_ = 0;
+  sim::EventId pending_event_ = 0;
+};
+
+}  // namespace gol::net

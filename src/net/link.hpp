@@ -1,0 +1,31 @@
+// A transmission resource with finite, possibly time-varying capacity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gol::net {
+
+using LinkId = std::uint32_t;
+
+/// A unidirectional capacity-constrained resource (ADSL downlink, an HSDPA
+/// shared channel, a Wi-Fi BSS, a backhaul pipe...). Links are created and
+/// owned by a FlowNetwork; capacity changes must go through
+/// FlowNetwork::setLinkCapacity so flow rates are recomputed.
+class Link {
+ public:
+  Link(LinkId id, std::string name, double capacity_bps)
+      : id_(id), name_(std::move(name)), capacity_bps_(capacity_bps) {}
+
+  LinkId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  double capacityBps() const { return capacity_bps_; }
+
+ private:
+  friend class FlowNetwork;
+  LinkId id_;
+  std::string name_;
+  double capacity_bps_;
+};
+
+}  // namespace gol::net

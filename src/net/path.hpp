@@ -1,0 +1,23 @@
+// An end-to-end path description: the links crossed plus path-level
+// properties (RTT, loss) that the TCP model consumes.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+
+namespace gol::net {
+
+struct NetPath {
+  std::string name;
+  std::vector<Link*> links;
+  double rtt_s = 0.05;       ///< Round-trip time, seconds.
+  double loss_rate = 0.0;    ///< Packet loss probability seen by TCP.
+  /// Extra rate ceiling from the endpoint itself (e.g. a device's radio
+  /// category), applied on top of link sharing. Infinity when absent.
+  double endpoint_cap_bps = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace gol::net

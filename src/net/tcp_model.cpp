@@ -1,0 +1,55 @@
+#include "net/tcp_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/units.hpp"
+
+namespace gol::net {
+
+double mathisCapBps(double rtt_s, double loss_rate, const TcpParams& params) {
+  if (loss_rate <= 0.0) return std::numeric_limits<double>::infinity();
+  if (rtt_s <= 0.0) return std::numeric_limits<double>::infinity();
+  constexpr double kMathisC = 1.22;
+  const double segs_per_rtt = kMathisC / std::sqrt(loss_rate);
+  return segs_per_rtt * params.mss_bytes * sim::kBitsPerByte / rtt_s;
+}
+
+namespace {
+
+// Number of RTTs spent in slow start before the congestion window covers the
+// smaller of (a) the object and (b) the bandwidth-delay product, counting the
+// time "lost" relative to transferring at the full fair rate from t=0.
+double slowStartPenaltyS(double object_bytes, double rtt_s,
+                         double fair_rate_bps, const TcpParams& params) {
+  if (rtt_s <= 0 || object_bytes <= 0) return 0.0;
+  const double init_window_bytes =
+      static_cast<double>(params.initial_cwnd_segments) * params.mss_bytes;
+  const double bdp_bytes = std::isinf(fair_rate_bps)
+                               ? object_bytes
+                               : fair_rate_bps / sim::kBitsPerByte * rtt_s;
+  const double target = std::min(object_bytes, std::max(bdp_bytes,
+                                                        init_window_bytes));
+  if (target <= init_window_bytes) return rtt_s;  // one window round-trip
+  const double doublings = std::log2(target / init_window_bytes);
+  // During slow start each RTT delivers half of what full rate would; the
+  // deficit is ~1 RTT per doubling minus the bytes actually moved.
+  return rtt_s * (1.0 + 0.5 * doublings);
+}
+
+}  // namespace
+
+double transferOverheadS(double object_bytes, double rtt_s,
+                         double fair_rate_bps, const TcpParams& params) {
+  return params.setup_rtts * rtt_s +
+         slowStartPenaltyS(object_bytes, rtt_s, fair_rate_bps, params);
+}
+
+double warmTransferOverheadS(double object_bytes, double rtt_s,
+                             double fair_rate_bps, const TcpParams& params) {
+  return rtt_s +
+         0.5 * slowStartPenaltyS(object_bytes, rtt_s, fair_rate_bps, params);
+}
+
+}  // namespace gol::net

@@ -1,0 +1,44 @@
+// Analytic TCP behaviour model.
+//
+// The fluid simulator moves bytes at max-min fair rates; TCP dynamics enter
+// in two places:
+//   1. a steady-state rate ceiling under loss (Mathis et al. formula), and
+//   2. a per-object latency overhead for connection setup and slow-start,
+//      which is what makes short sequential HLS segment fetches markedly
+//      slower than line rate — the effect behind the paper's Fig 6 ADSL
+//      baselines (a 2 Mbps line delivering a 200 kbps-encoded 200 s video
+//      in 41 s rather than the ideal 20 s).
+#pragma once
+
+#include <cstddef>
+
+namespace gol::net {
+
+struct TcpParams {
+  double mss_bytes = 1460;
+  int initial_cwnd_segments = 10;  ///< RFC 6928 initial window.
+  /// Handshake (SYN, SYN-ACK) plus HTTP request serialization, in RTTs.
+  double setup_rtts = 2.0;
+  /// Fraction of nominal link rate usable as goodput (header/ACK overhead).
+  double efficiency = 0.95;
+};
+
+/// Steady-state throughput ceiling under random loss `p` (Mathis formula):
+///   rate <= MSS / RTT * C / sqrt(p),  C ~= 1.22.
+/// Returns +infinity when p == 0.
+double mathisCapBps(double rtt_s, double loss_rate,
+                    const TcpParams& params = {});
+
+/// Latency overhead (seconds) paid before/while a fresh object transfer
+/// reaches the fair-share rate: connection/request setup plus the slow-start
+/// ramp. `fair_rate_bps` bounds how many doublings are needed.
+double transferOverheadS(double object_bytes, double rtt_s,
+                         double fair_rate_bps, const TcpParams& params = {});
+
+/// Overhead for a request reusing a warm connection (no handshake, window
+/// partially retained): roughly one RTT for the request plus a shallow ramp.
+double warmTransferOverheadS(double object_bytes, double rtt_s,
+                             double fair_rate_bps,
+                             const TcpParams& params = {});
+
+}  // namespace gol::net

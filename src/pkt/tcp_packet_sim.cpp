@@ -1,0 +1,194 @@
+#include "pkt/tcp_packet_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/units.hpp"
+
+namespace gol::pkt {
+
+TcpTransfer::TcpTransfer(sim::Simulator& sim, const PathSpec& path,
+                         double bytes, sim::Rng rng,
+                         std::function<void(const TransferStats&)> done)
+    : sim_(sim),
+      path_(path),
+      total_segments_(static_cast<long>(
+          std::ceil(bytes / path.mss_bytes))),
+      bytes_(bytes),
+      rng_(rng),
+      done_(std::move(done)) {
+  if (total_segments_ < 1) total_segments_ = 1;
+  cwnd_ = path.initial_cwnd;
+}
+
+double TcpTransfer::serviceTimeS() const {
+  return path_.mss_bytes * sim::kBitsPerByte / path_.rate_bps;
+}
+
+void TcpTransfer::start() {
+  running_ = true;
+  started_at_ = sim_.now();
+  // Handshake + request serialization before the first data segment.
+  sim_.scheduleIn(path_.handshake_rtts * path_.rtt_s, [this] {
+    trySend();
+    armRto();
+  });
+}
+
+void TcpTransfer::trySend() {
+  if (!running_) return;
+  while (next_seq_ < total_segments_ &&
+         next_seq_ - acked_ < static_cast<long>(cwnd_)) {
+    injectPacket(next_seq_, false);
+    ++next_seq_;
+  }
+}
+
+void TcpTransfer::injectPacket(long seq, bool retransmission) {
+  ++stats_.packets_sent;
+  if (retransmission) ++stats_.retransmits;
+
+  // Droptail at the bottleneck plus optional random (wireless) loss.
+  if (queue_occupancy_ >= path_.queue_packets) return;  // dropped
+  if (path_.random_loss > 0 && rng_.bernoulli(path_.random_loss))
+    return;  // corrupted on the air
+
+  ++queue_occupancy_;
+  const double depart =
+      std::max(sim_.now(), busy_until_) + serviceTimeS();
+  busy_until_ = depart;
+  // Delivered to the receiver half an RTT after leaving the bottleneck.
+  sim_.scheduleAt(depart, [this] { --queue_occupancy_; });
+  sim_.scheduleAt(depart + path_.rtt_s / 2, [this, seq] {
+    onPacketDelivered(seq);
+  });
+}
+
+void TcpTransfer::onPacketDelivered(long seq) {
+  if (!running_) return;
+  if (seq == rcv_next_) {
+    ++rcv_next_;
+    while (rcv_out_of_order_.erase(rcv_next_) > 0) ++rcv_next_;
+  } else if (seq > rcv_next_) {
+    rcv_out_of_order_.insert(seq);
+  }
+  // Cumulative ACK plus SACK information (the holes the receiver can see)
+  // travels back half an RTT.
+  const long cumulative = rcv_next_;
+  std::vector<long> missing;
+  if (!rcv_out_of_order_.empty()) {
+    long expect = rcv_next_;
+    for (long got : rcv_out_of_order_) {
+      for (long hole = expect; hole < got && missing.size() < 64; ++hole) {
+        missing.push_back(hole);
+      }
+      expect = got + 1;
+      if (missing.size() >= 64) break;
+    }
+  }
+  sim_.scheduleIn(path_.rtt_s / 2,
+                  [this, cumulative, missing = std::move(missing)] {
+                    onAck(cumulative, missing);
+                  });
+}
+
+void TcpTransfer::onAck(long cumulative_ack,
+                        const std::vector<long>& sack_missing) {
+  if (!running_) return;
+  // SACK-driven retransmission: while in recovery, resend each reported
+  // hole once per recovery episode.
+  if (recovery_until_ >= 0) {
+    for (long hole : sack_missing) {
+      if (hole >= recovery_until_) break;
+      if (retransmitted_.insert(hole).second) {
+        injectPacket(hole, true);
+      }
+    }
+  }
+  if (cumulative_ack > acked_) {
+    acked_ = cumulative_ack;
+    dupacks_ = 0;
+    if (recovery_until_ >= 0) {
+      if (acked_ >= recovery_until_) {
+        recovery_until_ = -1;  // recovery complete
+      } else if (retransmitted_.insert(acked_).second) {
+        // NewReno partial ACK: another hole in the same window —
+        // retransmit it immediately instead of stalling into an RTO.
+        injectPacket(acked_, true);
+      }
+    }
+    if (recovery_until_ < 0) {
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += 1.0;  // slow start
+      } else {
+        cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+      }
+    }
+    stats_.max_cwnd_segments = std::max(stats_.max_cwnd_segments, cwnd_);
+    armRto();
+    if (acked_ >= total_segments_) {
+      finish();
+      return;
+    }
+    trySend();
+    return;
+  }
+
+  // Duplicate ACK.
+  if (recovery_until_ >= 0) return;  // already recovering
+  if (++dupacks_ >= 3) {
+    ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+    cwnd_ = ssthresh_;
+    recovery_until_ = next_seq_;
+    dupacks_ = 0;
+    retransmitted_.clear();
+    retransmitted_.insert(acked_);
+    injectPacket(acked_, true);  // resend the first missing segment
+    armRto();
+  }
+}
+
+void TcpTransfer::armRto() {
+  if (rto_event_ != 0) sim_.cancel(rto_event_);
+  const double rto =
+      std::max(0.2, 3.0 * (path_.rtt_s + serviceTimeS() *
+                                             path_.queue_packets));
+  rto_event_ = sim_.scheduleIn(rto, [this] { onRto(); });
+}
+
+void TcpTransfer::onRto() {
+  rto_event_ = 0;
+  if (!running_ || acked_ >= total_segments_) return;
+  ++stats_.timeouts;
+  ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+  cwnd_ = 1.0;
+  recovery_until_ = -1;
+  dupacks_ = 0;
+  retransmitted_.clear();
+  injectPacket(acked_, true);
+  armRto();
+}
+
+void TcpTransfer::finish() {
+  running_ = false;
+  if (rto_event_ != 0) sim_.cancel(rto_event_);
+  stats_.completed = true;
+  stats_.duration_s = sim_.now() - started_at_;
+  stats_.goodput_bps =
+      stats_.duration_s > 0 ? bytes_ * sim::kBitsPerByte / stats_.duration_s
+                            : 0;
+  if (done_) done_(stats_);
+}
+
+TransferStats runPacketTransfer(const PathSpec& path, double bytes,
+                                std::uint64_t seed) {
+  sim::Simulator sim;
+  TransferStats out;
+  TcpTransfer transfer(sim, path, bytes, sim::Rng(seed),
+                       [&out](const TransferStats& s) { out = s; });
+  transfer.start();
+  sim.run();
+  return out;
+}
+
+}  // namespace gol::pkt

@@ -1,0 +1,99 @@
+// Packet-level TCP (Reno) over a single bottleneck path with a droptail
+// queue. This module exists to *validate* the fluid abstraction the rest
+// of the repository runs on: the fluid model asserts that a transfer takes
+//   setup/slow-start overhead + bytes / min(fair_share, mathis_cap)
+// and the validation bench (validation_fluid_vs_packet) checks that a real
+// windowed sender over a queue agrees within tolerance across object
+// sizes, RTTs and loss rates.
+//
+// Scope: one flow, one bottleneck. Slow start, congestion avoidance, fast
+// retransmit (3 dupacks), retransmission timeout, optional i.i.d. random
+// loss (the wireless case behind the Mathis ceiling).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace gol::pkt {
+
+struct PathSpec {
+  double rate_bps = 10e6;   ///< Bottleneck service rate.
+  double rtt_s = 0.05;      ///< Propagation RTT (queueing adds on top).
+  int queue_packets = 64;   ///< Droptail buffer at the bottleneck.
+  int mss_bytes = 1460;
+  double random_loss = 0.0; ///< i.i.d. drop probability (wireless).
+  int initial_cwnd = 10;    ///< RFC 6928, matching the fluid model.
+  double handshake_rtts = 2.0;  ///< SYN + request, as in net::TcpParams.
+};
+
+struct TransferStats {
+  bool completed = false;
+  double duration_s = 0;     ///< Handshake start to last byte ACKed.
+  long packets_sent = 0;     ///< Including retransmissions.
+  long retransmits = 0;
+  long timeouts = 0;
+  double max_cwnd_segments = 0;
+  double goodput_bps = 0;
+};
+
+/// One transfer; owns its timers on the shared simulator. Keep alive until
+/// the completion callback fires.
+class TcpTransfer {
+ public:
+  TcpTransfer(sim::Simulator& sim, const PathSpec& path, double bytes,
+              sim::Rng rng, std::function<void(const TransferStats&)> done);
+  TcpTransfer(const TcpTransfer&) = delete;
+  TcpTransfer& operator=(const TcpTransfer&) = delete;
+
+  void start();
+
+ private:
+  double serviceTimeS() const;
+  void trySend();
+  void injectPacket(long seq, bool retransmission);
+  void onPacketDelivered(long seq);
+  void onAck(long cumulative_ack, const std::vector<long>& sack_missing);
+  void armRto();
+  void onRto();
+  void finish();
+
+  sim::Simulator& sim_;
+  PathSpec path_;
+  long total_segments_;
+  double bytes_;
+  sim::Rng rng_;
+  std::function<void(const TransferStats&)> done_;
+
+  // Sender state.
+  long next_seq_ = 0;       ///< Next new segment to send.
+  long acked_ = 0;          ///< Cumulative: all < acked_ delivered.
+  double cwnd_ = 10;        ///< Segments.
+  double ssthresh_ = 1e9;
+  int dupacks_ = 0;
+  long recovery_until_ = -1;  ///< Fast-recovery exit point.
+  std::set<long> retransmitted_;  ///< Holes already resent this recovery.
+  sim::EventId rto_event_ = 0;
+
+  // Receiver state.
+  long rcv_next_ = 0;                ///< Next in-order segment expected.
+  std::set<long> rcv_out_of_order_;
+
+  // Bottleneck queue state.
+  int queue_occupancy_ = 0;
+  double busy_until_ = 0;
+
+  TransferStats stats_;
+  double started_at_ = 0;
+  bool running_ = false;
+};
+
+/// Convenience: runs one transfer to completion on a private simulator.
+TransferStats runPacketTransfer(const PathSpec& path, double bytes,
+                                std::uint64_t seed = 1);
+
+}  // namespace gol::pkt

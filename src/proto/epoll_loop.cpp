@@ -1,0 +1,140 @@
+#include "proto/epoll_loop.hpp"
+
+#include <sys/epoll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <system_error>
+
+namespace gol::proto {
+
+namespace {
+
+std::uint32_t toEpoll(Interest interest) {
+  std::uint32_t ev = 0;
+  const auto bits = static_cast<std::uint32_t>(interest);
+  if (bits & 1) ev |= EPOLLIN;
+  if (bits & 2) ev |= EPOLLOUT;
+  return ev;
+}
+
+}  // namespace
+
+EpollLoop::EpollLoop() : epoll_fd_(::epoll_create1(EPOLL_CLOEXEC)) {
+  if (!epoll_fd_.valid())
+    throw std::system_error(errno, std::generic_category(), "epoll_create1");
+}
+
+EpollLoop::~EpollLoop() = default;
+
+void EpollLoop::add(int fd, Interest interest, Callback cb) {
+  epoll_event ev{};
+  ev.events = toEpoll(interest);
+  ev.data.fd = fd;
+  const bool existing = callbacks_.count(fd) != 0;
+  if (::epoll_ctl(epoll_fd_.get(), existing ? EPOLL_CTL_MOD : EPOLL_CTL_ADD,
+                  fd, &ev) < 0) {
+    throw std::system_error(errno, std::generic_category(), "epoll_ctl add");
+  }
+  callbacks_[fd] = std::move(cb);
+}
+
+void EpollLoop::modify(int fd, Interest interest) {
+  epoll_event ev{};
+  ev.events = toEpoll(interest);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+    throw std::system_error(errno, std::generic_category(), "epoll_ctl mod");
+  }
+}
+
+void EpollLoop::remove(int fd) {
+  callbacks_.erase(fd);
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+}
+
+EpollLoop::TimerId EpollLoop::runAfter(std::chrono::microseconds delay,
+                                       std::function<void()> fn) {
+  Timer t;
+  t.due = Clock::now() + delay;
+  t.id = next_timer_++;
+  const TimerId id = t.id;
+  t.fn = std::move(fn);
+  timers_.push_back(std::move(t));
+  std::push_heap(timers_.begin(), timers_.end());
+  return id;
+}
+
+void EpollLoop::cancelTimer(TimerId id) { cancelled_.push_back(id); }
+
+void EpollLoop::fireDueTimers() {
+  const auto now = Clock::now();
+  while (!timers_.empty()) {
+    std::pop_heap(timers_.begin(), timers_.end());
+    Timer t = std::move(timers_.back());
+    timers_.pop_back();
+    const bool is_cancelled =
+        std::find(cancelled_.begin(), cancelled_.end(), t.id) !=
+        cancelled_.end();
+    if (is_cancelled) {
+      cancelled_.erase(
+          std::remove(cancelled_.begin(), cancelled_.end(), t.id),
+          cancelled_.end());
+      continue;
+    }
+    if (t.due > now) {
+      timers_.push_back(std::move(t));
+      std::push_heap(timers_.begin(), timers_.end());
+      break;
+    }
+    t.fn();
+  }
+}
+
+std::chrono::milliseconds EpollLoop::nextTimerWait(
+    std::chrono::milliseconds max_wait) const {
+  if (timers_.empty()) return max_wait;
+  const auto due = timers_.front().due;
+  const auto now = Clock::now();
+  if (due <= now) return std::chrono::milliseconds(0);
+  const auto wait =
+      std::chrono::duration_cast<std::chrono::milliseconds>(due - now) +
+      std::chrono::milliseconds(1);
+  return std::min(max_wait, wait);
+}
+
+void EpollLoop::poll(std::chrono::milliseconds max_wait) {
+  fireDueTimers();
+  epoll_event events[64];
+  const int n =
+      ::epoll_wait(epoll_fd_.get(), events, 64,
+                   static_cast<int>(nextTimerWait(max_wait).count()));
+  if (n < 0) {
+    if (errno == EINTR) return;
+    throw std::system_error(errno, std::generic_category(), "epoll_wait");
+  }
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    auto it = callbacks_.find(fd);
+    if (it == callbacks_.end()) continue;  // removed by an earlier callback
+    const bool readable =
+        (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0;
+    const bool writable = (events[i].events & (EPOLLOUT | EPOLLERR)) != 0;
+    // Copy: the callback may remove/replace itself.
+    Callback cb = it->second;
+    cb(readable, writable);
+  }
+  fireDueTimers();
+}
+
+bool EpollLoop::runUntil(const std::function<bool()>& predicate,
+                         std::chrono::milliseconds deadline) {
+  const auto until = Clock::now() + deadline;
+  while (!predicate()) {
+    if (Clock::now() >= until) return false;
+    poll(std::chrono::milliseconds(20));
+  }
+  return true;
+}
+
+}  // namespace gol::proto

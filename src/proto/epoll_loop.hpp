@@ -1,0 +1,72 @@
+// A minimal single-threaded epoll reactor with timer support — the event
+// core the prototype's origin server, proxies, and multipath client all
+// share.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "proto/socket.hpp"
+
+namespace gol::proto {
+
+enum class Interest : std::uint32_t {
+  kRead = 1,
+  kWrite = 2,
+  kReadWrite = 3,
+};
+
+class EpollLoop {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using Callback = std::function<void(bool readable, bool writable)>;
+  using TimerId = std::uint64_t;
+
+  EpollLoop();
+  ~EpollLoop();
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  /// Registers `fd` (not owned) with the given interest. Re-adding an
+  /// existing fd updates interest and callback.
+  void add(int fd, Interest interest, Callback cb);
+  void modify(int fd, Interest interest);
+  void remove(int fd);
+
+  /// One-shot timer; returns an id usable with cancelTimer.
+  TimerId runAfter(std::chrono::microseconds delay, std::function<void()> fn);
+  void cancelTimer(TimerId id);
+
+  /// Processes ready events and due timers; waits at most `max_wait`.
+  void poll(std::chrono::milliseconds max_wait);
+  /// Runs until `predicate` is true or `deadline` passes; returns whether
+  /// the predicate held.
+  bool runUntil(const std::function<bool()>& predicate,
+                std::chrono::milliseconds deadline);
+
+ private:
+  struct Timer {
+    Clock::time_point due;
+    TimerId id;
+    std::function<void()> fn;
+    bool operator<(const Timer& o) const {
+      if (due != o.due) return due > o.due;  // min-heap via priority_queue
+      return id > o.id;
+    }
+  };
+
+  void fireDueTimers();
+  std::chrono::milliseconds nextTimerWait(
+      std::chrono::milliseconds max_wait) const;
+
+  Fd epoll_fd_;
+  std::map<int, Callback> callbacks_;
+  std::vector<Timer> timers_;  // heap
+  TimerId next_timer_ = 1;
+  std::vector<TimerId> cancelled_;
+};
+
+}  // namespace gol::proto

@@ -1,0 +1,199 @@
+#include "proto/multipath_client.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "http/message.hpp"
+
+namespace gol::proto {
+
+using Clock = std::chrono::steady_clock;
+
+MultipathHttpClient::MultipathHttpClient(EpollLoop& loop,
+                                         std::vector<Endpoint> endpoints,
+                                         bool enable_duplication)
+    : loop_(loop), duplication_(enable_duplication) {
+  if (endpoints.empty())
+    throw std::invalid_argument("MultipathHttpClient: no endpoints");
+  for (auto& e : endpoints) {
+    Slot s;
+    s.endpoint = std::move(e);
+    slots_.push_back(std::move(s));
+  }
+}
+
+void MultipathHttpClient::start(std::vector<FetchItem> items) {
+  if (!done_) throw std::logic_error("transaction already running");
+  items_ = std::move(items);
+  states_.assign(items_.size(), ItemState::kPending);
+  carriers_.assign(items_.size(), {});
+  first_assigned_.assign(items_.size(), Clock::time_point{});
+  done_count_ = 0;
+  result_ = MultipathResult{};
+  result_.item_completion_s.assign(items_.size(), 0.0);
+  done_ = items_.empty();
+  result_.complete = done_;
+  started_at_ = Clock::now();
+  if (done_) return;
+  for (std::size_t s = 0; s < slots_.size(); ++s) dispatch(s);
+}
+
+std::optional<std::size_t> MultipathHttpClient::pickItem(
+    std::size_t slot_index) {
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (states_[i] == ItemState::kPending) return i;
+  }
+  if (!duplication_) return std::nullopt;
+  std::optional<std::size_t> oldest;
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (states_[i] != ItemState::kInFlight) continue;
+    if (std::find(carriers_[i].begin(), carriers_[i].end(), slot_index) !=
+        carriers_[i].end())
+      continue;
+    if (!oldest || first_assigned_[i] < first_assigned_[*oldest]) oldest = i;
+  }
+  return oldest;
+}
+
+void MultipathHttpClient::dispatch(std::size_t slot_index) {
+  Slot& slot = slots_[slot_index];
+  if (slot.item.has_value() || done_) return;
+  const auto pick = pickItem(slot_index);
+  if (!pick) return;
+  const std::size_t idx = *pick;
+
+  auto conn = connectTcp(slot.endpoint.port);
+  if (!conn) return;  // endpoint unreachable; leave the slot idle
+
+  if (states_[idx] == ItemState::kPending) {
+    states_[idx] = ItemState::kInFlight;
+    first_assigned_[idx] = Clock::now();
+  } else {
+    ++result_.duplicated_items;
+  }
+  carriers_[idx].push_back(slot_index);
+
+  slot.item = idx;
+  slot.conn = std::move(*conn);
+  slot.in.clear();
+  slot.received_body = 0;
+  slot.started_at = Clock::now();
+
+  http::Request req;
+  req.target = items_[idx].uri;
+  req.headers["Host"] = "origin";
+  req.headers["Connection"] = "close";
+  slot.out = req.serialize();
+
+  const int fd = slot.conn.get();
+  loop_.add(fd, Interest::kReadWrite, [this, slot_index](bool r, bool w) {
+    onSlotEvent(slot_index, r, w);
+  });
+}
+
+void MultipathHttpClient::onSlotEvent(std::size_t slot_index, bool readable,
+                                      bool writable) {
+  Slot& slot = slots_[slot_index];
+  if (!slot.item.has_value() || !slot.conn.valid()) return;
+  const int fd = slot.conn.get();
+
+  if (writable && !slot.out.empty()) {
+    const long n = writeSome(fd, slot.out.data(), slot.out.size());
+    if (n > 0) slot.out.erase(0, static_cast<std::size_t>(n));
+    if (slot.out.empty()) loop_.modify(fd, Interest::kRead);
+  }
+
+  if (readable) {
+    char buf[16384];
+    bool eof = false;
+    for (;;) {
+      const long n = readSome(fd, buf, sizeof buf);
+      if (n == 0) {
+        eof = true;
+        break;
+      }
+      if (n < 0) break;
+      slot.in.append(buf, static_cast<std::size_t>(n));
+    }
+    const auto parsed = http::parseResponse(slot.in);
+    if (parsed.status == http::ParseStatus::kComplete) {
+      completeItem(slot_index);
+      return;
+    }
+    if (eof) {
+      // Origin closed before a full response: treat as failure, retry the
+      // item by releasing the slot.
+      const std::size_t idx = *slot.item;
+      auto& c = carriers_[idx];
+      c.erase(std::remove(c.begin(), c.end(), slot_index), c.end());
+      if (states_[idx] == ItemState::kInFlight && c.empty())
+        states_[idx] = ItemState::kPending;
+      loop_.remove(fd);
+      slot.conn.reset();
+      slot.item.reset();
+      dispatch(slot_index);
+    }
+  }
+}
+
+void MultipathHttpClient::completeItem(std::size_t slot_index) {
+  Slot& slot = slots_[slot_index];
+  const std::size_t idx = *slot.item;
+  loop_.remove(slot.conn.get());
+  slot.conn.reset();
+  slot.item.reset();
+  const std::size_t payload = items_[idx].bytes;
+
+  if (states_[idx] == ItemState::kDone) {
+    // Lost the duplicate race after delivery; count the whole copy wasted.
+    result_.wasted_bytes += payload;
+    dispatch(slot_index);
+    return;
+  }
+  states_[idx] = ItemState::kDone;
+  ++done_count_;
+  result_.per_endpoint_bytes[slot.endpoint.name] += payload;
+  result_.item_completion_s[idx] =
+      std::chrono::duration<double>(Clock::now() - started_at_).count();
+
+  // Abort losing duplicates.
+  auto carriers = carriers_[idx];
+  carriers_[idx].clear();
+  for (std::size_t other : carriers) {
+    if (other != slot_index) abortSlot(other);
+  }
+  if (done_count_ == items_.size()) {
+    finish();
+    return;
+  }
+  for (std::size_t other : carriers) {
+    if (other != slot_index) dispatch(other);
+  }
+  dispatch(slot_index);
+}
+
+void MultipathHttpClient::abortSlot(std::size_t slot_index) {
+  Slot& slot = slots_[slot_index];
+  if (!slot.item.has_value()) return;
+  result_.wasted_bytes += slot.in.size();
+  loop_.remove(slot.conn.get());
+  slot.conn.reset();
+  slot.item.reset();
+  slot.in.clear();
+}
+
+void MultipathHttpClient::finish() {
+  done_ = true;
+  result_.complete = true;
+  result_.duration_s =
+      std::chrono::duration<double>(Clock::now() - started_at_).count();
+}
+
+MultipathResult MultipathHttpClient::run(std::vector<FetchItem> items,
+                                         std::chrono::milliseconds timeout) {
+  start(std::move(items));
+  loop_.runUntil([this] { return done_; }, timeout);
+  return result_;
+}
+
+}  // namespace gol::proto

@@ -1,0 +1,87 @@
+// The client-side 3GOL component over real sockets: fetches a transaction
+// of objects from the origin across several endpoints (the direct/ADSL leg
+// and one per phone proxy), using the paper's greedy policy — pending items
+// in order, then tail duplication with loser abort.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/epoll_loop.hpp"
+#include "proto/socket.hpp"
+
+namespace gol::proto {
+
+struct Endpoint {
+  std::string name;
+  std::uint16_t port = 0;  ///< Direct origin port or a proxy port.
+};
+
+struct FetchItem {
+  std::string uri;     ///< e.g. "/obj/100000".
+  std::size_t bytes;   ///< Expected payload size (for verification).
+};
+
+struct MultipathResult {
+  bool complete = false;
+  double duration_s = 0;
+  std::size_t wasted_bytes = 0;   ///< Bytes received on aborted duplicates.
+  std::size_t duplicated_items = 0;
+  std::map<std::string, std::size_t> per_endpoint_bytes;
+  std::vector<double> item_completion_s;
+};
+
+class MultipathHttpClient {
+ public:
+  MultipathHttpClient(EpollLoop& loop, std::vector<Endpoint> endpoints,
+                      bool enable_duplication = true);
+
+  /// Starts the transaction; completion is observable via done()/result().
+  void start(std::vector<FetchItem> items);
+  bool done() const { return done_; }
+  const MultipathResult& result() const { return result_; }
+
+  /// Convenience: runs the loop until done or timeout.
+  MultipathResult run(std::vector<FetchItem> items,
+                      std::chrono::milliseconds timeout);
+
+ private:
+  enum class ItemState { kPending, kInFlight, kDone };
+
+  struct Slot {               // one per endpoint
+    Endpoint endpoint;
+    Fd conn;                  // invalid while idle
+    std::optional<std::size_t> item;
+    std::string out;          // request bytes still to send
+    std::string in;           // response bytes so far
+    std::size_t received_body = 0;
+    std::chrono::steady_clock::time_point started_at{};
+  };
+
+  void dispatch(std::size_t slot_index);
+  void onSlotEvent(std::size_t slot_index, bool readable, bool writable);
+  void completeItem(std::size_t slot_index);
+  void abortSlot(std::size_t slot_index);
+  std::optional<std::size_t> pickItem(std::size_t slot_index);
+  void finish();
+
+  EpollLoop& loop_;
+  std::vector<Slot> slots_;
+  bool duplication_;
+
+  std::vector<FetchItem> items_;
+  std::vector<ItemState> states_;
+  std::vector<std::vector<std::size_t>> carriers_;  // slot indices per item
+  std::vector<std::chrono::steady_clock::time_point> first_assigned_;
+  std::size_t done_count_ = 0;
+  bool done_ = true;
+  MultipathResult result_;
+  std::chrono::steady_clock::time_point started_at_{};
+};
+
+}  // namespace gol::proto

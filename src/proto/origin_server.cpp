@@ -1,0 +1,117 @@
+#include "proto/origin_server.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "http/message.hpp"
+
+namespace gol::proto {
+
+OriginServer::OriginServer(EpollLoop& loop) : loop_(loop) {
+  auto l = listenTcp(0);
+  if (!l) throw std::runtime_error("OriginServer: cannot listen");
+  listener_ = std::move(*l);
+  port_ = listener_.port;
+  loop_.add(listener_.fd.get(), Interest::kRead,
+            [this](bool, bool) { onAccept(); });
+}
+
+OriginServer::~OriginServer() {
+  for (auto& [fd, conn] : conns_) loop_.remove(fd);
+  if (listener_.fd.valid()) loop_.remove(listener_.fd.get());
+}
+
+void OriginServer::onAccept() {
+  while (auto fd = acceptOne(listener_.fd.get())) {
+    const int raw = fd->get();
+    auto conn = std::make_unique<Conn>();
+    conn->fd = std::move(*fd);
+    conns_[raw] = std::move(conn);
+    loop_.add(raw, Interest::kRead, [this, raw](bool r, bool w) {
+      onConnEvent(raw, r, w);
+    });
+  }
+}
+
+void OriginServer::onConnEvent(int fd, bool readable, bool writable) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+
+  if (readable) {
+    char buf[16384];
+    for (;;) {
+      const long n = readSome(fd, buf, sizeof buf);
+      if (n == 0) {
+        closeConn(fd);
+        return;
+      }
+      if (n < 0) break;
+      conn.in.append(buf, static_cast<std::size_t>(n));
+    }
+    processBuffer(conn);
+  }
+  if (writable || !conn.out.empty()) flush(conn);
+}
+
+void OriginServer::processBuffer(Conn& conn) {
+  for (;;) {
+    const auto parsed = http::parseRequest(conn.in);
+    if (parsed.status == http::ParseStatus::kNeedMore) return;
+    if (parsed.status == http::ParseStatus::kError) {
+      http::Response resp;
+      resp.status = 400;
+      resp.reason = "Bad Request";
+      conn.out += resp.serialize();
+      conn.in.clear();
+      flush(conn);
+      return;
+    }
+    const http::Request& req = parsed.request;
+    conn.in.erase(0, parsed.consumed);
+    ++served_;
+
+    http::Response resp;
+    if (req.method == "GET" && req.target.rfind("/obj/", 0) == 0) {
+      std::size_t bytes = 0;
+      const std::string size_str = req.target.substr(5);
+      std::from_chars(size_str.data(), size_str.data() + size_str.size(),
+                      bytes);
+      resp.headers["Content-Type"] = "application/octet-stream";
+      resp.body.assign(bytes, 'x');
+    } else if (req.method == "POST") {
+      ingested_ += req.body.size();
+      resp.status = 201;
+      resp.reason = "Created";
+      resp.body = "stored";
+    } else {
+      resp.status = 404;
+      resp.reason = "Not Found";
+    }
+    conn.out += resp.serialize();
+  }
+}
+
+void OriginServer::flush(Conn& conn) {
+  const int fd = conn.fd.get();
+  while (conn.out_sent < conn.out.size()) {
+    const long n = writeSome(fd, conn.out.data() + conn.out_sent,
+                             conn.out.size() - conn.out_sent);
+    if (n <= 0) break;
+    conn.out_sent += static_cast<std::size_t>(n);
+  }
+  if (conn.out_sent >= conn.out.size()) {
+    conn.out.clear();
+    conn.out_sent = 0;
+    loop_.modify(fd, Interest::kRead);
+  } else {
+    loop_.modify(fd, Interest::kReadWrite);
+  }
+}
+
+void OriginServer::closeConn(int fd) {
+  loop_.remove(fd);
+  conns_.erase(fd);
+}
+
+}  // namespace gol::proto

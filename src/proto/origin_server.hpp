@@ -1,0 +1,50 @@
+// A tiny HTTP/1.1 origin for the prototype: GET /obj/<bytes> returns a
+// body of that size; POST consumes the body and answers 201. Mirrors the
+// dedicated well-provisioned web server of the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "proto/epoll_loop.hpp"
+#include "proto/socket.hpp"
+
+namespace gol::proto {
+
+class OriginServer {
+ public:
+  /// Binds 127.0.0.1:0 and registers with the loop. Throws on failure.
+  explicit OriginServer(EpollLoop& loop);
+  ~OriginServer();
+  OriginServer(const OriginServer&) = delete;
+  OriginServer& operator=(const OriginServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  std::size_t requestsServed() const { return served_; }
+  std::size_t bytesIngested() const { return ingested_; }
+
+ private:
+  struct Conn {
+    Fd fd;
+    std::string in;
+    std::string out;
+    std::size_t out_sent = 0;
+  };
+
+  void onAccept();
+  void onConnEvent(int fd, bool readable, bool writable);
+  void processBuffer(Conn& conn);
+  void flush(Conn& conn);
+  void closeConn(int fd);
+
+  EpollLoop& loop_;
+  Listener listener_;
+  std::uint16_t port_;
+  std::map<int, std::unique_ptr<Conn>> conns_;
+  std::size_t served_ = 0;
+  std::size_t ingested_ = 0;
+};
+
+}  // namespace gol::proto

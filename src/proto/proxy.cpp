@@ -1,0 +1,194 @@
+#include "proto/proxy.hpp"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gol::proto {
+
+namespace {
+constexpr std::size_t kChunk = 16384;
+constexpr std::size_t kHighWater = 512 * 1024;
+}  // namespace
+
+OnloadProxy::OnloadProxy(EpollLoop& loop, const ProxyConfig& cfg)
+    : loop_(loop), cfg_(cfg) {
+  auto l = listenTcp(0);
+  if (!l) throw std::runtime_error("OnloadProxy: cannot listen");
+  listener_ = std::move(*l);
+  port_ = listener_.port;
+  loop_.add(listener_.fd.get(), Interest::kRead,
+            [this](bool, bool) { onAccept(); });
+}
+
+OnloadProxy::~OnloadProxy() {
+  while (!pipes_.empty()) closePipe(pipes_.begin()->first);
+  if (listener_.fd.valid()) loop_.remove(listener_.fd.get());
+}
+
+void OnloadProxy::onAccept() {
+  while (auto client = acceptOne(listener_.fd.get())) {
+    auto upstream = connectTcp(cfg_.upstream_port);
+    if (!upstream) continue;  // origin unavailable: drop the client
+    auto pipe = std::make_unique<Pipe>(cfg_.up_bps, cfg_.down_bps);
+    const int ckey = client->get();
+    const int ukey = upstream->get();
+    pipe->client = std::move(*client);
+    pipe->upstream = std::move(*upstream);
+    pipes_[ckey] = std::move(pipe);
+    upstream_to_pipe_[ukey] = ckey;
+
+    loop_.add(ckey, Interest::kRead,
+              [this, ckey](bool, bool) { onEvent(ckey, true); });
+    loop_.add(ukey, Interest::kReadWrite,
+              [this, ckey](bool, bool) { onEvent(ckey, false); });
+  }
+}
+
+std::chrono::microseconds OnloadProxy::DelayLine::drainInto(
+    std::string& out) {
+  const auto now = std::chrono::steady_clock::now();
+  while (!chunks.empty() && chunks.front().eligible_at <= now) {
+    out += chunks.front().data;
+    chunks.pop_front();
+  }
+  if (chunks.empty()) return std::chrono::microseconds(0);
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             chunks.front().eligible_at - now) +
+         std::chrono::microseconds(1);
+}
+
+void OnloadProxy::onEvent(int pipe_key, bool from_client) {
+  auto it = pipes_.find(pipe_key);
+  if (it == pipes_.end()) return;
+  Pipe& pipe = *it->second;
+
+  // Ingest whatever arrived on the signalled side into the delay line
+  // (subject to buffer caps).
+  char buf[kChunk];
+  const auto eligible =
+      std::chrono::steady_clock::now() + cfg_.latency;
+  if (from_client && pipe.to_upstream.size() < kHighWater) {
+    for (;;) {
+      const long n = readSome(pipe.client.get(), buf, sizeof buf);
+      if (n == 0) {
+        pipe.client_eof = true;
+        break;
+      }
+      if (n < 0) break;
+      pipe.delay_to_upstream.push(
+          std::string(buf, static_cast<std::size_t>(n)), eligible);
+      if (pipe.to_upstream.size() >= kHighWater) break;
+    }
+  } else if (!from_client && pipe.to_client.size() < kHighWater) {
+    for (;;) {
+      const long n = readSome(pipe.upstream.get(), buf, sizeof buf);
+      if (n == 0) {
+        pipe.upstream_eof = true;
+        break;
+      }
+      if (n < 0) break;
+      pipe.delay_to_client.push(
+          std::string(buf, static_cast<std::size_t>(n)), eligible);
+      if (pipe.to_client.size() >= kHighWater) break;
+    }
+  }
+  pump(pipe_key);
+}
+
+void OnloadProxy::pump(int pipe_key) {
+  auto it = pipes_.find(pipe_key);
+  if (it == pipes_.end()) return;
+  Pipe& pipe = *it->second;
+
+  // Mature delayed bytes first, then shaped relay in both directions.
+  std::chrono::microseconds wait{0};
+  wait = std::max(wait, pipe.delay_to_client.drainInto(pipe.to_client));
+  wait = std::max(wait, pipe.delay_to_upstream.drainInto(pipe.to_upstream));
+
+  if (!pipe.to_client.empty()) {
+    const std::size_t allowed =
+        std::min(pipe.down_limiter.available(), pipe.to_client.size());
+    if (allowed > 0) {
+      const long n =
+          writeSome(pipe.client.get(), pipe.to_client.data(), allowed);
+      if (n > 0) {
+        pipe.down_limiter.consume(static_cast<std::size_t>(n));
+        relayed_down_ += static_cast<std::size_t>(n);
+        pipe.to_client.erase(0, static_cast<std::size_t>(n));
+      }
+    }
+    if (!pipe.to_client.empty()) {
+      wait = std::max(wait, pipe.down_limiter.delayFor(
+                                std::min(pipe.to_client.size(), kChunk)));
+    }
+  }
+
+  if (!pipe.to_upstream.empty()) {
+    const std::size_t allowed =
+        std::min(pipe.up_limiter.available(), pipe.to_upstream.size());
+    if (allowed > 0) {
+      const long n =
+          writeSome(pipe.upstream.get(), pipe.to_upstream.data(), allowed);
+      if (n > 0) {
+        pipe.up_limiter.consume(static_cast<std::size_t>(n));
+        relayed_up_ += static_cast<std::size_t>(n);
+        pipe.to_upstream.erase(0, static_cast<std::size_t>(n));
+      }
+    }
+    if (!pipe.to_upstream.empty()) {
+      wait = std::max(wait, pipe.up_limiter.delayFor(
+                                std::min(pipe.to_upstream.size(), kChunk)));
+    }
+  }
+
+  // Close once a side hit EOF and its buffered + delayed bytes drained.
+  const bool down_drained =
+      pipe.to_client.empty() && pipe.delay_to_client.empty();
+  const bool up_drained =
+      pipe.to_upstream.empty() && pipe.delay_to_upstream.empty();
+  if (pipe.upstream_eof && down_drained) {
+    closePipe(pipe_key);
+    return;
+  }
+  if (pipe.client_eof && up_drained && !pipe.upstream_eof) {
+    // Half-close toward the origin so it sees the request end.
+    ::shutdown(pipe.upstream.get(), SHUT_WR);
+  }
+
+  // Keep write-interest only while bytes are queued for that side; the
+  // shaped waits are timer-driven, not EPOLLOUT-driven.
+  loop_.modify(pipe.client.get(),
+               pipe.to_client.empty() ? Interest::kRead
+                                      : Interest::kReadWrite);
+  loop_.modify(pipe.upstream.get(),
+               pipe.to_upstream.empty() ? Interest::kRead
+                                        : Interest::kReadWrite);
+
+  if (wait.count() > 0 && !pipe.timer_armed) {
+    pipe.timer_armed = true;
+    armTimer(pipe_key, wait);
+  }
+}
+
+void OnloadProxy::armTimer(int pipe_key, std::chrono::microseconds delay) {
+  loop_.runAfter(delay, [this, pipe_key] {
+    auto it = pipes_.find(pipe_key);
+    if (it == pipes_.end()) return;
+    it->second->timer_armed = false;
+    pump(pipe_key);
+  });
+}
+
+void OnloadProxy::closePipe(int pipe_key) {
+  auto it = pipes_.find(pipe_key);
+  if (it == pipes_.end()) return;
+  Pipe& pipe = *it->second;
+  loop_.remove(pipe.client.get());
+  loop_.remove(pipe.upstream.get());
+  upstream_to_pipe_.erase(pipe.upstream.get());
+  pipes_.erase(it);
+}
+
+}  // namespace gol::proto

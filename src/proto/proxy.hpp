@@ -1,0 +1,92 @@
+// The phone-side 3GOL component (Sec. 4.1): a proxy that pipes incoming
+// LAN connections through the cellular interface. Here it is a TCP relay
+// to the origin whose two directions are token-bucket shaped, standing in
+// for a netem-emulated 3G link (down: HSDPA-like, up: HSUPA-like).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "proto/epoll_loop.hpp"
+#include "proto/rate_limiter.hpp"
+#include "proto/socket.hpp"
+
+namespace gol::proto {
+
+struct ProxyConfig {
+  std::uint16_t upstream_port = 0;  ///< The origin to pipe to.
+  double down_bps = 2e6;            ///< Upstream -> client shaping.
+  double up_bps = 1.2e6;            ///< Client -> upstream shaping.
+  /// Emulated one-way latency added before bytes are released.
+  std::chrono::microseconds latency{50000};
+};
+
+class OnloadProxy {
+ public:
+  OnloadProxy(EpollLoop& loop, const ProxyConfig& cfg);
+  ~OnloadProxy();
+  OnloadProxy(const OnloadProxy&) = delete;
+  OnloadProxy& operator=(const OnloadProxy&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  std::size_t bytesRelayedDown() const { return relayed_down_; }
+  std::size_t bytesRelayedUp() const { return relayed_up_; }
+  std::size_t activeConnections() const { return pipes_.size(); }
+
+ private:
+  /// Bytes waiting out the emulated one-way latency before they become
+  /// eligible for (rate-shaped) forwarding — a userspace netem delay line.
+  struct DelayLine {
+    struct Chunk {
+      std::chrono::steady_clock::time_point eligible_at;
+      std::string data;
+    };
+    std::deque<Chunk> chunks;
+
+    void push(std::string data, std::chrono::steady_clock::time_point at) {
+      chunks.push_back(Chunk{at, std::move(data)});
+    }
+    bool empty() const { return chunks.empty(); }
+    /// Moves every chunk whose latency elapsed into `out`; returns the
+    /// wait until the next chunk matures (zero when empty/ready).
+    std::chrono::microseconds drainInto(std::string& out);
+  };
+
+  /// One relay direction: reads from `from`, delays, shapes, writes to `to`.
+  struct Pipe {
+    Fd client;
+    Fd upstream;
+    DelayLine delay_to_upstream;
+    DelayLine delay_to_client;
+    std::string to_upstream;   ///< Matured client -> upstream bytes.
+    std::string to_client;     ///< Matured upstream -> client bytes.
+    RateLimiter up_limiter;
+    RateLimiter down_limiter;
+    bool client_eof = false;
+    bool upstream_eof = false;
+    bool timer_armed = false;
+
+    Pipe(double up_bps, double down_bps)
+        : up_limiter(up_bps), down_limiter(down_bps) {}
+  };
+
+  void onAccept();
+  void onEvent(int pipe_key, bool from_client);
+  void pump(int pipe_key);
+  void armTimer(int pipe_key, std::chrono::microseconds delay);
+  void closePipe(int pipe_key);
+
+  EpollLoop& loop_;
+  ProxyConfig cfg_;
+  Listener listener_;
+  std::uint16_t port_;
+  std::map<int, std::unique_ptr<Pipe>> pipes_;  // keyed by client fd
+  std::map<int, int> upstream_to_pipe_;
+  std::size_t relayed_down_ = 0;
+  std::size_t relayed_up_ = 0;
+};
+
+}  // namespace gol::proto

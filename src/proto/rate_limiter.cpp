@@ -1,0 +1,52 @@
+#include "proto/rate_limiter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gol::proto {
+
+RateLimiter::RateLimiter(double rate_bps, std::size_t burst_bytes)
+    : rate_bps_(rate_bps),
+      burst_bytes_(static_cast<double>(burst_bytes)),
+      tokens_(static_cast<double>(burst_bytes)),
+      last_(Clock::now()) {
+  if (rate_bps <= 0) throw std::invalid_argument("RateLimiter: rate <= 0");
+  if (burst_bytes == 0) throw std::invalid_argument("RateLimiter: burst 0");
+}
+
+void RateLimiter::refill(Clock::time_point now) {
+  const double dt =
+      std::chrono::duration<double>(now - last_).count();
+  if (dt <= 0) return;
+  tokens_ = std::min(burst_bytes_, tokens_ + dt * rate_bps_ / 8.0);
+  last_ = now;
+}
+
+std::size_t RateLimiter::available(Clock::time_point now) {
+  refill(now);
+  return static_cast<std::size_t>(tokens_);
+}
+
+void RateLimiter::consume(std::size_t bytes) {
+  tokens_ -= static_cast<double>(bytes);
+  if (tokens_ < 0) tokens_ = 0;  // defensive; callers check available()
+}
+
+std::chrono::microseconds RateLimiter::delayFor(std::size_t bytes,
+                                                Clock::time_point now) {
+  refill(now);
+  const double need = std::min(static_cast<double>(bytes), burst_bytes_);
+  if (tokens_ >= need) return std::chrono::microseconds(0);
+  const double deficit = need - tokens_;
+  const double seconds = deficit * 8.0 / rate_bps_;
+  return std::chrono::microseconds(
+      static_cast<long>(seconds * 1e6) + 1);
+}
+
+void RateLimiter::setRateBps(double rate_bps) {
+  if (rate_bps <= 0) throw std::invalid_argument("RateLimiter: rate <= 0");
+  refill(Clock::now());
+  rate_bps_ = rate_bps;
+}
+
+}  // namespace gol::proto

@@ -1,0 +1,38 @@
+// Token-bucket rate limiter — the prototype's stand-in for netem-emulated
+// access links: each proxy upstream leg ("the 3G interface") and the
+// emulated ADSL leg drain through one of these.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+namespace gol::proto {
+
+class RateLimiter {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `rate_bps` in bits per second; `burst_bytes` caps the bucket.
+  RateLimiter(double rate_bps, std::size_t burst_bytes = 32 * 1024);
+
+  /// Bytes that may be sent right now.
+  std::size_t available(Clock::time_point now = Clock::now());
+  /// Consumes `bytes` from the bucket (after a successful send).
+  void consume(std::size_t bytes);
+  /// Time until at least `bytes` are available (zero when ready).
+  std::chrono::microseconds delayFor(std::size_t bytes,
+                                     Clock::time_point now = Clock::now());
+
+  double rateBps() const { return rate_bps_; }
+  void setRateBps(double rate_bps);
+
+ private:
+  void refill(Clock::time_point now);
+
+  double rate_bps_;
+  double burst_bytes_;
+  double tokens_;
+  Clock::time_point last_;
+};
+
+}  // namespace gol::proto

@@ -1,0 +1,109 @@
+#include "proto/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace gol::proto {
+
+Fd::~Fd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Fd::Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset(std::exchange(other.fd_, -1));
+  }
+  return *this;
+}
+
+int Fd::release() { return std::exchange(fd_, -1); }
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::system_error(errno, std::generic_category(),
+                            "fcntl(O_NONBLOCK)");
+  }
+}
+
+std::optional<Listener> listenTcp(std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return std::nullopt;
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
+    return std::nullopt;
+  if (::listen(fd.get(), backlog) < 0) return std::nullopt;
+  setNonBlocking(fd.get());
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    return std::nullopt;
+  Listener out;
+  out.fd = std::move(fd);
+  out.port = ntohs(addr.sin_port);
+  return out;
+}
+
+std::optional<Fd> connectTcp(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return std::nullopt;
+  setNonBlocking(fd.get());
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 &&
+      errno != EINPROGRESS) {
+    return std::nullopt;
+  }
+  return fd;
+}
+
+std::optional<Fd> acceptOne(int listener_fd) {
+  const int fd = ::accept4(listener_fd, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) return std::nullopt;
+  return Fd(fd);
+}
+
+long readSome(int fd, char* buf, std::size_t len) {
+  const auto n = ::read(fd, buf, len);
+  if (n >= 0) return n;
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+  if (errno == ECONNRESET) return 0;  // treat reset as EOF
+  throw std::system_error(errno, std::generic_category(), "read");
+}
+
+long writeSome(int fd, const char* buf, std::size_t len) {
+  const auto n = ::send(fd, buf, len, MSG_NOSIGNAL);
+  if (n >= 0) return n;
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+  if (errno == EPIPE || errno == ECONNRESET) return 0;
+  throw std::system_error(errno, std::generic_category(), "write");
+}
+
+}  // namespace gol::proto

@@ -1,0 +1,56 @@
+// RAII wrappers for non-blocking TCP sockets (Linux). The prototype runs
+// entirely on loopback: an origin server, per-"phone" proxies whose
+// upstream legs are token-bucket shaped (standing in for netem-emulated 3G
+// links), and a multipath client driven by the same greedy scheduler as
+// the simulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gol::proto {
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd();
+  Fd(Fd&& other) noexcept;
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release();
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a non-blocking TCP listener on 127.0.0.1:`port` (0 = ephemeral).
+/// Returns the fd and the bound port.
+struct Listener {
+  Fd fd;
+  std::uint16_t port = 0;
+};
+std::optional<Listener> listenTcp(std::uint16_t port, int backlog = 64);
+
+/// Starts a non-blocking connect to 127.0.0.1:`port`. The connection
+/// completes asynchronously (poll for writability).
+std::optional<Fd> connectTcp(std::uint16_t port);
+
+/// Accepts one pending connection; nullopt when none is ready.
+std::optional<Fd> acceptOne(int listener_fd);
+
+/// Non-blocking read/write helpers. Return bytes moved, 0 on EOF (read),
+/// -1 on would-block, throw on hard errors.
+long readSome(int fd, char* buf, std::size_t len);
+long writeSome(int fd, const char* buf, std::size_t len);
+
+void setNonBlocking(int fd);
+
+}  // namespace gol::proto

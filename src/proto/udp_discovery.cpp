@@ -1,0 +1,163 @@
+#include "proto/udp_discovery.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <charconv>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace gol::proto {
+
+namespace {
+
+constexpr char kMagic[] = "3GOL-ADVERT v1 ";
+
+std::optional<std::string_view> fieldValue(std::string_view datagram,
+                                           std::string_view key) {
+  const std::string needle = std::string(key) + "=";
+  const std::size_t pos = datagram.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  const std::size_t start = pos + needle.size();
+  const std::size_t end = datagram.find(' ', start);
+  return datagram.substr(start, end == std::string_view::npos
+                                    ? std::string_view::npos
+                                    : end - start);
+}
+
+Fd makeUdpSocket() {
+  Fd fd(::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0));
+  if (!fd.valid())
+    throw std::system_error(errno, std::generic_category(), "socket(UDP)");
+  return fd;
+}
+
+sockaddr_in loopbackAddr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+std::string encodeAdvertisement(const Advertisement& ad) {
+  return std::string(kMagic) + "name=" + ad.name +
+         " proxy_port=" + std::to_string(ad.proxy_port) +
+         " quota_bytes=" + std::to_string(ad.quota_bytes);
+}
+
+std::optional<Advertisement> parseAdvertisement(std::string_view datagram) {
+  if (datagram.rfind(kMagic, 0) != 0) return std::nullopt;
+  const auto name = fieldValue(datagram, "name");
+  const auto port = fieldValue(datagram, "proxy_port");
+  const auto quota = fieldValue(datagram, "quota_bytes");
+  if (!name || name->empty() || !port || !quota) return std::nullopt;
+
+  Advertisement ad;
+  ad.name = std::string(*name);
+  unsigned long port_value = 0;
+  auto res = std::from_chars(port->data(), port->data() + port->size(),
+                             port_value);
+  if (res.ec != std::errc() || res.ptr != port->data() + port->size() ||
+      port_value > 65535)
+    return std::nullopt;
+  ad.proxy_port = static_cast<std::uint16_t>(port_value);
+  res = std::from_chars(quota->data(), quota->data() + quota->size(),
+                        ad.quota_bytes);
+  if (res.ec != std::errc() || res.ptr != quota->data() + quota->size())
+    return std::nullopt;
+  return ad;
+}
+
+UdpDiscoveryListener::UdpDiscoveryListener(EpollLoop& loop,
+                                           std::chrono::milliseconds ttl)
+    : loop_(loop), ttl_(ttl), sock_(makeUdpSocket()) {
+  sockaddr_in addr = loopbackAddr(0);
+  if (::bind(sock_.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0)
+    throw std::system_error(errno, std::generic_category(), "bind(UDP)");
+  socklen_t len = sizeof addr;
+  ::getsockname(sock_.get(), reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  loop_.add(sock_.get(), Interest::kRead,
+            [this](bool, bool) { onReadable(); });
+}
+
+UdpDiscoveryListener::~UdpDiscoveryListener() {
+  if (sock_.valid()) loop_.remove(sock_.get());
+}
+
+void UdpDiscoveryListener::onReadable() {
+  char buf[1500];
+  for (;;) {
+    const auto n = ::recv(sock_.get(), buf, sizeof buf, 0);
+    if (n < 0) break;
+    ++received_;
+    const auto ad = parseAdvertisement(
+        std::string_view(buf, static_cast<std::size_t>(n)));
+    if (!ad) {
+      ++malformed_;
+      continue;
+    }
+    entries_[ad->name] = Entry{*ad, std::chrono::steady_clock::now()};
+  }
+}
+
+std::vector<Advertisement> UdpDiscoveryListener::admissible() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<Advertisement> out;
+  for (const auto& [name, entry] : entries_) {
+    if (now - entry.seen <= ttl_) out.push_back(entry.ad);
+  }
+  return out;
+}
+
+bool UdpDiscoveryListener::isAdmissible(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() &&
+         std::chrono::steady_clock::now() - it->second.seen <= ttl_;
+}
+
+UdpDiscoveryBeacon::UdpDiscoveryBeacon(
+    EpollLoop& loop, std::uint16_t listener_port,
+    std::function<std::optional<Advertisement>()> eligible,
+    std::chrono::milliseconds interval)
+    : loop_(loop),
+      listener_port_(listener_port),
+      eligible_(std::move(eligible)),
+      interval_(interval),
+      sock_(makeUdpSocket()),
+      liveness_(std::make_shared<bool>(true)) {}
+
+UdpDiscoveryBeacon::~UdpDiscoveryBeacon() { *liveness_ = false; }
+
+void UdpDiscoveryBeacon::start() {
+  if (running_) return;
+  running_ = true;
+  tick();
+}
+
+void UdpDiscoveryBeacon::tick() {
+  if (!running_) return;
+  if (eligible_) {
+    if (const auto ad = eligible_()) {
+      const std::string wire = encodeAdvertisement(*ad);
+      const sockaddr_in addr = loopbackAddr(listener_port_);
+      ::sendto(sock_.get(), wire.data(), wire.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+      ++sent_;
+    }
+  }
+  loop_.runAfter(std::chrono::duration_cast<std::chrono::microseconds>(
+                     interval_),
+                 [this, alive = std::weak_ptr<bool>(liveness_)] {
+                   if (auto p = alive.lock(); p && *p) tick();
+                 });
+}
+
+}  // namespace gol::proto

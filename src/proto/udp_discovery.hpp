@@ -1,0 +1,103 @@
+// The OTT architecture's discovery protocol over real sockets (Sec. 2.4:
+// the phone "advertises the device availability through a discovery
+// protocol like Bonjour only if the device has an active permission").
+// Implemented as periodic UDP datagrams on loopback:
+//
+//   3GOL-ADVERT v1 name=<device> proxy_port=<port> quota_bytes=<n>
+//
+// The client listens on a well-known (here: ephemeral, shared by config)
+// UDP port and ages advertisements out after a TTL — exactly mirroring the
+// simulator-side core::DiscoveryAgent/ClientDiscovery pair.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/epoll_loop.hpp"
+#include "proto/socket.hpp"
+
+namespace gol::proto {
+
+struct Advertisement {
+  std::string name;
+  std::uint16_t proxy_port = 0;
+  /// Remaining daily quota the device is willing to spend (A(t), Sec. 6).
+  std::uint64_t quota_bytes = 0;
+};
+
+/// Wire codec (pure, unit-testable). parse returns nullopt on anything
+/// that is not a well-formed v1 advertisement.
+std::string encodeAdvertisement(const Advertisement& ad);
+std::optional<Advertisement> parseAdvertisement(std::string_view datagram);
+
+/// Client side: binds an ephemeral loopback UDP port and collects fresh
+/// advertisements.
+class UdpDiscoveryListener {
+ public:
+  UdpDiscoveryListener(EpollLoop& loop,
+                       std::chrono::milliseconds ttl =
+                           std::chrono::milliseconds(3000));
+  ~UdpDiscoveryListener();
+  UdpDiscoveryListener(const UdpDiscoveryListener&) = delete;
+  UdpDiscoveryListener& operator=(const UdpDiscoveryListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  /// Fresh advertisements (expired pruned), newest data per device name.
+  std::vector<Advertisement> admissible() const;
+  bool isAdmissible(const std::string& name) const;
+  std::size_t datagramsReceived() const { return received_; }
+  std::size_t malformedDatagrams() const { return malformed_; }
+
+ private:
+  void onReadable();
+
+  EpollLoop& loop_;
+  std::chrono::milliseconds ttl_;
+  Fd sock_;
+  std::uint16_t port_ = 0;
+  struct Entry {
+    Advertisement ad;
+    std::chrono::steady_clock::time_point seen;
+  };
+  std::map<std::string, Entry> entries_;
+  std::size_t received_ = 0;
+  std::size_t malformed_ = 0;
+};
+
+/// Phone side: beacons while `eligible` returns an advertisement to send
+/// (nullopt = stay silent this round, e.g. quota exhausted).
+class UdpDiscoveryBeacon {
+ public:
+  UdpDiscoveryBeacon(EpollLoop& loop, std::uint16_t listener_port,
+                     std::function<std::optional<Advertisement>()> eligible,
+                     std::chrono::milliseconds interval =
+                         std::chrono::milliseconds(1000));
+  ~UdpDiscoveryBeacon();
+  UdpDiscoveryBeacon(const UdpDiscoveryBeacon&) = delete;
+  UdpDiscoveryBeacon& operator=(const UdpDiscoveryBeacon&) = delete;
+
+  void start();
+  void stop() { running_ = false; }
+  std::size_t beaconsSent() const { return sent_; }
+
+ private:
+  void tick();
+
+  EpollLoop& loop_;
+  std::uint16_t listener_port_;
+  std::function<std::optional<Advertisement>()> eligible_;
+  std::chrono::milliseconds interval_;
+  Fd sock_;
+  bool running_ = false;
+  std::size_t sent_ = 0;
+  /// Guards the timer callback against use-after-destruction.
+  std::shared_ptr<bool> liveness_;
+};
+
+}  // namespace gol::proto

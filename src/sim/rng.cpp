@@ -1,0 +1,82 @@
+#include "sim/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace gol::sim {
+
+Rng Rng::fork() {
+  const std::uint64_t child_seed = gen_();
+  return Rng(child_seed ^ 0x9e3779b97f4a7c15ULL);
+}
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(gen_);
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(gen_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution d(std::clamp(p, 0.0, 1.0));
+  return d(gen_);
+}
+
+double Rng::normal(double mean, double sd) {
+  std::normal_distribution<double> d(mean, sd);
+  return d(gen_);
+}
+
+double Rng::truncNormal(double mean, double sd, double lo, double hi) {
+  for (int i = 0; i < 64; ++i) {
+    const double x = normal(mean, sd);
+    if (x >= lo && x <= hi) return x;
+  }
+  return std::clamp(mean, lo, hi);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  std::lognormal_distribution<double> d(mu, sigma);
+  return d(gen_);
+}
+
+double Rng::exponential(double rate) {
+  std::exponential_distribution<double> d(rate);
+  return d(gen_);
+}
+
+double Rng::pareto(double xm, double a) {
+  if (xm <= 0 || a <= 0) throw std::invalid_argument("pareto params");
+  const double u = uniform(0.0, 1.0);
+  return xm / std::pow(1.0 - u, 1.0 / a);
+}
+
+double Rng::lognormalMeanSd(double mean, double sd) {
+  const auto p = lognormalFromMeanSd(mean, sd);
+  return lognormal(p.mu, p.sigma);
+}
+
+std::size_t Rng::weightedIndex(std::span<const double> weights) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0) throw std::invalid_argument("weightedIndex: no mass");
+  double x = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+LognormalParams lognormalFromMeanSd(double mean, double sd) {
+  if (mean <= 0) throw std::invalid_argument("lognormal mean must be > 0");
+  const double cv2 = (sd / mean) * (sd / mean);
+  const double sigma2 = std::log(1.0 + cv2);
+  return LognormalParams{std::log(mean) - 0.5 * sigma2, std::sqrt(sigma2)};
+}
+
+}  // namespace gol::sim

@@ -1,0 +1,52 @@
+// Seeded random-number façade. All stochastic behaviour in the repository
+// draws through this class so experiments are reproducible from one seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace gol::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : gen_(seed) {}
+
+  /// Derives an independent child stream; used to give each device/user its
+  /// own stream so adding one does not perturb the others' draws.
+  Rng fork();
+
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+  bool bernoulli(double p);
+  double normal(double mean, double sd);
+  /// Normal truncated to [lo, hi] by resampling (max 64 tries, then clamp).
+  double truncNormal(double mean, double sd, double lo, double hi);
+  double lognormal(double mu, double sigma);
+  double exponential(double rate);
+  /// Pareto with scale xm > 0 and shape a > 0 (heavy-tailed sizes).
+  double pareto(double xm, double a);
+
+  /// Lognormal parameterized by its *linear-space* mean and standard
+  /// deviation — convenient when the paper reports mean/sd directly.
+  double lognormalMeanSd(double mean, double sd);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  std::size_t weightedIndex(std::span<const double> weights);
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+/// Converts a linear-space (mean, sd) pair into lognormal (mu, sigma).
+struct LognormalParams {
+  double mu;
+  double sigma;
+};
+LognormalParams lognormalFromMeanSd(double mean, double sd);
+
+}  // namespace gol::sim

@@ -1,0 +1,65 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gol::sim {
+
+EventId Simulator::scheduleAt(Time at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, id, std::move(fn)});
+  return id;
+}
+
+EventId Simulator::scheduleIn(Time delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return scheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return;
+  cancelled_.insert(id);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Entry top = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = top.at;
+    ++processed_;
+    top.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::runUntil(Time t) {
+  if (t < now_) throw std::invalid_argument("runUntil into the past");
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (cancelled_.count(top.id) != 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.at > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+std::size_t Simulator::pendingEvents() const {
+  return queue_.size() - cancelled_.size();
+}
+
+}  // namespace gol::sim

@@ -1,0 +1,67 @@
+// Deterministic discrete-event simulator.
+//
+// Events fire in (time, insertion-sequence) order, so two events scheduled
+// for the same instant fire in the order they were scheduled — this makes
+// every run bit-reproducible for a given seed and call sequence.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/units.hpp"
+
+namespace gol::sim {
+
+/// Handle identifying a scheduled event; usable with Simulator::cancel.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (must be >= now()).
+  EventId scheduleAt(Time at, std::function<void()> fn);
+  /// Schedules `fn` `delay` seconds from now (negative delays clamp to now).
+  EventId scheduleIn(Time delay, std::function<void()> fn);
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is a
+  /// harmless no-op (the duplicate-abort path in the scheduler relies on it).
+  void cancel(EventId id);
+
+  /// Runs a single event. Returns false when the queue is exhausted.
+  bool step();
+  /// Runs until the queue is empty.
+  void run();
+  /// Runs all events with time <= t, then advances the clock to exactly t.
+  void runUntil(Time t);
+
+  std::size_t pendingEvents() const;
+  std::uint64_t processedEvents() const { return processed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  Time now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace gol::sim

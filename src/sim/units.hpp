@@ -1,0 +1,33 @@
+// Unit helpers. Internally the simulator works in seconds, bytes, and
+// bits-per-second; these conversions keep call sites readable and auditable.
+#pragma once
+
+namespace gol::sim {
+
+/// Simulation time, in seconds.
+using Time = double;
+
+constexpr double kBitsPerByte = 8.0;
+
+constexpr double kbps(double v) { return v * 1e3; }
+constexpr double mbps(double v) { return v * 1e6; }
+constexpr double gbps(double v) { return v * 1e9; }
+
+constexpr double kilobytes(double v) { return v * 1e3; }
+constexpr double megabytes(double v) { return v * 1e6; }
+constexpr double gigabytes(double v) { return v * 1e9; }
+
+constexpr double toMbps(double bps) { return bps / 1e6; }
+constexpr double toMegabytes(double bytes) { return bytes / 1e6; }
+
+constexpr double seconds(double v) { return v; }
+constexpr double minutes(double v) { return v * 60.0; }
+constexpr double hours(double v) { return v * 3600.0; }
+constexpr double days(double v) { return v * 86400.0; }
+
+/// Time to move `bytes` at `bps` (bits per second).
+constexpr double transferTime(double bytes, double bps) {
+  return bytes * kBitsPerByte / bps;
+}
+
+}  // namespace gol::sim

@@ -1,0 +1,65 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace gol::stats {
+
+Cdf::Cdf(std::vector<double> samples) : samples_(std::move(samples)) {}
+
+void Cdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Cdf::ensureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::fractionBelow(double x) const {
+  if (samples_.empty()) throw std::logic_error("Cdf::fractionBelow on empty");
+  ensureSorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::quantile(double p) const {
+  if (samples_.empty()) throw std::logic_error("Cdf::quantile on empty");
+  ensureSorted();
+  return stats::quantile(samples_, p);
+}
+
+double Cdf::min() const {
+  if (samples_.empty()) throw std::logic_error("Cdf::min on empty");
+  ensureSorted();
+  return samples_.front();
+}
+
+double Cdf::max() const {
+  if (samples_.empty()) throw std::logic_error("Cdf::max on empty");
+  ensureSorted();
+  return samples_.back();
+}
+
+std::vector<std::pair<double, double>> Cdf::curve(std::size_t points) const {
+  if (samples_.empty() || points < 2) return {};
+  ensureSorted();
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, fractionBelow(x));
+  }
+  return out;
+}
+
+}  // namespace gol::stats

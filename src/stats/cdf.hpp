@@ -1,0 +1,36 @@
+// Empirical cumulative distribution function over a fixed sample set.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gol::stats {
+
+/// Empirical CDF. Built once from samples, then queried; O(log n) per query.
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples);
+
+  void add(double x);
+  std::size_t size() const { return sorted_ ? samples_.size() : samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Fraction of samples <= x, in [0, 1].
+  double fractionBelow(double x) const;
+  /// Inverse CDF with interpolation; p in [0, 1].
+  double quantile(double p) const;
+  double min() const;
+  double max() const;
+
+  /// Evenly spaced (x, F(x)) points suitable for plotting / printing.
+  std::vector<std::pair<double, double>> curve(std::size_t points) const;
+
+ private:
+  void ensureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace gol::stats

@@ -1,0 +1,38 @@
+// Exponentially weighted moving average, the estimator used by the paper's
+// MIN scheduler ("exponential smoothing filtering ... filter parameter 0.75").
+#pragma once
+
+#include <stdexcept>
+
+namespace gol::stats {
+
+/// EWMA with smoothing factor alpha in (0, 1]:
+///   est <- alpha * sample + (1 - alpha) * est
+/// Higher alpha tracks more aggressively ("high level of agility").
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {
+    if (alpha <= 0.0 || alpha > 1.0)
+      throw std::invalid_argument("Ewma alpha must be in (0, 1]");
+  }
+
+  void update(double sample) {
+    if (!seeded_) {
+      value_ = sample;
+      seeded_ = true;
+    } else {
+      value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+    }
+  }
+
+  bool seeded() const { return seeded_; }
+  double value() const { return value_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+}  // namespace gol::stats

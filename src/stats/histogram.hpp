@@ -1,0 +1,35 @@
+// Fixed-width histogram over a bounded range.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gol::stats {
+
+/// Fixed-bin histogram on [lo, hi). Values outside the range are clamped into
+/// the first/last bin so total counts are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  std::size_t countAt(std::size_t bin) const { return counts_.at(bin); }
+  double binLow(std::size_t bin) const;
+  double binHigh(std::size_t bin) const;
+  /// Fraction of all samples in `bin`; zero if empty.
+  double density(std::size_t bin) const;
+
+  /// ASCII rendering, one row per bin, bar scaled to `width` columns.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace gol::stats

@@ -1,0 +1,85 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gol::stats {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Summary::merge(const Summary& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Summary::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double Summary::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::min() const { return n_ == 0 ? 0.0 : min_; }
+
+double Summary::max() const { return n_ == 0 ? 0.0 : max_; }
+
+double quantile(std::span<const double> sorted, double p) {
+  if (sorted.empty()) throw std::invalid_argument("quantile of empty sample");
+  if (p <= 0.0) return sorted.front();
+  if (p >= 1.0) return sorted.back();
+  const double h = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  const double frac = h - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+std::vector<double> quantiles(std::vector<double> samples,
+                              std::span<const double> ps) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) out.push_back(quantile(samples, p));
+  return out;
+}
+
+double mean(std::span<const double> xs) {
+  Summary s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double stddev(std::span<const double> xs) {
+  Summary s;
+  for (double x : xs) s.add(x);
+  return s.stddev();
+}
+
+}  // namespace gol::stats

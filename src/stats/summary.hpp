@@ -1,0 +1,47 @@
+// Streaming summary statistics (Welford) and order statistics on sample sets.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gol::stats {
+
+/// Streaming mean / variance / extrema accumulator using Welford's algorithm.
+/// Numerically stable for long runs; O(1) memory.
+class Summary {
+ public:
+  void add(double x);
+  void merge(const Summary& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1 denominator). Zero when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Quantile of a sample set with linear interpolation between order
+/// statistics (type-7, the numpy/R default). `p` in [0, 1].
+double quantile(std::span<const double> sorted_samples, double p);
+
+/// Convenience: copies, sorts, and evaluates several quantiles at once.
+std::vector<double> quantiles(std::vector<double> samples,
+                              std::span<const double> ps);
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+}  // namespace gol::stats

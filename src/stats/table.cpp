@@ -1,0 +1,58 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+namespace gol::stats {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::addRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto renderRow = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += "| ";
+      line += row[c];
+      const std::size_t pad =
+          widths[c] >= row[c].size() ? widths[c] - row[c].size() + 1 : 1;
+      line.append(pad, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+
+  std::string sep;
+  for (std::size_t w : widths) {
+    sep += '+';
+    sep.append(w + 2, '-');
+  }
+  sep += "+\n";
+
+  std::string out = sep + renderRow(header_) + sep;
+  for (const auto& row : rows_) out += renderRow(row);
+  out += sep;
+  return out;
+}
+
+void Table::print() const { std::cout << render() << std::flush; }
+
+}  // namespace gol::stats

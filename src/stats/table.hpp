@@ -1,0 +1,28 @@
+// Aligned ASCII table printing for benchmark output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gol::stats {
+
+/// Collects rows of cells and renders them with per-column alignment.
+/// All bench binaries print paper-vs-measured rows through this.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 2);
+
+  std::string render() const;
+  /// Renders straight to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gol::stats

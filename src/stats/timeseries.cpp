@@ -1,0 +1,67 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gol::stats {
+
+BinnedSeries::BinnedSeries(double horizon_s, double bin_s)
+    : horizon_s_(horizon_s), bin_s_(bin_s) {
+  if (horizon_s <= 0 || bin_s <= 0 || bin_s > horizon_s)
+    throw std::invalid_argument("BinnedSeries: bad horizon/bin");
+  bins_.assign(static_cast<std::size_t>(std::ceil(horizon_s / bin_s)), 0.0);
+}
+
+void BinnedSeries::add(double t, double amount) {
+  auto idx = static_cast<long>(t / bin_s_);
+  idx = std::clamp<long>(idx, 0, static_cast<long>(bins_.size()) - 1);
+  bins_[static_cast<std::size_t>(idx)] += amount;
+}
+
+void BinnedSeries::addSpread(double t0, double t1, double amount) {
+  if (t1 <= t0) {
+    add(t0, amount);
+    return;
+  }
+  const double rate = amount / (t1 - t0);
+  double t = t0;
+  while (t < t1) {
+    const auto idx = std::clamp<long>(static_cast<long>(t / bin_s_), 0,
+                                      static_cast<long>(bins_.size()) - 1);
+    const double bin_end = bin_s_ * static_cast<double>(idx + 1);
+    const double seg_end = std::min(t1, bin_end);
+    bins_[static_cast<std::size_t>(idx)] += rate * (seg_end - t);
+    if (seg_end <= t) break;  // past the last bin; remainder clamps there
+    t = seg_end;
+  }
+}
+
+double BinnedSeries::binStart(std::size_t bin) const {
+  return bin_s_ * static_cast<double>(bin);
+}
+
+double BinnedSeries::total() const {
+  double s = 0;
+  for (double v : bins_) s += v;
+  return s;
+}
+
+double BinnedSeries::peak() const {
+  return bins_.empty() ? 0.0 : *std::max_element(bins_.begin(), bins_.end());
+}
+
+std::size_t BinnedSeries::peakBin() const {
+  return static_cast<std::size_t>(
+      std::max_element(bins_.begin(), bins_.end()) - bins_.begin());
+}
+
+std::vector<double> BinnedSeries::normalized() const {
+  std::vector<double> out = bins_;
+  const double p = peak();
+  if (p > 0)
+    for (double& v : out) v /= p;
+  return out;
+}
+
+}  // namespace gol::stats

@@ -1,0 +1,38 @@
+// Time-binned accumulation of a quantity (bytes, requests, ...) over a window.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gol::stats {
+
+/// Accumulates values into fixed-width time bins over [0, horizon).
+/// Used for the paper's 5-minute-bin load plots (Fig 11b) and diurnal curves.
+class BinnedSeries {
+ public:
+  BinnedSeries(double horizon_s, double bin_s);
+
+  /// Adds `amount` at time `t` (clamped into the window).
+  void add(double t, double amount);
+  /// Spreads `amount` uniformly over [t0, t1).
+  void addSpread(double t0, double t1, double amount);
+
+  std::size_t bins() const { return bins_.size(); }
+  double binWidth() const { return bin_s_; }
+  double at(std::size_t bin) const { return bins_.at(bin); }
+  double binStart(std::size_t bin) const;
+  double total() const;
+  double peak() const;
+  std::size_t peakBin() const;
+
+  /// Values scaled so the maximum bin equals 1 (all-zero series stays zero).
+  std::vector<double> normalized() const;
+  const std::vector<double>& values() const { return bins_; }
+
+ private:
+  double horizon_s_;
+  double bin_s_;
+  std::vector<double> bins_;
+};
+
+}  // namespace gol::stats

@@ -1,0 +1,109 @@
+#include "trace/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gol::trace {
+
+namespace {
+
+bool needsQuoting(const std::string& field, char sep) {
+  return field.find(sep) != std::string::npos ||
+         field.find('"') != std::string::npos ||
+         field.find('\n') != std::string::npos ||
+         field.find('\r') != std::string::npos;
+}
+
+std::string quoted(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string writeCsv(const std::vector<CsvRow>& rows, char sep) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += sep;
+      out += needsQuoting(row[i], sep) ? quoted(row[i]) : row[i];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<CsvRow> parseCsv(const std::string& text, char sep) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto endField = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto endRow = [&] {
+    if (!row.empty() || field_started || !field.empty()) {
+      endField();
+      rows.push_back(std::move(row));
+      row.clear();
+    }
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && field.empty()) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == sep) {
+      endField();
+      field_started = true;  // a separator implies another field follows
+    } else if (c == '\n') {
+      endRow();
+    } else if (c != '\r') {
+      field += c;
+      field_started = true;
+    }
+  }
+  endRow();
+  return rows;
+}
+
+void saveCsv(const std::string& path, const std::vector<CsvRow>& rows,
+             char sep) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("saveCsv: cannot open " + path);
+  const std::string text = writeCsv(rows, sep);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) throw std::runtime_error("saveCsv: write failed for " + path);
+}
+
+std::vector<CsvRow> loadCsv(const std::string& path, char sep) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("loadCsv: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parseCsv(buf.str(), sep);
+}
+
+}  // namespace gol::trace

@@ -1,0 +1,24 @@
+// Minimal CSV reader/writer so generated traces can be persisted and the
+// bench harness can export series for external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gol::trace {
+
+using CsvRow = std::vector<std::string>;
+
+/// Serializes rows, quoting fields containing separators/quotes/newlines.
+std::string writeCsv(const std::vector<CsvRow>& rows, char sep = ',');
+
+/// Parses CSV text (handles quoted fields with embedded separators and
+/// doubled quotes). Empty trailing line is ignored.
+std::vector<CsvRow> parseCsv(const std::string& text, char sep = ',');
+
+/// Convenience file helpers; throw std::runtime_error on I/O failure.
+void saveCsv(const std::string& path, const std::vector<CsvRow>& rows,
+             char sep = ',');
+std::vector<CsvRow> loadCsv(const std::string& path, char sep = ',');
+
+}  // namespace gol::trace

@@ -1,0 +1,54 @@
+#include "trace/dslam_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cellular/location.hpp"
+
+namespace gol::trace {
+
+double DslamTrace::totalBytes() const {
+  double total = 0;
+  for (const auto& r : requests) total += r.bytes;
+  return total;
+}
+
+double sampleTimeOfDay(const net::DiurnalShape& shape, sim::Rng& rng) {
+  // Rejection sampling against the shape's (normalized) density.
+  const double peak = shape.maxValue();
+  for (int tries = 0; tries < 1024; ++tries) {
+    const double t = rng.uniform(0.0, 86400.0);
+    if (rng.uniform(0.0, peak) <= shape.at(t)) return t;
+  }
+  return rng.uniform(0.0, 86400.0);
+}
+
+DslamTrace generateDslamTrace(const DslamTraceConfig& cfg, sim::Rng& rng) {
+  DslamTrace trace;
+  trace.config = cfg;
+  const net::DiurnalShape& shape = cell::wiredDiurnalShape();
+
+  for (std::size_t u = 0; u < cfg.subscribers; ++u) {
+    if (!rng.bernoulli(cfg.video_user_fraction)) continue;
+    ++trace.video_users;
+    int views = static_cast<int>(
+        std::lround(rng.lognormal(cfg.views_mu, cfg.views_sigma)));
+    views = std::clamp(views, 1, cfg.max_views_per_day);
+    for (int v = 0; v < views; ++v) {
+      VideoRequest req;
+      req.user = static_cast<std::uint32_t>(u);
+      req.time_s = sampleTimeOfDay(shape, rng);
+      req.bytes = rng.lognormalMeanSd(cfg.video_size_mean_bytes,
+                                      cfg.video_size_sd_bytes);
+      trace.requests.push_back(req);
+    }
+  }
+  std::sort(trace.requests.begin(), trace.requests.end(),
+            [](const VideoRequest& a, const VideoRequest& b) {
+              if (a.time_s != b.time_s) return a.time_s < b.time_s;
+              return a.user < b.user;
+            });
+  return trace;
+}
+
+}  // namespace gol::trace

@@ -1,0 +1,53 @@
+// Synthetic stand-in for the paper's DSLAM flow-level trace (Table 1):
+// 24 h of HTTP/video requests from the 18 000 DSL lines behind one DSLAM in
+// a major European city (April 2011, 3 Mbps ADSL). Matched moments:
+//   * 68 % of users watch at least one video;
+//   * 14.12 videos/day per video-user, median 6, sd 30.13 — a single
+//     lognormal (mu = ln 6, sigma = 1.309) reproduces all three;
+//   * request times follow the wired diurnal profile (Fig 1);
+//   * video sizes average ~50 MB (the paper's YouTube reference).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/capacity_profile.hpp"
+#include "sim/rng.hpp"
+
+namespace gol::trace {
+
+struct VideoRequest {
+  std::uint32_t user = 0;
+  double time_s = 0;   ///< Seconds since midnight.
+  double bytes = 0;    ///< Full size of the requested video file.
+};
+
+struct DslamTraceConfig {
+  std::size_t subscribers = 18000;
+  double video_user_fraction = 0.68;
+  /// Lognormal of videos/day for video users (see header comment).
+  double views_mu = 1.7918;     // ln 6
+  double views_sigma = 1.309;
+  /// Video file sizes: lognormal with linear mean 50 MB, sd 60 MB.
+  double video_size_mean_bytes = 50e6;
+  double video_size_sd_bytes = 60e6;
+  double adsl_down_bps = 3e6;   ///< The trace's uniform ADSL speed.
+  /// Cap on views per user per day (the generator is heavy-tailed).
+  int max_views_per_day = 400;
+};
+
+struct DslamTrace {
+  DslamTraceConfig config;
+  std::vector<VideoRequest> requests;  ///< Sorted by time.
+  std::size_t video_users = 0;
+
+  double totalBytes() const;
+};
+
+/// One simulated day. Deterministic in (cfg, rng state).
+DslamTrace generateDslamTrace(const DslamTraceConfig& cfg, sim::Rng& rng);
+
+/// Samples a time-of-day (seconds) proportional to `shape`.
+double sampleTimeOfDay(const net::DiurnalShape& shape, sim::Rng& rng);
+
+}  // namespace gol::trace

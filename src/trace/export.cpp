@@ -1,0 +1,110 @@
+#include "trace/export.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+
+namespace gol::trace {
+
+namespace {
+
+double parseDouble(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0')
+    throw std::runtime_error(std::string("bad numeric field for ") + what +
+                             ": '" + s + "'");
+  return v;
+}
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<CsvRow> dslamToCsv(const DslamTrace& trace) {
+  std::vector<CsvRow> rows;
+  rows.push_back({"user", "time_s", "bytes"});
+  for (const auto& r : trace.requests) {
+    rows.push_back({std::to_string(r.user), fmt(r.time_s), fmt(r.bytes)});
+  }
+  return rows;
+}
+
+DslamTrace dslamFromCsv(const std::vector<CsvRow>& rows) {
+  if (rows.empty() || rows[0] != CsvRow{"user", "time_s", "bytes"})
+    throw std::runtime_error("dslamFromCsv: missing/invalid header");
+  DslamTrace trace;
+  std::set<std::uint32_t> users;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].size() != 3)
+      throw std::runtime_error("dslamFromCsv: row arity");
+    VideoRequest req;
+    req.user =
+        static_cast<std::uint32_t>(parseDouble(rows[i][0], "user"));
+    req.time_s = parseDouble(rows[i][1], "time_s");
+    req.bytes = parseDouble(rows[i][2], "bytes");
+    users.insert(req.user);
+    trace.requests.push_back(req);
+  }
+  trace.video_users = users.size();
+  return trace;
+}
+
+std::vector<CsvRow> mnoToCsv(const MnoDataset& ds) {
+  std::vector<CsvRow> rows;
+  CsvRow header = {"user", "cap_bytes"};
+  const std::size_t months =
+      ds.users.empty() ? 0 : ds.users[0].monthly_usage_bytes.size();
+  for (std::size_t m = 0; m < months; ++m)
+    header.push_back("month" + std::to_string(m));
+  rows.push_back(std::move(header));
+  for (std::size_t u = 0; u < ds.users.size(); ++u) {
+    CsvRow row = {std::to_string(u), fmt(ds.users[u].cap_bytes)};
+    for (double b : ds.users[u].monthly_usage_bytes) row.push_back(fmt(b));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+MnoDataset mnoFromCsv(const std::vector<CsvRow>& rows) {
+  if (rows.empty() || rows[0].size() < 2 || rows[0][0] != "user" ||
+      rows[0][1] != "cap_bytes")
+    throw std::runtime_error("mnoFromCsv: missing/invalid header");
+  const std::size_t months = rows[0].size() - 2;
+  MnoDataset ds;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].size() != months + 2)
+      throw std::runtime_error("mnoFromCsv: row arity");
+    MnoUser u;
+    u.cap_bytes = parseDouble(rows[i][1], "cap_bytes");
+    for (std::size_t m = 0; m < months; ++m)
+      u.monthly_usage_bytes.push_back(parseDouble(rows[i][m + 2], "month"));
+    if (u.cap_bytes > 0 && !u.monthly_usage_bytes.empty())
+      u.base_fraction = u.monthly_usage_bytes[0] / u.cap_bytes;
+    ds.users.push_back(std::move(u));
+  }
+  return ds;
+}
+
+void saveDslamTrace(const std::string& path, const DslamTrace& trace) {
+  saveCsv(path, dslamToCsv(trace));
+}
+
+DslamTrace loadDslamTrace(const std::string& path) {
+  return dslamFromCsv(loadCsv(path));
+}
+
+void saveMnoDataset(const std::string& path, const MnoDataset& ds) {
+  saveCsv(path, mnoToCsv(ds));
+}
+
+MnoDataset loadMnoDataset(const std::string& path) {
+  return mnoFromCsv(loadCsv(path));
+}
+
+}  // namespace gol::trace

@@ -1,0 +1,30 @@
+// CSV import/export for the synthetic datasets, so experiments can be
+// plotted externally and traces can be frozen/replayed across versions.
+#pragma once
+
+#include <string>
+
+#include "trace/csv.hpp"
+#include "trace/dslam_trace.hpp"
+#include "trace/mno.hpp"
+
+namespace gol::trace {
+
+/// DSLAM trace <-> CSV with header "user,time_s,bytes".
+std::vector<CsvRow> dslamToCsv(const DslamTrace& trace);
+/// Parses rows produced by dslamToCsv; throws std::runtime_error on a
+/// malformed header or non-numeric fields. The config is not round-tripped
+/// (only the requests are data); `config` on the result is default.
+DslamTrace dslamFromCsv(const std::vector<CsvRow>& rows);
+
+/// MNO dataset <-> CSV with header "user,cap_bytes,month0,month1,...".
+std::vector<CsvRow> mnoToCsv(const MnoDataset& ds);
+MnoDataset mnoFromCsv(const std::vector<CsvRow>& rows);
+
+/// File convenience wrappers.
+void saveDslamTrace(const std::string& path, const DslamTrace& trace);
+DslamTrace loadDslamTrace(const std::string& path);
+void saveMnoDataset(const std::string& path, const MnoDataset& ds);
+MnoDataset loadMnoDataset(const std::string& path);
+
+}  // namespace gol::trace

@@ -1,0 +1,44 @@
+#include "trace/mno.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gol::trace {
+
+std::vector<double> MnoDataset::usedFractions(std::size_t month) const {
+  std::vector<double> out;
+  out.reserve(users.size());
+  for (const auto& u : users) out.push_back(u.usedFraction(month));
+  return out;
+}
+
+double MnoDataset::meanFreeBytes(std::size_t month) const {
+  if (users.empty()) return 0;
+  double total = 0;
+  for (const auto& u : users)
+    total += std::max(0.0, u.cap_bytes - u.monthly_usage_bytes.at(month));
+  return total / static_cast<double>(users.size());
+}
+
+MnoDataset generateMnoDataset(const MnoConfig& cfg, sim::Rng& rng) {
+  if (cfg.cap_choices_bytes.size() != cfg.cap_weights.size())
+    throw std::invalid_argument("MnoConfig: cap choices/weights mismatch");
+  MnoDataset ds;
+  ds.users.reserve(cfg.users);
+  for (std::size_t i = 0; i < cfg.users; ++i) {
+    MnoUser u;
+    u.cap_bytes = cfg.cap_choices_bytes[rng.weightedIndex(cfg.cap_weights)];
+    u.base_fraction =
+        std::min(1.0, rng.lognormal(cfg.fraction_mu, cfg.fraction_sigma));
+    u.monthly_usage_bytes.reserve(static_cast<std::size_t>(cfg.months));
+    for (int m = 0; m < cfg.months; ++m) {
+      const double f = std::min(
+          1.0, u.base_fraction * rng.lognormal(0.0, cfg.month_sigma));
+      u.monthly_usage_bytes.push_back(f * u.cap_bytes);
+    }
+    ds.users.push_back(std::move(u));
+  }
+  return ds;
+}
+
+}  // namespace gol::trace

@@ -1,0 +1,56 @@
+// Synthetic stand-in for the paper's proprietary MNO dataset (Table 1):
+// per-user monthly data demand versus contracted cap for ~1M mobile
+// broadband customers. The generator's usage-fraction distribution is
+// fitted to the anchors of Fig 10 — 40 % of customers use < 10 % of their
+// cap and 75 % use < 50 % — which a lognormal matches almost exactly
+// (mu = -1.864, sigma = 1.736, clamped at the cap).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace gol::trace {
+
+struct MnoUser {
+  double cap_bytes = 0;
+  /// The user's long-run mean usage as a fraction of the cap.
+  double base_fraction = 0;
+  /// One entry per simulated month (bytes).
+  std::vector<double> monthly_usage_bytes;
+
+  double usedFraction(std::size_t month) const {
+    return cap_bytes > 0 ? monthly_usage_bytes.at(month) / cap_bytes : 0.0;
+  }
+};
+
+struct MnoConfig {
+  std::size_t users = 20000;
+  int months = 12;
+  /// Contract mix: cap sizes and their weights (2011-era mobile broadband
+  /// plans; the mix is tuned so mean free capacity lands near the paper's
+  /// ~600 MB/month).
+  std::vector<double> cap_choices_bytes = {300e6, 500e6, 1e9, 2e9};
+  std::vector<double> cap_weights = {0.15, 0.35, 0.38, 0.12};
+  /// Lognormal parameters of the per-user mean usage fraction (see above).
+  double fraction_mu = -1.864;
+  double fraction_sigma = 1.736;
+  /// Month-to-month multiplicative noise (lognormal sigma) around the
+  /// user's base fraction — what the allowance estimator must guard
+  /// against.
+  double month_sigma = 0.45;
+};
+
+struct MnoDataset {
+  std::vector<MnoUser> users;
+
+  /// Fractions of cap used in `month`, one per user (the Fig 10 CDF).
+  std::vector<double> usedFractions(std::size_t month) const;
+  /// Mean free (unused) bytes per user in `month`.
+  double meanFreeBytes(std::size_t month) const;
+};
+
+MnoDataset generateMnoDataset(const MnoConfig& cfg, sim::Rng& rng);
+
+}  // namespace gol::trace

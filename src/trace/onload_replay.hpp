@@ -1,0 +1,42 @@
+// Replays a DSLAM day through the fluid network: every budgeted onload
+// becomes a real flow across the covering towers' backhaul, so the Fig 11b
+// load curve comes out of simulated contention instead of arithmetic —
+// including the slowdown ("stretch") users would see when the cellular
+// links saturate.
+#pragma once
+
+#include <cstddef>
+
+#include "stats/summary.hpp"
+#include "stats/timeseries.hpp"
+#include "trace/dslam_trace.hpp"
+
+namespace gol::trace {
+
+struct ReplayConfig {
+  int towers = 2;                  ///< Sec. 2.1: two towers cover the area.
+  double backhaul_bps = 40e6;      ///< Per tower.
+  /// Aggregate cellular rate one household's phones can pull when the
+  /// network is uncontended (2 devices x ~1.6 Mbps).
+  double household_rate_bps = 3.2e6;
+  double share = 0.516;            ///< Phone byte share of each video.
+  double daily_budget_bytes = 40e6;
+  double min_video_bytes = 750e3;  ///< Paper's eligibility threshold.
+  double bin_s = 300;              ///< Fig 11b uses 5-minute bins.
+};
+
+struct ReplayResult {
+  stats::BinnedSeries load_bytes;    ///< Cellular bytes carried per bin.
+  double onloaded_bytes = 0;
+  std::size_t boosted_videos = 0;
+  std::size_t skipped_videos = 0;    ///< Budget exhausted or ineligible.
+  /// Ratio of contended to uncontended onload duration per boost; 1.0
+  /// means the towers absorbed the load without queueing.
+  stats::Summary stretch;
+  double peak_utilization = 0;       ///< Max per-bin load over capacity.
+};
+
+ReplayResult replayOnload(const DslamTrace& trace,
+                          const ReplayConfig& cfg = {});
+
+}  // namespace gol::trace

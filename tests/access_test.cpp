@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "access/adsl.hpp"
+#include "access/dslam.hpp"
+#include "access/wifi.hpp"
+#include "net/flow_network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+namespace gol::access {
+namespace {
+
+using sim::mbps;
+using sim::megabytes;
+
+TEST(AdslFromLoopLength, ShortLoopGetsFullRate) {
+  const auto cfg = adslFromLoopLength(500);
+  EXPECT_DOUBLE_EQ(cfg.sync_down_bps, mbps(24));
+  EXPECT_NEAR(cfg.sync_up_bps, mbps(1.2), 1e4);
+}
+
+TEST(AdslFromLoopLength, RateFallsWithDistance) {
+  const auto near = adslFromLoopLength(1000);
+  const auto mid = adslFromLoopLength(3000);
+  const auto far = adslFromLoopLength(5000);
+  EXPECT_GT(near.sync_down_bps, mid.sync_down_bps);
+  EXPECT_GT(mid.sync_down_bps, far.sync_down_bps);
+  EXPECT_NEAR(far.sync_down_bps, mbps(1.5), 1);
+  // Beyond 5 km the curve floors.
+  EXPECT_DOUBLE_EQ(adslFromLoopLength(9000).sync_down_bps, mbps(1.5));
+}
+
+TEST(AdslFromLoopLength, RttGrowsWithDistance) {
+  EXPECT_LT(adslFromLoopLength(500).rtt_s, adslFromLoopLength(4000).rtt_s);
+}
+
+TEST(AdslLine, AsymmetryAndGoodput) {
+  sim::Simulator s;
+  net::FlowNetwork net(s);
+  AdslConfig cfg;
+  cfg.sync_down_bps = mbps(6.7);
+  cfg.sync_up_bps = mbps(0.67);
+  cfg.atm_efficiency = 0.85;
+  AdslLine line(net, "adsl", cfg);
+  EXPECT_NEAR(line.goodputDownBps(), mbps(6.7) * 0.85, 1);
+  EXPECT_NEAR(line.goodputUpBps(), mbps(0.67) * 0.85, 1);
+  // The installed links carry the goodput, not the sync rate.
+  EXPECT_NEAR(line.downLink()->capacityBps(), line.goodputDownBps(), 1);
+  // Down and up are independent resources.
+  EXPECT_NE(line.downLink(), line.upLink());
+}
+
+TEST(AdslLine, PathsCarryRttAndLinks) {
+  sim::Simulator s;
+  net::FlowNetwork net(s);
+  AdslLine line(net, "adsl", AdslConfig{});
+  const auto down = line.downPath();
+  ASSERT_EQ(down.links.size(), 1u);
+  EXPECT_EQ(down.links[0], line.downLink());
+  EXPECT_GT(down.rtt_s, 0.0);
+  const auto up = line.upPath();
+  EXPECT_EQ(up.links[0], line.upLink());
+}
+
+TEST(AdslLine, DownloadTimeMatchesGoodput) {
+  sim::Simulator s;
+  net::FlowNetwork net(s);
+  AdslConfig cfg;
+  cfg.sync_down_bps = mbps(2.0);
+  cfg.atm_efficiency = 1.0;  // isolate the rate math
+  AdslLine line(net, "adsl", cfg);
+  std::optional<double> done;
+  net.startFlow({{line.downLink()}, megabytes(1), 1e18,
+                 [&](net::FlowId) { done = s.now(); }});
+  s.run();
+  EXPECT_NEAR(*done, 4.0, 1e-9);
+}
+
+TEST(Wifi, GoodputByStandard) {
+  EXPECT_DOUBLE_EQ(wifiGoodputBps(WifiStandard::k80211g), mbps(24));
+  EXPECT_DOUBLE_EQ(wifiGoodputBps(WifiStandard::k80211n), mbps(110));
+}
+
+TEST(Wifi, InterferenceShavesGoodput) {
+  sim::Simulator s;
+  net::FlowNetwork net(s);
+  WifiConfig cfg;
+  cfg.standard = WifiStandard::k80211g;
+  cfg.interference_loss = 0.25;
+  WifiLan lan(net, "wifi", cfg);
+  EXPECT_NEAR(lan.goodputBps(), mbps(18), 1);
+}
+
+TEST(Wifi, SharedMediumSplitsBetweenStations) {
+  sim::Simulator s;
+  net::FlowNetwork net(s);
+  WifiLan lan(net, "wifi", WifiConfig{WifiStandard::k80211g, 0.0, 0.003, 0.0});
+  net.startFlow({{lan.medium()}, megabytes(100), 1e18, nullptr});
+  const auto f2 =
+      net.startFlow({{lan.medium()}, megabytes(100), 1e18, nullptr});
+  EXPECT_NEAR(net.flowRateBps(f2), mbps(12), 10);
+}
+
+TEST(Dslam, BackhaulOversubscription) {
+  sim::Simulator s;
+  net::FlowNetwork net(s);
+  DslamConfig cfg;
+  cfg.subscribers = 875;
+  cfg.avg_sync_down_bps = mbps(6.7);
+  cfg.oversubscription = 20.0;
+  Dslam dslam(net, "dslam", cfg);
+  // Sec. 2.1: 875 lines * 6.7 Mbps = 5.86 Gbps nominal.
+  EXPECT_NEAR(dslam.nominalAggregateDownBps(), 5.8625e9, 1e6);
+  EXPECT_NEAR(dslam.backhaulBps(), 5.8625e9 / 20.0, 1e3);
+}
+
+TEST(Dslam, LinesShareTheBackhaul) {
+  sim::Simulator s;
+  net::FlowNetwork net(s);
+  DslamConfig cfg;
+  cfg.subscribers = 4;
+  cfg.avg_sync_down_bps = mbps(10);
+  cfg.oversubscription = 10.0;  // backhaul = 4 Mbps
+  Dslam dslam(net, "dslam", cfg);
+  AdslConfig line_cfg;
+  line_cfg.sync_down_bps = mbps(10);
+  line_cfg.atm_efficiency = 1.0;
+  auto& l1 = dslam.addLine(line_cfg);
+  auto& l2 = dslam.addLine(line_cfg);
+  EXPECT_EQ(dslam.lineCount(), 2u);
+  // Both lines pull through the 4 Mbps backhaul: 2 Mbps each.
+  const auto f1 = net.startFlow(
+      {{dslam.backhaulDown(), l1.downLink()}, megabytes(100), 1e18, nullptr});
+  const auto f2 = net.startFlow(
+      {{dslam.backhaulDown(), l2.downLink()}, megabytes(100), 1e18, nullptr});
+  EXPECT_NEAR(net.flowRateBps(f1), mbps(2), 10);
+  EXPECT_NEAR(net.flowRateBps(f2), mbps(2), 10);
+}
+
+}  // namespace
+}  // namespace gol::access

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/allowance.hpp"
+#include "sim/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace gol::core {
+namespace {
+
+TEST(Estimator, FormulaMeanMinusAlphaSigma) {
+  AllowanceConfig cfg;
+  cfg.tau_months = 5;
+  cfg.alpha = 2.0;
+  const std::vector<double> free = {100, 120, 80, 110, 90};
+  stats::Summary s;
+  for (double f : free) s.add(f);
+  EXPECT_NEAR(estimateMonthlyAllowance(free, cfg),
+              s.mean() - 2.0 * s.stddev(), 1e-9);
+}
+
+TEST(Estimator, UsesOnlyLastTauMonths) {
+  AllowanceConfig cfg;
+  cfg.tau_months = 3;
+  cfg.alpha = 0.0;
+  const std::vector<double> free = {1000, 1000, 30, 30, 30};
+  EXPECT_NEAR(estimateMonthlyAllowance(free, cfg), 30.0, 1e-9);
+}
+
+TEST(Estimator, ClampsAtZero) {
+  AllowanceConfig cfg;
+  cfg.alpha = 10.0;  // huge guard
+  const std::vector<double> free = {100, 10, 100, 10, 100};
+  EXPECT_DOUBLE_EQ(estimateMonthlyAllowance(free, cfg), 0.0);
+}
+
+TEST(Estimator, InsufficientHistoryIsZero) {
+  EXPECT_DOUBLE_EQ(estimateMonthlyAllowance({}, {}), 0.0);
+  const std::vector<double> one = {100.0};
+  EXPECT_DOUBLE_EQ(estimateMonthlyAllowance(one, {}), 0.0);
+}
+
+TEST(Estimator, StableUserGetsNearlyAllFreeCapacity) {
+  AllowanceConfig cfg;  // tau=5, alpha=4
+  const std::vector<double> free = {500, 500, 500, 500, 500};
+  EXPECT_NEAR(estimateMonthlyAllowance(free, cfg), 500.0, 1e-9);
+}
+
+TEST(Backtest, NoOverrunForConstantUsage) {
+  std::vector<double> usage(12, 200.0);  // under a 1000-cap: free = 800
+  const auto outcomes = backtestEstimator(usage, 1000.0);
+  ASSERT_EQ(outcomes.size(), 12u - 5u);
+  for (const auto& o : outcomes) {
+    EXPECT_FALSE(o.overran);
+    EXPECT_NEAR(o.allowance_bytes, 800.0, 1e-9);
+    EXPECT_DOUBLE_EQ(o.overrun_days, 0.0);
+  }
+}
+
+TEST(Backtest, SuddenSpikeCausesBoundedOverrun) {
+  std::vector<double> usage(10, 100.0);
+  usage.push_back(950.0);  // the user suddenly consumes almost the cap
+  const auto outcomes = backtestEstimator(usage, 1000.0);
+  const auto& last = outcomes.back();
+  EXPECT_TRUE(last.overran);
+  EXPECT_GT(last.overrun_days, 0.0);
+  EXPECT_LE(last.overrun_days, 30.0);
+}
+
+TEST(Backtest, GuardReducesOverrunsOnVolatileUsers) {
+  sim::Rng rng(99);
+  int overruns_guarded = 0, overruns_naive = 0;
+  int months_guarded = 0, months_naive = 0;
+  for (int u = 0; u < 200; ++u) {
+    std::vector<double> usage;
+    const double base = rng.uniform(50, 600);
+    for (int m = 0; m < 18; ++m)
+      usage.push_back(std::min(1000.0, base * rng.lognormal(0.0, 0.5)));
+    AllowanceConfig guarded;  // alpha = 4
+    AllowanceConfig naive;
+    naive.alpha = 0.0;
+    for (const auto& o : backtestEstimator(usage, 1000.0, guarded)) {
+      overruns_guarded += o.overran;
+      ++months_guarded;
+    }
+    for (const auto& o : backtestEstimator(usage, 1000.0, naive)) {
+      overruns_naive += o.overran;
+      ++months_naive;
+    }
+  }
+  EXPECT_LT(overruns_guarded, overruns_naive);
+  // The paper's operating point keeps overruns rare.
+  EXPECT_LT(static_cast<double>(overruns_guarded) / months_guarded, 0.10);
+}
+
+TEST(Tracker, DailySlicing) {
+  UsageTracker t(600e6, 30);
+  EXPECT_NEAR(t.dailyAllowanceBytes(), 20e6, 1);
+  EXPECT_NEAR(t.availableTodayBytes(), 20e6, 1);
+  EXPECT_TRUE(t.eligible());
+}
+
+TEST(Tracker, UsageDepletesToday) {
+  UsageTracker t(600e6, 30);
+  t.recordUsage(15e6);
+  EXPECT_NEAR(t.availableTodayBytes(), 5e6, 1);
+  t.recordUsage(10e6);  // overshoot
+  EXPECT_DOUBLE_EQ(t.availableTodayBytes(), 0.0);
+  EXPECT_FALSE(t.eligible());
+}
+
+TEST(Tracker, NextDayRefreshes) {
+  UsageTracker t(600e6, 30);
+  t.recordUsage(25e6);
+  EXPECT_FALSE(t.eligible());
+  t.nextDay();
+  EXPECT_TRUE(t.eligible());
+  EXPECT_NEAR(t.availableTodayBytes(), 20e6, 1);
+  EXPECT_NEAR(t.usedThisMonthBytes(), 25e6, 1);
+}
+
+TEST(Tracker, MonthlyBudgetBindsNearExhaustion) {
+  UsageTracker t(100.0, 10);  // 10 B/day
+  for (int d = 0; d < 9; ++d) {
+    t.recordUsage(11.0);  // slight daily overshoot
+    t.nextDay();
+  }
+  // 99 used of 100: today only 1 byte remains despite the 10 B/day slice.
+  EXPECT_NEAR(t.availableTodayBytes(), 1.0, 1e-9);
+}
+
+TEST(Tracker, MonthRollsOver) {
+  UsageTracker t(100.0, 3);
+  t.recordUsage(90.0);
+  for (int d = 0; d < 3; ++d) t.nextDay();
+  EXPECT_DOUBLE_EQ(t.usedThisMonthBytes(), 0.0);
+  EXPECT_TRUE(t.eligible());
+}
+
+TEST(Tracker, NegativeUsageIgnored) {
+  UsageTracker t(100.0, 10);
+  t.recordUsage(-5.0);
+  EXPECT_DOUBLE_EQ(t.usedThisMonthBytes(), 0.0);
+}
+
+}  // namespace
+}  // namespace gol::core

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "net/capacity_profile.hpp"
+#include "sim/units.hpp"
+
+namespace gol::net {
+namespace {
+
+DiurnalShape rampShape() {
+  std::array<double, 24> h{};
+  for (int i = 0; i < 24; ++i) h[static_cast<std::size_t>(i)] = i;
+  return DiurnalShape(h);
+}
+
+TEST(DiurnalShape, AnchorsExact) {
+  const auto s = rampShape();
+  EXPECT_DOUBLE_EQ(s.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.at(sim::hours(5)), 5.0);
+  EXPECT_DOUBLE_EQ(s.at(sim::hours(23)), 23.0);
+}
+
+TEST(DiurnalShape, InterpolatesBetweenHours) {
+  const auto s = rampShape();
+  EXPECT_DOUBLE_EQ(s.at(sim::hours(5.5)), 5.5);
+  EXPECT_DOUBLE_EQ(s.at(sim::hours(2.25)), 2.25);
+}
+
+TEST(DiurnalShape, WrapsPastMidnight) {
+  const auto s = rampShape();
+  // 23:30 interpolates between hour 23 (23) and hour 0 (0).
+  EXPECT_DOUBLE_EQ(s.at(sim::hours(23.5)), 11.5);
+  EXPECT_DOUBLE_EQ(s.at(sim::hours(24)), 0.0);
+  EXPECT_DOUBLE_EQ(s.at(sim::hours(29)), 5.0);   // next day
+  EXPECT_DOUBLE_EQ(s.at(sim::hours(-1)), 23.0);  // negative wraps back
+}
+
+TEST(DiurnalShape, MaxValue) {
+  EXPECT_DOUBLE_EQ(rampShape().maxValue(), 23.0);
+}
+
+TEST(CapacityDriver, AppliesDiurnalToLink) {
+  sim::Simulator s;
+  FlowNetwork net(s);
+  Link* l = net.createLink("l", sim::mbps(10));
+  const auto shape = rampShape();
+
+  CapacityDriver::Options opts;
+  opts.base_bps = sim::mbps(1);
+  opts.update_interval_s = sim::hours(1);
+  opts.noise_sd = 0.0;  // pure diurnal
+  opts.diurnal = &shape;
+  opts.day_offset_s = sim::hours(10);
+  CapacityDriver driver(net, l, opts, sim::Rng(1));
+  driver.start();
+  // First tick happens immediately at t=0 -> hour 10.
+  EXPECT_NEAR(l->capacityBps(), sim::mbps(10), 1);
+  s.runUntil(sim::hours(2) + 1);
+  EXPECT_NEAR(l->capacityBps(), sim::mbps(12), 1);
+}
+
+TEST(CapacityDriver, NoiseStaysAboveFloor) {
+  sim::Simulator s;
+  FlowNetwork net(s);
+  Link* l = net.createLink("l", sim::mbps(10));
+  CapacityDriver::Options opts;
+  opts.base_bps = sim::mbps(10);
+  opts.update_interval_s = 1.0;
+  opts.noise_sd = 2.0;  // wild noise to hit the floor often
+  opts.floor_fraction = 0.05;
+  CapacityDriver driver(net, l, opts, sim::Rng(7));
+  driver.start();
+  for (int i = 0; i < 200; ++i) {
+    s.runUntil(i + 0.5);
+    EXPECT_GE(l->capacityBps(), sim::mbps(10) * 0.05 - 1e-6);
+  }
+}
+
+TEST(CapacityDriver, StopHaltsUpdates) {
+  sim::Simulator s;
+  FlowNetwork net(s);
+  Link* l = net.createLink("l", sim::mbps(10));
+  CapacityDriver::Options opts;
+  opts.base_bps = sim::mbps(5);
+  opts.update_interval_s = 1.0;
+  CapacityDriver driver(net, l, opts, sim::Rng(3));
+  driver.start();
+  s.runUntil(0.5);
+  driver.stop();
+  const double frozen = l->capacityBps();
+  s.runUntil(20.0);
+  EXPECT_DOUBLE_EQ(l->capacityBps(), frozen);
+}
+
+TEST(CapacityDriver, DeterministicAcrossRunsWithSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator s;
+    FlowNetwork net(s);
+    Link* l = net.createLink("l", sim::mbps(10));
+    CapacityDriver::Options opts;
+    opts.base_bps = sim::mbps(10);
+    opts.update_interval_s = 1.0;
+    opts.noise_sd = 0.3;
+    CapacityDriver d(net, l, opts, sim::Rng(seed));
+    d.start();
+    s.runUntil(50.0);
+    return l->capacityBps();
+  };
+  EXPECT_DOUBLE_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace gol::net

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "cli/args.hpp"
+
+namespace gol::cli {
+namespace {
+
+std::vector<const char*> argvOf(std::initializer_list<const char*> items) {
+  return std::vector<const char*>(items);
+}
+
+TEST(Args, DefaultsApplyWhenUnprovided) {
+  ArgParser p("t");
+  p.addInt("count", "a count", 7);
+  p.addString("name", "a name", "x");
+  p.addDouble("rate", "a rate", 1.5);
+  p.addFlag("verbose", "chatty");
+  const auto argv = argvOf({"t"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(p.getInt("count"), 7);
+  EXPECT_EQ(p.getString("name"), "x");
+  EXPECT_DOUBLE_EQ(p.getDouble("rate"), 1.5);
+  EXPECT_FALSE(p.getFlag("verbose"));
+  EXPECT_FALSE(p.provided("count"));
+}
+
+TEST(Args, ValuesOverrideDefaults) {
+  ArgParser p("t");
+  p.addInt("count", "", 7);
+  p.addFlag("verbose", "");
+  const auto argv = argvOf({"t", "--count", "42", "--verbose"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(p.getInt("count"), 42);
+  EXPECT_TRUE(p.getFlag("verbose"));
+  EXPECT_TRUE(p.provided("count"));
+}
+
+TEST(Args, RequiredOptionMissingFails) {
+  ArgParser p("t");
+  p.addString("out", "output file");  // no default -> required
+  const auto argv = argvOf({"t"});
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(p.error().find("--out"), std::string::npos);
+}
+
+TEST(Args, UnknownOptionFails) {
+  ArgParser p("t");
+  const auto argv = argvOf({"t", "--bogus", "1"});
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(p.error().find("bogus"), std::string::npos);
+}
+
+TEST(Args, MissingValueFails) {
+  ArgParser p("t");
+  p.addInt("count", "", 1);
+  const auto argv = argvOf({"t", "--count"});
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Args, NonNumericValueFails) {
+  ArgParser p("t");
+  p.addInt("count", "", 1);
+  const auto argv = argvOf({"t", "--count", "abc"});
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  p = ArgParser("t");
+  p.addDouble("rate", "", 1.0);
+  const auto argv2 = argvOf({"t", "--rate", "1.5x"});
+  EXPECT_FALSE(p.parse(static_cast<int>(argv2.size()), argv2.data()));
+}
+
+TEST(Args, HelpShortCircuits) {
+  ArgParser p("t");
+  p.addString("out", "output");  // required, but --help wins
+  const auto argv = argvOf({"t", "--help"});
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(p.helpRequested());
+  EXPECT_TRUE(p.error().empty());
+}
+
+TEST(Args, PositionalsCollected) {
+  ArgParser p("t");
+  p.addFlag("v", "");
+  const auto argv = argvOf({"t", "one", "--v", "two"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(p.positionals(),
+            (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(Args, UsageListsOptionsAndDefaults) {
+  ArgParser p("gol3 vod", "Run a VoD boost");
+  p.addInt("phones", "phones to use", 2);
+  p.addFlag("warm", "pre-warm radios");
+  const std::string usage = p.usage();
+  EXPECT_NE(usage.find("gol3 vod"), std::string::npos);
+  EXPECT_NE(usage.find("--phones <value>"), std::string::npos);
+  EXPECT_NE(usage.find("(default: 2)"), std::string::npos);
+  EXPECT_NE(usage.find("--warm "), std::string::npos);
+}
+
+TEST(Args, UndeclaredGetterThrows) {
+  ArgParser p("t");
+  const auto argv = argvOf({"t"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_THROW(p.getString("nope"), std::logic_error);
+}
+
+TEST(Args, ParseStartIndexSkipsSubcommand) {
+  ArgParser p("t sub");
+  p.addInt("n", "", 1);
+  const auto argv = argvOf({"t", "sub", "--n", "9"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data(), 2));
+  EXPECT_EQ(p.getInt("n"), 9);
+}
+
+}  // namespace
+}  // namespace gol::cli

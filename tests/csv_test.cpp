@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "trace/csv.hpp"
+
+namespace gol::trace {
+namespace {
+
+TEST(Csv, WriteSimpleRows) {
+  const std::vector<CsvRow> rows = {{"a", "b"}, {"1", "2"}};
+  EXPECT_EQ(writeCsv(rows), "a,b\n1,2\n");
+}
+
+TEST(Csv, RoundTripPlain) {
+  const std::vector<CsvRow> rows = {{"user", "time", "bytes"},
+                                    {"17", "86399.5", "52428800"}};
+  EXPECT_EQ(parseCsv(writeCsv(rows)), rows);
+}
+
+TEST(Csv, QuotingSpecialCharacters) {
+  const std::vector<CsvRow> rows = {{"with,comma", "with\"quote", "with\nnewline"}};
+  const std::string text = writeCsv(rows);
+  EXPECT_EQ(parseCsv(text), rows);
+  EXPECT_NE(text.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(text.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Csv, EmptyFieldsPreserved) {
+  const std::vector<CsvRow> rows = {{"", "x", ""}};
+  EXPECT_EQ(parseCsv(writeCsv(rows)), rows);
+}
+
+TEST(Csv, ParseHandlesCrLf) {
+  const auto rows = parseCsv("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(Csv, ParseWithoutTrailingNewline) {
+  const auto rows = parseCsv("a,b\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(Csv, AlternateSeparator) {
+  const std::vector<CsvRow> rows = {{"a", "b,with,commas"}};
+  const std::string text = writeCsv(rows, ';');
+  EXPECT_EQ(text, "a;b,with,commas\n");
+  EXPECT_EQ(parseCsv(text, ';'), rows);
+}
+
+TEST(Csv, EmptyInputYieldsNoRows) {
+  EXPECT_TRUE(parseCsv("").empty());
+}
+
+TEST(Csv, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "gol_csv_test.csv";
+  const std::vector<CsvRow> rows = {{"h1", "h2"}, {"v1", "v,2"}};
+  saveCsv(path.string(), rows);
+  EXPECT_EQ(loadCsv(path.string()), rows);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, LoadMissingFileThrows) {
+  EXPECT_THROW(loadCsv("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gol::trace

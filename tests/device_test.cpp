@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "cellular/device.hpp"
+#include "cellular/location.hpp"
+#include "net/flow_network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+namespace gol::cell {
+namespace {
+
+using sim::mbps;
+using sim::megabytes;
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  DeviceTest() : net_(sim_) {
+    BaseStationConfig cfg;
+    cfg.sectors = 3;
+    bs_ = std::make_unique<BaseStation>(net_, "bs", cfg);
+  }
+
+  std::unique_ptr<CellularDevice> makeDevice(DeviceConfig cfg = {},
+                                             std::uint64_t seed = 1) {
+    cfg.quality_sigma = 0.0;  // deterministic unless a test wants noise
+    cfg.jitter_sigma = 0.0;
+    return std::make_unique<CellularDevice>(
+        net_, "dev", std::vector<BaseStation*>{bs_.get()}, cfg,
+        sim::Rng(seed));
+  }
+
+  sim::Simulator sim_;
+  net::FlowNetwork net_{sim_};
+  std::unique_ptr<BaseStation> bs_;
+};
+
+TEST_F(DeviceTest, TransferWaitsForRrcPromotion) {
+  auto dev = makeDevice();
+  std::optional<double> done;
+  CellularDevice::TransferOptions opts;
+  opts.dir = Direction::kDownlink;
+  opts.bytes = megabytes(1);
+  opts.on_complete = [&] { done = sim_.now(); };
+  dev->startTransfer(std::move(opts));
+  sim_.run();
+  ASSERT_TRUE(done.has_value());
+  // Promotion (2 s) plus 8 Mbit at the per-device cap.
+  const double rate = dev->nominalRateBps(Direction::kDownlink);
+  EXPECT_NEAR(*done, 2.0 + megabytes(1) * 8 / rate, 0.05);
+}
+
+TEST_F(DeviceTest, WarmRadioSkipsPromotion) {
+  auto dev = makeDevice();
+  dev->rrc().forceDch();
+  std::optional<double> done;
+  CellularDevice::TransferOptions opts;
+  opts.bytes = megabytes(1);
+  opts.on_complete = [&] { done = sim_.now(); };
+  dev->startTransfer(std::move(opts));
+  sim_.run();
+  const double rate = dev->nominalRateBps(Direction::kDownlink);
+  EXPECT_NEAR(*done, megabytes(1) * 8 / rate, 0.05);
+}
+
+TEST_F(DeviceTest, MeteredBytesAccumulate) {
+  auto dev = makeDevice();
+  dev->rrc().forceDch();
+  CellularDevice::TransferOptions opts;
+  opts.bytes = megabytes(2);
+  dev->startTransfer(std::move(opts));
+  sim_.run();
+  EXPECT_NEAR(dev->meteredBytes(), megabytes(2), 1.0);
+}
+
+TEST_F(DeviceTest, AbortReturnsPartialAndMeters) {
+  auto dev = makeDevice();
+  dev->rrc().forceDch();
+  CellularDevice::TransferOptions opts;
+  opts.bytes = megabytes(100);
+  bool completed = false;
+  opts.on_complete = [&] { completed = true; };
+  const auto id = dev->startTransfer(std::move(opts));
+  sim_.runUntil(10.0);
+  const double moved = dev->abortTransfer(id);
+  EXPECT_GT(moved, 0.0);
+  EXPECT_LT(moved, megabytes(100));
+  EXPECT_NEAR(dev->meteredBytes(), moved, 1.0);
+  sim_.run();
+  EXPECT_FALSE(completed);  // callback never fires after abort
+  EXPECT_FALSE(dev->transferActive(id));
+}
+
+TEST_F(DeviceTest, AbortDuringPromotionIsClean) {
+  auto dev = makeDevice();
+  CellularDevice::TransferOptions opts;
+  opts.bytes = megabytes(1);
+  bool completed = false;
+  opts.on_complete = [&] { completed = true; };
+  const auto id = dev->startTransfer(std::move(opts));
+  EXPECT_DOUBLE_EQ(dev->abortTransfer(id), 0.0);
+  sim_.run();
+  EXPECT_FALSE(completed);
+}
+
+TEST_F(DeviceTest, RadioStaysDchDuringLongTransfer) {
+  auto dev = makeDevice();
+  dev->rrc().forceDch();
+  CellularDevice::TransferOptions opts;
+  opts.bytes = megabytes(50);
+  dev->startTransfer(std::move(opts));
+  sim_.runUntil(30.0);  // longer than the 5 s inactivity timer
+  EXPECT_EQ(dev->rrc().state(), RrcState::kDch);
+}
+
+TEST_F(DeviceTest, DevicesSpreadOverSectorsUnderLoadPenalty) {
+  DeviceConfig cfg;
+  cfg.sector_diversity_db = 0.0;  // no per-device bias
+  cfg.primary_bonus_db = 0.4;
+  cfg.load_penalty_db = 1.0;      // spreading wins quickly
+  auto d1 = makeDevice(cfg, 1);
+  auto d2 = makeDevice(cfg, 2);
+  d1->rrc().forceDch();
+  d2->rrc().forceDch();
+  CellularDevice::TransferOptions o1, o2;
+  o1.bytes = o2.bytes = megabytes(50);
+  d1->startTransfer(std::move(o1));
+  d2->startTransfer(std::move(o2));
+  int active_sectors = 0;
+  for (std::size_t s = 0; s < bs_->sectorCount(); ++s)
+    if (bs_->sector(s).activeCount(Direction::kDownlink) > 0) ++active_sectors;
+  EXPECT_EQ(active_sectors, 2);
+}
+
+TEST_F(DeviceTest, DevicesClusterUnderStrongPrimaryBonus) {
+  DeviceConfig cfg;
+  cfg.sector_diversity_db = 0.0;
+  cfg.primary_bonus_db = 10.0;  // everyone prefers the primary sector
+  cfg.load_penalty_db = 0.5;
+  auto d1 = makeDevice(cfg, 1);
+  auto d2 = makeDevice(cfg, 2);
+  d1->rrc().forceDch();
+  d2->rrc().forceDch();
+  CellularDevice::TransferOptions o1, o2;
+  o1.bytes = o2.bytes = megabytes(50);
+  d1->startTransfer(std::move(o1));
+  d2->startTransfer(std::move(o2));
+  EXPECT_EQ(bs_->sector(0).activeCount(Direction::kDownlink), 2);
+}
+
+TEST_F(DeviceTest, NominalRateScalesWithSignal) {
+  DeviceConfig good;
+  good.radio.signal_dbm = -75;
+  DeviceConfig poor;
+  poor.radio.signal_dbm = -105;
+  auto dg = makeDevice(good, 1);
+  auto dp = makeDevice(poor, 2);
+  EXPECT_GT(dg->nominalRateBps(Direction::kDownlink),
+            dp->nominalRateBps(Direction::kDownlink));
+}
+
+TEST(Location, BuildsStationsAndDevices) {
+  sim::Simulator s;
+  net::FlowNetwork net(s);
+  LocationSpec spec = measurementLocations()[0];
+  Location loc(net, spec, sim::Rng(1));
+  EXPECT_EQ(loc.baseStationCount(),
+            static_cast<std::size_t>(spec.base_stations));
+  auto dev = loc.makeDevice("d0");
+  ASSERT_NE(dev, nullptr);
+  EXPECT_GT(dev->nominalRateBps(Direction::kDownlink), 0);
+}
+
+TEST(Location, AvailableFractionFollowsDiurnal) {
+  sim::Simulator s;
+  net::FlowNetwork net(s);
+  LocationSpec spec = measurementLocations()[0];
+  spec.background_peak_util = 0.4;
+  Location loc(net, spec, sim::Rng(1));
+  const auto& shape = mobileDiurnalShape();
+  // Peak hour (14h, the mobile busy hour) -> lowest availability.
+  const double at_peak = loc.availableFractionAt(shape, sim::hours(14));
+  const double at_night = loc.availableFractionAt(shape, sim::hours(4));
+  EXPECT_LT(at_peak, at_night);
+  EXPECT_NEAR(at_peak, 0.6, 1e-6);
+}
+
+TEST(Location, DiurnalDriverUpdatesSectors) {
+  sim::Simulator s;
+  net::FlowNetwork net(s);
+  LocationSpec spec = measurementLocations()[0];
+  spec.background_peak_util = 0.4;
+  Location loc(net, spec, sim::Rng(1));
+  loc.startDiurnalLoad(mobileDiurnalShape(), sim::hours(14));
+  EXPECT_NEAR(loc.baseStation(0).sector(0).availableFraction(), 0.6, 0.02);
+}
+
+TEST(Location, PaperLocationTablesPresent) {
+  EXPECT_EQ(measurementLocations().size(), 6u);
+  EXPECT_EQ(evaluationLocations().size(), 5u);
+  // Table 4 spot checks.
+  const auto eval = evaluationLocations();
+  EXPECT_DOUBLE_EQ(eval[1].adsl_down_bps, 21.64e6);
+  EXPECT_DOUBLE_EQ(eval[4].adsl_up_bps, 0.58e6);
+  EXPECT_DOUBLE_EQ(eval[0].signal_dbm, -81);
+}
+
+TEST(Location, DiurnalShapesPeakAtDifferentHours) {
+  const auto& mobile = mobileDiurnalShape();
+  const auto& wired = wiredDiurnalShape();
+  int mobile_peak = 0, wired_peak = 0;
+  for (int h = 1; h < 24; ++h) {
+    if (mobile.at(sim::hours(h)) > mobile.at(sim::hours(mobile_peak)))
+      mobile_peak = h;
+    if (wired.at(sim::hours(h)) > wired.at(sim::hours(wired_peak)))
+      wired_peak = h;
+  }
+  EXPECT_NE(mobile_peak, wired_peak);  // Fig 1's non-aligned peaks
+}
+
+}  // namespace
+}  // namespace gol::cell

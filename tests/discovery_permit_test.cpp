@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "core/discovery.hpp"
+#include "core/permit.hpp"
+#include "sim/simulator.hpp"
+
+namespace gol::core {
+namespace {
+
+TEST(Discovery, AdvertisementJoinsAdmissibleSet) {
+  sim::Simulator sim;
+  ClientDiscovery reg(sim, 12.0);
+  EXPECT_TRUE(reg.admissibleSet().empty());
+  reg.onAdvertisement("phone0");
+  EXPECT_EQ(reg.admissibleSet(), std::vector<std::string>{"phone0"});
+  EXPECT_TRUE(reg.admissible("phone0"));
+  EXPECT_FALSE(reg.admissible("phone1"));
+}
+
+TEST(Discovery, AdvertisementsExpireAfterTtl) {
+  sim::Simulator sim;
+  ClientDiscovery reg(sim, 10.0);
+  reg.onAdvertisement("phone0");
+  sim.scheduleAt(11.0, [] {});
+  sim.run();
+  EXPECT_FALSE(reg.admissible("phone0"));
+  EXPECT_TRUE(reg.admissibleSet().empty());
+}
+
+TEST(Discovery, AgentBeaconsPeriodically) {
+  sim::Simulator sim;
+  ClientDiscovery reg(sim, 12.0);
+  DiscoveryAgent agent(sim, "phone0", reg, nullptr);
+  agent.start();
+  sim.runUntil(0.5);
+  EXPECT_TRUE(reg.admissible("phone0"));  // first beacon is immediate
+  sim.runUntil(100.0);
+  EXPECT_TRUE(reg.admissible("phone0"));  // refreshed every 5 s
+}
+
+TEST(Discovery, IneligibleAgentStaysSilentAndAgesOut) {
+  sim::Simulator sim;
+  ClientDiscovery reg(sim, 8.0);
+  bool eligible = true;
+  DiscoveryAgent agent(sim, "phone0", reg, [&] { return eligible; });
+  agent.start();
+  sim.runUntil(1.0);
+  EXPECT_TRUE(reg.admissible("phone0"));
+  eligible = false;  // quota exhausted mid-day
+  sim.runUntil(20.0);
+  EXPECT_FALSE(reg.admissible("phone0"));
+  eligible = true;   // next day: quota refilled
+  sim.runUntil(26.0);
+  EXPECT_TRUE(reg.admissible("phone0"));
+}
+
+TEST(Discovery, StopHaltsBeaconing) {
+  sim::Simulator sim;
+  ClientDiscovery reg(sim, 6.0);
+  DiscoveryAgent agent(sim, "phone0", reg, nullptr);
+  agent.start();
+  sim.runUntil(1.0);
+  agent.stop();
+  sim.runUntil(30.0);
+  EXPECT_FALSE(reg.admissible("phone0"));
+}
+
+TEST(Permit, GrantsBelowThreshold) {
+  sim::Simulator sim;
+  double util = 0.3;
+  PermitServer server(sim, PermitConfig{0.7, 180.0},
+                      [&](const std::string&) { return util; });
+  EXPECT_TRUE(server.requestPermit("phone0"));
+  EXPECT_TRUE(server.hasValidPermit("phone0"));
+  EXPECT_EQ(server.grantsIssued(), 1u);
+}
+
+TEST(Permit, DeniesAboveThreshold) {
+  sim::Simulator sim;
+  PermitServer server(sim, PermitConfig{0.7, 180.0},
+                      [](const std::string&) { return 0.9; });
+  EXPECT_FALSE(server.requestPermit("phone0"));
+  EXPECT_FALSE(server.hasValidPermit("phone0"));
+  EXPECT_EQ(server.denials(), 1u);
+}
+
+TEST(Permit, CachedGrantSkipsProbe) {
+  sim::Simulator sim;
+  int probes = 0;
+  PermitServer server(sim, PermitConfig{0.7, 180.0},
+                      [&](const std::string&) {
+                        ++probes;
+                        return 0.1;
+                      });
+  EXPECT_TRUE(server.requestPermit("phone0"));
+  EXPECT_TRUE(server.requestPermit("phone0"));
+  EXPECT_EQ(probes, 1);  // second request served from cache
+}
+
+TEST(Permit, PermitExpiresAfterTtl) {
+  sim::Simulator sim;
+  double util = 0.1;
+  PermitServer server(sim, PermitConfig{0.7, 60.0},
+                      [&](const std::string&) { return util; });
+  EXPECT_TRUE(server.requestPermit("phone0"));
+  sim.scheduleAt(61.0, [] {});
+  sim.run();
+  EXPECT_FALSE(server.hasValidPermit("phone0"));
+  // Congestion arrived meanwhile: renewal is denied.
+  util = 0.95;
+  EXPECT_FALSE(server.requestPermit("phone0"));
+}
+
+TEST(Permit, RevokeAllOnCongestion) {
+  sim::Simulator sim;
+  PermitServer server(sim, PermitConfig{0.7, 180.0},
+                      [](const std::string&) { return 0.1; });
+  server.requestPermit("a");
+  server.requestPermit("b");
+  server.revokeAll();
+  EXPECT_FALSE(server.hasValidPermit("a"));
+  EXPECT_FALSE(server.hasValidPermit("b"));
+}
+
+TEST(Permit, PerDevicePermits) {
+  sim::Simulator sim;
+  PermitServer server(sim, PermitConfig{0.7, 180.0},
+                      [](const std::string& dev) {
+                        return dev == "congested" ? 0.9 : 0.1;
+                      });
+  EXPECT_TRUE(server.requestPermit("clear"));
+  EXPECT_FALSE(server.requestPermit("congested"));
+  EXPECT_TRUE(server.hasValidPermit("clear"));
+}
+
+}  // namespace
+}  // namespace gol::core

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "cellular/energy.hpp"
+#include "cellular/location.hpp"
+#include "core/vod_session.hpp"
+#include "sim/units.hpp"
+
+namespace gol::cell {
+namespace {
+
+TEST(EnergyMeter, IdleRadioDrawsAlmostNothing) {
+  sim::Simulator sim;
+  RrcMachine rrc(sim, RrcConfig{});
+  EnergyMeter meter(sim, rrc);
+  sim.scheduleAt(100.0, [] {});
+  sim.run();
+  EXPECT_NEAR(meter.joules(), 100.0 * 0.02, 1e-9);
+  EXPECT_NEAR(meter.residencyS(RrcState::kIdle), 100.0, 1e-9);
+}
+
+TEST(EnergyMeter, DchResidencyDominates) {
+  sim::Simulator sim;
+  RrcMachine rrc(sim, RrcConfig{});
+  EnergyMeter meter(sim, rrc);
+  rrc.forceDch();
+  // Hold DCH for 10 s with activity, then let it demote and idle out.
+  for (int i = 1; i <= 10; ++i) {
+    sim.scheduleAt(i, [&rrc] { rrc.notifyActivity(); });
+  }
+  sim.run();  // demotions fire after the last activity
+  const RrcConfig cfg;
+  EXPECT_NEAR(meter.residencyS(RrcState::kDch), 10.0 + cfg.dch_inactivity_s,
+              1e-6);
+  EXPECT_NEAR(meter.residencyS(RrcState::kFach), cfg.fach_inactivity_s, 1e-6);
+  // Energy = 0.8 W * 15 s + 0.45 W * 12 s + idle remainder.
+  EXPECT_NEAR(meter.joules(), 0.8 * 15 + 0.45 * 12, 0.05);
+}
+
+TEST(EnergyMeter, TailEnergyIsChargedAfterShortTransfer) {
+  // The classic tail problem: a 1 s transfer pays 5 s DCH + 12 s FACH tail.
+  sim::Simulator sim;
+  RrcMachine rrc(sim, RrcConfig{});
+  EnergyMeter meter(sim, rrc);
+  rrc.requestDch(nullptr);
+  sim.run();
+  const double active = meter.residencyS(RrcState::kDch);
+  EXPECT_NEAR(active, RrcConfig{}.dch_inactivity_s, 1e-6);
+  EXPECT_GT(meter.joules(), 0.8 * 4.9);  // tail dominates
+}
+
+TEST(EnergyMeter, ResetClearsAccumulators) {
+  sim::Simulator sim;
+  RrcMachine rrc(sim, RrcConfig{});
+  EnergyMeter meter(sim, rrc);
+  rrc.forceDch();
+  sim.runUntil(2.0);
+  EXPECT_GT(meter.joules(), 1.0);
+  meter.reset();
+  EXPECT_NEAR(meter.joules(), 0.0, 1e-9);
+}
+
+TEST(Lte, UpgradeRaisesChannelsAndScales) {
+  const auto base = evaluationLocations()[3];
+  const auto lte = lteUpgrade(base);
+  EXPECT_EQ(lte.name, base.name + "-lte");
+  EXPECT_GT(lte.shared_dl_aggregate_bps, base.shared_dl_aggregate_bps * 4);
+  EXPECT_GT(lte.dl_scale, base.dl_scale * 5);
+  EXPECT_GT(lte.backhaul_bps, base.backhaul_bps);
+}
+
+TEST(Lte, DeviceConfigHasFastRrcAndLowRtt) {
+  const auto cfg = lteDeviceConfig();
+  EXPECT_LT(cfg.rrc.idle_to_dch_s, 0.5);
+  EXPECT_LT(cfg.rtt_s, DeviceConfig{}.rtt_s);
+  EXPECT_GT(cfg.max_dl_bps, 100e6);
+}
+
+TEST(Lte, PowerboostFarShorterThan3G) {
+  // Sec. 2.3: with 4G "the period of powerboosting time might be extremely
+  // short". Same home, same video, 3G vs LTE phones.
+  core::HomeConfig cfg3g;
+  cfg3g.location = evaluationLocations()[3];
+  cfg3g.phones = 2;
+  cfg3g.seed = 5;
+  core::HomeEnvironment home3g(cfg3g);
+  core::VodSession vod3g(home3g);
+
+  core::HomeConfig cfg4g = cfg3g;
+  cfg4g.location = lteUpgrade(cfg3g.location);
+  cfg4g.device = lteDeviceConfig(cfg3g.device);
+  core::HomeEnvironment home4g(cfg4g);
+  core::VodSession vod4g(home4g);
+
+  core::VodOptions opts;
+  opts.video.bitrate_bps = 738e3;
+  opts.prebuffer_fraction = 0.4;
+  opts.phones = 2;
+  const double t3g = vod3g.run(opts).prebuffer_time_s;
+  const double t4g = vod4g.run(opts).prebuffer_time_s;
+  EXPECT_LT(t4g, t3g * 0.55);
+}
+
+TEST(Lte, SharedChannelStillBindsAggregate) {
+  // Ten LTE devices cannot exceed the 75 Mbps sector aggregate.
+  sim::Simulator sim;
+  net::FlowNetwork net(sim);
+  auto spec = lteUpgrade(measurementLocations()[0]);
+  spec.base_stations = 1;
+  spec.sectors_per_bs = 1;
+  Location loc(net, spec, sim::Rng(1));
+  EXPECT_DOUBLE_EQ(
+      loc.baseStation(0).sector(0).sharedLink(Direction::kDownlink)->capacityBps(),
+      75e6);
+}
+
+}  // namespace
+}  // namespace gol::cell

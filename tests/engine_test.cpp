@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/engine.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "core/min_time_scheduler.hpp"
+#include "core/round_robin_scheduler.hpp"
+#include "fake_path.hpp"
+#include "sim/units.hpp"
+
+namespace gol::core {
+namespace {
+
+using sim::mbps;
+using sim::megabytes;
+using testing::FakePath;
+
+TransactionResult runToCompletion(sim::Simulator& sim,
+                                  TransactionEngine& engine,
+                                  Transaction txn) {
+  std::optional<TransactionResult> result;
+  engine.run(std::move(txn),
+             [&](TransactionResult r) { result = std::move(r); });
+  sim.run();
+  EXPECT_TRUE(result.has_value());
+  return *result;
+}
+
+TEST(Engine, SinglePathSequential) {
+  sim::Simulator sim;
+  FakePath p(sim, "p", mbps(8));
+  GreedyScheduler g;
+  TransactionEngine engine(sim, {&p}, g);
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload, {megabytes(1), megabytes(1)}));
+  EXPECT_NEAR(res.duration_s, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(res.wasted_bytes, 0.0);
+  EXPECT_EQ(res.duplicated_items, 0u);
+  EXPECT_NEAR(res.item_completion_s[0], 1.0, 1e-9);
+  EXPECT_NEAR(res.item_completion_s[1], 2.0, 1e-9);
+  EXPECT_NEAR(res.per_path_bytes.at("p"), megabytes(2), 1);
+}
+
+TEST(Engine, TwoEqualPathsHalveTime) {
+  sim::Simulator sim;
+  FakePath a(sim, "a", mbps(8)), b(sim, "b", mbps(8));
+  GreedyScheduler g;
+  TransactionEngine engine(sim, {&a, &b}, g);
+  std::vector<double> sizes(4, megabytes(1));
+  const auto res = runToCompletion(
+      sim, engine, makeTransaction(TransferDirection::kDownload, sizes));
+  EXPECT_NEAR(res.duration_s, 2.0, 1e-9);
+  EXPECT_NEAR(res.per_path_bytes.at("a"), megabytes(2), 1);
+  EXPECT_NEAR(res.per_path_bytes.at("b"), megabytes(2), 1);
+}
+
+TEST(Engine, GreedyKeepsFastPathBusy) {
+  sim::Simulator sim;
+  FakePath fast(sim, "fast", mbps(8)), slow(sim, "slow", mbps(1));
+  GreedyScheduler g;
+  TransactionEngine engine(sim, {&fast, &slow}, g);
+  std::vector<double> sizes(9, megabytes(1));
+  const auto res = runToCompletion(
+      sim, engine, makeTransaction(TransferDirection::kDownload, sizes));
+  // Fast path should do the lion's share.
+  EXPECT_GT(res.per_path_bytes.at("fast"), res.per_path_bytes.at("slow") * 4);
+}
+
+TEST(Engine, TailDuplicationAbortsLoser) {
+  sim::Simulator sim;
+  FakePath fast(sim, "fast", mbps(8)), slow(sim, "slow", mbps(0.8));
+  GreedyScheduler g;
+  TransactionEngine engine(sim, {&fast, &slow}, g);
+  // Two items: fast takes item0 (1 s), slow crawls item1 (10 s). At t=1 the
+  // fast path duplicates item1 and wins; slow's copy is aborted.
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload, {megabytes(1), megabytes(1)}));
+  EXPECT_EQ(res.duplicated_items, 1u);
+  EXPECT_EQ(slow.aborts(), 1);
+  EXPECT_NEAR(res.duration_s, 2.0, 1e-9);
+  EXPECT_GT(res.wasted_bytes, 0.0);
+  // Waste bound: (N-1) * Sm.
+  EXPECT_LE(res.wasted_bytes, 1 * megabytes(1) + 1);
+}
+
+TEST(Engine, DuplicationDisabledWaitsForSlowPath) {
+  sim::Simulator sim;
+  FakePath fast(sim, "fast", mbps(8)), slow(sim, "slow", mbps(0.8));
+  GreedyScheduler g(false);
+  TransactionEngine engine(sim, {&fast, &slow}, g);
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload, {megabytes(1), megabytes(1)}));
+  EXPECT_EQ(res.duplicated_items, 0u);
+  EXPECT_NEAR(res.duration_s, 10.0, 1e-9);  // slow path finishes its item
+  EXPECT_DOUBLE_EQ(res.wasted_bytes, 0.0);
+}
+
+TEST(Engine, EmptyTransactionCompletesImmediately) {
+  sim::Simulator sim;
+  FakePath p(sim, "p", mbps(8));
+  GreedyScheduler g;
+  TransactionEngine engine(sim, {&p}, g);
+  const auto res = runToCompletion(
+      sim, engine, makeTransaction(TransferDirection::kDownload, {}));
+  EXPECT_DOUBLE_EQ(res.duration_s, 0.0);
+  EXPECT_FALSE(engine.active());
+}
+
+TEST(Engine, MoreItemsThanPathsAllComplete) {
+  sim::Simulator sim;
+  FakePath a(sim, "a", mbps(4)), b(sim, "b", mbps(2)), c(sim, "c", mbps(1));
+  GreedyScheduler g;
+  TransactionEngine engine(sim, {&a, &b, &c}, g);
+  std::vector<double> sizes(20, megabytes(0.5));
+  const auto res = runToCompletion(
+      sim, engine, makeTransaction(TransferDirection::kDownload, sizes));
+  for (double t : res.item_completion_s) EXPECT_GT(t, 0.0);
+  double delivered = 0;
+  for (const auto& [name, bytes] : res.per_path_bytes) delivered += bytes;
+  EXPECT_NEAR(delivered, megabytes(10), 1);
+}
+
+TEST(Engine, RoundRobinSlowerThanGreedyOnAsymmetricPaths) {
+  std::vector<double> sizes(10, megabytes(1));
+  auto run = [&](Scheduler& s) {
+    sim::Simulator sim;
+    FakePath fast(sim, "fast", mbps(10)), slow(sim, "slow", mbps(1));
+    TransactionEngine engine(sim, {&fast, &slow}, s);
+    return runToCompletion(
+        sim, engine, makeTransaction(TransferDirection::kDownload, sizes));
+  };
+  GreedyScheduler g;
+  RoundRobinScheduler rr;
+  const auto tg = run(g).duration_s;
+  const auto trr = run(rr).duration_s;
+  EXPECT_LT(tg, trr);
+}
+
+TEST(Engine, RejectsEmptyAndNullPaths) {
+  sim::Simulator sim;
+  GreedyScheduler g;
+  EXPECT_THROW(TransactionEngine(sim, {}, g), std::invalid_argument);
+  EXPECT_THROW(TransactionEngine(sim, {nullptr}, g), std::invalid_argument);
+}
+
+TEST(Engine, RejectsConcurrentRun) {
+  sim::Simulator sim;
+  FakePath p(sim, "p", mbps(8));
+  GreedyScheduler g;
+  TransactionEngine engine(sim, {&p}, g);
+  engine.run(makeTransaction(TransferDirection::kDownload, {megabytes(1)}),
+             nullptr);
+  EXPECT_TRUE(engine.active());
+  EXPECT_THROW(
+      engine.run(makeTransaction(TransferDirection::kDownload, {megabytes(1)}),
+                 nullptr),
+      std::logic_error);
+  sim.run();
+  EXPECT_FALSE(engine.active());
+}
+
+TEST(Engine, EngineReusableAfterCompletion) {
+  sim::Simulator sim;
+  FakePath p(sim, "p", mbps(8));
+  GreedyScheduler g;
+  TransactionEngine engine(sim, {&p}, g);
+  const auto r1 = runToCompletion(
+      sim, engine, makeTransaction(TransferDirection::kDownload, {megabytes(1)}));
+  const auto r2 = runToCompletion(
+      sim, engine, makeTransaction(TransferDirection::kDownload, {megabytes(2)}));
+  EXPECT_NEAR(r1.duration_s, 1.0, 1e-9);
+  EXPECT_NEAR(r2.duration_s, 2.0, 1e-9);
+}
+
+TEST(Engine, GoodputComputation) {
+  TransactionResult r;
+  r.duration_s = 2.0;
+  r.total_bytes = megabytes(2);
+  EXPECT_NEAR(r.goodputBps(), mbps(8), 1);
+  r.duration_s = 0;
+  EXPECT_DOUBLE_EQ(r.goodputBps(), 0.0);
+}
+
+}  // namespace
+}  // namespace gol::core

@@ -1,0 +1,171 @@
+// Failure-injection coverage: the unhappy paths the in-the-wild pilot
+// would hit — radio collapse mid-transfer, permit revocation, congested
+// admission, Wi-Fi becoming the bottleneck, and mid-transaction aborts.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/onload_controller.hpp"
+#include "core/vod_session.hpp"
+#include "sim/units.hpp"
+
+namespace gol::core {
+namespace {
+
+using sim::mbps;
+
+TEST(FailureInjection, CellCollapseMidTransactionStillCompletes) {
+  // Background load spikes to ~100% mid-download: phone paths crawl but the
+  // transaction must still finish over ADSL.
+  HomeConfig cfg;
+  cfg.location = cell::evaluationLocations()[3];
+  cfg.phones = 2;
+  cfg.seed = 61;
+  HomeEnvironment home(cfg);
+
+  home.simulator().scheduleAt(
+      5.0, [&home] { home.location().setAvailableFraction(0.02); });
+
+  auto paths = home.makePaths(TransferDirection::kDownload, 2);
+  std::vector<TransferPath*> raw;
+  for (auto& p : paths) raw.push_back(p.get());
+  auto sched = makeScheduler("greedy");
+  TransactionEngine engine(home.simulator(), raw, *sched);
+  const auto res = runTransaction(
+      home.simulator(), engine,
+      makeTransaction(TransferDirection::kDownload,
+                      std::vector<double>(12, 1e6)));
+  EXPECT_GT(res.duration_s, 0.0);
+  // ADSL ends up carrying the bulk after the collapse.
+  EXPECT_GT(res.per_path_bytes.at("adsl"), res.total_bytes * 0.4);
+}
+
+TEST(FailureInjection, WifiBottleneckCapsAggregation) {
+  // An interference-degraded 802.11g LAN: the phones cannot add more than
+  // the shared medium carries (Sec. 4.1's upper bound).
+  HomeConfig cfg;
+  cfg.location = cell::evaluationLocations()[1];  // fast line, fast phones
+  cfg.wifi.standard = access::WifiStandard::k80211g;
+  cfg.wifi.interference_loss = 0.9;  // ~2.4 Mbps usable
+  cfg.phones = 2;
+  cfg.seed = 62;
+  HomeEnvironment home(cfg);
+  VodSession session(home);
+  VodOptions opts;
+  opts.video.bitrate_bps = 738e3;
+  opts.prebuffer_fraction = 1.0;
+  opts.phones = 2;
+  const auto out = session.run(opts);
+  // 18.45 MB can't beat the 2.4 Mbps LAN: > 55 s regardless of paths.
+  EXPECT_GT(out.total_download_s, 55.0);
+}
+
+TEST(FailureInjection, AbortMidTransactionReleasesEverything) {
+  HomeConfig cfg;
+  cfg.location = cell::evaluationLocations()[0];
+  cfg.phones = 2;
+  cfg.seed = 63;
+  HomeEnvironment home(cfg);
+
+  auto paths = home.makePaths(TransferDirection::kDownload, 2);
+  // Start transfers manually on each path, then abort them all mid-flight.
+  int completions = 0;
+  Item item;
+  item.index = 0;
+  item.bytes = 50e6;
+  for (auto& p : paths) {
+    Item copy = item;
+    copy.index = static_cast<std::uint32_t>(&p - paths.data());
+    p->start(copy, [&](const Item&) { ++completions; });
+  }
+  home.simulator().runUntil(5.0);
+  double moved = 0;
+  for (auto& p : paths) moved += p->abortCurrent();
+  EXPECT_GT(moved, 0.0);
+  home.simulator().run();
+  EXPECT_EQ(completions, 0);  // no callback after abort
+  EXPECT_EQ(home.network().activeFlowCount(), 0u);
+  for (auto& p : paths) EXPECT_FALSE(p->busy());
+}
+
+TEST(FailureInjection, PermitRevocationStopsNewAdvertisements) {
+  HomeConfig cfg;
+  cfg.location = cell::evaluationLocations()[0];
+  cfg.phones = 2;
+  cfg.seed = 64;
+  HomeEnvironment home(cfg);
+  home.location().setAvailableFraction(0.9);
+  ControllerConfig ctl_cfg;
+  ctl_cfg.mode = DeploymentMode::kNetworkIntegrated;
+  ctl_cfg.permit.acceptance_threshold = 0.5;
+  ctl_cfg.permit.ttl_s = 4.0;  // short-lived permits
+  OnloadController ctl(home, ctl_cfg);
+  ctl.start();
+  home.simulator().runUntil(1.0);
+  ASSERT_EQ(ctl.admissibleCount(), 2u);
+
+  // Congestion detected: permits revoked and the cell now looks loaded.
+  home.location().setAvailableFraction(0.1);
+  ctl.permits().revokeAll();
+  home.simulator().runUntil(1.0 + ctl_cfg.discovery_ttl_s +
+                            ctl_cfg.discovery_interval_s + 1.0);
+  EXPECT_EQ(ctl.admissibleCount(), 0u);
+
+  // Congestion clears: devices return on their own.
+  home.location().setAvailableFraction(0.9);
+  home.simulator().runUntil(home.simulator().now() + 10.0);
+  EXPECT_EQ(ctl.admissibleCount(), 2u);
+}
+
+TEST(FailureInjection, TransactionOnZeroPhonePathsEqualsAdsl) {
+  // Controller yields only ADSL when everything is denied; sessions must
+  // degrade, not fail.
+  HomeConfig cfg;
+  cfg.location = cell::evaluationLocations()[2];
+  cfg.phones = 2;
+  cfg.seed = 65;
+  HomeEnvironment home(cfg);
+  ControllerConfig ctl_cfg;
+  ctl_cfg.monthly_allowance_bytes = 0.0;  // no quota at all
+  OnloadController ctl(home, ctl_cfg);
+  ctl.start();
+  home.simulator().runUntil(1.0);
+  EXPECT_EQ(ctl.admissibleCount(), 0u);
+  auto paths = ctl.buildPaths(TransferDirection::kDownload);
+  ASSERT_EQ(paths.size(), 1u);
+  std::vector<TransferPath*> raw = {paths[0].get()};
+  auto sched = makeScheduler("greedy");
+  TransactionEngine engine(home.simulator(), raw, *sched);
+  const auto res = runTransaction(
+      home.simulator(), engine,
+      makeTransaction(TransferDirection::kDownload, {2e6, 2e6}));
+  EXPECT_NEAR(res.per_path_bytes.at("adsl"), 4e6, 1.0);
+}
+
+TEST(FailureInjection, RrcThrashingUnderBurstyTraffic) {
+  // Many small transfers separated by just-too-long gaps: every one pays a
+  // promotion, and the machine must never wedge.
+  HomeConfig cfg;
+  cfg.location = cell::evaluationLocations()[0];
+  cfg.phones = 1;
+  cfg.seed = 66;
+  HomeEnvironment home(cfg);
+  auto& dev = home.phone(0);
+  const double gap = dev.config().rrc.dch_inactivity_s +
+                     dev.config().rrc.fach_inactivity_s + 1.0;
+  int completed = 0;
+  for (int i = 0; i < 5; ++i) {
+    home.simulator().scheduleAt(i * (gap + 5.0), [&dev, &completed] {
+      cell::CellularDevice::TransferOptions opts;
+      opts.bytes = 100e3;
+      opts.on_complete = [&completed] { ++completed; };
+      dev.startTransfer(std::move(opts));
+    });
+  }
+  home.simulator().run();
+  EXPECT_EQ(completed, 5);
+  EXPECT_EQ(dev.rrc().state(), cell::RrcState::kIdle);  // aged out cleanly
+}
+
+}  // namespace
+}  // namespace gol::core

@@ -1,0 +1,64 @@
+// A deterministic constant-rate TransferPath for scheduler/engine tests.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/transfer_path.hpp"
+#include "sim/simulator.hpp"
+
+namespace gol::core::testing {
+
+class FakePath : public TransferPath {
+ public:
+  FakePath(sim::Simulator& sim, std::string name, double rate_bps)
+      : sim_(sim), name_(std::move(name)), rate_bps_(rate_bps) {}
+
+  const std::string& name() const override { return name_; }
+  bool busy() const override { return item_.has_value(); }
+  const Item* currentItem() const override { return item_ ? &*item_ : nullptr; }
+  double nominalRateBps() const override { return rate_bps_; }
+
+  void start(const Item& item,
+             std::function<void(const Item&)> done) override {
+    item_ = item;
+    started_at_ = sim_.now();
+    ++starts_;
+    event_ = sim_.scheduleIn(item.bytes * 8.0 / rate_bps_,
+                             [this, done = std::move(done)] {
+                               const Item finished = *item_;
+                               item_.reset();
+                               event_ = 0;
+                               done(finished);
+                             });
+  }
+
+  double abortCurrent() override {
+    if (!item_) return 0.0;
+    sim_.cancel(event_);
+    event_ = 0;
+    const double moved =
+        (sim_.now() - started_at_) * rate_bps_ / 8.0;
+    ++aborts_;
+    item_.reset();
+    return moved;
+  }
+
+  /// Lets tests model mid-run rate changes (affects future items only).
+  void setRate(double rate_bps) { rate_bps_ = rate_bps; }
+  int starts() const { return starts_; }
+  int aborts() const { return aborts_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::string name_;
+  double rate_bps_;
+  std::optional<Item> item_;
+  sim::EventId event_ = 0;
+  double started_at_ = 0;
+  int starts_ = 0;
+  int aborts_ = 0;
+};
+
+}  // namespace gol::core::testing

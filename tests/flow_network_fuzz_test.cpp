@@ -1,0 +1,118 @@
+// Randomized (but seeded/deterministic) operation sequences against the
+// fluid network, checking the global invariants the rest of the system
+// leans on: conservation of delivered bytes, non-negative rates, link
+// loads within capacity, and eventual completion of every surviving flow.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/flow_network.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+namespace gol::net {
+namespace {
+
+struct FuzzParam {
+  std::uint64_t seed;
+  int links;
+  int operations;
+};
+
+class FlowFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(FlowFuzz, InvariantsUnderRandomOperations) {
+  const auto param = GetParam();
+  sim::Simulator simulator;
+  FlowNetwork net(simulator);
+  sim::Rng rng(param.seed);
+
+  std::vector<Link*> links;
+  for (int l = 0; l < param.links; ++l) {
+    links.push_back(net.createLink("l" + std::to_string(l),
+                                   sim::mbps(rng.uniform(0.5, 20.0))));
+  }
+
+  std::map<FlowId, double> flow_bytes;   // requested payloads
+  std::map<FlowId, bool> completed;
+  double aborted_bytes_moved = 0;
+
+  for (int op = 0; op < param.operations; ++op) {
+    const int kind = static_cast<int>(rng.uniformInt(0, 9));
+    if (kind < 5) {
+      // Start a flow over a random 1-3 link path.
+      std::vector<Link*> path;
+      const int hops = static_cast<int>(rng.uniformInt(1, 3));
+      for (int h = 0; h < hops; ++h) {
+        path.push_back(links[static_cast<std::size_t>(
+            rng.uniformInt(0, param.links - 1))]);
+      }
+      const double bytes = rng.uniform(1e3, 2e6);
+      FlowSpec spec;
+      spec.path = std::move(path);
+      spec.bytes = bytes;
+      spec.rate_cap_bps = rng.bernoulli(0.3)
+                              ? sim::mbps(rng.uniform(0.1, 5.0))
+                              : 1e18;
+      spec.on_complete = [&completed](FlowId id) { completed[id] = true; };
+      const FlowId id = net.startFlow(std::move(spec));
+      flow_bytes[id] = bytes;
+    } else if (kind < 7) {
+      // Abort a random active flow.
+      if (net.activeFlowCount() > 0 && !flow_bytes.empty()) {
+        for (auto& [id, bytes] : flow_bytes) {
+          if (net.active(id)) {
+            aborted_bytes_moved += net.abortFlow(id);
+            break;
+          }
+        }
+      }
+    } else if (kind < 9) {
+      // Random capacity change (including down to a trickle, never zero so
+      // the run terminates).
+      Link* link = links[static_cast<std::size_t>(
+          rng.uniformInt(0, param.links - 1))];
+      net.setLinkCapacity(link, sim::mbps(rng.uniform(0.05, 20.0)));
+    } else {
+      // Let time pass.
+      simulator.runUntil(simulator.now() + rng.uniform(0.01, 2.0));
+    }
+
+    // Invariants at every step.
+    for (Link* l : links) {
+      EXPECT_LE(net.linkLoadBps(l), l->capacityBps() * (1 + 1e-6));
+      EXPECT_GE(net.linkLoadBps(l), -1e-6);
+    }
+    for (const auto& [id, bytes] : flow_bytes) {
+      if (!net.active(id)) continue;
+      EXPECT_GE(net.flowRateBps(id), 0.0);
+      EXPECT_GE(net.remainingBytes(id), -1e-6);
+      EXPECT_LE(net.remainingBytes(id), bytes + 1e-6);
+    }
+  }
+
+  // Drain: every surviving flow must finish.
+  simulator.run();
+  for (const auto& [id, bytes] : flow_bytes) {
+    EXPECT_FALSE(net.active(id)) << "flow " << id << " never completed";
+  }
+  EXPECT_EQ(net.activeFlowCount(), 0u);
+  EXPECT_GE(aborted_bytes_moved, 0.0);
+}
+
+std::vector<FuzzParam> fuzzParams() {
+  std::vector<FuzzParam> out;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    out.push_back(FuzzParam{seed, 2 + static_cast<int>(seed % 5), 120});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowFuzz, ::testing::ValuesIn(fuzzParams()),
+                         [](const ::testing::TestParamInfo<FuzzParam>& info) {
+                           return "seed" + std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace gol::net

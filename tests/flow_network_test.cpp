@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "net/flow_network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+namespace gol::net {
+namespace {
+
+using sim::mbps;
+using sim::megabytes;
+
+class FlowNetworkTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  FlowNetwork net_{sim_};
+};
+
+TEST_F(FlowNetworkTest, SingleFlowCompletesAtLineRate) {
+  Link* l = net_.createLink("l", mbps(8));
+  std::optional<double> done_at;
+  net_.startFlow({{l}, megabytes(1), 1e18,
+                  [&](FlowId) { done_at = sim_.now(); }});
+  sim_.run();
+  ASSERT_TRUE(done_at.has_value());
+  EXPECT_NEAR(*done_at, 1.0, 1e-9);  // 8 Mbit over 8 Mbps
+}
+
+TEST_F(FlowNetworkTest, TwoFlowsShareFairly) {
+  Link* l = net_.createLink("l", mbps(8));
+  std::optional<double> t1, t2;
+  net_.startFlow({{l}, megabytes(1), 1e18, [&](FlowId) { t1 = sim_.now(); }});
+  net_.startFlow({{l}, megabytes(1), 1e18, [&](FlowId) { t2 = sim_.now(); }});
+  sim_.run();
+  // Equal shares of 4 Mbps each until the first finishes... both equal size,
+  // so both finish together at t = 2 s.
+  EXPECT_NEAR(*t1, 2.0, 1e-9);
+  EXPECT_NEAR(*t2, 2.0, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, ShortFlowReleasesCapacityToLongFlow) {
+  Link* l = net_.createLink("l", mbps(8));
+  std::optional<double> t_small, t_big;
+  net_.startFlow(
+      {{l}, megabytes(0.5), 1e18, [&](FlowId) { t_small = sim_.now(); }});
+  net_.startFlow(
+      {{l}, megabytes(1.5), 1e18, [&](FlowId) { t_big = sim_.now(); }});
+  sim_.run();
+  // Phase 1: both at 4 Mbps; small (4 Mbit) done at t=1. Big has 8 Mbit
+  // left, then runs at 8 Mbps -> one more second.
+  EXPECT_NEAR(*t_small, 1.0, 1e-9);
+  EXPECT_NEAR(*t_big, 2.0, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, PerFlowCapLimitsBelowFairShare) {
+  Link* l = net_.createLink("l", mbps(10));
+  std::optional<double> t_capped, t_free;
+  net_.startFlow(
+      {{l}, megabytes(1), mbps(2), [&](FlowId) { t_capped = sim_.now(); }});
+  net_.startFlow(
+      {{l}, megabytes(1), 1e18, [&](FlowId) { t_free = sim_.now(); }});
+  sim_.run();
+  // Capped flow: 8 Mbit at 2 Mbps = 4 s. Free flow gets the rest (8 Mbps):
+  // 1 s.
+  EXPECT_NEAR(*t_free, 1.0, 1e-9);
+  EXPECT_NEAR(*t_capped, 4.0, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, MultiLinkPathBoundByTightestLink) {
+  Link* a = net_.createLink("a", mbps(100));
+  Link* b = net_.createLink("b", mbps(4));
+  std::optional<double> done;
+  net_.startFlow({{a, b}, megabytes(1), 1e18,
+                  [&](FlowId) { done = sim_.now(); }});
+  sim_.run();
+  EXPECT_NEAR(*done, 2.0, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, MaxMinAllocationAcrossTwoLinks) {
+  // Classic max-min example: flows A (link1), B (link1+link2), C (link2).
+  // link1 = 10, link2 = 4. B and C share link2 at 2 each; A gets 8.
+  Link* l1 = net_.createLink("l1", mbps(10));
+  Link* l2 = net_.createLink("l2", mbps(4));
+  const FlowId a = net_.startFlow({{l1}, megabytes(100), 1e18, nullptr});
+  const FlowId b = net_.startFlow({{l1, l2}, megabytes(100), 1e18, nullptr});
+  const FlowId c = net_.startFlow({{l2}, megabytes(100), 1e18, nullptr});
+  EXPECT_NEAR(net_.flowRateBps(a), mbps(8), 1);
+  EXPECT_NEAR(net_.flowRateBps(b), mbps(2), 1);
+  EXPECT_NEAR(net_.flowRateBps(c), mbps(2), 1);
+}
+
+TEST_F(FlowNetworkTest, AbortReturnsTransferredBytes) {
+  Link* l = net_.createLink("l", mbps(8));
+  const FlowId f = net_.startFlow({{l}, megabytes(10), 1e18, nullptr});
+  sim_.runUntil(2.0);  // 2 s at 8 Mbps = 2 MB
+  const double moved = net_.abortFlow(f);
+  EXPECT_NEAR(moved, megabytes(2), 1.0);
+  EXPECT_FALSE(net_.active(f));
+  EXPECT_EQ(net_.abortFlow(f), 0.0);  // double-abort is a no-op
+}
+
+TEST_F(FlowNetworkTest, AbortFreesBandwidthForOthers) {
+  Link* l = net_.createLink("l", mbps(8));
+  const FlowId f1 = net_.startFlow({{l}, megabytes(100), 1e18, nullptr});
+  std::optional<double> done;
+  net_.startFlow({{l}, megabytes(1), 1e18, [&](FlowId) { done = sim_.now(); }});
+  sim_.runUntil(1.0);  // flow2 moved 0.5 MB so far
+  net_.abortFlow(f1);
+  sim_.run();
+  // Remaining 0.5 MB at full 8 Mbps: 0.5 s more.
+  EXPECT_NEAR(*done, 1.5, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, CapacityChangeRescalesRates) {
+  Link* l = net_.createLink("l", mbps(8));
+  std::optional<double> done;
+  net_.startFlow({{l}, megabytes(2), 1e18, [&](FlowId) { done = sim_.now(); }});
+  sim_.runUntil(1.0);  // 1 MB moved, 1 MB left
+  net_.setLinkCapacity(l, mbps(4));
+  sim_.run();
+  EXPECT_NEAR(*done, 3.0, 1e-9);  // 8 Mbit left at 4 Mbps = 2 s more
+}
+
+TEST_F(FlowNetworkTest, ZeroCapacityStallsUntilRestored) {
+  Link* l = net_.createLink("l", mbps(8));
+  std::optional<double> done;
+  net_.startFlow({{l}, megabytes(1), 1e18, [&](FlowId) { done = sim_.now(); }});
+  sim_.runUntil(0.5);
+  net_.setLinkCapacity(l, 0.0);
+  sim_.runUntil(10.0);
+  EXPECT_FALSE(done.has_value());
+  net_.setLinkCapacity(l, mbps(8));
+  sim_.run();
+  EXPECT_NEAR(*done, 10.5, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, SetFlowRateCapMidFlight) {
+  Link* l = net_.createLink("l", mbps(8));
+  std::optional<double> done;
+  const FlowId f = net_.startFlow(
+      {{l}, megabytes(2), 1e18, [&](FlowId) { done = sim_.now(); }});
+  sim_.runUntil(1.0);
+  net_.setFlowRateCap(f, mbps(2));
+  sim_.run();
+  EXPECT_NEAR(*done, 5.0, 1e-9);  // 8 Mbit left at 2 Mbps
+}
+
+TEST_F(FlowNetworkTest, ZeroByteFlowCompletesImmediately) {
+  Link* l = net_.createLink("l", mbps(8));
+  bool done = false;
+  net_.startFlow({{l}, 0.0, 1e18, [&](FlowId) { done = true; }});
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sim_.now(), 0.0);
+}
+
+TEST_F(FlowNetworkTest, EmptyPathUncappedFlowIsInstant) {
+  bool done = false;
+  net_.startFlow({{}, megabytes(5), 1e18, [&](FlowId) { done = true; }});
+  sim_.run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(FlowNetworkTest, CompletionCallbackCanStartNewFlow) {
+  Link* l = net_.createLink("l", mbps(8));
+  std::optional<double> second_done;
+  net_.startFlow({{l}, megabytes(1), 1e18, [&](FlowId) {
+                    net_.startFlow({{l}, megabytes(1), 1e18, [&](FlowId) {
+                                      second_done = sim_.now();
+                                    }});
+                  }});
+  sim_.run();
+  EXPECT_NEAR(*second_done, 2.0, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, UtilizationAndLoadAccounting) {
+  Link* l = net_.createLink("l", mbps(10));
+  net_.startFlow({{l}, megabytes(100), mbps(4), nullptr});
+  EXPECT_NEAR(net_.linkLoadBps(l), mbps(4), 1);
+  EXPECT_NEAR(net_.linkUtilization(l), 0.4, 1e-6);
+}
+
+TEST_F(FlowNetworkTest, RejectsNegativeInputs) {
+  Link* l = net_.createLink("l", mbps(1));
+  EXPECT_THROW(net_.createLink("bad", -1.0), std::invalid_argument);
+  EXPECT_THROW(net_.startFlow({{l}, -5.0, 1e18, nullptr}),
+               std::invalid_argument);
+  EXPECT_THROW(net_.setLinkCapacity(l, -2.0), std::invalid_argument);
+  EXPECT_THROW(net_.setLinkCapacity(nullptr, 2.0), std::invalid_argument);
+}
+
+TEST_F(FlowNetworkTest, ManyFlowsConservation) {
+  Link* l = net_.createLink("l", mbps(12));
+  for (int i = 0; i < 6; ++i)
+    net_.startFlow({{l}, megabytes(100), 1e18, nullptr});
+  double total = net_.linkLoadBps(l);
+  EXPECT_NEAR(total, mbps(12), 10);
+  EXPECT_EQ(net_.activeFlowCount(), 6u);
+}
+
+}  // namespace
+}  // namespace gol::net

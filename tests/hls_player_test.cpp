@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "hls/player.hpp"
+
+namespace gol::hls {
+namespace {
+
+TEST(Player, StartupIsMaxOfPrebufferArrivals) {
+  const std::vector<double> arrivals = {1.0, 3.0, 2.0, 9.0};
+  const std::vector<double> durs = {10, 10, 10, 10};
+  const auto r = analyzePlayout(arrivals, durs, 3);
+  EXPECT_DOUBLE_EQ(r.startup_delay_s, 3.0);
+}
+
+TEST(Player, NoStallWhenDownloadOutpacesPlayback) {
+  // All segments arrive within the first 4 s; playback consumes 10 s each.
+  const std::vector<double> arrivals = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> durs = {10, 10, 10, 10};
+  const auto r = analyzePlayout(arrivals, durs, 1);
+  EXPECT_DOUBLE_EQ(r.startup_delay_s, 1.0);
+  EXPECT_DOUBLE_EQ(r.total_stall_s, 0.0);
+  EXPECT_EQ(r.stall_events, 0u);
+  EXPECT_DOUBLE_EQ(r.playback_end_s, 41.0);
+}
+
+TEST(Player, StallWhenSegmentLate) {
+  // Segment 1 arrives at t=25 but is needed at t=11 (start 1 + 10 s).
+  const std::vector<double> arrivals = {1.0, 25.0};
+  const std::vector<double> durs = {10, 10};
+  const auto r = analyzePlayout(arrivals, durs, 1);
+  EXPECT_DOUBLE_EQ(r.total_stall_s, 14.0);
+  EXPECT_EQ(r.stall_events, 1u);
+  EXPECT_DOUBLE_EQ(r.playback_end_s, 35.0);
+}
+
+TEST(Player, FullPrebufferNeverStalls) {
+  const std::vector<double> arrivals = {5.0, 50.0, 20.0, 90.0};
+  const std::vector<double> durs = {10, 10, 10, 10};
+  const auto r = analyzePlayout(arrivals, durs, 4);
+  EXPECT_DOUBLE_EQ(r.startup_delay_s, 90.0);
+  EXPECT_DOUBLE_EQ(r.total_stall_s, 0.0);
+}
+
+TEST(Player, OutOfOrderArrivalsHandled) {
+  // Multipath delivery completes segment 2 before segment 1.
+  const std::vector<double> arrivals = {1.0, 8.0, 4.0};
+  const std::vector<double> durs = {10, 10, 10};
+  const auto r = analyzePlayout(arrivals, durs, 1);
+  EXPECT_DOUBLE_EQ(r.startup_delay_s, 1.0);
+  EXPECT_DOUBLE_EQ(r.total_stall_s, 0.0);  // both ready before needed
+}
+
+TEST(Player, PrebufferClampedToSegmentCount) {
+  const std::vector<double> arrivals = {1.0, 2.0};
+  const std::vector<double> durs = {10, 10};
+  const auto r = analyzePlayout(arrivals, durs, 99);
+  EXPECT_DOUBLE_EQ(r.startup_delay_s, 2.0);
+}
+
+TEST(Player, EmptyInputsYieldZeroes) {
+  const auto r = analyzePlayout({}, {}, 3);
+  EXPECT_DOUBLE_EQ(r.startup_delay_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.playback_end_s, 0.0);
+}
+
+TEST(Player, SizeMismatchThrows) {
+  EXPECT_THROW(analyzePlayout({1.0}, {10, 10}, 1), std::invalid_argument);
+}
+
+TEST(PrebufferFraction, WholeSegmentsCoveringFraction) {
+  const std::vector<double> durs(20, 10.0);  // 200 s total
+  EXPECT_EQ(prebufferSegmentsForFraction(durs, 0.20), 4u);
+  EXPECT_EQ(prebufferSegmentsForFraction(durs, 0.50), 10u);
+  EXPECT_EQ(prebufferSegmentsForFraction(durs, 1.00), 20u);
+  // Fractions round up to whole segments.
+  EXPECT_EQ(prebufferSegmentsForFraction(durs, 0.21), 5u);
+}
+
+TEST(PrebufferFraction, AtLeastOneSegment) {
+  const std::vector<double> durs(10, 10.0);
+  EXPECT_EQ(prebufferSegmentsForFraction(durs, 0.0), 1u);
+  EXPECT_EQ(prebufferSegmentsForFraction({}, 0.5), 1u);
+}
+
+TEST(PrebufferFraction, UnevenDurations) {
+  const std::vector<double> durs = {10, 10, 5};  // 25 s total
+  EXPECT_EQ(prebufferSegmentsForFraction(durs, 0.4), 1u);   // 10 >= 10
+  EXPECT_EQ(prebufferSegmentsForFraction(durs, 0.6), 2u);   // 20 >= 15
+  EXPECT_EQ(prebufferSegmentsForFraction(durs, 0.9), 3u);
+}
+
+}  // namespace
+}  // namespace gol::hls

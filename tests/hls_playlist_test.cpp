@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "hls/playlist.hpp"
+#include "hls/segmenter.hpp"
+
+namespace gol::hls {
+namespace {
+
+TEST(Classify, DetectsKinds) {
+  EXPECT_EQ(classify("#EXTM3U\n#EXT-X-STREAM-INF:BANDWIDTH=1\nv.m3u8\n"),
+            PlaylistKind::kMaster);
+  EXPECT_EQ(classify("#EXTM3U\n#EXTINF:10,\nseg.ts\n"), PlaylistKind::kMedia);
+  EXPECT_EQ(classify("not a playlist"), PlaylistKind::kInvalid);
+}
+
+TEST(MasterPlaylist, SerializeParseRoundTrip) {
+  MasterPlaylist master;
+  master.variants = {{"q1.m3u8", 200000, "", 1},
+                     {"q2.m3u8", 738000, "640x480", 1}};
+  const auto parsed = parseMaster(master.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->variants.size(), 2u);
+  EXPECT_EQ(parsed->variants[0].uri, "q1.m3u8");
+  EXPECT_EQ(parsed->variants[0].bandwidth_bps, 200000);
+  EXPECT_EQ(parsed->variants[1].resolution, "640x480");
+}
+
+TEST(MasterPlaylist, ParseRejectsMissingBandwidth) {
+  EXPECT_FALSE(
+      parseMaster("#EXTM3U\n#EXT-X-STREAM-INF:PROGRAM-ID=1\nv.m3u8\n")
+          .has_value());
+}
+
+TEST(MasterPlaylist, ParseRejectsMissingUri) {
+  EXPECT_FALSE(
+      parseMaster("#EXTM3U\n#EXT-X-STREAM-INF:BANDWIDTH=100\n").has_value());
+}
+
+TEST(MasterPlaylist, QuotedAttributesHandled) {
+  const auto m = parseMaster(
+      "#EXTM3U\n"
+      "#EXT-X-STREAM-INF:BANDWIDTH=484000,CODECS=\"avc1.4d001f,mp4a\","
+      "RESOLUTION=640x360\n"
+      "q3.m3u8\n");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->variants[0].bandwidth_bps, 484000);
+  EXPECT_EQ(m->variants[0].resolution, "640x360");
+}
+
+TEST(MasterPlaylist, PickVariantHighestFitting) {
+  MasterPlaylist m;
+  m.variants = {{"q1", 200000}, {"q2", 311000}, {"q3", 484000}, {"q4", 738000}};
+  EXPECT_EQ(m.pickVariant(500000)->uri, "q3");
+  EXPECT_EQ(m.pickVariant(10e6)->uri, "q4");
+  // All exceed: fall back to lowest.
+  EXPECT_EQ(m.pickVariant(100000)->uri, "q1");
+  EXPECT_FALSE(MasterPlaylist{}.pickVariant(1e6).has_value());
+}
+
+TEST(MediaPlaylist, SerializeParseRoundTrip) {
+  MediaPlaylist pl;
+  pl.target_duration_s = 10;
+  pl.segments = {{"seg0.ts", 10.0}, {"seg1.ts", 10.0}, {"seg2.ts", 5.5}};
+  pl.ended = true;
+  const auto parsed = parseMedia(pl.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->segments.size(), 3u);
+  EXPECT_EQ(parsed->segments[2].uri, "seg2.ts");
+  EXPECT_NEAR(parsed->segments[2].duration_s, 5.5, 1e-6);
+  EXPECT_TRUE(parsed->ended);
+  EXPECT_NEAR(parsed->totalDurationS(), 25.5, 1e-6);
+}
+
+TEST(MediaPlaylist, LivePlaylistHasNoEndlist) {
+  MediaPlaylist pl;
+  pl.segments = {{"s.ts", 10.0}};
+  pl.ended = false;
+  const auto parsed = parseMedia(pl.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->ended);
+}
+
+TEST(MediaPlaylist, UriWithoutExtinfIsError) {
+  EXPECT_FALSE(parseMedia("#EXTM3U\nseg0.ts\n").has_value());
+}
+
+TEST(MediaPlaylist, NotAPlaylistIsError) {
+  EXPECT_FALSE(parseMedia("hello world").has_value());
+}
+
+TEST(Segmenter, PaperFig6Setup) {
+  // 200 s video, 10 s segments -> 20 segments; Q1 = 200 kbps.
+  VideoSpec spec;
+  spec.duration_s = 200;
+  spec.segment_s = 10;
+  spec.bitrate_bps = 200e3;
+  const auto video = segmentVideo(spec);
+  EXPECT_EQ(video.playlist.segments.size(), 20u);
+  EXPECT_NEAR(video.totalBytes(), 5e6, 1);  // 200 kbps * 200 s / 8
+  EXPECT_NEAR(video.segment_bytes[0], 250e3, 1e-6);
+  EXPECT_TRUE(video.playlist.ended);
+}
+
+TEST(Segmenter, RemainderSegment) {
+  VideoSpec spec;
+  spec.duration_s = 25;
+  spec.segment_s = 10;
+  spec.bitrate_bps = 800e3;
+  const auto video = segmentVideo(spec);
+  ASSERT_EQ(video.playlist.segments.size(), 3u);
+  EXPECT_NEAR(video.playlist.segments[2].duration_s, 5.0, 1e-9);
+  EXPECT_NEAR(video.segment_bytes[2], 0.5e6, 1);
+  EXPECT_NEAR(video.totalBytes(), 2.5e6, 1);
+}
+
+TEST(Segmenter, RejectsBadSpec) {
+  VideoSpec spec;
+  spec.duration_s = 0;
+  EXPECT_THROW(segmentVideo(spec), std::invalid_argument);
+}
+
+TEST(Segmenter, PaperQualities) {
+  const auto qs = paperVideoQualitiesBps();
+  ASSERT_EQ(qs.size(), 4u);
+  EXPECT_DOUBLE_EQ(qs[0], 200e3);
+  EXPECT_DOUBLE_EQ(qs[3], 738e3);
+}
+
+TEST(Segmenter, MasterForQualitiesRoundTrips) {
+  const auto master = masterForQualities(paperVideoQualitiesBps());
+  const auto parsed = parseMaster(master.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->variants.size(), 4u);
+  EXPECT_EQ(parsed->variants[3].bandwidth_bps, 738000);
+}
+
+}  // namespace
+}  // namespace gol::hls

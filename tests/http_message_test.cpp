@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "http/message.hpp"
+
+namespace gol::http {
+namespace {
+
+TEST(HeaderMap, CaseInsensitiveLookup) {
+  HeaderMap h;
+  h["Content-Length"] = "42";
+  EXPECT_EQ(h.find("content-length")->second, "42");
+  EXPECT_EQ(h.find("CONTENT-LENGTH")->second, "42");
+  h["content-type"] = "text/plain";
+  EXPECT_EQ(h.size(), 2u);
+  h["Content-Type"] = "image/jpeg";  // overwrites, not inserts
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(Request, SerializeRoundTrip) {
+  Request req;
+  req.method = "POST";
+  req.target = "/upload";
+  req.headers["Host"] = "example.org";
+  req.body = "hello";
+  const std::string wire = req.serialize();
+  const auto parsed = parseRequest(wire);
+  ASSERT_EQ(parsed.status, ParseStatus::kComplete);
+  EXPECT_EQ(parsed.request.method, "POST");
+  EXPECT_EQ(parsed.request.target, "/upload");
+  EXPECT_EQ(parsed.request.version, "HTTP/1.1");
+  EXPECT_EQ(*parsed.request.header("host"), "example.org");
+  EXPECT_EQ(parsed.request.body, "hello");
+  EXPECT_EQ(parsed.consumed, wire.size());
+}
+
+TEST(Request, ContentLengthAutoAdded) {
+  Request req;
+  req.body = "12345";
+  EXPECT_NE(req.serialize().find("Content-Length: 5"), std::string::npos);
+}
+
+TEST(Request, IncompleteHeadNeedsMore) {
+  EXPECT_EQ(parseRequest("GET / HTTP/1.1\r\nHost: x\r\n").status,
+            ParseStatus::kNeedMore);
+  EXPECT_EQ(parseRequest("").status, ParseStatus::kNeedMore);
+}
+
+TEST(Request, IncompleteBodyNeedsMore) {
+  const std::string partial =
+      "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345";
+  EXPECT_EQ(parseRequest(partial).status, ParseStatus::kNeedMore);
+}
+
+TEST(Request, PipelinedMessagesConsumeOnlyFirst) {
+  Request a;
+  a.target = "/a";
+  Request b;
+  b.target = "/b";
+  const std::string wire = a.serialize() + b.serialize();
+  const auto first = parseRequest(wire);
+  ASSERT_EQ(first.status, ParseStatus::kComplete);
+  EXPECT_EQ(first.request.target, "/a");
+  const auto second = parseRequest(wire.substr(first.consumed));
+  ASSERT_EQ(second.status, ParseStatus::kComplete);
+  EXPECT_EQ(second.request.target, "/b");
+}
+
+TEST(Request, MalformedStartLineIsError) {
+  EXPECT_EQ(parseRequest("GARBAGE\r\n\r\n").status, ParseStatus::kError);
+}
+
+TEST(Request, MalformedHeaderIsError) {
+  EXPECT_EQ(parseRequest("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n").status,
+            ParseStatus::kError);
+  EXPECT_EQ(parseRequest("GET / HTTP/1.1\r\n: empty-name\r\n\r\n").status,
+            ParseStatus::kError);
+}
+
+TEST(Request, BadContentLengthIsError) {
+  EXPECT_EQ(
+      parseRequest("GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n").status,
+      ParseStatus::kError);
+}
+
+TEST(Request, HeaderWhitespaceTrimmed) {
+  const auto r = parseRequest("GET / HTTP/1.1\r\nHost:   spaced.example  \r\n\r\n");
+  ASSERT_EQ(r.status, ParseStatus::kComplete);
+  EXPECT_EQ(*r.request.header("Host"), "spaced.example");
+}
+
+TEST(Response, SerializeRoundTrip) {
+  Response resp;
+  resp.status = 404;
+  resp.reason = "Not Found";
+  resp.body = "nope";
+  const auto parsed = parseResponse(resp.serialize());
+  ASSERT_EQ(parsed.status, ParseStatus::kComplete);
+  EXPECT_EQ(parsed.response.status, 404);
+  EXPECT_EQ(parsed.response.reason, "Not Found");
+  EXPECT_EQ(parsed.response.body, "nope");
+}
+
+TEST(Response, StatusCodeValidation) {
+  EXPECT_EQ(parseResponse("HTTP/1.1 999 ?\r\n\r\n").status,
+            ParseStatus::kError);
+  EXPECT_EQ(parseResponse("HTTP/1.1 abc ?\r\n\r\n").status,
+            ParseStatus::kError);
+  EXPECT_EQ(parseResponse("HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n").status,
+            ParseStatus::kComplete);
+}
+
+TEST(Response, ReasonWithSpaces) {
+  const auto r =
+      parseResponse("HTTP/1.1 500 Internal Server Error\r\nContent-Length: 0\r\n\r\n");
+  ASSERT_EQ(r.status, ParseStatus::kComplete);
+  EXPECT_EQ(r.response.reason, "Internal Server Error");
+}
+
+TEST(ContentLength, AbsentMeansZero) {
+  HeaderMap h;
+  EXPECT_EQ(contentLength(h), 0u);
+  h["Content-Length"] = "123";
+  EXPECT_EQ(contentLength(h), 123u);
+  h["Content-Length"] = "12x";
+  EXPECT_FALSE(contentLength(h).has_value());
+}
+
+}  // namespace
+}  // namespace gol::http

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/mptcp.hpp"
+#include "sim/units.hpp"
+
+namespace gol::core {
+namespace {
+
+using sim::mbps;
+
+TEST(MptcpModel, EqualSubflowsFullyUtilizedWhenStable) {
+  MptcpSubflow a{mbps(5), 0.05, 0.0};
+  MptcpSubflow b{mbps(5), 0.05, 0.0};
+  const std::vector<MptcpSubflow> flows = {a, b};
+  EXPECT_NEAR(mptcpAggregateRateBps(flows), mbps(10), 1);
+}
+
+TEST(MptcpModel, HighRttSubflowGetsQuadraticallyLess) {
+  MptcpSubflow wired{mbps(5), 0.05, 0.0};
+  MptcpSubflow wireless{mbps(5), 0.15, 0.0};
+  const double r = mptcpSubflowRateBps(wireless, 0.05);
+  EXPECT_NEAR(r, mbps(5) * (0.05 / 0.15) * (0.05 / 0.15), 1e3);
+  (void)wired;
+}
+
+TEST(MptcpModel, VariabilitySuppressesWirelessSubflow) {
+  MptcpSubflow stable{mbps(5), 0.05, 0.0};
+  MptcpSubflow jittery{mbps(5), 0.05, 0.5};
+  EXPECT_GT(mptcpSubflowRateBps(stable, 0.05),
+            mptcpSubflowRateBps(jittery, 0.05) * 3);
+}
+
+TEST(MptcpModel, NeverWorseThanBestSinglePath) {
+  // Even with pathological coupling, MPTCP falls back to its best subflow.
+  MptcpSubflow good{mbps(8), 0.05, 0.0};
+  MptcpSubflow awful{mbps(5), 0.4, 1.5};
+  const std::vector<MptcpSubflow> flows = {good, awful};
+  EXPECT_GE(mptcpAggregateRateBps(flows), mbps(8) - 1);
+}
+
+TEST(MptcpModel, UncoupledRecoversFullAggregation) {
+  MptcpSubflow wired{mbps(2), 0.05, 0.0};
+  MptcpSubflow wireless{mbps(3), 0.15, 0.5};
+  const std::vector<MptcpSubflow> flows = {wired, wireless};
+  MptcpParams uncoupled;
+  uncoupled.coupling = 0.0;
+  EXPECT_NEAR(mptcpAggregateRateBps(flows, uncoupled), mbps(5), 1e3);
+  MptcpParams stock;  // coupling = 1
+  EXPECT_LT(mptcpAggregateRateBps(flows, stock), mbps(3.5));
+}
+
+TEST(MptcpModel, RejectsBadRtt) {
+  MptcpSubflow s{mbps(1), 0.0, 0.0};
+  EXPECT_THROW(mptcpSubflowRateBps(s, 0.05), std::invalid_argument);
+}
+
+TEST(MptcpDownload, PaperOutcomeNoBenefitOverAdsl) {
+  // The Sec. 5.2 observation: stock MPTCP over ADSL + volatile 3G gains
+  // almost nothing, while 3GOL-style uncoupled use of the same paths does.
+  HomeConfig cfg;
+  cfg.location = cell::evaluationLocations()[3];
+  cfg.phones = 1;
+  cfg.device.quality_sigma = 0.45;
+  cfg.device.jitter_sigma = 0.40;
+  HomeEnvironment home(cfg);
+
+  const double bytes = 10e6;
+  const auto stock = mptcpDownload(home, bytes, 1);
+  MptcpParams uncoupled;
+  uncoupled.coupling = 0.0;
+  const auto ideal = mptcpDownload(home, bytes, 1, uncoupled);
+  const double adsl_only =
+      bytes * 8 / home.adsl().goodputDownBps();
+
+  // Stock CCC: within ~15% of ADSL alone ("no benefit").
+  EXPECT_LT(stock.duration_s, adsl_only * 1.15);
+  EXPECT_GT(stock.duration_s, adsl_only * 0.80);
+  // Uncoupled bonding is clearly faster.
+  EXPECT_LT(ideal.duration_s, stock.duration_s * 0.75);
+}
+
+TEST(MptcpDownload, RejectsTooManyPhones) {
+  HomeConfig cfg;
+  cfg.location = cell::evaluationLocations()[0];
+  cfg.phones = 1;
+  HomeEnvironment home(cfg);
+  EXPECT_THROW(mptcpDownload(home, 1e6, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gol::core

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "http/multipart.hpp"
+
+namespace gol::http {
+namespace {
+
+MultipartPart photo(const std::string& name, const std::string& data) {
+  MultipartPart p;
+  p.field_name = "photo";
+  p.filename = name;
+  p.content_type = "image/jpeg";
+  p.data = data;
+  return p;
+}
+
+TEST(Multipart, ContentTypeCarriesBoundary) {
+  MultipartEncoder enc("xyz");
+  EXPECT_EQ(enc.contentType(), "multipart/form-data; boundary=xyz");
+}
+
+TEST(Multipart, EncodeContainsPartsAndTerminator) {
+  MultipartEncoder enc("B");
+  enc.addPart(photo("a.jpg", "AAA"));
+  enc.addPart(photo("b.jpg", "BBBB"));
+  const std::string body = enc.encode();
+  EXPECT_NE(body.find("--B\r\n"), std::string::npos);
+  EXPECT_NE(body.find("filename=\"a.jpg\""), std::string::npos);
+  EXPECT_NE(body.find("filename=\"b.jpg\""), std::string::npos);
+  EXPECT_NE(body.find("AAA"), std::string::npos);
+  EXPECT_NE(body.find("BBBB"), std::string::npos);
+  // Closing delimiter at the end.
+  EXPECT_EQ(body.rfind("--B--\r\n"), body.size() - 7);
+}
+
+TEST(Multipart, EncodedSizeMatchesEncode) {
+  MultipartEncoder enc;
+  enc.addPart(photo("a.jpg", std::string(1000, 'x')));
+  enc.addPart(photo("img2.jpg", std::string(37, 'y')));
+  EXPECT_EQ(enc.encodedSize(), enc.encode().size());
+}
+
+TEST(Multipart, EmptyEncoderStillTerminates) {
+  MultipartEncoder enc("Q");
+  EXPECT_EQ(enc.encode(), "--Q--\r\n");
+  EXPECT_EQ(enc.encodedSize(), enc.encode().size());
+}
+
+TEST(Multipart, FramingOverheadIsSmallRelativeToPhotos) {
+  const auto part = photo("IMG_0001.jpg", "");
+  const std::size_t overhead = MultipartEncoder::framingOverhead(part);
+  EXPECT_GT(overhead, 50u);
+  EXPECT_LT(overhead, 500u);  // negligible against a 2.5 MB photo
+}
+
+TEST(Multipart, PartWithoutFilenameOmitsAttribute) {
+  MultipartEncoder enc;
+  MultipartPart p;
+  p.field_name = "title";
+  p.data = "holiday";
+  enc.addPart(p);
+  EXPECT_EQ(enc.encode().find("filename="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gol::http

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/onload_replay.hpp"
+
+namespace gol::trace {
+namespace {
+
+DslamTrace tinyTrace(std::size_t subscribers, std::uint64_t seed = 5) {
+  DslamTraceConfig cfg;
+  cfg.subscribers = subscribers;
+  sim::Rng rng(seed);
+  return generateDslamTrace(cfg, rng);
+}
+
+TEST(OnloadReplay, BudgetsRespectedPerUser) {
+  const auto trace = tinyTrace(300);
+  ReplayConfig cfg;
+  const auto res = replayOnload(trace, cfg);
+  // Nobody can onload more than the daily budget; the total is bounded by
+  // users * budget.
+  std::set<std::uint32_t> users;
+  for (const auto& r : trace.requests) users.insert(r.user);
+  EXPECT_LE(res.onloaded_bytes,
+            static_cast<double>(users.size()) * cfg.daily_budget_bytes + 1);
+  EXPECT_GT(res.onloaded_bytes, 0.0);
+  EXPECT_EQ(res.boosted_videos + res.skipped_videos, trace.requests.size());
+}
+
+TEST(OnloadReplay, LoadApproximatelyConservesOnloadedBytes) {
+  // The load series is built from periodic rate samples, so conservation
+  // holds to sampling accuracy.
+  const auto trace = tinyTrace(200);
+  const auto res = replayOnload(trace);
+  EXPECT_NEAR(res.load_bytes.total(), res.onloaded_bytes,
+              res.onloaded_bytes * 0.08 + 1);
+}
+
+TEST(OnloadReplay, UncontendedStretchIsUnity) {
+  // A handful of users on fat towers: no queueing, stretch ~ 1.
+  const auto trace = tinyTrace(20);
+  ReplayConfig cfg;
+  cfg.backhaul_bps = 1e9;
+  const auto res = replayOnload(trace, cfg);
+  ASSERT_GT(res.stretch.count(), 0u);
+  EXPECT_NEAR(res.stretch.mean(), 1.0, 0.01);
+  EXPECT_LT(res.peak_utilization, 0.2);
+}
+
+TEST(OnloadReplay, ContentionStretchesTransfers) {
+  // Thousands of users on skinny towers: flows queue behind each other.
+  const auto trace = tinyTrace(4000);
+  ReplayConfig skinny;
+  skinny.backhaul_bps = 10e6;
+  const auto res = replayOnload(trace, skinny);
+  EXPECT_GT(res.stretch.mean(), 1.2);
+  EXPECT_GT(res.peak_utilization, 0.8);
+
+  ReplayConfig fat;
+  fat.backhaul_bps = 400e6;
+  const auto relaxed = replayOnload(trace, fat);
+  EXPECT_LT(relaxed.stretch.mean(), res.stretch.mean());
+}
+
+TEST(OnloadReplay, PeakUtilizationNeverExceedsOne) {
+  // Fluid flows cannot exceed link capacity, so per-bin load is bounded by
+  // what the towers can physically carry.
+  const auto res = replayOnload(tinyTrace(3000));
+  EXPECT_LE(res.peak_utilization, 1.0 + 1e-6);
+}
+
+TEST(OnloadReplay, SmallVideosAreIneligible) {
+  DslamTrace trace;
+  VideoRequest small;
+  small.user = 1;
+  small.time_s = 100;
+  small.bytes = 100e3;  // below the 750 KB threshold
+  trace.requests.push_back(small);
+  trace.video_users = 1;
+  const auto res = replayOnload(trace);
+  EXPECT_EQ(res.boosted_videos, 0u);
+  EXPECT_EQ(res.skipped_videos, 1u);
+  EXPECT_DOUBLE_EQ(res.onloaded_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace gol::trace

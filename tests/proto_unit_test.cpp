@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "proto/epoll_loop.hpp"
+#include "proto/rate_limiter.hpp"
+#include "proto/socket.hpp"
+
+namespace gol::proto {
+namespace {
+
+TEST(Fd, RaiiAndMove) {
+  Fd a;
+  EXPECT_FALSE(a.valid());
+  auto listener = listenTcp(0);
+  ASSERT_TRUE(listener.has_value());
+  const int raw = listener->fd.get();
+  EXPECT_TRUE(listener->fd.valid());
+  Fd b = std::move(listener->fd);
+  EXPECT_EQ(b.get(), raw);
+  EXPECT_FALSE(listener->fd.valid());
+  const int released = b.release();
+  EXPECT_EQ(released, raw);
+  EXPECT_FALSE(b.valid());
+  Fd closer(released);  // re-own so it closes
+}
+
+TEST(Socket, ListenOnEphemeralPort) {
+  auto l = listenTcp(0);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_GT(l->port, 0);
+  auto l2 = listenTcp(0);
+  ASSERT_TRUE(l2.has_value());
+  EXPECT_NE(l->port, l2->port);
+}
+
+TEST(Socket, ConnectAcceptRoundTrip) {
+  EpollLoop loop;
+  auto l = listenTcp(0);
+  ASSERT_TRUE(l.has_value());
+  auto client = connectTcp(l->port);
+  ASSERT_TRUE(client.has_value());
+
+  std::optional<Fd> server;
+  loop.add(l->fd.get(), Interest::kRead, [&](bool, bool) {
+    if (auto fd = acceptOne(l->fd.get())) server = std::move(*fd);
+  });
+  ASSERT_TRUE(loop.runUntil([&] { return server.has_value(); },
+                            std::chrono::milliseconds(2000)));
+
+  const char msg[] = "hello";
+  EXPECT_EQ(writeSome(client->get(), msg, 5), 5);
+  char buf[16] = {};
+  bool got = false;
+  loop.add(server->get(), Interest::kRead, [&](bool, bool) {
+    if (readSome(server->get(), buf, sizeof buf) == 5) got = true;
+  });
+  ASSERT_TRUE(
+      loop.runUntil([&] { return got; }, std::chrono::milliseconds(2000)));
+  EXPECT_STREQ(buf, "hello");
+}
+
+TEST(EpollLoop, TimerFiresInOrder) {
+  EpollLoop loop;
+  std::vector<int> order;
+  loop.runAfter(std::chrono::microseconds(20000), [&] { order.push_back(2); });
+  loop.runAfter(std::chrono::microseconds(5000), [&] { order.push_back(1); });
+  ASSERT_TRUE(loop.runUntil([&] { return order.size() == 2; },
+                            std::chrono::milliseconds(2000)));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EpollLoop, CancelledTimerDoesNotFire) {
+  EpollLoop loop;
+  bool fired = false;
+  const auto id =
+      loop.runAfter(std::chrono::microseconds(5000), [&] { fired = true; });
+  loop.cancelTimer(id);
+  loop.runUntil([] { return false; }, std::chrono::milliseconds(50));
+  EXPECT_FALSE(fired);
+}
+
+TEST(RateLimiter, StartsWithFullBurst) {
+  RateLimiter rl(8e6, 1000);
+  EXPECT_EQ(rl.available(), 1000u);
+  EXPECT_EQ(rl.delayFor(500).count(), 0);
+}
+
+TEST(RateLimiter, ConsumeDrainsAndRefills) {
+  RateLimiter rl(8e6, 1000);  // 1 MB/s
+  rl.consume(1000);
+  EXPECT_LT(rl.available(), 100u);
+  const auto delay = rl.delayFor(1000);
+  EXPECT_GT(delay.count(), 0);
+  EXPECT_LE(delay.count(), 2000);  // ~1 ms to refill 1000 B at 1 MB/s
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  EXPECT_EQ(rl.available(), 1000u);  // capped at burst
+}
+
+TEST(RateLimiter, DelayProportionalToDeficit) {
+  RateLimiter rl(8e5, 10000);  // 100 KB/s
+  rl.consume(10000);
+  const auto d_small = rl.delayFor(1000);
+  const auto d_large = rl.delayFor(10000);
+  EXPECT_GT(d_large.count(), d_small.count());
+}
+
+TEST(RateLimiter, RejectsBadConfig) {
+  EXPECT_THROW(RateLimiter(0, 100), std::invalid_argument);
+  EXPECT_THROW(RateLimiter(-5, 100), std::invalid_argument);
+  EXPECT_THROW(RateLimiter(1e6, 0), std::invalid_argument);
+}
+
+TEST(RateLimiter, RateChangeTakesEffect) {
+  RateLimiter rl(8e6, 1000);
+  rl.consume(1000);
+  rl.setRateBps(8e3);  // now 1 KB/s: refilling 1000 B takes ~1 s
+  const auto delay = rl.delayFor(1000);
+  EXPECT_GT(delay.count(), 500000);
+}
+
+}  // namespace
+}  // namespace gol::proto

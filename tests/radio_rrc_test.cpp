@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "cellular/radio.hpp"
+#include "cellular/rrc.hpp"
+#include "sim/simulator.hpp"
+
+namespace gol::cell {
+namespace {
+
+TEST(Radio, AsuConversion) {
+  // Paper Table 4 pairs: -81 dBm / 16 ASU, -95 / 9, -97 / 8, -89 / 12.
+  EXPECT_EQ(RadioConditions{-81}.asu(), 16);
+  EXPECT_EQ(RadioConditions{-95}.asu(), 9);
+  EXPECT_EQ(RadioConditions{-97}.asu(), 8);
+  EXPECT_EQ(RadioConditions{-89}.asu(), 12);
+}
+
+TEST(Radio, AsuClamps) {
+  EXPECT_EQ(RadioConditions{-140}.asu(), 0);
+  EXPECT_EQ(RadioConditions{-20}.asu(), 31);
+}
+
+TEST(Radio, QualityMonotoneInSignal) {
+  EXPECT_DOUBLE_EQ(RadioConditions{-70}.quality(), 1.0);
+  EXPECT_GT(RadioConditions{-80}.quality(), RadioConditions{-95}.quality());
+  EXPECT_GT(RadioConditions{-95}.quality(), RadioConditions{-108}.quality());
+  EXPECT_DOUBLE_EQ(RadioConditions{-120}.quality(), 0.20);
+}
+
+class RrcTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  RrcConfig cfg_;
+};
+
+TEST_F(RrcTest, StartsIdle) {
+  RrcMachine rrc(sim_, cfg_);
+  EXPECT_EQ(rrc.state(), RrcState::kIdle);
+  EXPECT_DOUBLE_EQ(rrc.pendingPromotionDelayS(), cfg_.idle_to_dch_s);
+}
+
+TEST_F(RrcTest, PromotionFromIdleTakesConfiguredDelay) {
+  RrcMachine rrc(sim_, cfg_);
+  double ready_at = -1;
+  rrc.requestDch([&] { ready_at = sim_.now(); });
+  // runUntil (not run): draining the queue would also fire the demotion
+  // timers that follow the promotion.
+  sim_.runUntil(cfg_.idle_to_dch_s + 0.1);
+  EXPECT_DOUBLE_EQ(ready_at, cfg_.idle_to_dch_s);
+  EXPECT_EQ(rrc.state(), RrcState::kDch);
+}
+
+TEST_F(RrcTest, RequestWhileDchIsImmediateAndSynchronous) {
+  RrcMachine rrc(sim_, cfg_);
+  rrc.forceDch();
+  bool called = false;
+  rrc.requestDch([&] { called = true; });
+  EXPECT_TRUE(called);  // no event needed
+}
+
+TEST_F(RrcTest, ConcurrentRequestsShareOnePromotion) {
+  RrcMachine rrc(sim_, cfg_);
+  int calls = 0;
+  double ready_at = -1;
+  rrc.requestDch([&] { ++calls; });
+  rrc.requestDch([&] {
+    ++calls;
+    ready_at = sim_.now();
+  });
+  sim_.run();
+  EXPECT_EQ(calls, 2);
+  EXPECT_DOUBLE_EQ(ready_at, cfg_.idle_to_dch_s);
+}
+
+TEST_F(RrcTest, DemotesToFachAfterInactivity) {
+  RrcMachine rrc(sim_, cfg_);
+  rrc.forceDch();
+  sim_.runUntil(cfg_.dch_inactivity_s + 0.1);
+  EXPECT_EQ(rrc.state(), RrcState::kFach);
+}
+
+TEST_F(RrcTest, DemotesToIdleEventually) {
+  RrcMachine rrc(sim_, cfg_);
+  rrc.forceDch();
+  sim_.runUntil(cfg_.dch_inactivity_s + cfg_.fach_inactivity_s + 0.2);
+  EXPECT_EQ(rrc.state(), RrcState::kIdle);
+}
+
+TEST_F(RrcTest, ActivityPostponesDemotion) {
+  RrcMachine rrc(sim_, cfg_);
+  rrc.forceDch();
+  for (int i = 1; i <= 10; ++i) {
+    sim_.runUntil(i * (cfg_.dch_inactivity_s * 0.8));
+    rrc.notifyActivity();
+  }
+  EXPECT_EQ(rrc.state(), RrcState::kDch);
+  sim_.runUntil(sim_.now() + cfg_.dch_inactivity_s + 0.1);
+  EXPECT_EQ(rrc.state(), RrcState::kFach);
+}
+
+TEST_F(RrcTest, PromotionFromFachIsCheaper) {
+  RrcMachine rrc(sim_, cfg_);
+  rrc.forceDch();
+  sim_.runUntil(cfg_.dch_inactivity_s + 0.1);
+  ASSERT_EQ(rrc.state(), RrcState::kFach);
+  const double t0 = sim_.now();
+  double ready_at = -1;
+  rrc.requestDch([&] { ready_at = sim_.now(); });
+  sim_.runUntil(t0 + cfg_.fach_to_dch_s + 0.1);
+  EXPECT_NEAR(ready_at - t0, cfg_.fach_to_dch_s, 1e-9);
+}
+
+TEST_F(RrcTest, ForceDchFlushesWaiters) {
+  RrcMachine rrc(sim_, cfg_);
+  bool called = false;
+  rrc.requestDch([&] { called = true; });
+  rrc.forceDch();  // ICMP-train warm-up wins the race
+  EXPECT_TRUE(called);
+  EXPECT_EQ(rrc.state(), RrcState::kDch);
+}
+
+TEST_F(RrcTest, StateNames) {
+  EXPECT_STREQ(toString(RrcState::kIdle), "IDLE");
+  EXPECT_STREQ(toString(RrcState::kFach), "FACH");
+  EXPECT_STREQ(toString(RrcState::kDch), "DCH");
+}
+
+}  // namespace
+}  // namespace gol::cell

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace gol::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0, 1) == b.uniform(0, 1)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  Rng parent(7);
+  Rng child = parent.fork();
+  const double c1 = child.uniform(0, 1);
+  // Re-derive: same parent seed, same fork point -> same child stream.
+  Rng parent2(7);
+  Rng child2 = parent2.fork();
+  EXPECT_DOUBLE_EQ(c1, child2.uniform(0, 1));
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniformInt(1, 6);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+    saw_lo |= v == 1;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximate) {
+  Rng r(11);
+  stats::Summary s;
+  for (int i = 0; i < 20000; ++i) s.add(r.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, TruncNormalStaysInBounds) {
+  Rng r(13);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = r.truncNormal(0.0, 5.0, -1.0, 1.0);
+    EXPECT_GE(x, -1.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(Rng, LognormalMeanSdMatchesMoments) {
+  Rng r(17);
+  stats::Summary s;
+  for (int i = 0; i < 50000; ++i) s.add(r.lognormalMeanSd(2.5e6, 0.74e6));
+  EXPECT_NEAR(s.mean() / 2.5e6, 1.0, 0.02);
+  EXPECT_NEAR(s.stddev() / 0.74e6, 1.0, 0.05);
+}
+
+TEST(Rng, LognormalFromMeanSdClosedForm) {
+  const auto p = lognormalFromMeanSd(10.0, 5.0);
+  // E[X] = exp(mu + sigma^2/2)
+  EXPECT_NEAR(std::exp(p.mu + p.sigma * p.sigma / 2.0), 10.0, 1e-9);
+  // Var = (exp(sigma^2)-1) exp(2mu + sigma^2)
+  const double var = (std::exp(p.sigma * p.sigma) - 1.0) *
+                     std::exp(2 * p.mu + p.sigma * p.sigma);
+  EXPECT_NEAR(std::sqrt(var), 5.0, 1e-9);
+}
+
+TEST(Rng, LognormalRejectsNonPositiveMean) {
+  EXPECT_THROW(lognormalFromMeanSd(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(lognormalFromMeanSd(-2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, ParetoTailHeavierThanExponential) {
+  Rng r(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(r.pareto(1.0, 2.0), 1.0);  // xm is the minimum
+  }
+  EXPECT_THROW(r.pareto(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng r(23);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++counts[r.weightedIndex(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(Rng, WeightedIndexRejectsZeroMass) {
+  Rng r(29);
+  const std::vector<double> w = {0.0, 0.0};
+  EXPECT_THROW(r.weightedIndex(w), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace gol::sim

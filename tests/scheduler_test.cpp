@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "core/greedy_scheduler.hpp"
+#include "core/min_time_scheduler.hpp"
+#include "core/round_robin_scheduler.hpp"
+#include "core/scheduler.hpp"
+
+namespace gol::core {
+namespace {
+
+Transaction twoMbItems(int n) {
+  std::vector<double> sizes(static_cast<std::size_t>(n), 2e6);
+  return makeTransaction(TransferDirection::kDownload, sizes);
+}
+
+struct ViewFixture {
+  explicit ViewFixture(const Transaction& txn, std::size_t paths) {
+    for (const auto& it : txn.items) {
+      ItemView iv;
+      iv.item = &it;
+      items.push_back(iv);
+    }
+    view.items = &items;
+    view.path_count = paths;
+  }
+
+  void markInFlight(std::size_t idx, std::size_t path, double at) {
+    items[idx].status = ItemStatus::kInFlight;
+    items[idx].carriers.push_back(path);
+    items[idx].first_assigned_at = at;
+  }
+  void markDone(std::size_t idx) {
+    items[idx].status = ItemStatus::kDone;
+    items[idx].carriers.clear();
+  }
+
+  std::vector<ItemView> items;
+  EngineView view;
+};
+
+TEST(Factory, KnownPoliciesAndErrors) {
+  EXPECT_EQ(makeScheduler("greedy")->name(), "greedy");
+  EXPECT_EQ(makeScheduler("grd")->name(), "greedy");
+  EXPECT_EQ(makeScheduler("greedy-noresched")->name(), "greedy-noresched");
+  EXPECT_EQ(makeScheduler("rr")->name(), "rr");
+  EXPECT_EQ(makeScheduler("min")->name(), "min");
+  EXPECT_THROW(makeScheduler("bogus"), std::invalid_argument);
+}
+
+TEST(Greedy, TakesPendingInOrder) {
+  const auto txn = twoMbItems(3);
+  ViewFixture f(txn, 2);
+  GreedyScheduler g;
+  EXPECT_EQ(*g.nextItem(f.view, 0), 0u);
+  f.markInFlight(0, 0, 0.0);
+  EXPECT_EQ(*g.nextItem(f.view, 1), 1u);
+}
+
+TEST(Greedy, DuplicatesOldestInFlightWhenNonePending) {
+  const auto txn = twoMbItems(3);
+  ViewFixture f(txn, 3);
+  GreedyScheduler g;
+  f.markInFlight(0, 0, 1.0);
+  f.markInFlight(1, 1, 5.0);
+  f.markDone(2);
+  // Path 2 idles with nothing pending: duplicate item 0 (oldest).
+  EXPECT_EQ(*g.nextItem(f.view, 2), 0u);
+}
+
+TEST(Greedy, NeverDuplicatesOntoOwnCarrier) {
+  const auto txn = twoMbItems(2);
+  ViewFixture f(txn, 2);
+  GreedyScheduler g;
+  f.markInFlight(0, 0, 1.0);
+  f.markDone(1);
+  // Path 0 already carries item 0; nothing else available -> idle.
+  EXPECT_FALSE(g.nextItem(f.view, 0).has_value());
+  // Path 1 may duplicate it.
+  EXPECT_EQ(*g.nextItem(f.view, 1), 0u);
+}
+
+TEST(Greedy, NoReschedulingVariantIdlesInsteadOfDuplicating) {
+  const auto txn = twoMbItems(2);
+  ViewFixture f(txn, 2);
+  GreedyScheduler g(false);
+  f.markInFlight(0, 0, 1.0);
+  f.markInFlight(1, 1, 2.0);
+  EXPECT_FALSE(g.nextItem(f.view, 0).has_value());
+  EXPECT_FALSE(g.nextItem(f.view, 1).has_value());
+}
+
+TEST(Greedy, AllDoneYieldsNothing) {
+  const auto txn = twoMbItems(2);
+  ViewFixture f(txn, 1);
+  GreedyScheduler g;
+  f.markDone(0);
+  f.markDone(1);
+  EXPECT_FALSE(g.nextItem(f.view, 0).has_value());
+}
+
+TEST(RoundRobin, DealsCyclically) {
+  const auto txn = twoMbItems(5);
+  ViewFixture f(txn, 2);
+  RoundRobinScheduler rr;
+  rr.onTransactionStart(txn, {1e6, 1e6});
+  // Path 0 gets items 0, 2, 4; path 1 gets 1, 3.
+  EXPECT_EQ(*rr.nextItem(f.view, 0), 0u);
+  EXPECT_EQ(*rr.nextItem(f.view, 1), 1u);
+  EXPECT_EQ(*rr.nextItem(f.view, 0), 2u);
+  EXPECT_EQ(*rr.nextItem(f.view, 1), 3u);
+  EXPECT_EQ(*rr.nextItem(f.view, 0), 4u);
+  EXPECT_FALSE(rr.nextItem(f.view, 0).has_value());
+  EXPECT_FALSE(rr.nextItem(f.view, 1).has_value());
+}
+
+TEST(RoundRobin, NeverStealsAcrossQueues) {
+  const auto txn = twoMbItems(4);
+  ViewFixture f(txn, 2);
+  RoundRobinScheduler rr;
+  rr.onTransactionStart(txn, {1e6, 1e6});
+  EXPECT_EQ(*rr.nextItem(f.view, 0), 0u);
+  EXPECT_EQ(*rr.nextItem(f.view, 0), 2u);
+  // Path 0's queue is drained; path 1's items stay with path 1.
+  EXPECT_FALSE(rr.nextItem(f.view, 0).has_value());
+  EXPECT_EQ(*rr.nextItem(f.view, 1), 1u);
+}
+
+TEST(MinTime, BootstrapsRoundRobinThenUsesEstimates) {
+  const auto txn = twoMbItems(6);
+  ViewFixture f(txn, 2);
+  MinTimeScheduler min;
+  min.onTransactionStart(txn, {8e6, 1e6});  // path0 8x faster nominally
+  // Bootstrap: one item to each path regardless of estimates.
+  EXPECT_EQ(*min.nextItem(f.view, 0), 0u);
+  f.markInFlight(0, 0, 0);
+  EXPECT_EQ(*min.nextItem(f.view, 1), 1u);
+  f.markInFlight(1, 1, 0);
+  // After bootstrap, the fast path should receive the bulk.
+  f.markDone(0);
+  min.onItemComplete(0, *f.items[0].item, 2.0);  // 2 MB in 2 s = 8 Mbps
+  int to_fast = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto pick0 = min.nextItem(f.view, 0);
+    if (pick0) {
+      f.markInFlight(*pick0, 0, 1.0 * i);
+      ++to_fast;
+    }
+  }
+  EXPECT_GE(to_fast, 3);  // most of the remainder lands on the fast path
+}
+
+TEST(MinTime, EstimateTracksObservedGoodput) {
+  const auto txn = twoMbItems(2);
+  MinTimeScheduler min(0.75);
+  min.onTransactionStart(txn, {1e6, 1e6});
+  Item it;
+  it.index = 0;
+  it.bytes = 1e6;  // 8 Mbit
+  min.onItemComplete(0, it, 1.0);  // observed 8 Mbps
+  // est = 0.75*8e6 + 0.25*1e6 = 6.25e6
+  EXPECT_NEAR(min.estimatedRateBps(0), 6.25e6, 1);
+  EXPECT_NEAR(min.estimatedRateBps(1), 1e6, 1);
+}
+
+TEST(MinTime, SkipsStaleQueueEntries) {
+  const auto txn = twoMbItems(3);
+  ViewFixture f(txn, 2);
+  MinTimeScheduler min;
+  min.onTransactionStart(txn, {1e6, 1e6});
+  f.markDone(0);  // completed elsewhere before path 0 ever asked
+  const auto pick = min.nextItem(f.view, 0);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_NE(*pick, 0u);
+}
+
+}  // namespace
+}  // namespace gol::core

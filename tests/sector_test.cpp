@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "cellular/base_station.hpp"
+#include "cellular/sector.hpp"
+#include "net/flow_network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+namespace gol::cell {
+namespace {
+
+using sim::mbps;
+
+TEST(ClusterEfficiency, Table3Anchors) {
+  // Downlink per-device means 1.61/1.33/1.16 normalized to 1/0.826/0.720.
+  EXPECT_DOUBLE_EQ(clusterEfficiency(Direction::kDownlink, 1), 1.0);
+  EXPECT_NEAR(clusterEfficiency(Direction::kDownlink, 3), 0.826, 1e-9);
+  EXPECT_NEAR(clusterEfficiency(Direction::kDownlink, 5), 0.720, 1e-9);
+  EXPECT_DOUBLE_EQ(clusterEfficiency(Direction::kUplink, 1), 1.0);
+  EXPECT_NEAR(clusterEfficiency(Direction::kUplink, 3), 0.826, 1e-9);
+  EXPECT_NEAR(clusterEfficiency(Direction::kUplink, 5), 0.596, 1e-9);
+}
+
+TEST(ClusterEfficiency, InterpolatesAndExtrapolates) {
+  const double n2 = clusterEfficiency(Direction::kDownlink, 2);
+  EXPECT_GT(n2, 0.826);
+  EXPECT_LT(n2, 1.0);
+  // Extrapolation continues the 3->5 slope but floors.
+  EXPECT_LT(clusterEfficiency(Direction::kDownlink, 8),
+            clusterEfficiency(Direction::kDownlink, 5));
+  EXPECT_GE(clusterEfficiency(Direction::kDownlink, 100), 0.35);
+  EXPECT_GE(clusterEfficiency(Direction::kUplink, 100), 0.25);
+}
+
+TEST(ClusterEfficiency, RejectsZero) {
+  EXPECT_THROW(clusterEfficiency(Direction::kDownlink, 0),
+               std::invalid_argument);
+}
+
+class SectorTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  net::FlowNetwork net_{sim_};
+  SectorConfig cfg_;
+};
+
+TEST_F(SectorTest, SharedChannelCapacities) {
+  Sector sec(net_, "s", cfg_);
+  EXPECT_DOUBLE_EQ(sec.sharedLink(Direction::kDownlink)->capacityBps(),
+                   cfg_.hsdpa_aggregate_bps);
+  EXPECT_DOUBLE_EQ(sec.sharedLink(Direction::kUplink)->capacityBps(),
+                   cfg_.hsupa_aggregate_bps);
+}
+
+TEST_F(SectorTest, RegisterPushesCapImmediately) {
+  Sector sec(net_, "s", cfg_);
+  double cap = 0;
+  sec.registerTransfer(Direction::kDownlink, 1.0,
+                       [&](double c) { cap = c; });
+  EXPECT_NEAR(cap, cfg_.per_device_dl_base_bps, 1);
+  EXPECT_EQ(sec.activeCount(Direction::kDownlink), 1);
+}
+
+TEST_F(SectorTest, SecondDeviceDegradesBoth) {
+  Sector sec(net_, "s", cfg_);
+  double cap1 = 0, cap2 = 0;
+  sec.registerTransfer(Direction::kDownlink, 1.0, [&](double c) { cap1 = c; });
+  const double solo = cap1;
+  sec.registerTransfer(Direction::kDownlink, 1.0, [&](double c) { cap2 = c; });
+  EXPECT_LT(cap1, solo);
+  EXPECT_DOUBLE_EQ(cap1, cap2);
+  EXPECT_DOUBLE_EQ(cap1, cfg_.per_device_dl_base_bps *
+                             clusterEfficiency(Direction::kDownlink, 2));
+}
+
+TEST_F(SectorTest, UnregisterRestoresCap) {
+  Sector sec(net_, "s", cfg_);
+  double cap1 = 0;
+  sec.registerTransfer(Direction::kDownlink, 1.0, [&](double c) { cap1 = c; });
+  const auto h2 = sec.registerTransfer(Direction::kDownlink, 1.0, nullptr);
+  EXPECT_LT(cap1, cfg_.per_device_dl_base_bps);
+  sec.unregisterTransfer(Direction::kDownlink, h2);
+  EXPECT_DOUBLE_EQ(cap1, cfg_.per_device_dl_base_bps);
+  EXPECT_EQ(sec.activeCount(Direction::kDownlink), 1);
+}
+
+TEST_F(SectorTest, DirectionsAreIndependent) {
+  Sector sec(net_, "s", cfg_);
+  double dl_cap = 0;
+  sec.registerTransfer(Direction::kDownlink, 1.0,
+                       [&](double c) { dl_cap = c; });
+  const double before = dl_cap;
+  sec.registerTransfer(Direction::kUplink, 1.0, nullptr);
+  EXPECT_DOUBLE_EQ(dl_cap, before);  // uplink arrival didn't touch downlink
+}
+
+TEST_F(SectorTest, QualityScalesCap) {
+  Sector sec(net_, "s", cfg_);
+  double good = 0, poor = 0;
+  const auto h = sec.registerTransfer(Direction::kDownlink, 1.0,
+                                      [&](double c) { good = c; });
+  sec.unregisterTransfer(Direction::kDownlink, h);
+  sec.registerTransfer(Direction::kDownlink, 0.5, [&](double c) { poor = c; });
+  EXPECT_NEAR(poor / good, 0.5, 1e-9);
+}
+
+TEST_F(SectorTest, AvailableFractionScalesChannelAndCaps) {
+  Sector sec(net_, "s", cfg_);
+  double cap = 0;
+  sec.registerTransfer(Direction::kUplink, 1.0, [&](double c) { cap = c; });
+  const double full = cap;
+  sec.setAvailableFraction(0.5);
+  EXPECT_NEAR(cap, full * 0.5, 1);
+  EXPECT_NEAR(sec.sharedLink(Direction::kUplink)->capacityBps(),
+              cfg_.hsupa_aggregate_bps * 0.5, 1);
+  EXPECT_DOUBLE_EQ(sec.availableFraction(), 0.5);
+}
+
+TEST_F(SectorTest, UtilizationReflectsBackgroundPlusOnload) {
+  Sector sec(net_, "s", cfg_);
+  sec.setAvailableFraction(0.6);  // 40% background
+  EXPECT_NEAR(sec.utilization(Direction::kDownlink), 0.4, 1e-6);
+  // Push a flow over the shared channel: utilization grows.
+  net_.startFlow({{sec.sharedLink(Direction::kDownlink)},
+                  sim::megabytes(100), mbps(2), nullptr});
+  EXPECT_NEAR(sec.utilization(Direction::kDownlink),
+              0.4 + 2.0 / 14.4, 1e-3);
+}
+
+TEST_F(SectorTest, ProspectiveCapSeesWouldBeCrowd) {
+  Sector sec(net_, "s", cfg_);
+  const double alone = sec.prospectiveCapBps(Direction::kDownlink, 1.0);
+  sec.registerTransfer(Direction::kDownlink, 1.0, nullptr);
+  const double second = sec.prospectiveCapBps(Direction::kDownlink, 1.0);
+  EXPECT_LT(second, alone);
+}
+
+TEST(BaseStation, SectorsAndBackhaul) {
+  sim::Simulator s;
+  net::FlowNetwork net(s);
+  BaseStationConfig cfg;
+  cfg.sectors = 3;
+  cfg.backhaul_bps = mbps(40);
+  BaseStation bs(net, "bs", cfg);
+  EXPECT_EQ(bs.sectorCount(), 3u);
+  EXPECT_DOUBLE_EQ(bs.backhaul(Direction::kDownlink)->capacityBps(), mbps(40));
+  EXPECT_NE(bs.backhaul(Direction::kDownlink), bs.backhaul(Direction::kUplink));
+  bs.setAvailableFraction(0.7);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_DOUBLE_EQ(bs.sector(i).availableFraction(), 0.7);
+}
+
+TEST(BaseStation, RejectsZeroSectors) {
+  sim::Simulator s;
+  net::FlowNetwork net(s);
+  BaseStationConfig cfg;
+  cfg.sectors = 0;
+  EXPECT_THROW(BaseStation(net, "bs", cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gol::cell

@@ -1,0 +1,154 @@
+// Property sweeps over the application sessions across the whole location
+// catalogue: onloading never hurts beyond tolerance, adding phones never
+// hurts, waste respects the Sec. 4.1.1 bound, and accounting identities
+// hold at every configuration.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/upload_session.hpp"
+#include "core/vod_session.hpp"
+#include "sim/units.hpp"
+
+namespace gol::core {
+namespace {
+
+using VodParam = std::tuple<int /*location*/, int /*phones*/, int /*quality*/>;
+
+class VodSweep : public ::testing::TestWithParam<VodParam> {};
+
+TEST_P(VodSweep, OnloadingInvariants) {
+  const auto [loc_index, phones, quality_index] = GetParam();
+  const auto qualities = hls::paperVideoQualitiesBps();
+
+  HomeConfig cfg;
+  cfg.location =
+      cell::evaluationLocations()[static_cast<std::size_t>(loc_index)];
+  cfg.phones = 2;
+  cfg.seed = static_cast<std::uint64_t>(
+      1000 + loc_index * 100 + phones * 10 + quality_index);
+  HomeEnvironment home(cfg);
+  VodSession session(home);
+
+  VodOptions opts;
+  opts.video.bitrate_bps = qualities[static_cast<std::size_t>(quality_index)];
+  opts.prebuffer_fraction = 0.4;
+
+  opts.phones = 0;
+  const auto baseline = session.run(opts);
+  opts.phones = phones;
+  const auto boosted = session.run(opts);
+
+  // 1. Every segment delivered exactly once; arrivals within the window.
+  ASSERT_EQ(boosted.txn.item_completion_s.size(), 20u);
+  for (double t : boosted.txn.item_completion_s) {
+    EXPECT_GT(t, 0.0);
+    EXPECT_LE(t, boosted.txn.duration_s + 1e-9);
+  }
+
+  // 2. Payload accounting: per-path bytes sum to the video size.
+  double delivered = 0;
+  for (const auto& [name, bytes] : boosted.txn.per_path_bytes)
+    delivered += bytes;
+  EXPECT_NEAR(delivered, boosted.txn.total_bytes, 1.0);
+
+  // 3. Waste bound (N-1)*Sm, N = phones + ADSL.
+  const double max_segment = boosted.txn.total_bytes / 20.0;
+  EXPECT_LE(boosted.txn.wasted_bytes, phones * max_segment + 1.0);
+
+  // 4. Onloading never slows the full download beyond scheduling noise.
+  EXPECT_LE(boosted.total_download_s, baseline.total_download_s * 1.10);
+
+  // 5. Phone metering covers at least the phone-carried payload.
+  double phone_payload = 0;
+  for (const auto& [name, bytes] : boosted.txn.per_path_bytes) {
+    if (name != "adsl") phone_payload += bytes;
+  }
+  double metered = 0;
+  for (std::size_t p = 0; p < home.phoneCount(); ++p)
+    metered += home.phone(p).meteredBytes();
+  EXPECT_GE(metered, phone_payload * 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Homes, VodSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(1, 2),
+                       ::testing::Values(0, 3)),
+    [](const ::testing::TestParamInfo<VodParam>& info) {
+      return "loc" + std::to_string(std::get<0>(info.param)) + "_ph" +
+             std::to_string(std::get<1>(info.param)) + "_q" +
+             std::to_string(std::get<2>(info.param) + 1);
+    });
+
+class UploadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(UploadSweep, UplinkOnloadingAlwaysWins) {
+  const int loc_index = GetParam();
+  HomeConfig cfg;
+  cfg.location =
+      cell::evaluationLocations()[static_cast<std::size_t>(loc_index)];
+  cfg.phones = 2;
+  cfg.seed = static_cast<std::uint64_t>(2000 + loc_index);
+  HomeEnvironment home(cfg);
+  UploadSession session(home);
+
+  UploadOptions opts;
+  opts.photos = 12;
+  opts.phones = 0;
+  const double adsl = session.run(opts).txn.duration_s;
+  opts.phones = 1;
+  const double one = session.run(opts).txn.duration_s;
+  opts.phones = 2;
+  const double two = session.run(opts).txn.duration_s;
+
+  // The uplink is so constrained that onloading always helps (the paper's
+  // x1.5..x6.2 range), and a second phone never hurts.
+  EXPECT_LT(one, adsl);
+  EXPECT_LE(two, one * 1.05);
+  EXPECT_GT(adsl / two, 1.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Homes, UploadSweep, ::testing::Values(0, 1, 2, 3, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "loc" + std::to_string(info.param);
+                         });
+
+using SchedParam = std::tuple<const char*, int>;
+class SchedulerSweep : public ::testing::TestWithParam<SchedParam> {};
+
+TEST_P(SchedulerSweep, AllPoliciesDeliverEverySegment) {
+  const auto [policy, phones] = GetParam();
+  HomeConfig cfg;
+  cfg.location = cell::evaluationLocations()[2];
+  cfg.phones = 2;
+  cfg.seed = 77;
+  HomeEnvironment home(cfg);
+  VodSession session(home);
+  VodOptions opts;
+  opts.video.bitrate_bps = 484e3;
+  opts.scheduler = policy;
+  opts.phones = phones;
+  const auto out = session.run(opts);
+  ASSERT_EQ(out.txn.item_completion_s.size(), 20u);
+  for (double t : out.txn.item_completion_s) EXPECT_GT(t, 0.0);
+  // Non-duplicating policies must not waste cellular bytes.
+  if (std::string(policy) != "greedy") {
+    EXPECT_DOUBLE_EQ(out.txn.wasted_bytes, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SchedulerSweep,
+    ::testing::Combine(::testing::Values("greedy", "greedy-noresched", "rr",
+                                         "min"),
+                       ::testing::Values(1, 2)),
+    [](const ::testing::TestParamInfo<SchedParam>& info) {
+      std::string name = std::get<0>(info.param);
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name + "_ph" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace gol::core

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "core/home.hpp"
+#include "core/upload_session.hpp"
+#include "core/vod_session.hpp"
+#include "sim/units.hpp"
+
+namespace gol::core {
+namespace {
+
+using sim::mbps;
+
+HomeConfig testHome(int phones = 2) {
+  HomeConfig cfg;
+  cfg.location = cell::evaluationLocations()[3];  // loc4, slow ADSL
+  cfg.phones = phones;
+  cfg.seed = 7;
+  cfg.device.quality_sigma = 0.1;
+  cfg.device.jitter_sigma = 0.05;
+  return cfg;
+}
+
+TEST(Home, BuildsEnvironment) {
+  HomeEnvironment home(testHome());
+  EXPECT_EQ(home.phoneCount(), 2u);
+  EXPECT_NEAR(home.adsl().config().sync_down_bps, 6.2e6, 1);
+  EXPECT_GT(home.wifi().goodputBps(), mbps(100));  // 802.11n default
+}
+
+TEST(Home, MakePathsComposition) {
+  HomeEnvironment home(testHome());
+  auto down = home.makePaths(TransferDirection::kDownload, 2);
+  ASSERT_EQ(down.size(), 3u);  // ADSL + 2 phones
+  EXPECT_EQ(down[0]->name(), "adsl");
+  auto up_no_adsl = home.makePaths(TransferDirection::kUpload, 1, false);
+  ASSERT_EQ(up_no_adsl.size(), 1u);
+  EXPECT_THROW(home.makePaths(TransferDirection::kDownload, 5),
+               std::invalid_argument);
+}
+
+TEST(Home, WarmPhonesForcesDch) {
+  HomeEnvironment home(testHome());
+  home.warmPhones();
+  EXPECT_EQ(home.phone(0).rrc().state(), cell::RrcState::kDch);
+  EXPECT_EQ(home.phone(1).rrc().state(), cell::RrcState::kDch);
+}
+
+TEST(VodSession, AdslOnlyBaselineMatchesLineRateBallpark) {
+  HomeEnvironment home(testHome());
+  VodSession session(home);
+  VodOptions opts;
+  opts.video.bitrate_bps = 484e3;  // Q3
+  opts.phones = 0;
+  const auto out = session.run(opts);
+  // 12.1 MB over a 6.2 Mbps * 0.85 line plus per-segment overheads:
+  // ideal ~18.4 s, with overheads 20-40 s.
+  EXPECT_GT(out.total_download_s, 18.0);
+  EXPECT_LT(out.total_download_s, 45.0);
+  EXPECT_EQ(out.txn.item_completion_s.size(), 20u);
+}
+
+TEST(VodSession, OnloadingSpeedsUpDownload) {
+  HomeEnvironment home(testHome());
+  VodSession session(home);
+  VodOptions adsl_only;
+  adsl_only.phones = 0;
+  VodOptions onloaded;
+  onloaded.phones = 2;
+  const double t_adsl = session.run(adsl_only).total_download_s;
+  const double t_3gol = session.run(onloaded).total_download_s;
+  EXPECT_LT(t_3gol, t_adsl);
+}
+
+TEST(VodSession, PrebufferTimeGrowsWithFraction) {
+  HomeEnvironment home(testHome());
+  VodSession session(home);
+  VodOptions small;
+  small.prebuffer_fraction = 0.2;
+  small.phones = 1;
+  VodOptions large;
+  large.prebuffer_fraction = 1.0;
+  large.phones = 1;
+  const auto s = session.run(small);
+  const auto l = session.run(large);
+  EXPECT_EQ(s.prebuffer_segments, 4u);
+  EXPECT_EQ(l.prebuffer_segments, 20u);
+  EXPECT_LT(s.prebuffer_time_s, l.prebuffer_time_s);
+}
+
+TEST(VodSession, WarmStartNoSlowerThanIdle) {
+  HomeEnvironment home(testHome());
+  VodSession session(home);
+  VodOptions idle;
+  idle.phones = 1;
+  idle.prebuffer_fraction = 0.2;
+  VodOptions warm = idle;
+  warm.warm_start = true;
+  const double t_idle = session.run(idle).prebuffer_time_s;
+  const double t_warm = session.run(warm).prebuffer_time_s;
+  EXPECT_LE(t_warm, t_idle + 0.5);
+}
+
+TEST(UploadSession, PhotoSizesMatchMoments) {
+  sim::Rng rng(3);
+  const auto sizes = UploadSession::drawPhotoSizes(rng, 5000, 2.5e6, 0.74e6);
+  double sum = 0;
+  for (double s : sizes) sum += s;
+  EXPECT_NEAR(sum / 5000 / 2.5e6, 1.0, 0.05);
+}
+
+TEST(UploadSession, OnloadingSpeedsUpUpload) {
+  HomeEnvironment home(testHome());
+  UploadSession session(home);
+  UploadOptions adsl_only;
+  adsl_only.photos = 10;
+  adsl_only.phones = 0;
+  UploadOptions onloaded;
+  onloaded.photos = 10;
+  onloaded.phones = 2;
+  const double t_adsl = session.run(adsl_only).txn.duration_s;
+  const double t_3gol = session.run(onloaded).txn.duration_s;
+  // Uplink is where 3GOL shines (x1.5 .. x6 in the paper).
+  EXPECT_LT(t_3gol, t_adsl / 1.3);
+}
+
+TEST(UploadSession, FramingAccounted) {
+  HomeEnvironment home(testHome());
+  UploadSession session(home);
+  UploadOptions opts;
+  opts.photos = 5;
+  opts.phones = 1;
+  const auto out = session.run(opts);
+  EXPECT_GT(out.framing_bytes, 0.0);
+  EXPECT_LT(out.framing_bytes, out.payload_bytes * 0.01);
+  EXPECT_NEAR(out.txn.total_bytes, out.payload_bytes + out.framing_bytes, 1.0);
+}
+
+}  // namespace
+}  // namespace gol::core

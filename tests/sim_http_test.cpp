@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "http/sim_client.hpp"
+#include "http/sim_origin.hpp"
+#include "net/flow_network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+namespace gol::http {
+namespace {
+
+using sim::mbps;
+using sim::megabytes;
+
+class SimHttpTest : public ::testing::Test {
+ protected:
+  net::NetPath pathOver(net::Link* l, double rtt = 0.05) {
+    net::NetPath p;
+    p.links = {l};
+    p.rtt_s = rtt;
+    return p;
+  }
+
+  sim::Simulator sim_;
+  net::FlowNetwork net_{sim_};
+};
+
+TEST_F(SimHttpTest, TransferIncludesSetupOverhead) {
+  net::Link* l = net_.createLink("l", mbps(8));
+  SimHttpClient client(net_);
+  std::optional<double> dur;
+  TransferRequest req;
+  req.bytes = megabytes(1);
+  req.path = pathOver(l);
+  req.on_done = [&](double s) { dur = s; };
+  client.transfer(std::move(req));
+  sim_.run();
+  ASSERT_TRUE(dur.has_value());
+  // Ideal line time for 1 MB at 8 Mbps with 0.95 efficiency: ~1.05 s;
+  // overhead pushes it beyond.
+  EXPECT_GT(*dur, 1.05);
+  EXPECT_LT(*dur, 2.0);
+}
+
+TEST_F(SimHttpTest, WarmBeatsCold) {
+  net::Link* l = net_.createLink("l", mbps(8));
+  SimHttpClient client(net_);
+  std::optional<double> cold, warm;
+  TransferRequest c;
+  c.bytes = megabytes(0.5);
+  c.path = pathOver(l);
+  c.on_done = [&](double s) { cold = s; };
+  client.transfer(std::move(c));
+  sim_.run();
+  TransferRequest w;
+  w.bytes = megabytes(0.5);
+  w.path = pathOver(l);
+  w.warm = true;
+  w.on_done = [&](double s) { warm = s; };
+  client.transfer(std::move(w));
+  sim_.run();
+  EXPECT_LT(*warm, *cold);
+}
+
+TEST_F(SimHttpTest, LossCapsThroughput) {
+  net::Link* l = net_.createLink("l", mbps(100));
+  SimHttpClient client(net_);
+  std::optional<double> clean, lossy;
+  TransferRequest a;
+  a.bytes = megabytes(5);
+  a.path = pathOver(l, 0.1);
+  a.on_done = [&](double s) { clean = s; };
+  client.transfer(std::move(a));
+  sim_.run();
+  TransferRequest b;
+  b.bytes = megabytes(5);
+  b.path = pathOver(l, 0.1);
+  b.path.loss_rate = 0.02;  // Mathis cap ~ 1 Mbps at 100 ms RTT
+  b.on_done = [&](double s) { lossy = s; };
+  client.transfer(std::move(b));
+  sim_.run();
+  EXPECT_GT(*lossy, *clean * 3);
+}
+
+TEST_F(SimHttpTest, EndpointCapHonored) {
+  net::Link* l = net_.createLink("l", mbps(100));
+  SimHttpClient client(net_);
+  std::optional<double> dur;
+  TransferRequest req;
+  req.bytes = megabytes(1);
+  req.path = pathOver(l, 0.01);
+  req.path.endpoint_cap_bps = mbps(2);
+  req.on_done = [&](double s) { dur = s; };
+  client.transfer(std::move(req));
+  sim_.run();
+  EXPECT_GT(*dur, 4.0);  // >= 8 Mbit / 2 Mbps
+}
+
+TEST_F(SimHttpTest, AbortBeforeStartMovesNothing) {
+  net::Link* l = net_.createLink("l", mbps(8));
+  SimHttpClient client(net_);
+  bool completed = false;
+  TransferRequest req;
+  req.bytes = megabytes(1);
+  req.path = pathOver(l);
+  req.on_done = [&](double) { completed = true; };
+  const auto id = client.transfer(std::move(req));
+  EXPECT_DOUBLE_EQ(client.abort(id), 0.0);
+  sim_.run();
+  EXPECT_FALSE(completed);
+  EXPECT_FALSE(client.active(id));
+}
+
+TEST_F(SimHttpTest, AbortMidFlightReturnsPartialPayload) {
+  net::Link* l = net_.createLink("l", mbps(8));
+  SimHttpClient client(net_);
+  TransferRequest req;
+  req.bytes = megabytes(10);
+  req.path = pathOver(l);
+  const auto id = client.transfer(std::move(req));
+  sim_.runUntil(3.0);
+  const double moved = client.abort(id);
+  EXPECT_GT(moved, 0.0);
+  EXPECT_LT(moved, megabytes(10));
+}
+
+TEST_F(SimHttpTest, ExtraDelayDefersStart) {
+  net::Link* l = net_.createLink("l", mbps(8));
+  SimHttpClient client(net_);
+  std::optional<double> dur;
+  TransferRequest req;
+  req.bytes = megabytes(1);
+  req.path = pathOver(l);
+  req.extra_delay_s = 5.0;
+  req.on_done = [&](double s) { dur = s; };
+  client.transfer(std::move(req));
+  sim_.run();
+  EXPECT_GT(*dur, 6.0);
+}
+
+TEST_F(SimHttpTest, PathNominalRateIsBottleneck) {
+  net::Link* a = net_.createLink("a", mbps(100));
+  net::Link* b = net_.createLink("b", mbps(3));
+  net::NetPath p;
+  p.links = {a, b};
+  p.endpoint_cap_bps = mbps(50);
+  EXPECT_DOUBLE_EQ(pathNominalRateBps(p), mbps(3));
+  p.endpoint_cap_bps = mbps(1);
+  EXPECT_DOUBLE_EQ(pathNominalRateBps(p), mbps(1));
+}
+
+TEST(SimOrigin, ObjectCatalog) {
+  sim::Simulator s;
+  net::FlowNetwork net(s);
+  SimOrigin origin(net, "o");
+  EXPECT_DOUBLE_EQ(origin.serveLink()->capacityBps(), mbps(100));
+  EXPECT_DOUBLE_EQ(origin.ingestLink()->capacityBps(), mbps(40));
+  origin.putObject("/seg0.ts", 250e3);
+  ASSERT_TRUE(origin.objectBytes("/seg0.ts").has_value());
+  EXPECT_DOUBLE_EQ(*origin.objectBytes("/seg0.ts"), 250e3);
+  EXPECT_FALSE(origin.objectBytes("/missing").has_value());
+  EXPECT_EQ(origin.objectCount(), 1u);
+}
+
+}  // namespace
+}  // namespace gol::http

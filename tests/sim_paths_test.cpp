@@ -1,0 +1,139 @@
+// Direct tests of the simulator-backed TransferPath implementations (the
+// glue between the scheduler layer and the network/cellular models).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/home.hpp"
+#include "core/sim_paths.hpp"
+#include "sim/units.hpp"
+
+namespace gol::core {
+namespace {
+
+using sim::mbps;
+using sim::megabytes;
+
+class SimPathsTest : public ::testing::Test {
+ protected:
+  SimPathsTest() {
+    HomeConfig cfg;
+    cfg.location = cell::evaluationLocations()[0];
+    cfg.phones = 1;
+    cfg.seed = 71;
+    home_ = std::make_unique<HomeEnvironment>(cfg);
+  }
+
+  Item item(double bytes, std::uint32_t index = 0) {
+    Item it;
+    it.index = index;
+    it.name = "it" + std::to_string(index);
+    it.bytes = bytes;
+    return it;
+  }
+
+  std::unique_ptr<HomeEnvironment> home_;
+};
+
+TEST_F(SimPathsTest, AdslPathLifecycle) {
+  auto paths = home_->makePaths(TransferDirection::kDownload, 0);
+  TransferPath& adsl = *paths[0];
+  EXPECT_FALSE(adsl.busy());
+  EXPECT_EQ(adsl.currentItem(), nullptr);
+  EXPECT_GT(adsl.nominalRateBps(), 0.0);
+
+  std::optional<Item> done;
+  adsl.start(item(megabytes(1)), [&](const Item& it) { done = it; });
+  EXPECT_TRUE(adsl.busy());
+  ASSERT_NE(adsl.currentItem(), nullptr);
+  EXPECT_EQ(adsl.currentItem()->bytes, megabytes(1));
+  home_->simulator().run();
+  ASSERT_TRUE(done.has_value());
+  EXPECT_FALSE(adsl.busy());
+  EXPECT_EQ(done->index, 0u);
+}
+
+TEST_F(SimPathsTest, AdslWarmSecondTransferFaster) {
+  auto paths = home_->makePaths(TransferDirection::kDownload, 0);
+  TransferPath& adsl = *paths[0];
+  auto& sim = home_->simulator();
+
+  std::optional<double> first, second;
+  const double t0 = sim.now();
+  adsl.start(item(megabytes(0.5), 0), [&](const Item&) {
+    first = sim.now() - t0;
+    const double t1 = sim.now();
+    adsl.start(item(megabytes(0.5), 1),
+               [&, t1](const Item&) { second = sim.now() - t1; });
+  });
+  sim.run();
+  ASSERT_TRUE(first && second);
+  EXPECT_LT(*second, *first);  // keep-alive skips the handshake
+}
+
+TEST_F(SimPathsTest, AdslAbortStopsCallbackAndReturnsBytes) {
+  auto paths = home_->makePaths(TransferDirection::kDownload, 0);
+  TransferPath& adsl = *paths[0];
+  bool fired = false;
+  adsl.start(item(megabytes(50)), [&](const Item&) { fired = true; });
+  home_->simulator().runUntil(10.0);
+  const double moved = adsl.abortCurrent();
+  EXPECT_GT(moved, 0.0);
+  EXPECT_FALSE(adsl.busy());
+  home_->simulator().run();
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(adsl.abortCurrent(), 0.0);  // idempotent when idle
+}
+
+TEST_F(SimPathsTest, CellularPathPaysRrcFromIdle) {
+  auto paths = home_->makePaths(TransferDirection::kDownload, 1);
+  TransferPath& phone = *paths[1];
+  auto& sim = home_->simulator();
+  std::optional<double> cold;
+  phone.start(item(megabytes(0.5)), [&](const Item&) { cold = sim.now(); });
+  sim.run();
+  ASSERT_TRUE(cold.has_value());
+  EXPECT_GT(*cold, home_->phone(0).config().rrc.idle_to_dch_s);
+}
+
+TEST_F(SimPathsTest, CellularAbortDuringPromotionIsClean) {
+  auto paths = home_->makePaths(TransferDirection::kDownload, 1);
+  TransferPath& phone = *paths[1];
+  bool fired = false;
+  phone.start(item(megabytes(1)), [&](const Item&) { fired = true; });
+  // Abort before the RRC promotion delay elapses: nothing has moved.
+  EXPECT_DOUBLE_EQ(phone.abortCurrent(), 0.0);
+  home_->simulator().run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(phone.busy());
+  EXPECT_EQ(home_->phone(0).activeTransferCount(), 0u);
+}
+
+TEST_F(SimPathsTest, CellularMeteredBytesTrackPayloadPlusOverhead) {
+  auto paths = home_->makePaths(TransferDirection::kDownload, 1);
+  TransferPath& phone = *paths[1];
+  phone.start(item(megabytes(2)), [](const Item&) {});
+  home_->simulator().run();
+  // Metering sees wire bytes (payload / tcp efficiency).
+  EXPECT_GE(home_->phone(0).meteredBytes(), megabytes(2));
+  EXPECT_LT(home_->phone(0).meteredBytes(), megabytes(2) * 1.15);
+}
+
+TEST_F(SimPathsTest, UploadPathsUseUplinkResources) {
+  auto paths = home_->makePaths(TransferDirection::kUpload, 1);
+  auto& sim = home_->simulator();
+  std::optional<double> adsl_t, phone_t;
+  const double t0 = sim.now();
+  paths[0]->start(item(megabytes(1), 0),
+                  [&](const Item&) { adsl_t = sim.now() - t0; });
+  paths[1]->start(item(megabytes(1), 1),
+                  [&](const Item&) { phone_t = sim.now() - t0; });
+  sim.run();
+  ASSERT_TRUE(adsl_t && phone_t);
+  // loc1 uplink is 0.83 Mbps: ~10 s for 1 MB; the phone should differ.
+  EXPECT_GT(*adsl_t, 8.0);
+  EXPECT_NE(*adsl_t, *phone_t);
+}
+
+}  // namespace
+}  // namespace gol::core

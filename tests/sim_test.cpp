@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+namespace gol::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.pendingEvents(), 0u);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.scheduleAt(3.0, [&] { order.push_back(3); });
+  s.scheduleAt(1.0, [&] { order.push_back(1); });
+  s.scheduleAt(2.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(Simulator, TiesBreakByScheduleOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.scheduleAt(1.0, [&] { order.push_back(10); });
+  s.scheduleAt(1.0, [&] { order.push_back(20); });
+  s.scheduleAt(1.0, [&] { order.push_back(30); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(Simulator, ScheduleInUsesRelativeTime) {
+  Simulator s;
+  double fired_at = -1;
+  s.scheduleAt(5.0, [&] {
+    s.scheduleIn(2.5, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, PastSchedulesClampToNow) {
+  Simulator s;
+  double fired_at = -1;
+  s.scheduleAt(5.0, [&] {
+    s.scheduleAt(1.0, [&] { fired_at = s.now(); });  // in the past
+    s.scheduleIn(-3.0, [] {});                       // negative delay
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.scheduleAt(1.0, [&] { fired = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.processedEvents(), 0u);
+}
+
+TEST(Simulator, CancelUnknownIdIsNoop) {
+  Simulator s;
+  s.cancel(0);
+  s.cancel(9999);
+  bool fired = false;
+  s.scheduleAt(1.0, [&] { fired = true; });
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelledEventsExcludedFromPendingCount) {
+  Simulator s;
+  const EventId a = s.scheduleAt(1.0, [] {});
+  s.scheduleAt(2.0, [] {});
+  EXPECT_EQ(s.pendingEvents(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pendingEvents(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockExactly) {
+  Simulator s;
+  int count = 0;
+  s.scheduleAt(1.0, [&] { ++count; });
+  s.scheduleAt(2.0, [&] { ++count; });
+  s.scheduleAt(10.0, [&] { ++count; });
+  s.runUntil(5.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  s.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, RunUntilEventAtBoundaryFires) {
+  Simulator s;
+  bool fired = false;
+  s.scheduleAt(5.0, [&] { fired = true; });
+  s.runUntil(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilRejectsPast) {
+  Simulator s;
+  s.scheduleAt(3.0, [] {});
+  s.run();
+  EXPECT_THROW(s.runUntil(1.0), std::invalid_argument);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.scheduleIn(1.0, recurse);
+  };
+  s.scheduleIn(1.0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(mbps(2.0), 2e6);
+  EXPECT_DOUBLE_EQ(kbps(200.0), 2e5);
+  EXPECT_DOUBLE_EQ(megabytes(2.5), 2.5e6);
+  EXPECT_DOUBLE_EQ(hours(2.0), 7200.0);
+  EXPECT_DOUBLE_EQ(days(1.0), 86400.0);
+  // 1 MB at 8 Mbps = 1 second.
+  EXPECT_DOUBLE_EQ(transferTime(megabytes(1), mbps(8)), 1.0);
+}
+
+}  // namespace
+}  // namespace gol::sim

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/cdf.hpp"
+#include "stats/ewma.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "stats/timeseries.hpp"
+
+namespace gol::stats {
+namespace {
+
+TEST(Summary, EmptyDefaults) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, SingleSampleHasZeroVariance) {
+  Summary s;
+  s.add(3.25);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.25);
+  EXPECT_DOUBLE_EQ(s.min(), 3.25);
+  EXPECT_DOUBLE_EQ(s.max(), 3.25);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  Summary a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10 + i;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Quantile, InterpolatesType7) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_NEAR(quantile(xs, 0.25), 1.75, 1e-12);
+}
+
+TEST(Quantile, ThrowsOnEmpty) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Cdf, FractionBelowAndQuantile) {
+  Cdf cdf({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.fractionBelow(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fractionBelow(3.0), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.fractionBelow(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+}
+
+TEST(Cdf, AddAfterQueryResorts) {
+  Cdf cdf({2.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.fractionBelow(3.0), 0.5);
+  cdf.add(1.0);
+  EXPECT_DOUBLE_EQ(cdf.fractionBelow(3.0), 2.0 / 3.0);
+}
+
+TEST(Cdf, CurveIsMonotonic) {
+  Cdf cdf({1, 5, 2, 8, 3, 9, 4});
+  const auto curve = cdf.curve(20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(-3.0);   // clamps into bin 0
+  h.add(42.0);   // clamps into bin 9
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.countAt(0), 2u);
+  EXPECT_EQ(h.countAt(5), 1u);
+  EXPECT_EQ(h.countAt(9), 1u);
+  EXPECT_DOUBLE_EQ(h.density(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.binLow(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.binHigh(5), 6.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1, 1, 4), std::invalid_argument);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e(0.75);
+  EXPECT_FALSE(e.seeded());
+  e.update(100.0);
+  EXPECT_DOUBLE_EQ(e.value(), 100.0);  // first sample seeds
+  for (int i = 0; i < 50; ++i) e.update(10.0);
+  EXPECT_NEAR(e.value(), 10.0, 1e-3);
+}
+
+TEST(Ewma, AlphaControlsAgility) {
+  Ewma fast(0.75), slow(0.1);
+  fast.update(0);
+  slow.update(0);
+  fast.update(100);
+  slow.update(100);
+  EXPECT_GT(fast.value(), slow.value());
+  EXPECT_DOUBLE_EQ(fast.value(), 75.0);
+}
+
+TEST(Ewma, RejectsBadAlpha) {
+  EXPECT_THROW(Ewma(0.0), std::invalid_argument);
+  EXPECT_THROW(Ewma(1.5), std::invalid_argument);
+}
+
+TEST(BinnedSeries, AddAndNormalize) {
+  BinnedSeries s(100.0, 10.0);
+  EXPECT_EQ(s.bins(), 10u);
+  s.add(5.0, 2.0);
+  s.add(95.0, 4.0);
+  s.add(150.0, 1.0);  // clamps to last bin
+  EXPECT_DOUBLE_EQ(s.at(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.at(9), 5.0);
+  EXPECT_DOUBLE_EQ(s.total(), 7.0);
+  EXPECT_DOUBLE_EQ(s.peak(), 5.0);
+  EXPECT_EQ(s.peakBin(), 9u);
+  const auto n = s.normalized();
+  EXPECT_DOUBLE_EQ(n[9], 1.0);
+  EXPECT_DOUBLE_EQ(n[0], 0.4);
+}
+
+TEST(BinnedSeries, SpreadConservesMass) {
+  BinnedSeries s(100.0, 10.0);
+  s.addSpread(5.0, 35.0, 30.0);
+  EXPECT_NEAR(s.total(), 30.0, 1e-9);
+  EXPECT_NEAR(s.at(0), 5.0, 1e-9);
+  EXPECT_NEAR(s.at(1), 10.0, 1e-9);
+  EXPECT_NEAR(s.at(2), 10.0, 1e-9);
+  EXPECT_NEAR(s.at(3), 5.0, 1e-9);
+}
+
+TEST(BinnedSeries, SpreadDegenerateInterval) {
+  BinnedSeries s(100.0, 10.0);
+  s.addSpread(12.0, 12.0, 7.0);  // zero-length: all mass at t0
+  EXPECT_DOUBLE_EQ(s.at(1), 7.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.addRow({"alpha", Table::num(1.5)});
+  t.addRow({"b", "x"});
+  const std::string r = t.render();
+  EXPECT_NE(r.find("| alpha | 1.50  |"), std::string::npos);
+  EXPECT_NE(r.find("| name"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 3), "3.142");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace gol::stats

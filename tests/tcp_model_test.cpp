@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/tcp_model.hpp"
+#include "sim/units.hpp"
+
+namespace gol::net {
+namespace {
+
+TEST(MathisCap, InfiniteWithoutLoss) {
+  EXPECT_TRUE(std::isinf(mathisCapBps(0.1, 0.0)));
+  EXPECT_TRUE(std::isinf(mathisCapBps(0.0, 0.01)));
+}
+
+TEST(MathisCap, MatchesFormula) {
+  TcpParams p;
+  const double rate = mathisCapBps(0.1, 0.01, p);
+  // MSS/RTT * 1.22/sqrt(p) = 1460*8/0.1 * 12.2
+  EXPECT_NEAR(rate, 1460 * 8 / 0.1 * 1.22 / 0.1, 1.0);
+}
+
+TEST(MathisCap, MoreLossMeansLessRate) {
+  EXPECT_GT(mathisCapBps(0.05, 0.001), mathisCapBps(0.05, 0.01));
+  EXPECT_GT(mathisCapBps(0.05, 0.01), mathisCapBps(0.05, 0.1));
+}
+
+TEST(MathisCap, LongerRttMeansLessRate) {
+  EXPECT_GT(mathisCapBps(0.02, 0.01), mathisCapBps(0.2, 0.01));
+}
+
+TEST(TransferOverhead, ScalesWithRtt) {
+  const double fast = transferOverheadS(sim::megabytes(1), 0.02, sim::mbps(10));
+  const double slow = transferOverheadS(sim::megabytes(1), 0.2, sim::mbps(10));
+  // Super-linear in RTT: a longer RTT also inflates the BDP the slow-start
+  // ramp must cover.
+  EXPECT_GT(slow / fast, 8.0);
+  EXPECT_LT(slow / fast, 25.0);
+}
+
+TEST(TransferOverhead, TinyObjectPaysAtLeastSetupPlusOneRtt) {
+  TcpParams p;
+  const double o = transferOverheadS(1000, 0.1, sim::mbps(10), p);
+  EXPECT_GE(o, p.setup_rtts * 0.1 + 0.1 - 1e-12);
+}
+
+TEST(TransferOverhead, LargerObjectsPayMoreSlowStart) {
+  const double small = transferOverheadS(20e3, 0.1, sim::mbps(100));
+  const double large = transferOverheadS(2e6, 0.1, sim::mbps(100));
+  EXPECT_GT(large, small);
+}
+
+TEST(TransferOverhead, SlowStartBoundedByBdp) {
+  // On a slow path the window needed is small, so the ramp is short even
+  // for a big object.
+  const double on_slow = transferOverheadS(10e6, 0.05, sim::kbps(500));
+  const double on_fast = transferOverheadS(10e6, 0.05, sim::mbps(100));
+  EXPECT_LT(on_slow, on_fast);
+}
+
+TEST(WarmTransfer, CheaperThanCold) {
+  const double cold = transferOverheadS(0.5e6, 0.08, sim::mbps(10));
+  const double warm = warmTransferOverheadS(0.5e6, 0.08, sim::mbps(10));
+  EXPECT_LT(warm, cold);
+  EXPECT_GT(warm, 0.0);
+}
+
+TEST(TransferOverhead, ZeroObjectStillPaysSetup) {
+  TcpParams p;
+  EXPECT_NEAR(transferOverheadS(0, 0.1, sim::mbps(10), p),
+              p.setup_rtts * 0.1, 1e-12);
+}
+
+TEST(TransferOverhead, CalibrationForFig6Baseline) {
+  // Sanity-check the Fig 6 ADSL baseline arithmetic: a Q1 segment
+  // (0.25 MB) on a 60 ms ADSL path should pay roughly 0.3-0.7 s of
+  // overhead, which over 20 segments explains the paper's 41 s download of
+  // a nominally 20 s transfer (see DESIGN.md).
+  const double o = transferOverheadS(0.25e6, 0.06 + 0.02, sim::mbps(1.7));
+  EXPECT_GT(o, 0.2);
+  EXPECT_LT(o, 0.8);
+}
+
+}  // namespace
+}  // namespace gol::net

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "trace/export.hpp"
+
+namespace gol::trace {
+namespace {
+
+DslamTrace smallTrace() {
+  DslamTraceConfig cfg;
+  cfg.subscribers = 50;
+  sim::Rng rng(3);
+  return generateDslamTrace(cfg, rng);
+}
+
+TEST(DslamCsv, RoundTripPreservesRequests) {
+  const auto trace = smallTrace();
+  const auto back = dslamFromCsv(dslamToCsv(trace));
+  ASSERT_EQ(back.requests.size(), trace.requests.size());
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    EXPECT_EQ(back.requests[i].user, trace.requests[i].user);
+    EXPECT_NEAR(back.requests[i].time_s, trace.requests[i].time_s,
+                trace.requests[i].time_s * 1e-5 + 1e-6);
+    EXPECT_NEAR(back.requests[i].bytes, trace.requests[i].bytes,
+                trace.requests[i].bytes * 1e-5);
+  }
+  EXPECT_EQ(back.video_users, trace.video_users);
+}
+
+TEST(DslamCsv, RejectsBadHeader) {
+  EXPECT_THROW(dslamFromCsv({{"wrong", "header", "row"}}),
+               std::runtime_error);
+  EXPECT_THROW(dslamFromCsv({}), std::runtime_error);
+}
+
+TEST(DslamCsv, RejectsMalformedRows) {
+  std::vector<CsvRow> rows = {{"user", "time_s", "bytes"}, {"1", "2"}};
+  EXPECT_THROW(dslamFromCsv(rows), std::runtime_error);
+  rows[1] = {"1", "abc", "3"};
+  EXPECT_THROW(dslamFromCsv(rows), std::runtime_error);
+}
+
+TEST(DslamCsv, FileRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "gol_dslam_test.csv";
+  const auto trace = smallTrace();
+  saveDslamTrace(path.string(), trace);
+  const auto back = loadDslamTrace(path.string());
+  EXPECT_EQ(back.requests.size(), trace.requests.size());
+  std::filesystem::remove(path);
+}
+
+TEST(MnoCsv, RoundTripPreservesUsage) {
+  MnoConfig cfg;
+  cfg.users = 40;
+  cfg.months = 5;
+  sim::Rng rng(9);
+  const auto ds = generateMnoDataset(cfg, rng);
+  const auto back = mnoFromCsv(mnoToCsv(ds));
+  ASSERT_EQ(back.users.size(), ds.users.size());
+  for (std::size_t u = 0; u < ds.users.size(); ++u) {
+    EXPECT_NEAR(back.users[u].cap_bytes, ds.users[u].cap_bytes, 1.0);
+    ASSERT_EQ(back.users[u].monthly_usage_bytes.size(), 5u);
+    for (int m = 0; m < 5; ++m) {
+      EXPECT_NEAR(back.users[u].monthly_usage_bytes[static_cast<std::size_t>(m)],
+                  ds.users[u].monthly_usage_bytes[static_cast<std::size_t>(m)],
+                  ds.users[u].cap_bytes * 1e-4);
+    }
+  }
+}
+
+TEST(MnoCsv, HeaderCarriesMonthCount) {
+  MnoConfig cfg;
+  cfg.users = 3;
+  cfg.months = 7;
+  sim::Rng rng(1);
+  const auto rows = mnoToCsv(generateMnoDataset(cfg, rng));
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0].size(), 2u + 7u);
+  EXPECT_EQ(rows[0].back(), "month6");
+}
+
+TEST(MnoCsv, RejectsBadInput) {
+  EXPECT_THROW(mnoFromCsv({}), std::runtime_error);
+  EXPECT_THROW(mnoFromCsv({{"user", "nope"}}), std::runtime_error);
+  std::vector<CsvRow> rows = {{"user", "cap_bytes", "month0"},
+                              {"0", "100", "50", "extra"}};
+  EXPECT_THROW(mnoFromCsv(rows), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gol::trace

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "stats/cdf.hpp"
+#include "stats/summary.hpp"
+#include "trace/dslam_trace.hpp"
+#include "cellular/location.hpp"
+#include "trace/mno.hpp"
+
+namespace gol::trace {
+namespace {
+
+TEST(Mno, GeneratesRequestedShape) {
+  MnoConfig cfg;
+  cfg.users = 500;
+  cfg.months = 6;
+  sim::Rng rng(1);
+  const auto ds = generateMnoDataset(cfg, rng);
+  ASSERT_EQ(ds.users.size(), 500u);
+  for (const auto& u : ds.users) {
+    EXPECT_GT(u.cap_bytes, 0.0);
+    ASSERT_EQ(u.monthly_usage_bytes.size(), 6u);
+    for (double m : u.monthly_usage_bytes) {
+      EXPECT_GE(m, 0.0);
+      EXPECT_LE(m, u.cap_bytes + 1.0);  // usage clamped at the cap
+    }
+  }
+}
+
+TEST(Mno, Figure10AnchorsReproduced) {
+  // The headline spare-capacity result: 40% of users below 10% of cap,
+  // 75% below 50% (tolerances for sampling noise).
+  MnoConfig cfg;
+  cfg.users = 30000;
+  cfg.months = 1;
+  sim::Rng rng(42);
+  const auto ds = generateMnoDataset(cfg, rng);
+  stats::Cdf cdf(ds.usedFractions(0));
+  EXPECT_NEAR(cdf.fractionBelow(0.10), 0.40, 0.03);
+  EXPECT_NEAR(cdf.fractionBelow(0.50), 0.75, 0.03);
+}
+
+TEST(Mno, MeanFreeCapacityNearPaperValue) {
+  // Paper: ~20 MB/day = 600 MB/month of already-paid-for spare volume.
+  MnoConfig cfg;
+  cfg.users = 30000;
+  cfg.months = 1;
+  sim::Rng rng(7);
+  const auto ds = generateMnoDataset(cfg, rng);
+  const double free_mb = ds.meanFreeBytes(0) / 1e6;
+  EXPECT_GT(free_mb, 450.0);
+  EXPECT_LT(free_mb, 900.0);
+}
+
+TEST(Mno, CapMixRespectsWeights) {
+  MnoConfig cfg;
+  cfg.users = 20000;
+  cfg.cap_choices_bytes = {1e9, 2e9};
+  cfg.cap_weights = {0.8, 0.2};
+  sim::Rng rng(3);
+  const auto ds = generateMnoDataset(cfg, rng);
+  int small = 0;
+  for (const auto& u : ds.users) small += u.cap_bytes == 1e9;
+  EXPECT_NEAR(static_cast<double>(small) / 20000, 0.8, 0.02);
+}
+
+TEST(Mno, MismatchedWeightsThrow) {
+  MnoConfig cfg;
+  cfg.cap_weights = {1.0};
+  cfg.cap_choices_bytes = {1e9, 2e9};
+  sim::Rng rng(1);
+  EXPECT_THROW(generateMnoDataset(cfg, rng), std::invalid_argument);
+}
+
+TEST(Dslam, TraceMatchesConfiguredMoments) {
+  DslamTraceConfig cfg;
+  cfg.subscribers = 4000;
+  sim::Rng rng(5);
+  const auto trace = generateDslamTrace(cfg, rng);
+
+  // ~68% of subscribers see at least one video.
+  EXPECT_NEAR(static_cast<double>(trace.video_users) / cfg.subscribers, 0.68,
+              0.03);
+
+  // Views per video-user: mean ~14, median ~6 (heavy tail).
+  std::map<std::uint32_t, int> views;
+  for (const auto& r : trace.requests) ++views[r.user];
+  std::vector<double> counts;
+  for (const auto& [u, c] : views) counts.push_back(c);
+  stats::Summary s;
+  for (double c : counts) s.add(c);
+  EXPECT_NEAR(s.mean(), 14.12, 3.0);
+  std::sort(counts.begin(), counts.end());
+  EXPECT_NEAR(counts[counts.size() / 2], 6.0, 2.0);
+
+  // Sizes average ~50 MB.
+  stats::Summary sizes;
+  for (const auto& r : trace.requests) sizes.add(r.bytes);
+  EXPECT_NEAR(sizes.mean() / 50e6, 1.0, 0.15);
+}
+
+TEST(Dslam, RequestsSortedAndWithinDay) {
+  DslamTraceConfig cfg;
+  cfg.subscribers = 1000;
+  sim::Rng rng(9);
+  const auto trace = generateDslamTrace(cfg, rng);
+  ASSERT_FALSE(trace.requests.empty());
+  for (std::size_t i = 1; i < trace.requests.size(); ++i)
+    EXPECT_LE(trace.requests[i - 1].time_s, trace.requests[i].time_s);
+  for (const auto& r : trace.requests) {
+    EXPECT_GE(r.time_s, 0.0);
+    EXPECT_LT(r.time_s, 86400.0);
+    EXPECT_GT(r.bytes, 0.0);
+  }
+}
+
+TEST(Dslam, RequestsFollowWiredDiurnal) {
+  DslamTraceConfig cfg;
+  cfg.subscribers = 5000;
+  sim::Rng rng(13);
+  const auto trace = generateDslamTrace(cfg, rng);
+  int evening = 0, night = 0;
+  for (const auto& r : trace.requests) {
+    const double h = r.time_s / 3600.0;
+    if (h >= 20 && h < 23) ++evening;
+    if (h >= 3 && h < 6) ++night;
+  }
+  // The wired evening peak is ~4x the pre-dawn trough.
+  EXPECT_GT(evening, night * 2);
+}
+
+TEST(Dslam, DeterministicForSeed) {
+  DslamTraceConfig cfg;
+  cfg.subscribers = 300;
+  sim::Rng r1(21), r2(21);
+  const auto t1 = generateDslamTrace(cfg, r1);
+  const auto t2 = generateDslamTrace(cfg, r2);
+  ASSERT_EQ(t1.requests.size(), t2.requests.size());
+  for (std::size_t i = 0; i < t1.requests.size(); ++i) {
+    EXPECT_EQ(t1.requests[i].user, t2.requests[i].user);
+    EXPECT_DOUBLE_EQ(t1.requests[i].bytes, t2.requests[i].bytes);
+  }
+}
+
+TEST(SampleTimeOfDay, StaysWithinDay) {
+  sim::Rng rng(1);
+  const auto& shape = gol::cell::wiredDiurnalShape();
+  for (int i = 0; i < 1000; ++i) {
+    const double t = sampleTimeOfDay(shape, rng);
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, 86400.0);
+  }
+}
+
+}  // namespace
+}  // namespace gol::trace

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "proto/udp_discovery.hpp"
+
+namespace gol::proto {
+namespace {
+
+TEST(AdvertCodec, RoundTrip) {
+  Advertisement ad;
+  ad.name = "phone0";
+  ad.proxy_port = 4242;
+  ad.quota_bytes = 20000000;
+  const auto parsed = parseAdvertisement(encodeAdvertisement(ad));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->name, "phone0");
+  EXPECT_EQ(parsed->proxy_port, 4242);
+  EXPECT_EQ(parsed->quota_bytes, 20000000u);
+}
+
+TEST(AdvertCodec, RejectsGarbage) {
+  EXPECT_FALSE(parseAdvertisement("").has_value());
+  EXPECT_FALSE(parseAdvertisement("hello world").has_value());
+  EXPECT_FALSE(parseAdvertisement("3GOL-ADVERT v2 name=x proxy_port=1 "
+                                  "quota_bytes=1")
+                   .has_value());
+}
+
+TEST(AdvertCodec, RejectsMissingOrBadFields) {
+  EXPECT_FALSE(
+      parseAdvertisement("3GOL-ADVERT v1 proxy_port=1 quota_bytes=1")
+          .has_value());
+  EXPECT_FALSE(
+      parseAdvertisement("3GOL-ADVERT v1 name=x quota_bytes=1").has_value());
+  EXPECT_FALSE(
+      parseAdvertisement("3GOL-ADVERT v1 name=x proxy_port=99999 "
+                         "quota_bytes=1")
+          .has_value());
+  EXPECT_FALSE(
+      parseAdvertisement("3GOL-ADVERT v1 name=x proxy_port=abc "
+                         "quota_bytes=1")
+          .has_value());
+  EXPECT_FALSE(parseAdvertisement("3GOL-ADVERT v1 name= proxy_port=1 "
+                                  "quota_bytes=1")
+                   .has_value());
+}
+
+TEST(UdpDiscovery, BeaconReachesListener) {
+  EpollLoop loop;
+  UdpDiscoveryListener listener(loop);
+  Advertisement ad;
+  ad.name = "phone0";
+  ad.proxy_port = 1234;
+  ad.quota_bytes = 5;
+  UdpDiscoveryBeacon beacon(
+      loop, listener.port(), [&] { return std::optional(ad); },
+      std::chrono::milliseconds(50));
+  beacon.start();
+  ASSERT_TRUE(loop.runUntil([&] { return listener.isAdmissible("phone0"); },
+                            std::chrono::milliseconds(3000)));
+  const auto ads = listener.admissible();
+  ASSERT_EQ(ads.size(), 1u);
+  EXPECT_EQ(ads[0].proxy_port, 1234);
+  EXPECT_GE(beacon.beaconsSent(), 1u);
+}
+
+TEST(UdpDiscovery, IneligibleBeaconStaysSilentAndExpires) {
+  EpollLoop loop;
+  UdpDiscoveryListener listener(loop, std::chrono::milliseconds(150));
+  bool eligible = true;
+  Advertisement ad;
+  ad.name = "phone1";
+  UdpDiscoveryBeacon beacon(
+      loop, listener.port(),
+      [&]() -> std::optional<Advertisement> {
+        if (!eligible) return std::nullopt;
+        return ad;
+      },
+      std::chrono::milliseconds(40));
+  beacon.start();
+  ASSERT_TRUE(loop.runUntil([&] { return listener.isAdmissible("phone1"); },
+                            std::chrono::milliseconds(3000)));
+  eligible = false;  // quota gone
+  ASSERT_TRUE(loop.runUntil([&] { return !listener.isAdmissible("phone1"); },
+                            std::chrono::milliseconds(3000)));
+  eligible = true;   // next day
+  ASSERT_TRUE(loop.runUntil([&] { return listener.isAdmissible("phone1"); },
+                            std::chrono::milliseconds(3000)));
+}
+
+TEST(UdpDiscovery, MultipleDevicesTracked) {
+  EpollLoop loop;
+  UdpDiscoveryListener listener(loop);
+  std::vector<std::unique_ptr<UdpDiscoveryBeacon>> beacons;
+  for (int i = 0; i < 3; ++i) {
+    Advertisement ad;
+    ad.name = "dev" + std::to_string(i);
+    ad.proxy_port = static_cast<std::uint16_t>(1000 + i);
+    beacons.push_back(std::make_unique<UdpDiscoveryBeacon>(
+        loop, listener.port(), [ad] { return std::optional(ad); },
+        std::chrono::milliseconds(30)));
+    beacons.back()->start();
+  }
+  ASSERT_TRUE(loop.runUntil([&] { return listener.admissible().size() == 3; },
+                            std::chrono::milliseconds(3000)));
+}
+
+TEST(UdpDiscovery, MalformedDatagramsCountedNotCrashing) {
+  EpollLoop loop;
+  UdpDiscoveryListener listener(loop);
+  // Fire junk straight at the listener.
+  auto sock = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(sock, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(listener.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  const char junk[] = "not an advert";
+  ::sendto(sock, junk, sizeof junk - 1, 0,
+           reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  ::close(sock);
+  ASSERT_TRUE(loop.runUntil([&] { return listener.datagramsReceived() >= 1; },
+                            std::chrono::milliseconds(3000)));
+  EXPECT_EQ(listener.malformedDatagrams(), 1u);
+  EXPECT_TRUE(listener.admissible().empty());
+}
+
+TEST(UdpDiscovery, BeaconDestructionCancelsTimerSafely) {
+  EpollLoop loop;
+  UdpDiscoveryListener listener(loop);
+  {
+    Advertisement ad;
+    ad.name = "ephemeral";
+    UdpDiscoveryBeacon beacon(loop, listener.port(),
+                              [ad] { return std::optional(ad); },
+                              std::chrono::milliseconds(10));
+    beacon.start();
+    loop.runUntil([&] { return listener.isAdmissible("ephemeral"); },
+                  std::chrono::milliseconds(3000));
+  }  // beacon destroyed with a timer in flight
+  // Draining the loop afterwards must not crash or beacon further.
+  const auto received = listener.datagramsReceived();
+  loop.runUntil([] { return false; }, std::chrono::milliseconds(100));
+  EXPECT_LE(listener.datagramsReceived(), received + 1);
+}
+
+}  // namespace
+}  // namespace gol::proto

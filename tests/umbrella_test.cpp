@@ -1,0 +1,32 @@
+// Compile-visibility check for the umbrella header: the documented
+// quickstart flow must build against gol3.hpp alone.
+#include "gol3.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, QuickstartFlowCompilesAndRuns) {
+  gol::core::HomeConfig config;
+  config.location = gol::cell::evaluationLocations()[0];
+  config.phones = 1;
+  gol::core::HomeEnvironment home(config);
+  gol::core::VodSession vod(home);
+  gol::core::VodOptions options;
+  options.video.duration_s = 30;
+  options.phones = 1;
+  const auto outcome = vod.run(options);
+  EXPECT_GT(outcome.total_download_s, 0.0);
+}
+
+TEST(Umbrella, ExposesEstimatorAndTraces) {
+  const std::vector<double> history = {600e6, 610e6, 590e6, 605e6, 600e6};
+  EXPECT_GT(gol::core::estimateMonthlyAllowance(history), 0.0);
+  gol::sim::Rng rng(1);
+  gol::trace::MnoConfig cfg;
+  cfg.users = 10;
+  cfg.months = 2;
+  EXPECT_EQ(gol::trace::generateMnoDataset(cfg, rng).users.size(), 10u);
+}
+
+}  // namespace

@@ -1,0 +1,203 @@
+// gol3 — command-line front-end for the 3GOL reproduction.
+//
+//   gol3 vod       [--location N] [--phones N] [--quality bps] ...
+//   gol3 upload    [--location N] [--phones N] [--photos N]
+//   gol3 estimate  --history 640,580,700,615,655 [--tau N] [--alpha X]
+//   gol3 trace-dslam --out FILE [--subscribers N] [--seed N]
+//   gol3 trace-mno   --out FILE [--users N] [--months N] [--seed N]
+//   gol3 month     [--location N] [--days N]
+//
+// Everything the examples demonstrate, scriptable.
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "cli/args.hpp"
+#include "core/allowance.hpp"
+#include "core/upload_session.hpp"
+#include "core/vod_session.hpp"
+#include "trace/export.hpp"
+
+namespace {
+
+using namespace gol;
+
+core::HomeConfig homeFromArgs(const cli::ArgParser& args) {
+  core::HomeConfig cfg;
+  const auto locations = cell::evaluationLocations();
+  cfg.location = locations[static_cast<std::size_t>(args.getInt("location")) %
+                           locations.size()];
+  cfg.phones = 2;
+  cfg.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+  if (args.getFlag("lte")) {
+    cfg.location = cell::lteUpgrade(cfg.location);
+    cfg.device = cell::lteDeviceConfig(cfg.device);
+  }
+  return cfg;
+}
+
+int cmdVod(int argc, const char* const* argv) {
+  cli::ArgParser args("gol3 vod", "Run one VoD powerboost and report times");
+  args.addInt("location", "evaluation home index 0-4", 3);
+  args.addInt("phones", "phones to onload onto", 2);
+  args.addDouble("quality", "video bitrate in bps", 738e3);
+  args.addDouble("prebuffer", "pre-buffer fraction 0..1", 0.4);
+  args.addString("scheduler", "greedy|rr|min|greedy-noresched", "greedy");
+  args.addFlag("warm", "start phones from connected mode (H)");
+  args.addFlag("playout-aware", "use the deadline scheduler");
+  args.addFlag("lte", "upgrade the location to LTE");
+  args.addInt("seed", "random seed", 42);
+  if (!args.parse(argc, argv, 2)) {
+    std::fprintf(stderr, "%s%s", args.error().empty() ? "" : (args.error() + "\n").c_str(),
+                 args.usage().c_str());
+    return args.helpRequested() ? 0 : 2;
+  }
+
+  core::HomeEnvironment home(homeFromArgs(args));
+  core::VodSession session(home);
+  core::VodOptions opts;
+  opts.video.bitrate_bps = args.getDouble("quality");
+  opts.prebuffer_fraction = args.getDouble("prebuffer");
+  opts.scheduler = args.getString("scheduler");
+  opts.warm_start = args.getFlag("warm");
+  opts.playout_aware = args.getFlag("playout-aware");
+
+  opts.phones = 0;
+  const auto baseline = session.run(opts);
+  opts.phones = static_cast<int>(args.getInt("phones"));
+  const auto boosted = session.run(opts);
+  std::printf("ADSL alone : prebuffer %.1f s, download %.1f s\n",
+              baseline.prebuffer_time_s, baseline.total_download_s);
+  std::printf("3GOL %ld ph  : prebuffer %.1f s (x%.2f), download %.1f s "
+              "(x%.2f), stalls %.1f s, waste %.2f MB\n",
+              args.getInt("phones"), boosted.prebuffer_time_s,
+              baseline.prebuffer_time_s / boosted.prebuffer_time_s,
+              boosted.total_download_s,
+              baseline.total_download_s / boosted.total_download_s,
+              boosted.playout.total_stall_s,
+              boosted.txn.wasted_bytes / 1e6);
+  return 0;
+}
+
+int cmdUpload(int argc, const char* const* argv) {
+  cli::ArgParser args("gol3 upload", "Upload a photo set over 3GOL");
+  args.addInt("location", "evaluation home index 0-4", 4);
+  args.addInt("phones", "phones to onload onto", 2);
+  args.addInt("photos", "photos in the set", 30);
+  args.addFlag("lte", "upgrade the location to LTE");
+  args.addInt("seed", "random seed", 42);
+  if (!args.parse(argc, argv, 2)) {
+    std::fprintf(stderr, "%s", args.usage().c_str());
+    return args.helpRequested() ? 0 : 2;
+  }
+  core::HomeEnvironment home(homeFromArgs(args));
+  core::UploadSession session(home);
+  core::UploadOptions opts;
+  opts.photos = static_cast<int>(args.getInt("photos"));
+  opts.phones = 0;
+  const double adsl = session.run(opts).txn.duration_s;
+  opts.phones = static_cast<int>(args.getInt("phones"));
+  const auto out = session.run(opts);
+  std::printf("ADSL alone: %.0f s; 3GOL %d phone(s): %.0f s (x%.2f)\n", adsl,
+              opts.phones, out.txn.duration_s, adsl / out.txn.duration_s);
+  return 0;
+}
+
+int cmdEstimate(int argc, const char* const* argv) {
+  cli::ArgParser args("gol3 estimate",
+                      "Sec. 6 allowance from monthly free-capacity history");
+  args.addString("history", "comma-separated free MB per month (oldest first)");
+  args.addInt("tau", "averaging window, months", 5);
+  args.addDouble("alpha", "guard multiplier", 4.0);
+  if (!args.parse(argc, argv, 2)) {
+    std::fprintf(stderr, "%s%s", args.error().empty() ? "" : (args.error() + "\n").c_str(),
+                 args.usage().c_str());
+    return args.helpRequested() ? 0 : 2;
+  }
+  std::vector<double> history;
+  std::stringstream ss(args.getString("history"));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    history.push_back(std::strtod(item.c_str(), nullptr) * 1e6);
+  }
+  core::AllowanceConfig cfg;
+  cfg.tau_months = static_cast<int>(args.getInt("tau"));
+  cfg.alpha = args.getDouble("alpha");
+  const double allowance = core::estimateMonthlyAllowance(history, cfg);
+  std::printf("3GOLa = %.0f MB/month (%.1f MB/day) with tau=%d alpha=%.1f\n",
+              allowance / 1e6, allowance / 30e6, cfg.tau_months, cfg.alpha);
+  return 0;
+}
+
+int cmdTraceDslam(int argc, const char* const* argv) {
+  cli::ArgParser args("gol3 trace-dslam", "Generate a DSLAM day as CSV");
+  args.addString("out", "output CSV path");
+  args.addInt("subscribers", "DSL lines behind the DSLAM", 18000);
+  args.addInt("seed", "random seed", 42);
+  if (!args.parse(argc, argv, 2)) {
+    std::fprintf(stderr, "%s%s", args.error().empty() ? "" : (args.error() + "\n").c_str(),
+                 args.usage().c_str());
+    return args.helpRequested() ? 0 : 2;
+  }
+  trace::DslamTraceConfig cfg;
+  cfg.subscribers = static_cast<std::size_t>(args.getInt("subscribers"));
+  sim::Rng rng(static_cast<std::uint64_t>(args.getInt("seed")));
+  const auto trace = trace::generateDslamTrace(cfg, rng);
+  trace::saveDslamTrace(args.getString("out"), trace);
+  std::printf("wrote %zu requests from %zu video users to %s\n",
+              trace.requests.size(), trace.video_users,
+              args.getString("out").c_str());
+  return 0;
+}
+
+int cmdTraceMno(int argc, const char* const* argv) {
+  cli::ArgParser args("gol3 trace-mno", "Generate an MNO usage dataset CSV");
+  args.addString("out", "output CSV path");
+  args.addInt("users", "subscriber count", 20000);
+  args.addInt("months", "months of history", 12);
+  args.addInt("seed", "random seed", 42);
+  if (!args.parse(argc, argv, 2)) {
+    std::fprintf(stderr, "%s%s", args.error().empty() ? "" : (args.error() + "\n").c_str(),
+                 args.usage().c_str());
+    return args.helpRequested() ? 0 : 2;
+  }
+  trace::MnoConfig cfg;
+  cfg.users = static_cast<std::size_t>(args.getInt("users"));
+  cfg.months = static_cast<int>(args.getInt("months"));
+  sim::Rng rng(static_cast<std::uint64_t>(args.getInt("seed")));
+  const auto ds = trace::generateMnoDataset(cfg, rng);
+  trace::saveMnoDataset(args.getString("out"), ds);
+  std::printf("wrote %zu users x %d months to %s\n", ds.users.size(),
+              cfg.months, args.getString("out").c_str());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: gol3 <command> [options]\n"
+               "commands:\n"
+               "  vod          run one VoD powerboost\n"
+               "  upload       upload a photo set\n"
+               "  estimate     Sec. 6 allowance estimator\n"
+               "  trace-dslam  generate a DSLAM trace CSV\n"
+               "  trace-mno    generate an MNO dataset CSV\n"
+               "run 'gol3 <command> --help' for command options\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "vod") return cmdVod(argc, argv);
+  if (cmd == "upload") return cmdUpload(argc, argv);
+  if (cmd == "estimate") return cmdEstimate(argc, argv);
+  if (cmd == "trace-dslam") return cmdTraceDslam(argc, argv);
+  if (cmd == "trace-mno") return cmdTraceMno(argc, argv);
+  usage();
+  return 2;
+}
