@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_reschedule"
+  "../bench/ablation_reschedule.pdb"
+  "CMakeFiles/ablation_reschedule.dir/ablation_reschedule.cpp.o"
+  "CMakeFiles/ablation_reschedule.dir/ablation_reschedule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reschedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_mptcp"
+  "../bench/baseline_mptcp.pdb"
+  "CMakeFiles/baseline_mptcp.dir/baseline_mptcp.cpp.o"
+  "CMakeFiles/baseline_mptcp.dir/baseline_mptcp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_mptcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/capacity_comparison"
+  "../bench/capacity_comparison.pdb"
+  "CMakeFiles/capacity_comparison.dir/capacity_comparison.cpp.o"
+  "CMakeFiles/capacity_comparison.dir/capacity_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/estimator_allowance"
+  "../bench/estimator_allowance.pdb"
+  "CMakeFiles/estimator_allowance.dir/estimator_allowance.cpp.o"
+  "CMakeFiles/estimator_allowance.dir/estimator_allowance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_allowance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

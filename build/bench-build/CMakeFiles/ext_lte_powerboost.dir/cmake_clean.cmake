@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_lte_powerboost"
+  "../bench/ext_lte_powerboost.pdb"
+  "CMakeFiles/ext_lte_powerboost.dir/ext_lte_powerboost.cpp.o"
+  "CMakeFiles/ext_lte_powerboost.dir/ext_lte_powerboost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lte_powerboost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_monthly_household"
+  "../bench/ext_monthly_household.pdb"
+  "CMakeFiles/ext_monthly_household.dir/ext_monthly_household.cpp.o"
+  "CMakeFiles/ext_monthly_household.dir/ext_monthly_household.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_monthly_household.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

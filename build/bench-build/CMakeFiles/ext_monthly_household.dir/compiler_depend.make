@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_monthly_household.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_neighborhood"
+  "../bench/ext_neighborhood.pdb"
+  "CMakeFiles/ext_neighborhood.dir/ext_neighborhood.cpp.o"
+  "CMakeFiles/ext_neighborhood.dir/ext_neighborhood.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_neighborhood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_playout_scheduler"
+  "../bench/ext_playout_scheduler.pdb"
+  "CMakeFiles/ext_playout_scheduler.dir/ext_playout_scheduler.cpp.o"
+  "CMakeFiles/ext_playout_scheduler.dir/ext_playout_scheduler.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_playout_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

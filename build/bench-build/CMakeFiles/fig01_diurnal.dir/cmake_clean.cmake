@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_diurnal"
+  "../bench/fig01_diurnal.pdb"
+  "CMakeFiles/fig01_diurnal.dir/fig01_diurnal.cpp.o"
+  "CMakeFiles/fig01_diurnal.dir/fig01_diurnal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_diurnal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_aggregate_throughput"
+  "../bench/fig03_aggregate_throughput.pdb"
+  "CMakeFiles/fig03_aggregate_throughput.dir/fig03_aggregate_throughput.cpp.o"
+  "CMakeFiles/fig03_aggregate_throughput.dir/fig03_aggregate_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_aggregate_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_temporal"
+  "../bench/fig04_temporal.pdb"
+  "CMakeFiles/fig04_temporal.dir/fig04_temporal.cpp.o"
+  "CMakeFiles/fig04_temporal.dir/fig04_temporal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_station_distribution"
+  "../bench/fig05_station_distribution.pdb"
+  "CMakeFiles/fig05_station_distribution.dir/fig05_station_distribution.cpp.o"
+  "CMakeFiles/fig05_station_distribution.dir/fig05_station_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_station_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_scheduler_comparison"
+  "../bench/fig06_scheduler_comparison.pdb"
+  "CMakeFiles/fig06_scheduler_comparison.dir/fig06_scheduler_comparison.cpp.o"
+  "CMakeFiles/fig06_scheduler_comparison.dir/fig06_scheduler_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_scheduler_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_prebuffer_gains"
+  "../bench/fig07_prebuffer_gains.pdb"
+  "CMakeFiles/fig07_prebuffer_gains.dir/fig07_prebuffer_gains.cpp.o"
+  "CMakeFiles/fig07_prebuffer_gains.dir/fig07_prebuffer_gains.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_prebuffer_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

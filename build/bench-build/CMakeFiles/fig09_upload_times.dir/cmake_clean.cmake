@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_upload_times"
+  "../bench/fig09_upload_times.pdb"
+  "CMakeFiles/fig09_upload_times.dir/fig09_upload_times.cpp.o"
+  "CMakeFiles/fig09_upload_times.dir/fig09_upload_times.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_upload_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

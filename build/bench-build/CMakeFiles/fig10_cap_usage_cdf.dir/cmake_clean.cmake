@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_cap_usage_cdf"
+  "../bench/fig10_cap_usage_cdf.pdb"
+  "CMakeFiles/fig10_cap_usage_cdf.dir/fig10_cap_usage_cdf.cpp.o"
+  "CMakeFiles/fig10_cap_usage_cdf.dir/fig10_cap_usage_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cap_usage_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11a_capped_speedup"
+  "../bench/fig11a_capped_speedup.pdb"
+  "CMakeFiles/fig11a_capped_speedup.dir/fig11a_capped_speedup.cpp.o"
+  "CMakeFiles/fig11a_capped_speedup.dir/fig11a_capped_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_capped_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

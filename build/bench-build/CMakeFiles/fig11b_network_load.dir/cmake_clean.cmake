@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11b_network_load"
+  "../bench/fig11b_network_load.pdb"
+  "CMakeFiles/fig11b_network_load.dir/fig11b_network_load.cpp.o"
+  "CMakeFiles/fig11b_network_load.dir/fig11b_network_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_network_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11c_adoption_load"
+  "../bench/fig11c_adoption_load.pdb"
+  "CMakeFiles/fig11c_adoption_load.dir/fig11c_adoption_load.cpp.o"
+  "CMakeFiles/fig11c_adoption_load.dir/fig11c_adoption_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11c_adoption_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gol_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/gol_bench_util.dir/bench_util.cpp.o.d"
+  "libgol_bench_util.a"
+  "libgol_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gol_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

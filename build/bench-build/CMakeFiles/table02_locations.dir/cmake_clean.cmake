@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table02_locations"
+  "../bench/table02_locations.pdb"
+  "CMakeFiles/table02_locations.dir/table02_locations.cpp.o"
+  "CMakeFiles/table02_locations.dir/table02_locations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table03_cluster_throughput"
+  "../bench/table03_cluster_throughput.pdb"
+  "CMakeFiles/table03_cluster_throughput.dir/table03_cluster_throughput.cpp.o"
+  "CMakeFiles/table03_cluster_throughput.dir/table03_cluster_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_cluster_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/validation_fluid_vs_packet.cpp" "bench-build/CMakeFiles/validation_fluid_vs_packet.dir/validation_fluid_vs_packet.cpp.o" "gcc" "bench-build/CMakeFiles/validation_fluid_vs_packet.dir/validation_fluid_vs_packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/gol_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gol_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gol_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/access/CMakeFiles/gol_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/gol_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/gol_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gol_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/gol_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkt/CMakeFiles/gol_pkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gol_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/validation_fluid_vs_packet"
+  "../bench/validation_fluid_vs_packet.pdb"
+  "CMakeFiles/validation_fluid_vs_packet.dir/validation_fluid_vs_packet.cpp.o"
+  "CMakeFiles/validation_fluid_vs_packet.dir/validation_fluid_vs_packet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_fluid_vs_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capped_multi_provider.dir/capped_multi_provider.cpp.o"
+  "CMakeFiles/capped_multi_provider.dir/capped_multi_provider.cpp.o.d"
+  "capped_multi_provider"
+  "capped_multi_provider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capped_multi_provider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for capped_multi_provider.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photo_upload.dir/photo_upload.cpp.o"
+  "CMakeFiles/photo_upload.dir/photo_upload.cpp.o.d"
+  "photo_upload"
+  "photo_upload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photo_upload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_powerboost.dir/vod_powerboost.cpp.o"
+  "CMakeFiles/vod_powerboost.dir/vod_powerboost.cpp.o.d"
+  "vod_powerboost"
+  "vod_powerboost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_powerboost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

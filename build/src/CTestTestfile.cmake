@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("stats")
+subdirs("sim")
+subdirs("net")
+subdirs("access")
+subdirs("cellular")
+subdirs("http")
+subdirs("hls")
+subdirs("core")
+subdirs("trace")
+subdirs("pkt")
+subdirs("cli")
+subdirs("proto")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/access/adsl.cpp" "src/access/CMakeFiles/gol_access.dir/adsl.cpp.o" "gcc" "src/access/CMakeFiles/gol_access.dir/adsl.cpp.o.d"
+  "/root/repo/src/access/dslam.cpp" "src/access/CMakeFiles/gol_access.dir/dslam.cpp.o" "gcc" "src/access/CMakeFiles/gol_access.dir/dslam.cpp.o.d"
+  "/root/repo/src/access/wifi.cpp" "src/access/CMakeFiles/gol_access.dir/wifi.cpp.o" "gcc" "src/access/CMakeFiles/gol_access.dir/wifi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/gol_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gol_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

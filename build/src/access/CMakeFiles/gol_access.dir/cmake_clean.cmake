@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gol_access.dir/adsl.cpp.o"
+  "CMakeFiles/gol_access.dir/adsl.cpp.o.d"
+  "CMakeFiles/gol_access.dir/dslam.cpp.o"
+  "CMakeFiles/gol_access.dir/dslam.cpp.o.d"
+  "CMakeFiles/gol_access.dir/wifi.cpp.o"
+  "CMakeFiles/gol_access.dir/wifi.cpp.o.d"
+  "libgol_access.a"
+  "libgol_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gol_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

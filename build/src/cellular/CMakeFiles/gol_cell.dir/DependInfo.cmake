@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellular/base_station.cpp" "src/cellular/CMakeFiles/gol_cell.dir/base_station.cpp.o" "gcc" "src/cellular/CMakeFiles/gol_cell.dir/base_station.cpp.o.d"
+  "/root/repo/src/cellular/device.cpp" "src/cellular/CMakeFiles/gol_cell.dir/device.cpp.o" "gcc" "src/cellular/CMakeFiles/gol_cell.dir/device.cpp.o.d"
+  "/root/repo/src/cellular/energy.cpp" "src/cellular/CMakeFiles/gol_cell.dir/energy.cpp.o" "gcc" "src/cellular/CMakeFiles/gol_cell.dir/energy.cpp.o.d"
+  "/root/repo/src/cellular/location.cpp" "src/cellular/CMakeFiles/gol_cell.dir/location.cpp.o" "gcc" "src/cellular/CMakeFiles/gol_cell.dir/location.cpp.o.d"
+  "/root/repo/src/cellular/radio.cpp" "src/cellular/CMakeFiles/gol_cell.dir/radio.cpp.o" "gcc" "src/cellular/CMakeFiles/gol_cell.dir/radio.cpp.o.d"
+  "/root/repo/src/cellular/rrc.cpp" "src/cellular/CMakeFiles/gol_cell.dir/rrc.cpp.o" "gcc" "src/cellular/CMakeFiles/gol_cell.dir/rrc.cpp.o.d"
+  "/root/repo/src/cellular/sector.cpp" "src/cellular/CMakeFiles/gol_cell.dir/sector.cpp.o" "gcc" "src/cellular/CMakeFiles/gol_cell.dir/sector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/gol_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gol_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

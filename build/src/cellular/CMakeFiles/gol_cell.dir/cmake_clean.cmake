@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gol_cell.dir/base_station.cpp.o"
+  "CMakeFiles/gol_cell.dir/base_station.cpp.o.d"
+  "CMakeFiles/gol_cell.dir/device.cpp.o"
+  "CMakeFiles/gol_cell.dir/device.cpp.o.d"
+  "CMakeFiles/gol_cell.dir/energy.cpp.o"
+  "CMakeFiles/gol_cell.dir/energy.cpp.o.d"
+  "CMakeFiles/gol_cell.dir/location.cpp.o"
+  "CMakeFiles/gol_cell.dir/location.cpp.o.d"
+  "CMakeFiles/gol_cell.dir/radio.cpp.o"
+  "CMakeFiles/gol_cell.dir/radio.cpp.o.d"
+  "CMakeFiles/gol_cell.dir/rrc.cpp.o"
+  "CMakeFiles/gol_cell.dir/rrc.cpp.o.d"
+  "CMakeFiles/gol_cell.dir/sector.cpp.o"
+  "CMakeFiles/gol_cell.dir/sector.cpp.o.d"
+  "libgol_cell.a"
+  "libgol_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gol_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gol_cli.dir/args.cpp.o"
+  "CMakeFiles/gol_cli.dir/args.cpp.o.d"
+  "libgol_cli.a"
+  "libgol_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gol_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allowance.cpp" "src/core/CMakeFiles/gol_core.dir/allowance.cpp.o" "gcc" "src/core/CMakeFiles/gol_core.dir/allowance.cpp.o.d"
+  "/root/repo/src/core/deadline_scheduler.cpp" "src/core/CMakeFiles/gol_core.dir/deadline_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/gol_core.dir/deadline_scheduler.cpp.o.d"
+  "/root/repo/src/core/discovery.cpp" "src/core/CMakeFiles/gol_core.dir/discovery.cpp.o" "gcc" "src/core/CMakeFiles/gol_core.dir/discovery.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/gol_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/gol_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/greedy_scheduler.cpp" "src/core/CMakeFiles/gol_core.dir/greedy_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/gol_core.dir/greedy_scheduler.cpp.o.d"
+  "/root/repo/src/core/home.cpp" "src/core/CMakeFiles/gol_core.dir/home.cpp.o" "gcc" "src/core/CMakeFiles/gol_core.dir/home.cpp.o.d"
+  "/root/repo/src/core/min_time_scheduler.cpp" "src/core/CMakeFiles/gol_core.dir/min_time_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/gol_core.dir/min_time_scheduler.cpp.o.d"
+  "/root/repo/src/core/mptcp.cpp" "src/core/CMakeFiles/gol_core.dir/mptcp.cpp.o" "gcc" "src/core/CMakeFiles/gol_core.dir/mptcp.cpp.o.d"
+  "/root/repo/src/core/onload_controller.cpp" "src/core/CMakeFiles/gol_core.dir/onload_controller.cpp.o" "gcc" "src/core/CMakeFiles/gol_core.dir/onload_controller.cpp.o.d"
+  "/root/repo/src/core/permit.cpp" "src/core/CMakeFiles/gol_core.dir/permit.cpp.o" "gcc" "src/core/CMakeFiles/gol_core.dir/permit.cpp.o.d"
+  "/root/repo/src/core/round_robin_scheduler.cpp" "src/core/CMakeFiles/gol_core.dir/round_robin_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/gol_core.dir/round_robin_scheduler.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/gol_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/gol_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/sim_paths.cpp" "src/core/CMakeFiles/gol_core.dir/sim_paths.cpp.o" "gcc" "src/core/CMakeFiles/gol_core.dir/sim_paths.cpp.o.d"
+  "/root/repo/src/core/upload_session.cpp" "src/core/CMakeFiles/gol_core.dir/upload_session.cpp.o" "gcc" "src/core/CMakeFiles/gol_core.dir/upload_session.cpp.o.d"
+  "/root/repo/src/core/vod_session.cpp" "src/core/CMakeFiles/gol_core.dir/vod_session.cpp.o" "gcc" "src/core/CMakeFiles/gol_core.dir/vod_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/gol_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gol_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/access/CMakeFiles/gol_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/gol_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/gol_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/gol_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gol_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

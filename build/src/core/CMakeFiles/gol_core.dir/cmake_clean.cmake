@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gol_core.dir/allowance.cpp.o"
+  "CMakeFiles/gol_core.dir/allowance.cpp.o.d"
+  "CMakeFiles/gol_core.dir/deadline_scheduler.cpp.o"
+  "CMakeFiles/gol_core.dir/deadline_scheduler.cpp.o.d"
+  "CMakeFiles/gol_core.dir/discovery.cpp.o"
+  "CMakeFiles/gol_core.dir/discovery.cpp.o.d"
+  "CMakeFiles/gol_core.dir/engine.cpp.o"
+  "CMakeFiles/gol_core.dir/engine.cpp.o.d"
+  "CMakeFiles/gol_core.dir/greedy_scheduler.cpp.o"
+  "CMakeFiles/gol_core.dir/greedy_scheduler.cpp.o.d"
+  "CMakeFiles/gol_core.dir/home.cpp.o"
+  "CMakeFiles/gol_core.dir/home.cpp.o.d"
+  "CMakeFiles/gol_core.dir/min_time_scheduler.cpp.o"
+  "CMakeFiles/gol_core.dir/min_time_scheduler.cpp.o.d"
+  "CMakeFiles/gol_core.dir/mptcp.cpp.o"
+  "CMakeFiles/gol_core.dir/mptcp.cpp.o.d"
+  "CMakeFiles/gol_core.dir/onload_controller.cpp.o"
+  "CMakeFiles/gol_core.dir/onload_controller.cpp.o.d"
+  "CMakeFiles/gol_core.dir/permit.cpp.o"
+  "CMakeFiles/gol_core.dir/permit.cpp.o.d"
+  "CMakeFiles/gol_core.dir/round_robin_scheduler.cpp.o"
+  "CMakeFiles/gol_core.dir/round_robin_scheduler.cpp.o.d"
+  "CMakeFiles/gol_core.dir/scheduler.cpp.o"
+  "CMakeFiles/gol_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/gol_core.dir/sim_paths.cpp.o"
+  "CMakeFiles/gol_core.dir/sim_paths.cpp.o.d"
+  "CMakeFiles/gol_core.dir/upload_session.cpp.o"
+  "CMakeFiles/gol_core.dir/upload_session.cpp.o.d"
+  "CMakeFiles/gol_core.dir/vod_session.cpp.o"
+  "CMakeFiles/gol_core.dir/vod_session.cpp.o.d"
+  "libgol_core.a"
+  "libgol_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gol_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/player.cpp" "src/hls/CMakeFiles/gol_hls.dir/player.cpp.o" "gcc" "src/hls/CMakeFiles/gol_hls.dir/player.cpp.o.d"
+  "/root/repo/src/hls/playlist.cpp" "src/hls/CMakeFiles/gol_hls.dir/playlist.cpp.o" "gcc" "src/hls/CMakeFiles/gol_hls.dir/playlist.cpp.o.d"
+  "/root/repo/src/hls/segmenter.cpp" "src/hls/CMakeFiles/gol_hls.dir/segmenter.cpp.o" "gcc" "src/hls/CMakeFiles/gol_hls.dir/segmenter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gol_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

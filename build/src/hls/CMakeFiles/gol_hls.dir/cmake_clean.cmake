@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gol_hls.dir/player.cpp.o"
+  "CMakeFiles/gol_hls.dir/player.cpp.o.d"
+  "CMakeFiles/gol_hls.dir/playlist.cpp.o"
+  "CMakeFiles/gol_hls.dir/playlist.cpp.o.d"
+  "CMakeFiles/gol_hls.dir/segmenter.cpp.o"
+  "CMakeFiles/gol_hls.dir/segmenter.cpp.o.d"
+  "libgol_hls.a"
+  "libgol_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gol_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

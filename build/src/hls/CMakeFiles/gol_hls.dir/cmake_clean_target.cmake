@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgol_hls.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/message.cpp" "src/http/CMakeFiles/gol_http.dir/message.cpp.o" "gcc" "src/http/CMakeFiles/gol_http.dir/message.cpp.o.d"
+  "/root/repo/src/http/multipart.cpp" "src/http/CMakeFiles/gol_http.dir/multipart.cpp.o" "gcc" "src/http/CMakeFiles/gol_http.dir/multipart.cpp.o.d"
+  "/root/repo/src/http/sim_client.cpp" "src/http/CMakeFiles/gol_http.dir/sim_client.cpp.o" "gcc" "src/http/CMakeFiles/gol_http.dir/sim_client.cpp.o.d"
+  "/root/repo/src/http/sim_origin.cpp" "src/http/CMakeFiles/gol_http.dir/sim_origin.cpp.o" "gcc" "src/http/CMakeFiles/gol_http.dir/sim_origin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/gol_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gol_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

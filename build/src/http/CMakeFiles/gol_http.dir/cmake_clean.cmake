@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gol_http.dir/message.cpp.o"
+  "CMakeFiles/gol_http.dir/message.cpp.o.d"
+  "CMakeFiles/gol_http.dir/multipart.cpp.o"
+  "CMakeFiles/gol_http.dir/multipart.cpp.o.d"
+  "CMakeFiles/gol_http.dir/sim_client.cpp.o"
+  "CMakeFiles/gol_http.dir/sim_client.cpp.o.d"
+  "CMakeFiles/gol_http.dir/sim_origin.cpp.o"
+  "CMakeFiles/gol_http.dir/sim_origin.cpp.o.d"
+  "libgol_http.a"
+  "libgol_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gol_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gol_net.dir/capacity_profile.cpp.o"
+  "CMakeFiles/gol_net.dir/capacity_profile.cpp.o.d"
+  "CMakeFiles/gol_net.dir/flow_network.cpp.o"
+  "CMakeFiles/gol_net.dir/flow_network.cpp.o.d"
+  "CMakeFiles/gol_net.dir/tcp_model.cpp.o"
+  "CMakeFiles/gol_net.dir/tcp_model.cpp.o.d"
+  "libgol_net.a"
+  "libgol_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gol_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

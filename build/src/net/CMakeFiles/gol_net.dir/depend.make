@@ -1,0 +1,2 @@
+# Empty dependencies file for gol_net.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gol_pkt.dir/tcp_packet_sim.cpp.o"
+  "CMakeFiles/gol_pkt.dir/tcp_packet_sim.cpp.o.d"
+  "libgol_pkt.a"
+  "libgol_pkt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gol_pkt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/epoll_loop.cpp" "src/proto/CMakeFiles/gol_proto.dir/epoll_loop.cpp.o" "gcc" "src/proto/CMakeFiles/gol_proto.dir/epoll_loop.cpp.o.d"
+  "/root/repo/src/proto/multipath_client.cpp" "src/proto/CMakeFiles/gol_proto.dir/multipath_client.cpp.o" "gcc" "src/proto/CMakeFiles/gol_proto.dir/multipath_client.cpp.o.d"
+  "/root/repo/src/proto/origin_server.cpp" "src/proto/CMakeFiles/gol_proto.dir/origin_server.cpp.o" "gcc" "src/proto/CMakeFiles/gol_proto.dir/origin_server.cpp.o.d"
+  "/root/repo/src/proto/proxy.cpp" "src/proto/CMakeFiles/gol_proto.dir/proxy.cpp.o" "gcc" "src/proto/CMakeFiles/gol_proto.dir/proxy.cpp.o.d"
+  "/root/repo/src/proto/rate_limiter.cpp" "src/proto/CMakeFiles/gol_proto.dir/rate_limiter.cpp.o" "gcc" "src/proto/CMakeFiles/gol_proto.dir/rate_limiter.cpp.o.d"
+  "/root/repo/src/proto/socket.cpp" "src/proto/CMakeFiles/gol_proto.dir/socket.cpp.o" "gcc" "src/proto/CMakeFiles/gol_proto.dir/socket.cpp.o.d"
+  "/root/repo/src/proto/udp_discovery.cpp" "src/proto/CMakeFiles/gol_proto.dir/udp_discovery.cpp.o" "gcc" "src/proto/CMakeFiles/gol_proto.dir/udp_discovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/gol_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/access/CMakeFiles/gol_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/gol_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gol_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/gol_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gol_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gol_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

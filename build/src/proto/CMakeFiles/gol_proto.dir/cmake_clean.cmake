@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gol_proto.dir/epoll_loop.cpp.o"
+  "CMakeFiles/gol_proto.dir/epoll_loop.cpp.o.d"
+  "CMakeFiles/gol_proto.dir/multipath_client.cpp.o"
+  "CMakeFiles/gol_proto.dir/multipath_client.cpp.o.d"
+  "CMakeFiles/gol_proto.dir/origin_server.cpp.o"
+  "CMakeFiles/gol_proto.dir/origin_server.cpp.o.d"
+  "CMakeFiles/gol_proto.dir/proxy.cpp.o"
+  "CMakeFiles/gol_proto.dir/proxy.cpp.o.d"
+  "CMakeFiles/gol_proto.dir/rate_limiter.cpp.o"
+  "CMakeFiles/gol_proto.dir/rate_limiter.cpp.o.d"
+  "CMakeFiles/gol_proto.dir/socket.cpp.o"
+  "CMakeFiles/gol_proto.dir/socket.cpp.o.d"
+  "CMakeFiles/gol_proto.dir/udp_discovery.cpp.o"
+  "CMakeFiles/gol_proto.dir/udp_discovery.cpp.o.d"
+  "libgol_proto.a"
+  "libgol_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gol_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gol_sim.dir/rng.cpp.o"
+  "CMakeFiles/gol_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/gol_sim.dir/simulator.cpp.o"
+  "CMakeFiles/gol_sim.dir/simulator.cpp.o.d"
+  "libgol_sim.a"
+  "libgol_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gol_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

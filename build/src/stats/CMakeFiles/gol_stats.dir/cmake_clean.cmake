@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gol_stats.dir/cdf.cpp.o"
+  "CMakeFiles/gol_stats.dir/cdf.cpp.o.d"
+  "CMakeFiles/gol_stats.dir/histogram.cpp.o"
+  "CMakeFiles/gol_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/gol_stats.dir/summary.cpp.o"
+  "CMakeFiles/gol_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/gol_stats.dir/table.cpp.o"
+  "CMakeFiles/gol_stats.dir/table.cpp.o.d"
+  "CMakeFiles/gol_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/gol_stats.dir/timeseries.cpp.o.d"
+  "libgol_stats.a"
+  "libgol_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gol_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/csv.cpp" "src/trace/CMakeFiles/gol_trace.dir/csv.cpp.o" "gcc" "src/trace/CMakeFiles/gol_trace.dir/csv.cpp.o.d"
+  "/root/repo/src/trace/dslam_trace.cpp" "src/trace/CMakeFiles/gol_trace.dir/dslam_trace.cpp.o" "gcc" "src/trace/CMakeFiles/gol_trace.dir/dslam_trace.cpp.o.d"
+  "/root/repo/src/trace/export.cpp" "src/trace/CMakeFiles/gol_trace.dir/export.cpp.o" "gcc" "src/trace/CMakeFiles/gol_trace.dir/export.cpp.o.d"
+  "/root/repo/src/trace/mno.cpp" "src/trace/CMakeFiles/gol_trace.dir/mno.cpp.o" "gcc" "src/trace/CMakeFiles/gol_trace.dir/mno.cpp.o.d"
+  "/root/repo/src/trace/onload_replay.cpp" "src/trace/CMakeFiles/gol_trace.dir/onload_replay.cpp.o" "gcc" "src/trace/CMakeFiles/gol_trace.dir/onload_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gol_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gol_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/gol_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gol_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gol_trace.dir/csv.cpp.o"
+  "CMakeFiles/gol_trace.dir/csv.cpp.o.d"
+  "CMakeFiles/gol_trace.dir/dslam_trace.cpp.o"
+  "CMakeFiles/gol_trace.dir/dslam_trace.cpp.o.d"
+  "CMakeFiles/gol_trace.dir/export.cpp.o"
+  "CMakeFiles/gol_trace.dir/export.cpp.o.d"
+  "CMakeFiles/gol_trace.dir/mno.cpp.o"
+  "CMakeFiles/gol_trace.dir/mno.cpp.o.d"
+  "CMakeFiles/gol_trace.dir/onload_replay.cpp.o"
+  "CMakeFiles/gol_trace.dir/onload_replay.cpp.o.d"
+  "libgol_trace.a"
+  "libgol_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gol_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

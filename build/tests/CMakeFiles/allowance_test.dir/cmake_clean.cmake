@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allowance_test.dir/allowance_test.cpp.o"
+  "CMakeFiles/allowance_test.dir/allowance_test.cpp.o.d"
+  "allowance_test"
+  "allowance_test.pdb"
+  "allowance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allowance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_profile_test.dir/capacity_profile_test.cpp.o"
+  "CMakeFiles/capacity_profile_test.dir/capacity_profile_test.cpp.o.d"
+  "capacity_profile_test"
+  "capacity_profile_test.pdb"
+  "capacity_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_scheduler_test.dir/deadline_scheduler_test.cpp.o"
+  "CMakeFiles/deadline_scheduler_test.dir/deadline_scheduler_test.cpp.o.d"
+  "deadline_scheduler_test"
+  "deadline_scheduler_test.pdb"
+  "deadline_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discovery_permit_test.dir/discovery_permit_test.cpp.o"
+  "CMakeFiles/discovery_permit_test.dir/discovery_permit_test.cpp.o.d"
+  "discovery_permit_test"
+  "discovery_permit_test.pdb"
+  "discovery_permit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discovery_permit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_player_test.dir/hls_player_test.cpp.o"
+  "CMakeFiles/hls_player_test.dir/hls_player_test.cpp.o.d"
+  "hls_player_test"
+  "hls_player_test.pdb"
+  "hls_player_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_player_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hls_playlist_test.dir/hls_playlist_test.cpp.o"
+  "CMakeFiles/hls_playlist_test.dir/hls_playlist_test.cpp.o.d"
+  "hls_playlist_test"
+  "hls_playlist_test.pdb"
+  "hls_playlist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hls_playlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

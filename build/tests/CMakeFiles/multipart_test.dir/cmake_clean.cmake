@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipart_test.dir/multipart_test.cpp.o"
+  "CMakeFiles/multipart_test.dir/multipart_test.cpp.o.d"
+  "multipart_test"
+  "multipart_test.pdb"
+  "multipart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onload_replay_test.dir/onload_replay_test.cpp.o"
+  "CMakeFiles/onload_replay_test.dir/onload_replay_test.cpp.o.d"
+  "onload_replay_test"
+  "onload_replay_test.pdb"
+  "onload_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onload_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

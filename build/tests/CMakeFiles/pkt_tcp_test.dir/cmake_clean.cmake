@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkt_tcp_test.dir/pkt_tcp_test.cpp.o"
+  "CMakeFiles/pkt_tcp_test.dir/pkt_tcp_test.cpp.o.d"
+  "pkt_tcp_test"
+  "pkt_tcp_test.pdb"
+  "pkt_tcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkt_tcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_integration_test.dir/proto_integration_test.cpp.o"
+  "CMakeFiles/proto_integration_test.dir/proto_integration_test.cpp.o.d"
+  "proto_integration_test"
+  "proto_integration_test.pdb"
+  "proto_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/proto_unit_test.cpp" "tests/CMakeFiles/proto_unit_test.dir/proto_unit_test.cpp.o" "gcc" "tests/CMakeFiles/proto_unit_test.dir/proto_unit_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/gol_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/gol_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/access/CMakeFiles/gol_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/gol_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gol_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/gol_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gol_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gol_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

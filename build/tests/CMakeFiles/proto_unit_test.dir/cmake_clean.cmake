@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_unit_test.dir/proto_unit_test.cpp.o"
+  "CMakeFiles/proto_unit_test.dir/proto_unit_test.cpp.o.d"
+  "proto_unit_test"
+  "proto_unit_test.pdb"
+  "proto_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

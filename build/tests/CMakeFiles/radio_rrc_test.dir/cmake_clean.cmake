@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_rrc_test.dir/radio_rrc_test.cpp.o"
+  "CMakeFiles/radio_rrc_test.dir/radio_rrc_test.cpp.o.d"
+  "radio_rrc_test"
+  "radio_rrc_test.pdb"
+  "radio_rrc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_rrc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

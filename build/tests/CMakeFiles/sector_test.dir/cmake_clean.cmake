@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sector_test.dir/sector_test.cpp.o"
+  "CMakeFiles/sector_test.dir/sector_test.cpp.o.d"
+  "sector_test"
+  "sector_test.pdb"
+  "sector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

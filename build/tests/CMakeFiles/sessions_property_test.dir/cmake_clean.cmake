@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sessions_property_test.dir/sessions_property_test.cpp.o"
+  "CMakeFiles/sessions_property_test.dir/sessions_property_test.cpp.o.d"
+  "sessions_property_test"
+  "sessions_property_test.pdb"
+  "sessions_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sessions_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

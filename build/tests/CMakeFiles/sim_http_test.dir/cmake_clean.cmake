@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_http_test.dir/sim_http_test.cpp.o"
+  "CMakeFiles/sim_http_test.dir/sim_http_test.cpp.o.d"
+  "sim_http_test"
+  "sim_http_test.pdb"
+  "sim_http_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_http_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_paths_test.dir/sim_paths_test.cpp.o"
+  "CMakeFiles/sim_paths_test.dir/sim_paths_test.cpp.o.d"
+  "sim_paths_test"
+  "sim_paths_test.pdb"
+  "sim_paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

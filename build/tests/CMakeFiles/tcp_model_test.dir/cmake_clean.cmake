@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_model_test.dir/tcp_model_test.cpp.o"
+  "CMakeFiles/tcp_model_test.dir/tcp_model_test.cpp.o.d"
+  "tcp_model_test"
+  "tcp_model_test.pdb"
+  "tcp_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_discovery_test.dir/udp_discovery_test.cpp.o"
+  "CMakeFiles/udp_discovery_test.dir/udp_discovery_test.cpp.o.d"
+  "udp_discovery_test"
+  "udp_discovery_test.pdb"
+  "udp_discovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_discovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

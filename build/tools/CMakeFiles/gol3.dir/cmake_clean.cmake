@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gol3.dir/gol3_cli.cpp.o"
+  "CMakeFiles/gol3.dir/gol3_cli.cpp.o.d"
+  "gol3"
+  "gol3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gol3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
