@@ -8,6 +8,7 @@
 #include "net/flow_network.hpp"
 #include "sim/simulator.hpp"
 #include "sim/units.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace gol::bench {
 
@@ -37,6 +38,12 @@ void banner(const std::string& id, const std::string& title,
   std::printf("%s — %s\n", id.c_str(), title.c_str());
   std::printf("paper: %s\n", paper_claim.c_str());
   std::printf("================================================================\n");
+}
+
+void exportMetrics(const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  telemetry::writeJsonSnapshot(telemetry::Registry::global(), path);
+  std::printf("metrics snapshot: %s\n", path.c_str());
 }
 
 std::string times(double factor) {

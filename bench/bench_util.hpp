@@ -26,6 +26,12 @@ Args parseArgs(int argc, char** argv, int default_reps);
 void banner(const std::string& id, const std::string& title,
             const std::string& paper_claim);
 
+/// Writes `BENCH_<name>.json` (cwd) with a snapshot of the global metrics
+/// registry — the machine-readable counterpart of the text output, so
+/// engine/scheduler/sim counters can be tracked across PRs. Call it last
+/// thing before returning from main(). Also prints the path written.
+void exportMetrics(const std::string& name);
+
 /// Formats "xN.NN" speedup strings.
 std::string times(double factor);
 

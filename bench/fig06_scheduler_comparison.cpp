@@ -90,5 +90,6 @@ int main(int argc, char** argv) {
   std::printf("\n(mean of %d repetitions per cell; paper used 30; paper "
               "2-phone MIN/RR/GRD values read off Fig 6 bottom panel)\n",
               args.reps);
+  bench::exportMetrics("fig06_scheduler_comparison");
   return 0;
 }

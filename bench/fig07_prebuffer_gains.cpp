@@ -94,5 +94,6 @@ int main(int argc, char** argv) {
                 locs[li].name.c_str(), best_gain_1ph[li], best_gain_2ph[li],
                 extra);
   }
+  bench::exportMetrics("fig07_prebuffer_gains");
   return 0;
 }

@@ -75,5 +75,6 @@ int main(int argc, char** argv) {
               "2 phones %s..%s (paper x2.2..x6.2)\n",
               bench::times(min1).c_str(), bench::times(max1).c_str(),
               bench::times(min2).c_str(), bench::times(max2).c_str());
+  bench::exportMetrics("fig09_upload_times");
   return 0;
 }

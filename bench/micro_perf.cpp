@@ -1,7 +1,13 @@
 // Micro-benchmarks (google-benchmark): cost of the hot paths — simulator
-// event processing, max-min rate recomputation, scheduler decisions, and
-// playlist parsing.
+// event processing, max-min rate recomputation, scheduler decisions,
+// playlist parsing, full engine transactions, and the telemetry fast path.
+// Exits by writing BENCH_micro_perf.json with the accumulated engine /
+// scheduler / telemetry counters.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <optional>
 
 #include "core/engine.hpp"
 #include "core/greedy_scheduler.hpp"
@@ -10,10 +16,56 @@
 #include "net/flow_network.hpp"
 #include "sim/simulator.hpp"
 #include "sim/units.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
 using namespace gol;
+
+/// Constant-rate TransferPath: isolates engine + scheduler cost from the
+/// fluid network's rate recomputation.
+class ConstRatePath : public core::TransferPath {
+ public:
+  ConstRatePath(sim::Simulator& sim, std::string name, double rate_bps)
+      : sim_(sim), name_(std::move(name)), rate_bps_(rate_bps) {}
+
+  const std::string& name() const override { return name_; }
+  bool busy() const override { return item_.has_value(); }
+  const core::Item* currentItem() const override {
+    return item_ ? &*item_ : nullptr;
+  }
+  double nominalRateBps() const override { return rate_bps_; }
+
+  void start(const core::Item& item,
+             std::function<void(const core::Item&)> done) override {
+    item_ = item;
+    started_at_ = sim_.now();
+    event_ = sim_.scheduleIn(item.bytes * 8.0 / rate_bps_,
+                             [this, done = std::move(done)] {
+                               const core::Item finished = *item_;
+                               item_.reset();
+                               event_ = 0;
+                               done(finished);
+                             });
+  }
+
+  double abortCurrent() override {
+    if (!item_) return 0.0;
+    sim_.cancel(event_);
+    event_ = 0;
+    const double moved = (sim_.now() - started_at_) * rate_bps_ / 8.0;
+    item_.reset();
+    return moved;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  std::string name_;
+  double rate_bps_;
+  std::optional<core::Item> item_;
+  sim::EventId event_ = 0;
+  double started_at_ = 0;
+};
 
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   for (auto _ : state) {
@@ -101,6 +153,82 @@ void BM_EndToEndVodTransaction(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndVodTransaction);
 
+void BM_EngineTransaction(benchmark::State& state) {
+  // Full engine run over constant-rate paths: dispatch, completion
+  // callbacks, duplicate aborts, waste accounting, and the telemetry
+  // counters the engine feeds on every one of those (into the global
+  // registry, so the exported BENCH_micro_perf.json carries them).
+  const std::size_t items = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.instrument(&telemetry::Registry::global());
+    ConstRatePath adsl(sim, "adsl", sim::mbps(2));
+    ConstRatePath ph0(sim, "3g0", sim::mbps(1.5));
+    ConstRatePath ph1(sim, "3g1", sim::mbps(1.1));
+    core::GreedyScheduler scheduler;
+    core::TransactionEngine engine(sim, {&adsl, &ph0, &ph1}, scheduler);
+    core::Transaction txn = core::makeTransaction(
+        core::TransferDirection::kDownload,
+        std::vector<double>(items, 250e3), "seg");
+    std::optional<core::TransactionResult> result;
+    engine.run(std::move(txn),
+               [&result](core::TransactionResult r) { result = std::move(r); });
+    sim.run();
+    benchmark::DoNotOptimize(result->wasted_bytes);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(items));
+}
+BENCHMARK(BM_EngineTransaction)->Arg(20)->Arg(200);
+
+void BM_TelemetryCounterInc(benchmark::State& state) {
+  // The lock-free fast path components sit on: one cached-counter add.
+  telemetry::Registry registry;
+  telemetry::Counter& c = registry.counter("gol.bench.counter");
+  for (auto _ : state) {
+    c.inc(1.0);
+    benchmark::DoNotOptimize(c.value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryCounterInc);
+
+void BM_TelemetryRegistryLookup(benchmark::State& state) {
+  // The slow path: name+label lookup under the registry mutex. Call sites
+  // are expected to cache; this bounds the cost when they cannot.
+  telemetry::Registry registry;
+  const telemetry::Labels labels{{"path", "3g0"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        &registry.counter("gol.engine.path_bytes", labels));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryRegistryLookup);
+
+void BM_TelemetryHistogramObserve(benchmark::State& state) {
+  telemetry::Registry registry;
+  telemetry::Histogram& h = registry.histogram(
+      "gol.bench.hist", {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10});
+  double v = 0;
+  for (auto _ : state) {
+    v = v > 11 ? 0 : v + 1e-3;
+    h.observe(v);
+  }
+  benchmark::DoNotOptimize(h.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryHistogramObserve);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  gol::telemetry::writeJsonSnapshot(gol::telemetry::Registry::global(),
+                                    "BENCH_micro_perf.json");
+  std::printf("metrics snapshot: BENCH_micro_perf.json\n");
+  return 0;
+}

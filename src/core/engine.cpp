@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace gol::core {
@@ -8,12 +9,51 @@ namespace gol::core {
 TransactionEngine::TransactionEngine(sim::Simulator& sim,
                                      std::vector<TransferPath*> paths,
                                      Scheduler& scheduler)
-    : sim_(sim), scheduler_(scheduler) {
+    : sim_(sim),
+      scheduler_(scheduler),
+      registry_(&telemetry::Registry::global()) {
   if (paths.empty())
     throw std::invalid_argument("TransactionEngine needs >= 1 path");
   for (TransferPath* p : paths) {
     if (p == nullptr) throw std::invalid_argument("null TransferPath");
-    paths_.push_back(PathState{p, 0});
+    paths_.push_back(PathState{p, 0, 0, nullptr, nullptr});
+  }
+}
+
+void TransactionEngine::instrument(telemetry::Registry* registry,
+                                   telemetry::TraceRecorder* trace) {
+  registry_ = registry;
+  trace_ = trace;
+  // Force a re-bind on the next run (instruments may point elsewhere now).
+  transactions_ = nullptr;
+  for (auto& ps : paths_) {
+    ps.bytes = nullptr;
+    ps.wasted = nullptr;
+  }
+  if (trace_) {
+    trace_->setTrackName(0, "engine");
+    for (std::size_t p = 0; p < paths_.size(); ++p)
+      trace_->setTrackName(static_cast<int>(p) + 1, paths_[p].path->name());
+  }
+}
+
+void TransactionEngine::bindInstruments() {
+  if (registry_ == nullptr || transactions_ != nullptr) return;
+  auto& r = *registry_;
+  transactions_ = &r.counter("gol.engine.transactions");
+  dispatched_ = &r.counter("gol.engine.items_dispatched");
+  completed_ = &r.counter("gol.engine.items_completed");
+  duplicated_ = &r.counter("gol.engine.items_duplicated");
+  aborted_ = &r.counter("gol.engine.items_aborted");
+  wasted_bytes_ = &r.counter("gol.engine.wasted_bytes");
+  const telemetry::Labels policy{{"policy", scheduler_.name()}};
+  decisions_ = &r.counter("gol.scheduler.decisions", policy);
+  idle_decisions_ = &r.counter("gol.scheduler.idle_decisions", policy);
+  reschedules_ = &r.counter("gol.scheduler.reschedules", policy);
+  for (auto& ps : paths_) {
+    const telemetry::Labels path{{"path", ps.path->name()}};
+    ps.bytes = &r.counter("gol.engine.path_bytes", path);
+    ps.wasted = &r.counter("gol.engine.path_wasted_bytes", path);
   }
 }
 
@@ -28,6 +68,10 @@ void TransactionEngine::run(Transaction txn,
   result_.item_completion_s.assign(txn_.items.size(), 0.0);
   done_count_ = 0;
   started_at_ = sim_.now();
+
+  bindInstruments();
+  if (transactions_) transactions_->inc();
+  if (trace_) txn_span_ = trace_->begin("transaction", "engine", 0);
 
   items_.clear();
   items_.reserve(txn_.items.size());
@@ -56,7 +100,11 @@ void TransactionEngine::dispatch(std::size_t path_index) {
 
   EngineView view{&items_, paths_.size(), sim_.now()};
   const auto choice = scheduler_.nextItem(view, path_index);
-  if (!choice) return;
+  if (!choice) {
+    if (idle_decisions_) idle_decisions_->inc();
+    return;
+  }
+  if (decisions_) decisions_->inc();
   const std::size_t idx = *choice;
   ItemView& iv = items_.at(idx);
   if (iv.status == ItemStatus::kDone)
@@ -70,7 +118,13 @@ void TransactionEngine::dispatch(std::size_t path_index) {
     iv.first_assigned_at = sim_.now();
   } else {
     ++result_.duplicated_items;
+    if (duplicated_) duplicated_->inc();
+    if (reschedules_) reschedules_->inc();
   }
+  if (dispatched_) dispatched_->inc();
+  if (trace_)
+    ps.span = trace_->begin(iv.item->name, "engine",
+                            static_cast<int>(path_index) + 1);
   iv.carriers.push_back(path_index);
   ps.busy_since = sim_.now();
   ps.path->start(*iv.item, [this, path_index](const Item& item) {
@@ -90,6 +144,14 @@ void TransactionEngine::onItemDone(std::size_t path_index, const Item& item) {
         std::remove(iv.carriers.begin(), iv.carriers.end(), path_index),
         iv.carriers.end());
     result_.wasted_bytes += item.bytes;
+    result_.per_path_wasted_bytes[ps.path->name()] += item.bytes;
+    if (aborted_) aborted_->inc();
+    if (wasted_bytes_) wasted_bytes_->inc(item.bytes);
+    if (ps.wasted) ps.wasted->inc(item.bytes);
+    if (trace_ && ps.span) {
+      trace_->end(ps.span, {{"outcome", "lost-race"}});
+      ps.span = 0;
+    }
     dispatch(path_index);
     return;
   }
@@ -98,6 +160,12 @@ void TransactionEngine::onItemDone(std::size_t path_index, const Item& item) {
   ++done_count_;
   result_.item_completion_s[item.index] = sim_.now() - started_at_;
   result_.per_path_bytes[ps.path->name()] += item.bytes;
+  if (completed_) completed_->inc();
+  if (ps.bytes) ps.bytes->inc(item.bytes);
+  if (trace_ && ps.span) {
+    trace_->end(ps.span, {{"outcome", "completed"}});
+    ps.span = 0;
+  }
   scheduler_.onItemComplete(path_index, item, sim_.now() - ps.busy_since);
 
   // Abort the losing duplicates and free their paths.
@@ -105,7 +173,17 @@ void TransactionEngine::onItemDone(std::size_t path_index, const Item& item) {
   iv.carriers.clear();
   for (std::size_t other : others) {
     if (other == path_index) continue;
-    result_.wasted_bytes += paths_[other].path->abortCurrent();
+    PathState& os = paths_[other];
+    const double moved = os.path->abortCurrent();
+    result_.wasted_bytes += moved;
+    result_.per_path_wasted_bytes[os.path->name()] += moved;
+    if (aborted_) aborted_->inc();
+    if (wasted_bytes_) wasted_bytes_->inc(moved);
+    if (os.wasted) os.wasted->inc(moved);
+    if (trace_ && os.span) {
+      trace_->end(os.span, {{"outcome", "aborted"}});
+      os.span = 0;
+    }
   }
 
   if (done_count_ == txn_.items.size()) {
@@ -118,9 +196,35 @@ void TransactionEngine::onItemDone(std::size_t path_index, const Item& item) {
   dispatch(path_index);
 }
 
+void TransactionEngine::checkAccounting() const {
+  // Documented invariant: every byte a path moved is either a delivered
+  // payload byte or waste — per_path_bytes sums to total_bytes and
+  // per_path_wasted_bytes sums to wasted_bytes. Tolerance covers the
+  // different summation orders of the two sides.
+  double delivered = 0;
+  for (const auto& [name, b] : result_.per_path_bytes) delivered += b;
+  double wasted = 0;
+  for (const auto& [name, b] : result_.per_path_wasted_bytes) wasted += b;
+  const double eps = 1e-6 * std::max(1.0, result_.total_bytes +
+                                              result_.wasted_bytes);
+  if (std::abs(delivered - result_.total_bytes) > eps ||
+      std::abs(wasted - result_.wasted_bytes) > eps) {
+    throw std::logic_error(
+        "TransactionEngine accounting broken: per-path bytes do not sum to "
+        "total_bytes + wasted_bytes");
+  }
+}
+
 void TransactionEngine::finish() {
   active_ = false;
   result_.duration_s = sim_.now() - started_at_;
+  checkAccounting();
+  if (trace_ && txn_span_) {
+    trace_->end(txn_span_,
+                {{"items", std::to_string(txn_.items.size())},
+                 {"wasted_bytes", std::to_string(result_.wasted_bytes)}});
+    txn_span_ = 0;
+  }
   if (on_done_) {
     auto cb = std::move(on_done_);
     cb(std::move(result_));

@@ -13,6 +13,8 @@
 #include "core/scheduler.hpp"
 #include "core/transfer_path.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace gol::core {
 
@@ -26,9 +28,20 @@ struct TransactionResult {
   std::vector<double> item_completion_s;
   /// Payload bytes successfully delivered per path name.
   std::map<std::string, double> per_path_bytes;
+  /// Bytes moved by duplicates that lost the race, per path name.
+  /// Invariant (checked by the engine at finish): per_path_bytes sums to
+  /// total_bytes and per_path_wasted_bytes sums to wasted_bytes, i.e. all
+  /// bytes any path moved equal total_bytes + wasted_bytes.
+  std::map<std::string, double> per_path_wasted_bytes;
 
   double goodputBps() const {
     return duration_s > 0 ? total_bytes * 8.0 / duration_s : 0.0;
+  }
+  /// Fraction of all bytes moved (payload + duplicates) that were waste —
+  /// the paper's Sec. 4.1.1 overhead figure, bounded by (N-1)*Sm / total.
+  double wastedFraction() const {
+    const double moved = total_bytes + wasted_bytes;
+    return moved > 0 ? wasted_bytes / moved : 0.0;
   }
 };
 
@@ -38,6 +51,14 @@ class TransactionEngine {
                     Scheduler& scheduler);
   TransactionEngine(const TransactionEngine&) = delete;
   TransactionEngine& operator=(const TransactionEngine&) = delete;
+
+  /// Redirects metrics to `registry` (default: Registry::global();
+  /// nullptr silences them) and, when `trace` is non-null, records one
+  /// span per item-on-path attempt — track 0 is the transaction, track
+  /// 1+p is path p. The recorder's clock should be this engine's
+  /// simulator clock so timestamps share the sim domain.
+  void instrument(telemetry::Registry* registry,
+                  telemetry::TraceRecorder* trace = nullptr);
 
   /// Runs one transaction; `on_done` fires when the last item completes.
   /// Only one transaction may be active per engine at a time.
@@ -49,15 +70,34 @@ class TransactionEngine {
   struct PathState {
     TransferPath* path;
     double busy_since = 0;
+    telemetry::SpanId span = 0;  ///< Open span for the in-flight item.
+    // Cached per-path instruments (label path=<name>), set per run().
+    telemetry::Counter* bytes = nullptr;
+    telemetry::Counter* wasted = nullptr;
   };
 
   void dispatch(std::size_t path_index);
   void onItemDone(std::size_t path_index, const Item& item);
   void finish();
+  void bindInstruments();
+  void checkAccounting() const;
 
   sim::Simulator& sim_;
   std::vector<PathState> paths_;
   Scheduler& scheduler_;
+
+  telemetry::Registry* registry_;
+  telemetry::TraceRecorder* trace_ = nullptr;
+  // Engine-wide instruments, bound lazily on the first run().
+  telemetry::Counter* transactions_ = nullptr;
+  telemetry::Counter* dispatched_ = nullptr;
+  telemetry::Counter* completed_ = nullptr;
+  telemetry::Counter* duplicated_ = nullptr;
+  telemetry::Counter* aborted_ = nullptr;
+  telemetry::Counter* wasted_bytes_ = nullptr;
+  telemetry::Counter* decisions_ = nullptr;
+  telemetry::Counter* idle_decisions_ = nullptr;
+  telemetry::Counter* reschedules_ = nullptr;
 
   Transaction txn_;
   std::vector<ItemView> items_;
@@ -66,6 +106,7 @@ class TransactionEngine {
   double started_at_ = 0;
   std::size_t done_count_ = 0;
   bool active_ = false;
+  telemetry::SpanId txn_span_ = 0;
 };
 
 }  // namespace gol::core

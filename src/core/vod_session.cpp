@@ -19,6 +19,7 @@ VodOutcome VodSession::run(const VodOptions& opts) {
   const hls::SegmentedVideo video = hls::segmentVideo(opts.video);
   const std::string playlist_text = video.playlist.serialize();
   {
+    telemetry::Span playlist_span(opts.trace, "playlist_fetch", "vod", 0);
     std::optional<double> done;
     http::TransferRequest req;
     // Rebuild the ADSL path directly for the playlist fetch.
@@ -60,6 +61,8 @@ VodOutcome VodSession::run(const VodOptions& opts) {
     scheduler = makeScheduler(opts.scheduler);
   }
   TransactionEngine engine(sim, raw, *scheduler);
+  if (opts.trace)
+    engine.instrument(&telemetry::Registry::global(), opts.trace);
 
   Transaction txn = makeTransaction(TransferDirection::kDownload,
                                     video.segment_bytes, "seg");

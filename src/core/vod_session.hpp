@@ -11,6 +11,7 @@
 #include "core/home.hpp"
 #include "hls/player.hpp"
 #include "hls/segmenter.hpp"
+#include "telemetry/span.hpp"
 
 namespace gol::core {
 
@@ -29,6 +30,12 @@ struct VodOptions {
   /// urgency-gated duplication. Cuts stalls when playback starts before
   /// the download completes.
   bool playout_aware = false;
+  /// When set, the run records trace spans (playlist fetch, transaction,
+  /// one span per item-on-path attempt) into this recorder. Construct it
+  /// with the home's simulator clock so timestamps are sim-time:
+  ///   telemetry::TraceRecorder rec(
+  ///       telemetry::Clock{[&sim] { return sim.now(); }});
+  telemetry::TraceRecorder* trace = nullptr;
 };
 
 struct VodOutcome {

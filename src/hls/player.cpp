@@ -7,7 +7,8 @@ namespace gol::hls {
 
 PlayoutResult analyzePlayout(const std::vector<double>& arrival_s,
                              const std::vector<double>& duration_s,
-                             std::size_t prebuffer_segments) {
+                             std::size_t prebuffer_segments,
+                             telemetry::Registry* registry) {
   if (arrival_s.size() != duration_s.size())
     throw std::invalid_argument("analyzePlayout: size mismatch");
   PlayoutResult res;
@@ -15,10 +16,25 @@ PlayoutResult analyzePlayout(const std::vector<double>& arrival_s,
   prebuffer_segments = std::clamp<std::size_t>(prebuffer_segments, 1,
                                                arrival_s.size());
 
+  telemetry::Registry& reg =
+      registry ? *registry : telemetry::Registry::global();
+  telemetry::Counter& stalls = reg.counter("gol.hls.stall_events");
+  telemetry::Counter& stall_s = reg.counter("gol.hls.stall_seconds");
+  telemetry::Gauge& buffer_gauge = reg.gauge("gol.hls.buffer_level_segments");
+  telemetry::Histogram& buffer_hist = reg.histogram(
+      "gol.hls.buffer_level", {0, 1, 2, 4, 8, 16, 32, 64, 128});
+  reg.counter("gol.hls.playbacks").inc();
+
   // Startup: all pre-buffered segments present.
   res.startup_delay_s =
       *std::max_element(arrival_s.begin(),
                         arrival_s.begin() + static_cast<long>(prebuffer_segments));
+
+  // Sorted arrivals let the loop track buffer occupancy (downloaded but not
+  // yet played) with one advancing cursor instead of a rescan per segment.
+  std::vector<double> sorted_arrivals = arrival_s;
+  std::sort(sorted_arrivals.begin(), sorted_arrivals.end());
+  std::size_t arrived = 0;
 
   // Playout: segment i is needed at play_clock; stall if not yet arrived.
   double clock = res.startup_delay_s;
@@ -26,8 +42,17 @@ PlayoutResult analyzePlayout(const std::vector<double>& arrival_s,
     if (arrival_s[i] > clock) {
       res.total_stall_s += arrival_s[i] - clock;
       ++res.stall_events;
+      stalls.inc();
+      stall_s.inc(arrival_s[i] - clock);
       clock = arrival_s[i];
     }
+    while (arrived < sorted_arrivals.size() &&
+           sorted_arrivals[arrived] <= clock) {
+      ++arrived;
+    }
+    const double buffered = static_cast<double>(arrived - (i + 1) + 1);
+    buffer_gauge.set(buffered);
+    buffer_hist.observe(buffered);
     clock += duration_s[i];
   }
   res.playback_end_s = clock;

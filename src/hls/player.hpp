@@ -7,6 +7,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+
 namespace gol::hls {
 
 struct PlayoutResult {
@@ -24,9 +26,16 @@ struct PlayoutResult {
 /// its media duration. Playback begins once the first `prebuffer_segments`
 /// have all arrived and then consumes segments in order at real-time speed,
 /// stalling whenever the next segment has not arrived.
+///
+/// Telemetry goes to `registry` (nullptr means Registry::global()):
+/// `gol.hls.playbacks` / `gol.hls.stall_events` / `gol.hls.stall_seconds`
+/// counters, the `gol.hls.buffer_level_segments` gauge (downloaded-not-yet-
+/// played segments when the last one starts playing), and a
+/// `gol.hls.buffer_level` histogram sampled at every segment boundary.
 PlayoutResult analyzePlayout(const std::vector<double>& arrival_s,
                              const std::vector<double>& duration_s,
-                             std::size_t prebuffer_segments);
+                             std::size_t prebuffer_segments,
+                             telemetry::Registry* registry = nullptr);
 
 /// Pre-buffer expressed as a fraction of the video (the paper sweeps 20 %
 /// to 100 % of the video length): number of whole segments covering

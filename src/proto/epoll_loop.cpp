@@ -87,6 +87,7 @@ void EpollLoop::fireDueTimers() {
       std::push_heap(timers_.begin(), timers_.end());
       break;
     }
+    if (timers_fired_) timers_fired_->inc();
     t.fn();
   }
 }
@@ -104,6 +105,7 @@ std::chrono::milliseconds EpollLoop::nextTimerWait(
 }
 
 void EpollLoop::poll(std::chrono::milliseconds max_wait) {
+  if (poll_iterations_) poll_iterations_->inc();
   fireDueTimers();
   epoll_event events[64];
   const int n =
@@ -117,6 +119,7 @@ void EpollLoop::poll(std::chrono::milliseconds max_wait) {
     const int fd = events[i].data.fd;
     auto it = callbacks_.find(fd);
     if (it == callbacks_.end()) continue;  // removed by an earlier callback
+    if (events_dispatched_) events_dispatched_->inc();
     const bool readable =
         (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0;
     const bool writable = (events[i].events & (EPOLLOUT | EPOLLERR)) != 0;
@@ -125,6 +128,18 @@ void EpollLoop::poll(std::chrono::milliseconds max_wait) {
     cb(readable, writable);
   }
   fireDueTimers();
+}
+
+void EpollLoop::instrument(telemetry::Registry* registry) {
+  if (registry == nullptr) {
+    poll_iterations_ = nullptr;
+    events_dispatched_ = nullptr;
+    timers_fired_ = nullptr;
+    return;
+  }
+  poll_iterations_ = &registry->counter("gol.proto.poll_iterations");
+  events_dispatched_ = &registry->counter("gol.proto.events_dispatched");
+  timers_fired_ = &registry->counter("gol.proto.timers_fired");
 }
 
 bool EpollLoop::runUntil(const std::function<bool()>& predicate,

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "proto/socket.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace gol::proto {
 
@@ -47,6 +48,10 @@ class EpollLoop {
   bool runUntil(const std::function<bool()>& predicate,
                 std::chrono::milliseconds deadline);
 
+  /// Publishes `gol.proto.poll_iterations`, `gol.proto.events_dispatched`,
+  /// and `gol.proto.timers_fired` into `registry` (nullptr detaches).
+  void instrument(telemetry::Registry* registry);
+
  private:
   struct Timer {
     Clock::time_point due;
@@ -63,6 +68,9 @@ class EpollLoop {
       std::chrono::milliseconds max_wait) const;
 
   Fd epoll_fd_;
+  telemetry::Counter* poll_iterations_ = nullptr;
+  telemetry::Counter* events_dispatched_ = nullptr;
+  telemetry::Counter* timers_fired_ = nullptr;
   std::map<int, Callback> callbacks_;
   std::vector<Timer> timers_;  // heap
   TimerId next_timer_ = 1;

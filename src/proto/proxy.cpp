@@ -27,10 +27,25 @@ OnloadProxy::~OnloadProxy() {
   if (listener_.fd.valid()) loop_.remove(listener_.fd.get());
 }
 
+void OnloadProxy::instrument(telemetry::Registry* registry) {
+  if (registry == nullptr) {
+    accepts_ = closes_ = bytes_down_ = bytes_up_ = nullptr;
+    active_gauge_ = nullptr;
+    return;
+  }
+  accepts_ = &registry->counter("gol.proto.proxy_accepts");
+  closes_ = &registry->counter("gol.proto.proxy_closes");
+  bytes_down_ =
+      &registry->counter("gol.proto.bytes_proxied", {{"dir", "down"}});
+  bytes_up_ = &registry->counter("gol.proto.bytes_proxied", {{"dir", "up"}});
+  active_gauge_ = &registry->gauge("gol.proto.proxy_active_connections");
+}
+
 void OnloadProxy::onAccept() {
   while (auto client = acceptOne(listener_.fd.get())) {
     auto upstream = connectTcp(cfg_.upstream_port);
     if (!upstream) continue;  // origin unavailable: drop the client
+    if (accepts_) accepts_->inc();
     auto pipe = std::make_unique<Pipe>(cfg_.up_bps, cfg_.down_bps);
     const int ckey = client->get();
     const int ukey = upstream->get();
@@ -43,6 +58,7 @@ void OnloadProxy::onAccept() {
               [this, ckey](bool, bool) { onEvent(ckey, true); });
     loop_.add(ukey, Interest::kReadWrite,
               [this, ckey](bool, bool) { onEvent(ckey, false); });
+    if (active_gauge_) active_gauge_->set(static_cast<double>(pipes_.size()));
   }
 }
 
@@ -116,6 +132,7 @@ void OnloadProxy::pump(int pipe_key) {
       if (n > 0) {
         pipe.down_limiter.consume(static_cast<std::size_t>(n));
         relayed_down_ += static_cast<std::size_t>(n);
+        if (bytes_down_) bytes_down_->inc(static_cast<double>(n));
         pipe.to_client.erase(0, static_cast<std::size_t>(n));
       }
     }
@@ -134,6 +151,7 @@ void OnloadProxy::pump(int pipe_key) {
       if (n > 0) {
         pipe.up_limiter.consume(static_cast<std::size_t>(n));
         relayed_up_ += static_cast<std::size_t>(n);
+        if (bytes_up_) bytes_up_->inc(static_cast<double>(n));
         pipe.to_upstream.erase(0, static_cast<std::size_t>(n));
       }
     }
@@ -189,6 +207,8 @@ void OnloadProxy::closePipe(int pipe_key) {
   loop_.remove(pipe.upstream.get());
   upstream_to_pipe_.erase(pipe.upstream.get());
   pipes_.erase(it);
+  if (closes_) closes_->inc();
+  if (active_gauge_) active_gauge_->set(static_cast<double>(pipes_.size()));
 }
 
 }  // namespace gol::proto

@@ -13,6 +13,7 @@
 #include "proto/epoll_loop.hpp"
 #include "proto/rate_limiter.hpp"
 #include "proto/socket.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace gol::proto {
 
@@ -35,6 +36,11 @@ class OnloadProxy {
   std::size_t bytesRelayedDown() const { return relayed_down_; }
   std::size_t bytesRelayedUp() const { return relayed_up_; }
   std::size_t activeConnections() const { return pipes_.size(); }
+
+  /// Publishes accept/close counters, per-direction relayed-byte counters
+  /// (`gol.proto.bytes_proxied{dir=down|up}`), and an active-connections
+  /// gauge into `registry` (nullptr detaches).
+  void instrument(telemetry::Registry* registry);
 
  private:
   /// Bytes waiting out the emulated one-way latency before they become
@@ -87,6 +93,11 @@ class OnloadProxy {
   std::map<int, int> upstream_to_pipe_;
   std::size_t relayed_down_ = 0;
   std::size_t relayed_up_ = 0;
+  telemetry::Counter* accepts_ = nullptr;
+  telemetry::Counter* closes_ = nullptr;
+  telemetry::Counter* bytes_down_ = nullptr;
+  telemetry::Counter* bytes_up_ = nullptr;
+  telemetry::Gauge* active_gauge_ = nullptr;
 };
 
 }  // namespace gol::proto

@@ -32,6 +32,10 @@ bool Simulator::step() {
     }
     now_ = top.at;
     ++processed_;
+    if (events_fired_) {
+      events_fired_->inc();
+      queue_depth_->set(static_cast<double>(pendingEvents()));
+    }
     top.fn();
     return true;
   }
@@ -60,6 +64,16 @@ void Simulator::runUntil(Time t) {
 
 std::size_t Simulator::pendingEvents() const {
   return queue_.size() - cancelled_.size();
+}
+
+void Simulator::instrument(telemetry::Registry* registry) {
+  if (registry == nullptr) {
+    events_fired_ = nullptr;
+    queue_depth_ = nullptr;
+    return;
+  }
+  events_fired_ = &registry->counter("gol.sim.events_fired");
+  queue_depth_ = &registry->gauge("gol.sim.queue_depth");
 }
 
 }  // namespace gol::sim

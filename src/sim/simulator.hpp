@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/units.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace gol::sim {
 
@@ -44,6 +45,11 @@ class Simulator {
   std::size_t pendingEvents() const;
   std::uint64_t processedEvents() const { return processed_; }
 
+  /// Publishes `gol.sim.events_fired` and the `gol.sim.queue_depth` gauge
+  /// into `registry` (nullptr detaches). Off by default: simulators are
+  /// created per-test and most of them don't want shared-registry traffic.
+  void instrument(telemetry::Registry* registry);
+
  private:
   struct Entry {
     Time at;
@@ -60,6 +66,8 @@ class Simulator {
   Time now_ = 0.0;
   EventId next_id_ = 1;
   std::uint64_t processed_ = 0;
+  telemetry::Counter* events_fired_ = nullptr;
+  telemetry::Gauge* queue_depth_ = nullptr;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
 };

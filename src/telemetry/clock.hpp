@@ -1,0 +1,41 @@
+// Pluggable time source for trace spans. Two clock domains exist in this
+// codebase: wall time (the live prototype under src/proto/) and simulated
+// time (sim::Simulator::now()). Telemetry sits below both layers, so the
+// binding is a plain function — callers wrap whichever clock they live in:
+//
+//   telemetry::TraceRecorder rec(telemetry::Clock::wall());
+//   telemetry::TraceRecorder rec(telemetry::Clock{[&sim] { return sim.now(); }});
+//
+// A recorder's timestamps are all drawn from one clock, so every track in
+// an exported trace shares a single, monotone domain.
+#pragma once
+
+#include <chrono>
+#include <functional>
+
+namespace gol::telemetry {
+
+struct Clock {
+  /// Current time in seconds; only differences matter, the epoch is
+  /// whatever the source defines.
+  std::function<double()> now_s;
+
+  double operator()() const { return now_s(); }
+
+  /// Monotonic wall clock (std::chrono::steady_clock).
+  static Clock wall() {
+    return Clock{[] {
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    }};
+  }
+
+  /// Fixed clock, for tests that want exact timestamps. The pointee must
+  /// outlive the recorder.
+  static Clock manual(const double* now_s_ptr) {
+    return Clock{[now_s_ptr] { return *now_s_ptr; }};
+  }
+};
+
+}  // namespace gol::telemetry

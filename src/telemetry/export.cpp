@@ -1,0 +1,141 @@
+#include "telemetry/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace gol::telemetry {
+
+std::string jsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string jsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+namespace {
+
+std::string labelsJson(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += jsonQuote(k) + ":" + jsonQuote(v);
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string toJson(const Snapshot& snap) {
+  std::string out = "{\"schema\":\"gol.metrics.v1\",\"metrics\":[";
+  bool first = true;
+  for (const auto& e : snap.entries) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":" + jsonQuote(e.name) +
+           ",\"labels\":" + labelsJson(e.labels);
+    switch (e.kind) {
+      case SnapshotEntry::Kind::kCounter:
+        out += ",\"kind\":\"counter\",\"value\":" + jsonNumber(e.value);
+        break;
+      case SnapshotEntry::Kind::kGauge:
+        out += ",\"kind\":\"gauge\",\"value\":" + jsonNumber(e.value);
+        break;
+      case SnapshotEntry::Kind::kHistogram: {
+        out += ",\"kind\":\"histogram\",\"count\":" +
+               std::to_string(e.count) + ",\"sum\":" + jsonNumber(e.value) +
+               ",\"buckets\":[";
+        for (std::size_t i = 0; i < e.counts.size(); ++i) {
+          if (i) out += ',';
+          const std::string le = i < e.bounds.size()
+                                     ? jsonNumber(e.bounds[i])
+                                     : std::string("\"+Inf\"");
+          out += "{\"le\":" + le +
+                 ",\"count\":" + std::to_string(e.counts[i]) + "}";
+        }
+        out += ']';
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string toLineProtocol(const Snapshot& snap) {
+  std::string out;
+  for (const auto& e : snap.entries) {
+    out += e.name;
+    for (const auto& [k, v] : e.labels) {
+      out += ',';
+      out += k;
+      out += '=';
+      out += v;
+    }
+    switch (e.kind) {
+      case SnapshotEntry::Kind::kCounter:
+      case SnapshotEntry::Kind::kGauge:
+        out += " value=" + jsonNumber(e.value);
+        break;
+      case SnapshotEntry::Kind::kHistogram: {
+        out += " count=" + std::to_string(e.count) +
+               " sum=" + jsonNumber(e.value);
+        for (std::size_t i = 0; i < e.counts.size(); ++i) {
+          const std::string le =
+              i < e.bounds.size() ? jsonNumber(e.bounds[i]) : "Inf";
+          out += " le" + le + "=" + std::to_string(e.counts[i]);
+        }
+        break;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void writeJsonSnapshot(const Registry& registry, const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open metrics output: " + path);
+  f << toJson(registry.snapshot());
+  if (!f) throw std::runtime_error("short write on metrics output: " + path);
+}
+
+}  // namespace gol::telemetry

@@ -1,0 +1,33 @@
+// Exporters for registry snapshots: a machine-readable JSON document (the
+// `BENCH_<name>.json` cross-PR trajectory format) and a line-protocol text
+// dump (grep/awk-friendly, one instrument per line).
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace gol::telemetry {
+
+/// JSON string literal with escaping.
+std::string jsonQuote(const std::string& s);
+/// Finite doubles as shortest round-trip decimal; NaN/Inf as 0 (JSON has
+/// no literal for them).
+std::string jsonNumber(double v);
+
+/// {"schema":"gol.metrics.v1","metrics":[{"name":...,"labels":{...},
+///  "kind":"counter|gauge|histogram","value":...}, ...]}
+/// Histogram entries carry "buckets":[{"le":bound|"+Inf","count":n}],
+/// "count" and "sum" instead of "value".
+std::string toJson(const Snapshot& snap);
+
+/// One instrument per line:
+///   gol.engine.bytes,path=3g0 value=123456
+///   gol.sim.event_dt,unit=s count=42 sum=1.5 le0.001=40 leInf=2
+std::string toLineProtocol(const Snapshot& snap);
+
+/// Snapshots `registry` and writes toJson() to `path`; throws
+/// std::runtime_error on I/O failure.
+void writeJsonSnapshot(const Registry& registry, const std::string& path);
+
+}  // namespace gol::telemetry

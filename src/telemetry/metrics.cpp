@@ -1,0 +1,129 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gol::telemetry {
+
+namespace {
+
+/// Instrument identity: name plus canonically-ordered labels (Labels is a
+/// std::map, so iteration order is already canonical).
+std::string slotKey(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';  // unit separator: cannot appear in sane label text
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram needs >= 1 bucket bound");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("Histogram bounds must be sorted ascending");
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomicAdd(sum_, v);
+}
+
+const SnapshotEntry* Snapshot::find(const std::string& name,
+                                    const Labels& labels) const {
+  for (const auto& e : entries) {
+    if (e.name != name) continue;
+    if (!labels.empty() && e.labels != labels) continue;
+    return &e;
+  }
+  return nullptr;
+}
+
+Registry::Slot& Registry::findOrCreate(const std::string& name,
+                                       const Labels& labels,
+                                       SnapshotEntry::Kind kind) {
+  const std::string key = slotKey(name, labels);
+  if (auto it = index_.find(key); it != index_.end()) {
+    if (it->second->kind != kind)
+      throw std::logic_error("telemetry instrument '" + name +
+                             "' re-registered with a different kind");
+    return *it->second;
+  }
+  slots_.push_back(Slot{name, labels, kind, nullptr, nullptr, nullptr});
+  Slot& slot = slots_.back();
+  index_[key] = &slot;
+  return slot;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = findOrCreate(name, labels, SnapshotEntry::Kind::kCounter);
+  if (!slot.counter) slot.counter = std::make_unique<Counter>();
+  return *slot.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = findOrCreate(name, labels, SnapshotEntry::Kind::kGauge);
+  if (!slot.gauge) slot.gauge = std::make_unique<Gauge>();
+  return *slot.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> upper_bounds,
+                               const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = findOrCreate(name, labels, SnapshotEntry::Kind::kHistogram);
+  if (!slot.histogram)
+    slot.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot.histogram;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.entries.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    SnapshotEntry e;
+    e.name = slot.name;
+    e.labels = slot.labels;
+    e.kind = slot.kind;
+    switch (slot.kind) {
+      case SnapshotEntry::Kind::kCounter:
+        e.value = slot.counter->value();
+        break;
+      case SnapshotEntry::Kind::kGauge:
+        e.value = slot.gauge->value();
+        break;
+      case SnapshotEntry::Kind::kHistogram: {
+        const Histogram& h = *slot.histogram;
+        e.bounds = h.bounds();
+        e.counts.reserve(e.bounds.size() + 1);
+        for (std::size_t i = 0; i <= e.bounds.size(); ++i)
+          e.counts.push_back(h.bucketCount(i));
+        e.count = h.count();
+        e.value = h.sum();
+        break;
+      }
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace gol::telemetry

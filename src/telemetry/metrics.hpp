@@ -1,0 +1,145 @@
+// Thread-safe metrics registry: named counters, gauges, and fixed-bucket
+// histograms, optionally labeled (`path="3g0"`). Instrument lookup takes a
+// mutex once; the returned reference is stable for the registry's lifetime
+// and every update on it is a lock-free atomic, so hot paths cache the
+// reference and never contend.
+//
+// Naming convention: `gol.<subsystem>.<name>` (see docs/architecture.md,
+// "Telemetry"). Counters only go up; gauges are last-value; histograms
+// count observations into caller-chosen upper-bound buckets plus an
+// implicit +Inf overflow bucket.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gol::telemetry {
+
+/// Label set attached to an instrument; part of its identity.
+using Labels = std::map<std::string, std::string>;
+
+namespace detail {
+/// Lock-free add for doubles (fetch_add on atomic<double> is C++20 but
+/// spotty across standard libraries; the CAS loop is portable).
+inline void atomicAdd(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Monotonically increasing value. `inc`/`add` are lock-free.
+class Counter {
+ public:
+  void inc(double v = 1.0) { detail::atomicAdd(value_, v); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Last-value instrument (queue depth, buffer level). `set`/`add` are
+/// lock-free.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) { detail::atomicAdd(value_, v); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: observation `v` lands in the first bucket whose
+/// upper bound is >= v, or in the overflow bucket. Bounds are fixed at
+/// creation; `observe` is lock-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket `i`; `i == bounds().size()` is the overflow bucket.
+  std::uint64_t bucketCount(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;  // sorted ascending
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of one instrument, for exporters.
+struct SnapshotEntry {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Labels labels;
+  Kind kind = Kind::kCounter;
+  double value = 0;  ///< Counter/gauge value; histogram sum.
+  // Histogram-only fields.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow last).
+  std::uint64_t count = 0;
+};
+
+struct Snapshot {
+  std::vector<SnapshotEntry> entries;
+
+  /// First entry matching name (+labels when given); nullptr when absent.
+  const SnapshotEntry* find(const std::string& name,
+                            const Labels& labels = {}) const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the instrument registered under (name, labels), creating it on
+  /// first use. References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// `upper_bounds` is only consulted on first registration; later calls
+  /// with the same identity return the existing histogram unchanged.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds,
+                       const Labels& labels = {});
+
+  Snapshot snapshot() const;
+
+  /// Process-wide default registry: what components instrument against when
+  /// not explicitly redirected (tests pass their own Registry instead).
+  static Registry& global();
+
+ private:
+  struct Slot {
+    std::string name;
+    Labels labels;
+    SnapshotEntry::Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Slot& findOrCreate(const std::string& name, const Labels& labels,
+                     SnapshotEntry::Kind kind);
+
+  mutable std::mutex mu_;
+  std::deque<Slot> slots_;  // deque: pointer stability on growth
+  std::map<std::string, Slot*> index_;
+};
+
+}  // namespace gol::telemetry

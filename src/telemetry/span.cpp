@@ -1,0 +1,122 @@
+#include "telemetry/span.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/export.hpp"
+
+namespace gol::telemetry {
+
+TraceRecorder::TraceRecorder(Clock clock) : clock_(std::move(clock)) {
+  epoch_s_ = clock_();
+}
+
+SpanId TraceRecorder::begin(const std::string& name,
+                            const std::string& category, int track) {
+  const double ts = nowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  const SpanId id = next_id_++;
+  open_[id] = OpenSpan{name, category, track, ts};
+  return id;
+}
+
+void TraceRecorder::end(SpanId id,
+                        const std::map<std::string, std::string>& args) {
+  const double ts = nowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  OpenSpan span = std::move(it->second);
+  open_.erase(it);
+  events_.push_back(Event{std::move(span.name), std::move(span.category),
+                          span.track, span.ts_us, ts - span.ts_us, args});
+}
+
+void TraceRecorder::instant(const std::string& name,
+                            const std::string& category, int track) {
+  const double ts = nowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{name, category, track, ts, 0.0, {}});
+}
+
+void TraceRecorder::setTrackName(int track, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  track_names_[track] = name;
+}
+
+std::size_t TraceRecorder::completedSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::size_t TraceRecorder::openSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_.size();
+}
+
+std::vector<TraceRecorder::Event> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string TraceRecorder::toChromeJson() const {
+  const double now = nowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& piece) {
+    if (!first) out += ',';
+    first = false;
+    out += piece;
+  };
+
+  for (const auto& [track, name] : track_names_) {
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+         std::to_string(track) + ",\"args\":{\"name\":" + jsonQuote(name) +
+         "}}");
+  }
+
+  auto emitSpan = [&](const Event& e) {
+    std::string piece = "{\"name\":" + jsonQuote(e.name) +
+                        ",\"cat\":" + jsonQuote(e.category) +
+                        ",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+                        std::to_string(e.track) +
+                        ",\"ts\":" + jsonNumber(e.ts_us) +
+                        ",\"dur\":" + jsonNumber(e.dur_us);
+    if (!e.args.empty()) {
+      piece += ",\"args\":{";
+      bool f = true;
+      for (const auto& [k, v] : e.args) {
+        if (!f) piece += ',';
+        f = false;
+        piece += jsonQuote(k) + ":" + jsonQuote(v);
+      }
+      piece += '}';
+    }
+    piece += '}';
+    emit(piece);
+  };
+
+  for (const auto& e : events_) emitSpan(e);
+  // Flush still-open spans as if they ended now, so a trace written
+  // mid-flight is still valid.
+  for (const auto& [id, span] : open_) {
+    (void)id;
+    emitSpan(Event{span.name, span.category, span.track, span.ts_us,
+                   now - span.ts_us, {{"open", "true"}}});
+  }
+
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+void TraceRecorder::writeChromeJson(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open trace output: " + path);
+  f << toChromeJson();
+  if (!f) throw std::runtime_error("short write on trace output: " + path);
+}
+
+}  // namespace gol::telemetry

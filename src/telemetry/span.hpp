@@ -1,0 +1,119 @@
+// Trace spans: begin/end intervals recorded against a pluggable clock and
+// exported as Chrome trace_event JSON (load the file in chrome://tracing or
+// https://ui.perfetto.dev). Spans live on integer *tracks* — rendered as
+// threads by the viewers — so one track per transfer path gives the
+// familiar per-lane waterfall.
+//
+// Two usage styles:
+//   * RAII: `telemetry::Span s(&rec, "dispatch", "engine", track);`
+//     closes itself when the scope exits.
+//   * Split: `auto id = rec.begin(...)` now, `rec.end(id)` from a later
+//     callback — what the event-driven engine needs, where an item's
+//     dispatch and completion are different stack frames.
+//
+// Thread-safe: all recorder mutations take an internal mutex (the live
+// prototype's tests drive the loop from multiple threads).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/clock.hpp"
+
+namespace gol::telemetry {
+
+using SpanId = std::uint64_t;
+
+class TraceRecorder {
+ public:
+  /// Timestamps are recorded relative to the clock's value at construction,
+  /// so traces start near t=0 regardless of the clock's epoch.
+  explicit TraceRecorder(Clock clock = Clock::wall());
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Opens a span on `track`. Returns an id for end(); ids are never 0.
+  SpanId begin(const std::string& name, const std::string& category,
+               int track);
+  /// Closes an open span; attaches optional `args` (shown in the viewer's
+  /// detail pane). Ending an unknown/already-ended id is a no-op.
+  void end(SpanId id, const std::map<std::string, std::string>& args = {});
+  /// Zero-duration marker event.
+  void instant(const std::string& name, const std::string& category,
+               int track);
+  /// Names a track in the viewer (thread_name metadata).
+  void setTrackName(int track, const std::string& name);
+
+  std::size_t completedSpans() const;
+  std::size_t openSpans() const;
+
+  /// One finished span, exposed for tests/exporters.
+  struct Event {
+    std::string name;
+    std::string category;
+    int track = 0;
+    double ts_us = 0;   ///< Begin, microseconds since recorder construction.
+    double dur_us = 0;  ///< 0 for instants.
+    std::map<std::string, std::string> args;
+  };
+  /// Completed events in end order; open spans are not included.
+  std::vector<Event> events() const;
+
+  /// Serializes a Chrome trace_event JSON object:
+  ///   {"traceEvents":[...],"displayTimeUnit":"ms"}
+  /// Open spans are flushed as if they ended now. Timestamps within a
+  /// track are monotone because begin() draws them from one monotone clock.
+  std::string toChromeJson() const;
+  /// Writes toChromeJson() to `path`; throws std::runtime_error on I/O
+  /// failure.
+  void writeChromeJson(const std::string& path) const;
+
+ private:
+  struct OpenSpan {
+    std::string name;
+    std::string category;
+    int track = 0;
+    double ts_us = 0;
+  };
+
+  double nowUs() const { return (clock_() - epoch_s_) * 1e6; }
+
+  Clock clock_;
+  double epoch_s_ = 0;
+  mutable std::mutex mu_;
+  SpanId next_id_ = 1;
+  std::map<SpanId, OpenSpan> open_;
+  std::vector<Event> events_;
+  std::map<int, std::string> track_names_;
+};
+
+/// RAII span; a null recorder makes it a no-op, so call sites can keep one
+/// unconditional line and let instrumentation be optional.
+class Span {
+ public:
+  Span(TraceRecorder* recorder, const std::string& name,
+       const std::string& category, int track)
+      : recorder_(recorder) {
+    if (recorder_) id_ = recorder_->begin(name, category, track);
+  }
+  ~Span() {
+    if (recorder_ && id_) recorder_->end(id_, args_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attached to the span when it closes.
+  void setArg(const std::string& key, const std::string& value) {
+    if (recorder_) args_[key] = value;
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  SpanId id_ = 0;
+  std::map<std::string, std::string> args_;
+};
+
+}  // namespace gol::telemetry

@@ -1,0 +1,14 @@
+// Umbrella header for gol::telemetry — the observability substrate:
+//   metrics.hpp  thread-safe registry of counters / gauges / histograms
+//   span.hpp     trace spans + Chrome trace_event export (Perfetto)
+//   clock.hpp    wall vs simulated clock binding
+//   export.hpp   JSON snapshot + line-protocol dumps
+//
+// Instrument names follow `gol.<subsystem>.<name>`; see the "Telemetry"
+// section of docs/architecture.md for conventions and clock domains.
+#pragma once
+
+#include "telemetry/clock.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"

@@ -12,11 +12,13 @@
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "cli/args.hpp"
 #include "core/allowance.hpp"
 #include "core/upload_session.hpp"
 #include "core/vod_session.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/export.hpp"
 
 namespace {
@@ -48,6 +50,9 @@ int cmdVod(int argc, const char* const* argv) {
   args.addFlag("playout-aware", "use the deadline scheduler");
   args.addFlag("lte", "upgrade the location to LTE");
   args.addInt("seed", "random seed", 42);
+  args.addString("trace-out",
+                 "write a Chrome trace_event JSON of the boosted run "
+                 "(open in chrome://tracing or ui.perfetto.dev)", "");
   if (!args.parse(argc, argv, 2)) {
     std::fprintf(stderr, "%s%s", args.error().empty() ? "" : (args.error() + "\n").c_str(),
                  args.usage().c_str());
@@ -55,6 +60,7 @@ int cmdVod(int argc, const char* const* argv) {
   }
 
   core::HomeEnvironment home(homeFromArgs(args));
+  home.simulator().instrument(&telemetry::Registry::global());
   core::VodSession session(home);
   core::VodOptions opts;
   opts.video.bitrate_bps = args.getDouble("quality");
@@ -65,8 +71,26 @@ int cmdVod(int argc, const char* const* argv) {
 
   opts.phones = 0;
   const auto baseline = session.run(opts);
+
+  // The boosted run is the one worth a waterfall: spans land in sim time.
+  const std::string trace_out = args.getString("trace-out");
+  auto& sim = home.simulator();
+  telemetry::TraceRecorder recorder(
+      telemetry::Clock{[&sim] { return sim.now(); }});
+  if (!trace_out.empty()) opts.trace = &recorder;
+
   opts.phones = static_cast<int>(args.getInt("phones"));
   const auto boosted = session.run(opts);
+  if (!trace_out.empty()) {
+    try {
+      recorder.writeChromeJson(trace_out);
+      std::printf("trace: %s (%zu spans)\n", trace_out.c_str(),
+                  recorder.completedSpans());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "gol3: %s\n", e.what());
+      return 1;
+    }
+  }
   std::printf("ADSL alone : prebuffer %.1f s, download %.1f s\n",
               baseline.prebuffer_time_s, baseline.total_download_s);
   std::printf("3GOL %ld ph  : prebuffer %.1f s (x%.2f), download %.1f s "
@@ -175,29 +199,57 @@ int cmdTraceMno(int argc, const char* const* argv) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: gol3 <command> [options]\n"
+               "usage: gol3 <command> [options] [--metrics-out FILE]\n"
                "commands:\n"
                "  vod          run one VoD powerboost\n"
                "  upload       upload a photo set\n"
                "  estimate     Sec. 6 allowance estimator\n"
                "  trace-dslam  generate a DSLAM trace CSV\n"
                "  trace-mno    generate an MNO dataset CSV\n"
-               "run 'gol3 <command> --help' for command options\n");
+               "run 'gol3 <command> --help' for command options\n"
+               "--metrics-out FILE works with every command: dumps the "
+               "telemetry registry as JSON after the run\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  // --metrics-out is handled here, before command dispatch, so every
+  // command gets observability without growing its own parser.
+  std::string metrics_out;
+  std::vector<char*> filtered;
+  filtered.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+  const int fargc = static_cast<int>(filtered.size());
+  char** fargv = filtered.data();
+
+  if (fargc < 2) {
     usage();
     return 2;
   }
-  const std::string cmd = argv[1];
-  if (cmd == "vod") return cmdVod(argc, argv);
-  if (cmd == "upload") return cmdUpload(argc, argv);
-  if (cmd == "estimate") return cmdEstimate(argc, argv);
-  if (cmd == "trace-dslam") return cmdTraceDslam(argc, argv);
-  if (cmd == "trace-mno") return cmdTraceMno(argc, argv);
-  usage();
-  return 2;
+  const std::string cmd = fargv[1];
+  int rc = 2;
+  if (cmd == "vod") rc = cmdVod(fargc, fargv);
+  else if (cmd == "upload") rc = cmdUpload(fargc, fargv);
+  else if (cmd == "estimate") rc = cmdEstimate(fargc, fargv);
+  else if (cmd == "trace-dslam") rc = cmdTraceDslam(fargc, fargv);
+  else if (cmd == "trace-mno") rc = cmdTraceMno(fargc, fargv);
+  else usage();
+
+  if (!metrics_out.empty()) {
+    try {
+      telemetry::writeJsonSnapshot(telemetry::Registry::global(), metrics_out);
+      std::printf("metrics: %s\n", metrics_out.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "gol3: %s\n", e.what());
+      return 1;
+    }
+  }
+  return rc;
 }
