@@ -22,7 +22,11 @@ int main(int argc, char** argv) {
   for (int phones : {1, 2, 3}) {
     stats::Summary with, without, waste;
     double max_item_mb = 0;
-    for (int rep = 0; rep < args.reps; ++rep) {
+    struct RepOut {
+      double with_s, without_s, waste_mb, item_mb;
+    };
+    const auto outs = bench::mapReps(args.reps, [&](int rep) {
+      RepOut r{};
       for (const bool resched : {true, false}) {
         core::HomeConfig cfg;
         cfg.location = cell::evaluationLocations()[3];
@@ -38,12 +42,21 @@ int main(int argc, char** argv) {
         opts.phones = phones;
         opts.scheduler = resched ? "greedy" : "greedy-noresched";
         const auto out = session.run(opts);
-        (resched ? with : without).add(out.total_download_s);
         if (resched) {
-          waste.add(out.txn.wasted_bytes / 1e6);
-          max_item_mb = std::max(max_item_mb, out.txn.total_bytes / 20 / 1e6);
+          r.with_s = out.total_download_s;
+          r.waste_mb = out.txn.wasted_bytes / 1e6;
+          r.item_mb = out.txn.total_bytes / 20 / 1e6;
+        } else {
+          r.without_s = out.total_download_s;
         }
       }
+      return r;
+    });
+    for (const RepOut& r : outs) {
+      with.add(r.with_s);
+      without.add(r.without_s);
+      waste.add(r.waste_mb);
+      max_item_mb = std::max(max_item_mb, r.item_mb);
     }
     const double bound_mb = phones * 0.9225;  // (N-1) * Sm, Sm = 0.9225 MB
     t.addRow({std::to_string(phones), stats::Table::num(with.mean(), 1),

@@ -21,7 +21,10 @@ int main(int argc, char** argv) {
   const double video_bytes = 18.45e6;  // the Q4 full video
 
   stats::Summary adsl_s, mptcp_s, mptcp_half_s, mptcp_ideal_s, gol_s;
-  for (int rep = 0; rep < args.reps; ++rep) {
+  struct RepOut {
+    double adsl, mptcp, mptcp_half, mptcp_ideal, gol;
+  };
+  const auto outs = bench::mapReps(args.reps, [&](int rep) {
     core::HomeConfig cfg;
     cfg.location = cell::evaluationLocations()[3];
     // Day-time phones slower than the line (the paper's MPTCP trial ran on
@@ -33,24 +36,32 @@ int main(int argc, char** argv) {
     cfg.seed = args.seed + static_cast<std::uint64_t>(rep * 11);
     core::HomeEnvironment home(cfg);
 
-    adsl_s.add(video_bytes * 8 / home.adsl().goodputDownBps());
+    RepOut r{};
+    r.adsl = video_bytes * 8 / home.adsl().goodputDownBps();
     core::MptcpParams stock;
-    mptcp_s.add(core::mptcpDownload(home, video_bytes, 2, stock).duration_s);
+    r.mptcp = core::mptcpDownload(home, video_bytes, 2, stock).duration_s;
     core::MptcpParams half;
     half.coupling = 0.5;
-    mptcp_half_s.add(
-        core::mptcpDownload(home, video_bytes, 2, half).duration_s);
+    r.mptcp_half = core::mptcpDownload(home, video_bytes, 2, half).duration_s;
     core::MptcpParams ideal;
     ideal.coupling = 0.0;
-    mptcp_ideal_s.add(
-        core::mptcpDownload(home, video_bytes, 2, ideal).duration_s);
+    r.mptcp_ideal =
+        core::mptcpDownload(home, video_bytes, 2, ideal).duration_s;
 
     core::VodSession session(home);
     core::VodOptions opts;
     opts.video.bitrate_bps = 738e3;
     opts.prebuffer_fraction = 1.0;
     opts.phones = 2;
-    gol_s.add(session.run(opts).total_download_s);
+    r.gol = session.run(opts).total_download_s;
+    return r;
+  });
+  for (const RepOut& r : outs) {
+    adsl_s.add(r.adsl);
+    mptcp_s.add(r.mptcp);
+    mptcp_half_s.add(r.mptcp_half);
+    mptcp_ideal_s.add(r.mptcp_ideal);
+    gol_s.add(r.gol);
   }
 
   stats::Table t({"transport", "download s", "vs ADSL"});

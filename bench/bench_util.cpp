@@ -1,5 +1,6 @@
 #include "bench_util.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -12,6 +13,22 @@
 
 namespace gol::bench {
 
+namespace {
+
+std::chrono::steady_clock::time_point g_start;
+std::string g_prog;
+
+void printWallTime() {
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - g_start)
+          .count();
+  // stderr on purpose: stdout must stay byte-identical across --jobs.
+  std::fprintf(stderr, "[%s] wall time: %.2f s (jobs=%u)\n", g_prog.c_str(),
+               s, pool().threadCount());
+}
+
+}  // namespace
+
 Args parseArgs(int argc, char** argv, int default_reps) {
   Args args;
   args.reps = default_reps;
@@ -20,16 +37,31 @@ Args parseArgs(int argc, char** argv, int default_reps) {
       args.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       args.reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      args.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      exec::ThreadPool::setDefaultThreads(args.jobs);
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       args.quick = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--seed N] [--reps N] [--quick]\n", argv[0]);
+      std::fprintf(
+          stderr, "usage: %s [--seed N] [--reps N] [--jobs N] [--quick]\n",
+          argv[0]);
       std::exit(2);
     }
   }
   if (args.quick) args.reps = std::max(1, args.reps / 4);
+  g_start = std::chrono::steady_clock::now();
+  const char* slash = std::strrchr(argv[0], '/');
+  g_prog = slash != nullptr ? slash + 1 : argv[0];
+  pool();  // construct before registering, so the handler outlives it safely
+  std::atexit(printWallTime);
   return args;
+}
+
+exec::ThreadPool& pool() {
+  // Constructed on first use, after parseArgs has applied --jobs.
+  static exec::ThreadPool p;
+  return p;
 }
 
 void banner(const std::string& id, const std::string& title,

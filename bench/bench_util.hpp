@@ -7,7 +7,10 @@
 #include <vector>
 
 #include "cellular/location.hpp"
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/rng.hpp"
+#include "stats/summary.hpp"
 
 namespace gol::bench {
 
@@ -16,11 +19,44 @@ struct Args {
   /// Repetitions per data point; each bench picks its own default (the
   /// paper used 30; we default lower to keep the full harness quick).
   int reps = 0;
-  bool quick = false;  ///< --quick: trims sweeps for smoke runs.
+  bool quick = false;   ///< --quick: trims sweeps for smoke runs.
+  unsigned jobs = 0;    ///< --jobs: worker threads (0 = all hardware threads).
 };
 
-/// Parses --seed N, --reps N, --quick. Unknown flags abort with usage.
+/// Parses --seed N, --reps N, --quick, --jobs N. Unknown flags abort with
+/// usage. Also starts the per-figure wall clock (reported to stderr at
+/// exit, so stdout stays byte-identical across --jobs settings).
 Args parseArgs(int argc, char** argv, int default_reps);
+
+/// Process-wide worker pool for repetition fan-out, sized by --jobs.
+exec::ThreadPool& pool();
+
+/// out[rep] = fn(rep) for rep in [0, reps), computed across pool().
+/// Each repetition must be self-contained (own Simulator, seed derived
+/// from `rep`) — the repo-wide bench pattern — so results are identical
+/// to the serial loop for any --jobs value.
+template <typename Fn>
+auto mapReps(int reps, Fn&& fn) {
+  return exec::parallelMapIndexed(
+      pool(), static_cast<std::size_t>(reps < 0 ? 0 : reps),
+      [&](std::size_t i) { return fn(static_cast<int>(i)); });
+}
+
+/// Summary of fn(rep) over all reps. Values fold in rep order, so the
+/// float summation order (and hence every printed digit) matches the
+/// serial loop exactly.
+template <typename Fn>
+stats::Summary summarizeReps(int reps, Fn&& fn) {
+  stats::Summary s;
+  for (const double v : mapReps(reps, fn)) s.add(v);
+  return s;
+}
+
+/// Mean of fn(rep) over all reps, via summarizeReps.
+template <typename Fn>
+double meanOverReps(int reps, Fn&& fn) {
+  return summarizeReps(reps, static_cast<Fn&&>(fn)).mean();
+}
 
 /// Prints the standard experiment banner.
 void banner(const std::string& id, const std::string& title,

@@ -22,7 +22,10 @@ int main(int argc, char** argv) {
   stats::Table t({"boost MB", "energy J (mean)", "J per MB", "tail share %"});
   for (double boost_mb : {1.0, 5.0, 10.0, 20.0}) {
     stats::Summary joules, per_mb, tail_share;
-    for (int rep = 0; rep < args.reps; ++rep) {
+    struct RepOut {
+      double total_j, active_j;
+    };
+    const auto outs = bench::mapReps(args.reps, [&](int rep) {
       core::HomeConfig cfg;
       cfg.location = cell::evaluationLocations()[3];
       cfg.phones = 1;
@@ -43,14 +46,16 @@ int main(int argc, char** argv) {
               core::TransferDirection::kDownload,
               std::vector<double>(static_cast<std::size_t>(items),
                                   boost_mb * 1e6 / items)));
+      (void)res;
       const double active_j = meter.joules();
       // Let the radio age out to idle: the tail is part of the bill.
       home.simulator().run();
-      const double total_j = meter.joules();
-      joules.add(total_j);
-      per_mb.add(total_j / boost_mb);
-      tail_share.add((total_j - active_j) / total_j * 100.0);
-      (void)res;
+      return RepOut{meter.joules(), active_j};
+    });
+    for (const RepOut& r : outs) {
+      joules.add(r.total_j);
+      per_mb.add(r.total_j / boost_mb);
+      tail_share.add((r.total_j - r.active_j) / r.total_j * 100.0);
     }
     t.addRow({stats::Table::num(boost_mb, 0),
               stats::Table::num(joules.mean(), 1),

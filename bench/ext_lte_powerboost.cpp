@@ -19,7 +19,10 @@ int main(int argc, char** argv) {
 
   auto measure = [&](bool lte) {
     stats::Summary prebuffer, download, upload, busy;
-    for (int rep = 0; rep < args.reps; ++rep) {
+    struct RepOut {
+      double prebuffer, download, busy, upload;
+    };
+    const auto outs = bench::mapReps(args.reps, [&](int rep) {
       core::HomeConfig cfg;
       cfg.location = cell::evaluationLocations()[3];
       if (lte) {
@@ -35,16 +38,20 @@ int main(int argc, char** argv) {
       vopts.prebuffer_fraction = 0.4;
       vopts.phones = 2;
       const auto vr = vod.run(vopts);
-      prebuffer.add(vr.prebuffer_time_s);
-      download.add(vr.total_download_s);
-      // Cellular busy time for the boost ~ time the phones spent active.
-      busy.add(vr.txn.duration_s);
 
       core::UploadSession up(home);
       core::UploadOptions uopts;
       uopts.photos = 30;
       uopts.phones = 2;
-      upload.add(up.run(uopts).txn.duration_s);
+      // Cellular busy time for the boost ~ time the phones spent active.
+      return RepOut{vr.prebuffer_time_s, vr.total_download_s,
+                    vr.txn.duration_s, up.run(uopts).txn.duration_s};
+    });
+    for (const RepOut& r : outs) {
+      prebuffer.add(r.prebuffer);
+      download.add(r.download);
+      busy.add(r.busy);
+      upload.add(r.upload);
     }
     return std::array<double, 4>{prebuffer.mean(), download.mean(),
                                  upload.mean(), busy.mean()};

@@ -55,7 +55,12 @@ int main(int argc, char** argv) {
 
   for (int homes : {1, 2, 4, 8, 16}) {
     stats::Summary durations, cell_share;
-    for (int rep = 0; rep < args.reps; ++rep) {
+    struct RepOut {
+      std::vector<double> durations, cell_mbps;
+      double adsl_only_s = 0;
+    };
+    const auto outs = bench::mapReps(args.reps, [&](int rep) {
+      RepOut out;
       sim::Simulator simulator;
       net::FlowNetwork network(simulator);
       sim::Rng rng(args.seed + static_cast<std::uint64_t>(rep * 31 + homes));
@@ -112,19 +117,26 @@ int main(int argc, char** argv) {
 
       for (auto& home : hood) {
         if (!home.result) continue;
-        durations.add(home.result->duration_s);
+        out.durations.push_back(home.result->duration_s);
         double phone_bytes = 0;
         for (const auto& [name, bytes] : home.result->per_path_bytes) {
           if (name.rfind("adsl", 0) != 0) phone_bytes += bytes;
         }
-        cell_share.add(phone_bytes * 8 / home.result->duration_s / 1e6);
+        out.cell_mbps.push_back(phone_bytes * 8 / home.result->duration_s /
+                                1e6);
       }
 
       if (homes == 1 && rep == 0) {
         // ADSL-only reference from the same environment.
-        adsl_only_s = video_bytes * 8 /
-                      hood[0].adsl->goodputDownBps();
+        out.adsl_only_s = video_bytes * 8 /
+                          hood[0].adsl->goodputDownBps();
       }
+      return out;
+    });
+    for (const RepOut& out : outs) {
+      for (double d : out.durations) durations.add(d);
+      for (double m : out.cell_mbps) cell_share.add(m);
+      if (out.adsl_only_s != 0) adsl_only_s = out.adsl_only_s;
     }
     t.addRow({std::to_string(homes), stats::Table::num(durations.mean(), 1),
               bench::times(adsl_only_s / durations.mean()),

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   for (double prebuffer : {0.05, 0.10, 0.20}) {
     for (const bool playout_aware : {false, true}) {
       stats::Summary startup, stall, events, dl, waste;
-      for (int rep = 0; rep < args.reps; ++rep) {
+      const auto outs = bench::mapReps(args.reps, [&](int rep) {
         core::HomeConfig cfg;
         cfg.location = cell::evaluationLocations()[3];
         // A strained home: the aggregate barely exceeds the Q4 bitrate,
@@ -41,7 +41,9 @@ int main(int argc, char** argv) {
         opts.prebuffer_fraction = prebuffer;
         opts.phones = 1;
         opts.playout_aware = playout_aware;
-        const auto out = session.run(opts);
+        return session.run(opts);
+      });
+      for (const auto& out : outs) {
         startup.add(out.prebuffer_time_s);
         stall.add(out.playout.total_stall_s);
         events.add(static_cast<double>(out.playout.stall_events));

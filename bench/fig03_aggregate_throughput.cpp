@@ -36,20 +36,28 @@ int main(int argc, char** argv) {
     double up_at_5 = 0, up_at_10 = 0, down_at_1 = 0, down_at_10 = 0;
     for (int n = 1; n <= 10; ++n) {
       stats::Summary down, up;
-      for (int rep = 0; rep < args.reps; ++rep) {
+      struct Pair {
+        double down, up;
+      };
+      const auto pairs = bench::mapReps(args.reps, [&](int rep) {
         const auto seed_base = args.seed +
                                static_cast<std::uint64_t>(li * 1000 +
                                                           n * 10 + rep);
-        down.add(sim::toMbps(
-            bench::measureCellThroughput(loc, avail, n,
-                                         cell::Direction::kDownlink,
-                                         sim::megabytes(2), seed_base)
-                .aggregate_bps));
-        up.add(sim::toMbps(
-            bench::measureCellThroughput(loc, avail, n,
-                                         cell::Direction::kUplink,
-                                         sim::megabytes(2), seed_base + 7)
-                .aggregate_bps));
+        return Pair{
+            sim::toMbps(
+                bench::measureCellThroughput(loc, avail, n,
+                                             cell::Direction::kDownlink,
+                                             sim::megabytes(2), seed_base)
+                    .aggregate_bps),
+            sim::toMbps(
+                bench::measureCellThroughput(loc, avail, n,
+                                             cell::Direction::kUplink,
+                                             sim::megabytes(2), seed_base + 7)
+                    .aggregate_bps)};
+      });
+      for (const Pair& p : pairs) {
+        down.add(p.down);
+        up.add(p.up);
       }
       t.addRow({std::to_string(n), stats::Table::num(down.mean(), 2),
                 stats::Table::num(up.mean(), 2)});

@@ -34,28 +34,40 @@ int main(int argc, char** argv) {
     stats::Summary single_peak;
     for (int h : hours) {
       stats::Summary down, up;
-      for (std::size_t li = 0; li < locations.size(); ++li) {
+      struct DaySample {
+        std::vector<double> down, up;
+      };
+      // One work item per (location, day); folded below in the exact order
+      // of the old nested loop so the printed stats are jobs-invariant.
+      const int n_items = static_cast<int>(locations.size()) * args.reps;
+      const auto samples = bench::mapReps(n_items, [&](int idx) {
+        const auto li = static_cast<std::size_t>(idx / args.reps);
+        const int day = idx % args.reps;
         sim::Simulator tmp_sim;
         net::FlowNetwork tmp_net(tmp_sim);
         cell::Location tmp_loc(tmp_net, locations[li], sim::Rng(1));
         const double avail =
             tmp_loc.availableFractionAt(shape, sim::hours(h));
-        for (int day = 0; day < args.reps; ++day) {
-          const auto seed = args.seed + static_cast<std::uint64_t>(
-                                            li * 10000 + h * 100 + day * 7 +
-                                            g);
-          const auto d = bench::measureCellThroughput(
-              locations[li], avail, g, cell::Direction::kDownlink,
-              sim::megabytes(2), seed);
-          const auto u = bench::measureCellThroughput(
-              locations[li], avail, g, cell::Direction::kUplink,
-              sim::megabytes(2), seed + 3);
-          for (double bps : d.per_device_bps) {
-            down.add(sim::toMbps(bps));
-            if (g == 1) single_peak.add(sim::toMbps(bps));
-          }
-          for (double bps : u.per_device_bps) up.add(sim::toMbps(bps));
+        const auto seed = args.seed + static_cast<std::uint64_t>(
+                                          li * 10000 + h * 100 + day * 7 +
+                                          g);
+        DaySample s;
+        s.down = bench::measureCellThroughput(
+                     locations[li], avail, g, cell::Direction::kDownlink,
+                     sim::megabytes(2), seed)
+                     .per_device_bps;
+        s.up = bench::measureCellThroughput(
+                   locations[li], avail, g, cell::Direction::kUplink,
+                   sim::megabytes(2), seed + 3)
+                   .per_device_bps;
+        return s;
+      });
+      for (const DaySample& s : samples) {
+        for (double bps : s.down) {
+          down.add(sim::toMbps(bps));
+          if (g == 1) single_peak.add(sim::toMbps(bps));
         }
+        for (double bps : s.up) up.add(sim::toMbps(bps));
       }
       t.addRow({std::to_string(h),
                 stats::Table::num(down.mean(), 2) + "/" +

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   for (const auto& loc : locations) {
     for (auto dir : {cell::Direction::kDownlink, cell::Direction::kUplink}) {
       std::vector<double> samples;
-      for (int rep = 0; rep < args.reps; ++rep) {
+      const auto per_rep = bench::mapReps(args.reps, [&](int rep) {
         sim::Rng ctx(args.seed + static_cast<std::uint64_t>(rep));
         const double hour = ctx.uniform(0.0, 24.0);
         sim::Simulator tmp_sim;
@@ -36,12 +36,13 @@ int main(int argc, char** argv) {
         cell::Location tmp_loc(tmp_net, loc, sim::Rng(1));
         const double avail =
             tmp_loc.availableFractionAt(shape, sim::hours(hour));
-        const auto m = bench::measureCellThroughput(
-            loc, avail, 1, dir, sim::megabytes(2),
-            args.seed * 13 + static_cast<std::uint64_t>(rep));
-        for (double bps : m.per_device_bps)
-          samples.push_back(sim::toMbps(bps));
-      }
+        return bench::measureCellThroughput(
+                   loc, avail, 1, dir, sim::megabytes(2),
+                   args.seed * 13 + static_cast<std::uint64_t>(rep))
+            .per_device_bps;
+      });
+      for (const auto& rep_bps : per_rep)
+        for (double bps : rep_bps) samples.push_back(sim::toMbps(bps));
       const auto qs =
           stats::quantiles(samples, std::vector<double>{0.05, 0.25, 0.5,
                                                         0.75, 0.95});

@@ -47,8 +47,7 @@ int main(int argc, char** argv) {
       const auto& paper = phones == 1 ? kPaper1Ph[q] : kPaper2Ph[q];
 
       auto run_mean = [&](const std::string& policy, int use_phones) {
-        stats::Summary s;
-        for (int rep = 0; rep < args.reps; ++rep) {
+        return bench::meanOverReps(args.reps, [&](int rep) {
           core::HomeConfig cfg;
           cfg.location = cell::evaluationLocations()[3];
           cfg.location.adsl_down_bps = sim::mbps(2.0);
@@ -70,9 +69,8 @@ int main(int argc, char** argv) {
           opts.prebuffer_fraction = 1.0;  // full download
           opts.scheduler = policy.empty() ? "greedy" : policy;
           opts.phones = use_phones;
-          s.add(session.run(opts).total_download_s);
-        }
-        return s.mean();
+          return session.run(opts).total_download_s;
+        });
       };
 
       const double adsl = run_mean("greedy", 0);

@@ -31,8 +31,7 @@ int main(int argc, char** argv) {
   auto mean_prebuffer_time = [&](const cell::LocationSpec& loc, int phones,
                                  bool warm, double quality,
                                  double prebuffer) {
-    stats::Summary s;
-    for (int rep = 0; rep < args.reps; ++rep) {
+    return bench::meanOverReps(args.reps, [&](int rep) {
       core::HomeConfig cfg;
       cfg.location = loc;
       cfg.phones = 2;
@@ -48,9 +47,8 @@ int main(int argc, char** argv) {
       opts.prebuffer_fraction = prebuffer;
       opts.phones = phones;
       opts.warm_start = warm;
-      s.add(session.run(opts).prebuffer_time_s);
-    }
-    return s.mean();
+      return session.run(opts).prebuffer_time_s;
+    });
   };
 
   double best_gain_1ph[2] = {0, 0};

@@ -22,8 +22,7 @@ int main(int argc, char** argv) {
 
   auto mean_total = [&](const cell::LocationSpec& loc, int phones, bool warm,
                         double quality) {
-    stats::Summary s;
-    for (int rep = 0; rep < args.reps; ++rep) {
+    return bench::meanOverReps(args.reps, [&](int rep) {
       core::HomeConfig cfg;
       cfg.location = loc;
       cfg.phones = 2;
@@ -38,9 +37,8 @@ int main(int argc, char** argv) {
       opts.prebuffer_fraction = 1.0;
       opts.phones = phones;
       opts.warm_start = warm;
-      s.add(session.run(opts).total_download_s);
-    }
-    return s.mean();
+      return session.run(opts).total_download_s;
+    });
   };
 
   stats::Table t({"location", "3G_1PH %", "H_1PH %", "3G_2PH %", "H_2PH %"});

@@ -32,8 +32,7 @@ int main(int argc, char** argv) {
   const auto eval = cell::evaluationLocations();
 
   auto mean_upload = [&](const cell::LocationSpec& loc, int phones) {
-    stats::Summary s;
-    for (int rep = 0; rep < args.reps; ++rep) {
+    return bench::meanOverReps(args.reps, [&](int rep) {
       core::HomeConfig cfg;
       cfg.location = loc;
       cfg.phones = 2;
@@ -43,9 +42,8 @@ int main(int argc, char** argv) {
       core::UploadSession session(home);
       core::UploadOptions opts;
       opts.phones = phones;
-      s.add(session.run(opts).txn.duration_s);
-    }
-    return s.mean();
+      return session.run(opts).txn.duration_s;
+    });
   };
 
   stats::Table t({"location", "ADSL s (paper)", "1PH s (paper)",

@@ -11,10 +11,13 @@
 
 #include "core/engine.hpp"
 #include "core/greedy_scheduler.hpp"
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
 #include "hls/playlist.hpp"
 #include "hls/segmenter.hpp"
 #include "net/flow_network.hpp"
 #include "sim/simulator.hpp"
+#include "sim/task.hpp"
 #include "sim/units.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -81,6 +84,81 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEventThroughput)->Arg(1000)->Arg(10000);
 
+void BM_SimulatorScheduleCancel(benchmark::State& state) {
+  // The event queue's dominant real workload: the fluid network cancels
+  // and re-schedules its completion event on every rate change. With
+  // generation slots this is O(1) and allocation-free; the old tombstone
+  // set hashed on every cancel and leaked heap entries until pop time.
+  sim::Simulator s;
+  for (auto _ : state) {
+    const sim::EventId id = s.scheduleIn(1.0, [] {});
+    s.cancel(id);
+  }
+  benchmark::DoNotOptimize(s.pendingEvents());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorScheduleCancel)
+    ->Repetitions(5)
+    ->ReportAggregatesOnly(true);
+
+void BM_SimulatorCancelMix(benchmark::State& state) {
+  // Schedule/cancel/fire mix shaped like a fluid-simulation run: every
+  // fired event re-schedules a successor and cancels a stale sibling —
+  // the reschedule pattern FlowNetwork executes on each completion.
+  for (auto _ : state) {
+    sim::Simulator s;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      const double at = static_cast<double>(i % 97);
+      // The sibling sits far in the future so the cancel hits a pending
+      // event (the real reschedule path), not an already-fired one.
+      const sim::EventId stale = s.scheduleAt(at + 1e4, [] {});
+      s.scheduleAt(at, [&s, stale] {
+        s.cancel(stale);
+        s.scheduleIn(0.5, [] {});
+      });
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.processedEvents());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 3);
+}
+BENCHMARK(BM_SimulatorCancelMix)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Repetitions(5)
+    ->ReportAggregatesOnly(true);
+
+void BM_TaskConstructInvoke(benchmark::State& state) {
+  // SBO Task vs std::function for the typical event lambda (a pointer and
+  // a couple of doubles): construct, move, invoke, destroy.
+  double acc = 0;
+  const double a = 1.25, b = 2.5;
+  for (auto _ : state) {
+    sim::Task t([&acc, a, b] { acc += a + b; });
+    sim::Task u = std::move(t);
+    u();
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TaskConstructInvoke)->Repetitions(5)->ReportAggregatesOnly(true);
+
+void BM_StdFunctionConstructInvoke(benchmark::State& state) {
+  double acc = 0;
+  const double a = 1.25, b = 2.5;
+  for (auto _ : state) {
+    std::function<void()> t([&acc, a, b] { acc += a + b; });
+    std::function<void()> u = std::move(t);
+    u();
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StdFunctionConstructInvoke)
+    ->Repetitions(5)
+    ->ReportAggregatesOnly(true);
+
 void BM_MaxMinRecompute(benchmark::State& state) {
   const int flows = static_cast<int>(state.range(0));
   sim::Simulator s;
@@ -101,6 +179,68 @@ void BM_MaxMinRecompute(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * flows);
 }
 BENCHMARK(BM_MaxMinRecompute)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FlowChurnWaterFill(benchmark::State& state) {
+  // Flow start/finish churn across isolated components: the incremental
+  // solver re-waters only the touched component, so cost tracks component
+  // size, not total flow count. 16 components x (flows/16) flows each.
+  const int flows = static_cast<int>(state.range(0));
+  const int comps = 16;
+  const int per_comp = flows / comps;
+  sim::Simulator s;
+  net::FlowNetwork net(s);
+  net.setRateCrossCheck(false);  // measure the incremental path itself
+  std::vector<net::Link*> shared;
+  for (int c = 0; c < comps; ++c) {
+    shared.push_back(net.createLink("s" + std::to_string(c), sim::mbps(50)));
+  }
+  std::vector<net::FlowId> ids;
+  std::vector<net::Link*> leaves;
+  for (int c = 0; c < comps; ++c) {
+    for (int f = 0; f < per_comp; ++f) {
+      leaves.push_back(net.createLink("leaf", sim::mbps(2 + f % 7)));
+      ids.push_back(net.startFlow(
+          {{shared[static_cast<std::size_t>(c)], leaves.back()}, 1e12, 1e18,
+           nullptr}));
+    }
+  }
+  int turn = 0;
+  for (auto _ : state) {
+    // Abort + restart one flow in its component: two incremental passes
+    // that must not touch the other 15 components.
+    const auto victim = static_cast<std::size_t>(turn % flows);
+    const auto c = victim / static_cast<std::size_t>(per_comp);
+    net.abortFlow(ids[victim]);
+    ids[victim] = net.startFlow(
+        {{shared[c], leaves[victim]}, 1e12, 1e18, nullptr});
+    ++turn;
+  }
+  benchmark::DoNotOptimize(net.activeFlowCount());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowChurnWaterFill)
+    ->Arg(64)
+    ->Arg(128)
+    ->Repetitions(5)
+    ->ReportAggregatesOnly(true);
+
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  // Round-trip cost of a parallelFor batch: submit, steal, join. Bounds
+  // how fine-grained bench repetitions can be before pool overhead wins.
+  exec::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  std::atomic<int> sink{0};
+  for (auto _ : state) {
+    exec::parallelFor(pool, 64,
+                      [&](std::size_t) { sink.fetch_add(1); });
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ThreadPoolDispatch)
+    ->Arg(2)
+    ->Arg(4)
+    ->Repetitions(5)
+    ->ReportAggregatesOnly(true);
 
 void BM_GreedySchedulerDecision(benchmark::State& state) {
   const std::size_t items = static_cast<std::size_t>(state.range(0));

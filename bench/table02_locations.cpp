@@ -53,15 +53,21 @@ int main(int argc, char** argv) {
         tmp_loc.availableFractionAt(shape, sim::hours(paper.hour));
 
     stats::Summary down, up;
-    for (int rep = 0; rep < args.reps; ++rep) {
+    struct Pair {
+      double down, up;
+    };
+    const auto pairs = bench::mapReps(args.reps, [&](int rep) {
       const auto d = bench::measureCellThroughput(
           loc, avail, 3, cell::Direction::kDownlink, sim::megabytes(2),
           args.seed + static_cast<std::uint64_t>(rep * 100 + i));
       const auto u = bench::measureCellThroughput(
           loc, avail, 3, cell::Direction::kUplink, sim::megabytes(2),
           args.seed + static_cast<std::uint64_t>(rep * 100 + i + 50));
-      down.add(sim::toMbps(d.aggregate_bps));
-      up.add(sim::toMbps(u.aggregate_bps));
+      return Pair{sim::toMbps(d.aggregate_bps), sim::toMbps(u.aggregate_bps)};
+    });
+    for (const Pair& p : pairs) {
+      down.add(p.down);
+      up.add(p.up);
     }
 
     const double dsl_d = sim::toMbps(loc.adsl_down_bps);

@@ -41,18 +41,29 @@ int main(int argc, char** argv) {
 
   for (const auto& paper : kPaper) {
     stats::Summary up, down;
-    for (int rep = 0; rep < args.reps; ++rep) {
+    struct RepOut {
+      std::vector<double> down, up;
+    };
+    const auto outs = bench::mapReps(args.reps, [&](int rep) {
       // Availability varies across the five measurement days/hours.
       sim::Rng ctx(args.seed + static_cast<std::uint64_t>(rep));
       const double avail = ctx.uniform(0.78, 0.98);
-      const auto d = bench::measureCellThroughput(
-          loc, avail, paper.n, cell::Direction::kDownlink, sim::megabytes(2),
-          args.seed * 31 + static_cast<std::uint64_t>(rep));
-      const auto u = bench::measureCellThroughput(
-          loc, avail, paper.n, cell::Direction::kUplink, sim::megabytes(2),
-          args.seed * 37 + static_cast<std::uint64_t>(rep));
-      for (double bps : d.per_device_bps) down.add(sim::toMbps(bps));
-      for (double bps : u.per_device_bps) up.add(sim::toMbps(bps));
+      RepOut r;
+      r.down = bench::measureCellThroughput(
+                   loc, avail, paper.n, cell::Direction::kDownlink,
+                   sim::megabytes(2),
+                   args.seed * 31 + static_cast<std::uint64_t>(rep))
+                   .per_device_bps;
+      r.up = bench::measureCellThroughput(
+                 loc, avail, paper.n, cell::Direction::kUplink,
+                 sim::megabytes(2),
+                 args.seed * 37 + static_cast<std::uint64_t>(rep))
+                 .per_device_bps;
+      return r;
+    });
+    for (const RepOut& r : outs) {
+      for (double bps : r.down) down.add(sim::toMbps(bps));
+      for (double bps : r.up) up.add(sim::toMbps(bps));
     }
     auto cell3 = [](const stats::Summary& s) {
       return stats::Table::num(s.mean(), 2) + "/" +

@@ -32,13 +32,13 @@ int main(int argc, char** argv) {
         path.queue_packets = std::max(
             64, static_cast<int>(2 * path.rate_bps * rtt / 8 / 1460));
 
-        stats::Summary packet_s;
-        for (int rep = 0; rep < args.reps; ++rep) {
-          packet_s.add(pkt::runPacketTransfer(
-                           path, bytes,
-                           args.seed + static_cast<std::uint64_t>(rep))
-                           .duration_s);
-        }
+        const stats::Summary packet_s =
+            bench::summarizeReps(args.reps, [&](int rep) {
+              return pkt::runPacketTransfer(
+                         path, bytes,
+                         args.seed + static_cast<std::uint64_t>(rep))
+                  .duration_s;
+            });
 
         const double rate = std::min(
             path.rate_bps, net::mathisCapBps(rtt, loss));

@@ -1,0 +1,49 @@
+#include "exec/parallel.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+namespace gol::exec {
+
+namespace {
+
+struct Join {
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t left;
+  std::exception_ptr error;
+};
+
+}  // namespace
+
+void parallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (pool.threadCount() <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Tasks hold the join state by shared_ptr: the last finisher may still be
+  // unlocking after the caller's wait returns and the frame unwinds.
+  auto join = std::make_shared<Join>();
+  join->left = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([join, &fn, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(join->m);
+        if (!join->error) join->error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(join->m);
+      if (--join->left == 0) join->cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(join->m);
+  join->cv.wait(lock, [&] { return join->left == 0; });
+  if (join->error) std::rethrow_exception(join->error);
+}
+
+}  // namespace gol::exec

@@ -1,0 +1,51 @@
+// Deterministic fork-join helpers on top of ThreadPool.
+//
+// Determinism contract: `parallelMap`/`parallelMapIndexed` assign result i
+// from input i, so the returned vector is identical to a serial loop as
+// long as each per-item computation is self-contained (own Simulator, own
+// Rng seeded from the item index — the repository-wide pattern). Thread
+// count and scheduling affect wall-clock only, never values or order.
+//
+// Not reentrant: calling these from inside a pool task of the same pool
+// would block a worker on its own pool's progress.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace gol::exec {
+
+/// Runs fn(0), ..., fn(n-1) across the pool and returns once all have
+/// completed. With a single-threaded pool (or n <= 1) it degenerates to an
+/// inline serial loop. The first exception thrown by any item is rethrown
+/// on the calling thread after the join.
+void parallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+/// Ordered map over indices: out[i] = fn(i). Results are written by index,
+/// so ordering matches the serial loop exactly.
+template <typename Fn>
+auto parallelMapIndexed(ThreadPool& pool, std::size_t n, Fn&& fn)
+    -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
+  using R = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+  static_assert(!std::is_same_v<R, bool>,
+                "map to char/int instead: vector<bool> elements cannot be "
+                "written concurrently");
+  std::vector<R> out(n);
+  parallelFor(pool, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Ordered map over items: out[i] = fn(items[i]).
+template <typename T, typename Fn>
+auto parallelMap(ThreadPool& pool, const std::vector<T>& items, Fn&& fn)
+    -> std::vector<std::decay_t<std::invoke_result_t<Fn&, const T&>>> {
+  return parallelMapIndexed(pool, items.size(),
+                            [&](std::size_t i) { return fn(items[i]); });
+}
+
+}  // namespace gol::exec

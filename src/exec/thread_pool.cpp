@@ -1,0 +1,103 @@
+#include "exec/thread_pool.hpp"
+
+#include <utility>
+
+namespace gol::exec {
+
+namespace {
+std::atomic<unsigned> g_default_threads{0};
+}  // namespace
+
+unsigned ThreadPool::defaultThreads() {
+  const unsigned override = g_default_threads.load(std::memory_order_relaxed);
+  if (override != 0) return override;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+void ThreadPool::setDefaultThreads(unsigned n) {
+  g_default_threads.store(n, std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = defaultThreads();
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    threads_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_m_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const std::size_t w =
+      next_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(workers_[w]->m);
+    workers_[w]->q.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    // Taking the wake mutex orders the queued_ increment against a
+    // worker's predicate check, closing the lost-wakeup window.
+    std::lock_guard<std::mutex> lock(wake_m_);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::tryPop(unsigned self, std::function<void()>& out) {
+  {
+    Worker& own = *workers_[self];
+    std::lock_guard<std::mutex> lock(own.m);
+    if (!own.q.empty()) {
+      out = std::move(own.q.front());
+      own.q.pop_front();
+      return true;
+    }
+  }
+  const unsigned n = threadCount();
+  for (unsigned d = 1; d < n; ++d) {
+    Worker& victim = *workers_[(self + d) % n];
+    std::lock_guard<std::mutex> lock(victim.m);
+    if (!victim.q.empty()) {
+      out = std::move(victim.q.back());  // steal the cold end
+      victim.q.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned self) {
+  std::function<void()> task;
+  for (;;) {
+    if (tryPop(self, task)) {
+      queued_.fetch_sub(1, std::memory_order_acquire);
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_m_);
+    wake_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+}  // namespace gol::exec

@@ -1,0 +1,63 @@
+// Work-stealing thread pool for the experiment harness.
+//
+// Each worker owns a deque: it pops its own work from the front (LIFO
+// locality for the submitter's round-robin placement) and steals from the
+// back of a peer's deque when its own runs dry. The pool executes tasks —
+// it makes no ordering promises; deterministic output is the job of the
+// parallelFor/parallelMap layer, which assigns results by index.
+//
+// Simulations stay single-threaded: a pool task typically builds its own
+// Simulator/FlowNetwork, runs it to completion, and returns a value.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gol::exec {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` resolves to defaultThreads().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues `task` for execution on some worker. Thread-safe.
+  void submit(std::function<void()> task);
+
+  /// Process-wide default worker count: hardware_concurrency() unless
+  /// overridden (the CLI's --jobs flag lands here).
+  static unsigned defaultThreads();
+  static void setDefaultThreads(unsigned n);
+
+ private:
+  struct Worker {
+    std::mutex m;
+    std::deque<std::function<void()>> q;
+  };
+
+  void workerLoop(unsigned self);
+  bool tryPop(unsigned self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex wake_m_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace gol::exec

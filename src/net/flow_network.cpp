@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "sim/units.hpp"
 
@@ -13,12 +12,21 @@ namespace gol::net {
 namespace {
 constexpr double kDoneEpsilonBytes = 1e-6;
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool ratesClose(double a, double b) {
+  if (std::isinf(a) || std::isinf(b)) return std::isinf(a) == std::isinf(b);
+  return std::abs(a - b) <= 1e-6 * std::max({1.0, std::abs(a), std::abs(b)});
+}
 }  // namespace
 
 Link* FlowNetwork::createLink(std::string name, double capacity_bps) {
   if (capacity_bps < 0) throw std::invalid_argument("negative link capacity");
   const auto id = static_cast<LinkId>(links_.size());
   links_.push_back(std::make_unique<Link>(id, std::move(name), capacity_bps));
+  link_flows_.emplace_back();
+  link_epoch_.push_back(0);
+  link_residual_.push_back(0);
+  link_count_.push_back(0);
   return links_.back().get();
 }
 
@@ -28,7 +36,7 @@ void FlowNetwork::setLinkCapacity(Link* link, double capacity_bps) {
   if (link->capacity_bps_ == capacity_bps) return;
   advance();
   link->capacity_bps_ = capacity_bps;
-  reschedule();
+  reschedule({link}, 0);
 }
 
 FlowId FlowNetwork::startFlow(FlowSpec spec) {
@@ -41,8 +49,9 @@ FlowId FlowNetwork::startFlow(FlowSpec spec) {
   st.total_bytes = spec.bytes;
   st.cap_bps = spec.rate_cap_bps;
   st.on_complete = std::move(spec.on_complete);
-  flows_.emplace(id, std::move(st));
-  reschedule();
+  const auto [it, inserted] = flows_.emplace(id, std::move(st));
+  indexFlow(id, it->second);
+  reschedule({}, id);
   return id;
 }
 
@@ -52,8 +61,11 @@ double FlowNetwork::abortFlow(FlowId id) {
   advance();
   const double transferred =
       it->second.total_bytes - it->second.remaining_bytes;
+  std::vector<const Link*> dirty(it->second.path.begin(),
+                                 it->second.path.end());
+  unindexFlow(id, it->second);
   flows_.erase(it);
-  reschedule();
+  reschedule(dirty, 0);
   return transferred;
 }
 
@@ -63,7 +75,7 @@ void FlowNetwork::setFlowRateCap(FlowId id, double cap_bps) {
   if (cap_bps < 0) throw std::invalid_argument("negative rate cap");
   advance();
   it->second.cap_bps = cap_bps;
-  reschedule();
+  reschedule({}, id);
 }
 
 double FlowNetwork::flowRateBps(FlowId id) const {
@@ -94,15 +106,29 @@ double FlowNetwork::linkUtilization(const Link* link) const {
 
 double FlowNetwork::linkLoadBps(const Link* link) const {
   double load = 0;
-  for (const auto& [id, st] : flows_) {
-    for (const Link* l : st.path) {
-      if (l == link) {
-        load += st.rate_bps;
-        break;
-      }
-    }
+  for (const FlowId id : link_flows_[link->id()]) {
+    // One entry per path hop; a flow crossing the link twice contributes
+    // its rate twice, matching the double capacity it consumes.
+    const auto it = flows_.find(id);
+    if (it != flows_.end()) load += it->second.rate_bps;
   }
   return load;
+}
+
+void FlowNetwork::indexFlow(FlowId id, const FlowState& st) {
+  for (const Link* l : st.path) link_flows_[l->id()].push_back(id);
+}
+
+void FlowNetwork::unindexFlow(FlowId id, const FlowState& st) {
+  for (const Link* l : st.path) {
+    auto& v = link_flows_[l->id()];
+    // Remove one occurrence per hop (paths may cross a link repeatedly).
+    const auto pos = std::find(v.begin(), v.end(), id);
+    if (pos != v.end()) {
+      *pos = v.back();
+      v.pop_back();
+    }
+  }
 }
 
 void FlowNetwork::advance() {
@@ -117,71 +143,166 @@ void FlowNetwork::advance() {
   last_advance_ = now;
 }
 
-void FlowNetwork::computeRates() {
-  // Progressive filling (water-filling) max-min fairness with per-flow caps.
-  std::unordered_map<const Link*, double> residual;
-  std::unordered_map<const Link*, int> unfrozen_count;
-  std::unordered_set<FlowId> unfrozen;
+std::vector<FlowId> FlowNetwork::affectedFlows(
+    const std::vector<const Link*>& seed_links, FlowId seed_flow) {
+  ++epoch_;
+  std::vector<FlowId> out;
+  std::vector<const Link*> frontier;
 
-  for (auto& [id, st] : flows_) {
+  const auto visitLink = [&](const Link* l) {
+    auto& stamp = link_epoch_[l->id()];
+    if (stamp != epoch_) {
+      stamp = epoch_;
+      frontier.push_back(l);
+    }
+  };
+  const auto visitFlow = [&](FlowId id, FlowState& st) {
+    if (st.visit_epoch == epoch_) return;
+    st.visit_epoch = epoch_;
+    out.push_back(id);
+    for (const Link* l : st.path) visitLink(l);
+  };
+
+  for (const Link* l : seed_links) visitLink(l);
+  if (seed_flow != 0) {
+    const auto it = flows_.find(seed_flow);
+    if (it != flows_.end()) visitFlow(seed_flow, it->second);
+  }
+  while (!frontier.empty()) {
+    const Link* l = frontier.back();
+    frontier.pop_back();
+    for (const FlowId id : link_flows_[l->id()]) {
+      visitFlow(id, flows_.find(id)->second);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void FlowNetwork::waterFill(const std::vector<FlowId>& ids) {
+  if (ids.empty()) return;
+  ++epoch_;
+
+  // Gather the component's flows and (unique) links; reset rates and
+  // initialize residual capacity / unfrozen counts in the epoch scratch.
+  std::vector<FlowState*> fl;
+  fl.reserve(ids.size());
+  std::vector<const Link*> comp_links;
+  for (const FlowId id : ids) {
+    FlowState& st = flows_.find(id)->second;
     st.rate_bps = 0;
-    unfrozen.insert(id);
+    fl.push_back(&st);
     for (const Link* l : st.path) {
-      residual.emplace(l, l->capacityBps());
-      ++unfrozen_count[l];
+      const LinkId li = l->id();
+      if (link_epoch_[li] != epoch_) {
+        link_epoch_[li] = epoch_;
+        link_residual_[li] = l->capacityBps();
+        link_count_[li] = 0;
+        comp_links.push_back(l);
+      }
+      ++link_count_[li];
     }
   }
 
-  while (!unfrozen.empty()) {
+  std::vector<char> frozen(ids.size(), 0);
+  std::vector<std::size_t> to_freeze;
+  std::size_t remaining = ids.size();
+  while (remaining > 0) {
     // Candidate level: the smallest of (a) any unfrozen flow's cap and
     // (b) any link's equal share among its unfrozen flows.
     double level = kInf;
-    for (FlowId id : unfrozen) level = std::min(level, flows_[id].cap_bps);
-    for (const auto& [l, res] : residual) {
-      const int n = unfrozen_count[l];
-      if (n > 0) level = std::min(level, std::max(0.0, res) / n);
+    for (std::size_t i = 0; i < fl.size(); ++i) {
+      if (!frozen[i]) level = std::min(level, fl[i]->cap_bps);
+    }
+    for (const Link* l : comp_links) {
+      const int n = link_count_[l->id()];
+      if (n > 0) {
+        level = std::min(level,
+                         std::max(0.0, link_residual_[l->id()]) / n);
+      }
     }
     if (std::isinf(level)) {
       // Every remaining flow is uncapped and crosses no finite link.
-      for (FlowId id : unfrozen) flows_[id].rate_bps = kInf;
+      for (std::size_t i = 0; i < fl.size(); ++i) {
+        if (!frozen[i]) fl[i]->rate_bps = kInf;
+      }
       break;
     }
 
-    // Freeze flows bound at this level: capped flows first, then flows on
-    // bottleneck links. At least one flow freezes per iteration.
-    std::vector<FlowId> to_freeze;
-    for (FlowId id : unfrozen) {
-      const FlowState& st = flows_[id];
+    // Freeze flows bound at this level: capped flows, and flows on
+    // bottleneck links. Decisions use the pre-pass residuals (collected
+    // first, applied after) so the outcome is order-independent. At least
+    // one flow freezes per iteration.
+    to_freeze.clear();
+    for (std::size_t i = 0; i < fl.size(); ++i) {
+      if (frozen[i]) continue;
+      const FlowState& st = *fl[i];
       bool bound = st.cap_bps <= level + 1e-12;
       if (!bound) {
         for (const Link* l : st.path) {
-          const int n = unfrozen_count[l];
-          if (n > 0 && std::max(0.0, residual[l]) / n <= level + 1e-12) {
+          const int n = link_count_[l->id()];
+          if (n > 0 &&
+              std::max(0.0, link_residual_[l->id()]) / n <= level + 1e-12) {
             bound = true;
             break;
           }
         }
       }
-      if (bound) to_freeze.push_back(id);
+      if (bound) to_freeze.push_back(i);
     }
     if (to_freeze.empty()) {
       // Numerical safety net: freeze everything at the level.
-      to_freeze.assign(unfrozen.begin(), unfrozen.end());
+      for (std::size_t i = 0; i < fl.size(); ++i) {
+        if (!frozen[i]) to_freeze.push_back(i);
+      }
     }
-    for (FlowId id : to_freeze) {
-      FlowState& st = flows_[id];
+    for (const std::size_t i : to_freeze) {
+      FlowState& st = *fl[i];
       st.rate_bps = std::min(level, st.cap_bps);
       for (const Link* l : st.path) {
-        residual[l] -= st.rate_bps;
-        --unfrozen_count[l];
+        link_residual_[l->id()] -= st.rate_bps;
+        --link_count_[l->id()];
       }
-      unfrozen.erase(id);
+      frozen[i] = 1;
+      --remaining;
     }
   }
 }
 
-void FlowNetwork::reschedule() {
-  computeRates();
+void FlowNetwork::crossCheckRates() {
+  std::vector<std::pair<FlowId, double>> incremental;
+  std::vector<FlowId> all;
+  incremental.reserve(flows_.size());
+  all.reserve(flows_.size());
+  for (const auto& [id, st] : flows_) {
+    incremental.emplace_back(id, st.rate_bps);
+    all.push_back(id);
+  }
+  waterFill(all);
+  for (const auto& [id, rate] : incremental) {
+    const double full = flows_.find(id)->second.rate_bps;
+    if (!ratesClose(rate, full)) {
+      std::ostringstream msg;
+      msg << "FlowNetwork incremental/full divergence: flow " << id
+          << " incremental=" << rate << " full=" << full;
+      throw std::logic_error(msg.str());
+    }
+  }
+  // Keep the incremental values so behaviour is identical with the check
+  // on or off (the two can differ by harmless last-ulp rounding).
+  for (const auto& [id, rate] : incremental) {
+    flows_.find(id)->second.rate_bps = rate;
+  }
+}
+
+void FlowNetwork::reschedule(const std::vector<const Link*>& dirty_links,
+                             FlowId dirty_flow) {
+  waterFill(affectedFlows(dirty_links, dirty_flow));
+  if (cross_check_) crossCheckRates();
+  scheduleCompletion();
+}
+
+void FlowNetwork::scheduleCompletion() {
   if (pending_event_ != 0) {
     sim_.cancel(pending_event_);
     pending_event_ = 0;
@@ -219,16 +340,20 @@ void FlowNetwork::completionEvent() {
   // Callbacks may start new flows or abort others; by firing after the
   // network state is consistent we allow that re-entrancy.
   std::vector<std::pair<FlowId, std::function<void(FlowId)>>> done;
+  std::vector<const Link*> dirty;
   for (auto it = flows_.begin(); it != flows_.end();) {
     if (it->second.remaining_bytes <= kDoneEpsilonBytes ||
         std::isinf(it->second.rate_bps)) {
       done.emplace_back(it->first, std::move(it->second.on_complete));
+      dirty.insert(dirty.end(), it->second.path.begin(),
+                   it->second.path.end());
+      unindexFlow(it->first, it->second);
       it = flows_.erase(it);
     } else {
       ++it;
     }
   }
-  reschedule();
+  reschedule(dirty, 0);
   for (auto& [id, cb] : done) {
     if (cb) cb(id);
   }

@@ -1,10 +1,17 @@
 // Fluid-flow network with progressive-filling max-min fair bandwidth sharing.
 //
 // Flows are fluid: each holds a remaining-bytes counter and a current rate.
-// Whenever the flow set or any link capacity changes, all rates are
-// recomputed with the classic water-filling algorithm (respecting per-flow
-// rate caps, which model device limits and TCP loss ceilings), and the next
+// Whenever the flow set or any link capacity changes, rates are recomputed
+// with the classic water-filling algorithm (respecting per-flow rate caps,
+// which model device limits and TCP loss ceilings), and the next
 // flow-completion event is (re)scheduled on the simulator.
+//
+// The recomputation is *incremental*: a change only re-water-fills the
+// connected component of flows and links transitively reachable from the
+// touched elements (flows connected by shared links). Rates in untouched
+// components are provably unchanged by max-min fairness, so they are
+// reused as-is. Debug builds cross-check every incremental result against
+// a full recompute (see setRateCrossCheck).
 #pragma once
 
 #include <cstdint>
@@ -56,6 +63,12 @@ class FlowNetwork {
   /// Sum of current flow rates crossing the link, in bps.
   double linkLoadBps(const Link* link) const;
 
+  /// Verifies every incremental rate update against a full water-fill over
+  /// all flows and throws std::logic_error on divergence. Defaults to on in
+  /// Debug (!NDEBUG) builds, off in Release; the fuzz suite forces it on.
+  void setRateCrossCheck(bool on) { cross_check_ = on; }
+  bool rateCrossCheck() const { return cross_check_; }
+
   sim::Simulator& simulator() { return sim_; }
 
  private:
@@ -66,14 +79,29 @@ class FlowNetwork {
     double rate_bps = 0;
     double cap_bps;
     std::function<void(FlowId)> on_complete;
+    std::uint32_t visit_epoch = 0;  // scratch for component traversal
   };
 
   /// Moves every flow forward to the current simulator time.
   void advance();
-  /// Recomputes all flow rates (max-min) and reschedules completion.
-  void reschedule();
-  void computeRates();
+  /// Incremental reschedule: re-water-fills only the connected component(s)
+  /// reachable from `dirty_links` / `dirty_flow` (0 = none), then re-arms
+  /// the completion event.
+  void reschedule(const std::vector<const Link*>& dirty_links,
+                  FlowId dirty_flow);
+  /// Flows connected (via shared links, transitively) to the seeds, sorted.
+  std::vector<FlowId> affectedFlows(const std::vector<const Link*>& seed_links,
+                                    FlowId seed_flow);
+  /// Progressive-filling max-min over exactly `ids` (sorted). `ids` must be
+  /// closed under link sharing: every flow crossing a link of an `ids` flow
+  /// is itself in `ids`.
+  void waterFill(const std::vector<FlowId>& ids);
+  void crossCheckRates();
+  void scheduleCompletion();
   void completionEvent();
+
+  void indexFlow(FlowId id, const FlowState& st);
+  void unindexFlow(FlowId id, const FlowState& st);
 
   sim::Simulator& sim_;
   std::vector<std::unique_ptr<Link>> links_;
@@ -81,6 +109,21 @@ class FlowNetwork {
   FlowId next_flow_id_ = 1;
   sim::Time last_advance_ = 0;
   sim::EventId pending_event_ = 0;
+  bool cross_check_ =
+#ifndef NDEBUG
+      true;
+#else
+      false;
+#endif
+
+  // Per-link scratch, indexed by LinkId and validated by epoch stamps so a
+  // reschedule touches only the links of the affected component (no O(L)
+  // clears on the hot path).
+  std::vector<std::vector<FlowId>> link_flows_;  // one entry per path hop
+  std::vector<std::uint32_t> link_epoch_;
+  std::vector<double> link_residual_;
+  std::vector<int> link_count_;
+  std::uint32_t epoch_ = 0;
 };
 
 }  // namespace gol::net

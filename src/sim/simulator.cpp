@@ -1,42 +1,98 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace gol::sim {
 
-EventId Simulator::scheduleAt(Time at, std::function<void()> fn) {
-  if (at < now_) at = now_;
-  const EventId id = next_id_++;
-  queue_.push(Entry{at, id, std::move(fn)});
-  return id;
+namespace {
+
+EventId makeId(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<EventId>(slot) << 32) | gen;
 }
 
-EventId Simulator::scheduleIn(Time delay, std::function<void()> fn) {
+}  // namespace
+
+EventId Simulator::scheduleAt(Time at, Task fn) {
+  if (at < now_) at = now_;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    if ((slot_count_ & (kChunkSize - 1)) == 0) {
+      slots_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    }
+    slot = slot_count_++;
+  }
+  Slot& s = slotAt(slot);
+  s.fn = std::move(fn);
+  ++s.gen;  // even -> odd: occupied. (Wraps after 2^32 reuses of one slot;
+            // a stale id matching a wrapped generation is not a realistic
+            // concern at simulation scales.)
+  pushEntry(HeapEntry{at, next_seq_++, slot, s.gen});
+  ++live_;
+  return makeId(slot, s.gen);
+}
+
+EventId Simulator::scheduleIn(Time delay, Task fn) {
   if (delay < 0) delay = 0;
   return scheduleAt(now_ + delay, std::move(fn));
 }
 
 void Simulator::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return;
-  cancelled_.insert(id);
+  const auto slot = static_cast<std::uint32_t>(id >> 32);
+  const auto gen = static_cast<std::uint32_t>(id);
+  if ((gen & 1u) == 0 || slot >= slot_count_) return;
+  Slot& s = slotAt(slot);
+  if (s.gen != gen) return;  // already fired, cancelled, or recycled
+  s.fn.reset();              // release captures now, not at pop time
+  ++s.gen;                   // odd -> even: free
+  free_slots_.push_back(slot);
+  --live_;
+  compactIfStale();
+}
+
+void Simulator::pushEntry(HeapEntry e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void Simulator::popEntry() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+}
+
+void Simulator::compactIfStale() {
+  // Cancelled events leave 24-byte stale entries behind; sweep them once
+  // they outnumber live ones so heap memory tracks the live event count.
+  if (heap_.size() < 64 || heap_.size() < 2 * live_) return;
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const HeapEntry& e) {
+                               return !entryLive(e);
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    Entry top = queue_.top();
-    queue_.pop();
-    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    popEntry();
+    Slot& s = slotAt(top.slot);
+    if (s.gen != top.gen) continue;  // cancelled: skip the stale entry
+    Task fn = std::move(s.fn);
+    ++s.gen;
+    free_slots_.push_back(top.slot);
+    --live_;
     now_ = top.at;
     ++processed_;
     if (events_fired_) {
       events_fired_->inc();
       queue_depth_->set(static_cast<double>(pendingEvents()));
     }
-    top.fn();
+    fn();
     return true;
   }
   return false;
@@ -49,21 +105,15 @@ void Simulator::run() {
 
 void Simulator::runUntil(Time t) {
   if (t < now_) throw std::invalid_argument("runUntil into the past");
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (cancelled_.count(top.id) != 0) {
-      cancelled_.erase(top.id);
-      queue_.pop();
+  while (!heap_.empty()) {
+    if (!entryLive(heap_.front())) {
+      popEntry();
       continue;
     }
-    if (top.at > t) break;
+    if (heap_.front().at > t) break;
     step();
   }
   now_ = t;
-}
-
-std::size_t Simulator::pendingEvents() const {
-  return queue_.size() - cancelled_.size();
 }
 
 void Simulator::instrument(telemetry::Registry* registry) {

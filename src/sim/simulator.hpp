@@ -3,20 +3,29 @@
 // Events fire in (time, insertion-sequence) order, so two events scheduled
 // for the same instant fire in the order they were scheduled — this makes
 // every run bit-reproducible for a given seed and call sequence.
+//
+// Hot-path design: each pending event's callable lives in a slot of a
+// recycled slab (a `Task` with 64-byte inline storage, so typical lambdas
+// never touch the heap), and the priority queue holds 24-byte POD entries
+// (time, sequence, slot, generation). Cancellation bumps the slot's
+// generation — O(1), no hashing, and the callable's captures are released
+// immediately; the stale heap entry is skipped at pop time and compacted
+// away once stale entries outnumber live ones. Memory is therefore bounded
+// by the peak number of *live* events, not by the schedule/cancel volume.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
+#include "sim/task.hpp"
 #include "sim/units.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace gol::sim {
 
 /// Handle identifying a scheduled event; usable with Simulator::cancel.
+/// Encodes (slot, generation); 0 is never a valid id.
 using EventId = std::uint64_t;
 
 class Simulator {
@@ -28,11 +37,12 @@ class Simulator {
   Time now() const { return now_; }
 
   /// Schedules `fn` at absolute time `at` (must be >= now()).
-  EventId scheduleAt(Time at, std::function<void()> fn);
+  EventId scheduleAt(Time at, Task fn);
   /// Schedules `fn` `delay` seconds from now (negative delays clamp to now).
-  EventId scheduleIn(Time delay, std::function<void()> fn);
-  /// Cancels a pending event. Cancelling an already-fired or unknown id is a
-  /// harmless no-op (the duplicate-abort path in the scheduler relies on it).
+  EventId scheduleIn(Time delay, Task fn);
+  /// Cancels a pending event in O(1). Cancelling an already-fired or
+  /// unknown id is a harmless no-op (the duplicate-abort path in the
+  /// scheduler relies on it).
   void cancel(EventId id);
 
   /// Runs a single event. Returns false when the queue is exhausted.
@@ -42,8 +52,12 @@ class Simulator {
   /// Runs all events with time <= t, then advances the clock to exactly t.
   void runUntil(Time t);
 
-  std::size_t pendingEvents() const;
+  std::size_t pendingEvents() const { return live_; }
   std::uint64_t processedEvents() const { return processed_; }
+  /// Number of callable slots ever allocated — bounded by the peak count of
+  /// concurrently pending events, regardless of schedule/cancel volume
+  /// (regression hook for the tombstone-growth bug).
+  std::size_t slotCapacity() const { return slot_count_; }
 
   /// Publishes `gol.sim.events_fired` and the `gol.sim.queue_depth` gauge
   /// into `registry` (nullptr detaches). Off by default: simulators are
@@ -51,25 +65,51 @@ class Simulator {
   void instrument(telemetry::Registry* registry);
 
  private:
-  struct Entry {
+  struct Slot {
+    Task fn;
+    std::uint32_t gen = 0;  // odd while occupied, even while free
+  };
+  struct HeapEntry {
     Time at;
-    EventId id;
-    std::function<void()> fn;
+    std::uint64_t seq;   // insertion order: ties at equal time keep it
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
 
+  // Slots live in fixed 256-entry chunks so growth never relocates a
+  // pending Task (stable addresses; no move-relocate storm on expansion).
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  Slot& slotAt(std::uint32_t s) {
+    return slots_[s >> kChunkShift][s & (kChunkSize - 1)];
+  }
+  const Slot& slotAt(std::uint32_t s) const {
+    return slots_[s >> kChunkShift][s & (kChunkSize - 1)];
+  }
+  bool entryLive(const HeapEntry& e) const {
+    return slotAt(e.slot).gen == e.gen;
+  }
+  void pushEntry(HeapEntry e);
+  void popEntry();
+  void compactIfStale();
+
   Time now_ = 0.0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
+  std::size_t live_ = 0;
   telemetry::Counter* events_fired_ = nullptr;
   telemetry::Gauge* queue_depth_ = nullptr;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<HeapEntry> heap_;  // binary heap ordered by Later
+  std::vector<std::unique_ptr<Slot[]>> slots_;
+  std::uint32_t slot_count_ = 0;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace gol::sim

@@ -1,0 +1,133 @@
+// Move-only callable with small-buffer optimization, tuned for the event
+// queue: a typical simulator lambda (a `this` pointer plus a few captured
+// values) lands in the 64-byte inline buffer, so scheduling an event does
+// not allocate. Larger callables fall back to a single heap allocation.
+#pragma once
+
+#include <cstddef>
+#include <functional>  // std::bad_function_call
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gol::sim {
+
+class Task {
+ public:
+  /// Inline storage size. Callables up to this size (and max_align_t
+  /// alignment) that are nothrow-move-constructible are stored in place.
+  static constexpr std::size_t kInlineSize = 64;
+
+  Task() noexcept = default;
+  Task(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, Task> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  Task(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &kInlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vt_ = &kHeapVTable<D>;
+    }
+  }
+
+  Task(Task&& other) noexcept { moveFrom(other); }
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { reset(); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  void operator()() {
+    if (vt_ == nullptr) throw std::bad_function_call();
+    vt_->invoke(buf_);
+  }
+
+  /// Destroys the held callable (releasing its captures) and becomes empty.
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  /// True when the held callable lives in the inline buffer (test hook).
+  bool storedInline() const noexcept { return vt_ != nullptr && vt_->inline_stored; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    // Move-constructs the callable into `dst` and destroys the `src` copy.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename D>
+  static constexpr bool kFitsInline =
+      sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static void inlineInvoke(void* p) {
+    (*std::launder(reinterpret_cast<D*>(p)))();
+  }
+  template <typename D>
+  static void inlineRelocate(void* src, void* dst) noexcept {
+    D* s = std::launder(reinterpret_cast<D*>(src));
+    ::new (dst) D(std::move(*s));
+    s->~D();
+  }
+  template <typename D>
+  static void inlineDestroy(void* p) noexcept {
+    std::launder(reinterpret_cast<D*>(p))->~D();
+  }
+
+  template <typename D>
+  static D*& heapSlot(void* p) {
+    return *std::launder(reinterpret_cast<D**>(p));
+  }
+  template <typename D>
+  static void heapInvoke(void* p) {
+    (*heapSlot<D>(p))();
+  }
+  template <typename D>
+  static void heapRelocate(void* src, void* dst) noexcept {
+    ::new (dst) D*(heapSlot<D>(src));
+  }
+  template <typename D>
+  static void heapDestroy(void* p) noexcept {
+    delete heapSlot<D>(p);
+  }
+
+  template <typename D>
+  static constexpr VTable kInlineVTable{&inlineInvoke<D>, &inlineRelocate<D>,
+                                        &inlineDestroy<D>, true};
+  template <typename D>
+  static constexpr VTable kHeapVTable{&heapInvoke<D>, &heapRelocate<D>,
+                                      &heapDestroy<D>, false};
+
+  void moveFrom(Task& other) noexcept {
+    if (other.vt_ != nullptr) {
+      vt_ = other.vt_;
+      vt_->relocate(other.buf_, buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+};
+
+}  // namespace gol::sim

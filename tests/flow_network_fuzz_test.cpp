@@ -26,6 +26,9 @@ TEST_P(FlowFuzz, InvariantsUnderRandomOperations) {
   const auto param = GetParam();
   sim::Simulator simulator;
   FlowNetwork net(simulator);
+  // Validate every incremental re-schedule against a full water-fill; any
+  // divergence throws std::logic_error and fails the test.
+  net.setRateCrossCheck(true);
   sim::Rng rng(param.seed);
 
   std::vector<Link*> links;
@@ -99,6 +102,86 @@ TEST_P(FlowFuzz, InvariantsUnderRandomOperations) {
   }
   EXPECT_EQ(net.activeFlowCount(), 0u);
   EXPECT_GE(aborted_bytes_moved, 0.0);
+}
+
+// Incremental-vs-full equivalence under heavy churn: 16 isolated 4-link
+// components, 64+ flows, random start/abort/capacity ops. The embedded
+// cross-check recomputes the whole network after every dirty-component
+// water-fill and throws on any rate divergence — so this passing IS the
+// equivalence proof, at the scale the incremental path is designed for.
+TEST(FlowIncremental, MatchesFullRecomputeOnRandomizedChurn) {
+  sim::Simulator simulator;
+  FlowNetwork net(simulator);
+  net.setRateCrossCheck(true);
+  sim::Rng rng(1234);
+
+  constexpr int kComponents = 16;
+  constexpr int kLinksPer = 4;
+  std::vector<std::vector<Link*>> comp(kComponents);
+  for (int c = 0; c < kComponents; ++c) {
+    for (int l = 0; l < kLinksPer; ++l) {
+      comp[static_cast<std::size_t>(c)].push_back(net.createLink(
+          "c" + std::to_string(c) + "l" + std::to_string(l),
+          sim::mbps(rng.uniform(1.0, 10.0))));
+    }
+  }
+
+  std::vector<FlowId> flows;
+  auto start_one = [&](int c) {
+    auto& ls = comp[static_cast<std::size_t>(c)];
+    FlowSpec spec;
+    const int hops = static_cast<int>(rng.uniformInt(1, kLinksPer));
+    for (int h = 0; h < hops; ++h) {
+      spec.path.push_back(
+          ls[static_cast<std::size_t>(rng.uniformInt(0, kLinksPer - 1))]);
+    }
+    spec.bytes = rng.uniform(1e5, 5e6);
+    if (rng.bernoulli(0.3)) spec.rate_cap_bps = sim::mbps(rng.uniform(0.2, 3.0));
+    flows.push_back(net.startFlow(std::move(spec)));
+  };
+  for (int c = 0; c < kComponents; ++c) {
+    for (int f = 0; f < 4; ++f) start_one(c);  // 64 flows live
+  }
+  EXPECT_GE(net.activeFlowCount(), 64u);
+
+  for (int op = 0; op < 400; ++op) {
+    const int c = static_cast<int>(rng.uniformInt(0, kComponents - 1));
+    switch (rng.uniformInt(0, 3)) {
+      case 0:
+        start_one(c);
+        break;
+      case 1: {
+        for (FlowId id : flows) {
+          if (net.active(id)) {
+            net.abortFlow(id);
+            break;
+          }
+        }
+        break;
+      }
+      case 2: {
+        auto& ls = comp[static_cast<std::size_t>(c)];
+        net.setLinkCapacity(
+            ls[static_cast<std::size_t>(rng.uniformInt(0, kLinksPer - 1))],
+            sim::mbps(rng.uniform(0.5, 10.0)));
+        break;
+      }
+      default:
+        simulator.runUntil(simulator.now() + rng.uniform(0.005, 0.2));
+        break;
+    }
+  }
+  simulator.run();
+  EXPECT_EQ(net.activeFlowCount(), 0u);
+}
+
+TEST(FlowIncremental, CrossCheckToggleIsQueryable) {
+  sim::Simulator simulator;
+  FlowNetwork net(simulator);
+  net.setRateCrossCheck(true);
+  EXPECT_TRUE(net.rateCrossCheck());
+  net.setRateCrossCheck(false);
+  EXPECT_FALSE(net.rateCrossCheck());
 }
 
 std::vector<FuzzParam> fuzzParams() {

@@ -1,0 +1,128 @@
+// Unit tests for gol::sim::Task — the move-only SBO callable backing the
+// event queue. The interesting cases are storage selection (inline vs
+// heap), move/destroy semantics (captures released exactly once, at the
+// right time), and the empty-call contract.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "sim/task.hpp"
+
+namespace gol::sim {
+namespace {
+
+// Counts live copies of a capture so tests can assert destruction timing.
+struct Tracker {
+  explicit Tracker(int* live) : live_(live) { ++*live_; }
+  Tracker(const Tracker& o) : live_(o.live_) { ++*live_; }
+  Tracker(Tracker&& o) noexcept : live_(o.live_) { ++*live_; }
+  ~Tracker() { --*live_; }
+  int* live_;
+};
+
+TEST(TaskTest, SmallLambdaStoredInline) {
+  int x = 0;
+  Task t([&x] { x = 7; });
+  EXPECT_TRUE(t.storedInline());
+  t();
+  EXPECT_EQ(x, 7);
+}
+
+TEST(TaskTest, LargeLambdaFallsBackToHeap) {
+  std::array<double, 32> big{};  // 256 bytes of captures
+  big[31] = 3.5;
+  double out = 0;
+  Task t([big, &out] { out = big[31]; });
+  EXPECT_FALSE(t.storedInline());
+  t();
+  EXPECT_EQ(out, 3.5);
+}
+
+TEST(TaskTest, EmptyTaskThrowsBadFunctionCall) {
+  Task t;
+  EXPECT_FALSE(static_cast<bool>(t));
+  EXPECT_THROW(t(), std::bad_function_call);
+}
+
+TEST(TaskTest, MoveConstructTransfersCallable) {
+  int calls = 0;
+  Task a([&calls] { ++calls; });
+  Task b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(TaskTest, MoveAssignReleasesPreviousCallable) {
+  int live_old = 0, live_new = 0;
+  Task t = [tr = Tracker(&live_old)] { (void)tr; };
+  EXPECT_EQ(live_old, 1);
+  t = Task([tr = Tracker(&live_new)] { (void)tr; });
+  EXPECT_EQ(live_old, 0) << "old capture must be destroyed on assignment";
+  EXPECT_EQ(live_new, 1);
+  t.reset();
+  EXPECT_EQ(live_new, 0);
+}
+
+TEST(TaskTest, DestructorReleasesCaptures) {
+  int live = 0;
+  {
+    Task t = [tr = Tracker(&live)] { (void)tr; };
+    EXPECT_EQ(live, 1);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(TaskTest, HeapStoredCapturesAlsoReleased) {
+  int live = 0;
+  std::array<char, 200> pad{};
+  {
+    Task t = [tr = Tracker(&live), pad] { (void)tr; (void)pad; };
+    EXPECT_FALSE(t.storedInline());
+    EXPECT_EQ(live, 1);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(TaskTest, MoveOnlyCaptureSupported) {
+  auto p = std::make_unique<int>(41);
+  int out = 0;
+  Task t = [p = std::move(p), &out] { out = *p + 1; };
+  Task u = std::move(t);
+  u();
+  EXPECT_EQ(out, 42);
+}
+
+TEST(TaskTest, SelfMoveAssignIsHarmless) {
+  int calls = 0;
+  Task t([&calls] { ++calls; });
+  Task& ref = t;
+  t = std::move(ref);
+  t();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(TaskTest, MoveDoesNotDoubleDestroy) {
+  int live = 0;
+  {
+    Task a = [tr = Tracker(&live)] { (void)tr; };
+    Task b = std::move(a);
+    Task c = std::move(b);
+    EXPECT_EQ(live, 1) << "exactly one live capture across the move chain";
+    c();
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(TaskTest, ResetOnEmptyIsNoOp) {
+  Task t;
+  t.reset();
+  EXPECT_FALSE(static_cast<bool>(t));
+}
+
+}  // namespace
+}  // namespace gol::sim

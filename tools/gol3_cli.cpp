@@ -18,6 +18,7 @@
 #include "core/allowance.hpp"
 #include "core/upload_session.hpp"
 #include "core/vod_session.hpp"
+#include "exec/thread_pool.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/export.hpp"
 
@@ -208,20 +209,28 @@ void usage() {
                "  trace-mno    generate an MNO dataset CSV\n"
                "run 'gol3 <command> --help' for command options\n"
                "--metrics-out FILE works with every command: dumps the "
-               "telemetry registry as JSON after the run\n");
+               "telemetry registry as JSON after the run\n"
+               "--jobs N works with every command: caps worker threads for "
+               "parallel sections (default: all hardware threads)\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --metrics-out is handled here, before command dispatch, so every
-  // command gets observability without growing its own parser.
+  // --metrics-out and --jobs are handled here, before command dispatch, so
+  // every command gets observability and thread control without growing its
+  // own parser.
   std::string metrics_out;
   std::vector<char*> filtered;
   filtered.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      exec::ThreadPool::setDefaultThreads(
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
       continue;
     }
     filtered.push_back(argv[i]);
