@@ -36,6 +36,15 @@ int main(int argc, char** argv) {
 
   const auto qualities = hls::paperVideoQualitiesBps();
   const char* policies[3] = {"min", "rr", "greedy"};
+  for (const char* policy : policies) {
+    if (!core::SchedulerRegistry::instance().known(policy)) {
+      std::fprintf(stderr,
+                   "fig06: scheduler '%s' not registered (available: %s)\n",
+                   policy,
+                   core::SchedulerRegistry::instance().namesJoined().c_str());
+      return 2;
+    }
+  }
 
   for (int phones = 1; phones <= 2; ++phones) {
     std::printf("\n-- %d phone(s) --\n", phones);

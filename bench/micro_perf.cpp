@@ -39,17 +39,18 @@ class ConstRatePath : public core::TransferPath {
   }
   double nominalRateBps() const override { return rate_bps_; }
 
-  void start(const core::Item& item,
-             std::function<void(const core::Item&)> done) override {
+  using core::TransferPath::start;
+
+  void start(const core::Item& item, DoneFn done) override {
     item_ = item;
     started_at_ = sim_.now();
-    event_ = sim_.scheduleIn(item.bytes * 8.0 / rate_bps_,
-                             [this, done = std::move(done)] {
-                               const core::Item finished = *item_;
-                               item_.reset();
-                               event_ = 0;
-                               done(finished);
-                             });
+    event_ = sim_.scheduleIn(
+        item.bytes * 8.0 / rate_bps_, [this, done = std::move(done)] {
+          const core::Item finished = *item_;
+          item_.reset();
+          event_ = 0;
+          done(finished, core::ItemResult::completed(finished.bytes));
+        });
   }
 
   double abortCurrent() override {

@@ -73,6 +73,13 @@ std::optional<std::size_t> DeadlineScheduler::nextItem(
   return best;
 }
 
+void DeadlineScheduler::onPathAdded(std::size_t path_index,
+                                    double nominal_rate_bps) {
+  if (path_index >= path_rates_bps_.size())
+    path_rates_bps_.resize(path_index + 1, 1e3);
+  path_rates_bps_[path_index] = nominal_rate_bps;
+}
+
 std::vector<double> DeadlineScheduler::hlsDeadlines(
     const std::vector<double>& segment_durations_s,
     const std::vector<double>& segment_bytes,

@@ -39,6 +39,7 @@ class DeadlineScheduler : public Scheduler {
                           const std::vector<double>& nominal_rates_bps) override;
   std::optional<std::size_t> nextItem(const EngineView& view,
                                       std::size_t path_index) override;
+  void onPathAdded(std::size_t path_index, double nominal_rate_bps) override;
 
   /// Deadlines for an HLS playout: playback is assumed to start once the
   /// pre-buffer is filled, estimated as prebuffer bytes over the aggregate

@@ -32,20 +32,43 @@ void DiscoveryAgent::beacon() {
 }
 
 void ClientDiscovery::onAdvertisement(const std::string& device_name) {
-  last_seen_[device_name] = sim_.now();
+  Entry& e = entries_[device_name];
+  e.seen = sim_.now();
+  // Re-arm the age-out: one pending expiry event per device, replaced on
+  // every fresh advertisement.
+  if (e.expiry != 0) sim_.cancel(e.expiry);
+  e.expiry = sim_.scheduleIn(ttl_s_, [this, device_name] {
+    expire(device_name);
+  });
+  if (!e.live) {
+    e.live = true;
+    if (change_) change_(device_name, true);
+  }
+}
+
+void ClientDiscovery::expire(const std::string& device_name) {
+  auto it = entries_.find(device_name);
+  if (it == entries_.end()) return;
+  Entry& e = it->second;
+  e.expiry = 0;
+  if (sim_.now() - e.seen < ttl_s_) return;  // refreshed since scheduling
+  if (e.live) {
+    e.live = false;
+    if (change_) change_(device_name, false);
+  }
 }
 
 std::vector<std::string> ClientDiscovery::admissibleSet() const {
   std::vector<std::string> out;
-  for (const auto& [name, seen] : last_seen_) {
-    if (sim_.now() - seen <= ttl_s_) out.push_back(name);
+  for (const auto& [name, e] : entries_) {
+    if (sim_.now() - e.seen <= ttl_s_) out.push_back(name);
   }
   return out;
 }
 
 bool ClientDiscovery::admissible(const std::string& device_name) const {
-  auto it = last_seen_.find(device_name);
-  return it != last_seen_.end() && sim_.now() - it->second <= ttl_s_;
+  auto it = entries_.find(device_name);
+  return it != entries_.end() && sim_.now() - it->second.seen <= ttl_s_;
 }
 
 }  // namespace gol::core

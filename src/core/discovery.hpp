@@ -50,8 +50,15 @@ class DiscoveryAgent {
 /// Client-side view: names seen recently enough. Advertisements expire
 /// after `ttl_s`, so a device that stops beaconing (quota exhausted, permit
 /// revoked, left the LAN) drops out of the admissible set automatically.
+/// Membership changes fire the onChange listener *actively* (an expiry
+/// event is scheduled per advertisement), so dynamic path supervision does
+/// not depend on anyone polling admissibleSet().
 class ClientDiscovery {
  public:
+  /// `admissible` = true on join/rejoin, false on age-out.
+  using ChangeFn =
+      std::function<void(const std::string& device_name, bool admissible)>;
+
   explicit ClientDiscovery(sim::Simulator& sim, double ttl_s = 12.0)
       : sim_(sim), ttl_s_(ttl_s) {}
 
@@ -61,10 +68,22 @@ class ClientDiscovery {
   bool admissible(const std::string& device_name) const;
   double ttlS() const { return ttl_s_; }
 
+  /// Registers the (single) membership listener. Replaces any previous one.
+  void onChange(ChangeFn cb) { change_ = std::move(cb); }
+
  private:
+  struct Entry {
+    double seen = 0;
+    bool live = false;
+    sim::EventId expiry = 0;
+  };
+
+  void expire(const std::string& device_name);
+
   sim::Simulator& sim_;
   double ttl_s_;
-  std::map<std::string, double> last_seen_;
+  std::map<std::string, Entry> entries_;
+  ChangeFn change_;
 };
 
 }  // namespace gol::core

@@ -6,17 +6,28 @@
 
 namespace gol::core {
 
+const char* toString(TransactionOutcome outcome) {
+  switch (outcome) {
+    case TransactionOutcome::kCompleted: return "completed";
+    case TransactionOutcome::kCompletedDegraded: return "completed_degraded";
+    case TransactionOutcome::kPartialFailure: return "partial_failure";
+  }
+  return "unknown";
+}
+
 TransactionEngine::TransactionEngine(sim::Simulator& sim,
                                      std::vector<TransferPath*> paths,
-                                     Scheduler& scheduler)
+                                     Scheduler& scheduler, EngineConfig config)
     : sim_(sim),
       scheduler_(scheduler),
+      config_(config),
+      jitter_(config.jitter_seed),
       registry_(&telemetry::Registry::global()) {
   if (paths.empty())
     throw std::invalid_argument("TransactionEngine needs >= 1 path");
   for (TransferPath* p : paths) {
     if (p == nullptr) throw std::invalid_argument("null TransferPath");
-    paths_.push_back(PathState{p, 0, 0, nullptr, nullptr});
+    attachPath(p);
   }
 }
 
@@ -46,14 +57,100 @@ void TransactionEngine::bindInstruments() {
   duplicated_ = &r.counter("gol.engine.items_duplicated");
   aborted_ = &r.counter("gol.engine.items_aborted");
   wasted_bytes_ = &r.counter("gol.engine.wasted_bytes");
+  retries_ = &r.counter("gol.engine.retries");
+  timeouts_ = &r.counter("gol.engine.watchdog_timeouts");
+  items_failed_ = &r.counter("gol.engine.items_failed");
+  path_down_ = &r.counter("gol.engine.path_down_events");
+  quarantines_ = &r.counter("gol.engine.path_quarantines");
   const telemetry::Labels policy{{"policy", scheduler_.name()}};
   decisions_ = &r.counter("gol.scheduler.decisions", policy);
   idle_decisions_ = &r.counter("gol.scheduler.idle_decisions", policy);
   reschedules_ = &r.counter("gol.scheduler.reschedules", policy);
-  for (auto& ps : paths_) {
-    const telemetry::Labels path{{"path", ps.path->name()}};
-    ps.bytes = &r.counter("gol.engine.path_bytes", path);
-    ps.wasted = &r.counter("gol.engine.path_wasted_bytes", path);
+  for (auto& ps : paths_) bindPathInstruments(ps);
+}
+
+void TransactionEngine::bindPathInstruments(PathState& ps) {
+  if (registry_ == nullptr || ps.bytes != nullptr) return;
+  const telemetry::Labels path{{"path", ps.path->name()}};
+  ps.bytes = &registry_->counter("gol.engine.path_bytes", path);
+  ps.wasted = &registry_->counter("gol.engine.path_wasted_bytes", path);
+}
+
+std::size_t TransactionEngine::usablePathCount() const {
+  std::size_t n = 0;
+  for (const auto& ps : paths_) {
+    if (ps.attached && ps.path->alive()) ++n;
+  }
+  return n;
+}
+
+void TransactionEngine::attachPath(TransferPath* path) {
+  if (path == nullptr) throw std::invalid_argument("null TransferPath");
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    PathState& ps = paths_[i];
+    if (ps.path != path) continue;
+    if (ps.attached) return;
+    // Re-admission of a path we already know (the discovery case: the
+    // phone left the LAN and came back). Forgive its record.
+    ps.attached = true;
+    ps.consecutive_failures = 0;
+    ps.quarantined_until = 0;
+    ps.quarantine_len_s = 0;
+    if (active_ && ps.path->alive()) {
+      scheduler_.onPathUp(i);
+      if (grace_timer_ != 0) {
+        sim_.cancel(grace_timer_);
+        grace_timer_ = 0;
+      }
+      dispatch(i);
+    }
+    return;
+  }
+
+  // A brand-new path joins the working set.
+  const std::size_t index = paths_.size();
+  PathState ps;
+  ps.path = path;
+  ps.rate_est_bps = std::max(path->nominalRateBps(), 1e3);
+  paths_.push_back(std::move(ps));
+  bindPathInstruments(paths_.back());
+  path->onStateChange(
+      [this, index](TransferPath&, bool alive, const std::string& reason) {
+        onPathStateChange(index, alive, reason);
+      });
+  if (trace_) trace_->setTrackName(static_cast<int>(index) + 1, path->name());
+  if (active_) {
+    scheduler_.onPathAdded(index, path->nominalRateBps());
+    if (path->alive()) {
+      if (grace_timer_ != 0) {
+        sim_.cancel(grace_timer_);
+        grace_timer_ = 0;
+      }
+      dispatch(index);
+    } else {
+      scheduler_.onPathDown(index);
+    }
+  }
+}
+
+void TransactionEngine::detachPath(TransferPath* path) {
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    PathState& ps = paths_[i];
+    if (ps.path != path || !ps.attached) continue;
+    ps.attached = false;
+    if (!active_) return;
+    noteFailedPath(ps.path->name());
+    if (ps.current_item != kNoItem) {
+      const std::size_t idx = ps.current_item;
+      const double moved = ps.path->abortCurrent();
+      pathAttemptFailed(i, idx, moved, "detached",
+                        /*count_against_item=*/false);
+    }
+    scheduler_.onPathDown(i);
+    if (!active_) return;  // pathAttemptFailed may have finished the txn
+    armGraceTimerIfStranded();
+    dispatchAll();
+    return;
   }
 }
 
@@ -66,8 +163,22 @@ void TransactionEngine::run(Transaction txn,
   result_ = TransactionResult{};
   result_.total_bytes = txn_.totalBytes();
   result_.item_completion_s.assign(txn_.items.size(), 0.0);
+  result_.per_item_attempts.assign(txn_.items.size(), 0);
+  item_meta_.assign(txn_.items.size(), ItemMeta{});
+  failed_path_names_.clear();
   done_count_ = 0;
+  failed_count_ = 0;
+  pending_count_ = txn_.items.size();
   started_at_ = sim_.now();
+  for (auto& ps : paths_) {
+    ps.current_item = kNoItem;
+    ps.span = 0;
+    ps.quarantined_until = 0;
+    ps.quarantine_len_s = 0;
+    ps.consecutive_failures = 0;
+    if (ps.rate_est_bps <= 0)
+      ps.rate_est_bps = std::max(ps.path->nominalRateBps(), 1e3);
+  }
 
   bindInstruments();
   if (transactions_) transactions_->inc();
@@ -85,20 +196,49 @@ void TransactionEngine::run(Transaction txn,
   nominal.reserve(paths_.size());
   for (const auto& ps : paths_) nominal.push_back(ps.path->nominalRateBps());
   scheduler_.onTransactionStart(txn_, nominal);
+  for (std::size_t p = 0; p < paths_.size(); ++p) {
+    if (!paths_[p].attached || !paths_[p].path->alive())
+      scheduler_.onPathDown(p);
+  }
 
   if (txn_.items.empty()) {
     finish();
     return;
   }
-  for (std::size_t p = 0; p < paths_.size(); ++p) dispatch(p);
+  dispatchAll();
+  armGraceTimerIfStranded();
+}
+
+void TransactionEngine::dispatchAll() {
+  for (std::size_t p = 0; p < paths_.size() && active_; ++p) dispatch(p);
+}
+
+double TransactionEngine::watchdogDeadline(const PathState& ps,
+                                           const Item& item) const {
+  const double est_s =
+      item.bytes * 8.0 / std::max(ps.rate_est_bps, 1e3);
+  return std::max(config_.watchdog.min_deadline_s,
+                  config_.watchdog.k * est_s);
+}
+
+double TransactionEngine::backoffDelay(int failed_attempts) {
+  const RetryPolicy& r = config_.retry;
+  double d = r.base_backoff_s *
+             std::pow(r.backoff_multiplier,
+                      std::max(0, failed_attempts - 1));
+  d = std::min(d, r.max_backoff_s);
+  if (r.jitter > 0)
+    d *= jitter_.uniform(1.0 - r.jitter, 1.0 + r.jitter);
+  return std::max(d, 0.0);
 }
 
 void TransactionEngine::dispatch(std::size_t path_index) {
   if (!active_) return;
   PathState& ps = paths_[path_index];
-  if (ps.path->busy()) return;
+  if (!ps.attached || !ps.path->alive() || ps.path->busy()) return;
+  if (sim_.now() < ps.quarantined_until) return;
 
-  EngineView view{&items_, paths_.size(), sim_.now()};
+  EngineView view{&items_, paths_.size(), sim_.now(), pending_count_};
   const auto choice = scheduler_.nextItem(view, path_index);
   if (!choice) {
     if (idle_decisions_) idle_decisions_->inc();
@@ -107,8 +247,10 @@ void TransactionEngine::dispatch(std::size_t path_index) {
   if (decisions_) decisions_->inc();
   const std::size_t idx = *choice;
   ItemView& iv = items_.at(idx);
-  if (iv.status == ItemStatus::kDone)
-    throw std::logic_error("scheduler assigned a completed item");
+  if (iv.status == ItemStatus::kDone || iv.status == ItemStatus::kFailed)
+    throw std::logic_error("scheduler assigned a terminal item");
+  if (iv.status == ItemStatus::kBackoff)
+    throw std::logic_error("scheduler assigned an item in retry backoff");
   if (std::find(iv.carriers.begin(), iv.carriers.end(), path_index) !=
       iv.carriers.end())
     throw std::logic_error("scheduler re-assigned item to its own carrier");
@@ -116,26 +258,86 @@ void TransactionEngine::dispatch(std::size_t path_index) {
   if (iv.status == ItemStatus::kPending) {
     iv.status = ItemStatus::kInFlight;
     iv.first_assigned_at = sim_.now();
+    --pending_count_;
   } else {
     ++result_.duplicated_items;
     if (duplicated_) duplicated_->inc();
     if (reschedules_) reschedules_->inc();
   }
+  ++result_.per_item_attempts[idx];
   if (dispatched_) dispatched_->inc();
   if (trace_)
     ps.span = trace_->begin(iv.item->name, "engine",
                             static_cast<int>(path_index) + 1);
   iv.carriers.push_back(path_index);
   ps.busy_since = sim_.now();
-  ps.path->start(*iv.item, [this, path_index](const Item& item) {
-    onItemDone(path_index, item);
-  });
+  ps.current_item = idx;
+  const std::uint64_t gen = ++ps.attempt_gen;
+  if (config_.watchdog.enabled) {
+    ps.watchdog = sim_.scheduleIn(
+        watchdogDeadline(ps, *iv.item),
+        [this, path_index, gen] { onWatchdog(path_index, gen); });
+  }
+  ps.path->start(*iv.item,
+                 TransferPath::DoneFn([this, path_index, gen](
+                     const Item& item, const ItemResult& result) {
+                   onItemEvent(path_index, gen, item, result);
+                 }));
 }
 
-void TransactionEngine::onItemDone(std::size_t path_index, const Item& item) {
+void TransactionEngine::recordWaste(PathState& ps, double bytes) {
+  if (bytes <= 0) return;
+  result_.wasted_bytes += bytes;
+  result_.per_path_wasted_bytes[ps.path->name()] += bytes;
+  if (wasted_bytes_) wasted_bytes_->inc(bytes);
+  if (ps.wasted) ps.wasted->inc(bytes);
+}
+
+void TransactionEngine::clearAttempt(PathState& ps) {
+  if (ps.watchdog != 0) {
+    sim_.cancel(ps.watchdog);
+    ps.watchdog = 0;
+  }
+  ++ps.attempt_gen;  // any in-flight callback/timer for this attempt is void
+  ps.current_item = kNoItem;
+}
+
+void TransactionEngine::noteFailedPath(const std::string& name) {
+  if (failed_path_names_.insert(name).second && path_down_) path_down_->inc();
+}
+
+void TransactionEngine::onItemEvent(std::size_t path_index, std::uint64_t gen,
+                                    const Item& item,
+                                    const ItemResult& result) {
   if (!active_) return;
+  PathState& ps = paths_[path_index];
+  if (gen != ps.attempt_gen) return;  // attempt already aborted/expired
+  if (result.outcome == ItemOutcome::kCompleted) {
+    onItemCompleted(path_index, item, result);
+    return;
+  }
+  // A hard failure surfaced by the path itself (socket reset, device gone).
+  if (trace_ && ps.span) {
+    trace_->end(ps.span, {{"outcome", "failed"}, {"error", result.error}});
+    ps.span = 0;
+  }
+  pathAttemptFailed(path_index, item.index, result.bytes_moved, nullptr,
+                    /*count_against_item=*/true);
+}
+
+void TransactionEngine::onItemCompleted(std::size_t path_index,
+                                        const Item& item,
+                                        const ItemResult& result) {
   ItemView& iv = items_.at(item.index);
   PathState& ps = paths_[path_index];
+  const double elapsed = sim_.now() - ps.busy_since;
+  ps.consecutive_failures = 0;
+  ps.quarantine_len_s = 0;
+  if (elapsed > 1e-9) {
+    // Blend observed goodput into the watchdog's rate estimate.
+    const double sample = item.bytes * 8.0 / elapsed;
+    ps.rate_est_bps = 0.5 * ps.rate_est_bps + 0.5 * sample;
+  }
 
   // The duplicate race: a copy may complete on another path in the same
   // instant; only the first counts.
@@ -143,15 +345,13 @@ void TransactionEngine::onItemDone(std::size_t path_index, const Item& item) {
     iv.carriers.erase(
         std::remove(iv.carriers.begin(), iv.carriers.end(), path_index),
         iv.carriers.end());
-    result_.wasted_bytes += item.bytes;
-    result_.per_path_wasted_bytes[ps.path->name()] += item.bytes;
+    recordWaste(ps, result.bytes_moved);
     if (aborted_) aborted_->inc();
-    if (wasted_bytes_) wasted_bytes_->inc(item.bytes);
-    if (ps.wasted) ps.wasted->inc(item.bytes);
     if (trace_ && ps.span) {
       trace_->end(ps.span, {{"outcome", "lost-race"}});
       ps.span = 0;
     }
+    clearAttempt(ps);
     dispatch(path_index);
     return;
   }
@@ -166,7 +366,8 @@ void TransactionEngine::onItemDone(std::size_t path_index, const Item& item) {
     trace_->end(ps.span, {{"outcome", "completed"}});
     ps.span = 0;
   }
-  scheduler_.onItemComplete(path_index, item, sim_.now() - ps.busy_since);
+  clearAttempt(ps);
+  scheduler_.onItemComplete(path_index, item, elapsed);
 
   // Abort the losing duplicates and free their paths.
   std::vector<std::size_t> others = iv.carriers;
@@ -175,18 +376,16 @@ void TransactionEngine::onItemDone(std::size_t path_index, const Item& item) {
     if (other == path_index) continue;
     PathState& os = paths_[other];
     const double moved = os.path->abortCurrent();
-    result_.wasted_bytes += moved;
-    result_.per_path_wasted_bytes[os.path->name()] += moved;
+    clearAttempt(os);
+    recordWaste(os, moved);
     if (aborted_) aborted_->inc();
-    if (wasted_bytes_) wasted_bytes_->inc(moved);
-    if (os.wasted) os.wasted->inc(moved);
     if (trace_ && os.span) {
       trace_->end(os.span, {{"outcome", "aborted"}});
       os.span = 0;
     }
   }
 
-  if (done_count_ == txn_.items.size()) {
+  if (done_count_ + failed_count_ == txn_.items.size()) {
     finish();
     return;
   }
@@ -196,32 +395,253 @@ void TransactionEngine::onItemDone(std::size_t path_index, const Item& item) {
   dispatch(path_index);
 }
 
+void TransactionEngine::onWatchdog(std::size_t path_index,
+                                   std::uint64_t gen) {
+  if (!active_) return;
+  PathState& ps = paths_[path_index];
+  if (gen != ps.attempt_gen) return;  // attempt ended; timer raced cancel
+  ps.watchdog = 0;
+  const std::size_t idx = ps.current_item;
+  if (idx == kNoItem) return;
+  const double elapsed = sim_.now() - ps.busy_since;
+  const double moved = ps.path->abortCurrent();
+  if (elapsed > 1e-9 && moved > 0) {
+    // The attempt was slow, not dead: remember the partial rate so the
+    // next deadline on this path is realistic instead of re-tripping.
+    const double sample = moved * 8.0 / elapsed;
+    ps.rate_est_bps = 0.5 * ps.rate_est_bps + 0.5 * sample;
+  }
+  ++result_.timeouts;
+  if (timeouts_) timeouts_->inc();
+  if (trace_ && ps.span) {
+    trace_->end(ps.span, {{"outcome", "timed-out"}});
+    ps.span = 0;
+  }
+  pathAttemptFailed(path_index, idx, moved, nullptr,
+                    /*count_against_item=*/true);
+}
+
+void TransactionEngine::pathAttemptFailed(std::size_t path_index,
+                                          std::size_t item_index,
+                                          double moved_bytes,
+                                          const char* span_outcome,
+                                          bool count_against_item) {
+  PathState& ps = paths_[path_index];
+  recordWaste(ps, moved_bytes);
+  if (trace_ && ps.span) {
+    trace_->end(ps.span,
+                {{"outcome", span_outcome ? span_outcome : "failed"}});
+    ps.span = 0;
+  }
+  clearAttempt(ps);
+
+  ItemView& iv = items_.at(item_index);
+  iv.carriers.erase(
+      std::remove(iv.carriers.begin(), iv.carriers.end(), path_index),
+      iv.carriers.end());
+
+  // Quarantine-and-probe: a path that keeps failing while nominally alive
+  // is benched for a growing interval instead of retried in a hot loop.
+  if (count_against_item && ps.attached && ps.path->alive() &&
+      ++ps.consecutive_failures >= config_.quarantine.threshold) {
+    const QuarantinePolicy& q = config_.quarantine;
+    ps.quarantine_len_s =
+        ps.quarantine_len_s <= 0
+            ? q.base_s
+            : std::min(ps.quarantine_len_s * q.multiplier, q.max_s);
+    ps.quarantined_until = sim_.now() + ps.quarantine_len_s;
+    if (quarantines_) quarantines_->inc();
+    if (ps.probe != 0) sim_.cancel(ps.probe);
+    ps.probe = sim_.scheduleIn(ps.quarantine_len_s, [this, path_index] {
+      paths_[path_index].probe = 0;
+      dispatch(path_index);
+    });
+  }
+
+  if (iv.status == ItemStatus::kDone) return;  // raced a completion
+  if (!iv.carriers.empty()) {
+    // A duplicate is still running elsewhere; the item's fate rides on it.
+    dispatch(path_index);
+    return;
+  }
+
+  if (count_against_item) {
+    ItemMeta& meta = item_meta_[item_index];
+    if (++meta.failed_attempts >= config_.retry.max_attempts) {
+      iv.status = ItemStatus::kFailed;
+      ++failed_count_;
+      ++result_.failed_items;
+      if (items_failed_) items_failed_->inc();
+    } else {
+      iv.status = ItemStatus::kBackoff;
+      ++result_.retries;
+      if (retries_) retries_->inc();
+      meta.backoff =
+          sim_.scheduleIn(backoffDelay(meta.failed_attempts),
+                          [this, item_index] { onBackoffExpired(item_index); });
+    }
+  } else {
+    // The path failed, not the item: back into the pool immediately, no
+    // penalty against the item's retry budget.
+    iv.status = ItemStatus::kPending;
+    ++pending_count_;
+    scheduler_.onItemRequeued(item_index);
+  }
+
+  maybeFinish();
+  if (active_) dispatch(path_index);
+}
+
+void TransactionEngine::onBackoffExpired(std::size_t item_index) {
+  if (!active_) return;
+  item_meta_[item_index].backoff = 0;
+  ItemView& iv = items_.at(item_index);
+  if (iv.status != ItemStatus::kBackoff) return;
+  iv.status = ItemStatus::kPending;
+  ++pending_count_;
+  scheduler_.onItemRequeued(item_index);
+  dispatchAll();
+}
+
+void TransactionEngine::onPathStateChange(std::size_t path_index, bool alive,
+                                          const std::string& reason) {
+  PathState& ps = paths_[path_index];
+  if (!alive) {
+    if (!active_ || !ps.attached) return;
+    noteFailedPath(ps.path->name());
+    if (ps.current_item != kNoItem) {
+      const std::size_t idx = ps.current_item;
+      const double moved = ps.path->abortCurrent();
+      pathAttemptFailed(path_index, idx, moved,
+                        reason.empty() ? "path-down" : reason.c_str(),
+                        /*count_against_item=*/false);
+    }
+    scheduler_.onPathDown(path_index);
+    if (!active_) return;
+    armGraceTimerIfStranded();
+    dispatchAll();
+    return;
+  }
+
+  // Recovery: clean slate for the returning path.
+  ps.consecutive_failures = 0;
+  ps.quarantined_until = 0;
+  ps.quarantine_len_s = 0;
+  if (ps.probe != 0) {
+    sim_.cancel(ps.probe);
+    ps.probe = 0;
+  }
+  if (!active_ || !ps.attached) return;
+  scheduler_.onPathUp(path_index);
+  if (grace_timer_ != 0) {
+    sim_.cancel(grace_timer_);
+    grace_timer_ = 0;
+  }
+  dispatchAll();
+}
+
+void TransactionEngine::armGraceTimerIfStranded() {
+  if (!active_ || grace_timer_ != 0) return;
+  if (usablePathCount() > 0) return;
+  if (done_count_ + failed_count_ == items_.size()) return;
+  grace_timer_ = sim_.scheduleIn(config_.all_paths_down_grace_s,
+                                 [this] { onGraceExpired(); });
+}
+
+void TransactionEngine::onGraceExpired() {
+  if (!active_) return;
+  grace_timer_ = 0;
+  if (usablePathCount() > 0) return;  // a path came back; stand down
+  // Every usable path is gone and none returned within the grace window:
+  // fail the remaining items so the transaction still terminates.
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    ItemView& iv = items_[i];
+    if (iv.status == ItemStatus::kDone || iv.status == ItemStatus::kFailed)
+      continue;
+    if (item_meta_[i].backoff != 0) {
+      sim_.cancel(item_meta_[i].backoff);
+      item_meta_[i].backoff = 0;
+    }
+    if (iv.status == ItemStatus::kPending) --pending_count_;
+    iv.status = ItemStatus::kFailed;
+    iv.carriers.clear();
+    ++failed_count_;
+    ++result_.failed_items;
+    if (items_failed_) items_failed_->inc();
+  }
+  finish();
+}
+
+void TransactionEngine::maybeFinish() {
+  if (active_ && done_count_ + failed_count_ == txn_.items.size()) finish();
+}
+
 void TransactionEngine::checkAccounting() const {
   // Documented invariant: every byte a path moved is either a delivered
-  // payload byte or waste — per_path_bytes sums to total_bytes and
+  // payload byte or waste — per_path_bytes sums to delivered_bytes and
   // per_path_wasted_bytes sums to wasted_bytes. Tolerance covers the
   // different summation orders of the two sides.
   double delivered = 0;
   for (const auto& [name, b] : result_.per_path_bytes) delivered += b;
   double wasted = 0;
   for (const auto& [name, b] : result_.per_path_wasted_bytes) wasted += b;
-  const double eps = 1e-6 * std::max(1.0, result_.total_bytes +
+  const double eps = 1e-6 * std::max(1.0, result_.delivered_bytes +
                                               result_.wasted_bytes);
-  if (std::abs(delivered - result_.total_bytes) > eps ||
+  if (std::abs(delivered - result_.delivered_bytes) > eps ||
       std::abs(wasted - result_.wasted_bytes) > eps) {
     throw std::logic_error(
         "TransactionEngine accounting broken: per-path bytes do not sum to "
-        "total_bytes + wasted_bytes");
+        "delivered_bytes + wasted_bytes");
   }
 }
 
 void TransactionEngine::finish() {
   active_ = false;
+  // Drain every event the engine still owns; nothing may fire into the
+  // next transaction.
+  if (grace_timer_ != 0) {
+    sim_.cancel(grace_timer_);
+    grace_timer_ = 0;
+  }
+  for (auto& ps : paths_) {
+    if (ps.watchdog != 0) {
+      sim_.cancel(ps.watchdog);
+      ps.watchdog = 0;
+    }
+    if (ps.probe != 0) {
+      sim_.cancel(ps.probe);
+      ps.probe = 0;
+    }
+    ++ps.attempt_gen;
+    ps.current_item = kNoItem;
+  }
+  for (auto& meta : item_meta_) {
+    if (meta.backoff != 0) {
+      sim_.cancel(meta.backoff);
+      meta.backoff = 0;
+    }
+  }
+
   result_.duration_s = sim_.now() - started_at_;
+  result_.delivered_bytes = 0;
+  for (const auto& iv : items_) {
+    if (iv.status == ItemStatus::kDone) result_.delivered_bytes += iv.item->bytes;
+  }
+  result_.failed_paths.assign(failed_path_names_.begin(),
+                              failed_path_names_.end());
+  if (result_.failed_items > 0) {
+    result_.outcome = TransactionOutcome::kPartialFailure;
+  } else if (result_.retries > 0 || result_.timeouts > 0 ||
+             !result_.failed_paths.empty()) {
+    result_.outcome = TransactionOutcome::kCompletedDegraded;
+  } else {
+    result_.outcome = TransactionOutcome::kCompleted;
+  }
   checkAccounting();
   if (trace_ && txn_span_) {
     trace_->end(txn_span_,
                 {{"items", std::to_string(txn_.items.size())},
+                 {"outcome", toString(result_.outcome)},
                  {"wasted_bytes", std::to_string(result_.wasted_bytes)}});
     txn_span_ = 0;
   }

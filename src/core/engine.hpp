@@ -1,46 +1,117 @@
 // The transaction engine: drives a Scheduler over N TransferPaths until all
-// M items have landed, handling duplicate aborts and waste accounting
-// (Sec. 4.1.1). Event-driven: paths call back on completion, the engine
-// re-dispatches.
+// M items have landed or exhausted their retry budget, handling duplicate
+// aborts, waste accounting (Sec. 4.1.1) and path failure (Sec. 5's pilot
+// conditions: phones leave Wi-Fi range, permits get revoked, transfers
+// stall). Event-driven: paths call back with per-attempt ItemResults, the
+// engine re-dispatches, retries with backoff, quarantines flapping paths
+// and guarantees termination even when every path dies.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/item.hpp"
 #include "core/scheduler.hpp"
 #include "core/transfer_path.hpp"
+#include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
 
 namespace gol::core {
 
+/// Terminal state of a whole transaction.
+enum class TransactionOutcome {
+  kCompleted,          ///< Every item delivered, no failures along the way.
+  kCompletedDegraded,  ///< Every item delivered, but only after retries,
+                       ///< watchdog timeouts or path deaths.
+  kPartialFailure,     ///< At least one item exhausted its retry budget.
+};
+
+const char* toString(TransactionOutcome outcome);
+
+/// Bounded retry with exponential backoff and jitter, per item.
+struct RetryPolicy {
+  int max_attempts = 5;           ///< Failed attempts before an item is
+                                  ///< declared undeliverable.
+  double base_backoff_s = 0.5;    ///< First retry delay.
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 30.0;
+  double jitter = 0.2;            ///< Delay scaled by U(1-j, 1+j).
+};
+
+/// Per-attempt watchdog: deadline = max(min_deadline_s, k * estimated
+/// transfer time from the path's observed rate). Catches stalls that never
+/// surface as errors (the phone that walks out of range mid-TCP-transfer).
+struct WatchdogPolicy {
+  bool enabled = true;
+  double k = 6.0;
+  /// Floor covering fixed per-attempt costs the rate estimate cannot see
+  /// (RRC promotion, TCP handshakes) and plain rate volatility.
+  double min_deadline_s = 5.0;
+};
+
+/// Paths that fail repeatedly are benched for growing intervals and probed
+/// again at expiry rather than hammered in a hot retry loop.
+struct QuarantinePolicy {
+  int threshold = 2;        ///< Consecutive failures before benching.
+  double base_s = 5.0;      ///< First quarantine length.
+  double multiplier = 2.0;  ///< Growth per repeat offence.
+  double max_s = 120.0;
+};
+
+struct EngineConfig {
+  RetryPolicy retry;
+  WatchdogPolicy watchdog;
+  QuarantinePolicy quarantine;
+  /// Once the last usable path dies, surviving work is given this long for
+  /// a path to come back before the transaction is failed outright.
+  double all_paths_down_grace_s = 30.0;
+  /// Seed for backoff jitter; fixed so runs are reproducible.
+  std::uint64_t jitter_seed = 0x601dUL;
+};
+
 struct TransactionResult {
-  double duration_s = 0;        ///< Start of transaction to last item done.
-  double total_bytes = 0;       ///< Payload bytes (each item counted once).
-  double wasted_bytes = 0;      ///< Bytes moved by aborted duplicates.
+  TransactionOutcome outcome = TransactionOutcome::kCompleted;
+  double duration_s = 0;        ///< Start of transaction to termination.
+  double total_bytes = 0;       ///< Payload bytes requested (all items).
+  double delivered_bytes = 0;   ///< Payload bytes of items actually done.
+  double wasted_bytes = 0;      ///< Bytes moved by aborted, failed and
+                                ///< timed-out attempts.
   std::size_t duplicated_items = 0;
+  std::size_t retries = 0;       ///< Attempts re-queued after a failure.
+  std::size_t timeouts = 0;      ///< Attempts killed by the watchdog.
+  std::size_t failed_items = 0;  ///< Items that exhausted max_attempts.
+  /// Dispatch count per item (first attempt, retries and duplicates all
+  /// count), indexed like Transaction::items.
+  std::vector<int> per_item_attempts;
+  /// Names of paths that died or were detached mid-transaction (deduped).
+  std::vector<std::string> failed_paths;
   /// Completion time of each item, relative to transaction start, indexed
-  /// like Transaction::items. Feed into hls::analyzePlayout for VoD runs.
+  /// like Transaction::items; 0 for items that never completed. Feed into
+  /// hls::analyzePlayout for VoD runs.
   std::vector<double> item_completion_s;
   /// Payload bytes successfully delivered per path name.
   std::map<std::string, double> per_path_bytes;
-  /// Bytes moved by duplicates that lost the race, per path name.
+  /// Bytes moved by attempts that did not deliver (lost duplicate races,
+  /// failures, watchdog aborts), per path name.
   /// Invariant (checked by the engine at finish): per_path_bytes sums to
-  /// total_bytes and per_path_wasted_bytes sums to wasted_bytes, i.e. all
-  /// bytes any path moved equal total_bytes + wasted_bytes.
+  /// delivered_bytes and per_path_wasted_bytes sums to wasted_bytes, i.e.
+  /// all bytes any path moved equal delivered_bytes + wasted_bytes.
   std::map<std::string, double> per_path_wasted_bytes;
 
+  bool complete() const { return failed_items == 0; }
   double goodputBps() const {
-    return duration_s > 0 ? total_bytes * 8.0 / duration_s : 0.0;
+    return duration_s > 0 ? delivered_bytes * 8.0 / duration_s : 0.0;
   }
   /// Fraction of all bytes moved (payload + duplicates) that were waste —
   /// the paper's Sec. 4.1.1 overhead figure, bounded by (N-1)*Sm / total.
   double wastedFraction() const {
-    const double moved = total_bytes + wasted_bytes;
+    const double moved = delivered_bytes + wasted_bytes;
     return moved > 0 ? wasted_bytes / moved : 0.0;
   }
 };
@@ -48,7 +119,7 @@ struct TransactionResult {
 class TransactionEngine {
  public:
   TransactionEngine(sim::Simulator& sim, std::vector<TransferPath*> paths,
-                    Scheduler& scheduler);
+                    Scheduler& scheduler, EngineConfig config = {});
   TransactionEngine(const TransactionEngine&) = delete;
   TransactionEngine& operator=(const TransactionEngine&) = delete;
 
@@ -60,31 +131,91 @@ class TransactionEngine {
   void instrument(telemetry::Registry* registry,
                   telemetry::TraceRecorder* trace = nullptr);
 
-  /// Runs one transaction; `on_done` fires when the last item completes.
+  /// Runs one transaction; `on_done` fires when the engine terminates —
+  /// which it always does, whatever the paths do: every item either
+  /// completes or fails its retry budget, and if every path dies the
+  /// all-paths-down grace timer fails the remainder.
   /// Only one transaction may be active per engine at a time.
   void run(Transaction txn, std::function<void(TransactionResult)> on_done);
 
   bool active() const { return active_; }
+  const EngineConfig& config() const { return config_; }
+
+  /// Dynamic membership: adds `path` to the working set (or re-admits a
+  /// previously detached/known one — matched by pointer). New paths are
+  /// announced to the scheduler via onPathAdded and dispatched immediately
+  /// when a transaction is active.
+  void attachPath(TransferPath* path);
+  /// Removes `path` from the working set. An in-flight item is aborted
+  /// (bytes counted as waste) and re-queued on the surviving paths. The
+  /// path object is not touched otherwise and may be re-attached later.
+  void detachPath(TransferPath* path);
+  /// Paths currently attached and alive.
+  std::size_t usablePathCount() const;
 
  private:
+  static constexpr std::size_t kNoItem = static_cast<std::size_t>(-1);
+
   struct PathState {
     TransferPath* path;
+    bool attached = true;
     double busy_since = 0;
+    std::size_t current_item = kNoItem;
+    /// Bumped per attempt; stale watchdogs/callbacks compare and drop.
+    std::uint64_t attempt_gen = 0;
+    sim::EventId watchdog = 0;
+    sim::EventId probe = 0;  ///< Pending quarantine-expiry dispatch.
+    double quarantined_until = 0;
+    double quarantine_len_s = 0;  ///< Last length, for the growth schedule.
+    int consecutive_failures = 0;
+    /// Crude observed-rate tracker seeding watchdog deadlines; starts at
+    /// the nominal rate, blends in completed-attempt goodput.
+    double rate_est_bps = 0;
     telemetry::SpanId span = 0;  ///< Open span for the in-flight item.
     // Cached per-path instruments (label path=<name>), set per run().
     telemetry::Counter* bytes = nullptr;
     telemetry::Counter* wasted = nullptr;
   };
 
+  struct ItemMeta {
+    int failed_attempts = 0;  ///< Sole-carrier failures (gates retry cap).
+    sim::EventId backoff = 0;
+  };
+
   void dispatch(std::size_t path_index);
-  void onItemDone(std::size_t path_index, const Item& item);
+  void dispatchAll();
+  void onItemEvent(std::size_t path_index, std::uint64_t gen,
+                   const Item& item, const ItemResult& result);
+  void onItemCompleted(std::size_t path_index, const Item& item,
+                       const ItemResult& result);
+  void onWatchdog(std::size_t path_index, std::uint64_t gen);
+  void onBackoffExpired(std::size_t item_index);
+  void onPathStateChange(std::size_t path_index, bool alive,
+                         const std::string& reason);
+  /// Common tail for failed and timed-out attempts: books waste, updates
+  /// quarantine state and decides the item's fate (retry, duplicate still
+  /// running, or terminal failure).
+  void pathAttemptFailed(std::size_t path_index, std::size_t item_index,
+                         double moved_bytes, const char* span_outcome,
+                         bool count_against_item);
+  void recordWaste(PathState& ps, double bytes);
+  void clearAttempt(PathState& ps);
+  void noteFailedPath(const std::string& name);
+  void armGraceTimerIfStranded();
+  void onGraceExpired();
+  void maybeFinish();
   void finish();
   void bindInstruments();
+  void bindPathInstruments(PathState& ps);
   void checkAccounting() const;
+  double backoffDelay(int failed_attempts);
+  double watchdogDeadline(const PathState& ps, const Item& item) const;
 
   sim::Simulator& sim_;
   std::vector<PathState> paths_;
   Scheduler& scheduler_;
+  EngineConfig config_;
+  sim::Rng jitter_;
 
   telemetry::Registry* registry_;
   telemetry::TraceRecorder* trace_ = nullptr;
@@ -95,16 +226,26 @@ class TransactionEngine {
   telemetry::Counter* duplicated_ = nullptr;
   telemetry::Counter* aborted_ = nullptr;
   telemetry::Counter* wasted_bytes_ = nullptr;
+  telemetry::Counter* retries_ = nullptr;
+  telemetry::Counter* timeouts_ = nullptr;
+  telemetry::Counter* items_failed_ = nullptr;
+  telemetry::Counter* path_down_ = nullptr;
+  telemetry::Counter* quarantines_ = nullptr;
   telemetry::Counter* decisions_ = nullptr;
   telemetry::Counter* idle_decisions_ = nullptr;
   telemetry::Counter* reschedules_ = nullptr;
 
   Transaction txn_;
   std::vector<ItemView> items_;
+  std::vector<ItemMeta> item_meta_;
   std::function<void(TransactionResult)> on_done_;
   TransactionResult result_;
+  std::set<std::string> failed_path_names_;
   double started_at_ = 0;
   std::size_t done_count_ = 0;
+  std::size_t failed_count_ = 0;
+  std::size_t pending_count_ = 0;
+  sim::EventId grace_timer_ = 0;
   bool active_ = false;
   telemetry::SpanId txn_span_ = 0;
 };

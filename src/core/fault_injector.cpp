@@ -1,0 +1,67 @@
+#include "core/fault_injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gol::core {
+
+void FaultInjector::addPath(TransferPath* path) {
+  if (path == nullptr) throw std::invalid_argument("null TransferPath");
+  paths_[path->name()] = path;
+}
+
+void FaultInjector::arm(const sim::FaultPlan& plan) {
+  for (const sim::FaultEvent& ev : plan.events()) {
+    const bool targeted = ev.kind == sim::FaultKind::kPathKill ||
+                          ev.kind == sim::FaultKind::kPathFlap ||
+                          ev.kind == sim::FaultKind::kStall;
+    if (targeted && paths_.find(ev.target) == paths_.end()) {
+      throw std::invalid_argument("fault plan targets unknown path '" +
+                                  ev.target + "'");
+    }
+    pending_.push_back(sim_.scheduleIn(std::max(0.0, ev.at_s - sim_.now()),
+                                       [this, ev] { inject(ev); }));
+  }
+}
+
+void FaultInjector::disarm() {
+  for (sim::EventId id : pending_) sim_.cancel(id);
+  pending_.clear();
+}
+
+void FaultInjector::inject(const sim::FaultEvent& ev) {
+  ++injected_;
+  if (registry_) {
+    registry_->counter("gol.fault.injected", {{"kind", toString(ev.kind)}})
+        .inc();
+  }
+  switch (ev.kind) {
+    case sim::FaultKind::kPathKill:
+      paths_.at(ev.target)->setAlive(false, "fault:kill");
+      break;
+    case sim::FaultKind::kPathFlap: {
+      TransferPath* p = paths_.at(ev.target);
+      p->setAlive(false, "fault:flap");
+      pending_.push_back(sim_.scheduleIn(
+          ev.duration_s, [p] { p->setAlive(true, "fault:recover"); }));
+      break;
+    }
+    case sim::FaultKind::kStall:
+      // Freezes only an in-flight item; an idle path has nothing to stall
+      // (stallCurrent() returns false and nothing happens).
+      paths_.at(ev.target)->stallCurrent();
+      break;
+    case sim::FaultKind::kPermitRevoke:
+      if (controller_) {
+        controller_->permits().revokeAll();
+        if (ev.duration_s > 0)
+          controller_->permits().suspendGrants(ev.duration_s);
+      }
+      break;
+    case sim::FaultKind::kCapExhaust:
+      if (controller_) controller_->exhaustQuota(ev.target);
+      break;
+  }
+}
+
+}  // namespace gol::core

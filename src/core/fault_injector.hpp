@@ -1,0 +1,57 @@
+// Binds a sim::FaultPlan to live objects: paths are killed, flapped and
+// stalled via the TransferPath liveness/stall hooks, and admission faults
+// (permit revocation, cap exhaustion) go through the OnloadController so
+// they propagate the same way they would in production — the phone stops
+// beaconing and ages out of the admissible set.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/onload_controller.hpp"
+#include "core/transfer_path.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace gol::core {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(sim::Simulator& sim) : sim_(sim) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Registers a kill/flap/stall target under its name().
+  void addPath(TransferPath* path);
+  /// Enables revoke/cap faults (optional; without it they are no-ops).
+  void setController(OnloadController* controller) { controller_ = controller; }
+  /// Publishes `gol.fault.injected{kind=...}` counters into `registry`.
+  void instrument(telemetry::Registry* registry) { registry_ = registry; }
+
+  /// Schedules every event in `plan` (events already in the past fire
+  /// immediately). Throws std::invalid_argument when a targeted event
+  /// names a path that was never added — a typo in a fault spec should
+  /// fail loudly, not silently test nothing.
+  void arm(const sim::FaultPlan& plan);
+
+  /// Cancels every not-yet-fired event (including pending flap
+  /// recoveries). Call before the registered paths are destroyed when the
+  /// plan's horizon outlives the transaction.
+  void disarm();
+
+  std::size_t injectedCount() const { return injected_; }
+
+ private:
+  void inject(const sim::FaultEvent& ev);
+
+  sim::Simulator& sim_;
+  OnloadController* controller_ = nullptr;
+  telemetry::Registry* registry_ = nullptr;
+  std::map<std::string, TransferPath*> paths_;
+  std::vector<sim::EventId> pending_;
+  std::size_t injected_ = 0;
+};
+
+}  // namespace gol::core

@@ -17,18 +17,21 @@ void MinTimeScheduler::onTransactionStart(
   }
   queues_.assign(nominal_rates_bps.size(), {});
   backlog_bytes_.assign(nominal_rates_bps.size(), 0.0);
+  up_.assign(nominal_rates_bps.size(), 1);
+  reassign_.clear();
   next_unassigned_ = 0;
   // Deal the first N items round robin so every estimator gets a sample.
   bootstrap_remaining_ = std::min(txn.items.size(), queues_.size());
 }
 
-std::size_t MinTimeScheduler::assignNext(const EngineView&) {
-  const std::size_t i = next_unassigned_++;
-  std::size_t target = 0;
+std::size_t MinTimeScheduler::assignItem(std::size_t item) {
+  std::size_t target = std::numeric_limits<std::size_t>::max();
   if (bootstrap_remaining_ > 0) {
-    target = queues_.size() - bootstrap_remaining_;
+    const std::size_t slot = queues_.size() - bootstrap_remaining_;
     --bootstrap_remaining_;
-  } else {
+    if (up_[slot]) target = slot;
+  }
+  if (target == std::numeric_limits<std::size_t>::max()) {
     // Faithful to the paper's wording: the item goes to the path that
     // minimizes *its* estimated transfer time (size / est_bw) — there is
     // no queue-backlog term, so items clump onto whichever path currently
@@ -36,35 +39,53 @@ std::size_t MinTimeScheduler::assignNext(const EngineView&) {
     // behaviour Fig 6 punishes.
     double best = std::numeric_limits<double>::infinity();
     for (std::size_t p = 0; p < queues_.size(); ++p) {
+      if (!up_[p]) continue;
       const double t =
-          item_bytes_[i] * sim::kBitsPerByte / estimates_[p].value();
+          item_bytes_[item] * sim::kBitsPerByte / estimates_[p].value();
       if (t < best) {
         best = t;
         target = p;
       }
     }
   }
-  queues_[target].push_back(i);
-  backlog_bytes_[target] += item_bytes_[i];
+  if (target == std::numeric_limits<std::size_t>::max()) {
+    reassign_.push_back(item);  // every path is down; hold for onPathUp
+    return target;
+  }
+  queues_[target].push_back(item);
+  backlog_bytes_[target] += item_bytes_[item];
   return target;
+}
+
+bool MinTimeScheduler::commitNext() {
+  if (!reassign_.empty()) {
+    const std::size_t item = reassign_.front();
+    reassign_.pop_front();
+    assignItem(item);
+    return true;
+  }
+  if (next_unassigned_ < item_bytes_.size()) {
+    assignItem(next_unassigned_++);
+    return true;
+  }
+  return false;
 }
 
 std::optional<std::size_t> MinTimeScheduler::nextItem(
     const EngineView& view, std::size_t path_index) {
   auto& q = queues_.at(path_index);
   for (;;) {
-    // Commit unassigned items until this path has work or none remain.
-    // Items routed to other (busy) paths stay there — MIN never migrates,
-    // which is precisely why stale estimates hurt it.
-    while (q.empty() && next_unassigned_ < item_bytes_.size()) {
-      assignNext(view);
+    // Commit uncommitted items until this path has work or none remain.
+    // Items routed to other (busy) paths stay there — MIN never migrates
+    // healthy paths' work, which is precisely why stale estimates hurt it.
+    while (q.empty() && commitNext()) {
     }
     if (q.empty()) return std::nullopt;
     const std::size_t idx = q.front();
     q.pop_front();
     if ((*view.items)[idx].status == ItemStatus::kPending) return idx;
-    // Completed elsewhere (cannot happen without duplication, but stay
-    // robust): drop the stale entry and its backlog, keep looking.
+    // Completed elsewhere or re-queued through a failure: drop the stale
+    // entry and its backlog, keep looking.
     backlog_bytes_[path_index] =
         std::max(0.0, backlog_bytes_[path_index] - item_bytes_[idx]);
   }
@@ -80,8 +101,38 @@ void MinTimeScheduler::onItemComplete(std::size_t path_index,
   }
 }
 
+void MinTimeScheduler::onItemRequeued(std::size_t item_index) {
+  if (item_bytes_.empty()) return;
+  reassign_.push_back(item_index);
+}
+
+void MinTimeScheduler::onPathDown(std::size_t path_index) {
+  if (path_index >= queues_.size() || !up_[path_index]) return;
+  up_[path_index] = 0;
+  std::deque<std::size_t> orphans;
+  orphans.swap(queues_[path_index]);
+  backlog_bytes_[path_index] = 0;
+  for (const std::size_t idx : orphans) reassign_.push_back(idx);
+}
+
+void MinTimeScheduler::onPathUp(std::size_t path_index) {
+  if (path_index >= queues_.size()) return;
+  up_[path_index] = 1;
+}
+
 double MinTimeScheduler::estimatedRateBps(std::size_t path_index) const {
   return estimates_.at(path_index).value();
+}
+
+void MinTimeScheduler::onPathAdded(std::size_t path_index,
+                                   double nominal_rate_bps) {
+  if (path_index >= queues_.size()) {
+    queues_.resize(path_index + 1);
+    backlog_bytes_.resize(path_index + 1, 0.0);
+    up_.resize(path_index + 1, 1);
+    estimates_.resize(path_index + 1, stats::Ewma(alpha_));
+  }
+  estimates_[path_index].update(std::max(nominal_rate_bps, 1e3));
 }
 
 }  // namespace gol::core

@@ -11,6 +11,10 @@
 // paper's observation that MIN performs worst (Fig 6) because "estimating
 // available capacity under rapidly changing network conditions can result
 // in inaccurate estimates".
+//
+// Failure handling is the one exception to never-migrate: a dead path's
+// queue is returned to the unassigned pool (reassigning elsewhere is what
+// the engine's re-queue contract requires), as are failed attempts.
 #pragma once
 
 #include <deque>
@@ -33,13 +37,20 @@ class MinTimeScheduler : public Scheduler {
                                       std::size_t path_index) override;
   void onItemComplete(std::size_t path_index, const Item& item,
                       double seconds) override;
+  void onItemRequeued(std::size_t item_index) override;
+  void onPathDown(std::size_t path_index) override;
+  void onPathUp(std::size_t path_index) override;
+  void onPathAdded(std::size_t path_index, double nominal_rate_bps) override;
 
   double estimatedRateBps(std::size_t path_index) const;
 
  private:
-  /// Assigns the next unassigned item to the path with the earliest
-  /// estimated completion; returns that path's index.
-  std::size_t assignNext(const EngineView& view);
+  /// Commits `item` to the up path with the smallest estimated transfer
+  /// time; returns that path's index (SIZE_MAX when no path is up).
+  std::size_t assignItem(std::size_t item);
+  /// Pulls the next item to commit: the re-assignment pool first, then the
+  /// never-assigned tail. Returns false when both are empty.
+  bool commitNext();
 
   double alpha_;
   std::vector<double> item_bytes_;
@@ -47,6 +58,10 @@ class MinTimeScheduler : public Scheduler {
   std::vector<std::deque<std::size_t>> queues_;
   /// Estimated seconds of committed-but-unfinished work per path.
   std::vector<double> backlog_bytes_;
+  std::vector<char> up_;
+  /// Items bounced back by failures or a dead path, re-committed before the
+  /// unassigned tail.
+  std::deque<std::size_t> reassign_;
   std::size_t next_unassigned_ = 0;
   std::size_t bootstrap_remaining_ = 0;
 };

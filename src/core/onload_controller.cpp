@@ -89,4 +89,31 @@ void OnloadController::advanceDay() {
   for (auto& t : trackers_) t->nextDay();
 }
 
+void OnloadController::supervisePaths(const std::vector<TransferPath*>& paths) {
+  supervised_.clear();
+  for (TransferPath* p : paths) {
+    if (p != nullptr) supervised_[p->name()] = p;
+  }
+  discovery_.onChange([this](const std::string& name, bool admissible) {
+    auto it = supervised_.find(name);
+    if (it == supervised_.end()) return;
+    it->second->setAlive(admissible,
+                         admissible ? "rejoined-phi" : "aged-out-of-phi");
+  });
+}
+
+void OnloadController::clearSupervision() {
+  supervised_.clear();
+  discovery_.onChange(nullptr);
+}
+
+void OnloadController::exhaustQuota(const std::string& phone_name) {
+  for (std::size_t p = 0; p < home_.phoneCount(); ++p) {
+    if (home_.phone(p).name() != phone_name) continue;
+    const double left = trackers_[p]->availableTodayBytes();
+    if (left > 0) trackers_[p]->recordUsage(left);
+    return;
+  }
+}
+
 }  // namespace gol::core

@@ -5,7 +5,9 @@
 // builds its path set from the admissible set Phi.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/allowance.hpp"
@@ -55,6 +57,20 @@ class OnloadController {
   /// Rolls every tracker to the next day.
   void advanceDay();
 
+  /// Ties discovery membership to path liveness: when a supervised path's
+  /// name ages out of Phi the path is marked dead (the engine aborts and
+  /// re-queues its work), and when it re-advertises it is revived. Call
+  /// once per transaction with the paths the engine is using; pointers must
+  /// outlive the supervision (call again, or clearSupervision(), before
+  /// they are destroyed).
+  void supervisePaths(const std::vector<TransferPath*>& paths);
+  void clearSupervision();
+
+  /// Spends the rest of `phone_name`'s daily allowance (fault injection:
+  /// the user watched a video over 3G outside 3GOL's control). The phone
+  /// stops advertising at its next beacon and ages out of Phi.
+  void exhaustQuota(const std::string& phone_name);
+
   UsageTracker& tracker(std::size_t phone) { return *trackers_.at(phone); }
   PermitServer& permits() { return *permits_; }
   ClientDiscovery& discovery() { return discovery_; }
@@ -69,6 +85,7 @@ class OnloadController {
   std::vector<std::unique_ptr<UsageTracker>> trackers_;
   std::vector<std::unique_ptr<DiscoveryAgent>> agents_;
   std::vector<double> metered_baseline_;
+  std::map<std::string, TransferPath*> supervised_;
 };
 
 }  // namespace gol::core

@@ -1,5 +1,6 @@
 #include "core/permit.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace gol::core {
@@ -16,6 +17,10 @@ bool PermitServer::hasValidPermit(const std::string& device) const {
 
 bool PermitServer::requestPermit(const std::string& device) {
   if (hasValidPermit(device)) return true;
+  if (suspended()) {
+    ++denials_;
+    return false;
+  }
   const double util = probe_ ? probe_(device) : 0.0;
   if (util < cfg_.acceptance_threshold) {
     granted_at_[device] = sim_.now();
@@ -28,5 +33,9 @@ bool PermitServer::requestPermit(const std::string& device) {
 }
 
 void PermitServer::revokeAll() { granted_at_.clear(); }
+
+void PermitServer::suspendGrants(double seconds) {
+  suspended_until_ = std::max(suspended_until_, sim_.now() + seconds);
+}
 
 }  // namespace gol::core

@@ -34,6 +34,11 @@ class PermitServer {
   bool hasValidPermit(const std::string& device) const;
   /// Congestion detected: invalidates every cached permit.
   void revokeAll();
+  /// Refuses new grants for `seconds` (congestion episodes revoke *and*
+  /// suspend — otherwise the next beacon re-grants immediately if the
+  /// utilization probe has already relaxed).
+  void suspendGrants(double seconds);
+  bool suspended() const { return sim_.now() < suspended_until_; }
 
   std::size_t grantsIssued() const { return grants_; }
   std::size_t denials() const { return denials_; }
@@ -43,6 +48,7 @@ class PermitServer {
   PermitConfig cfg_;
   std::function<double(const std::string&)> probe_;
   std::map<std::string, double> granted_at_;
+  double suspended_until_ = 0;
   std::size_t grants_ = 0;
   std::size_t denials_ = 0;
 };

@@ -1,0 +1,47 @@
+#include "core/result_json.hpp"
+
+#include "telemetry/export.hpp"
+
+namespace gol::core {
+
+std::string transactionResultJson(const TransactionResult& result,
+                                  const ResultJsonOptions& opts) {
+  telemetry::JsonWriter w;
+  w.beginObject();
+  w.key("outcome").value(toString(result.outcome));
+  w.key("duration_s").value(result.duration_s);
+  w.key("total_bytes").value(result.total_bytes);
+  w.key("delivered_bytes").value(result.delivered_bytes);
+  w.key("wasted_bytes").value(result.wasted_bytes);
+  w.key("goodput_bps").value(result.goodputBps());
+  w.key("wasted_fraction").value(result.wastedFraction());
+  w.key("duplicated_items").value(result.duplicated_items);
+  w.key("retries").value(result.retries);
+  w.key("timeouts").value(result.timeouts);
+  w.key("failed_items").value(result.failed_items);
+  w.key("failed_paths").beginArray();
+  for (const auto& name : result.failed_paths) w.value(name);
+  w.endArray();
+  w.key("per_path_bytes").beginObject();
+  for (const auto& [name, bytes] : result.per_path_bytes)
+    w.key(name).value(bytes);
+  w.endObject();
+  w.key("per_path_wasted_bytes").beginObject();
+  for (const auto& [name, bytes] : result.per_path_wasted_bytes)
+    w.key(name).value(bytes);
+  w.endObject();
+  if (opts.include_item_attempts) {
+    w.key("per_item_attempts").beginArray();
+    for (const int attempts : result.per_item_attempts) w.value(attempts);
+    w.endArray();
+  }
+  if (opts.include_item_completions) {
+    w.key("item_completion_s").beginArray();
+    for (const double t : result.item_completion_s) w.value(t);
+    w.endArray();
+  }
+  w.endObject();
+  return w.str();
+}
+
+}  // namespace gol::core

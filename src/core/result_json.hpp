@@ -1,0 +1,30 @@
+// The one JSON serialization of TransactionResult. The CLI and every bench
+// used to hand-roll their own printf subsets; they all route through here
+// now so the fields (including the failure-model additions: outcome,
+// per-item attempts, failed paths) stay consistent everywhere.
+#pragma once
+
+#include <string>
+
+#include "core/engine.hpp"
+
+namespace gol::core {
+
+struct ResultJsonOptions {
+  /// Emit the per-item completion-time array (can be large for many-item
+  /// transactions; benches usually skip it).
+  bool include_item_completions = true;
+  /// Emit per_item_attempts (same size concern).
+  bool include_item_attempts = true;
+};
+
+/// {"outcome":"completed","duration_s":...,"total_bytes":...,
+///  "delivered_bytes":...,"wasted_bytes":...,"goodput_bps":...,
+///  "retries":...,"timeouts":...,"failed_items":...,
+///  "duplicated_items":...,"failed_paths":[...],
+///  "per_path_bytes":{...},"per_path_wasted_bytes":{...},
+///  "per_item_attempts":[...],"item_completion_s":[...]}
+std::string transactionResultJson(const TransactionResult& result,
+                                  const ResultJsonOptions& opts = {});
+
+}  // namespace gol::core

@@ -5,6 +5,9 @@ namespace gol::core {
 void RoundRobinScheduler::onTransactionStart(
     const Transaction& txn, const std::vector<double>& nominal_rates_bps) {
   queues_.assign(nominal_rates_bps.size(), {});
+  up_.assign(nominal_rates_bps.size(), 1);
+  stash_.clear();
+  next_path_ = 0;
   if (queues_.empty()) return;
   for (std::size_t i = 0; i < txn.items.size(); ++i) {
     queues_[i % queues_.size()].push_back(i);
@@ -22,6 +25,51 @@ std::optional<std::size_t> RoundRobinScheduler::nextItem(
     if ((*view.items)[idx].status == ItemStatus::kPending) return idx;
   }
   return std::nullopt;
+}
+
+void RoundRobinScheduler::enqueue(std::size_t item_index) {
+  const std::size_t n = queues_.size();
+  for (std::size_t tried = 0; tried < n; ++tried) {
+    const std::size_t p = next_path_ % n;
+    next_path_ = (next_path_ + 1) % n;
+    if (up_[p]) {
+      queues_[p].push_back(item_index);
+      return;
+    }
+  }
+  stash_.push_back(item_index);  // nothing is up right now
+}
+
+void RoundRobinScheduler::onItemRequeued(std::size_t item_index) {
+  if (queues_.empty()) return;
+  enqueue(item_index);
+}
+
+void RoundRobinScheduler::onPathDown(std::size_t path_index) {
+  if (path_index >= queues_.size() || !up_[path_index]) return;
+  up_[path_index] = 0;
+  // Migrate the dead path's committed items to surviving paths.
+  std::deque<std::size_t> orphans;
+  orphans.swap(queues_[path_index]);
+  for (const std::size_t idx : orphans) enqueue(idx);
+}
+
+void RoundRobinScheduler::onPathUp(std::size_t path_index) {
+  if (path_index >= queues_.size() || up_[path_index]) return;
+  up_[path_index] = 1;
+  // The returning path inherits anything stranded while everything was down.
+  while (!stash_.empty()) {
+    queues_[path_index].push_back(stash_.front());
+    stash_.pop_front();
+  }
+}
+
+void RoundRobinScheduler::onPathAdded(std::size_t path_index, double) {
+  if (path_index >= queues_.size()) {
+    queues_.resize(path_index + 1);
+    up_.resize(path_index + 1, 0);
+  }
+  onPathUp(path_index);
 }
 
 }  // namespace gol::core

@@ -19,9 +19,20 @@ class RoundRobinScheduler : public Scheduler {
                           const std::vector<double>& nominal_rates_bps) override;
   std::optional<std::size_t> nextItem(const EngineView& view,
                                       std::size_t path_index) override;
+  void onItemRequeued(std::size_t item_index) override;
+  void onPathDown(std::size_t path_index) override;
+  void onPathUp(std::size_t path_index) override;
+  void onPathAdded(std::size_t path_index, double nominal_rate_bps) override;
 
  private:
+  /// Enqueues on the next up path in rotation (stashes when none is up;
+  /// onPathUp drains the stash).
+  void enqueue(std::size_t item_index);
+
   std::vector<std::deque<std::size_t>> queues_;
+  std::vector<char> up_;
+  std::deque<std::size_t> stash_;  ///< Items waiting for any path to be up.
+  std::size_t next_path_ = 0;      ///< Rotation cursor for re-enqueues.
 };
 
 }  // namespace gol::core

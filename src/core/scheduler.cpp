@@ -1,5 +1,6 @@
 #include "core/scheduler.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/greedy_scheduler.hpp"
@@ -13,14 +14,83 @@ void Scheduler::onTransactionStart(const Transaction&,
 
 void Scheduler::onItemComplete(std::size_t, const Item&, double) {}
 
+void Scheduler::onItemRequeued(std::size_t) {}
+
+void Scheduler::onPathDown(std::size_t) {}
+
+void Scheduler::onPathUp(std::size_t) {}
+
+void Scheduler::onPathAdded(std::size_t, double) {}
+
+SchedulerRegistry& SchedulerRegistry::instance() {
+  static SchedulerRegistry registry;
+  return registry;
+}
+
+bool SchedulerRegistry::add(const std::string& name, Factory factory,
+                            bool alias) {
+  return factories_.emplace(name, Entry{std::move(factory), alias}).second;
+}
+
+bool SchedulerRegistry::known(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+std::unique_ptr<Scheduler> SchedulerRegistry::make(
+    const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw std::invalid_argument("unknown scheduler policy: " + name +
+                                " (available: " + namesJoined() + ")");
+  }
+  return it->second.factory();
+}
+
+std::vector<std::string> SchedulerRegistry::list() const {
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : factories_) {
+    if (!entry.alias) names.push_back(name);
+  }
+  return names;  // std::map iteration is already sorted
+}
+
+std::string SchedulerRegistry::namesJoined() const {
+  std::string joined;
+  for (const std::string& n : list()) {
+    if (!joined.empty()) joined += '|';
+    joined += n;
+  }
+  return joined;
+}
+
+SchedulerRegistrar::SchedulerRegistrar(const std::string& name,
+                                       SchedulerRegistry::Factory f,
+                                       bool alias) {
+  SchedulerRegistry::instance().add(name, std::move(f), alias);
+}
+
+namespace {
+// Built-in policies. Registered here — not in their own TUs — because this
+// TU is always pulled out of the static archive (it holds the Scheduler
+// vtable anchor), while a registrar in, say, round_robin_scheduler.cpp
+// would be silently dropped by the linker when nothing references that
+// object file.
+const SchedulerRegistrar kGreedy("greedy",
+                                 [] { return std::make_unique<GreedyScheduler>(); });
+const SchedulerRegistrar kGrd("grd",
+                              [] { return std::make_unique<GreedyScheduler>(); },
+                              /*alias=*/true);
+const SchedulerRegistrar kGreedyNoResched("greedy-noresched", [] {
+  return std::make_unique<GreedyScheduler>(false);
+});
+const SchedulerRegistrar kRr("rr",
+                             [] { return std::make_unique<RoundRobinScheduler>(); });
+const SchedulerRegistrar kMin("min",
+                              [] { return std::make_unique<MinTimeScheduler>(); });
+}  // namespace
+
 std::unique_ptr<Scheduler> makeScheduler(const std::string& policy) {
-  if (policy == "greedy" || policy == "grd")
-    return std::make_unique<GreedyScheduler>();
-  if (policy == "greedy-noresched")
-    return std::make_unique<GreedyScheduler>(false);
-  if (policy == "rr") return std::make_unique<RoundRobinScheduler>();
-  if (policy == "min") return std::make_unique<MinTimeScheduler>();
-  throw std::invalid_argument("unknown scheduler policy: " + policy);
+  return SchedulerRegistry::instance().make(policy);
 }
 
 }  // namespace gol::core

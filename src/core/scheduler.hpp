@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -13,7 +15,13 @@
 
 namespace gol::core {
 
-enum class ItemStatus { kPending, kInFlight, kDone };
+enum class ItemStatus {
+  kPending,   ///< Waiting for a path.
+  kInFlight,  ///< On at least one path right now.
+  kDone,      ///< Delivered.
+  kBackoff,   ///< Failed attempt; waiting out the retry backoff.
+  kFailed,    ///< Retry budget exhausted — terminal, never delivered.
+};
 
 /// Read-only view of the engine's bookkeeping, given to schedulers.
 struct ItemView {
@@ -28,13 +36,11 @@ struct EngineView {
   const std::vector<ItemView>* items = nullptr;
   std::size_t path_count = 0;
   double now = 0;
+  /// Maintained incrementally by the engine (O(1) per status transition),
+  /// so dispatch-time queries don't rescan all M items.
+  std::size_t pending = 0;
 
-  std::size_t pendingCount() const {
-    std::size_t n = 0;
-    for (const auto& iv : *items)
-      if (iv.status == ItemStatus::kPending) ++n;
-    return n;
-  }
+  std::size_t pendingCount() const { return pending; }
 };
 
 class Scheduler {
@@ -56,10 +62,61 @@ class Scheduler {
   /// of path-busy time (observed goodput sample for estimators).
   virtual void onItemComplete(std::size_t path_index, const Item& item,
                               double seconds);
+
+  /// A failed/timed-out attempt put `item_index` back into the pending
+  /// pool. Schedulers that keep per-path queues must re-enqueue it.
+  virtual void onItemRequeued(std::size_t item_index);
+
+  /// Path left service (died, detached, quarantined for good): queue-based
+  /// schedulers must migrate its queued items elsewhere.
+  virtual void onPathDown(std::size_t path_index);
+  /// Path returned to service (recovered, re-admitted by discovery).
+  virtual void onPathUp(std::size_t path_index);
+  /// A path was appended mid-engine-lifetime (dynamic membership); sizes
+  /// per-path state. `path_index` is the new path's index.
+  virtual void onPathAdded(std::size_t path_index, double nominal_rate_bps);
 };
 
-/// Factory used by benches/examples to sweep policies by name:
-/// "greedy" | "rr" | "min".
+/// Self-registering scheduler factory. Policies register a name plus a
+/// factory (the built-ins at static-init time from scheduler.cpp — kept in
+/// that always-linked TU so static-archive dead stripping can't drop them —
+/// and out-of-tree policies via SchedulerRegistrar from their own TU).
+class SchedulerRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Scheduler>()>;
+
+  static SchedulerRegistry& instance();
+
+  /// Registers `factory` under `name`. Aliases are constructible via
+  /// make() but hidden from list(). Returns false on duplicates.
+  bool add(const std::string& name, Factory factory, bool alias = false);
+  /// Instantiates a registered policy; throws std::invalid_argument naming
+  /// the available policies when `name` is unknown.
+  std::unique_ptr<Scheduler> make(const std::string& name) const;
+  bool known(const std::string& name) const;
+  /// Sorted canonical (non-alias) policy names.
+  std::vector<std::string> list() const;
+  /// "a|b|c" over list(), for usage strings and error messages.
+  std::string namesJoined() const;
+
+ private:
+  SchedulerRegistry() = default;
+  struct Entry {
+    Factory factory;
+    bool alias = false;
+  };
+  std::map<std::string, Entry> factories_;
+};
+
+/// Registers a scheduler from a translation unit's static initializer:
+///   static gol::core::SchedulerRegistrar reg("mine", [] { ... });
+struct SchedulerRegistrar {
+  SchedulerRegistrar(const std::string& name, SchedulerRegistry::Factory f,
+                     bool alias = false);
+};
+
+/// Factory used by benches/examples to sweep policies by name; thin wrapper
+/// over SchedulerRegistry::make.
 std::unique_ptr<Scheduler> makeScheduler(const std::string& policy);
 
 }  // namespace gol::core

@@ -8,9 +8,10 @@ AdslTransferPath::AdslTransferPath(http::SimHttpClient& http,
                                    std::string name, net::NetPath path)
     : http_(http), name_(std::move(name)), path_(std::move(path)) {}
 
-void AdslTransferPath::start(const Item& item,
-                             std::function<void(const Item&)> done) {
+void AdslTransferPath::start(const Item& item, DoneFn done) {
   item_ = item;
+  stalled_ = false;
+  stalled_bytes_ = 0;
   http::TransferRequest req;
   req.bytes = item.bytes;
   req.path = path_;
@@ -20,17 +21,31 @@ void AdslTransferPath::start(const Item& item,
     const Item finished = *item_;
     item_.reset();
     current_ = 0;
-    done(finished);
+    done(finished, ItemResult::completed(finished.bytes));
   };
   current_ = http_.transfer(std::move(req));
 }
 
 double AdslTransferPath::abortCurrent() {
   if (!item_) return 0.0;
-  const double moved = http_.abort(current_);
+  double moved = stalled_bytes_;
+  if (!stalled_) moved = http_.abort(current_);
   item_.reset();
   current_ = 0;
+  stalled_ = false;
+  stalled_bytes_ = 0;
   return moved;
+}
+
+bool AdslTransferPath::stallCurrent() {
+  if (!item_ || stalled_) return false;
+  // Freeze: tear down the underlying transfer so no completion ever fires,
+  // but keep the item so busy() stays true — from the engine's point of
+  // view the path has simply gone silent. Only the watchdog can free it.
+  stalled_bytes_ = http_.abort(current_);
+  current_ = 0;
+  stalled_ = true;
+  return true;
 }
 
 double AdslTransferPath::nominalRateBps() const {
@@ -50,9 +65,10 @@ CellularTransferPath::CellularTransferPath(cell::CellularDevice& device,
       extra_rtt_s_(extra_rtt_s),
       tcp_(tcp) {}
 
-void CellularTransferPath::start(const Item& item,
-                                 std::function<void(const Item&)> done) {
+void CellularTransferPath::start(const Item& item, DoneFn done) {
   item_ = item;
+  stalled_ = false;
+  stalled_bytes_ = 0;
   const double rtt = device_.rttS() + extra_rtt_s_;
   const double nominal = device_.nominalRateBps(dir_);
   const double overhead =
@@ -74,7 +90,7 @@ void CellularTransferPath::start(const Item& item,
           const Item finished = *item_;
           item_.reset();
           transfer_ = 0;
-          done(finished);
+          done(finished, ItemResult::completed(finished.bytes));
         };
         transfer_ = device_.startTransfer(std::move(opts));
       });
@@ -82,7 +98,7 @@ void CellularTransferPath::start(const Item& item,
 
 double CellularTransferPath::abortCurrent() {
   if (!item_) return 0.0;
-  double moved = 0.0;
+  double moved = stalled_bytes_;
   if (pending_start_ != 0) {
     device_.net().simulator().cancel(pending_start_);
     pending_start_ = 0;
@@ -92,7 +108,23 @@ double CellularTransferPath::abortCurrent() {
     transfer_ = 0;
   }
   item_.reset();
+  stalled_ = false;
+  stalled_bytes_ = 0;
   return moved;
+}
+
+bool CellularTransferPath::stallCurrent() {
+  if (!item_ || stalled_) return false;
+  if (pending_start_ != 0) {
+    device_.net().simulator().cancel(pending_start_);
+    pending_start_ = 0;
+  }
+  if (transfer_ != 0) {
+    stalled_bytes_ = device_.abortTransfer(transfer_) * tcp_.efficiency;
+    transfer_ = 0;
+  }
+  stalled_ = true;
+  return true;
 }
 
 double CellularTransferPath::nominalRateBps() const {

@@ -30,10 +30,11 @@ class AdslTransferPath : public TransferPath {
   const Item* currentItem() const override {
     return item_ ? &*item_ : nullptr;
   }
-  void start(const Item& item,
-             std::function<void(const Item&)> done) override;
+  using TransferPath::start;
+  void start(const Item& item, DoneFn done) override;
   double abortCurrent() override;
   double nominalRateBps() const override;
+  bool stallCurrent() override;
 
  private:
   http::SimHttpClient& http_;
@@ -42,6 +43,8 @@ class AdslTransferPath : public TransferPath {
   http::SimHttpClient::TransferId current_ = 0;
   std::optional<Item> item_;
   bool first_transfer_ = true;
+  double stalled_bytes_ = 0;  ///< Bytes moved before a fault froze us.
+  bool stalled_ = false;
 };
 
 /// A phone path: client -> Wi-Fi -> phone proxy -> 3G -> origin. The phone
@@ -59,10 +62,11 @@ class CellularTransferPath : public TransferPath {
   const Item* currentItem() const override {
     return item_ ? &*item_ : nullptr;
   }
-  void start(const Item& item,
-             std::function<void(const Item&)> done) override;
+  using TransferPath::start;
+  void start(const Item& item, DoneFn done) override;
   double abortCurrent() override;
   double nominalRateBps() const override;
+  bool stallCurrent() override;
 
   cell::CellularDevice& device() { return device_; }
 
@@ -78,6 +82,8 @@ class CellularTransferPath : public TransferPath {
   sim::EventId pending_start_ = 0;
   cell::CellularDevice::TransferId transfer_ = 0;
   bool first_transfer_ = true;
+  double stalled_bytes_ = 0;
+  bool stalled_ = false;
 };
 
 }  // namespace gol::core

@@ -2,17 +2,58 @@
 // a 3G device reached over the home Wi-Fi. The scheduler and engine operate
 // purely on this interface, so the same policies drive the simulator and
 // the real-socket prototype.
+//
+// Failure model (the in-the-wild pilot, Sec. 5): every attempt completes
+// with an ItemResult carrying an explicit outcome instead of a bare success
+// callback, and a path exposes a liveness bit (`alive()`) plus a state
+// listener so hard failures — socket reset, the phone walking out of Wi-Fi
+// range, a revoked permit — propagate as events rather than silent stalls.
 #pragma once
 
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "core/item.hpp"
 
 namespace gol::core {
 
+/// Terminal state of one item-on-path attempt.
+enum class ItemOutcome {
+  kCompleted,  ///< Payload delivered in full.
+  kFailed,     ///< Hard error mid-transfer (reset, device gone).
+  kAborted,    ///< Cancelled by the engine (duplicate race lost, detach).
+  kTimedOut,   ///< Watchdog deadline expired without completion.
+};
+
+const char* toString(ItemOutcome outcome);
+
+/// What one start() attempt produced. `bytes_moved` is whatever crossed the
+/// wire during the attempt — payload when completed, waste otherwise.
+struct ItemResult {
+  ItemOutcome outcome = ItemOutcome::kCompleted;
+  double bytes_moved = 0;
+  std::string error;  ///< Human-readable cause for non-completed outcomes.
+
+  static ItemResult completed(double bytes) {
+    return ItemResult{ItemOutcome::kCompleted, bytes, {}};
+  }
+  static ItemResult failed(double bytes, std::string why) {
+    return ItemResult{ItemOutcome::kFailed, bytes, std::move(why)};
+  }
+};
+
 class TransferPath {
  public:
+  /// Fires exactly once per start() (never after abortCurrent()), with the
+  /// attempt's outcome. A kFailed result re-enters the engine's retry
+  /// machinery; bytes_moved is accounted as waste.
+  using DoneFn = std::function<void(const Item&, const ItemResult&)>;
+  /// Liveness transition: `alive` flipped, `reason` says why ("left-lan",
+  /// "permit-revoked", "fault:kill", ...).
+  using StateChangeFn =
+      std::function<void(TransferPath& path, bool alive, const std::string& reason)>;
+
   virtual ~TransferPath() = default;
 
   virtual const std::string& name() const = 0;
@@ -22,18 +63,63 @@ class TransferPath {
   virtual const Item* currentItem() const = 0;
 
   /// Begins transferring `item`; `done` fires exactly once on completion
-  /// (never after abortCurrent()).
-  virtual void start(const Item& item,
-                     std::function<void(const Item&)> done) = 0;
+  /// or hard failure (never after abortCurrent()).
+  virtual void start(const Item& item, DoneFn done) = 0;
+
+  /// Success-only convenience for callers that predate the failure model:
+  /// adapts a bare completion callback (only invoked on kCompleted).
+  void start(const Item& item, std::function<void(const Item&)> done) {
+    start(item, DoneFn([cb = std::move(done)](const Item& it,
+                                              const ItemResult& res) {
+            if (res.outcome == ItemOutcome::kCompleted && cb) cb(it);
+          }));
+  }
 
   /// Aborts the in-flight item, returning the bytes it had moved (these
   /// count as waste when the abort is due to a duplicate completing
-  /// elsewhere). No-op returning 0 when idle.
+  /// elsewhere or a watchdog firing). No-op returning 0 when idle.
   virtual double abortCurrent() = 0;
 
   /// A-priori throughput guess, used to seed bandwidth estimators before
   /// any sample exists. Never a promise.
   virtual double nominalRateBps() const = 0;
+
+  /// Fault-injection hook: silently freeze the in-flight item — no bytes
+  /// move, no callback fires, busy() stays true — the class of failure only
+  /// a watchdog can catch. Returns false when idle or unsupported.
+  virtual bool stallCurrent() { return false; }
+
+  /// Health: false once a hard failure has been observed (socket reset,
+  /// device off the LAN, permit revoked). Dead paths are never dispatched
+  /// to; in-flight work is aborted and re-queued by the engine.
+  bool alive() const { return alive_; }
+
+  /// Registers the (single) liveness listener; the engine owns it while a
+  /// transaction runs. Replaces any previous listener.
+  void onStateChange(StateChangeFn cb) { state_listener_ = std::move(cb); }
+
+  /// Flips liveness and notifies the listener. Called by implementations on
+  /// internal hard failures, and externally by discovery supervision and
+  /// fault injectors.
+  void setAlive(bool alive, const std::string& reason = "") {
+    if (alive == alive_) return;
+    alive_ = alive;
+    if (state_listener_) state_listener_(*this, alive_, reason);
+  }
+
+ private:
+  bool alive_ = true;
+  StateChangeFn state_listener_;
 };
+
+inline const char* toString(ItemOutcome outcome) {
+  switch (outcome) {
+    case ItemOutcome::kCompleted: return "completed";
+    case ItemOutcome::kFailed: return "failed";
+    case ItemOutcome::kAborted: return "aborted";
+    case ItemOutcome::kTimedOut: return "timed_out";
+  }
+  return "unknown";
+}
 
 }  // namespace gol::core

@@ -1,5 +1,6 @@
 #include "core/upload_session.hpp"
 
+#include "core/fault_injector.hpp"
 #include "http/multipart.hpp"
 
 namespace gol::core {
@@ -42,10 +43,17 @@ UploadOutcome UploadSession::run(const UploadOptions& opts) {
   std::vector<TransferPath*> raw;
   raw.reserve(paths.size());
   for (auto& p : paths) raw.push_back(p.get());
-  TransactionEngine engine(home_.simulator(), raw, *scheduler);
+  TransactionEngine engine(home_.simulator(), raw, *scheduler, opts.engine);
+  FaultInjector injector(home_.simulator());
+  if (opts.faults != nullptr) {
+    for (TransferPath* p : raw) injector.addPath(p);
+    injector.instrument(&telemetry::Registry::global());
+    injector.arm(opts.faults->shiftedBy(home_.simulator().now()));
+  }
   out.txn = runTransaction(home_.simulator(), engine,
                            makeTransaction(TransferDirection::kUpload,
                                            wire_sizes, "photo"));
+  injector.disarm();
   return out;
 }
 

@@ -7,6 +7,7 @@
 
 #include "core/engine.hpp"
 #include "core/home.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/rng.hpp"
 
 namespace gol::core {
@@ -19,6 +20,10 @@ struct UploadOptions {
   int phones = 1;
   bool use_adsl = true;
   bool warm_start = false;
+  /// Retry/watchdog/quarantine knobs for the upload transaction.
+  EngineConfig engine;
+  /// Optional fault schedule injected into the upload paths.
+  const sim::FaultPlan* faults = nullptr;
 };
 
 struct UploadOutcome {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/deadline_scheduler.hpp"
+#include "core/fault_injector.hpp"
 
 namespace gol::core {
 
@@ -60,13 +61,24 @@ VodOutcome VodSession::run(const VodOptions& opts) {
   } else {
     scheduler = makeScheduler(opts.scheduler);
   }
-  TransactionEngine engine(sim, raw, *scheduler);
+  TransactionEngine engine(sim, raw, *scheduler, opts.engine);
   if (opts.trace)
     engine.instrument(&telemetry::Registry::global(), opts.trace);
+
+  // Fault events are scheduled relative to "now" (the transaction start,
+  // post playlist fetch) and disarmed before the paths die, so a plan with
+  // a long horizon cannot fire into freed paths.
+  FaultInjector injector(sim);
+  if (opts.faults != nullptr) {
+    for (TransferPath* p : raw) injector.addPath(p);
+    injector.instrument(&telemetry::Registry::global());
+    injector.arm(opts.faults->shiftedBy(sim.now()));
+  }
 
   Transaction txn = makeTransaction(TransferDirection::kDownload,
                                     video.segment_bytes, "seg");
   out.txn = runTransaction(sim, engine, std::move(txn));
+  injector.disarm();
 
   // 3. Player metrics.
   std::vector<double> durations;

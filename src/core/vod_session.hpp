@@ -11,6 +11,7 @@
 #include "core/home.hpp"
 #include "hls/player.hpp"
 #include "hls/segmenter.hpp"
+#include "sim/fault_plan.hpp"
 #include "telemetry/span.hpp"
 
 namespace gol::core {
@@ -36,6 +37,12 @@ struct VodOptions {
   ///   telemetry::TraceRecorder rec(
   ///       telemetry::Clock{[&sim] { return sim.now(); }});
   telemetry::TraceRecorder* trace = nullptr;
+  /// Retry/watchdog/quarantine knobs for the segment transaction.
+  EngineConfig engine;
+  /// Optional fault schedule injected into the segment transaction's
+  /// paths (times are relative to the transaction, i.e. start at ~0).
+  /// Targeted events go by path name: "adsl", "phone0", "phone1", ...
+  const sim::FaultPlan* faults = nullptr;
 };
 
 struct VodOutcome {

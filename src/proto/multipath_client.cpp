@@ -1,7 +1,9 @@
 #include "proto/multipath_client.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <system_error>
 
 #include "http/message.hpp"
 
@@ -9,18 +11,37 @@ namespace gol::proto {
 
 using Clock = std::chrono::steady_clock;
 
+const char* toString(FetchOutcome outcome) {
+  switch (outcome) {
+    case FetchOutcome::kCompleted: return "completed";
+    case FetchOutcome::kCompletedDegraded: return "completed_degraded";
+    case FetchOutcome::kPartialFailure: return "partial_failure";
+  }
+  return "unknown";
+}
+
 MultipathHttpClient::MultipathHttpClient(EpollLoop& loop,
                                          std::vector<Endpoint> endpoints,
-                                         bool enable_duplication)
-    : loop_(loop), duplication_(enable_duplication) {
+                                         ClientConfig cfg)
+    : loop_(loop), cfg_(cfg) {
   if (endpoints.empty())
     throw std::invalid_argument("MultipathHttpClient: no endpoints");
   for (auto& e : endpoints) {
     Slot s;
     s.endpoint = std::move(e);
+    s.rate_est_bps = cfg_.initial_rate_bps;
     slots_.push_back(std::move(s));
   }
 }
+
+MultipathHttpClient::MultipathHttpClient(EpollLoop& loop,
+                                         std::vector<Endpoint> endpoints,
+                                         bool enable_duplication)
+    : MultipathHttpClient(loop, std::move(endpoints), [&] {
+        ClientConfig cfg;
+        cfg.enable_duplication = enable_duplication;
+        return cfg;
+      }()) {}
 
 void MultipathHttpClient::start(std::vector<FetchItem> items) {
   if (!done_) throw std::logic_error("transaction already running");
@@ -28,14 +49,18 @@ void MultipathHttpClient::start(std::vector<FetchItem> items) {
   states_.assign(items_.size(), ItemState::kPending);
   carriers_.assign(items_.size(), {});
   first_assigned_.assign(items_.size(), Clock::time_point{});
+  failed_attempts_.assign(items_.size(), 0);
+  failed_endpoint_names_.clear();
   done_count_ = 0;
+  failed_count_ = 0;
   result_ = MultipathResult{};
   result_.item_completion_s.assign(items_.size(), 0.0);
+  result_.per_item_attempts.assign(items_.size(), 0);
   done_ = items_.empty();
   result_.complete = done_;
   started_at_ = Clock::now();
   if (done_) return;
-  for (std::size_t s = 0; s < slots_.size(); ++s) dispatch(s);
+  dispatchAll();
 }
 
 std::optional<std::size_t> MultipathHttpClient::pickItem(
@@ -43,7 +68,7 @@ std::optional<std::size_t> MultipathHttpClient::pickItem(
   for (std::size_t i = 0; i < items_.size(); ++i) {
     if (states_[i] == ItemState::kPending) return i;
   }
-  if (!duplication_) return std::nullopt;
+  if (!cfg_.enable_duplication) return std::nullopt;
   std::optional<std::size_t> oldest;
   for (std::size_t i = 0; i < items_.size(); ++i) {
     if (states_[i] != ItemState::kInFlight) continue;
@@ -55,15 +80,36 @@ std::optional<std::size_t> MultipathHttpClient::pickItem(
   return oldest;
 }
 
+std::chrono::milliseconds MultipathHttpClient::backoffDelay(
+    int failed_attempts) const {
+  const double factor =
+      std::pow(cfg_.backoff_multiplier, std::max(0, failed_attempts - 1));
+  const auto delay = std::chrono::milliseconds(static_cast<long>(
+      static_cast<double>(cfg_.base_backoff.count()) * factor));
+  return std::min(delay, cfg_.max_backoff);
+}
+
+std::chrono::milliseconds MultipathHttpClient::watchdogDeadline(
+    const Slot& slot, std::size_t item_index) const {
+  const double rate = std::max(slot.rate_est_bps, 1e3);
+  const double est_s =
+      static_cast<double>(items_[item_index].bytes) * 8.0 / rate;
+  const auto scaled = std::chrono::milliseconds(
+      static_cast<long>(cfg_.watchdog_k * est_s * 1e3));
+  return std::max(cfg_.watchdog_floor, scaled);
+}
+
+void MultipathHttpClient::dispatchAll() {
+  for (std::size_t s = 0; s < slots_.size() && !done_; ++s) dispatch(s);
+}
+
 void MultipathHttpClient::dispatch(std::size_t slot_index) {
   Slot& slot = slots_[slot_index];
   if (slot.item.has_value() || done_) return;
+  if (Clock::now() < slot.quarantined_until) return;
   const auto pick = pickItem(slot_index);
   if (!pick) return;
   const std::size_t idx = *pick;
-
-  auto conn = connectTcp(slot.endpoint.port);
-  if (!conn) return;  // endpoint unreachable; leave the slot idle
 
   if (states_[idx] == ItemState::kPending) {
     states_[idx] = ItemState::kInFlight;
@@ -72,18 +118,34 @@ void MultipathHttpClient::dispatch(std::size_t slot_index) {
     ++result_.duplicated_items;
   }
   carriers_[idx].push_back(slot_index);
+  ++result_.per_item_attempts[idx];
 
   slot.item = idx;
-  slot.conn = std::move(*conn);
   slot.in.clear();
   slot.received_body = 0;
   slot.started_at = Clock::now();
+  const std::uint64_t gen = ++slot.attempt_gen;
+
+  auto conn = connectTcp(slot.endpoint.port);
+  if (!conn) {
+    // Synchronous connect failure (rare on loopback; usually the refusal
+    // arrives as a socket error on the first poll) — a failed attempt like
+    // any other.
+    failAttempt(slot_index);
+    return;
+  }
+  slot.conn = std::move(*conn);
 
   http::Request req;
   req.target = items_[idx].uri;
   req.headers["Host"] = "origin";
   req.headers["Connection"] = "close";
   slot.out = req.serialize();
+
+  slot.watchdog = loop_.runAfter(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          watchdogDeadline(slot, idx)),
+      [this, slot_index, gen] { onWatchdog(slot_index, gen); });
 
   const int fd = slot.conn.get();
   loop_.add(fd, Interest::kReadWrite, [this, slot_index](bool r, bool w) {
@@ -97,59 +159,143 @@ void MultipathHttpClient::onSlotEvent(std::size_t slot_index, bool readable,
   if (!slot.item.has_value() || !slot.conn.valid()) return;
   const int fd = slot.conn.get();
 
-  if (writable && !slot.out.empty()) {
-    const long n = writeSome(fd, slot.out.data(), slot.out.size());
-    if (n > 0) slot.out.erase(0, static_cast<std::size_t>(n));
-    if (slot.out.empty()) loop_.modify(fd, Interest::kRead);
+  try {
+    if (writable && !slot.out.empty()) {
+      const long n = writeSome(fd, slot.out.data(), slot.out.size());
+      if (n > 0) slot.out.erase(0, static_cast<std::size_t>(n));
+      if (slot.out.empty()) loop_.modify(fd, Interest::kRead);
+    }
+
+    if (readable) {
+      char buf[16384];
+      bool eof = false;
+      for (;;) {
+        const long n = readSome(fd, buf, sizeof buf);
+        if (n == 0) {
+          eof = true;
+          break;
+        }
+        if (n < 0) break;
+        slot.in.append(buf, static_cast<std::size_t>(n));
+      }
+      const auto parsed = http::parseResponse(slot.in);
+      if (parsed.status == http::ParseStatus::kComplete) {
+        completeItem(slot_index);
+        return;
+      }
+      if (eof) {
+        // Origin/proxy closed before a full response: a failed attempt.
+        failAttempt(slot_index);
+        return;
+      }
+    }
+  } catch (const std::system_error&) {
+    // Hard socket error — connection reset, refused, aborted. The attempt
+    // is dead; the retry machinery decides what happens to the item.
+    failAttempt(slot_index);
+  }
+}
+
+void MultipathHttpClient::releaseSlot(Slot& slot) {
+  if (slot.watchdog != 0) {
+    loop_.cancelTimer(slot.watchdog);
+    slot.watchdog = 0;
+  }
+  ++slot.attempt_gen;
+  if (slot.conn.valid()) {
+    loop_.remove(slot.conn.get());
+    slot.conn.reset();
+  }
+  slot.item.reset();
+  slot.out.clear();
+}
+
+void MultipathHttpClient::failAttempt(std::size_t slot_index) {
+  Slot& slot = slots_[slot_index];
+  if (!slot.item.has_value()) return;
+  const std::size_t idx = *slot.item;
+  result_.wasted_bytes += slot.in.size();
+  slot.in.clear();
+  releaseSlot(slot);
+
+  auto& c = carriers_[idx];
+  c.erase(std::remove(c.begin(), c.end(), slot_index), c.end());
+
+  failed_endpoint_names_.insert(slot.endpoint.name);
+  if (++slot.consecutive_failures >= cfg_.quarantine_threshold) {
+    slot.quarantined_until = Clock::now() + cfg_.quarantine;
+    // Probe once the bench expires; quarantined slots are skipped by
+    // dispatch until then.
+    loop_.runAfter(std::chrono::duration_cast<std::chrono::microseconds>(
+                       cfg_.quarantine),
+                   [this, slot_index] { dispatch(slot_index); });
   }
 
-  if (readable) {
-    char buf[16384];
-    bool eof = false;
-    for (;;) {
-      const long n = readSome(fd, buf, sizeof buf);
-      if (n == 0) {
-        eof = true;
-        break;
-      }
-      if (n < 0) break;
-      slot.in.append(buf, static_cast<std::size_t>(n));
-    }
-    const auto parsed = http::parseResponse(slot.in);
-    if (parsed.status == http::ParseStatus::kComplete) {
-      completeItem(slot_index);
+  if (states_[idx] == ItemState::kDone) {
+    dispatch(slot_index);
+    return;
+  }
+  if (!c.empty()) {
+    // A duplicate is still in flight elsewhere; ride on it.
+    dispatch(slot_index);
+    return;
+  }
+
+  if (++failed_attempts_[idx] >= cfg_.max_attempts) {
+    states_[idx] = ItemState::kFailed;
+    ++failed_count_;
+    ++result_.failed_items;
+    if (done_count_ + failed_count_ == items_.size()) {
+      finish();
       return;
     }
-    if (eof) {
-      // Origin closed before a full response: treat as failure, retry the
-      // item by releasing the slot.
-      const std::size_t idx = *slot.item;
-      auto& c = carriers_[idx];
-      c.erase(std::remove(c.begin(), c.end(), slot_index), c.end());
-      if (states_[idx] == ItemState::kInFlight && c.empty())
-        states_[idx] = ItemState::kPending;
-      loop_.remove(fd);
-      slot.conn.reset();
-      slot.item.reset();
-      dispatch(slot_index);
-    }
+  } else {
+    states_[idx] = ItemState::kBackoff;
+    ++result_.retries;
+    loop_.runAfter(std::chrono::duration_cast<std::chrono::microseconds>(
+                       backoffDelay(failed_attempts_[idx])),
+                   [this, idx] { onBackoffExpired(idx); });
   }
+  dispatch(slot_index);
+}
+
+void MultipathHttpClient::onWatchdog(std::size_t slot_index,
+                                     std::uint64_t gen) {
+  Slot& slot = slots_[slot_index];
+  if (done_ || !slot.item.has_value() || gen != slot.attempt_gen) return;
+  slot.watchdog = 0;
+  ++result_.timeouts;
+  failAttempt(slot_index);
+}
+
+void MultipathHttpClient::onBackoffExpired(std::size_t item_index) {
+  if (done_ || states_[item_index] != ItemState::kBackoff) return;
+  states_[item_index] = ItemState::kPending;
+  dispatchAll();
 }
 
 void MultipathHttpClient::completeItem(std::size_t slot_index) {
   Slot& slot = slots_[slot_index];
   const std::size_t idx = *slot.item;
-  loop_.remove(slot.conn.get());
-  slot.conn.reset();
-  slot.item.reset();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - slot.started_at).count();
+  releaseSlot(slot);
   const std::size_t payload = items_[idx].bytes;
+
+  slot.consecutive_failures = 0;
+  if (elapsed > 1e-6) {
+    const double sample = static_cast<double>(payload) * 8.0 / elapsed;
+    slot.rate_est_bps = 0.5 * slot.rate_est_bps + 0.5 * sample;
+  }
 
   if (states_[idx] == ItemState::kDone) {
     // Lost the duplicate race after delivery; count the whole copy wasted.
     result_.wasted_bytes += payload;
+    slot.in.clear();
     dispatch(slot_index);
     return;
   }
+  slot.in.clear();
   states_[idx] = ItemState::kDone;
   ++done_count_;
   result_.per_endpoint_bytes[slot.endpoint.name] += payload;
@@ -162,7 +308,7 @@ void MultipathHttpClient::completeItem(std::size_t slot_index) {
   for (std::size_t other : carriers) {
     if (other != slot_index) abortSlot(other);
   }
-  if (done_count_ == items_.size()) {
+  if (done_count_ + failed_count_ == items_.size()) {
     finish();
     return;
   }
@@ -176,15 +322,22 @@ void MultipathHttpClient::abortSlot(std::size_t slot_index) {
   Slot& slot = slots_[slot_index];
   if (!slot.item.has_value()) return;
   result_.wasted_bytes += slot.in.size();
-  loop_.remove(slot.conn.get());
-  slot.conn.reset();
-  slot.item.reset();
   slot.in.clear();
+  releaseSlot(slot);
 }
 
 void MultipathHttpClient::finish() {
   done_ = true;
-  result_.complete = true;
+  result_.complete = failed_count_ == 0;
+  result_.failed_endpoints.assign(failed_endpoint_names_.begin(),
+                                  failed_endpoint_names_.end());
+  if (result_.failed_items > 0) {
+    result_.outcome = FetchOutcome::kPartialFailure;
+  } else if (result_.retries > 0 || result_.timeouts > 0) {
+    result_.outcome = FetchOutcome::kCompletedDegraded;
+  } else {
+    result_.outcome = FetchOutcome::kCompleted;
+  }
   result_.duration_s =
       std::chrono::duration<double>(Clock::now() - started_at_).count();
 }

@@ -2,6 +2,12 @@
 // of objects from the origin across several endpoints (the direct/ADSL leg
 // and one per phone proxy), using the paper's greedy policy — pending items
 // in order, then tail duplication with loser abort.
+//
+// Failure handling mirrors the simulator engine's contract: a hard socket
+// error (reset, refused) or a watchdog expiry fails the attempt, the item
+// retries elsewhere after an exponential backoff, endpoints that fail
+// repeatedly are quarantined, and an item that exhausts its attempt budget
+// is declared failed so the transaction still terminates.
 #pragma once
 
 #include <chrono>
@@ -9,6 +15,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -27,17 +34,49 @@ struct FetchItem {
   std::size_t bytes;   ///< Expected payload size (for verification).
 };
 
+enum class FetchOutcome {
+  kCompleted,          ///< All items, no failures observed.
+  kCompletedDegraded,  ///< All items, but retries/timeouts were needed.
+  kPartialFailure,     ///< Some item exhausted its retry budget.
+};
+
+const char* toString(FetchOutcome outcome);
+
+struct ClientConfig {
+  bool enable_duplication = true;
+  int max_attempts = 4;  ///< Failed attempts before an item is given up.
+  std::chrono::milliseconds base_backoff{200};
+  double backoff_multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{5000};
+  /// Per-attempt watchdog deadline = max(floor, k * bytes / rate estimate).
+  double watchdog_k = 6.0;
+  std::chrono::milliseconds watchdog_floor{3000};
+  double initial_rate_bps = 4e6;  ///< Seeds per-endpoint rate estimates.
+  int quarantine_threshold = 2;   ///< Consecutive failures before benching.
+  std::chrono::milliseconds quarantine{1000};
+};
+
 struct MultipathResult {
   bool complete = false;
+  FetchOutcome outcome = FetchOutcome::kCompleted;
   double duration_s = 0;
-  std::size_t wasted_bytes = 0;   ///< Bytes received on aborted duplicates.
+  std::size_t wasted_bytes = 0;   ///< Bytes received on aborted duplicates
+                                  ///< and failed/timed-out attempts.
   std::size_t duplicated_items = 0;
+  std::size_t retries = 0;        ///< Attempts re-queued after failures.
+  std::size_t timeouts = 0;       ///< Attempts killed by the watchdog.
+  std::size_t failed_items = 0;   ///< Items that ran out of attempts.
+  std::vector<int> per_item_attempts;
+  /// Endpoints that produced at least one hard failure.
+  std::vector<std::string> failed_endpoints;
   std::map<std::string, std::size_t> per_endpoint_bytes;
   std::vector<double> item_completion_s;
 };
 
 class MultipathHttpClient {
  public:
+  MultipathHttpClient(EpollLoop& loop, std::vector<Endpoint> endpoints,
+                      ClientConfig cfg);
   MultipathHttpClient(EpollLoop& loop, std::vector<Endpoint> endpoints,
                       bool enable_duplication = true);
 
@@ -51,7 +90,7 @@ class MultipathHttpClient {
                       std::chrono::milliseconds timeout);
 
  private:
-  enum class ItemState { kPending, kInFlight, kDone };
+  enum class ItemState { kPending, kInFlight, kDone, kBackoff, kFailed };
 
   struct Slot {               // one per endpoint
     Endpoint endpoint;
@@ -61,24 +100,43 @@ class MultipathHttpClient {
     std::string in;           // response bytes so far
     std::size_t received_body = 0;
     std::chrono::steady_clock::time_point started_at{};
+    /// Bumped per attempt; stale watchdog timers compare and drop.
+    std::uint64_t attempt_gen = 0;
+    EpollLoop::TimerId watchdog = 0;
+    int consecutive_failures = 0;
+    std::chrono::steady_clock::time_point quarantined_until{};
+    double rate_est_bps = 0;
   };
 
   void dispatch(std::size_t slot_index);
+  void dispatchAll();
   void onSlotEvent(std::size_t slot_index, bool readable, bool writable);
   void completeItem(std::size_t slot_index);
   void abortSlot(std::size_t slot_index);
+  /// Books the failed attempt on `slot_index`: waste, endpoint health,
+  /// quarantine, and the item's retry/terminal-failure disposition.
+  void failAttempt(std::size_t slot_index);
+  void onWatchdog(std::size_t slot_index, std::uint64_t gen);
+  void onBackoffExpired(std::size_t item_index);
+  void releaseSlot(Slot& slot);
   std::optional<std::size_t> pickItem(std::size_t slot_index);
+  std::chrono::milliseconds backoffDelay(int failed_attempts) const;
+  std::chrono::milliseconds watchdogDeadline(const Slot& slot,
+                                             std::size_t item_index) const;
   void finish();
 
   EpollLoop& loop_;
   std::vector<Slot> slots_;
-  bool duplication_;
+  ClientConfig cfg_;
 
   std::vector<FetchItem> items_;
   std::vector<ItemState> states_;
   std::vector<std::vector<std::size_t>> carriers_;  // slot indices per item
   std::vector<std::chrono::steady_clock::time_point> first_assigned_;
+  std::vector<int> failed_attempts_;
+  std::set<std::string> failed_endpoint_names_;
   std::size_t done_count_ = 0;
+  std::size_t failed_count_ = 0;
   bool done_ = true;
   MultipathResult result_;
   std::chrono::steady_clock::time_point started_at_{};

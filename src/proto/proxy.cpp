@@ -199,6 +199,32 @@ void OnloadProxy::armTimer(int pipe_key, std::chrono::microseconds delay) {
   });
 }
 
+void OnloadProxy::killActiveConnections() {
+  while (!pipes_.empty()) {
+    const auto& [key, pipe] = *pipes_.begin();
+    // Linger-0 close aborts the connection: the client gets an RST, not a
+    // tidy FIN, exactly like a mid-transfer device disappearance.
+    const struct linger lg{1, 0};
+    ::setsockopt(pipe->client.get(), SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+    closePipe(key);
+  }
+}
+
+void OnloadProxy::pauseAccepting() {
+  if (!listener_.fd.valid()) return;
+  loop_.remove(listener_.fd.get());
+  listener_.fd.reset();
+}
+
+void OnloadProxy::resumeAccepting() {
+  if (listener_.fd.valid()) return;
+  auto l = listenTcp(port_);
+  if (!l) throw std::runtime_error("OnloadProxy: cannot re-listen");
+  listener_ = std::move(*l);
+  loop_.add(listener_.fd.get(), Interest::kRead,
+            [this](bool, bool) { onAccept(); });
+}
+
 void OnloadProxy::closePipe(int pipe_key) {
   auto it = pipes_.find(pipe_key);
   if (it == pipes_.end()) return;

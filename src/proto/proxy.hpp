@@ -37,6 +37,17 @@ class OnloadProxy {
   std::size_t bytesRelayedUp() const { return relayed_up_; }
   std::size_t activeConnections() const { return pipes_.size(); }
 
+  /// Fault injection: hard-kills every active relay. Client sockets are
+  /// closed with SO_LINGER 0 so the peer sees ECONNRESET mid-transfer, the
+  /// way a phone dropping off Wi-Fi looks to the client.
+  void killActiveConnections();
+  /// Fault injection: the proxy vanishes from the LAN — the listening
+  /// socket is closed, so new connects are refused until
+  /// resumeAccepting() re-binds the same port.
+  void pauseAccepting();
+  void resumeAccepting();
+  bool accepting() const { return listener_.fd.valid(); }
+
   /// Publishes accept/close counters, per-direction relayed-byte counters
   /// (`gol.proto.bytes_proxied{dir=down|up}`), and an active-connections
   /// gauge into `registry` (nullptr detaches).

@@ -1,0 +1,202 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace gol::sim {
+
+const char* toString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPathKill: return "kill";
+    case FaultKind::kPathFlap: return "flap";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kPermitRevoke: return "revoke";
+    case FaultKind::kCapExhaust: return "cap";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::scripted(std::vector<FaultEvent> events) {
+  FaultPlan plan;
+  plan.events_ = std::move(events);
+  std::stable_sort(plan.events_.begin(), plan.events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_s < b.at_s;
+                   });
+  return plan;
+}
+
+FaultPlan FaultPlan::randomized(std::uint64_t seed,
+                                const RandomFaultSpec& spec) {
+  static const FaultKind kAll[] = {FaultKind::kPathKill, FaultKind::kPathFlap,
+                                   FaultKind::kStall, FaultKind::kPermitRevoke,
+                                   FaultKind::kCapExhaust};
+  std::vector<FaultKind> kinds = spec.kinds;
+  if (kinds.empty()) kinds.assign(std::begin(kAll), std::end(kAll));
+
+  Rng rng(seed);
+  std::vector<FaultEvent> events;
+  events.reserve(spec.event_count);
+  for (std::size_t i = 0; i < spec.event_count; ++i) {
+    FaultEvent ev;
+    ev.at_s = rng.uniform(0.0, spec.horizon_s);
+    ev.kind = kinds[static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(kinds.size()) - 1))];
+    // Targeted kinds need a target to aim at; fall back to revoke (the one
+    // plan-wide fault) when none were supplied.
+    if (ev.kind != FaultKind::kPermitRevoke) {
+      if (spec.targets.empty()) {
+        ev.kind = FaultKind::kPermitRevoke;
+      } else {
+        ev.target = spec.targets[static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(spec.targets.size()) - 1))];
+      }
+    }
+    if (ev.kind == FaultKind::kPathFlap || ev.kind == FaultKind::kPermitRevoke)
+      ev.duration_s = rng.uniform(spec.min_duration_s, spec.max_duration_s);
+    events.push_back(std::move(ev));
+  }
+  return scripted(std::move(events));
+}
+
+FaultPlan FaultPlan::shiftedBy(double dt) const {
+  FaultPlan shifted = *this;
+  for (FaultEvent& ev : shifted.events_) ev.at_s += dt;
+  return shifted;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  char buf[64];
+  for (const FaultEvent& ev : events_) {
+    if (!out.empty()) out += ' ';
+    out += toString(ev.kind);
+    if (!ev.target.empty()) {
+      out += ':';
+      out += ev.target;
+    }
+    std::snprintf(buf, sizeof(buf), "@%g", ev.at_s);
+    out += buf;
+    if (ev.duration_s > 0) {
+      std::snprintf(buf, sizeof(buf), "+%g", ev.duration_s);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void badSpec(const std::string& token, const char* why) {
+  throw std::invalid_argument(
+      "bad fault spec '" + token + "': " + why +
+      " (expected kind:target@time[+duration] with kind in "
+      "kill|flap|stall|revoke|cap, or rand:seed=N[,n=N][,horizon=S]"
+      "[,targets=a;b])");
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t next = s.find(sep, pos);
+    if (next == std::string::npos) {
+      parts.push_back(s.substr(pos));
+      break;
+    }
+    parts.push_back(s.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return parts;
+}
+
+double parseNumber(const std::string& token, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) badSpec(token, "trailing junk after number");
+    return v;
+  } catch (const std::invalid_argument&) {
+    badSpec(token, "not a number");
+  } catch (const std::out_of_range&) {
+    badSpec(token, "number out of range");
+  }
+}
+
+FaultPlan parseRandomSpec(const std::string& token) {
+  RandomFaultSpec spec;
+  std::uint64_t seed = 1;
+  bool have_seed = false;
+  for (const std::string& kv : split(token.substr(5), ',')) {
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) badSpec(token, "rand options need key=value");
+    const std::string key = kv.substr(0, eq);
+    const std::string val = kv.substr(eq + 1);
+    if (key == "seed") {
+      seed = static_cast<std::uint64_t>(parseNumber(token, val));
+      have_seed = true;
+    } else if (key == "n") {
+      spec.event_count = static_cast<std::size_t>(parseNumber(token, val));
+    } else if (key == "horizon") {
+      spec.horizon_s = parseNumber(token, val);
+    } else if (key == "targets") {
+      spec.targets = split(val, ';');
+    } else {
+      badSpec(token, "unknown rand option");
+    }
+  }
+  if (!have_seed) badSpec(token, "rand needs seed=N");
+  return FaultPlan::randomized(seed, spec);
+}
+
+}  // namespace
+
+FaultPlan parseFaultPlan(const std::string& spec) {
+  if (spec.rfind("rand:", 0) == 0) return parseRandomSpec(spec);
+
+  std::vector<FaultEvent> events;
+  for (const std::string& token : split(spec, ',')) {
+    if (token.empty()) continue;
+    FaultEvent ev;
+    const std::size_t at = token.find('@');
+    if (at == std::string::npos) badSpec(token, "missing @time");
+    std::string head = token.substr(0, at);
+    std::string tail = token.substr(at + 1);
+    const std::size_t plus = tail.find('+');
+    if (plus != std::string::npos) {
+      ev.duration_s = parseNumber(token, tail.substr(plus + 1));
+      tail = tail.substr(0, plus);
+    }
+    ev.at_s = parseNumber(token, tail);
+
+    const std::size_t colon = head.find(':');
+    const std::string kind = colon == std::string::npos
+                                 ? head
+                                 : head.substr(0, colon);
+    if (colon != std::string::npos) ev.target = head.substr(colon + 1);
+    if (kind == "kill") {
+      ev.kind = FaultKind::kPathKill;
+    } else if (kind == "flap") {
+      ev.kind = FaultKind::kPathFlap;
+    } else if (kind == "stall") {
+      ev.kind = FaultKind::kStall;
+    } else if (kind == "revoke") {
+      ev.kind = FaultKind::kPermitRevoke;
+    } else if (kind == "cap") {
+      ev.kind = FaultKind::kCapExhaust;
+    } else {
+      badSpec(token, "unknown fault kind");
+    }
+    if (ev.kind != FaultKind::kPermitRevoke && ev.target.empty())
+      badSpec(token, "this fault kind needs a :target");
+    if (ev.kind == FaultKind::kPathFlap && ev.duration_s <= 0)
+      badSpec(token, "flap needs +duration");
+    events.push_back(std::move(ev));
+  }
+  return FaultPlan::scripted(std::move(events));
+}
+
+}  // namespace gol::sim

@@ -1,0 +1,81 @@
+// Deterministic fault schedules for robustness testing (the conditions the
+// paper's in-the-wild pilot hit: phones leaving Wi-Fi range, revoked
+// permits, exhausted allowances, transfers that stall without an error).
+//
+// A FaultPlan is pure data — a time-ordered list of FaultEvents — built
+// either from an explicit script or from a seeded random generator, so any
+// failing run replays bit-for-bit from its seed. Binding a plan to live
+// objects (paths, the onload controller) is core::FaultInjector's job; this
+// layer has no dependency on them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gol::sim {
+
+enum class FaultKind {
+  kPathKill,      ///< Path goes dead and stays dead (phone powered off).
+  kPathFlap,      ///< Path goes dead, recovers after `duration_s`.
+  kStall,         ///< In-flight transfer freezes silently; no error event.
+  kPermitRevoke,  ///< MNO revokes all permits and refuses new ones for
+                  ///< `duration_s` (network-integrated mode).
+  kCapExhaust,    ///< Target phone's daily allowance is spent (OTT mode).
+};
+
+const char* toString(FaultKind kind);
+
+struct FaultEvent {
+  double at_s = 0;        ///< Absolute sim time.
+  FaultKind kind = FaultKind::kPathKill;
+  std::string target;     ///< Path/phone name; empty = plan-wide (revoke).
+  double duration_s = 0;  ///< Flap downtime / revoke suspension length.
+};
+
+/// Parameters for randomized plan generation.
+struct RandomFaultSpec {
+  double horizon_s = 120.0;     ///< Faults are drawn in [0, horizon_s).
+  std::size_t event_count = 6;  ///< Number of faults to draw.
+  /// Kinds to draw from (uniformly); empty = all kinds.
+  std::vector<FaultKind> kinds;
+  /// Targets to draw from (uniformly); must be non-empty for targeted
+  /// kinds to be generated.
+  std::vector<std::string> targets;
+  double min_duration_s = 2.0;   ///< Flap/revoke duration lower bound.
+  double max_duration_s = 20.0;  ///< ... and upper bound.
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Explicit schedule; events are sorted by time.
+  static FaultPlan scripted(std::vector<FaultEvent> events);
+  /// Seeded-random schedule: identical (seed, spec) -> identical plan.
+  static FaultPlan randomized(std::uint64_t seed, const RandomFaultSpec& spec);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// The same plan with every event `dt` seconds later — rebases a plan
+  /// written in transaction-relative time onto the current sim clock.
+  FaultPlan shiftedBy(double dt) const;
+
+  /// One-line human description ("kill:phone0@10 flap:phone1@20+5 ...").
+  std::string describe() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Parses the CLI grammar: a comma-separated list of
+///   <kind>:<target>@<time>[+<duration>]
+/// with kinds kill|flap|stall|revoke|cap (revoke takes no target:
+/// "revoke@30" or "revoke@30+60"), or a randomized spec
+///   "rand:seed=7[,n=6][,horizon=120][,targets=a;b]".
+/// Throws std::invalid_argument with a usage hint on malformed input.
+FaultPlan parseFaultPlan(const std::string& spec);
+
+}  // namespace gol::sim

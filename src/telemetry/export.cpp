@@ -47,6 +47,75 @@ std::string jsonNumber(double v) {
   return buf;
 }
 
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_elems_.empty()) {
+    if (has_elems_.back()) out_ += ',';
+    has_elems_.back() = 1;
+  }
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  separate();
+  out_ += '{';
+  has_elems_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  has_elems_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  separate();
+  out_ += '[';
+  has_elems_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  has_elems_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  separate();
+  out_ += jsonQuote(k);
+  out_ += ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  out_ += jsonNumber(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::size_t v) {
+  separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  separate();
+  out_ += jsonQuote(v);
+  return *this;
+}
+
 namespace {
 
 std::string labelsJson(const Labels& labels) {

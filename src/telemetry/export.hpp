@@ -3,7 +3,9 @@
 // dump (grep/awk-friendly, one instrument per line).
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "telemetry/metrics.hpp"
 
@@ -14,6 +16,35 @@ std::string jsonQuote(const std::string& s);
 /// Finite doubles as shortest round-trip decimal; NaN/Inf as 0 (JSON has
 /// no literal for them).
 std::string jsonNumber(double v);
+
+/// Minimal streaming JSON builder: keeps comma/nesting state so callers
+/// serialize structures without hand-assembling punctuation. All result
+/// printing in the repo (CLI, benches) goes through this one writer so the
+/// output stays one dialect.
+class JsonWriter {
+ public:
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+  /// Object member key; must be followed by a value or begin*().
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(double v);
+  JsonWriter& value(int v) { return value(static_cast<double>(v)); }
+  JsonWriter& value(std::size_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void separate();
+
+  std::string out_;
+  std::vector<char> has_elems_;  ///< Per nesting level: wrote an element?
+  bool after_key_ = false;
+};
 
 /// {"schema":"gol.metrics.v1","metrics":[{"name":...,"labels":{...},
 ///  "kind":"counter|gauge|histogram","value":...}, ...]}

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
 
 #include "core/engine.hpp"
@@ -177,12 +178,272 @@ TEST(Engine, EngineReusableAfterCompletion) {
 }
 
 TEST(Engine, GoodputComputation) {
+  // Goodput counts delivered payload, not requested payload: a partial
+  // failure must not inflate the rate with bytes that never arrived.
   TransactionResult r;
   r.duration_s = 2.0;
   r.total_bytes = megabytes(2);
+  r.delivered_bytes = megabytes(2);
   EXPECT_NEAR(r.goodputBps(), mbps(8), 1);
+  r.delivered_bytes = megabytes(1);
+  EXPECT_NEAR(r.goodputBps(), mbps(4), 1);
   r.duration_s = 0;
   EXPECT_DOUBLE_EQ(r.goodputBps(), 0.0);
+}
+
+// ---- Failure machinery ---------------------------------------------------
+
+/// Sums that must hold whatever faults hit: every byte any path moved is
+/// either delivered payload or accounted waste.
+void expectAccounting(const TransactionResult& res) {
+  double delivered = 0, wasted = 0;
+  for (const auto& [name, b] : res.per_path_bytes) delivered += b;
+  for (const auto& [name, b] : res.per_path_wasted_bytes) wasted += b;
+  EXPECT_NEAR(delivered, res.delivered_bytes,
+              1e-6 * std::max(1.0, res.delivered_bytes));
+  EXPECT_NEAR(wasted, res.wasted_bytes,
+              1e-6 * std::max(1.0, res.wasted_bytes));
+}
+
+EngineConfig noJitterConfig() {
+  EngineConfig cfg;
+  cfg.retry.jitter = 0.0;  // exact-timing assertions below
+  return cfg;
+}
+
+TEST(EngineFailure, RetryWithBackoffEventuallyCompletes) {
+  sim::Simulator sim;
+  FakePath p(sim, "p", mbps(8));
+  p.failNextStarts(2, 0.25);
+  GreedyScheduler g;
+  EngineConfig cfg = noJitterConfig();
+  cfg.quarantine.threshold = 100;  // isolate retry/backoff from benching
+  TransactionEngine engine(sim, {&p}, g, cfg);
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload, {megabytes(1)}));
+  EXPECT_EQ(res.outcome, TransactionOutcome::kCompletedDegraded);
+  EXPECT_EQ(res.retries, 2u);
+  EXPECT_EQ(res.failed_items, 0u);
+  EXPECT_EQ(res.per_item_attempts[0], 3);
+  EXPECT_GT(res.wasted_bytes, 0.0);
+  EXPECT_NEAR(res.delivered_bytes, megabytes(1), 1);
+  // fail@0.25 + backoff 0.5 + fail@0.25 + backoff 1.0 + transfer 1.0.
+  EXPECT_NEAR(res.duration_s, 3.0, 1e-9);
+  expectAccounting(res);
+}
+
+TEST(EngineFailure, ItemExhaustsRetryBudget) {
+  sim::Simulator sim;
+  FakePath p(sim, "p", mbps(8));
+  p.failNextStarts(100, 0.1);
+  GreedyScheduler g;
+  EngineConfig cfg = noJitterConfig();
+  cfg.retry.max_attempts = 3;
+  TransactionEngine engine(sim, {&p}, g, cfg);
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload, {megabytes(1)}));
+  EXPECT_EQ(res.outcome, TransactionOutcome::kPartialFailure);
+  EXPECT_FALSE(res.complete());
+  EXPECT_EQ(res.failed_items, 1u);
+  EXPECT_EQ(res.per_item_attempts[0], 3);
+  EXPECT_DOUBLE_EQ(res.delivered_bytes, 0.0);
+  EXPECT_FALSE(engine.active());  // terminates despite a hopeless path
+  expectAccounting(res);
+}
+
+TEST(EngineFailure, WatchdogKillsSilentStall) {
+  sim::Simulator sim;
+  FakePath p(sim, "p", mbps(8));
+  GreedyScheduler g;
+  TransactionEngine engine(sim, {&p}, g, noJitterConfig());
+  // Freeze the transfer at t=0.5: no error, no completion. Only the
+  // watchdog (deadline max(5, 6 x 1 s) = 6 s) gets the item back.
+  sim.scheduleAt(0.5, [&p] { p.stallCurrent(); });
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload, {megabytes(1)}));
+  EXPECT_EQ(res.outcome, TransactionOutcome::kCompletedDegraded);
+  EXPECT_EQ(res.timeouts, 1u);
+  EXPECT_EQ(res.retries, 1u);
+  // Watchdog at 6 s + backoff 0.5 s + clean retry 1 s.
+  EXPECT_NEAR(res.duration_s, 7.5, 1e-9);
+  EXPECT_NEAR(res.wasted_bytes, 0.5 * mbps(8) / 8.0, 1);  // stalled partial
+  expectAccounting(res);
+}
+
+TEST(EngineFailure, PathDeathRequeuesWithoutRetryPenalty) {
+  sim::Simulator sim;
+  FakePath a(sim, "a", mbps(8)), b(sim, "b", mbps(1));
+  GreedyScheduler g;
+  TransactionEngine engine(sim, {&a, &b}, g, noJitterConfig());
+  sim.scheduleAt(0.5, [&b] { b.die("walked-out-of-range"); });
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload,
+                      {megabytes(1), megabytes(1)}));
+  EXPECT_EQ(res.outcome, TransactionOutcome::kCompletedDegraded);
+  EXPECT_EQ(res.failed_items, 0u);
+  ASSERT_EQ(res.failed_paths.size(), 1u);
+  EXPECT_EQ(res.failed_paths[0], "b");
+  // Path faults are not the item's fault: re-queue is immediate (no
+  // backoff) and does not burn the retry budget.
+  EXPECT_EQ(res.retries, 0u);
+  EXPECT_EQ(res.per_item_attempts[1], 2);
+  EXPECT_NEAR(res.duration_s, 2.0, 1e-9);  // a: item0 @1s, item1 @2s
+  EXPECT_NEAR(res.per_path_bytes.at("a"), megabytes(2), 1);
+  EXPECT_NEAR(res.per_path_wasted_bytes.at("b"), 0.5 * mbps(1) / 8.0, 1);
+  expectAccounting(res);
+}
+
+TEST(EngineFailure, PathRevivalResumesStrandedWork) {
+  sim::Simulator sim;
+  FakePath p(sim, "p", mbps(8));
+  GreedyScheduler g;
+  TransactionEngine engine(sim, {&p}, g, noJitterConfig());
+  sim.scheduleAt(0.5, [&p] { p.die(); });
+  sim.scheduleAt(3.0, [&p] { p.revive(); });
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload,
+                      {megabytes(1), megabytes(1)}));
+  EXPECT_EQ(res.outcome, TransactionOutcome::kCompletedDegraded);
+  EXPECT_EQ(res.failed_items, 0u);
+  // Dead 0.5..3.0; item0 restarts at 3.0 (done 4.0), item1 done 5.0.
+  EXPECT_NEAR(res.duration_s, 5.0, 1e-9);
+  EXPECT_NEAR(res.item_completion_s[0], 4.0, 1e-9);
+  ASSERT_EQ(res.failed_paths.size(), 1u);
+  EXPECT_EQ(res.failed_paths[0], "p");
+  expectAccounting(res);
+}
+
+TEST(EngineFailure, AllPathsDeadFailsRemainderAfterGrace) {
+  sim::Simulator sim;
+  FakePath p(sim, "p", mbps(8));
+  GreedyScheduler g;
+  EngineConfig cfg = noJitterConfig();
+  cfg.all_paths_down_grace_s = 2.0;
+  TransactionEngine engine(sim, {&p}, g, cfg);
+  sim.scheduleAt(0.5, [&p] { p.die(); });  // ... and it never comes back
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload,
+                      {megabytes(1), megabytes(1)}));
+  EXPECT_EQ(res.outcome, TransactionOutcome::kPartialFailure);
+  EXPECT_EQ(res.failed_items, 2u);
+  EXPECT_DOUBLE_EQ(res.delivered_bytes, 0.0);
+  EXPECT_NEAR(res.duration_s, 2.5, 1e-9);  // death + grace, then give up
+  EXPECT_FALSE(engine.active());
+  expectAccounting(res);
+}
+
+TEST(EngineFailure, DetachAndReattachPathMidTransaction) {
+  sim::Simulator sim;
+  FakePath a(sim, "a", mbps(2)), b(sim, "b", mbps(2));
+  GreedyScheduler g;
+  TransactionEngine engine(sim, {&a, &b}, g, noJitterConfig());
+  sim.scheduleAt(1.0, [&engine, &b] { engine.detachPath(&b); });
+  sim.scheduleAt(6.0, [&engine, &b] { engine.attachPath(&b); });
+  std::vector<double> sizes(8, megabytes(1));  // 4 s per item per path
+  std::optional<TransactionResult> result;
+  engine.run(makeTransaction(TransferDirection::kDownload, sizes),
+             [&](TransactionResult r) { result = std::move(r); });
+  sim.runUntil(1.5);
+  EXPECT_EQ(engine.usablePathCount(), 1u);
+  sim.runUntil(6.5);
+  EXPECT_EQ(engine.usablePathCount(), 2u);
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->failed_items, 0u);
+  EXPECT_EQ(result->outcome, TransactionOutcome::kCompletedDegraded);
+  ASSERT_EQ(result->failed_paths.size(), 1u);
+  EXPECT_EQ(result->failed_paths[0], "b");
+  // b both wasted (the detached mid-flight attempt) and delivered (after
+  // re-admission).
+  EXPECT_GT(result->per_path_wasted_bytes.at("b"), 0.0);
+  EXPECT_GT(result->per_path_bytes.at("b"), 0.0);
+  expectAccounting(*result);
+}
+
+TEST(EngineFailure, AttachNewPathMidTransaction) {
+  sim::Simulator sim;
+  FakePath a(sim, "a", mbps(1));
+  FakePath late(sim, "late", mbps(8));
+  GreedyScheduler g;
+  TransactionEngine engine(sim, {&a}, g, noJitterConfig());
+  sim.scheduleAt(10.0, [&engine, &late] { engine.attachPath(&late); });
+  std::vector<double> sizes(6, megabytes(1));  // 8 s each on a
+  const auto res = runToCompletion(
+      sim, engine, makeTransaction(TransferDirection::kDownload, sizes));
+  EXPECT_EQ(res.failed_items, 0u);
+  EXPECT_GT(res.per_path_bytes.at("late"), 0.0);
+  // The discovered path shortens the tail well below a's solo 48 s.
+  EXPECT_LT(res.duration_s, 30.0);
+  expectAccounting(res);
+}
+
+TEST(EngineFailure, QuarantineBenchesFlappingPath) {
+  sim::Simulator sim;
+  FakePath good(sim, "good", mbps(4));
+  FakePath flaky(sim, "flaky", mbps(4));
+  flaky.failNextStarts(4, 0.05);  // every attempt dies fast at first
+  GreedyScheduler g;
+  EngineConfig cfg = noJitterConfig();
+  cfg.quarantine.threshold = 2;
+  cfg.quarantine.base_s = 5.0;
+  TransactionEngine engine(sim, {&good, &flaky}, g, cfg);
+  std::vector<double> sizes(6, megabytes(1));
+  const auto res = runToCompletion(
+      sim, engine, makeTransaction(TransferDirection::kDownload, sizes));
+  EXPECT_EQ(res.failed_items, 0u);
+  EXPECT_EQ(res.outcome, TransactionOutcome::kCompletedDegraded);
+  // After 2 consecutive failures the flaky path is benched instead of
+  // hammered: attempts on it stay bounded.
+  EXPECT_LE(flaky.starts(), 6);
+  // The map only carries paths that delivered; a fully benched flaky path
+  // legitimately has no entry.
+  auto bytes_on = [&](const char* name) {
+    const auto it = res.per_path_bytes.find(name);
+    return it == res.per_path_bytes.end() ? 0.0 : it->second;
+  };
+  EXPECT_GT(bytes_on("good"), bytes_on("flaky"));
+  expectAccounting(res);
+}
+
+/// Wraps a real policy and cross-checks the engine's incremental pending
+/// counter against a full O(M) scan on every decision.
+class PendingAuditScheduler : public GreedyScheduler {
+ public:
+  std::optional<std::size_t> nextItem(const EngineView& view,
+                                      std::size_t path_index) override {
+    std::size_t scan = 0;
+    for (const auto& iv : *view.items)
+      if (iv.status == ItemStatus::kPending) ++scan;
+    EXPECT_EQ(view.pendingCount(), scan);
+    ++audits_;
+    return GreedyScheduler::nextItem(view, path_index);
+  }
+  int audits() const { return audits_; }
+
+ private:
+  int audits_ = 0;
+};
+
+TEST(EngineFailure, PendingCountStaysConsistentUnderFaults) {
+  sim::Simulator sim;
+  FakePath a(sim, "a", mbps(8)), b(sim, "b", mbps(2));
+  b.failNextStarts(2, 0.1);
+  PendingAuditScheduler g;
+  TransactionEngine engine(sim, {&a, &b}, g, noJitterConfig());
+  sim.scheduleAt(1.2, [&a] { a.die(); });
+  sim.scheduleAt(2.5, [&a] { a.revive(); });
+  std::vector<double> sizes(10, megabytes(1));
+  const auto res = runToCompletion(
+      sim, engine, makeTransaction(TransferDirection::kDownload, sizes));
+  EXPECT_EQ(res.failed_items, 0u);
+  EXPECT_GT(g.audits(), 10);
+  expectAccounting(res);
 }
 
 }  // namespace

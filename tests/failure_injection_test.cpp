@@ -1,18 +1,35 @@
 // Failure-injection coverage: the unhappy paths the in-the-wild pilot
 // would hit — radio collapse mid-transfer, permit revocation, congested
-// admission, Wi-Fi becoming the bottleneck, and mid-transaction aborts.
+// admission, Wi-Fi becoming the bottleneck, and mid-transaction aborts —
+// plus the FaultPlan/FaultInjector harness covering all five scripted
+// fault classes (kill, flap, stall, revoke, cap) deterministically.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
 
+#include "core/fault_injector.hpp"
 #include "core/onload_controller.hpp"
 #include "core/vod_session.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/units.hpp"
 
 namespace gol::core {
 namespace {
 
 using sim::mbps;
+
+/// The byte-accounting invariant every faulted run must keep: bytes moved
+/// by any path are either delivered payload or accounted waste.
+void expectAccounting(const TransactionResult& res) {
+  double delivered = 0, wasted = 0;
+  for (const auto& [name, b] : res.per_path_bytes) delivered += b;
+  for (const auto& [name, b] : res.per_path_wasted_bytes) wasted += b;
+  EXPECT_NEAR(delivered, res.delivered_bytes,
+              1e-6 * std::max(1.0, res.delivered_bytes));
+  EXPECT_NEAR(wasted, res.wasted_bytes,
+              1e-6 * std::max(1.0, res.wasted_bytes));
+}
 
 TEST(FailureInjection, CellCollapseMidTransactionStillCompletes) {
   // Background load spikes to ~100% mid-download: phone paths crawl but the
@@ -165,6 +182,185 @@ TEST(FailureInjection, RrcThrashingUnderBurstyTraffic) {
   home.simulator().run();
   EXPECT_EQ(completed, 5);
   EXPECT_EQ(dev.rrc().state(), cell::RrcState::kIdle);  // aged out cleanly
+}
+
+// ---- FaultPlan-driven injection -----------------------------------------
+
+struct FaultedRun {
+  TransactionResult res;
+  std::size_t injected = 0;
+};
+
+/// One download transaction over adsl + 2 phones with `plan` armed on the
+/// paths; items sized so phone deaths actually strand in-flight work.
+FaultedRun runFaultedTransaction(const sim::FaultPlan& plan,
+                                 std::uint64_t seed,
+                                 EngineConfig engine_cfg = {}) {
+  HomeConfig cfg;
+  cfg.location = cell::evaluationLocations()[3];
+  cfg.phones = 2;
+  cfg.seed = seed;
+  HomeEnvironment home(cfg);
+  auto paths = home.makePaths(TransferDirection::kDownload, 2);
+  std::vector<TransferPath*> raw;
+  for (auto& p : paths) raw.push_back(p.get());
+  auto sched = makeScheduler("greedy");
+  engine_cfg.all_paths_down_grace_s = 10.0;  // keep the worst case short
+  TransactionEngine engine(home.simulator(), raw, *sched, engine_cfg);
+  FaultInjector injector(home.simulator());
+  for (TransferPath* p : raw) injector.addPath(p);
+  injector.arm(plan);
+  FaultedRun out;
+  out.res = runTransaction(
+      home.simulator(), engine,
+      makeTransaction(TransferDirection::kDownload,
+                      std::vector<double>(10, 1.5e6)));
+  injector.disarm();
+  out.injected = injector.injectedCount();
+  return out;
+}
+
+TEST(FaultPlanInjection, PathKillFailsOverAndTerminates) {
+  const auto plan = sim::parseFaultPlan("kill:phone0@2,kill:phone1@3");
+  const auto run = runFaultedTransaction(plan, 71);
+  EXPECT_EQ(run.injected, 2u);
+  EXPECT_EQ(run.res.failed_items, 0u);  // ADSL carries the remainder
+  EXPECT_EQ(run.res.outcome, TransactionOutcome::kCompletedDegraded);
+  EXPECT_EQ(run.res.failed_paths.size(), 2u);
+  expectAccounting(run.res);
+}
+
+TEST(FaultPlanInjection, PathFlapRecoversAndCarriesBytesAgain) {
+  const auto plan = sim::parseFaultPlan("flap:phone0@1+4");
+  const auto run = runFaultedTransaction(plan, 72);
+  EXPECT_EQ(run.res.failed_items, 0u);
+  EXPECT_EQ(run.res.outcome, TransactionOutcome::kCompletedDegraded);
+  ASSERT_EQ(run.res.failed_paths.size(), 1u);
+  EXPECT_EQ(run.res.failed_paths[0], "phone0");
+  // The flapped path rejoined and delivered payload after recovery.
+  EXPECT_GT(run.res.per_path_bytes.at("phone0"), 0.0);
+  expectAccounting(run.res);
+}
+
+TEST(FaultPlanInjection, StallIsCaughtByWatchdog) {
+  EngineConfig cfg;
+  cfg.watchdog.min_deadline_s = 3.0;  // tighten so the test stays fast
+  cfg.retry.jitter = 0.0;
+  const auto plan = sim::parseFaultPlan("stall:adsl@1");
+  const auto run = runFaultedTransaction(plan, 73, cfg);
+  EXPECT_EQ(run.res.failed_items, 0u);
+  EXPECT_GE(run.res.timeouts, 1u);
+  EXPECT_EQ(run.res.outcome, TransactionOutcome::kCompletedDegraded);
+  expectAccounting(run.res);
+}
+
+TEST(FaultPlanInjection, RevokeSuspendsGrantsUntilExpiry) {
+  HomeConfig cfg;
+  cfg.location = cell::evaluationLocations()[0];
+  cfg.phones = 2;
+  cfg.seed = 74;
+  HomeEnvironment home(cfg);
+  home.location().setAvailableFraction(0.9);
+  ControllerConfig ctl_cfg;
+  ctl_cfg.mode = DeploymentMode::kNetworkIntegrated;
+  ctl_cfg.permit.acceptance_threshold = 0.5;
+  ctl_cfg.permit.ttl_s = 4.0;
+  OnloadController ctl(home, ctl_cfg);
+  ctl.start();
+  home.simulator().runUntil(1.0);
+  ASSERT_EQ(ctl.admissibleCount(), 2u);
+
+  FaultInjector injector(home.simulator());
+  injector.setController(&ctl);
+  injector.arm(sim::parseFaultPlan("revoke@2+15"));
+  // While the suspension holds, re-grant attempts are denied, so no beacon
+  // after t=2 refreshes the entries; the last successful beacon (t=0) ages
+  // out at the discovery TTL. Probe safely past that boundary but before
+  // the suspension lifts at t=17.
+  home.simulator().runUntil(ctl_cfg.discovery_ttl_s + 2.0);
+  EXPECT_EQ(ctl.admissibleCount(), 0u);
+  // Past the suspension the beacons re-acquire permits on their own.
+  home.simulator().runUntil(2.0 + 15.0 + 10.0);
+  EXPECT_EQ(ctl.admissibleCount(), 2u);
+}
+
+TEST(FaultPlanInjection, CapExhaustEvictsOnePhone) {
+  HomeConfig cfg;
+  cfg.location = cell::evaluationLocations()[0];
+  cfg.phones = 2;
+  cfg.seed = 75;
+  HomeEnvironment home(cfg);
+  OnloadController ctl(home, ControllerConfig{});
+  ctl.start();
+  home.simulator().runUntil(1.0);
+  ASSERT_EQ(ctl.admissibleCount(), 2u);
+
+  FaultInjector injector(home.simulator());
+  injector.setController(&ctl);
+  injector.arm(sim::parseFaultPlan("cap:phone0@2"));
+  home.simulator().runUntil(2.0 + ControllerConfig{}.discovery_ttl_s +
+                            ControllerConfig{}.discovery_interval_s + 1.0);
+  EXPECT_EQ(ctl.admissibleCount(), 1u);
+  EXPECT_TRUE(ctl.discovery().admissible("phone1"));
+  EXPECT_FALSE(ctl.discovery().admissible("phone0"));
+}
+
+TEST(FaultPlanInjection, SeededRandomPlansAlwaysTerminate) {
+  // The fuzz property in miniature: whatever a seeded plan throws at the
+  // paths, the transaction terminates and the books balance.
+  sim::RandomFaultSpec spec;
+  spec.horizon_s = 30.0;
+  spec.event_count = 5;
+  spec.targets = {"adsl", "phone0", "phone1"};
+  for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    const auto plan = sim::FaultPlan::randomized(seed, spec);
+    SCOPED_TRACE(plan.describe());
+    const auto run = runFaultedTransaction(plan, 80 + seed);
+    EXPECT_FALSE(run.res.item_completion_s.empty());
+    EXPECT_EQ(run.res.item_completion_s.size(), 10u);
+    expectAccounting(run.res);
+  }
+}
+
+TEST(FaultPlanInjection, ControllerSupervisionPropagatesDiscoveryLoss) {
+  // supervisePaths bridges discovery liveness to engine paths: when a
+  // phone ages out of Phi (here: its permit is revoked and re-grants are
+  // suspended), its TransferPath goes !alive so the engine fails over;
+  // when the phone re-advertises, the path revives.
+  HomeConfig cfg;
+  cfg.location = cell::evaluationLocations()[0];
+  cfg.phones = 1;
+  cfg.seed = 76;
+  HomeEnvironment home(cfg);
+  home.location().setAvailableFraction(0.9);
+  ControllerConfig ctl_cfg;
+  ctl_cfg.mode = DeploymentMode::kNetworkIntegrated;
+  ctl_cfg.permit.acceptance_threshold = 0.5;
+  ctl_cfg.permit.ttl_s = 4.0;
+  OnloadController ctl(home, ctl_cfg);
+  ctl.start();
+  home.simulator().runUntil(1.0);
+  ASSERT_EQ(ctl.admissibleCount(), 1u);
+
+  auto paths = ctl.buildPaths(TransferDirection::kDownload);
+  ASSERT_EQ(paths.size(), 2u);  // adsl + phone0
+  std::vector<TransferPath*> raw;
+  for (auto& p : paths) raw.push_back(p.get());
+  ctl.supervisePaths(raw);
+  TransferPath* phone_path = raw[1];
+  EXPECT_TRUE(phone_path->alive());
+
+  const double suspend_s = 20.0;
+  ctl.permits().revokeAll();
+  ctl.permits().suspendGrants(suspend_s);
+  home.simulator().runUntil(home.simulator().now() +
+                            ctl_cfg.discovery_ttl_s +
+                            ctl_cfg.discovery_interval_s + 1.0);
+  EXPECT_FALSE(phone_path->alive());
+
+  home.simulator().runUntil(1.0 + suspend_s + 10.0);
+  EXPECT_TRUE(phone_path->alive());
+  ctl.clearSupervision();
 }
 
 }  // namespace

@@ -1,4 +1,6 @@
-// A deterministic constant-rate TransferPath for scheduler/engine tests.
+// A deterministic constant-rate TransferPath for scheduler/engine tests,
+// with failure knobs: scripted attempt failures, liveness flips, and
+// stalls (progress stops without an error, so only a watchdog notices).
 #pragma once
 
 #include <functional>
@@ -20,29 +22,70 @@ class FakePath : public TransferPath {
   const Item* currentItem() const override { return item_ ? &*item_ : nullptr; }
   double nominalRateBps() const override { return rate_bps_; }
 
-  void start(const Item& item,
-             std::function<void(const Item&)> done) override {
+  using TransferPath::start;
+
+  void start(const Item& item, DoneFn done) override {
     item_ = item;
     started_at_ = sim_.now();
     ++starts_;
+    if (fail_next_starts_ > 0) {
+      --fail_next_starts_;
+      event_ = sim_.scheduleIn(fail_after_s_, [this,
+                                               done = std::move(done)] {
+        const Item finished = *item_;
+        const double moved = movedSoFar();
+        item_.reset();
+        event_ = 0;
+        done(finished, ItemResult::failed(moved, "injected-failure"));
+      });
+      return;
+    }
     event_ = sim_.scheduleIn(item.bytes * 8.0 / rate_bps_,
                              [this, done = std::move(done)] {
                                const Item finished = *item_;
                                item_.reset();
                                event_ = 0;
-                               done(finished);
+                               done(finished,
+                                    ItemResult::completed(finished.bytes));
                              });
   }
 
   double abortCurrent() override {
     if (!item_) return 0.0;
-    sim_.cancel(event_);
+    if (event_ != 0) sim_.cancel(event_);
     event_ = 0;
-    const double moved =
-        (sim_.now() - started_at_) * rate_bps_ / 8.0;
+    const double moved = stalled_ ? stalled_bytes_ : movedSoFar();
+    stalled_ = false;
     ++aborts_;
     item_.reset();
     return moved;
+  }
+
+  /// Freezes the in-flight transfer: no completion, no error. Only a
+  /// watchdog (or abort) gets the item off this path afterwards.
+  bool stallCurrent() override {
+    if (!item_ || event_ == 0) return false;
+    sim_.cancel(event_);
+    event_ = 0;
+    stalled_ = true;
+    stalled_bytes_ = movedSoFar();
+    return true;
+  }
+
+  /// The next `count` start() calls fail `after_s` seconds in with a
+  /// partial byte count, exercising the engine's retry machinery.
+  void failNextStarts(int count, double after_s = 0.1) {
+    fail_next_starts_ = count;
+    fail_after_s_ = after_s;
+  }
+
+  /// Hard liveness flips, as a supervisor (discovery, controller) would
+  /// report them.
+  void die(const std::string& reason = "test-kill") {
+    setAlive(false, reason);
+  }
+  void revive(const std::string& reason = "test-revive") {
+    setAlive(true, reason);
   }
 
   /// Lets tests model mid-run rate changes (affects future items only).
@@ -51,14 +94,22 @@ class FakePath : public TransferPath {
   int aborts() const { return aborts_; }
 
  private:
+  double movedSoFar() const {
+    return (sim_.now() - started_at_) * rate_bps_ / 8.0;
+  }
+
   sim::Simulator& sim_;
   std::string name_;
   double rate_bps_;
   std::optional<Item> item_;
   sim::EventId event_ = 0;
   double started_at_ = 0;
+  bool stalled_ = false;
+  double stalled_bytes_ = 0;
   int starts_ = 0;
   int aborts_ = 0;
+  int fail_next_starts_ = 0;
+  double fail_after_s_ = 0.1;
 };
 
 }  // namespace gol::core::testing

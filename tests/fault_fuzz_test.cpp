@@ -1,0 +1,132 @@
+// Seeded fault-fuzz (ctest label: fuzz): randomized fault plans thrown at
+// the transaction engine, asserting the two properties that must survive
+// anything — the transaction terminates, and the byte accounting balances.
+// Every plan derives from a small integer seed, so a failing run replays
+// bit-for-bit from the seed printed in its SCOPED_TRACE.
+//
+// GOL_FAULT_FUZZ_SEEDS widens coverage (CI's Release job sets ~40); the
+// default stays small so the developer loop is quick.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+
+#include "core/engine.hpp"
+#include "core/fault_injector.hpp"
+#include "fake_path.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/units.hpp"
+
+namespace gol::core {
+namespace {
+
+using sim::mbps;
+using sim::megabytes;
+using testing::FakePath;
+
+int seedCount() {
+  const char* env = std::getenv("GOL_FAULT_FUZZ_SEEDS");
+  if (env == nullptr) return 6;
+  const long n = std::strtol(env, nullptr, 10);
+  return n > 0 ? static_cast<int>(n) : 6;
+}
+
+void expectAccounting(const TransactionResult& res) {
+  double delivered = 0, wasted = 0;
+  for (const auto& [name, b] : res.per_path_bytes) delivered += b;
+  for (const auto& [name, b] : res.per_path_wasted_bytes) wasted += b;
+  EXPECT_NEAR(delivered, res.delivered_bytes,
+              1e-6 * std::max(1.0, res.delivered_bytes));
+  EXPECT_NEAR(wasted, res.wasted_bytes,
+              1e-6 * std::max(1.0, res.wasted_bytes));
+}
+
+TEST(FaultFuzz, RandomPlansTerminateWithBalancedBooks) {
+  const int seeds = seedCount();
+  const char* policies[] = {"greedy", "rr", "min"};
+  for (int s = 0; s < seeds; ++s) {
+    const std::uint64_t seed = 0xf417 + static_cast<std::uint64_t>(s);
+
+    sim::RandomFaultSpec spec;
+    spec.horizon_s = 40.0;
+    spec.event_count = 8;
+    spec.targets = {"a", "b", "c"};
+    spec.min_duration_s = 1.0;
+    spec.max_duration_s = 8.0;
+    const auto plan = sim::FaultPlan::randomized(seed, spec);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " plan=" +
+                 plan.describe());
+
+    sim::Simulator sim;
+    FakePath a(sim, "a", mbps(8)), b(sim, "b", mbps(3)), c(sim, "c", mbps(1));
+    // Make one path flaky on top of the plan so retry/backoff and the
+    // fault machinery overlap.
+    b.failNextStarts(static_cast<int>(seed % 3), 0.05);
+    auto scheduler = SchedulerRegistry::instance().make(policies[s % 3]);
+    EngineConfig cfg;
+    cfg.all_paths_down_grace_s = 5.0;  // bound the worst case
+    cfg.retry.max_attempts = 3;
+    TransactionEngine engine(sim, {&a, &b, &c}, *scheduler, cfg);
+
+    FaultInjector injector(sim);
+    injector.addPath(&a);
+    injector.addPath(&b);
+    injector.addPath(&c);
+    injector.arm(plan);
+
+    std::optional<TransactionResult> result;
+    engine.run(makeTransaction(TransferDirection::kDownload,
+                               std::vector<double>(15, megabytes(0.5))),
+               [&](TransactionResult r) { result = std::move(r); });
+    sim.run();
+
+    // Termination: the callback fired and the engine is idle again.
+    ASSERT_TRUE(result.has_value());
+    EXPECT_FALSE(engine.active());
+    expectAccounting(*result);
+    // Outcome lattice consistency.
+    if (result->failed_items > 0) {
+      EXPECT_EQ(result->outcome, TransactionOutcome::kPartialFailure);
+    } else {
+      EXPECT_NE(result->outcome, TransactionOutcome::kPartialFailure);
+    }
+    // Every item is accounted for exactly once: done (timestamped) or
+    // failed.
+    std::size_t done = 0;
+    for (double t : result->item_completion_s) done += t > 0 ? 1 : 0;
+    EXPECT_EQ(done + result->failed_items, 15u);
+    injector.disarm();
+  }
+}
+
+TEST(FaultFuzz, EveryPathDeadStillTerminates) {
+  // The pathological corner no random draw guarantees: all paths killed,
+  // none recover. The grace timer is the only way out.
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    sim::Simulator sim;
+    FakePath a(sim, "a", mbps(4)), b(sim, "b", mbps(2));
+    auto scheduler = SchedulerRegistry::instance().make("greedy");
+    EngineConfig cfg;
+    cfg.all_paths_down_grace_s = 2.0;
+    TransactionEngine engine(sim, {&a, &b}, *scheduler, cfg);
+    const double t_kill = 0.3 * static_cast<double>(seed);
+    sim.scheduleAt(t_kill, [&] {
+      a.die();
+      b.die();
+    });
+    std::optional<TransactionResult> result;
+    engine.run(makeTransaction(TransferDirection::kDownload,
+                               std::vector<double>(8, megabytes(1))),
+               [&](TransactionResult r) { result = std::move(r); });
+    sim.run();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->outcome, TransactionOutcome::kPartialFailure);
+    EXPECT_GT(result->failed_items, 0u);
+    expectAccounting(*result);
+  }
+}
+
+}  // namespace
+}  // namespace gol::core

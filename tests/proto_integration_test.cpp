@@ -194,6 +194,112 @@ TEST(ProtoIntegration, LatencyDelayLineIsApplied) {
   EXPECT_LT(elapsed, 2.0);   // but not stuck
 }
 
+TEST(ProtoIntegration, SocketResetMidItemRetriesElsewhere) {
+  // A phone drops off Wi-Fi mid-transfer: its relay connections die with
+  // RST. The client must book the failed attempt and finish the
+  // transaction on the surviving path (and on the phone once it returns).
+  EpollLoop loop;
+  OriginServer origin(loop);
+  ProxyConfig victim_cfg;
+  victim_cfg.upstream_port = origin.port();
+  victim_cfg.down_bps = 1.2e6;  // ~1 s per item: the kill lands mid-item
+  OnloadProxy victim(loop, victim_cfg);
+  ProxyConfig healthy_cfg;
+  healthy_cfg.upstream_port = origin.port();
+  healthy_cfg.down_bps = 4e6;
+  OnloadProxy healthy(loop, healthy_cfg);
+
+  MultipathHttpClient client(
+      loop, {{"phone0", victim.port()}, {"phone1", healthy.port()}});
+  client.start(makeItems(6, 150000));
+  loop.runAfter(std::chrono::milliseconds(400),
+                [&] { victim.killActiveConnections(); });
+  ASSERT_TRUE(loop.runUntil([&] { return client.done(); },
+                            std::chrono::milliseconds(20000)));
+  const auto& res = client.result();
+  ASSERT_TRUE(res.complete);
+  EXPECT_EQ(res.failed_items, 0u);
+  EXPECT_GE(res.retries, 1u);
+  EXPECT_EQ(res.outcome, FetchOutcome::kCompletedDegraded);
+  ASSERT_EQ(res.failed_endpoints.size(), 1u);
+  EXPECT_EQ(res.failed_endpoints[0], "phone0");
+  // The reset attempt's partial body is waste, not delivery.
+  EXPECT_GT(res.wasted_bytes, 0u);
+  std::size_t delivered = 0;
+  for (const auto& [name, b] : res.per_endpoint_bytes) delivered += b;
+  EXPECT_EQ(delivered, 6u * 150000u);
+}
+
+TEST(ProtoIntegration, ProxyVanishesThenReturns) {
+  // The proxy disappears between the request and the first byte: active
+  // relays are killed and the listener closes, so reconnects are refused.
+  // The sole endpoint is quarantined, retried on backoff, and the
+  // transaction completes once the proxy re-binds.
+  EpollLoop loop;
+  OriginServer origin(loop);
+  ProxyConfig cfg;
+  cfg.upstream_port = origin.port();
+  cfg.down_bps = 8e6;
+  OnloadProxy proxy(loop, cfg);
+
+  ClientConfig ccfg;
+  ccfg.max_attempts = 8;
+  ccfg.base_backoff = std::chrono::milliseconds(100);
+  ccfg.quarantine = std::chrono::milliseconds(300);
+  MultipathHttpClient client(loop, {{"phone0", proxy.port()}}, ccfg);
+  client.start(makeItems(4, 80000));
+  loop.runAfter(std::chrono::milliseconds(120), [&] {
+    proxy.killActiveConnections();
+    proxy.pauseAccepting();
+  });
+  loop.runAfter(std::chrono::milliseconds(800), [&] {
+    proxy.resumeAccepting();
+  });
+  ASSERT_TRUE(loop.runUntil([&] { return client.done(); },
+                            std::chrono::milliseconds(20000)));
+  const auto& res = client.result();
+  ASSERT_TRUE(res.complete);
+  EXPECT_TRUE(proxy.accepting());
+  EXPECT_EQ(res.failed_items, 0u);
+  EXPECT_GE(res.retries, 1u);
+  EXPECT_EQ(res.outcome, FetchOutcome::kCompletedDegraded);
+  EXPECT_EQ(res.per_endpoint_bytes.at("phone0"), 4u * 80000u);
+}
+
+TEST(ProtoIntegration, AbortRacesDoneOnDuplicatedItem) {
+  // One item, two endpoints, duplication on: the fast copy completes while
+  // the slow duplicate is mid-flight, so the loser abort races the winner
+  // completion. The item must be delivered exactly once and the aborted
+  // copy booked as waste, not as a failure.
+  EpollLoop loop;
+  OriginServer origin(loop);
+  ProxyConfig fast_cfg;
+  fast_cfg.upstream_port = origin.port();
+  fast_cfg.down_bps = 8e6;
+  OnloadProxy fast(loop, fast_cfg);
+  ProxyConfig crawl_cfg;
+  crawl_cfg.upstream_port = origin.port();
+  crawl_cfg.down_bps = 0.3e6;
+  OnloadProxy crawl(loop, crawl_cfg);
+
+  MultipathHttpClient client(
+      loop, {{"fast", fast.port()}, {"crawl", crawl.port()}}, true);
+  const auto res =
+      client.run(makeItems(1, 100000), std::chrono::milliseconds(20000));
+  ASSERT_TRUE(res.complete);
+  EXPECT_EQ(res.outcome, FetchOutcome::kCompleted);
+  EXPECT_EQ(res.duplicated_items, 1u);
+  EXPECT_EQ(res.failed_items, 0u);
+  EXPECT_EQ(res.retries, 0u);
+  EXPECT_TRUE(res.failed_endpoints.empty());
+  // Exactly one winning copy is credited; the loser's bytes are waste.
+  std::size_t delivered = 0;
+  for (const auto& [name, b] : res.per_endpoint_bytes) delivered += b;
+  EXPECT_EQ(delivered, 100000u);
+  EXPECT_LT(res.wasted_bytes, 100000u);
+  EXPECT_EQ(origin.requestsServed(), 2u);
+}
+
 TEST(ProtoIntegration, EmptyTransactionCompletesImmediately) {
   EpollLoop loop;
   OriginServer origin(loop);

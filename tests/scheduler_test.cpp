@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+
 #include "core/greedy_scheduler.hpp"
 #include "core/min_time_scheduler.hpp"
 #include "core/round_robin_scheduler.hpp"
@@ -171,6 +174,52 @@ TEST(MinTime, SkipsStaleQueueEntries) {
   const auto pick = min.nextItem(f.view, 0);
   ASSERT_TRUE(pick.has_value());
   EXPECT_NE(*pick, 0u);
+}
+
+TEST(SchedulerRegistryTest, ListsCanonicalBuiltinsWithoutAliases) {
+  const auto names = SchedulerRegistry::instance().list();
+  auto has = [&](const char* n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  EXPECT_TRUE(has("greedy"));
+  EXPECT_TRUE(has("greedy-noresched"));
+  EXPECT_TRUE(has("rr"));
+  EXPECT_TRUE(has("min"));
+  EXPECT_FALSE(has("grd"));  // alias: constructible but not listed
+  EXPECT_TRUE(SchedulerRegistry::instance().known("grd"));
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(SchedulerRegistryTest, UnknownNameErrorNamesTheAlternatives) {
+  try {
+    SchedulerRegistry::instance().make("bogus-policy");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bogus-policy"), std::string::npos);
+    EXPECT_NE(msg.find("greedy"), std::string::npos);  // lists what exists
+  }
+}
+
+TEST(SchedulerRegistryTest, SelfRegistrationFromUserCode) {
+  // Out-of-tree policies register the same way the builtins do.
+  struct EchoScheduler : GreedyScheduler {
+    std::string name() const override { return "test-echo"; }
+  };
+  const bool added = SchedulerRegistry::instance().add(
+      "test-echo", [] { return std::make_unique<EchoScheduler>(); });
+  // The suite may run this test body more than once (e.g. --gtest_repeat);
+  // only the first add wins, and a duplicate is reported, not fatal.
+  if (added) {
+    EXPECT_EQ(SchedulerRegistry::instance().make("test-echo")->name(),
+              "test-echo");
+  }
+  EXPECT_FALSE(SchedulerRegistry::instance().add(
+      "test-echo", [] { return std::make_unique<EchoScheduler>(); }));
+  EXPECT_TRUE(SchedulerRegistry::instance().known("test-echo"));
+  const std::string joined = SchedulerRegistry::instance().namesJoined();
+  EXPECT_NE(joined.find("test-echo"), std::string::npos);
+  EXPECT_NE(joined.find('|'), std::string::npos);
 }
 
 }  // namespace

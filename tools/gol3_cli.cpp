@@ -10,21 +10,59 @@
 // Everything the examples demonstrate, scriptable.
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cli/args.hpp"
 #include "core/allowance.hpp"
+#include "core/result_json.hpp"
 #include "core/upload_session.hpp"
 #include "core/vod_session.hpp"
 #include "exec/thread_pool.hpp"
+#include "sim/fault_plan.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/export.hpp"
 
 namespace {
 
 using namespace gol;
+
+/// Shared failure-model knobs: every transaction-running command takes the
+/// same retry/watchdog/fault-plan flags.
+void addEngineArgs(cli::ArgParser& args) {
+  args.addString("scheduler", core::SchedulerRegistry::instance().namesJoined(),
+                 "greedy");
+  args.addInt("max-attempts", "failed attempts before an item is given up", 5);
+  args.addDouble("backoff", "first retry delay, seconds", 0.5);
+  args.addDouble("watchdog-k",
+                 "per-attempt deadline = k x estimated transfer time", 6.0);
+  args.addString("fault-plan",
+                 "inject faults: kind:target@time[+dur],... with kinds "
+                 "kill|flap|stall|revoke|cap, or rand:seed=N[,n=N]", "");
+  args.addFlag("json", "print the transaction result as JSON");
+}
+
+/// Validates --scheduler against the registry and fills the engine knobs;
+/// returns false (after printing the available policies) on a bad name.
+bool engineFromArgs(const cli::ArgParser& args, std::string& scheduler,
+                    core::EngineConfig& engine,
+                    std::optional<sim::FaultPlan>& faults) {
+  scheduler = args.getString("scheduler");
+  if (!core::SchedulerRegistry::instance().known(scheduler)) {
+    std::fprintf(stderr, "gol3: unknown scheduler '%s' (available: %s)\n",
+                 scheduler.c_str(),
+                 core::SchedulerRegistry::instance().namesJoined().c_str());
+    return false;
+  }
+  engine.retry.max_attempts = static_cast<int>(args.getInt("max-attempts"));
+  engine.retry.base_backoff_s = args.getDouble("backoff");
+  engine.watchdog.k = args.getDouble("watchdog-k");
+  const std::string plan = args.getString("fault-plan");
+  if (!plan.empty()) faults = sim::parseFaultPlan(plan);
+  return true;
+}
 
 core::HomeConfig homeFromArgs(const cli::ArgParser& args) {
   core::HomeConfig cfg;
@@ -46,7 +84,7 @@ int cmdVod(int argc, const char* const* argv) {
   args.addInt("phones", "phones to onload onto", 2);
   args.addDouble("quality", "video bitrate in bps", 738e3);
   args.addDouble("prebuffer", "pre-buffer fraction 0..1", 0.4);
-  args.addString("scheduler", "greedy|rr|min|greedy-noresched", "greedy");
+  addEngineArgs(args);
   args.addFlag("warm", "start phones from connected mode (H)");
   args.addFlag("playout-aware", "use the deadline scheduler");
   args.addFlag("lte", "upgrade the location to LTE");
@@ -66,9 +104,15 @@ int cmdVod(int argc, const char* const* argv) {
   core::VodOptions opts;
   opts.video.bitrate_bps = args.getDouble("quality");
   opts.prebuffer_fraction = args.getDouble("prebuffer");
-  opts.scheduler = args.getString("scheduler");
   opts.warm_start = args.getFlag("warm");
   opts.playout_aware = args.getFlag("playout-aware");
+  std::optional<sim::FaultPlan> faults;
+  try {
+    if (!engineFromArgs(args, opts.scheduler, opts.engine, faults)) return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gol3: %s\n", e.what());
+    return 2;
+  }
 
   opts.phones = 0;
   const auto baseline = session.run(opts);
@@ -80,28 +124,37 @@ int cmdVod(int argc, const char* const* argv) {
       telemetry::Clock{[&sim] { return sim.now(); }});
   if (!trace_out.empty()) opts.trace = &recorder;
 
+  // Faults hit only the boosted run: the baseline is the clean yardstick.
   opts.phones = static_cast<int>(args.getInt("phones"));
+  if (faults) opts.faults = &*faults;
   const auto boosted = session.run(opts);
+  opts.faults = nullptr;
   if (!trace_out.empty()) {
     try {
       recorder.writeChromeJson(trace_out);
-      std::printf("trace: %s (%zu spans)\n", trace_out.c_str(),
-                  recorder.completedSpans());
+      // Confirmation goes to stderr so `--json` keeps stdout machine-clean.
+      std::fprintf(stderr, "trace: %s (%zu spans)\n", trace_out.c_str(),
+                   recorder.completedSpans());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "gol3: %s\n", e.what());
       return 1;
     }
   }
+  if (args.getFlag("json")) {
+    std::printf("%s\n", core::transactionResultJson(boosted.txn).c_str());
+    return boosted.txn.complete() ? 0 : 1;
+  }
   std::printf("ADSL alone : prebuffer %.1f s, download %.1f s\n",
               baseline.prebuffer_time_s, baseline.total_download_s);
   std::printf("3GOL %ld ph  : prebuffer %.1f s (x%.2f), download %.1f s "
-              "(x%.2f), stalls %.1f s, waste %.2f MB\n",
+              "(x%.2f), stalls %.1f s, waste %.2f MB, outcome %s\n",
               args.getInt("phones"), boosted.prebuffer_time_s,
               baseline.prebuffer_time_s / boosted.prebuffer_time_s,
               boosted.total_download_s,
               baseline.total_download_s / boosted.total_download_s,
               boosted.playout.total_stall_s,
-              boosted.txn.wasted_bytes / 1e6);
+              boosted.txn.wasted_bytes / 1e6,
+              core::toString(boosted.txn.outcome));
   return 0;
 }
 
@@ -110,6 +163,7 @@ int cmdUpload(int argc, const char* const* argv) {
   args.addInt("location", "evaluation home index 0-4", 4);
   args.addInt("phones", "phones to onload onto", 2);
   args.addInt("photos", "photos in the set", 30);
+  addEngineArgs(args);
   args.addFlag("lte", "upgrade the location to LTE");
   args.addInt("seed", "random seed", 42);
   if (!args.parse(argc, argv, 2)) {
@@ -120,12 +174,26 @@ int cmdUpload(int argc, const char* const* argv) {
   core::UploadSession session(home);
   core::UploadOptions opts;
   opts.photos = static_cast<int>(args.getInt("photos"));
+  std::optional<sim::FaultPlan> faults;
+  try {
+    if (!engineFromArgs(args, opts.scheduler, opts.engine, faults)) return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gol3: %s\n", e.what());
+    return 2;
+  }
   opts.phones = 0;
   const double adsl = session.run(opts).txn.duration_s;
   opts.phones = static_cast<int>(args.getInt("phones"));
+  if (faults) opts.faults = &*faults;
   const auto out = session.run(opts);
-  std::printf("ADSL alone: %.0f s; 3GOL %d phone(s): %.0f s (x%.2f)\n", adsl,
-              opts.phones, out.txn.duration_s, adsl / out.txn.duration_s);
+  if (args.getFlag("json")) {
+    std::printf("%s\n", core::transactionResultJson(out.txn).c_str());
+    return out.txn.complete() ? 0 : 1;
+  }
+  std::printf("ADSL alone: %.0f s; 3GOL %d phone(s): %.0f s (x%.2f), "
+              "outcome %s\n",
+              adsl, opts.phones, out.txn.duration_s,
+              adsl / out.txn.duration_s, core::toString(out.txn.outcome));
   return 0;
 }
 
@@ -254,7 +322,8 @@ int main(int argc, char** argv) {
   if (!metrics_out.empty()) {
     try {
       telemetry::writeJsonSnapshot(telemetry::Registry::global(), metrics_out);
-      std::printf("metrics: %s\n", metrics_out.c_str());
+      // stderr, not stdout: `--json` pipelines parse stdout.
+      std::fprintf(stderr, "metrics: %s\n", metrics_out.c_str());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "gol3: %s\n", e.what());
       return 1;
