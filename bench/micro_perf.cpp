@@ -5,6 +5,7 @@
 // scheduler / telemetry counters.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <optional>
@@ -41,15 +42,18 @@ class ConstRatePath : public core::TransferPath {
 
   using core::TransferPath::start;
 
-  void start(const core::Item& item, DoneFn done) override {
+  void start(const core::Item& item, double offset, DoneFn done) override {
     item_ = item;
     started_at_ = sim_.now();
+    const double remaining = std::max(item.bytes - offset, 0.0);
     event_ = sim_.scheduleIn(
-        item.bytes * 8.0 / rate_bps_, [this, done = std::move(done)] {
+        remaining * 8.0 / rate_bps_,
+        [this, remaining, done = std::move(done)] {
           const core::Item finished = *item_;
           item_.reset();
           event_ = 0;
-          done(finished, core::ItemResult::completed(finished.bytes));
+          done(finished, core::ItemResult::completed(remaining,
+                                                     finished.checksum));
         });
   }
 

@@ -31,6 +31,12 @@ TransactionEngine::TransactionEngine(sim::Simulator& sim,
   }
 }
 
+TransactionEngine::~TransactionEngine() {
+  for (auto& ps : paths_) {
+    if (ps.listener != 0) ps.path->removeStateListener(ps.listener);
+  }
+}
+
 void TransactionEngine::instrument(telemetry::Registry* registry,
                                    telemetry::TraceRecorder* trace) {
   registry_ = registry;
@@ -40,6 +46,7 @@ void TransactionEngine::instrument(telemetry::Registry* registry,
   for (auto& ps : paths_) {
     ps.bytes = nullptr;
     ps.wasted = nullptr;
+    ps.salvaged = nullptr;
   }
   if (trace_) {
     trace_->setTrackName(0, "engine");
@@ -62,6 +69,12 @@ void TransactionEngine::bindInstruments() {
   items_failed_ = &r.counter("gol.engine.items_failed");
   path_down_ = &r.counter("gol.engine.path_down_events");
   quarantines_ = &r.counter("gol.engine.path_quarantines");
+  salvaged_bytes_ = &r.counter("gol.engine.salvaged_bytes");
+  resumed_ = &r.counter("gol.engine.resumed_attempts");
+  corrupt_ = &r.counter("gol.engine.corrupt_payloads");
+  hedges_ = &r.counter("gol.engine.hedges");
+  hedge_wins_ = &r.counter("gol.engine.hedge_wins");
+  hedge_losses_ = &r.counter("gol.engine.hedge_losses");
   const telemetry::Labels policy{{"policy", scheduler_.name()}};
   decisions_ = &r.counter("gol.scheduler.decisions", policy);
   idle_decisions_ = &r.counter("gol.scheduler.idle_decisions", policy);
@@ -74,6 +87,7 @@ void TransactionEngine::bindPathInstruments(PathState& ps) {
   const telemetry::Labels path{{"path", ps.path->name()}};
   ps.bytes = &registry_->counter("gol.engine.path_bytes", path);
   ps.wasted = &registry_->counter("gol.engine.path_wasted_bytes", path);
+  ps.salvaged = &registry_->counter("gol.engine.path_salvaged_bytes", path);
 }
 
 std::size_t TransactionEngine::usablePathCount() const {
@@ -114,7 +128,7 @@ void TransactionEngine::attachPath(TransferPath* path) {
   ps.rate_est_bps = std::max(path->nominalRateBps(), 1e3);
   paths_.push_back(std::move(ps));
   bindPathInstruments(paths_.back());
-  path->onStateChange(
+  paths_.back().listener = path->addStateListener(
       [this, index](TransferPath&, bool alive, const std::string& reason) {
         onPathStateChange(index, alive, reason);
       });
@@ -143,7 +157,7 @@ void TransactionEngine::detachPath(TransferPath* path) {
     if (ps.current_item != kNoItem) {
       const std::size_t idx = ps.current_item;
       const double moved = ps.path->abortCurrent();
-      pathAttemptFailed(i, idx, moved, "detached",
+      pathAttemptFailed(i, idx, moved, moved, "detached",
                         /*count_against_item=*/false);
     }
     scheduler_.onPathDown(i);
@@ -173,6 +187,8 @@ void TransactionEngine::run(Transaction txn,
   for (auto& ps : paths_) {
     ps.current_item = kNoItem;
     ps.span = 0;
+    ps.attempt_offset = 0;
+    ps.hedged = false;
     ps.quarantined_until = 0;
     ps.quarantine_len_s = 0;
     ps.consecutive_failures = 0;
@@ -214,9 +230,10 @@ void TransactionEngine::dispatchAll() {
 }
 
 double TransactionEngine::watchdogDeadline(const PathState& ps,
-                                           const Item& item) const {
-  const double est_s =
-      item.bytes * 8.0 / std::max(ps.rate_est_bps, 1e3);
+                                           const Item& item,
+                                           double offset) const {
+  const double remaining = std::max(item.bytes - offset, 0.0);
+  const double est_s = remaining * 8.0 / std::max(ps.rate_est_bps, 1e3);
   return std::max(config_.watchdog.min_deadline_s,
                   config_.watchdog.k * est_s);
 }
@@ -239,10 +256,20 @@ void TransactionEngine::dispatch(std::size_t path_index) {
   if (sim_.now() < ps.quarantined_until) return;
 
   EngineView view{&items_, paths_.size(), sim_.now(), pending_count_};
-  const auto choice = scheduler_.nextItem(view, path_index);
+  auto choice = scheduler_.nextItem(view, path_index);
+  bool hedged = false;
   if (!choice) {
-    if (idle_decisions_) idle_decisions_->inc();
-    return;
+    // Tail hedging: with the pending pool dry and only a handful of items
+    // still in flight, an idle path duplicates the oldest one instead of
+    // sitting out the tail (first completion wins, loser becomes waste).
+    choice = hedgeCandidate(path_index);
+    if (!choice) {
+      if (idle_decisions_) idle_decisions_->inc();
+      return;
+    }
+    hedged = true;
+    ++result_.hedges;
+    if (hedges_) hedges_->inc();
   }
   if (decisions_) decisions_->inc();
   const std::size_t idx = *choice;
@@ -266,23 +293,64 @@ void TransactionEngine::dispatch(std::size_t path_index) {
   }
   ++result_.per_item_attempts[idx];
   if (dispatched_) dispatched_->inc();
-  if (trace_)
-    ps.span = trace_->begin(iv.item->name, "engine",
+
+  // Resume from the item's checkpoint when both sides support it; a
+  // non-resuming path restarts at 0 and the overlap is settled when the
+  // item completes.
+  ItemMeta& meta = item_meta_[idx];
+  double offset = 0;
+  if (config_.resume && ps.path->supportsResume() && meta.checkpoint > 0) {
+    offset = std::min(meta.checkpoint, iv.item->bytes);
+    ++result_.resumed_attempts;
+    if (resumed_) resumed_->inc();
+  }
+  ps.attempt_offset = offset;
+  ps.hedged = hedged;
+  if (trace_) {
+    std::string span_name = iv.item->name;
+    if (offset > 0) span_name = "resume:" + span_name;
+    if (hedged) span_name = "hedge:" + span_name;
+    ps.span = trace_->begin(span_name, "engine",
                             static_cast<int>(path_index) + 1);
+  }
   iv.carriers.push_back(path_index);
   ps.busy_since = sim_.now();
   ps.current_item = idx;
   const std::uint64_t gen = ++ps.attempt_gen;
   if (config_.watchdog.enabled) {
     ps.watchdog = sim_.scheduleIn(
-        watchdogDeadline(ps, *iv.item),
+        watchdogDeadline(ps, *iv.item, offset),
         [this, path_index, gen] { onWatchdog(path_index, gen); });
   }
-  ps.path->start(*iv.item,
+  ps.path->start(*iv.item, offset,
                  TransferPath::DoneFn([this, path_index, gen](
                      const Item& item, const ItemResult& result) {
                    onItemEvent(path_index, gen, item, result);
                  }));
+}
+
+std::optional<std::size_t> TransactionEngine::hedgeCandidate(
+    std::size_t path_index) const {
+  if (config_.hedge_tail_items <= 0 || pending_count_ > 0)
+    return std::nullopt;
+  const std::size_t remaining = items_.size() - done_count_ - failed_count_;
+  if (remaining == 0 ||
+      remaining > static_cast<std::size_t>(config_.hedge_tail_items))
+    return std::nullopt;
+  std::optional<std::size_t> best;
+  double best_t = 0;
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    const ItemView& iv = items_[i];
+    if (iv.status != ItemStatus::kInFlight) continue;
+    if (std::find(iv.carriers.begin(), iv.carriers.end(), path_index) !=
+        iv.carriers.end())
+      continue;
+    if (!best || iv.first_assigned_at < best_t) {
+      best = i;
+      best_t = iv.first_assigned_at;
+    }
+  }
+  return best;
 }
 
 void TransactionEngine::recordWaste(PathState& ps, double bytes) {
@@ -293,6 +361,42 @@ void TransactionEngine::recordWaste(PathState& ps, double bytes) {
   if (ps.wasted) ps.wasted->inc(bytes);
 }
 
+void TransactionEngine::recordSalvage(PathState& ps, std::size_t item_index,
+                                      double bytes) {
+  if (bytes <= 0) return;
+  ItemMeta& meta = item_meta_[item_index];
+  meta.checkpoint += bytes;
+  meta.salvage.emplace_back(ps.path->name(), bytes);
+  items_[item_index].checkpoint_bytes = meta.checkpoint;
+  result_.salvaged_bytes += bytes;
+  result_.per_path_salvaged_bytes[ps.path->name()] += bytes;
+  if (salvaged_bytes_) salvaged_bytes_->inc(bytes);
+  if (ps.salvaged) ps.salvaged->inc(bytes);
+}
+
+void TransactionEngine::reclaimSalvage(std::size_t item_index,
+                                       double keep_prefix) {
+  ItemMeta& meta = item_meta_[item_index];
+  double excess = meta.checkpoint - keep_prefix;
+  if (excess <= 0) return;
+  // Peel ledger runs back-to-front: the bytes beyond keep_prefix were
+  // re-fetched (or are untrusted), so they were moved for nothing.
+  while (excess > 1e-12 && !meta.salvage.empty()) {
+    auto& [name, run] = meta.salvage.back();
+    const double take = std::min(run, excess);
+    run -= take;
+    excess -= take;
+    result_.salvaged_bytes -= take;
+    result_.per_path_salvaged_bytes[name] -= take;
+    result_.wasted_bytes += take;
+    result_.per_path_wasted_bytes[name] += take;
+    if (wasted_bytes_) wasted_bytes_->inc(take);
+    if (run <= 1e-12) meta.salvage.pop_back();
+  }
+  meta.checkpoint = keep_prefix;
+  items_[item_index].checkpoint_bytes = keep_prefix;
+}
+
 void TransactionEngine::clearAttempt(PathState& ps) {
   if (ps.watchdog != 0) {
     sim_.cancel(ps.watchdog);
@@ -300,6 +404,8 @@ void TransactionEngine::clearAttempt(PathState& ps) {
   }
   ++ps.attempt_gen;  // any in-flight callback/timer for this attempt is void
   ps.current_item = kNoItem;
+  ps.attempt_offset = 0;
+  ps.hedged = false;
 }
 
 void TransactionEngine::noteFailedPath(const std::string& name) {
@@ -312,17 +418,65 @@ void TransactionEngine::onItemEvent(std::size_t path_index, std::uint64_t gen,
   if (!active_) return;
   PathState& ps = paths_[path_index];
   if (gen != ps.attempt_gen) return;  // attempt already aborted/expired
+
+  bool corrupt = result.outcome == ItemOutcome::kCorrupt;
   if (result.outcome == ItemOutcome::kCompleted) {
-    onItemCompleted(path_index, item, result);
-    return;
+    // End-to-end integrity gate: a "complete" payload whose digest does not
+    // match what the generator promised is a corruption, not a delivery.
+    // Duplicate-race losers skip the gate — their bytes are waste either
+    // way and the item already landed verified.
+    const ItemView& iv = items_.at(item.index);
+    if (iv.status != ItemStatus::kDone && config_.verify_checksums &&
+        item.checksum != 0 && result.checksum != item.checksum) {
+      corrupt = true;
+    } else {
+      onItemCompleted(path_index, item, result);
+      return;
+    }
   }
-  // A hard failure surfaced by the path itself (socket reset, device gone).
+
+  if (corrupt) {
+    ++result_.corrupt_payloads;
+    if (corrupt_) corrupt_->inc();
+    ItemView& iv = items_.at(item.index);
+    if (iv.status != ItemStatus::kDone) {
+      // The checkpoint prefix can no longer be trusted (the corrupting
+      // element may have been mangling every attempt): discard it, and
+      // abort sibling attempts whose byte ranges anchored to it.
+      reclaimSalvage(item.index, 0.0);
+      const std::vector<std::size_t> siblings = iv.carriers;
+      for (std::size_t other : siblings) {
+        if (other == path_index) continue;
+        PathState& os = paths_[other];
+        const double moved = os.path->abortCurrent();
+        if (trace_ && os.span) {
+          trace_->end(os.span, {{"outcome", "aborted"}});
+          os.span = 0;
+        }
+        clearAttempt(os);
+        recordWaste(os, moved);
+        if (aborted_) aborted_->inc();
+        iv.carriers.erase(
+            std::remove(iv.carriers.begin(), iv.carriers.end(), other),
+            iv.carriers.end());
+      }
+    }
+  }
+
+  // A hard failure surfaced by the path itself (socket reset, device gone)
+  // or the integrity gate above.
   if (trace_ && ps.span) {
-    trace_->end(ps.span, {{"outcome", "failed"}, {"error", result.error}});
+    trace_->end(ps.span, {{"outcome", corrupt ? "corrupt" : "failed"},
+                          {"error", result.error}});
     ps.span = 0;
   }
-  pathAttemptFailed(path_index, item.index, result.bytes_moved, nullptr,
+  const bool was_active = active_;
+  pathAttemptFailed(path_index, item.index, result.bytes_moved,
+                    corrupt ? 0.0 : result.salvageable_bytes,
+                    corrupt ? "corrupt" : nullptr,
                     /*count_against_item=*/true);
+  // Paths freed by the sibling aborts go back to work.
+  if (corrupt && was_active && active_) dispatchAll();
 }
 
 void TransactionEngine::onItemCompleted(std::size_t path_index,
@@ -331,11 +485,14 @@ void TransactionEngine::onItemCompleted(std::size_t path_index,
   ItemView& iv = items_.at(item.index);
   PathState& ps = paths_[path_index];
   const double elapsed = sim_.now() - ps.busy_since;
+  const double offset = ps.attempt_offset;
+  const bool hedged = ps.hedged;
   ps.consecutive_failures = 0;
   ps.quarantine_len_s = 0;
-  if (elapsed > 1e-9) {
-    // Blend observed goodput into the watchdog's rate estimate.
-    const double sample = item.bytes * 8.0 / elapsed;
+  if (elapsed > 1e-9 && result.bytes_moved > 0) {
+    // Blend observed goodput into the watchdog's rate estimate (moved
+    // bytes, not the full item — resumed attempts fetch only the tail).
+    const double sample = result.bytes_moved * 8.0 / elapsed;
     ps.rate_est_bps = 0.5 * ps.rate_est_bps + 0.5 * sample;
   }
 
@@ -359,9 +516,19 @@ void TransactionEngine::onItemCompleted(std::size_t path_index,
   iv.status = ItemStatus::kDone;
   ++done_count_;
   result_.item_completion_s[item.index] = sim_.now() - started_at_;
-  result_.per_path_bytes[ps.path->name()] += item.bytes;
+  // The completing attempt delivered [offset, bytes); the prefix [0,
+  // offset) rides in from the salvage ledger. Salvage the winner never
+  // consumed (a checkpoint past its start, or any checkpoint when the
+  // winner restarted at 0) was re-fetched and becomes waste.
+  const double tail = std::max(item.bytes - offset, 0.0);
+  result_.per_path_bytes[ps.path->name()] += tail;
+  reclaimSalvage(item.index, offset);
+  if (hedged) {
+    ++result_.hedge_wins;
+    if (hedge_wins_) hedge_wins_->inc();
+  }
   if (completed_) completed_->inc();
-  if (ps.bytes) ps.bytes->inc(item.bytes);
+  if (ps.bytes) ps.bytes->inc(tail);
   if (trace_ && ps.span) {
     trace_->end(ps.span, {{"outcome", "completed"}});
     ps.span = 0;
@@ -376,6 +543,7 @@ void TransactionEngine::onItemCompleted(std::size_t path_index,
     if (other == path_index) continue;
     PathState& os = paths_[other];
     const double moved = os.path->abortCurrent();
+    if (os.hedged && hedge_losses_) hedge_losses_->inc();
     clearAttempt(os);
     recordWaste(os, moved);
     if (aborted_) aborted_->inc();
@@ -417,25 +585,45 @@ void TransactionEngine::onWatchdog(std::size_t path_index,
     trace_->end(ps.span, {{"outcome", "timed-out"}});
     ps.span = 0;
   }
-  pathAttemptFailed(path_index, idx, moved, nullptr,
+  // Whatever the aborted attempt received is a contiguous prefix from its
+  // start offset — salvageable on resume-capable paths.
+  pathAttemptFailed(path_index, idx, moved, moved, nullptr,
                     /*count_against_item=*/true);
 }
 
 void TransactionEngine::pathAttemptFailed(std::size_t path_index,
                                           std::size_t item_index,
                                           double moved_bytes,
+                                          double salvageable_bytes,
                                           const char* span_outcome,
                                           bool count_against_item) {
   PathState& ps = paths_[path_index];
-  recordWaste(ps, moved_bytes);
+  ItemView& iv = items_.at(item_index);
+  ItemMeta& meta = item_meta_[item_index];
+
+  // Salvage: the attempt's contiguous prefix extends the item's checkpoint
+  // by whatever part reaches past it. Requires the attempt to have started
+  // at (or before) the current checkpoint so the ranges join up, and a
+  // path whose receive buffer survives the failure (supportsResume).
+  double salvaged = 0;
+  if (iv.status != ItemStatus::kDone && config_.resume &&
+      ps.path->supportsResume() && salvageable_bytes > 0 &&
+      ps.attempt_offset <= meta.checkpoint + 1e-9) {
+    const double prefix = std::min(salvageable_bytes, moved_bytes);
+    const double reach =
+        std::min(ps.attempt_offset + prefix, iv.item->bytes);
+    salvaged = std::max(0.0, reach - meta.checkpoint);
+    if (salvaged > 0) recordSalvage(ps, item_index, salvaged);
+  }
+  recordWaste(ps, moved_bytes - salvaged);
   if (trace_ && ps.span) {
     trace_->end(ps.span,
                 {{"outcome", span_outcome ? span_outcome : "failed"}});
     ps.span = 0;
   }
+  if (ps.hedged && hedge_losses_) hedge_losses_->inc();
   clearAttempt(ps);
 
-  ItemView& iv = items_.at(item_index);
   iv.carriers.erase(
       std::remove(iv.carriers.begin(), iv.carriers.end(), path_index),
       iv.carriers.end());
@@ -466,12 +654,13 @@ void TransactionEngine::pathAttemptFailed(std::size_t path_index,
   }
 
   if (count_against_item) {
-    ItemMeta& meta = item_meta_[item_index];
     if (++meta.failed_attempts >= config_.retry.max_attempts) {
       iv.status = ItemStatus::kFailed;
       ++failed_count_;
       ++result_.failed_items;
       if (items_failed_) items_failed_->inc();
+      // A checkpoint of an undeliverable item bought nothing: waste.
+      reclaimSalvage(item_index, 0.0);
     } else {
       iv.status = ItemStatus::kBackoff;
       ++result_.retries;
@@ -512,7 +701,7 @@ void TransactionEngine::onPathStateChange(std::size_t path_index, bool alive,
     if (ps.current_item != kNoItem) {
       const std::size_t idx = ps.current_item;
       const double moved = ps.path->abortCurrent();
-      pathAttemptFailed(path_index, idx, moved,
+      pathAttemptFailed(path_index, idx, moved, moved,
                         reason.empty() ? "path-down" : reason.c_str(),
                         /*count_against_item=*/false);
     }
@@ -568,6 +757,7 @@ void TransactionEngine::onGraceExpired() {
     ++failed_count_;
     ++result_.failed_items;
     if (items_failed_) items_failed_->inc();
+    reclaimSalvage(i, 0.0);  // undelivered checkpoints end as waste
   }
   finish();
 }
@@ -577,21 +767,27 @@ void TransactionEngine::maybeFinish() {
 }
 
 void TransactionEngine::checkAccounting() const {
-  // Documented invariant: every byte a path moved is either a delivered
-  // payload byte or waste — per_path_bytes sums to delivered_bytes and
+  // Documented invariant: every byte a path moved is exactly one of
+  // delivered payload, salvaged-into-delivered, or waste — per_path_bytes
+  // plus per_path_salvaged_bytes sums to delivered_bytes,
+  // per_path_salvaged_bytes sums to salvaged_bytes, and
   // per_path_wasted_bytes sums to wasted_bytes. Tolerance covers the
-  // different summation orders of the two sides.
+  // different summation orders of the sides.
   double delivered = 0;
   for (const auto& [name, b] : result_.per_path_bytes) delivered += b;
+  double salvaged = 0;
+  for (const auto& [name, b] : result_.per_path_salvaged_bytes) salvaged += b;
+  delivered += salvaged;
   double wasted = 0;
   for (const auto& [name, b] : result_.per_path_wasted_bytes) wasted += b;
   const double eps = 1e-6 * std::max(1.0, result_.delivered_bytes +
                                               result_.wasted_bytes);
   if (std::abs(delivered - result_.delivered_bytes) > eps ||
+      std::abs(salvaged - result_.salvaged_bytes) > eps ||
       std::abs(wasted - result_.wasted_bytes) > eps) {
     throw std::logic_error(
         "TransactionEngine accounting broken: per-path bytes do not sum to "
-        "delivered_bytes + wasted_bytes");
+        "delivered_bytes (payload + salvage) + wasted_bytes");
   }
 }
 
@@ -614,6 +810,8 @@ void TransactionEngine::finish() {
     }
     ++ps.attempt_gen;
     ps.current_item = kNoItem;
+    ps.attempt_offset = 0;
+    ps.hedged = false;
   }
   for (auto& meta : item_meta_) {
     if (meta.backoff != 0) {

@@ -10,8 +10,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/item.hpp"
@@ -73,6 +75,20 @@ struct EngineConfig {
   double all_paths_down_grace_s = 30.0;
   /// Seed for backoff jitter; fixed so runs are reproducible.
   std::uint64_t jitter_seed = 0x601dUL;
+  /// Partial-item recovery: interrupted attempts leave a per-item
+  /// checkpoint and follow-up attempts on resume-capable paths re-fetch
+  /// only the remaining byte range. Off = every retry restarts at 0.
+  bool resume = true;
+  /// Verify each completed item's payload digest against Item::checksum
+  /// (when the generator provided one); a mismatch becomes kCorrupt and
+  /// re-enters retry with the checkpoint discarded.
+  bool verify_checksums = true;
+  /// Hedged tail requests (generalizes GRD's tail re-scheduling to every
+  /// policy): when <= this many items remain unfinished and a path has
+  /// nothing else to do, it launches a duplicate attempt of the oldest
+  /// in-flight item — first completion wins, the loser is aborted and
+  /// charged as waste. 0 disables hedging.
+  int hedge_tail_items = 0;
 };
 
 struct TransactionResult {
@@ -81,11 +97,19 @@ struct TransactionResult {
   double total_bytes = 0;       ///< Payload bytes requested (all items).
   double delivered_bytes = 0;   ///< Payload bytes of items actually done.
   double wasted_bytes = 0;      ///< Bytes moved by aborted, failed and
-                                ///< timed-out attempts.
+                                ///< timed-out attempts that no later
+                                ///< attempt could reuse.
+  /// Bytes moved by interrupted attempts that a later attempt resumed past
+  /// instead of re-fetching — payload, not waste, once the item lands.
+  double salvaged_bytes = 0;
   std::size_t duplicated_items = 0;
   std::size_t retries = 0;       ///< Attempts re-queued after a failure.
   std::size_t timeouts = 0;      ///< Attempts killed by the watchdog.
   std::size_t failed_items = 0;  ///< Items that exhausted max_attempts.
+  std::size_t resumed_attempts = 0;  ///< Attempts started at offset > 0.
+  std::size_t corrupt_payloads = 0;  ///< Integrity failures detected.
+  std::size_t hedges = 0;            ///< Engine-level hedged tail attempts.
+  std::size_t hedge_wins = 0;        ///< Hedges that beat the primary.
   /// Dispatch count per item (first attempt, retries and duplicates all
   /// count), indexed like Transaction::items.
   std::vector<int> per_item_attempts;
@@ -95,14 +119,20 @@ struct TransactionResult {
   /// like Transaction::items; 0 for items that never completed. Feed into
   /// hls::analyzePlayout for VoD runs.
   std::vector<double> item_completion_s;
-  /// Payload bytes successfully delivered per path name.
+  /// Payload bytes successfully delivered per path name (the completing
+  /// attempt's range only — salvaged prefixes are credited to the path
+  /// that moved them, in per_path_salvaged_bytes).
   std::map<std::string, double> per_path_bytes;
   /// Bytes moved by attempts that did not deliver (lost duplicate races,
-  /// failures, watchdog aborts), per path name.
-  /// Invariant (checked by the engine at finish): per_path_bytes sums to
-  /// delivered_bytes and per_path_wasted_bytes sums to wasted_bytes, i.e.
-  /// all bytes any path moved equal delivered_bytes + wasted_bytes.
+  /// failures, watchdog aborts) and were not salvaged, per path name.
+  /// Invariant (checked by the engine at finish): per_path_bytes plus
+  /// per_path_salvaged_bytes sums to delivered_bytes, and
+  /// per_path_wasted_bytes sums to wasted_bytes — every byte any path
+  /// moved is exactly one of delivered, salvaged-into-delivered or waste.
   std::map<std::string, double> per_path_wasted_bytes;
+  /// Salvaged checkpoint bytes that ended up inside a delivered item, per
+  /// path name (the path that originally moved them).
+  std::map<std::string, double> per_path_salvaged_bytes;
 
   bool complete() const { return failed_items == 0; }
   double goodputBps() const {
@@ -120,6 +150,7 @@ class TransactionEngine {
  public:
   TransactionEngine(sim::Simulator& sim, std::vector<TransferPath*> paths,
                     Scheduler& scheduler, EngineConfig config = {});
+  ~TransactionEngine();
   TransactionEngine(const TransactionEngine&) = delete;
   TransactionEngine& operator=(const TransactionEngine&) = delete;
 
@@ -161,6 +192,11 @@ class TransactionEngine {
     bool attached = true;
     double busy_since = 0;
     std::size_t current_item = kNoItem;
+    /// Byte offset this attempt started from (the item's checkpoint at
+    /// dispatch time, 0 when resume is off or unsupported).
+    double attempt_offset = 0;
+    /// Whether this attempt is an engine-level hedge (tail duplicate).
+    bool hedged = false;
     /// Bumped per attempt; stale watchdogs/callbacks compare and drop.
     std::uint64_t attempt_gen = 0;
     sim::EventId watchdog = 0;
@@ -172,14 +208,26 @@ class TransactionEngine {
     /// the nominal rate, blends in completed-attempt goodput.
     double rate_est_bps = 0;
     telemetry::SpanId span = 0;  ///< Open span for the in-flight item.
+    /// Our registration on the path's state-listener list (removed in the
+    /// engine destructor so a longer-lived path cannot call a dead engine).
+    TransferPath::ListenerId listener = 0;
     // Cached per-path instruments (label path=<name>), set per run().
     telemetry::Counter* bytes = nullptr;
     telemetry::Counter* wasted = nullptr;
+    telemetry::Counter* salvaged = nullptr;
   };
 
   struct ItemMeta {
     int failed_attempts = 0;  ///< Sole-carrier failures (gates retry cap).
     sim::EventId backoff = 0;
+    /// Verified contiguous prefix [0, checkpoint) salvaged from earlier
+    /// attempts; the next resume-capable attempt starts here.
+    double checkpoint = 0;
+    /// Who moved the checkpoint's bytes: (path name, bytes) runs, in
+    /// order, summing to `checkpoint`. Settled at item completion (kept
+    /// portion stays salvage, overlap with the winning attempt becomes
+    /// waste) or discarded wholesale on corruption/terminal failure.
+    std::vector<std::pair<std::string, double>> salvage;
   };
 
   void dispatch(std::size_t path_index);
@@ -192,13 +240,24 @@ class TransactionEngine {
   void onBackoffExpired(std::size_t item_index);
   void onPathStateChange(std::size_t path_index, bool alive,
                          const std::string& reason);
-  /// Common tail for failed and timed-out attempts: books waste, updates
+  /// Common tail for failed and timed-out attempts: salvages the usable
+  /// prefix into the item's checkpoint, books the rest as waste, updates
   /// quarantine state and decides the item's fate (retry, duplicate still
-  /// running, or terminal failure).
+  /// running, or terminal failure). `salvageable_bytes` is the attempt's
+  /// contiguous received prefix (<= moved_bytes).
   void pathAttemptFailed(std::size_t path_index, std::size_t item_index,
-                         double moved_bytes, const char* span_outcome,
-                         bool count_against_item);
+                         double moved_bytes, double salvageable_bytes,
+                         const char* span_outcome, bool count_against_item);
   void recordWaste(PathState& ps, double bytes);
+  void recordSalvage(PathState& ps, std::size_t item_index, double bytes);
+  /// Shrinks an item's salvage ledger to the prefix [0, keep_prefix),
+  /// reclassifying the excess as waste on the paths that moved it. Used at
+  /// completion (keep = winning attempt's offset), on corruption and on
+  /// terminal failure (keep = 0).
+  void reclaimSalvage(std::size_t item_index, double keep_prefix);
+  /// Oldest in-flight item this idle path could hedge, if the tail-hedging
+  /// policy applies right now.
+  std::optional<std::size_t> hedgeCandidate(std::size_t path_index) const;
   void clearAttempt(PathState& ps);
   void noteFailedPath(const std::string& name);
   void armGraceTimerIfStranded();
@@ -209,7 +268,8 @@ class TransactionEngine {
   void bindPathInstruments(PathState& ps);
   void checkAccounting() const;
   double backoffDelay(int failed_attempts);
-  double watchdogDeadline(const PathState& ps, const Item& item) const;
+  double watchdogDeadline(const PathState& ps, const Item& item,
+                          double offset) const;
 
   sim::Simulator& sim_;
   std::vector<PathState> paths_;
@@ -231,6 +291,12 @@ class TransactionEngine {
   telemetry::Counter* items_failed_ = nullptr;
   telemetry::Counter* path_down_ = nullptr;
   telemetry::Counter* quarantines_ = nullptr;
+  telemetry::Counter* salvaged_bytes_ = nullptr;
+  telemetry::Counter* resumed_ = nullptr;
+  telemetry::Counter* corrupt_ = nullptr;
+  telemetry::Counter* hedges_ = nullptr;
+  telemetry::Counter* hedge_wins_ = nullptr;
+  telemetry::Counter* hedge_losses_ = nullptr;
   telemetry::Counter* decisions_ = nullptr;
   telemetry::Counter* idle_decisions_ = nullptr;
   telemetry::Counter* reschedules_ = nullptr;

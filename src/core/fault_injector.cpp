@@ -14,7 +14,8 @@ void FaultInjector::arm(const sim::FaultPlan& plan) {
   for (const sim::FaultEvent& ev : plan.events()) {
     const bool targeted = ev.kind == sim::FaultKind::kPathKill ||
                           ev.kind == sim::FaultKind::kPathFlap ||
-                          ev.kind == sim::FaultKind::kStall;
+                          ev.kind == sim::FaultKind::kStall ||
+                          ev.kind == sim::FaultKind::kCorrupt;
     if (targeted && paths_.find(ev.target) == paths_.end()) {
       throw std::invalid_argument("fault plan targets unknown path '" +
                                   ev.target + "'");
@@ -60,6 +61,11 @@ void FaultInjector::inject(const sim::FaultEvent& ev) {
       break;
     case sim::FaultKind::kCapExhaust:
       if (controller_) controller_->exhaustQuota(ev.target);
+      break;
+    case sim::FaultKind::kCorrupt:
+      // Mangles only an in-flight payload; an idle path has nothing to
+      // corrupt (corruptCurrent() returns false and nothing happens).
+      paths_.at(ev.target)->corruptCurrent();
       break;
   }
 }

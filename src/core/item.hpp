@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "http/checksum.hpp"
+
 namespace gol::core {
 
 enum class TransferDirection { kDownload, kUpload };
@@ -14,7 +16,26 @@ struct Item {
   std::uint32_t index = 0;  ///< Position within the transaction.
   std::string name;
   double bytes = 0;
+  /// Expected FNV-1a digest of the payload; 0 = unknown (verification is
+  /// skipped for this item). Trace generators fill it so the engine can
+  /// check integrity end-to-end.
+  std::uint64_t checksum = 0;
 };
+
+/// Digest the simulator's stand-in payload for an item: the fluid models
+/// move no real bytes, so the "payload" is the item's identity (name +
+/// size), which generator and path can both derive independently — exactly
+/// the property a real checksum has.
+inline std::uint64_t syntheticChecksum(const std::string& name,
+                                       double bytes) {
+  std::uint64_t h = http::fnv1aStep(name);
+  const auto n = static_cast<std::uint64_t>(bytes);
+  for (int i = 0; i < 8; ++i) {
+    h ^= (n >> (8 * i)) & 0xff;
+    h *= http::kFnv1aPrime;
+  }
+  return h;
+}
 
 struct Transaction {
   TransferDirection direction = TransferDirection::kDownload;
@@ -41,8 +62,12 @@ inline Transaction makeTransaction(TransferDirection dir,
   t.direction = dir;
   t.items.reserve(sizes.size());
   for (std::size_t i = 0; i < sizes.size(); ++i) {
-    t.items.push_back(Item{static_cast<std::uint32_t>(i),
-                           prefix + std::to_string(i), sizes[i]});
+    Item it;
+    it.index = static_cast<std::uint32_t>(i);
+    it.name = prefix + std::to_string(i);
+    it.bytes = sizes[i];
+    it.checksum = syntheticChecksum(it.name, it.bytes);
+    t.items.push_back(std::move(it));
   }
   return t;
 }

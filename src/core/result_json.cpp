@@ -13,12 +13,17 @@ std::string transactionResultJson(const TransactionResult& result,
   w.key("total_bytes").value(result.total_bytes);
   w.key("delivered_bytes").value(result.delivered_bytes);
   w.key("wasted_bytes").value(result.wasted_bytes);
+  w.key("salvaged_bytes").value(result.salvaged_bytes);
   w.key("goodput_bps").value(result.goodputBps());
   w.key("wasted_fraction").value(result.wastedFraction());
   w.key("duplicated_items").value(result.duplicated_items);
   w.key("retries").value(result.retries);
   w.key("timeouts").value(result.timeouts);
   w.key("failed_items").value(result.failed_items);
+  w.key("resumed_attempts").value(result.resumed_attempts);
+  w.key("corrupt_payloads").value(result.corrupt_payloads);
+  w.key("hedges").value(result.hedges);
+  w.key("hedge_wins").value(result.hedge_wins);
   w.key("failed_paths").beginArray();
   for (const auto& name : result.failed_paths) w.value(name);
   w.endArray();
@@ -28,6 +33,10 @@ std::string transactionResultJson(const TransactionResult& result,
   w.endObject();
   w.key("per_path_wasted_bytes").beginObject();
   for (const auto& [name, bytes] : result.per_path_wasted_bytes)
+    w.key(name).value(bytes);
+  w.endObject();
+  w.key("per_path_salvaged_bytes").beginObject();
+  for (const auto& [name, bytes] : result.per_path_salvaged_bytes)
     w.key(name).value(bytes);
   w.endObject();
   if (opts.include_item_attempts) {

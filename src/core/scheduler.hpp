@@ -30,6 +30,9 @@ struct ItemView {
   /// Paths currently carrying this item (indices into the engine's list).
   std::vector<std::size_t> carriers;
   double first_assigned_at = 0;
+  /// Verified contiguous prefix already salvaged from earlier attempts;
+  /// resume-capable paths re-fetch only [checkpoint_bytes, item->bytes).
+  double checkpoint_bytes = 0;
 };
 
 struct EngineView {

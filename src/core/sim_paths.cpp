@@ -1,5 +1,6 @@
 #include "core/sim_paths.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace gol::core {
@@ -8,22 +9,32 @@ AdslTransferPath::AdslTransferPath(http::SimHttpClient& http,
                                    std::string name, net::NetPath path)
     : http_(http), name_(std::move(name)), path_(std::move(path)) {}
 
-void AdslTransferPath::start(const Item& item, DoneFn done) {
+void AdslTransferPath::start(const Item& item, double offset, DoneFn done) {
   item_ = item;
   stalled_ = false;
   stalled_bytes_ = 0;
+  corrupted_ = false;
+  const double remaining = std::max(item.bytes - offset, 0.0);
   http::TransferRequest req;
-  req.bytes = item.bytes;
+  req.bytes = remaining;
   req.path = path_;
   req.warm = !first_transfer_;
   first_transfer_ = false;
-  req.on_done = [this, done = std::move(done)](double) {
+  req.on_done = [this, remaining, done = std::move(done)](double) {
     const Item finished = *item_;
+    const std::uint64_t digest =
+        corrupted_ ? ~finished.checksum : finished.checksum;
     item_.reset();
     current_ = 0;
-    done(finished, ItemResult::completed(finished.bytes));
+    done(finished, ItemResult::completed(remaining, digest));
   };
   current_ = http_.transfer(std::move(req));
+}
+
+bool AdslTransferPath::corruptCurrent() {
+  if (!item_) return false;
+  corrupted_ = true;
+  return true;
 }
 
 double AdslTransferPath::abortCurrent() {
@@ -65,35 +76,46 @@ CellularTransferPath::CellularTransferPath(cell::CellularDevice& device,
       extra_rtt_s_(extra_rtt_s),
       tcp_(tcp) {}
 
-void CellularTransferPath::start(const Item& item, DoneFn done) {
+void CellularTransferPath::start(const Item& item, double offset,
+                                 DoneFn done) {
   item_ = item;
   stalled_ = false;
   stalled_bytes_ = 0;
+  corrupted_ = false;
+  const double remaining = std::max(item.bytes - offset, 0.0);
   const double rtt = device_.rttS() + extra_rtt_s_;
   const double nominal = device_.nominalRateBps(dir_);
   const double overhead =
       first_transfer_
-          ? net::transferOverheadS(item.bytes, rtt, nominal, tcp_)
-          : net::warmTransferOverheadS(item.bytes, rtt, nominal, tcp_);
+          ? net::transferOverheadS(remaining, rtt, nominal, tcp_)
+          : net::warmTransferOverheadS(remaining, rtt, nominal, tcp_);
   first_transfer_ = false;
 
   // The HTTP proxy hop pays its setup first; RRC promotion (if the radio is
   // idle) is added by the device itself once the transfer starts.
   pending_start_ = device_.net().simulator().scheduleIn(
-      overhead, [this, done = std::move(done)]() mutable {
+      overhead, [this, remaining, done = std::move(done)]() mutable {
         pending_start_ = 0;
         cell::CellularDevice::TransferOptions opts;
         opts.dir = dir_;
-        opts.bytes = item_->bytes / tcp_.efficiency;
+        opts.bytes = remaining / tcp_.efficiency;
         opts.extra_links = extra_links_;
-        opts.on_complete = [this, done = std::move(done)] {
+        opts.on_complete = [this, remaining, done = std::move(done)] {
           const Item finished = *item_;
+          const std::uint64_t digest =
+              corrupted_ ? ~finished.checksum : finished.checksum;
           item_.reset();
           transfer_ = 0;
-          done(finished, ItemResult::completed(finished.bytes));
+          done(finished, ItemResult::completed(remaining, digest));
         };
         transfer_ = device_.startTransfer(std::move(opts));
       });
+}
+
+bool CellularTransferPath::corruptCurrent() {
+  if (!item_) return false;
+  corrupted_ = true;
+  return true;
 }
 
 double CellularTransferPath::abortCurrent() {

@@ -31,10 +31,12 @@ class AdslTransferPath : public TransferPath {
     return item_ ? &*item_ : nullptr;
   }
   using TransferPath::start;
-  void start(const Item& item, DoneFn done) override;
+  void start(const Item& item, double offset, DoneFn done) override;
   double abortCurrent() override;
   double nominalRateBps() const override;
+  bool supportsResume() const override { return true; }
   bool stallCurrent() override;
+  bool corruptCurrent() override;
 
  private:
   http::SimHttpClient& http_;
@@ -45,6 +47,7 @@ class AdslTransferPath : public TransferPath {
   bool first_transfer_ = true;
   double stalled_bytes_ = 0;  ///< Bytes moved before a fault froze us.
   bool stalled_ = false;
+  bool corrupted_ = false;  ///< Fault flag: this attempt's payload is bad.
 };
 
 /// A phone path: client -> Wi-Fi -> phone proxy -> 3G -> origin. The phone
@@ -63,10 +66,12 @@ class CellularTransferPath : public TransferPath {
     return item_ ? &*item_ : nullptr;
   }
   using TransferPath::start;
-  void start(const Item& item, DoneFn done) override;
+  void start(const Item& item, double offset, DoneFn done) override;
   double abortCurrent() override;
   double nominalRateBps() const override;
+  bool supportsResume() const override { return true; }
   bool stallCurrent() override;
+  bool corruptCurrent() override;
 
   cell::CellularDevice& device() { return device_; }
 
@@ -84,6 +89,7 @@ class CellularTransferPath : public TransferPath {
   bool first_transfer_ = true;
   double stalled_bytes_ = 0;
   bool stalled_ = false;
+  bool corrupted_ = false;
 };
 
 }  // namespace gol::core

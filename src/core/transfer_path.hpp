@@ -5,14 +5,24 @@
 //
 // Failure model (the in-the-wild pilot, Sec. 5): every attempt completes
 // with an ItemResult carrying an explicit outcome instead of a bare success
-// callback, and a path exposes a liveness bit (`alive()`) plus a state
-// listener so hard failures — socket reset, the phone walking out of Wi-Fi
+// callback, and a path exposes a liveness bit (`alive()`) plus state
+// listeners so hard failures — socket reset, the phone walking out of Wi-Fi
 // range, a revoked permit — propagate as events rather than silent stalls.
+//
+// Partial recovery: attempts are offset-aware. start(item, offset, done)
+// asks for the byte range [offset, item.bytes); an interrupted attempt's
+// ItemResult separates the salvageable contiguous prefix (usable as the
+// next attempt's offset — HTTP Range semantics) from bytes that are pure
+// waste. Completions carry a payload checksum so the engine can verify
+// integrity end-to-end and discard checkpoints poisoned by in-path
+// middleboxes (ItemOutcome::kCorrupt).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/item.hpp"
 
@@ -24,22 +34,48 @@ enum class ItemOutcome {
   kFailed,     ///< Hard error mid-transfer (reset, device gone).
   kAborted,    ///< Cancelled by the engine (duplicate race lost, detach).
   kTimedOut,   ///< Watchdog deadline expired without completion.
+  kCorrupt,    ///< Payload delivered but failed integrity verification.
 };
 
 const char* toString(ItemOutcome outcome);
 
 /// What one start() attempt produced. `bytes_moved` is whatever crossed the
-/// wire during the attempt — payload when completed, waste otherwise.
+/// wire during the attempt; `salvageable_bytes` is the contiguous prefix of
+/// those (counted from the attempt's start offset) that the receiver still
+/// holds and a follow-up attempt can resume past — the rest is waste.
 struct ItemResult {
   ItemOutcome outcome = ItemOutcome::kCompleted;
   double bytes_moved = 0;
+  /// Contiguous received prefix of this attempt, <= bytes_moved. Only
+  /// meaningful for non-completed outcomes on paths that supportsResume().
+  double salvageable_bytes = 0;
+  /// FNV-1a digest of the full item payload as received; 0 when unknown.
+  /// Checked against Item::checksum on completion when verification is on.
+  std::uint64_t checksum = 0;
   std::string error;  ///< Human-readable cause for non-completed outcomes.
 
-  static ItemResult completed(double bytes) {
-    return ItemResult{ItemOutcome::kCompleted, bytes, {}};
+  static ItemResult completed(double bytes, std::uint64_t digest = 0) {
+    ItemResult r;
+    r.outcome = ItemOutcome::kCompleted;
+    r.bytes_moved = bytes;
+    r.checksum = digest;
+    return r;
   }
-  static ItemResult failed(double bytes, std::string why) {
-    return ItemResult{ItemOutcome::kFailed, bytes, std::move(why)};
+  static ItemResult failed(double bytes, std::string why,
+                           double salvageable = 0) {
+    ItemResult r;
+    r.outcome = ItemOutcome::kFailed;
+    r.bytes_moved = bytes;
+    r.salvageable_bytes = salvageable;
+    r.error = std::move(why);
+    return r;
+  }
+  static ItemResult corrupt(double bytes, std::string why) {
+    ItemResult r;
+    r.outcome = ItemOutcome::kCorrupt;
+    r.bytes_moved = bytes;
+    r.error = std::move(why);
+    return r;
   }
 };
 
@@ -47,12 +83,14 @@ class TransferPath {
  public:
   /// Fires exactly once per start() (never after abortCurrent()), with the
   /// attempt's outcome. A kFailed result re-enters the engine's retry
-  /// machinery; bytes_moved is accounted as waste.
+  /// machinery; non-salvaged bytes_moved are accounted as waste.
   using DoneFn = std::function<void(const Item&, const ItemResult&)>;
   /// Liveness transition: `alive` flipped, `reason` says why ("left-lan",
   /// "permit-revoked", "fault:kill", ...).
   using StateChangeFn =
       std::function<void(TransferPath& path, bool alive, const std::string& reason)>;
+  /// Handle for removing a registered state listener.
+  using ListenerId = std::uint64_t;
 
   virtual ~TransferPath() = default;
 
@@ -62,54 +100,87 @@ class TransferPath {
   virtual bool busy() const = 0;
   virtual const Item* currentItem() const = 0;
 
-  /// Begins transferring `item`; `done` fires exactly once on completion
-  /// or hard failure (never after abortCurrent()).
-  virtual void start(const Item& item, DoneFn done) = 0;
+  /// Begins transferring `item` from byte `offset` (a checkpoint from an
+  /// earlier attempt; 0 for a fresh fetch). `done` fires exactly once on
+  /// completion or hard failure (never after abortCurrent()). Paths that do
+  /// not supportsResume() may ignore the offset and move the whole item;
+  /// they must then report bytes_moved accordingly.
+  virtual void start(const Item& item, double offset, DoneFn done) = 0;
 
-  /// Success-only convenience for callers that predate the failure model:
-  /// adapts a bare completion callback (only invoked on kCompleted).
-  void start(const Item& item, std::function<void(const Item&)> done) {
-    start(item, DoneFn([cb = std::move(done)](const Item& it,
-                                              const ItemResult& res) {
-            if (res.outcome == ItemOutcome::kCompleted && cb) cb(it);
-          }));
+  /// Fresh fetch from offset 0.
+  void start(const Item& item, DoneFn done) {
+    start(item, 0.0, std::move(done));
   }
 
-  /// Aborts the in-flight item, returning the bytes it had moved (these
-  /// count as waste when the abort is due to a duplicate completing
-  /// elsewhere or a watchdog firing). No-op returning 0 when idle.
+  /// Aborts the in-flight item, returning the bytes it had moved this
+  /// attempt (salvageable prefix first — the engine decides how much of it
+  /// survives as a checkpoint). No-op returning 0 when idle.
   virtual double abortCurrent() = 0;
 
   /// A-priori throughput guess, used to seed bandwidth estimators before
   /// any sample exists. Never a promise.
   virtual double nominalRateBps() const = 0;
 
+  /// Whether start(item, offset) actually honors non-zero offsets (HTTP
+  /// Range requests, the simulator's fluid models). When false the engine
+  /// restarts items from 0 on this path and salvages nothing from it.
+  virtual bool supportsResume() const { return false; }
+
   /// Fault-injection hook: silently freeze the in-flight item — no bytes
   /// move, no callback fires, busy() stays true — the class of failure only
   /// a watchdog can catch. Returns false when idle or unsupported.
   virtual bool stallCurrent() { return false; }
+
+  /// Fault-injection hook: flip payload bits of the in-flight attempt, as
+  /// an in-path middlebox rewriting the body would. The attempt still
+  /// "completes" but its digest no longer matches. Returns false when idle
+  /// or unsupported.
+  virtual bool corruptCurrent() { return false; }
 
   /// Health: false once a hard failure has been observed (socket reset,
   /// device off the LAN, permit revoked). Dead paths are never dispatched
   /// to; in-flight work is aborted and re-queued by the engine.
   bool alive() const { return alive_; }
 
-  /// Registers the (single) liveness listener; the engine owns it while a
-  /// transaction runs. Replaces any previous listener.
-  void onStateChange(StateChangeFn cb) { state_listener_ = std::move(cb); }
+  /// Registers a liveness listener; engine, discovery supervision and fault
+  /// injectors can all hold one concurrently. Returns an id for
+  /// removeStateListener.
+  ListenerId addStateListener(StateChangeFn cb) {
+    const ListenerId id = ++next_listener_id_;
+    listeners_.push_back({id, std::move(cb)});
+    return id;
+  }
 
-  /// Flips liveness and notifies the listener. Called by implementations on
-  /// internal hard failures, and externally by discovery supervision and
+  void removeStateListener(ListenerId id) {
+    for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+      if (it->id == id) {
+        listeners_.erase(it);
+        return;
+      }
+    }
+  }
+
+  /// Flips liveness and notifies every listener. Called by implementations
+  /// on internal hard failures, and externally by discovery supervision and
   /// fault injectors.
   void setAlive(bool alive, const std::string& reason = "") {
     if (alive == alive_) return;
     alive_ = alive;
-    if (state_listener_) state_listener_(*this, alive_, reason);
+    // Snapshot: a listener may add/remove listeners while being notified.
+    const auto snapshot = listeners_;
+    for (const auto& l : snapshot) {
+      if (l.fn) l.fn(*this, alive_, reason);
+    }
   }
 
  private:
+  struct Listener {
+    ListenerId id;
+    StateChangeFn fn;
+  };
   bool alive_ = true;
-  StateChangeFn state_listener_;
+  std::vector<Listener> listeners_;
+  ListenerId next_listener_id_ = 0;
 };
 
 inline const char* toString(ItemOutcome outcome) {
@@ -118,6 +189,7 @@ inline const char* toString(ItemOutcome outcome) {
     case ItemOutcome::kFailed: return "failed";
     case ItemOutcome::kAborted: return "aborted";
     case ItemOutcome::kTimedOut: return "timed_out";
+    case ItemOutcome::kCorrupt: return "corrupt";
   }
   return "unknown";
 }

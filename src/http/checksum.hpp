@@ -1,0 +1,43 @@
+// FNV-1a payload digests for end-to-end integrity (the middlebox problem:
+// in-path cellular proxies silently truncate and rewrite HTTP bodies, so
+// delivered bytes must be verified, not just counted). Header-only and
+// dependency-free; used by trace generators, the origin server and the
+// multipath client, and — via Item::checksum — the simulator stack.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gol::http {
+
+inline constexpr std::uint64_t kFnv1aOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+/// One streaming step: folds `data` into digest `h`. Chain calls to digest
+/// a payload arriving in chunks; start from kFnv1aOffset.
+inline std::uint64_t fnv1aStep(std::string_view data,
+                               std::uint64_t h = kFnv1aOffset) {
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+/// Digest of a whole buffer.
+inline std::uint64_t fnv1a(std::string_view data) { return fnv1aStep(data); }
+
+/// Digest of the canonical synthetic payload used by the origin server and
+/// trace generators: `n` repetitions of the filler byte 'x'. O(n) but only
+/// evaluated once per object; callers cache the result.
+inline std::uint64_t fnv1aFiller(std::size_t n, char filler = 'x') {
+  std::uint64_t h = kFnv1aOffset;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(filler);
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+}  // namespace gol::http

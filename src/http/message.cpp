@@ -106,6 +106,41 @@ std::optional<std::size_t> contentLength(const HeaderMap& headers) {
   return value;
 }
 
+std::optional<std::size_t> rangeStart(const HeaderMap& headers) {
+  auto it = headers.find("Range");
+  if (it == headers.end()) return std::nullopt;
+  std::string_view v = trim(it->second);
+  if (v.rfind("bytes=", 0) != 0) return std::nullopt;
+  v.remove_prefix(6);
+  // Only the resume form "N-": a closed range or suffix range is not ours.
+  if (v.empty() || v.back() != '-') return std::nullopt;
+  v.remove_suffix(1);
+  std::size_t start = 0;
+  const auto [ptr, ec] =
+      std::from_chars(v.data(), v.data() + v.size(), start);
+  if (ec != std::errc() || ptr != v.data() + v.size()) return std::nullopt;
+  return start;
+}
+
+std::optional<ContentRange> parseContentRange(const std::string& value) {
+  std::string_view v = trim(value);
+  if (v.rfind("bytes ", 0) != 0) return std::nullopt;
+  v.remove_prefix(6);
+  ContentRange cr;
+  const char* p = v.data();
+  const char* end = v.data() + v.size();
+  auto r1 = std::from_chars(p, end, cr.first);
+  if (r1.ec != std::errc() || r1.ptr == end || *r1.ptr != '-')
+    return std::nullopt;
+  auto r2 = std::from_chars(r1.ptr + 1, end, cr.last);
+  if (r2.ec != std::errc() || r2.ptr == end || *r2.ptr != '/')
+    return std::nullopt;
+  auto r3 = std::from_chars(r2.ptr + 1, end, cr.total);
+  if (r3.ec != std::errc() || r3.ptr != end) return std::nullopt;
+  if (cr.last < cr.first || cr.total <= cr.last) return std::nullopt;
+  return cr;
+}
+
 RequestParseResult parseRequest(std::string_view data) {
   RequestParseResult res;
   const std::size_t head_end = data.find("\r\n\r\n");

@@ -66,4 +66,20 @@ ResponseParseResult parseResponse(std::string_view data);
 /// Reads Content-Length, returning 0 when absent, nullopt when invalid.
 std::optional<std::size_t> contentLength(const HeaderMap& headers);
 
+/// Reads a `Range: bytes=N-` header (the open-ended single-range form used
+/// for resume). Returns N; nullopt when absent, malformed, or any other
+/// range form (which callers treat as "serve the full object").
+std::optional<std::size_t> rangeStart(const HeaderMap& headers);
+
+/// A parsed `Content-Range: bytes <first>-<last>/<total>` header.
+struct ContentRange {
+  std::size_t first = 0;
+  std::size_t last = 0;
+  std::size_t total = 0;
+};
+
+/// Parses a Content-Range value ("bytes 5-99/100"). Nullopt on anything
+/// malformed, including the unsatisfied form "bytes */N".
+std::optional<ContentRange> parseContentRange(const std::string& value);
+
 }  // namespace gol::http

@@ -1,15 +1,65 @@
 #include "proto/multipath_client.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <charconv>
 #include <cmath>
 #include <stdexcept>
 #include <system_error>
 
+#include "http/checksum.hpp"
 #include "http/message.hpp"
 
 namespace gol::proto {
 
 using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/// The head of a response whose body may still be incomplete — enough to
+/// decide whether a dead attempt's partial body is salvageable.
+struct PartialHead {
+  int status = 0;
+  std::optional<std::string> content_range;
+  std::size_t body_start = 0;
+};
+
+std::optional<PartialHead> parsePartialHead(const std::string& in) {
+  const std::size_t head_end = in.find("\r\n\r\n");
+  if (head_end == std::string::npos) return std::nullopt;
+  PartialHead head;
+  head.body_start = head_end + 4;
+  const std::size_t sp = in.find(' ');
+  if (sp == std::string::npos || sp > head_end) return std::nullopt;
+  const char* p = in.data() + sp + 1;
+  const auto [ptr, ec] = std::from_chars(p, in.data() + head_end, head.status);
+  if (ec != std::errc() || head.status < 100 || head.status > 599)
+    return std::nullopt;
+  std::size_t pos = in.find("\r\n") + 2;
+  while (pos < head_end) {
+    std::size_t eol = in.find("\r\n", pos);
+    if (eol == std::string::npos || eol > head_end) eol = head_end;
+    const std::string_view line(in.data() + pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      std::string name(line.substr(0, colon));
+      for (char& c : name)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      while (!name.empty() && (name.back() == ' ' || name.back() == '\t'))
+        name.pop_back();
+      if (name == "content-range") {
+        std::string_view value = line.substr(colon + 1);
+        while (!value.empty() && (value.front() == ' ' || value.front() == '\t'))
+          value.remove_prefix(1);
+        head.content_range = std::string(value);
+      }
+    }
+    pos = eol + 2;
+  }
+  return head;
+}
+
+}  // namespace
 
 const char* toString(FetchOutcome outcome) {
   switch (outcome) {
@@ -47,6 +97,7 @@ void MultipathHttpClient::start(std::vector<FetchItem> items) {
   if (!done_) throw std::logic_error("transaction already running");
   items_ = std::move(items);
   states_.assign(items_.size(), ItemState::kPending);
+  prefix_.assign(items_.size(), std::string{});
   carriers_.assign(items_.size(), {});
   first_assigned_.assign(items_.size(), Clock::time_point{});
   failed_attempts_.assign(items_.size(), 0);
@@ -123,6 +174,11 @@ void MultipathHttpClient::dispatch(std::size_t slot_index) {
   slot.item = idx;
   slot.in.clear();
   slot.received_body = 0;
+  slot.offset = 0;
+  if (cfg_.resume && !prefix_[idx].empty() &&
+      prefix_[idx].size() < items_[idx].bytes) {
+    slot.offset = prefix_[idx].size();
+  }
   slot.started_at = Clock::now();
   const std::uint64_t gen = ++slot.attempt_gen;
 
@@ -140,6 +196,10 @@ void MultipathHttpClient::dispatch(std::size_t slot_index) {
   req.target = items_[idx].uri;
   req.headers["Host"] = "origin";
   req.headers["Connection"] = "close";
+  if (slot.offset > 0) {
+    req.headers["Range"] = "bytes=" + std::to_string(slot.offset) + "-";
+    ++result_.resumed_attempts;
+  }
   slot.out = req.serialize();
 
   slot.watchdog = loop_.runAfter(
@@ -210,11 +270,54 @@ void MultipathHttpClient::releaseSlot(Slot& slot) {
   slot.out.clear();
 }
 
-void MultipathHttpClient::failAttempt(std::size_t slot_index) {
+std::size_t MultipathHttpClient::salvageFromAttempt(const Slot& slot,
+                                                    std::size_t item_index) {
+  if (!cfg_.resume || slot.in.empty()) return 0;
+  const auto head = parsePartialHead(slot.in);
+  if (!head || (head->status != 200 && head->status != 206)) return 0;
+  std::size_t effective = 0;
+  if (head->status == 206) {
+    if (!head->content_range) return 0;
+    const auto cr = http::parseContentRange(*head->content_range);
+    // Only trust ranges that start exactly where this attempt asked.
+    if (!cr || cr->first != slot.offset ||
+        cr->total != items_[item_index].bytes)
+      return 0;
+    effective = cr->first;
+  }
+  std::string& prefix = prefix_[item_index];
+  if (effective > prefix.size()) return 0;  // would leave a hole
+  const std::size_t body_len = slot.in.size() - head->body_start;
+  const std::size_t new_end = effective + body_len;
+  if (new_end <= prefix.size()) return 0;  // nothing past the checkpoint
+  std::size_t take = new_end - prefix.size();
+  take = std::min(take, items_[item_index].bytes - prefix.size());
+  if (take == 0) return 0;
+  prefix.append(slot.in, head->body_start + (prefix.size() - effective),
+                take);
+  return take;
+}
+
+void MultipathHttpClient::reclaimPrefix(std::size_t item_index) {
+  std::string& prefix = prefix_[item_index];
+  if (prefix.empty()) return;
+  result_.wasted_bytes += prefix.size();
+  result_.salvaged_bytes -= std::min(result_.salvaged_bytes, prefix.size());
+  prefix.clear();
+  prefix.shrink_to_fit();
+}
+
+void MultipathHttpClient::failAttempt(std::size_t slot_index, bool salvage) {
   Slot& slot = slots_[slot_index];
   if (!slot.item.has_value()) return;
   const std::size_t idx = *slot.item;
-  result_.wasted_bytes += slot.in.size();
+  std::size_t salvaged = 0;
+  if (salvage && states_[idx] != ItemState::kDone &&
+      states_[idx] != ItemState::kFailed) {
+    salvaged = salvageFromAttempt(slot, idx);
+  }
+  result_.wasted_bytes += slot.in.size() - salvaged;
+  result_.salvaged_bytes += salvaged;
   slot.in.clear();
   releaseSlot(slot);
 
@@ -243,6 +346,8 @@ void MultipathHttpClient::failAttempt(std::size_t slot_index) {
 
   if (++failed_attempts_[idx] >= cfg_.max_attempts) {
     states_[idx] = ItemState::kFailed;
+    // A dead item delivers nothing; whatever it salvaged is waste now.
+    reclaimPrefix(idx);
     ++failed_count_;
     ++result_.failed_items;
     if (done_count_ + failed_count_ == items_.size()) {
@@ -279,26 +384,90 @@ void MultipathHttpClient::completeItem(std::size_t slot_index) {
   const std::size_t idx = *slot.item;
   const double elapsed =
       std::chrono::duration<double>(Clock::now() - slot.started_at).count();
-  releaseSlot(slot);
-  const std::size_t payload = items_[idx].bytes;
+  const auto parsed = http::parseResponse(slot.in);
+  const http::Response& resp = parsed.response;  // caller ensured kComplete
 
-  slot.consecutive_failures = 0;
-  if (elapsed > 1e-6) {
-    const double sample = static_cast<double>(payload) * 8.0 / elapsed;
+  if (elapsed > 1e-6 && !resp.body.empty()) {
+    const double sample =
+        static_cast<double>(resp.body.size()) * 8.0 / elapsed;
     slot.rate_est_bps = 0.5 * slot.rate_est_bps + 0.5 * sample;
   }
 
   if (states_[idx] == ItemState::kDone) {
     // Lost the duplicate race after delivery; count the whole copy wasted.
-    result_.wasted_bytes += payload;
+    result_.wasted_bytes += slot.in.size();
     slot.in.clear();
+    releaseSlot(slot);
     dispatch(slot_index);
     return;
   }
+
+  if (resp.status != 200 && resp.status != 206) {
+    failAttempt(slot_index);
+    return;
+  }
+  // Where does this body actually start? A 206 must cover exactly the range
+  // this attempt asked for; a 200 means the origin ignored (or never saw)
+  // the Range header and restarted from byte 0, making the checkpoint we
+  // kept redundant.
+  std::size_t effective_offset = 0;
+  if (resp.status == 206) {
+    std::optional<http::ContentRange> cr;
+    if (const auto hdr = resp.header("Content-Range"); hdr)
+      cr = http::parseContentRange(*hdr);
+    if (!cr || cr->first != slot.offset ||
+        cr->total != items_[idx].bytes ||
+        cr->last + 1 != items_[idx].bytes) {
+      failAttempt(slot_index);
+      return;
+    }
+    effective_offset = cr->first;
+  }
+
+  std::string& prefix = prefix_[idx];
+  if (effective_offset > prefix.size()) {
+    // Hole between the checkpoint and this body; nothing is anchorable.
+    failAttempt(slot_index);
+    return;
+  }
+  std::string payload = prefix.substr(0, effective_offset);
+  payload += resp.body;
+
+  bool corrupt = payload.size() != items_[idx].bytes;
+  if (!corrupt && cfg_.verify_checksums) {
+    std::uint64_t expected = items_[idx].checksum;
+    if (expected == 0) {
+      if (const auto hdr = resp.header("X-Checksum-FNV1a"); hdr)
+        std::from_chars(hdr->data(), hdr->data() + hdr->size(), expected);
+    }
+    corrupt = expected != 0 && http::fnv1a(payload) != expected;
+  }
+  if (corrupt) {
+    // The assembled object is wrong end to end: nothing — including the
+    // checkpoint it was built on — can be trusted. Start the item over.
+    ++result_.corrupt_payloads;
+    reclaimPrefix(idx);
+    failAttempt(slot_index, /*salvage=*/false);
+    return;
+  }
+
+  // Delivered. The checkpoint prefix this attempt resumed past stays
+  // salvaged; any salvage beyond the resume point was re-fetched by this
+  // attempt and becomes waste.
+  if (prefix.size() > effective_offset) {
+    const std::size_t excess = prefix.size() - effective_offset;
+    result_.wasted_bytes += excess;
+    result_.salvaged_bytes -= std::min(result_.salvaged_bytes, excess);
+  }
+  prefix.clear();
+  prefix.shrink_to_fit();
+
+  slot.consecutive_failures = 0;
   slot.in.clear();
+  releaseSlot(slot);
   states_[idx] = ItemState::kDone;
   ++done_count_;
-  result_.per_endpoint_bytes[slot.endpoint.name] += payload;
+  result_.per_endpoint_bytes[slot.endpoint.name] += resp.body.size();
   result_.item_completion_s[idx] =
       std::chrono::duration<double>(Clock::now() - started_at_).count();
 

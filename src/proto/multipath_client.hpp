@@ -32,6 +32,9 @@ struct Endpoint {
 struct FetchItem {
   std::string uri;     ///< e.g. "/obj/100000".
   std::size_t bytes;   ///< Expected payload size (for verification).
+  /// Expected FNV-1a digest of the payload; 0 = unknown, in which case the
+  /// origin's X-Checksum-FNV1a response header (when present) is used.
+  std::uint64_t checksum = 0;
 };
 
 enum class FetchOutcome {
@@ -54,6 +57,14 @@ struct ClientConfig {
   double initial_rate_bps = 4e6;  ///< Seeds per-endpoint rate estimates.
   int quarantine_threshold = 2;   ///< Consecutive failures before benching.
   std::chrono::milliseconds quarantine{1000};
+  /// Keep the contiguous body prefix of interrupted attempts and resume
+  /// with `Range: bytes=N-` (falling back to a full fetch when the origin
+  /// answers 200). Off = every retry re-fetches from byte 0.
+  bool resume = true;
+  /// Verify each assembled payload's length and FNV-1a digest before
+  /// declaring the item done; a mismatch discards the checkpoint and
+  /// re-enters retry.
+  bool verify_checksums = true;
 };
 
 struct MultipathResult {
@@ -61,11 +72,17 @@ struct MultipathResult {
   FetchOutcome outcome = FetchOutcome::kCompleted;
   double duration_s = 0;
   std::size_t wasted_bytes = 0;   ///< Bytes received on aborted duplicates
-                                  ///< and failed/timed-out attempts.
+                                  ///< and failed/timed-out attempts that
+                                  ///< no later attempt could reuse.
+  /// Body bytes of interrupted attempts that a later attempt resumed past
+  /// instead of re-fetching.
+  std::size_t salvaged_bytes = 0;
   std::size_t duplicated_items = 0;
   std::size_t retries = 0;        ///< Attempts re-queued after failures.
   std::size_t timeouts = 0;       ///< Attempts killed by the watchdog.
   std::size_t failed_items = 0;   ///< Items that ran out of attempts.
+  std::size_t resumed_attempts = 0;  ///< Attempts sent with a Range header.
+  std::size_t corrupt_payloads = 0;  ///< Length/digest verification fails.
   std::vector<int> per_item_attempts;
   /// Endpoints that produced at least one hard failure.
   std::vector<std::string> failed_endpoints;
@@ -99,6 +116,7 @@ class MultipathHttpClient {
     std::string out;          // request bytes still to send
     std::string in;           // response bytes so far
     std::size_t received_body = 0;
+    std::size_t offset = 0;   // byte offset this attempt resumes from
     std::chrono::steady_clock::time_point started_at{};
     /// Bumped per attempt; stale watchdog timers compare and drop.
     std::uint64_t attempt_gen = 0;
@@ -115,7 +133,14 @@ class MultipathHttpClient {
   void abortSlot(std::size_t slot_index);
   /// Books the failed attempt on `slot_index`: waste, endpoint health,
   /// quarantine, and the item's retry/terminal-failure disposition.
-  void failAttempt(std::size_t slot_index);
+  /// `salvage` = false discards the attempt's body outright (used when the
+  /// payload failed verification and cannot seed a checkpoint).
+  void failAttempt(std::size_t slot_index, bool salvage = true);
+  /// Moves the contiguous, offset-anchored body prefix of a dead attempt
+  /// into the item's checkpoint buffer. Returns the bytes kept.
+  std::size_t salvageFromAttempt(const Slot& slot, std::size_t item_index);
+  /// Discards an item's checkpoint; its salvaged bytes become waste.
+  void reclaimPrefix(std::size_t item_index);
   void onWatchdog(std::size_t slot_index, std::uint64_t gen);
   void onBackoffExpired(std::size_t item_index);
   void releaseSlot(Slot& slot);
@@ -131,6 +156,9 @@ class MultipathHttpClient {
 
   std::vector<FetchItem> items_;
   std::vector<ItemState> states_;
+  /// Per-item checkpoint: the verified-contiguous body prefix [0, N)
+  /// salvaged from interrupted attempts, re-used via Range requests.
+  std::vector<std::string> prefix_;
   std::vector<std::vector<std::size_t>> carriers_;  // slot indices per item
   std::vector<std::chrono::steady_clock::time_point> first_assigned_;
   std::vector<int> failed_attempts_;

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <stdexcept>
 
+#include "http/checksum.hpp"
 #include "http/message.hpp"
 
 namespace gol::proto {
@@ -50,8 +51,13 @@ void OriginServer::onConnEvent(int fd, bool readable, bool writable) {
       conn.in.append(buf, static_cast<std::size_t>(n));
     }
     processBuffer(conn);
+    // A truncated response closes the connection inside flush(); re-check
+    // before touching the (possibly destroyed) Conn.
+    it = conns_.find(fd);
+    if (it == conns_.end()) return;
   }
-  if (writable || !conn.out.empty()) flush(conn);
+  Conn& c = *it->second;
+  if (writable || !c.out.empty()) flush(c);
 }
 
 void OriginServer::processBuffer(Conn& conn) {
@@ -78,7 +84,45 @@ void OriginServer::processBuffer(Conn& conn) {
       std::from_chars(size_str.data(), size_str.data() + size_str.size(),
                       bytes);
       resp.headers["Content-Type"] = "application/octet-stream";
-      resp.body.assign(bytes, 'x');
+      // Integrity: digest of the FULL object, whatever range is served, so
+      // the client verifies its assembled payload. Cached per size.
+      auto [cit, inserted] = digest_cache_.try_emplace(bytes, 0);
+      if (inserted) cit->second = http::fnv1aFiller(bytes);
+      resp.headers["X-Checksum-FNV1a"] = std::to_string(cit->second);
+
+      std::size_t from = 0;
+      const auto range = http::rangeStart(req.headers);
+      if (range_supported_ && range && *range > 0 && *range < bytes) {
+        from = *range;
+        resp.status = 206;
+        resp.reason = "Partial Content";
+        resp.headers["Content-Range"] =
+            "bytes " + std::to_string(from) + "-" +
+            std::to_string(bytes > 0 ? bytes - 1 : 0) + "/" +
+            std::to_string(bytes);
+        ++ranges_served_;
+      }
+      resp.body.assign(bytes - from, 'x');
+      if (corrupt_next_ > 0 && !resp.body.empty()) {
+        --corrupt_next_;
+        // One flipped byte: length and headers stay honest, the digest
+        // check is the only thing that can notice.
+        resp.body[resp.body.size() / 2] = 'y';
+      }
+      if (truncate_next_ > 0) {
+        --truncate_next_;
+        // Advertise the whole object, deliver all but the cut, then slam
+        // the connection shut: the client sees a short body + EOF.
+        std::string wire = resp.serialize();
+        const std::size_t cut =
+            std::min(truncate_cut_, resp.body.size());
+        wire.resize(wire.size() - cut);
+        conn.out += wire;
+        conn.in.clear();
+        conn.close_after_flush = true;
+        flush(conn);
+        return;
+      }
     } else if (req.method == "POST") {
       ingested_ += req.body.size();
       resp.status = 201;
@@ -103,6 +147,10 @@ void OriginServer::flush(Conn& conn) {
   if (conn.out_sent >= conn.out.size()) {
     conn.out.clear();
     conn.out_sent = 0;
+    if (conn.close_after_flush) {
+      closeConn(fd);
+      return;
+    }
     loop_.modify(fd, Interest::kRead);
   } else {
     loop_.modify(fd, Interest::kReadWrite);

@@ -1,6 +1,14 @@
 // A tiny HTTP/1.1 origin for the prototype: GET /obj/<bytes> returns a
 // body of that size; POST consumes the body and answers 201. Mirrors the
 // dedicated well-provisioned web server of the paper's evaluation.
+//
+// Resume + integrity: GET honors `Range: bytes=N-` with a 206 and a
+// Content-Range header, and every object response carries an
+// `X-Checksum-FNV1a` header digesting the FULL object so clients can
+// verify assembled payloads end-to-end. Fault hooks model a misbehaving
+// in-path box: advertise the full Content-Length but close early
+// (truncation), or flip a payload byte while keeping the checksum header
+// honest (corruption).
 #pragma once
 
 #include <cstdint>
@@ -24,6 +32,23 @@ class OriginServer {
   std::uint16_t port() const { return port_; }
   std::size_t requestsServed() const { return served_; }
   std::size_t bytesIngested() const { return ingested_; }
+  std::size_t rangesServed() const { return ranges_served_; }
+
+  /// Fault hook: the next `count` object responses advertise the full
+  /// Content-Length but the connection closes after withholding the last
+  /// `cut_bytes` body bytes — a truncating middlebox / dying upstream.
+  void truncateNextResponses(int count, std::size_t cut_bytes) {
+    truncate_next_ = count;
+    truncate_cut_ = cut_bytes;
+  }
+  /// Fault hook: the next `count` object responses have one body byte
+  /// flipped while Content-Length and X-Checksum-FNV1a stay honest — only
+  /// checksum verification can catch it.
+  void corruptNextResponses(int count) { corrupt_next_ = count; }
+  /// Compatibility hook: when false, Range requests are answered with a
+  /// plain 200 + full body (the origin-without-Range-support case clients
+  /// must fall back from).
+  void setRangeSupported(bool supported) { range_supported_ = supported; }
 
  private:
   struct Conn {
@@ -31,6 +56,7 @@ class OriginServer {
     std::string in;
     std::string out;
     std::size_t out_sent = 0;
+    bool close_after_flush = false;
   };
 
   void onAccept();
@@ -45,6 +71,13 @@ class OriginServer {
   std::map<int, std::unique_ptr<Conn>> conns_;
   std::size_t served_ = 0;
   std::size_t ingested_ = 0;
+  std::size_t ranges_served_ = 0;
+  int truncate_next_ = 0;
+  std::size_t truncate_cut_ = 0;
+  int corrupt_next_ = 0;
+  bool range_supported_ = true;
+  /// FNV digests of full objects by size, cached (bodies are all-'x').
+  std::map<std::size_t, std::uint64_t> digest_cache_;
 };
 
 }  // namespace gol::proto

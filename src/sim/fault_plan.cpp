@@ -15,6 +15,7 @@ const char* toString(FaultKind kind) {
     case FaultKind::kStall: return "stall";
     case FaultKind::kPermitRevoke: return "revoke";
     case FaultKind::kCapExhaust: return "cap";
+    case FaultKind::kCorrupt: return "corrupt";
   }
   return "unknown";
 }
@@ -33,7 +34,8 @@ FaultPlan FaultPlan::randomized(std::uint64_t seed,
                                 const RandomFaultSpec& spec) {
   static const FaultKind kAll[] = {FaultKind::kPathKill, FaultKind::kPathFlap,
                                    FaultKind::kStall, FaultKind::kPermitRevoke,
-                                   FaultKind::kCapExhaust};
+                                   FaultKind::kCapExhaust,
+                                   FaultKind::kCorrupt};
   std::vector<FaultKind> kinds = spec.kinds;
   if (kinds.empty()) kinds.assign(std::begin(kAll), std::end(kAll));
 
@@ -94,8 +96,8 @@ namespace {
   throw std::invalid_argument(
       "bad fault spec '" + token + "': " + why +
       " (expected kind:target@time[+duration] with kind in "
-      "kill|flap|stall|revoke|cap, or rand:seed=N[,n=N][,horizon=S]"
-      "[,targets=a;b])");
+      "kill|flap|stall|revoke|cap|corrupt, or rand:seed=N[,n=N]"
+      "[,horizon=S][,targets=a;b])");
 }
 
 std::vector<std::string> split(const std::string& s, char sep) {
@@ -187,6 +189,8 @@ FaultPlan parseFaultPlan(const std::string& spec) {
       ev.kind = FaultKind::kPermitRevoke;
     } else if (kind == "cap") {
       ev.kind = FaultKind::kCapExhaust;
+    } else if (kind == "corrupt") {
+      ev.kind = FaultKind::kCorrupt;
     } else {
       badSpec(token, "unknown fault kind");
     }

@@ -22,6 +22,9 @@ enum class FaultKind {
   kPermitRevoke,  ///< MNO revokes all permits and refuses new ones for
                   ///< `duration_s` (network-integrated mode).
   kCapExhaust,    ///< Target phone's daily allowance is spent (OTT mode).
+  kCorrupt,       ///< In-flight payload is silently mangled (the cellular
+                  ///< middlebox rewriting bodies); caught only by the
+                  ///< engine's checksum verification.
 };
 
 const char* toString(FaultKind kind);
@@ -72,7 +75,7 @@ class FaultPlan {
 
 /// Parses the CLI grammar: a comma-separated list of
 ///   <kind>:<target>@<time>[+<duration>]
-/// with kinds kill|flap|stall|revoke|cap (revoke takes no target:
+/// with kinds kill|flap|stall|revoke|cap|corrupt (revoke takes no target:
 /// "revoke@30" or "revoke@30+60"), or a randomized spec
 ///   "rand:seed=7[,n=6][,horizon=120][,targets=a;b]".
 /// Throws std::invalid_argument with a usage hint on malformed input.

@@ -194,13 +194,16 @@ TEST(Engine, GoodputComputation) {
 // ---- Failure machinery ---------------------------------------------------
 
 /// Sums that must hold whatever faults hit: every byte any path moved is
-/// either delivered payload or accounted waste.
+/// delivered payload, salvaged checkpoint prefix, or accounted waste.
 void expectAccounting(const TransactionResult& res) {
-  double delivered = 0, wasted = 0;
+  double delivered = 0, salvaged = 0, wasted = 0;
   for (const auto& [name, b] : res.per_path_bytes) delivered += b;
+  for (const auto& [name, b] : res.per_path_salvaged_bytes) salvaged += b;
   for (const auto& [name, b] : res.per_path_wasted_bytes) wasted += b;
-  EXPECT_NEAR(delivered, res.delivered_bytes,
+  EXPECT_NEAR(delivered + salvaged, res.delivered_bytes,
               1e-6 * std::max(1.0, res.delivered_bytes));
+  EXPECT_NEAR(salvaged, res.salvaged_bytes,
+              1e-6 * std::max(1.0, res.salvaged_bytes));
   EXPECT_NEAR(wasted, res.wasted_bytes,
               1e-6 * std::max(1.0, res.wasted_bytes));
 }
@@ -208,6 +211,10 @@ void expectAccounting(const TransactionResult& res) {
 EngineConfig noJitterConfig() {
   EngineConfig cfg;
   cfg.retry.jitter = 0.0;  // exact-timing assertions below
+  // These tests pin down the legacy full-re-fetch retry machinery: every
+  // duration/waste figure below assumes a retry restarts from byte 0.
+  // Checkpoint-resume behavior is covered by integrity_resume_test.cpp.
+  cfg.resume = false;
   return cfg;
 }
 

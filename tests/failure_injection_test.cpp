@@ -20,13 +20,17 @@ namespace {
 using sim::mbps;
 
 /// The byte-accounting invariant every faulted run must keep: bytes moved
-/// by any path are either delivered payload or accounted waste.
+/// by any path are delivered payload, salvaged checkpoint prefix that a
+/// later attempt resumed past, or accounted waste.
 void expectAccounting(const TransactionResult& res) {
-  double delivered = 0, wasted = 0;
+  double delivered = 0, salvaged = 0, wasted = 0;
   for (const auto& [name, b] : res.per_path_bytes) delivered += b;
+  for (const auto& [name, b] : res.per_path_salvaged_bytes) salvaged += b;
   for (const auto& [name, b] : res.per_path_wasted_bytes) wasted += b;
-  EXPECT_NEAR(delivered, res.delivered_bytes,
+  EXPECT_NEAR(delivered + salvaged, res.delivered_bytes,
               1e-6 * std::max(1.0, res.delivered_bytes));
+  EXPECT_NEAR(salvaged, res.salvaged_bytes,
+              1e-6 * std::max(1.0, res.salvaged_bytes));
   EXPECT_NEAR(wasted, res.wasted_bytes,
               1e-6 * std::max(1.0, res.wasted_bytes));
 }
@@ -93,7 +97,9 @@ TEST(FailureInjection, AbortMidTransactionReleasesEverything) {
   for (auto& p : paths) {
     Item copy = item;
     copy.index = static_cast<std::uint32_t>(&p - paths.data());
-    p->start(copy, [&](const Item&) { ++completions; });
+    p->start(copy, [&](const Item&, const ItemResult&) {
+      ++completions;
+    });
   }
   home.simulator().runUntil(5.0);
   double moved = 0;

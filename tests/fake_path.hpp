@@ -1,8 +1,10 @@
 // A deterministic constant-rate TransferPath for scheduler/engine tests,
-// with failure knobs: scripted attempt failures, liveness flips, and
-// stalls (progress stops without an error, so only a watchdog notices).
+// with failure knobs: scripted attempt failures, liveness flips, stalls
+// (progress stops without an error, so only a watchdog notices) and
+// payload corruption (the attempt "completes" with a bad digest).
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <optional>
 #include <string>
@@ -21,32 +23,41 @@ class FakePath : public TransferPath {
   bool busy() const override { return item_.has_value(); }
   const Item* currentItem() const override { return item_ ? &*item_ : nullptr; }
   double nominalRateBps() const override { return rate_bps_; }
+  bool supportsResume() const override { return resume_supported_; }
 
   using TransferPath::start;
 
-  void start(const Item& item, DoneFn done) override {
+  void start(const Item& item, double offset, DoneFn done) override {
     item_ = item;
     started_at_ = sim_.now();
+    corrupted_ = false;
+    last_offset_ = offset;
+    remaining_ = std::max(item.bytes - offset, 0.0);
     ++starts_;
     if (fail_next_starts_ > 0) {
       --fail_next_starts_;
       event_ = sim_.scheduleIn(fail_after_s_, [this,
                                                done = std::move(done)] {
         const Item finished = *item_;
-        const double moved = movedSoFar();
+        const double moved = std::min(movedSoFar(), remaining_);
         item_.reset();
         event_ = 0;
-        done(finished, ItemResult::failed(moved, "injected-failure"));
+        // Everything received before the failure is a contiguous prefix.
+        done(finished, ItemResult::failed(moved, "injected-failure", moved));
       });
       return;
     }
-    event_ = sim_.scheduleIn(item.bytes * 8.0 / rate_bps_,
+    event_ = sim_.scheduleIn(remaining_ * 8.0 / rate_bps_,
                              [this, done = std::move(done)] {
                                const Item finished = *item_;
+                               const double moved = remaining_;
+                               const std::uint64_t digest =
+                                   corrupted_ ? ~finished.checksum
+                                              : finished.checksum;
                                item_.reset();
                                event_ = 0;
                                done(finished,
-                                    ItemResult::completed(finished.bytes));
+                                    ItemResult::completed(moved, digest));
                              });
   }
 
@@ -54,7 +65,8 @@ class FakePath : public TransferPath {
     if (!item_) return 0.0;
     if (event_ != 0) sim_.cancel(event_);
     event_ = 0;
-    const double moved = stalled_ ? stalled_bytes_ : movedSoFar();
+    const double moved =
+        std::min(stalled_ ? stalled_bytes_ : movedSoFar(), remaining_);
     stalled_ = false;
     ++aborts_;
     item_.reset();
@@ -69,6 +81,15 @@ class FakePath : public TransferPath {
     event_ = 0;
     stalled_ = true;
     stalled_bytes_ = movedSoFar();
+    return true;
+  }
+
+  /// Flips payload bits of the in-flight attempt: timing is untouched but
+  /// the completion digest no longer matches Item::checksum.
+  bool corruptCurrent() override {
+    if (!item_) return false;
+    corrupted_ = true;
+    ++corruptions_;
     return true;
   }
 
@@ -90,8 +111,13 @@ class FakePath : public TransferPath {
 
   /// Lets tests model mid-run rate changes (affects future items only).
   void setRate(double rate_bps) { rate_bps_ = rate_bps; }
+  /// Lets tests model a legacy path that cannot honor Range offsets.
+  void setResumeSupported(bool supported) { resume_supported_ = supported; }
   int starts() const { return starts_; }
   int aborts() const { return aborts_; }
+  int corruptions() const { return corruptions_; }
+  /// Offset the most recent start() was asked to resume from.
+  double lastOffset() const { return last_offset_; }
 
  private:
   double movedSoFar() const {
@@ -104,10 +130,15 @@ class FakePath : public TransferPath {
   std::optional<Item> item_;
   sim::EventId event_ = 0;
   double started_at_ = 0;
+  double remaining_ = 0;
+  double last_offset_ = 0;
+  bool resume_supported_ = true;
   bool stalled_ = false;
+  bool corrupted_ = false;
   double stalled_bytes_ = 0;
   int starts_ = 0;
   int aborts_ = 0;
+  int corruptions_ = 0;
   int fail_next_starts_ = 0;
   double fail_after_s_ = 0.1;
 };

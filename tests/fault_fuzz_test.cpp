@@ -33,11 +33,14 @@ int seedCount() {
 }
 
 void expectAccounting(const TransactionResult& res) {
-  double delivered = 0, wasted = 0;
+  double delivered = 0, salvaged = 0, wasted = 0;
   for (const auto& [name, b] : res.per_path_bytes) delivered += b;
+  for (const auto& [name, b] : res.per_path_salvaged_bytes) salvaged += b;
   for (const auto& [name, b] : res.per_path_wasted_bytes) wasted += b;
-  EXPECT_NEAR(delivered, res.delivered_bytes,
+  EXPECT_NEAR(delivered + salvaged, res.delivered_bytes,
               1e-6 * std::max(1.0, res.delivered_bytes));
+  EXPECT_NEAR(salvaged, res.salvaged_bytes,
+              1e-6 * std::max(1.0, res.salvaged_bytes));
   EXPECT_NEAR(wasted, res.wasted_bytes,
               1e-6 * std::max(1.0, res.wasted_bytes));
 }
@@ -67,6 +70,10 @@ TEST(FaultFuzz, RandomPlansTerminateWithBalancedBooks) {
     EngineConfig cfg;
     cfg.all_paths_down_grace_s = 5.0;  // bound the worst case
     cfg.retry.max_attempts = 3;
+    // Alternate the recovery knobs so the fuzz walks both the resume and
+    // the full-re-fetch machinery, with and without tail hedging.
+    cfg.resume = (seed % 2) == 0;
+    cfg.hedge_tail_items = (seed % 4) < 2 ? 2 : 0;
     TransactionEngine engine(sim, {&a, &b, &c}, *scheduler, cfg);
 
     FaultInjector injector(sim);
@@ -96,6 +103,60 @@ TEST(FaultFuzz, RandomPlansTerminateWithBalancedBooks) {
     std::size_t done = 0;
     for (double t : result->item_completion_s) done += t > 0 ? 1 : 0;
     EXPECT_EQ(done + result->failed_items, 15u);
+    injector.disarm();
+  }
+}
+
+TEST(FaultFuzz, MidItemKillAndCorruptPlansBalanceBooks) {
+  // Targeted plans built to land mid-item: the victim path dies (or its
+  // payload is corrupted) partway through a transfer, at a seed-varied
+  // time, with resume toggled. In-flight prefixes must end up salvaged or
+  // wasted — never silently delivered — and corrupt payloads must always
+  // be detected and retried.
+  const int seeds = std::max(4, seedCount());
+  for (int s = 0; s < seeds; ++s) {
+    const std::uint64_t seed = 0xc0de + static_cast<std::uint64_t>(s);
+    // 0.5 MB at 3 Mbps is ~1.3 s per item; kill inside the first item,
+    // corrupt whatever b carries a little later.
+    const double t_kill = 0.2 + 0.1 * static_cast<double>(s % 10);
+    const auto plan = sim::FaultPlan::scripted(
+        {{t_kill, sim::FaultKind::kPathKill, "a", 0.0},
+         {t_kill + 0.4, sim::FaultKind::kCorrupt, "b", 0.0},
+         {t_kill + 1.0, sim::FaultKind::kPathFlap, "c", 2.0}});
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " plan=" +
+                 plan.describe());
+
+    sim::Simulator sim;
+    FakePath a(sim, "a", mbps(8)), b(sim, "b", mbps(3)), c(sim, "c", mbps(1));
+    auto scheduler = SchedulerRegistry::instance().make("greedy");
+    EngineConfig cfg;
+    cfg.all_paths_down_grace_s = 5.0;
+    cfg.retry.max_attempts = 4;
+    cfg.resume = (seed % 2) == 0;
+    TransactionEngine engine(sim, {&a, &b, &c}, *scheduler, cfg);
+
+    FaultInjector injector(sim);
+    injector.addPath(&a);
+    injector.addPath(&b);
+    injector.addPath(&c);
+    injector.arm(plan);
+
+    std::optional<TransactionResult> result;
+    engine.run(makeTransaction(TransferDirection::kDownload,
+                               std::vector<double>(10, megabytes(0.5))),
+               [&](TransactionResult r) { result = std::move(r); });
+    sim.run();
+
+    ASSERT_TRUE(result.has_value());
+    EXPECT_FALSE(engine.active());
+    expectAccounting(*result);
+    // The corrupted delivery was caught, discarded, and retried.
+    EXPECT_GE(result->corrupt_payloads, 1u);
+    if (result->failed_items == 0) {
+      std::size_t done = 0;
+      for (double t : result->item_completion_s) done += t > 0 ? 1 : 0;
+      EXPECT_EQ(done, 10u);
+    }
     injector.disarm();
   }
 }

@@ -1,0 +1,346 @@
+// Partial-item resume, end-to-end integrity, and hedged tail requests:
+// the recovery semantics added on top of the engine's retry machinery.
+// Covers the salvage ledger (checkpoint bytes are salvaged, not wasted,
+// and re-fetch only the remaining range), checksum verification (corrupt
+// payloads are always detected and never silently delivered), the
+// hedge-tail knob (first completion wins, the loser is charged as waste),
+// and the multi-listener TransferPath state-change contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "core/result_json.hpp"
+#include "core/round_robin_scheduler.hpp"
+#include "fake_path.hpp"
+#include "sim/units.hpp"
+
+namespace gol::core {
+namespace {
+
+using sim::mbps;
+using sim::megabytes;
+using testing::FakePath;
+
+TransactionResult runToCompletion(sim::Simulator& sim,
+                                  TransactionEngine& engine,
+                                  Transaction txn) {
+  std::optional<TransactionResult> result;
+  engine.run(std::move(txn),
+             [&](TransactionResult r) { result = std::move(r); });
+  sim.run();
+  EXPECT_TRUE(result.has_value());
+  return *result;
+}
+
+/// The three-way ledger every run must balance: bytes moved are delivered
+/// payload, salvaged checkpoint prefix, or accounted waste.
+void expectAccounting(const TransactionResult& res) {
+  double delivered = 0, salvaged = 0, wasted = 0;
+  for (const auto& [name, b] : res.per_path_bytes) delivered += b;
+  for (const auto& [name, b] : res.per_path_salvaged_bytes) salvaged += b;
+  for (const auto& [name, b] : res.per_path_wasted_bytes) wasted += b;
+  EXPECT_NEAR(delivered + salvaged, res.delivered_bytes,
+              1e-6 * std::max(1.0, res.delivered_bytes));
+  EXPECT_NEAR(salvaged, res.salvaged_bytes,
+              1e-6 * std::max(1.0, res.salvaged_bytes));
+  EXPECT_NEAR(wasted, res.wasted_bytes,
+              1e-6 * std::max(1.0, res.wasted_bytes));
+}
+
+EngineConfig exactConfig() {
+  EngineConfig cfg;
+  cfg.retry.jitter = 0.0;  // exact-timing assertions below
+  return cfg;
+}
+
+/// One run of the acceptance scenario: path "a" dies mid-item, "b"
+/// finishes the transaction. Identical except for the resume knob.
+TransactionResult killMidItemRun(bool resume) {
+  sim::Simulator sim;
+  FakePath a(sim, "a", mbps(8)), b(sim, "b", mbps(8));
+  GreedyScheduler g;
+  EngineConfig cfg = exactConfig();
+  cfg.resume = resume;
+  TransactionEngine engine(sim, {&a, &b}, g, cfg);
+  // a has moved 0.5 MB of item0 when it dies; item0 re-queues onto b.
+  sim.scheduleAt(0.5, [&a] { a.die("mid-item-kill"); });
+  return runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload,
+                      {megabytes(2), megabytes(2)}));
+}
+
+TEST(IntegrityResume, KillMidItemResumeStrictlyReducesWaste) {
+  const auto off = killMidItemRun(false);
+  const auto on = killMidItemRun(true);
+  ASSERT_EQ(off.failed_items, 0u);
+  ASSERT_EQ(on.failed_items, 0u);
+  expectAccounting(off);
+  expectAccounting(on);
+
+  // Without resume the 0.5 MB prefix is pure waste; with it the retry
+  // fetches only the remaining 1.5 MB and the prefix is salvaged.
+  EXPECT_NEAR(off.wasted_bytes, 0.5 * mbps(8) / 8.0, 1);
+  EXPECT_NEAR(on.wasted_bytes, 0.0, 1);
+  EXPECT_NEAR(on.salvaged_bytes, 0.5 * mbps(8) / 8.0, 1);
+  EXPECT_EQ(on.resumed_attempts, 1u);
+  EXPECT_EQ(off.resumed_attempts, 0u);
+  // The acceptance criterion: strictly lower wasted fraction, same seed.
+  EXPECT_LT(on.wastedFraction(), off.wastedFraction());
+  EXPECT_GT(off.wastedFraction(), 0.0);
+  // Both runs deliver every byte exactly once.
+  EXPECT_NEAR(on.delivered_bytes, megabytes(4), 1);
+  EXPECT_NEAR(off.delivered_bytes, megabytes(4), 1);
+  // Resume also finishes sooner: b re-fetches 1.5 MB instead of 2 MB.
+  EXPECT_LT(on.duration_s, off.duration_s);
+}
+
+TEST(IntegrityResume, WatchdogSalvagesStalledPrefix) {
+  sim::Simulator sim;
+  FakePath p(sim, "p", mbps(8));
+  GreedyScheduler g;
+  TransactionEngine engine(sim, {&p}, g, exactConfig());
+  // Freeze at 0.5 s with 0.5 MB moved; the watchdog (6 s) reclaims the
+  // item and the retry resumes from the checkpoint.
+  sim.scheduleAt(0.5, [&p] { p.stallCurrent(); });
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload, {megabytes(1)}));
+  EXPECT_EQ(res.outcome, TransactionOutcome::kCompletedDegraded);
+  EXPECT_EQ(res.timeouts, 1u);
+  EXPECT_EQ(res.resumed_attempts, 1u);
+  // The aborted attempt's contiguous prefix is salvaged, not wasted.
+  EXPECT_NEAR(res.salvaged_bytes, 0.5 * mbps(8) / 8.0, 1);
+  EXPECT_NEAR(res.wasted_bytes, 0.0, 1);
+  EXPECT_NEAR(res.delivered_bytes, megabytes(1), 1);
+  // Watchdog at 6 s + backoff 0.5 s + remaining 0.5 MB at 8 Mbps (0.5 s).
+  EXPECT_NEAR(res.duration_s, 7.0, 1e-9);
+  expectAccounting(res);
+}
+
+TEST(IntegrityResume, ResumeDispatchPassesCheckpointOffset) {
+  sim::Simulator sim;
+  FakePath p(sim, "p", mbps(8));
+  GreedyScheduler g;
+  TransactionEngine engine(sim, {&p}, g, exactConfig());
+  sim.scheduleAt(0.5, [&p] { p.stallCurrent(); });
+  runToCompletion(sim, engine,
+                  makeTransaction(TransferDirection::kDownload,
+                                  {megabytes(1)}));
+  // The retry was asked to start at the salvaged byte offset.
+  EXPECT_NEAR(p.lastOffset(), 0.5 * mbps(8) / 8.0, 1);
+}
+
+TEST(IntegrityResume, LegacyPathWithoutResumeSupportRefetchesFromZero) {
+  sim::Simulator sim;
+  FakePath p(sim, "p", mbps(8));
+  p.setResumeSupported(false);
+  p.failNextStarts(1, 0.5);
+  GreedyScheduler g;
+  EngineConfig cfg = exactConfig();
+  cfg.quarantine.threshold = 100;
+  TransactionEngine engine(sim, {&p}, g, cfg);
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload, {megabytes(1)}));
+  EXPECT_EQ(res.failed_items, 0u);
+  // Nothing is salvageable on a path that cannot honor offsets: the
+  // prefix is waste and the retry starts over.
+  EXPECT_EQ(res.resumed_attempts, 0u);
+  EXPECT_NEAR(res.salvaged_bytes, 0.0, 1e-9);
+  EXPECT_NEAR(res.wasted_bytes, 0.5 * mbps(8) / 8.0, 1);
+  EXPECT_NEAR(p.lastOffset(), 0.0, 1e-9);
+  expectAccounting(res);
+}
+
+TEST(IntegrityResume, CorruptPayloadDetectedDiscardedAndRetried) {
+  sim::Simulator sim;
+  FakePath p(sim, "p", mbps(8));
+  GreedyScheduler g;
+  EngineConfig cfg = exactConfig();
+  cfg.quarantine.threshold = 100;
+  TransactionEngine engine(sim, {&p}, g, cfg);
+  // Middlebox mangles the first attempt mid-flight; length and timing
+  // stay plausible, only the digest can catch it.
+  sim.scheduleAt(0.5, [&p] { p.corruptCurrent(); });
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload, {megabytes(1)}));
+  EXPECT_EQ(res.outcome, TransactionOutcome::kCompletedDegraded);
+  EXPECT_EQ(res.corrupt_payloads, 1u);
+  EXPECT_EQ(res.retries, 1u);  // corruption burns retry budget
+  EXPECT_EQ(res.failed_items, 0u);
+  EXPECT_EQ(p.corruptions(), 1);
+  // The corrupt copy is discarded wholesale — nothing of it is salvaged
+  // or checkpointed, so the retry starts from byte 0.
+  EXPECT_NEAR(res.wasted_bytes, megabytes(1), 1);
+  EXPECT_NEAR(res.salvaged_bytes, 0.0, 1e-9);
+  EXPECT_NEAR(p.lastOffset(), 0.0, 1e-9);
+  EXPECT_NEAR(res.delivered_bytes, megabytes(1), 1);
+  expectAccounting(res);
+}
+
+TEST(IntegrityResume, PersistentCorruptionExhaustsBudgetAndFailsItem) {
+  sim::Simulator sim;
+  FakePath p(sim, "p", mbps(8));
+  GreedyScheduler g;
+  EngineConfig cfg = exactConfig();
+  cfg.retry.max_attempts = 2;
+  cfg.quarantine.threshold = 100;
+  TransactionEngine engine(sim, {&p}, g, cfg);
+  // Corrupt every attempt: poll-and-mangle whenever the path is busy.
+  std::function<void()> mangle = [&] {
+    p.corruptCurrent();
+    if (engine.active()) sim.scheduleIn(0.4, mangle);
+  };
+  sim.scheduleAt(0.5, mangle);
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload, {megabytes(1)}));
+  // The outcome lattice lands on partial failure, never silent delivery.
+  EXPECT_EQ(res.outcome, TransactionOutcome::kPartialFailure);
+  EXPECT_EQ(res.failed_items, 1u);
+  EXPECT_GE(res.corrupt_payloads, 2u);
+  EXPECT_DOUBLE_EQ(res.delivered_bytes, 0.0);
+  expectAccounting(res);
+}
+
+TEST(IntegrityResume, VerificationOffDeliversWithoutChecking) {
+  sim::Simulator sim;
+  FakePath p(sim, "p", mbps(8));
+  GreedyScheduler g;
+  EngineConfig cfg = exactConfig();
+  cfg.verify_checksums = false;
+  TransactionEngine engine(sim, {&p}, g, cfg);
+  sim.scheduleAt(0.5, [&p] { p.corruptCurrent(); });
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload, {megabytes(1)}));
+  // Documents the knob: with verification off the mangled payload sails
+  // through as a clean completion.
+  EXPECT_EQ(res.outcome, TransactionOutcome::kCompleted);
+  EXPECT_EQ(res.corrupt_payloads, 0u);
+  EXPECT_EQ(res.retries, 0u);
+  EXPECT_NEAR(res.delivered_bytes, megabytes(1), 1);
+  expectAccounting(res);
+}
+
+TEST(IntegrityResume, HedgedTailDuplicateFirstCompletionWins) {
+  sim::Simulator sim;
+  FakePath fast(sim, "fast", mbps(8)), slow(sim, "slow", mbps(1));
+  // Round-robin never duplicates on its own, so any duplicate here is the
+  // engine's hedge.
+  auto rr = SchedulerRegistry::instance().make("rr");
+  EngineConfig cfg = exactConfig();
+  cfg.hedge_tail_items = 1;
+  TransactionEngine engine(sim, {&fast, &slow}, *rr, cfg);
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload,
+                      {megabytes(1), megabytes(1)}));
+  EXPECT_EQ(res.failed_items, 0u);
+  EXPECT_EQ(res.hedges, 1u);
+  EXPECT_EQ(res.hedge_wins, 1u);
+  EXPECT_EQ(res.duplicated_items, 1u);
+  // fast: item0 done at 1 s, hedges item1, done at 2 s — instead of slow
+  // grinding to 8 s. The aborted loser is charged as waste.
+  EXPECT_NEAR(res.duration_s, 2.0, 1e-9);
+  EXPECT_NEAR(res.wasted_bytes, 2.0 * mbps(1) / 8.0, 1);
+  EXPECT_NEAR(res.delivered_bytes, megabytes(2), 1);
+  expectAccounting(res);
+}
+
+TEST(IntegrityResume, HedgingOffLeavesTailOnSlowPath) {
+  sim::Simulator sim;
+  FakePath fast(sim, "fast", mbps(8)), slow(sim, "slow", mbps(1));
+  auto rr = SchedulerRegistry::instance().make("rr");
+  EngineConfig cfg = exactConfig();
+  cfg.hedge_tail_items = 0;
+  TransactionEngine engine(sim, {&fast, &slow}, *rr, cfg);
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload,
+                      {megabytes(1), megabytes(1)}));
+  EXPECT_EQ(res.hedges, 0u);
+  EXPECT_EQ(res.duplicated_items, 0u);
+  EXPECT_NEAR(res.duration_s, 8.0, 1e-9);  // the stragglers problem
+  expectAccounting(res);
+}
+
+TEST(IntegrityResume, HedgeLoserSalvageNeverDoubleCounts) {
+  // Hedge + kill interplay: the hedged winner completes while the primary
+  // carrier dies mid-flight. Books must still balance and every item is
+  // delivered exactly once.
+  sim::Simulator sim;
+  FakePath fast(sim, "fast", mbps(8)), slow(sim, "slow", mbps(1));
+  auto rr = SchedulerRegistry::instance().make("rr");
+  EngineConfig cfg = exactConfig();
+  cfg.hedge_tail_items = 1;
+  TransactionEngine engine(sim, {&fast, &slow}, *rr, cfg);
+  sim.scheduleAt(1.5, [&slow] { slow.die("mid-hedge-kill"); });
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload,
+                      {megabytes(1), megabytes(1)}));
+  EXPECT_EQ(res.failed_items, 0u);
+  EXPECT_NEAR(res.delivered_bytes, megabytes(2), 1);
+  expectAccounting(res);
+}
+
+TEST(IntegrityResume, StateListenersAreNotClobbered) {
+  // Regression: TransferPath used to keep a single onStateChange slot, so
+  // an external observer registering after the engine silently disabled
+  // the engine's own death handling. Both listeners must now fire.
+  sim::Simulator sim;
+  FakePath a(sim, "a", mbps(8)), b(sim, "b", mbps(8));
+  GreedyScheduler g;
+  TransactionEngine engine(sim, {&a, &b}, g, exactConfig());
+
+  std::vector<std::string> observed;
+  const auto id = a.addStateListener(
+      [&](TransferPath& path, bool alive, const std::string& reason) {
+        observed.push_back(path.name() + (alive ? ":up:" : ":down:") +
+                           reason);
+      });
+  sim.scheduleAt(0.5, [&a] { a.die("observer-test"); });
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload,
+                      {megabytes(2), megabytes(2)}));
+  // The engine still saw the death (it re-queued a's item onto b)...
+  EXPECT_EQ(res.failed_items, 0u);
+  ASSERT_EQ(res.failed_paths.size(), 1u);
+  EXPECT_EQ(res.failed_paths[0], "a");
+  // ...and so did the external observer.
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_EQ(observed[0], "a:down:observer-test");
+  a.removeStateListener(id);
+  a.revive("after-removal");
+  EXPECT_EQ(observed.size(), 1u);  // removed listeners stay silent
+  expectAccounting(res);
+}
+
+TEST(IntegrityResume, ResultJsonCarriesRecoveryFields) {
+  sim::Simulator sim;
+  FakePath p(sim, "p", mbps(8));
+  GreedyScheduler g;
+  TransactionEngine engine(sim, {&p}, g, exactConfig());
+  sim.scheduleAt(0.5, [&p] { p.stallCurrent(); });
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload, {megabytes(1)}));
+  const std::string json = transactionResultJson(res);
+  EXPECT_NE(json.find("\"salvaged_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"resumed_attempts\""), std::string::npos);
+  EXPECT_NE(json.find("\"corrupt_payloads\""), std::string::npos);
+  EXPECT_NE(json.find("\"hedges\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_path_salvaged_bytes\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gol::core

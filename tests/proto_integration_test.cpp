@@ -223,11 +223,12 @@ TEST(ProtoIntegration, SocketResetMidItemRetriesElsewhere) {
   EXPECT_EQ(res.outcome, FetchOutcome::kCompletedDegraded);
   ASSERT_EQ(res.failed_endpoints.size(), 1u);
   EXPECT_EQ(res.failed_endpoints[0], "phone0");
-  // The reset attempt's partial body is waste, not delivery.
-  EXPECT_GT(res.wasted_bytes, 0u);
+  // The reset attempt's partial body is either waste or a salvaged
+  // checkpoint a later Range attempt resumed past — never silent delivery.
+  EXPECT_GT(res.wasted_bytes + res.salvaged_bytes, 0u);
   std::size_t delivered = 0;
   for (const auto& [name, b] : res.per_endpoint_bytes) delivered += b;
-  EXPECT_EQ(delivered, 6u * 150000u);
+  EXPECT_EQ(delivered + res.salvaged_bytes, 6u * 150000u);
 }
 
 TEST(ProtoIntegration, ProxyVanishesThenReturns) {
@@ -263,7 +264,10 @@ TEST(ProtoIntegration, ProxyVanishesThenReturns) {
   EXPECT_EQ(res.failed_items, 0u);
   EXPECT_GE(res.retries, 1u);
   EXPECT_EQ(res.outcome, FetchOutcome::kCompletedDegraded);
-  EXPECT_EQ(res.per_endpoint_bytes.at("phone0"), 4u * 80000u);
+  // Tail bytes re-fetched after the outage plus the salvaged checkpoints
+  // cover the full payload.
+  EXPECT_EQ(res.per_endpoint_bytes.at("phone0") + res.salvaged_bytes,
+            4u * 80000u);
 }
 
 TEST(ProtoIntegration, AbortRacesDoneOnDuplicatedItem) {
@@ -298,6 +302,103 @@ TEST(ProtoIntegration, AbortRacesDoneOnDuplicatedItem) {
   EXPECT_EQ(delivered, 100000u);
   EXPECT_LT(res.wasted_bytes, 100000u);
   EXPECT_EQ(origin.requestsServed(), 2u);
+}
+
+TEST(ProtoIntegration, TruncatedResponseIsNeverSilentlyCompleted) {
+  // The origin advertises Content-Length N but the connection dies k bytes
+  // short (truncating middlebox / expiring upstream). The honest header
+  // means the client knows the body is short: the attempt must surface as
+  // a failure with its prefix checkpointed, and the retry must resume with
+  // a Range request rather than silently delivering a short object.
+  EpollLoop loop;
+  OriginServer origin(loop);
+  origin.truncateNextResponses(1, 40000);  // close 40 KB short of 120 KB
+  ClientConfig ccfg;
+  ccfg.base_backoff = std::chrono::milliseconds(50);
+  MultipathHttpClient client(loop, {{"direct", origin.port()}}, ccfg);
+  const auto res =
+      client.run(makeItems(1, 120000), std::chrono::milliseconds(10000));
+  ASSERT_TRUE(res.complete);
+  EXPECT_EQ(res.outcome, FetchOutcome::kCompletedDegraded);
+  EXPECT_EQ(res.failed_items, 0u);
+  EXPECT_GE(res.retries, 1u);  // the short body never counted as done
+  // The retry picked up from the checkpoint: a Range request the origin
+  // answered with 206.
+  EXPECT_GE(res.resumed_attempts, 1u);
+  EXPECT_GE(origin.rangesServed(), 1u);
+  EXPECT_GT(res.salvaged_bytes, 0u);
+  std::size_t delivered = 0;
+  for (const auto& [name, b] : res.per_endpoint_bytes) delivered += b;
+  EXPECT_EQ(delivered + res.salvaged_bytes, 120000u);
+}
+
+TEST(ProtoIntegration, TruncationWithNoRetryBudgetFailsTheItem) {
+  // Same truncation, but the retry budget is one attempt: the item must
+  // land in kFailed — a short payload is never promoted to completed.
+  EpollLoop loop;
+  OriginServer origin(loop);
+  origin.truncateNextResponses(1, 40000);
+  ClientConfig ccfg;
+  ccfg.max_attempts = 1;
+  MultipathHttpClient client(loop, {{"direct", origin.port()}}, ccfg);
+  const auto res =
+      client.run(makeItems(1, 120000), std::chrono::milliseconds(10000));
+  EXPECT_FALSE(res.complete);  // a short payload never counts as delivered
+  EXPECT_EQ(res.outcome, FetchOutcome::kPartialFailure);
+  EXPECT_EQ(res.failed_items, 1u);
+  std::size_t delivered = 0;
+  for (const auto& [name, b] : res.per_endpoint_bytes) delivered += b;
+  EXPECT_EQ(delivered, 0u);  // nothing credited as payload
+}
+
+TEST(ProtoIntegration, CorruptedBodyIsDetectedAndRefetched) {
+  // The origin mangles one response body but still sends the true
+  // X-Checksum-FNV1a header. Length checks pass; only digest verification
+  // can catch it. The client must discard the copy and re-fetch.
+  EpollLoop loop;
+  OriginServer origin(loop);
+  origin.corruptNextResponses(1);
+  ClientConfig ccfg;
+  ccfg.base_backoff = std::chrono::milliseconds(50);
+  MultipathHttpClient client(loop, {{"direct", origin.port()}}, ccfg);
+  const auto res =
+      client.run(makeItems(2, 60000), std::chrono::milliseconds(10000));
+  ASSERT_TRUE(res.complete);
+  EXPECT_EQ(res.outcome, FetchOutcome::kCompletedDegraded);
+  EXPECT_EQ(res.failed_items, 0u);
+  EXPECT_GE(res.corrupt_payloads, 1u);
+  EXPECT_GE(res.retries, 1u);
+  // The corrupt copy is pure waste — its bytes are never salvaged into a
+  // checkpoint the clean re-fetch could inherit.
+  EXPECT_GE(res.wasted_bytes, 60000u);
+  std::size_t delivered = 0;
+  for (const auto& [name, b] : res.per_endpoint_bytes) delivered += b;
+  EXPECT_EQ(delivered + res.salvaged_bytes, 2u * 60000u);
+}
+
+TEST(ProtoIntegration, ResumeFallsBackToFullFetchWithoutRangeSupport) {
+  // A legacy origin ignores Range and answers 200 with the whole object.
+  // The resumed attempt must accept the full body, reclaim its now-useless
+  // checkpoint as waste, and still deliver the exact payload.
+  EpollLoop loop;
+  OriginServer origin(loop);
+  origin.setRangeSupported(false);
+  origin.truncateNextResponses(1, 40000);  // force a mid-item failure
+  ClientConfig ccfg;
+  ccfg.base_backoff = std::chrono::milliseconds(50);
+  MultipathHttpClient client(loop, {{"direct", origin.port()}}, ccfg);
+  const auto res =
+      client.run(makeItems(1, 120000), std::chrono::milliseconds(10000));
+  ASSERT_TRUE(res.complete);
+  EXPECT_EQ(res.failed_items, 0u);
+  EXPECT_GE(res.resumed_attempts, 1u);  // the client did ask for a Range
+  EXPECT_EQ(origin.rangesServed(), 0u);  // ...which the origin ignored
+  // The checkpoint was reclaimed: everything delivered came from the 200.
+  EXPECT_EQ(res.salvaged_bytes, 0u);
+  EXPECT_GT(res.wasted_bytes, 0u);
+  std::size_t delivered = 0;
+  for (const auto& [name, b] : res.per_endpoint_bytes) delivered += b;
+  EXPECT_EQ(delivered, 120000u);
 }
 
 TEST(ProtoIntegration, EmptyTransactionCompletesImmediately) {

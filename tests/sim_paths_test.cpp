@@ -43,7 +43,10 @@ TEST_F(SimPathsTest, AdslPathLifecycle) {
   EXPECT_GT(adsl.nominalRateBps(), 0.0);
 
   std::optional<Item> done;
-  adsl.start(item(megabytes(1)), [&](const Item& it) { done = it; });
+  adsl.start(item(megabytes(1)),
+             [&](const Item& it, const ItemResult&) {
+               done = it;
+             });
   EXPECT_TRUE(adsl.busy());
   ASSERT_NE(adsl.currentItem(), nullptr);
   EXPECT_EQ(adsl.currentItem()->bytes, megabytes(1));
@@ -60,12 +63,16 @@ TEST_F(SimPathsTest, AdslWarmSecondTransferFaster) {
 
   std::optional<double> first, second;
   const double t0 = sim.now();
-  adsl.start(item(megabytes(0.5), 0), [&](const Item&) {
-    first = sim.now() - t0;
-    const double t1 = sim.now();
-    adsl.start(item(megabytes(0.5), 1),
-               [&, t1](const Item&) { second = sim.now() - t1; });
-  });
+  adsl.start(item(megabytes(0.5), 0),
+             [&](const Item&, const ItemResult&) {
+               first = sim.now() - t0;
+               const double t1 = sim.now();
+               adsl.start(item(megabytes(0.5), 1),
+                          [&, t1](const Item&,
+                                  const ItemResult&) {
+                            second = sim.now() - t1;
+                          });
+             });
   sim.run();
   ASSERT_TRUE(first && second);
   EXPECT_LT(*second, *first);  // keep-alive skips the handshake
@@ -75,7 +82,10 @@ TEST_F(SimPathsTest, AdslAbortStopsCallbackAndReturnsBytes) {
   auto paths = home_->makePaths(TransferDirection::kDownload, 0);
   TransferPath& adsl = *paths[0];
   bool fired = false;
-  adsl.start(item(megabytes(50)), [&](const Item&) { fired = true; });
+  adsl.start(item(megabytes(50)),
+             [&](const Item&, const ItemResult&) {
+               fired = true;
+             });
   home_->simulator().runUntil(10.0);
   const double moved = adsl.abortCurrent();
   EXPECT_GT(moved, 0.0);
@@ -90,7 +100,10 @@ TEST_F(SimPathsTest, CellularPathPaysRrcFromIdle) {
   TransferPath& phone = *paths[1];
   auto& sim = home_->simulator();
   std::optional<double> cold;
-  phone.start(item(megabytes(0.5)), [&](const Item&) { cold = sim.now(); });
+  phone.start(item(megabytes(0.5)),
+              [&](const Item&, const ItemResult&) {
+                cold = sim.now();
+              });
   sim.run();
   ASSERT_TRUE(cold.has_value());
   EXPECT_GT(*cold, home_->phone(0).config().rrc.idle_to_dch_s);
@@ -100,7 +113,10 @@ TEST_F(SimPathsTest, CellularAbortDuringPromotionIsClean) {
   auto paths = home_->makePaths(TransferDirection::kDownload, 1);
   TransferPath& phone = *paths[1];
   bool fired = false;
-  phone.start(item(megabytes(1)), [&](const Item&) { fired = true; });
+  phone.start(item(megabytes(1)),
+              [&](const Item&, const ItemResult&) {
+                fired = true;
+              });
   // Abort before the RRC promotion delay elapses: nothing has moved.
   EXPECT_DOUBLE_EQ(phone.abortCurrent(), 0.0);
   home_->simulator().run();
@@ -112,7 +128,8 @@ TEST_F(SimPathsTest, CellularAbortDuringPromotionIsClean) {
 TEST_F(SimPathsTest, CellularMeteredBytesTrackPayloadPlusOverhead) {
   auto paths = home_->makePaths(TransferDirection::kDownload, 1);
   TransferPath& phone = *paths[1];
-  phone.start(item(megabytes(2)), [](const Item&) {});
+  phone.start(item(megabytes(2)),
+              [](const Item&, const ItemResult&) {});
   home_->simulator().run();
   // Metering sees wire bytes (payload / tcp efficiency).
   EXPECT_GE(home_->phone(0).meteredBytes(), megabytes(2));
@@ -125,9 +142,13 @@ TEST_F(SimPathsTest, UploadPathsUseUplinkResources) {
   std::optional<double> adsl_t, phone_t;
   const double t0 = sim.now();
   paths[0]->start(item(megabytes(1), 0),
-                  [&](const Item&) { adsl_t = sim.now() - t0; });
+                  [&](const Item&, const ItemResult&) {
+                    adsl_t = sim.now() - t0;
+                  });
   paths[1]->start(item(megabytes(1), 1),
-                  [&](const Item&) { phone_t = sim.now() - t0; });
+                  [&](const Item&, const ItemResult&) {
+                    phone_t = sim.now() - t0;
+                  });
   sim.run();
   ASSERT_TRUE(adsl_t && phone_t);
   // loc1 uplink is 0.83 Mbps: ~10 s for 1 MB; the phone should differ.

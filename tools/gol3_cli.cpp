@@ -40,7 +40,13 @@ void addEngineArgs(cli::ArgParser& args) {
                  "per-attempt deadline = k x estimated transfer time", 6.0);
   args.addString("fault-plan",
                  "inject faults: kind:target@time[+dur],... with kinds "
-                 "kill|flap|stall|revoke|cap, or rand:seed=N[,n=N]", "");
+                 "kill|flap|stall|revoke|cap|corrupt, or rand:seed=N[,n=N]",
+                 "");
+  args.addInt("hedge-tail", "duplicate the oldest in-flight item onto idle "
+              "paths when at most N items remain (0 = off)", 0);
+  args.addFlag("no-resume", "retries re-fetch items from byte 0 instead of "
+               "resuming from the salvaged checkpoint");
+  args.addFlag("no-verify", "skip end-to-end payload checksum verification");
   args.addFlag("json", "print the transaction result as JSON");
 }
 
@@ -59,6 +65,9 @@ bool engineFromArgs(const cli::ArgParser& args, std::string& scheduler,
   engine.retry.max_attempts = static_cast<int>(args.getInt("max-attempts"));
   engine.retry.base_backoff_s = args.getDouble("backoff");
   engine.watchdog.k = args.getDouble("watchdog-k");
+  engine.hedge_tail_items = static_cast<int>(args.getInt("hedge-tail"));
+  engine.resume = !args.getFlag("no-resume");
+  engine.verify_checksums = !args.getFlag("no-verify");
   const std::string plan = args.getString("fault-plan");
   if (!plan.empty()) faults = sim::parseFaultPlan(plan);
   return true;
