@@ -5,9 +5,13 @@
 // variants far ahead of ADSL alone; gains do not double with the second
 // phone.
 #include <cstdio>
+#include <memory>
+#include <optional>
 
 #include "bench_util.hpp"
+#include "core/engine.hpp"
 #include "core/vod_session.hpp"
+#include "flow/oracle.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/units.hpp"
 #include "stats/summary.hpp"
@@ -26,6 +30,61 @@ constexpr double kPaper2Ph[4][4] = {{41, 20, 11, 8},
                                     {65, 24, 15, 10},
                                     {83, 29, 23, 15},
                                     {127, 38, 37, 21}};
+
+/// Constant-rate resumable TransferPath for the optimality-gap sweep: the
+/// oracle bound is exact for piecewise-constant capacity profiles, so the
+/// sweep runs over paths whose profile the oracle can mirror exactly
+/// (radio jitter would blur the bound into an estimate).
+class ConstRatePath : public gol::core::TransferPath {
+ public:
+  ConstRatePath(gol::sim::Simulator& sim, std::string name, double rate_bps)
+      : sim_(sim), name_(std::move(name)), rate_bps_(rate_bps) {}
+
+  const std::string& name() const override { return name_; }
+  bool busy() const override { return item_.has_value(); }
+  const gol::core::Item* currentItem() const override {
+    return item_ ? &*item_ : nullptr;
+  }
+  double nominalRateBps() const override { return rate_bps_; }
+  bool supportsResume() const override { return true; }
+
+  using gol::core::TransferPath::start;
+
+  void start(const gol::core::Item& item, double offset,
+             DoneFn done) override {
+    item_ = item;
+    started_at_ = sim_.now();
+    remaining_ = std::max(item.bytes - offset, 0.0);
+    event_ = sim_.scheduleIn(remaining_ * 8.0 / rate_bps_,
+                             [this, done = std::move(done)] {
+                               const gol::core::Item finished = *item_;
+                               const double moved = remaining_;
+                               item_.reset();
+                               event_ = 0;
+                               done(finished, gol::core::ItemResult::completed(
+                                                  moved, finished.checksum));
+                             });
+  }
+
+  double abortCurrent() override {
+    if (!item_) return 0.0;
+    sim_.cancel(event_);
+    event_ = 0;
+    const double moved =
+        std::min((sim_.now() - started_at_) * rate_bps_ / 8.0, remaining_);
+    item_.reset();
+    return moved;
+  }
+
+ private:
+  gol::sim::Simulator& sim_;
+  std::string name_;
+  double rate_bps_;
+  std::optional<gol::core::Item> item_;
+  gol::sim::EventId event_ = 0;
+  double started_at_ = 0;
+  double remaining_ = 0;
+};
 
 }  // namespace
 
@@ -145,6 +204,103 @@ int main(int argc, char** argv) {
     reg.gauge("gol.bench.fig06_wasted_fraction", {{"resume", "on"}})
         .set(on);
   }
+  // GRD-vs-OPT optimality gap: deterministic constant-rate paths whose
+  // capacity profiles the offline oracle mirrors exactly, so `gap =
+  // makespan / lower bound` is a true optimality gap, not an estimate.
+  // Swept across cluster sizes (ADSL + N phones) and fault plans; any
+  // policy landing below 1.0 would mean the engine invented bytes.
+  {
+    std::printf("\n-- GRD vs OPT optimality gap (constant-rate paths) --\n");
+    const double kPhoneRates[] = {sim::mbps(2.4), sim::mbps(1.8),
+                                  sim::mbps(3.0), sim::mbps(1.2)};
+    const int max_phones = args.quick ? 2 : 4;
+    // 16 items, sizes cycling 2/1/0.5/4 MB: enough skew that reserving the
+    // fast path matters, the regime where GRD pays for greediness.
+    std::vector<double> items;
+    for (int i = 0; i < 16; ++i) {
+      const double mb[] = {2.0, 1.0, 0.5, 4.0};
+      items.push_back(mb[i % 4] * 1e6);
+    }
+    const char* faults[] = {"none", "kill", "flap"};
+    const double kill_at = 3.0, flap_at = 2.0, flap_dur = 3.0;
+
+    stats::Table t({"paths", "fault", "bound s", "GRD s (gap)",
+                    "OPT s (gap)"});
+    auto& reg = telemetry::Registry::global();
+    for (int phones = 1; phones <= max_phones; ++phones) {
+      for (const char* fault : faults) {
+        // Rates: ADSL at 2 Mbps plus the phone cluster. Fault events hit
+        // path 1 (the first phone) so every cluster size sees them.
+        std::vector<double> rates{sim::mbps(2.0)};
+        for (int p = 0; p < phones; ++p) rates.push_back(kPhoneRates[p]);
+
+        std::vector<flow::PathProfile> profiles;
+        for (std::size_t p = 0; p < rates.size(); ++p) {
+          if (std::string(fault) == "kill" && p == 1) {
+            profiles.push_back(flow::PathProfile::killedAt(rates[p], kill_at));
+          } else if (std::string(fault) == "flap" && p == 1) {
+            profiles.push_back(
+                flow::PathProfile::flap(rates[p], flap_at, flap_dur));
+          } else {
+            profiles.push_back(flow::PathProfile::constant(rates[p]));
+          }
+        }
+        const double bound = flow::makespanLowerBound(items, profiles);
+
+        auto run_policy = [&](const char* policy) {
+          sim::Simulator simulator;
+          std::vector<std::unique_ptr<ConstRatePath>> paths;
+          std::vector<core::TransferPath*> raw;
+          for (std::size_t p = 0; p < rates.size(); ++p) {
+            paths.push_back(std::make_unique<ConstRatePath>(
+                simulator, "p" + std::to_string(p), rates[p]));
+            raw.push_back(paths.back().get());
+          }
+          if (std::string(fault) == "kill") {
+            simulator.scheduleAt(kill_at,
+                                 [&] { paths[1]->setAlive(false, "kill"); });
+          } else if (std::string(fault) == "flap") {
+            simulator.scheduleAt(flap_at,
+                                 [&] { paths[1]->setAlive(false, "flap"); });
+            simulator.scheduleAt(flap_at + flap_dur,
+                                 [&] { paths[1]->setAlive(true, "flap"); });
+          }
+          auto sched = core::SchedulerRegistry::instance().make(policy);
+          core::TransactionEngine engine(simulator, raw, *sched);
+          std::optional<core::TransactionResult> result;
+          engine.run(core::makeTransaction(core::TransferDirection::kDownload,
+                                           items),
+                     [&](core::TransactionResult r) { result = std::move(r); });
+          simulator.run();
+          return result->duration_s;
+        };
+
+        const double grd = run_policy("greedy");
+        const double opt = run_policy("opt");
+        t.addRow({std::to_string(phones + 1), fault,
+                  stats::Table::num(bound, 2),
+                  stats::Table::num(grd, 2) + " (" +
+                      stats::Table::num(grd / bound, 3) + ")",
+                  stats::Table::num(opt, 2) + " (" +
+                      stats::Table::num(opt / bound, 3) + ")"});
+        const telemetry::Labels base{{"cluster", std::to_string(phones + 1)},
+                                     {"fault", fault}};
+        auto labeled = [&](const char* policy) {
+          telemetry::Labels l = base;
+          l["policy"] = policy;
+          return l;
+        };
+        reg.gauge("gol.bench.fig06_optgap_bound_s", base).set(bound);
+        reg.gauge("gol.bench.fig06_optgap", labeled("greedy")).set(grd / bound);
+        reg.gauge("gol.bench.fig06_optgap", labeled("opt")).set(opt / bound);
+      }
+    }
+    t.print();
+    std::printf("(gap = makespan / oracle lower bound; 1.000 is provably "
+                "unimprovable)\n");
+    bench::exportMetrics("fig06_optgap");
+  }
+
   bench::exportMetrics("fig06_scheduler_comparison");
   return 0;
 }

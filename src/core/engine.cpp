@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <tuple>
 #include <cmath>
 #include <stdexcept>
 
@@ -345,7 +346,9 @@ std::optional<std::size_t> TransactionEngine::hedgeCandidate(
     if (std::find(iv.carriers.begin(), iv.carriers.end(), path_index) !=
         iv.carriers.end())
       continue;
-    if (!best || iv.first_assigned_at < best_t) {
+    // Explicit (first_assigned_at, index) key, matching the schedulers'
+    // tie-break convention.
+    if (!best || std::tie(iv.first_assigned_at, i) < std::tie(best_t, *best)) {
       best = i;
       best_t = iv.first_assigned_at;
     }

@@ -1,6 +1,7 @@
 #include "core/greedy_scheduler.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 namespace gol::core {
 
@@ -24,8 +25,12 @@ std::optional<std::size_t> GreedyScheduler::nextItem(const EngineView& view,
     if (std::find(iv.carriers.begin(), iv.carriers.end(), path_index) !=
         iv.carriers.end())
       continue;
-    if (!oldest || iv.first_assigned_at <
-                       items[*oldest].first_assigned_at) {
+    // Explicit (first_assigned_at, index) key: equal timestamps — common
+    // when a burst of items is dispatched at t=0 — resolve to the lowest
+    // index instead of depending on scan order.
+    if (!oldest ||
+        std::tie(iv.first_assigned_at, i) <
+            std::tie(items[*oldest].first_assigned_at, *oldest)) {
       oldest = i;
     }
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <tuple>
 
 #include "sim/units.hpp"
 
@@ -42,7 +43,10 @@ std::size_t MinTimeScheduler::assignItem(std::size_t item) {
       if (!up_[p]) continue;
       const double t =
           item_bytes_[item] * sim::kBitsPerByte / estimates_[p].value();
-      if (t < best) {
+      // Explicit (estimate, path-id) key: identical estimates — e.g.
+      // symmetric nominal rates before any sample lands — resolve to the
+      // lowest path index instead of depending on scan order.
+      if (std::tie(t, p) < std::tie(best, target)) {
         best = t;
         target = p;
       }

@@ -1,0 +1,175 @@
+#include "core/opt_scheduler.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "telemetry/metrics.hpp"
+
+namespace gol::core {
+
+namespace {
+constexpr double kMinRateBps = 1e3;
+}  // namespace
+
+OptScheduler::OptScheduler(flow::TenConfig config, double alpha)
+    : config_(config), alpha_(alpha) {}
+
+void OptScheduler::onTransactionStart(
+    const Transaction& txn, const std::vector<double>& nominal_rates_bps) {
+  std::vector<double> bytes;
+  bytes.reserve(txn.items.size());
+  for (const Item& it : txn.items) bytes.push_back(it.bytes);
+  std::vector<double> rates;
+  rates.reserve(nominal_rates_bps.size());
+  for (const double r : nominal_rates_bps) {
+    rates.push_back(std::max(r, kMinRateBps));
+  }
+  estimates_.assign(rates.size(), stats::Ewma(alpha_));
+  for (std::size_t p = 0; p < rates.size(); ++p) {
+    estimates_[p].update(rates[p]);
+  }
+  up_.assign(rates.size(), 1);
+  published_ = flow::SolveStats{};
+  ten_ = std::make_unique<flow::TimeExpandedNetwork>(std::move(bytes),
+                                                     std::move(rates),
+                                                     config_);
+  ten_->solveScratch();
+  plan_ = ten_->extractPlan();
+  dirty_ = false;
+  publishStats();
+}
+
+void OptScheduler::refresh(const EngineView& view) {
+  const auto& items = *view.items;
+  for (std::size_t i = 0; i < items.size() && i < ten_->itemCount(); ++i) {
+    double remaining = 0;
+    if (items[i].status != ItemStatus::kDone &&
+        items[i].status != ItemStatus::kFailed) {
+      remaining =
+          std::max(items[i].item->bytes - items[i].checkpoint_bytes, 0.0);
+    }
+    ten_->setItemRemaining(i, remaining);
+  }
+  for (std::size_t p = 0; p < ten_->pathCount(); ++p) {
+    ten_->setPathUp(p, p < up_.size() && up_[p] != 0);
+    if (p < estimates_.size()) {
+      ten_->setPathRate(p, std::max(estimates_[p].value(), kMinRateBps));
+    }
+  }
+  ten_->resolveIncremental();
+  plan_ = ten_->extractPlan();
+  dirty_ = false;
+  publishStats();
+}
+
+std::optional<std::size_t> OptScheduler::nextItem(const EngineView& view,
+                                                  std::size_t path_index) {
+  if (!ten_) return std::nullopt;
+  if (dirty_) refresh(view);
+  const auto& items = *view.items;
+
+  // Planned work for this path first (in planned order), then the
+  // earliest-planned pending item anywhere — never idle while work exists.
+  std::optional<std::size_t> best;
+  std::tuple<int, double, std::size_t> best_key;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].status != ItemStatus::kPending) continue;
+    const flow::ItemPlan plan =
+        i < plan_.size() ? plan_[i] : flow::ItemPlan{};
+    const std::tuple<int, double, std::size_t> key{
+        plan.path == path_index ? 0 : 1, plan.order_key, i};
+    if (!best || key < best_key) {
+      best = i;
+      best_key = key;
+    }
+  }
+  if (best) return best;
+
+  // Pending pool dry: duplicate the oldest in-flight item this path is not
+  // already carrying — GRD's tail re-scheduling, with the explicit
+  // (first_assigned_at, index) tie-break.
+  std::optional<std::size_t> oldest;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const ItemView& iv = items[i];
+    if (iv.status != ItemStatus::kInFlight) continue;
+    if (std::find(iv.carriers.begin(), iv.carriers.end(), path_index) !=
+        iv.carriers.end())
+      continue;
+    if (!oldest ||
+        std::tie(iv.first_assigned_at, i) <
+            std::tie(items[*oldest].first_assigned_at, *oldest)) {
+      oldest = i;
+    }
+  }
+  return oldest;
+}
+
+void OptScheduler::onItemComplete(std::size_t path_index, const Item& item,
+                                  double seconds) {
+  if (path_index < estimates_.size() && seconds > 1e-9) {
+    estimates_[path_index].update(item.bytes * 8.0 / seconds);
+  }
+  dirty_ = true;
+}
+
+void OptScheduler::onItemRequeued(std::size_t) { dirty_ = true; }
+
+void OptScheduler::onPathDown(std::size_t path_index) {
+  if (path_index >= up_.size() || !up_[path_index]) return;
+  up_[path_index] = 0;
+  dirty_ = true;
+}
+
+void OptScheduler::onPathUp(std::size_t path_index) {
+  if (path_index >= up_.size()) return;
+  if (!up_[path_index]) dirty_ = true;
+  up_[path_index] = 1;
+}
+
+void OptScheduler::onPathAdded(std::size_t path_index,
+                               double nominal_rate_bps) {
+  if (path_index >= up_.size()) {
+    up_.resize(path_index + 1, 1);
+    estimates_.resize(path_index + 1, stats::Ewma(alpha_));
+  }
+  estimates_[path_index].update(std::max(nominal_rate_bps, kMinRateBps));
+  up_[path_index] = 1;
+  if (ten_) {
+    while (ten_->pathCount() <= path_index) {
+      ten_->addPath(std::max(nominal_rate_bps, kMinRateBps));
+    }
+    dirty_ = true;
+  }
+}
+
+double OptScheduler::estimatedRateBps(std::size_t path_index) const {
+  return estimates_.at(path_index).value();
+}
+
+const flow::SolveStats* OptScheduler::solveStats() const {
+  return ten_ ? &ten_->stats() : nullptr;
+}
+
+void OptScheduler::publishStats() {
+  const flow::SolveStats& s = ten_->stats();
+  auto& reg = telemetry::Registry::global();
+  const auto push = [&reg](const char* name, std::size_t now,
+                           std::size_t& before) {
+    if (now > before) {
+      reg.counter(name).inc(static_cast<double>(now - before));
+      before = now;
+    }
+  };
+  push("gol.opt.scratch_solves", s.scratch_solves, published_.scratch_solves);
+  push("gol.opt.resolves", s.resolves, published_.resolves);
+  push("gol.opt.spfa_runs", s.spfa_runs, published_.spfa_runs);
+  push("gol.opt.arc_relaxations", s.arc_relaxations,
+       published_.arc_relaxations);
+  push("gol.opt.augmentations", s.augmentations, published_.augmentations);
+  push("gol.opt.repair_walks", s.repair_walks, published_.repair_walks);
+  push("gol.opt.cycles_cancelled", s.cycles_cancelled,
+       published_.cycles_cancelled);
+  reg.counter("gol.opt.plan_refreshes").inc();
+}
+
+}  // namespace gol::core

@@ -1,0 +1,74 @@
+// OPT: flow-driven scheduler answering ROADMAP's "how far from optimal is
+// GRD?". Each transaction becomes a time-expanded min-cost-flow network
+// (flow/ten.hpp): the solve routes every item's remaining demand into
+// (path, time-slot) capacity at minimum estimated completion time, and the
+// extracted plan tells each idle path which item to pull next.
+//
+// Live operation is event-driven and incremental: completions, checkpoint
+// advances, requeues, path churn and rate drift mark the plan dirty; the
+// next dispatch patches the residual network in place and re-solves only
+// the affected flow (MinCostFlow::resolve), not the whole network. Rate
+// estimates are the same EWMA(0.75) blend MIN uses, seeded from nominal
+// rates.
+//
+// Dispatch stays work-conserving — an idle path first takes pending work
+// the plan routed to it (in planned order), then steals the
+// earliest-planned pending item wherever it was routed, and once the
+// pending pool is dry duplicates the oldest in-flight item exactly like
+// GRD's tail re-scheduling — so OPT never idles a usable path and is never
+// worse than GRD at the tail.
+//
+// Solver effort is published to telemetry::Registry::global() as
+// gol.opt.* counters (scratch solves, incremental resolves, SPFA runs, arc
+// relaxations, augmentations, repair walks, cancelled cycles, plan
+// refreshes) for the micro_perf incremental-vs-scratch comparison.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "flow/ten.hpp"
+#include "stats/ewma.hpp"
+
+namespace gol::core {
+
+class OptScheduler : public Scheduler {
+ public:
+  explicit OptScheduler(flow::TenConfig config = {}, double alpha = 0.75);
+
+  std::string name() const override { return "opt"; }
+
+  void onTransactionStart(const Transaction& txn,
+                          const std::vector<double>& nominal_rates_bps) override;
+  std::optional<std::size_t> nextItem(const EngineView& view,
+                                      std::size_t path_index) override;
+  void onItemComplete(std::size_t path_index, const Item& item,
+                      double seconds) override;
+  void onItemRequeued(std::size_t item_index) override;
+  void onPathDown(std::size_t path_index) override;
+  void onPathUp(std::size_t path_index) override;
+  void onPathAdded(std::size_t path_index, double nominal_rate_bps) override;
+
+  double estimatedRateBps(std::size_t path_index) const;
+  /// Cumulative solver work counters (this scheduler's network).
+  const flow::SolveStats* solveStats() const;
+
+ private:
+  /// Patches the network from the engine's current view (remaining bytes,
+  /// liveness, rate estimates), re-solves incrementally and re-extracts
+  /// the plan.
+  void refresh(const EngineView& view);
+  void publishStats();
+
+  flow::TenConfig config_;
+  double alpha_;
+  std::unique_ptr<flow::TimeExpandedNetwork> ten_;
+  std::vector<flow::ItemPlan> plan_;
+  std::vector<stats::Ewma> estimates_;
+  std::vector<std::uint8_t> up_;
+  bool dirty_ = false;
+  flow::SolveStats published_;  ///< Stats already pushed to telemetry.
+};
+
+}  // namespace gol::core

@@ -5,6 +5,7 @@
 
 #include "core/greedy_scheduler.hpp"
 #include "core/min_time_scheduler.hpp"
+#include "core/opt_scheduler.hpp"
 #include "core/round_robin_scheduler.hpp"
 
 namespace gol::core {
@@ -87,6 +88,8 @@ const SchedulerRegistrar kRr("rr",
                              [] { return std::make_unique<RoundRobinScheduler>(); });
 const SchedulerRegistrar kMin("min",
                               [] { return std::make_unique<MinTimeScheduler>(); });
+const SchedulerRegistrar kOpt("opt",
+                              [] { return std::make_unique<OptScheduler>(); });
 }  // namespace
 
 std::unique_ptr<Scheduler> makeScheduler(const std::string& policy) {

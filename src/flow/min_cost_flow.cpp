@@ -1,0 +1,306 @@
+#include "flow/min_cost_flow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace gol::flow {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+MinCostFlow::NodeId MinCostFlow::addNode() {
+  first_arc_.push_back(-1);
+  potential_.push_back(0.0);
+  return static_cast<NodeId>(first_arc_.size() - 1);
+}
+
+MinCostFlow::ArcId MinCostFlow::addArc(NodeId from, NodeId to, double cap,
+                                       double cost) {
+  if (from < 0 || to < 0 ||
+      static_cast<std::size_t>(from) >= first_arc_.size() ||
+      static_cast<std::size_t>(to) >= first_arc_.size()) {
+    throw std::invalid_argument("MinCostFlow::addArc: unknown node");
+  }
+  if (cap < 0) throw std::invalid_argument("MinCostFlow::addArc: cap < 0");
+  const ArcId id = static_cast<ArcId>(arcs_.size());
+  arcs_.push_back(Arc{to, first_arc_[static_cast<std::size_t>(from)], cap,
+                      0.0, cost});
+  first_arc_[static_cast<std::size_t>(from)] = id;
+  arcs_.push_back(Arc{from, first_arc_[static_cast<std::size_t>(to)], 0.0,
+                      0.0, -cost});
+  first_arc_[static_cast<std::size_t>(to)] = id + 1;
+  return id;
+}
+
+void MinCostFlow::setArcCapacity(ArcId a, double cap) {
+  Arc& arc = arcs_[toIndex(a)];
+  const double old_residual = arc.cap - arc.flow;
+  arc.cap = cap;
+  if (arc.flow > cap + kFlowEps) {
+    stranded_.push_back(a);
+  } else if (cap - arc.flow > kFlowEps && old_residual <= kFlowEps) {
+    // Raising capacity on a saturated arc re-opens a residual arc whose
+    // reduced cost may be negative: it can close a negative residual cycle
+    // with the reverse arcs of flow the old optimum was forced to route
+    // elsewhere. SPFA does not terminate on one, so resolve() must cancel
+    // cycles before re-augmenting.
+    costs_dirty_ = true;
+  }
+}
+
+void MinCostFlow::setArcCost(ArcId a, double cost) {
+  Arc& arc = arcs_[toIndex(a)];
+  if (arc.cost == cost) return;
+  arc.cost = cost;
+  arcs_[toIndex(a) ^ 1].cost = -cost;
+  // A cost change under an arc carrying flow can invalidate optimality
+  // (its reverse residual arc may now close a negative cycle).
+  if (arc.flow > kFlowEps) costs_dirty_ = true;
+}
+
+bool MinCostFlow::shortestPath(NodeId source, NodeId sink) {
+  ++stats_.spfa_runs;
+  const std::size_t n = first_arc_.size();
+  dist_.assign(n, kInf);
+  parent_arc_.assign(n, -1);
+  in_queue_.assign(n, 0);
+  dist_[static_cast<std::size_t>(source)] = 0.0;
+  std::deque<NodeId> queue{source};
+  in_queue_[static_cast<std::size_t>(source)] = 1;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    const auto ui = static_cast<std::size_t>(u);
+    in_queue_[ui] = 0;
+    for (ArcId a = first_arc_[ui]; a != -1; a = arcs_[toIndex(a)].next) {
+      ++stats_.arc_relaxations;
+      const Arc& arc = arcs_[toIndex(a)];
+      if (residual(toIndex(a)) <= kFlowEps) continue;
+      // Reduced cost keeps magnitudes small once potentials settle; SPFA
+      // itself tolerates the negative values patches can re-open.
+      const double rc = arc.cost + potential_[ui] -
+                        potential_[static_cast<std::size_t>(arc.to)];
+      const double nd = dist_[ui] + rc;
+      const auto vi = static_cast<std::size_t>(arc.to);
+      if (nd + kFlowEps < dist_[vi]) {
+        dist_[vi] = nd;
+        parent_arc_[vi] = a;
+        if (!in_queue_[vi]) {
+          in_queue_[vi] = 1;
+          // SLF heuristic: promising nodes jump the queue.
+          if (!queue.empty() &&
+              dist_[static_cast<std::size_t>(queue.front())] > nd) {
+            queue.push_front(arc.to);
+          } else {
+            queue.push_back(arc.to);
+          }
+        }
+      }
+    }
+  }
+  return dist_[static_cast<std::size_t>(sink)] < kInf;
+}
+
+double MinCostFlow::augment(NodeId source, NodeId sink) {
+  double bottleneck = kInfCap;
+  for (NodeId v = sink; v != source;) {
+    const ArcId a = parent_arc_[static_cast<std::size_t>(v)];
+    bottleneck = std::min(bottleneck, residual(toIndex(a)));
+    v = tail(toIndex(a));
+  }
+  for (NodeId v = sink; v != source;) {
+    const ArcId a = parent_arc_[static_cast<std::size_t>(v)];
+    arcs_[toIndex(a)].flow += bottleneck;
+    arcs_[toIndex(a) ^ 1].flow -= bottleneck;
+    v = tail(toIndex(a));
+  }
+  ++stats_.augmentations;
+  return bottleneck;
+}
+
+void MinCostFlow::augmentToMax(NodeId source, NodeId sink) {
+  while (shortestPath(source, sink)) {
+    // Fold distances into the potentials so the next run sees reduced
+    // costs near zero again (unreached nodes keep their old potential).
+    for (std::size_t v = 0; v < potential_.size(); ++v) {
+      if (dist_[v] < kInf) potential_[v] += dist_[v];
+    }
+    augment(source, sink);
+  }
+}
+
+MinCostFlow::Result MinCostFlow::solve(NodeId source, NodeId sink) {
+  ++stats_.scratch_solves;
+  for (Arc& a : arcs_) a.flow = 0.0;
+  stranded_.clear();
+  costs_dirty_ = false;
+  potential_.assign(first_arc_.size(), 0.0);
+  augmentToMax(source, sink);
+  return {flowValue(source), totalCost()};
+}
+
+double MinCostFlow::cancelFlowWalk(NodeId from, NodeId goal, double amount,
+                                   bool forward) {
+  // Trace a path of flow-carrying arcs from `from` to `goal` (forward =
+  // along arc direction, toward the sink; backward = against it, toward
+  // the source) and reduce flow along it. Flow built by shortest-path
+  // augmentation decomposes into source->sink paths (it never contains
+  // cycles), so conservation guarantees the walk reaches `goal` while the
+  // drained amount is positive; the visited guard turns any numerical
+  // corner into a clean stop rather than a spin.
+  double drained = 0.0;
+  while (amount - drained > kFlowEps) {
+    std::vector<ArcId> path;
+    std::vector<std::uint8_t> visited(first_arc_.size(), 0);
+    NodeId u = from;
+    visited[static_cast<std::size_t>(u)] = 1;
+    while (u != goal) {
+      ArcId pick = -1;
+      for (ArcId a = first_arc_[static_cast<std::size_t>(u)]; a != -1;
+           a = arcs_[toIndex(a)].next) {
+        const std::size_t idx = toIndex(a);
+        // Outgoing flow leaves via forward arcs (flow > 0); incoming flow
+        // is found from the head side through reverse arcs (mate's flow).
+        const std::size_t fwd = forward ? idx : (idx ^ 1);
+        if ((idx & 1u) == (forward ? 1u : 0u)) continue;
+        if (arcs_[fwd].flow <= kFlowEps) continue;
+        if (visited[static_cast<std::size_t>(arcs_[idx].to)]) continue;
+        pick = a;
+        break;
+      }
+      if (pick == -1) return drained;  // numerically dry; caller re-augments
+      path.push_back(pick);
+      u = arcs_[toIndex(pick)].to;
+      visited[static_cast<std::size_t>(u)] = 1;
+    }
+    double step = amount - drained;
+    for (ArcId a : path) {
+      const std::size_t fwd = forward ? toIndex(a) : (toIndex(a) ^ 1);
+      step = std::min(step, arcs_[fwd].flow);
+    }
+    if (step <= kFlowEps) return drained;
+    for (ArcId a : path) {
+      const std::size_t fwd = forward ? toIndex(a) : (toIndex(a) ^ 1);
+      arcs_[fwd].flow -= step;
+      arcs_[fwd ^ 1].flow += step;
+    }
+    drained += step;
+    ++stats_.repair_walks;
+  }
+  return drained;
+}
+
+void MinCostFlow::drainThrough(NodeId via, NodeId source, NodeId sink,
+                               double excess) {
+  // Removing flow on an arc u->v leaves u with surplus inflow and v with
+  // missing inflow; cancel the surplus back to the source and the orphaned
+  // onward flow down to the sink, shrinking the total flow by `excess`
+  // (re-augmentation routes it again along surviving arcs).
+  (void)sink;
+  cancelFlowWalk(via, source, excess, /*forward=*/false);
+}
+
+void MinCostFlow::cancelNegativeCycles() {
+  // Bellman-Ford from a virtual super-source (dist 0 everywhere); a node
+  // still relaxable after n rounds sits on a negative residual cycle.
+  // Cancelling along the cycle strictly lowers cost, so iteration
+  // terminates at the optimum.
+  const std::size_t n = first_arc_.size();
+  for (;;) {
+    dist_.assign(n, 0.0);
+    parent_arc_.assign(n, -1);
+    ++stats_.spfa_runs;
+    NodeId relaxed = -1;
+    for (std::size_t round = 0; round < n; ++round) {
+      relaxed = -1;
+      for (std::size_t idx = 0; idx < arcs_.size(); ++idx) {
+        ++stats_.arc_relaxations;
+        if (residual(idx) <= kFlowEps) continue;
+        const NodeId u = tail(idx);
+        const NodeId v = arcs_[idx].to;
+        const double nd = dist_[static_cast<std::size_t>(u)] + arcs_[idx].cost;
+        if (nd + 1e-9 < dist_[static_cast<std::size_t>(v)]) {
+          dist_[static_cast<std::size_t>(v)] = nd;
+          parent_arc_[static_cast<std::size_t>(v)] =
+              static_cast<ArcId>(idx);
+          relaxed = v;
+        }
+      }
+      if (relaxed == -1) break;
+    }
+    if (relaxed == -1) return;  // no negative cycle remains
+
+    // Walk parents n steps to land inside the cycle, then collect it.
+    NodeId x = relaxed;
+    for (std::size_t i = 0; i < n; ++i) {
+      x = tail(toIndex(parent_arc_[static_cast<std::size_t>(x)]));
+    }
+    std::vector<ArcId> cycle;
+    for (NodeId v = x;;) {
+      const ArcId a = parent_arc_[static_cast<std::size_t>(v)];
+      cycle.push_back(a);
+      v = tail(toIndex(a));
+      if (v == x) break;
+    }
+    double step = kInfCap;
+    for (ArcId a : cycle) step = std::min(step, residual(toIndex(a)));
+    if (step <= kFlowEps) return;  // degenerate; nothing to move
+    for (ArcId a : cycle) {
+      arcs_[toIndex(a)].flow += step;
+      arcs_[toIndex(a) ^ 1].flow -= step;
+    }
+    ++stats_.cycles_cancelled;
+  }
+}
+
+MinCostFlow::Result MinCostFlow::resolve(NodeId source, NodeId sink) {
+  ++stats_.resolves;
+  // 1. Feasibility: drain flow stranded by capacity cuts.
+  for (const ArcId a : stranded_) {
+    Arc& arc = arcs_[toIndex(a)];
+    const double excess = arc.flow - arc.cap;
+    if (excess <= kFlowEps) continue;  // later patch already resolved it
+    arc.flow -= excess;
+    arcs_[toIndex(a) ^ 1].flow += excess;
+    // The tail now has surplus inflow; cancel it back to the source. The
+    // head's missing inflow is cancelled down to the sink.
+    cancelFlowWalk(tail(toIndex(a)), source, excess, /*forward=*/false);
+    cancelFlowWalk(arc.to, sink, excess, /*forward=*/true);
+    costs_dirty_ = true;  // freed capacity may re-open cheaper routes
+  }
+  stranded_.clear();
+  // 2. Optimality: patched costs or freed arcs can leave negative cycles.
+  if (costs_dirty_) {
+    cancelNegativeCycles();
+    costs_dirty_ = false;
+  }
+  // 3. Max flow again, from the repaired solution.
+  augmentToMax(source, sink);
+  return {flowValue(source), totalCost()};
+}
+
+double MinCostFlow::totalCost() const {
+  double cost = 0.0;
+  for (std::size_t idx = 0; idx < arcs_.size(); idx += 2) {
+    cost += arcs_[idx].flow * arcs_[idx].cost;
+  }
+  return cost;
+}
+
+double MinCostFlow::flowValue(NodeId source) const {
+  double out = 0.0;
+  for (ArcId a = first_arc_[static_cast<std::size_t>(source)]; a != -1;
+       a = arcs_[toIndex(a)].next) {
+    if ((toIndex(a) & 1u) == 0) {
+      out += arcs_[toIndex(a)].flow;
+    } else {
+      out -= arcs_[toIndex(a) ^ 1].flow;
+    }
+  }
+  return out;
+}
+
+}  // namespace gol::flow

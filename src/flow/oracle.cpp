@@ -1,0 +1,143 @@
+#include "flow/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gol::flow {
+
+namespace {
+constexpr double kBitsPerByte = 8.0;
+constexpr double kEps = 1e-9;
+
+/// Rate of a profile at instant t: gaps before/between segments are 0; the
+/// last segment's rate extends forever (see header).
+double rateAt(const PathProfile& profile, double t) {
+  double last_end = -1;
+  double last_rate = 0;
+  for (const CapacitySegment& s : profile.segments) {
+    if (t >= s.t0 && t < s.t1) return s.rate_bps;
+    if (s.t1 > last_end) {
+      last_end = s.t1;
+      last_rate = s.rate_bps;
+    }
+  }
+  if (last_end >= 0 && t >= last_end) return last_rate;
+  return 0;
+}
+
+/// Cap^(k)(T) for k = 1..P: integral over [0, T] of the sum of the k
+/// largest instantaneous rates, in bytes. caps[k-1] holds Cap^(k).
+std::vector<double> rankedCapacities(const std::vector<PathProfile>& paths,
+                                     double T) {
+  std::vector<double> breaks{0.0, T};
+  for (const PathProfile& p : paths) {
+    for (const CapacitySegment& s : p.segments) {
+      if (s.t0 > 0 && s.t0 < T) breaks.push_back(s.t0);
+      if (s.t1 > 0 && s.t1 < T) breaks.push_back(s.t1);
+    }
+  }
+  std::sort(breaks.begin(), breaks.end());
+  breaks.erase(std::unique(breaks.begin(), breaks.end()), breaks.end());
+
+  std::vector<double> caps(paths.size(), 0.0);
+  std::vector<double> rates(paths.size());
+  for (std::size_t b = 0; b + 1 < breaks.size(); ++b) {
+    const double len = breaks[b + 1] - breaks[b];
+    if (len <= 0) continue;
+    const double mid = 0.5 * (breaks[b] + breaks[b + 1]);
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      rates[p] = std::max(rateAt(paths[p], mid), 0.0);
+    }
+    std::sort(rates.begin(), rates.end(), std::greater<double>());
+    double prefix = 0;
+    for (std::size_t k = 0; k < rates.size(); ++k) {
+      prefix += rates[k];
+      caps[k] += prefix / kBitsPerByte * len;
+    }
+  }
+  return caps;
+}
+}  // namespace
+
+PathProfile PathProfile::constant(double rate_bps) {
+  return PathProfile{{{0, std::numeric_limits<double>::infinity(), rate_bps}}};
+}
+
+PathProfile PathProfile::killedAt(double rate_bps, double t_kill) {
+  // Trailing zero segment pins the post-kill rate at 0 forever.
+  return PathProfile{{{0, t_kill, rate_bps},
+                      {t_kill, t_kill + 1, 0}}};
+}
+
+PathProfile PathProfile::flap(double rate_bps, double t_down, double dur) {
+  return PathProfile{{{0, t_down, rate_bps},
+                      {t_down, t_down + dur, 0},
+                      {t_down + dur,
+                       std::numeric_limits<double>::infinity(), rate_bps}}};
+}
+
+double PathProfile::capacityBytes(double t) const {
+  std::vector<double> breaks{0.0, t};
+  for (const CapacitySegment& s : segments) {
+    if (s.t0 > 0 && s.t0 < t) breaks.push_back(s.t0);
+    if (s.t1 > 0 && s.t1 < t) breaks.push_back(s.t1);
+  }
+  std::sort(breaks.begin(), breaks.end());
+  double cap = 0;
+  for (std::size_t b = 0; b + 1 < breaks.size(); ++b) {
+    const double len = breaks[b + 1] - breaks[b];
+    if (len <= 0) continue;
+    cap += std::max(rateAt(*this, 0.5 * (breaks[b] + breaks[b + 1])), 0.0) /
+           kBitsPerByte * len;
+  }
+  return cap;
+}
+
+double makespanLowerBound(const std::vector<double>& item_bytes,
+                          const std::vector<PathProfile>& paths) {
+  std::vector<double> sorted(item_bytes);
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double total = 0;
+  for (const double b : sorted) total += b;
+  if (total <= kEps) return 0;
+  if (paths.empty()) return std::numeric_limits<double>::infinity();
+
+  // prefix[k] = sum of the k largest items, k = 1..min(P, M).
+  const std::size_t kmax = std::min(paths.size(), sorted.size());
+  std::vector<double> prefix(kmax + 1, 0.0);
+  for (std::size_t k = 1; k <= kmax; ++k) prefix[k] = prefix[k - 1] + sorted[k - 1];
+
+  // Feasibility of horizon T: the capacity available to any k concurrent
+  // items — each occupies at most one path at a time, so collectively at
+  // most the k pointwise-largest rates — must cover the k largest demands,
+  // and the full fleet must cover the total. These are exactly the tight
+  // cuts of the preemptive-schedule max-flow (Federgruen-Groenevelt), so
+  // the binary search below computes the LP/flow lower bound.
+  const double tol = 1e-9 * std::max(total, 1.0);
+  const auto feasible = [&](double T) {
+    const std::vector<double> caps = rankedCapacities(paths, T);
+    for (std::size_t k = 1; k <= kmax; ++k) {
+      if (prefix[k] > caps[k - 1] + tol) return false;
+    }
+    return total <= caps.back() + tol;
+  };
+
+  double hi = 1.0;
+  while (!feasible(hi)) {
+    hi *= 2;
+    if (hi > 1e12) return std::numeric_limits<double>::infinity();
+  }
+  double lo = 0;
+  for (int iter = 0; iter < 200 && hi - lo > 1e-9 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace gol::flow

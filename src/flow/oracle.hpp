@@ -1,0 +1,62 @@
+// Offline optimality oracle: a lower bound on the makespan any scheduler
+// could have achieved on a completed transaction, from the item sizes and
+// the paths' ground-truth capacity profiles (piecewise-constant rates, with
+// faults — kills, flaps, stalls — as zero-rate segments).
+//
+// The bound is the classic R||Cmax relaxation (Lenstra-Shmoys-Tardos
+// style): binary-search the horizon T, testing feasibility with a max-flow
+//   source -> item_i        (cap bytes_i)
+//   item_i -> path_p        (cap Cap_p(T))
+//   path_p -> sink          (cap Cap_p(T))
+// where Cap_p(T) = bytes path p can move in [0, T] under its profile. All
+// demand fits iff max flow == total bytes. The flow relaxation splits items
+// freely, so it is strengthened with the unsplittability bound
+//   max_i min_p T_p(bytes_i)
+// (no item can finish before the fastest path could carry it alone); the
+// oracle returns the max of the two. A naive continuous time-expanded
+// formulation collapses to the aggregate water-fill bound (fully divisible
+// items make only total capacity bind) — the per-item-per-path caps here
+// are what keep the bound non-degenerate.
+//
+// Contract with the engine: every completed trace must have
+// duration >= makespanLowerBound(...) - eps. A policy finishing below the
+// bound means the engine's byte accounting or the capacity profiles are
+// wrong — this is asserted in tests as a regression check.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gol::flow {
+
+/// Constant-rate stretch [t0, t1) of a path's ground-truth capacity.
+/// Profiles are closed by their last segment: capacity beyond the final t1
+/// continues at that segment's rate (use a trailing zero-rate segment for a
+/// path that died for good).
+struct CapacitySegment {
+  double t0 = 0;
+  double t1 = 0;
+  double rate_bps = 0;
+};
+
+struct PathProfile {
+  std::vector<CapacitySegment> segments;
+
+  /// Convenience: a path that runs at `rate_bps` forever.
+  static PathProfile constant(double rate_bps);
+  /// A path that runs at `rate_bps` and dies for good at `t_kill`.
+  static PathProfile killedAt(double rate_bps, double t_kill);
+  /// A path that runs at `rate_bps` except during [t_down, t_down + dur).
+  static PathProfile flap(double rate_bps, double t_down, double dur);
+
+  /// Bytes this path can move in [0, t].
+  double capacityBytes(double t) const;
+};
+
+/// Lower bound (seconds) on the makespan of delivering `item_bytes` over
+/// `paths`. Returns +inf when the demand can never be met (all capacity
+/// permanently exhausted below the total).
+double makespanLowerBound(const std::vector<double>& item_bytes,
+                          const std::vector<PathProfile>& paths);
+
+}  // namespace gol::flow

@@ -1,0 +1,230 @@
+#include "flow/ten.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <tuple>
+
+namespace gol::flow {
+
+namespace {
+constexpr double kBitsPerByte = 8.0;
+constexpr double kEps = 1e-9;
+}  // namespace
+
+TimeExpandedNetwork::TimeExpandedNetwork(std::vector<double> item_bytes,
+                                         std::vector<double> path_rates_bps,
+                                         TenConfig config)
+    : config_(config), item_remaining_(std::move(item_bytes)) {
+  if (config_.slots_per_path == 0) {
+    throw std::invalid_argument("TEN: slots_per_path must be > 0");
+  }
+  double total_bytes = 0;
+  double min_bytes = std::numeric_limits<double>::infinity();
+  for (const double b : item_remaining_) {
+    total_bytes += b;
+    if (b > kEps) min_bytes = std::min(min_bytes, b);
+  }
+  unit_bytes_ = std::isfinite(min_bytes) ? min_bytes : 1.0;
+
+  double total_rate = 0;
+  for (const double r : path_rates_bps) total_rate += std::max(r, 0.0);
+  const double ideal_s =
+      total_rate > kEps ? total_bytes * kBitsPerByte / total_rate : 1.0;
+  horizon_s_ = std::max(config_.horizon_slack * ideal_s, 1e-3);
+  slot_dur_s_ = horizon_s_ / static_cast<double>(config_.slots_per_path);
+
+  source_ = net_.addNode();
+  sink_ = net_.addNode();
+  overflow_ = net_.addNode();
+  net_.addArc(overflow_, sink_, MinCostFlow::kInfCap, 0.0);
+
+  const double penalty = config_.overflow_penalty_factor * horizon_s_;
+  item_node_.reserve(item_remaining_.size());
+  for (std::size_t i = 0; i < item_remaining_.size(); ++i) {
+    const MinCostFlow::NodeId node = net_.addNode();
+    item_node_.push_back(node);
+    source_arc_.push_back(
+        net_.addArc(source_, node, unitsFor(item_remaining_[i]), 0.0));
+    overflow_arc_.push_back(
+        net_.addArc(node, overflow_, MinCostFlow::kInfCap, penalty));
+  }
+  assign_arc_.assign(item_remaining_.size(), {});
+  // Paths go in through addPath so construction and dynamic growth share
+  // one code path (and one arc-creation order).
+  for (const double r : path_rates_bps) addPath(r);
+}
+
+double TimeExpandedNetwork::unitsFor(double bytes) const {
+  if (bytes <= kEps) return 0.0;
+  return std::max(1.0, std::ceil(bytes / unit_bytes_ - 1e-6));
+}
+
+void TimeExpandedNetwork::refreshSlotCaps(std::size_t path) {
+  // Integral slot capacities via cumulative-floor differencing: slot t gets
+  // floor(cum(t+1)) - floor(cum(t)) units, so a slow path's fractional
+  // per-slot capacity accumulates into whole units (a plain per-slot floor
+  // would zero such paths out of the network entirely) and the per-path
+  // total stays within one unit of the true horizon capacity.
+  const double rate =
+      path_up_[path] ? std::max(path_rate_bps_[path], 0.0) : 0.0;
+  const double units_per_slot = rate / kBitsPerByte * slot_dur_s_ / unit_bytes_;
+  double assigned = 0;
+  for (std::size_t t = 0; t < slot_arc_[path].size(); ++t) {
+    const double cum =
+        std::floor(units_per_slot * static_cast<double>(t + 1) + 1e-6);
+    net_.setArcCapacity(slot_arc_[path][t], cum - assigned);
+    assigned = cum;
+  }
+}
+
+void TimeExpandedNetwork::addPath(double rate_bps) {
+  const std::size_t p = path_rate_bps_.size();
+  path_rate_bps_.push_back(rate_bps);
+  path_up_.push_back(1);
+  slot_arc_.emplace_back();
+  slot_arc_[p].reserve(config_.slots_per_path);
+  for (std::size_t t = 0; t < config_.slots_per_path; ++t) {
+    const MinCostFlow::NodeId slot = net_.addNode();
+    const double mid_s = (static_cast<double>(t) + 0.5) * slot_dur_s_;
+    for (std::size_t i = 0; i < item_node_.size(); ++i) {
+      assign_arc_[i].push_back(
+          net_.addArc(item_node_[i], slot, MinCostFlow::kInfCap, mid_s));
+    }
+    slot_arc_[p].push_back(net_.addArc(slot, sink_, 0.0, 0.0));
+  }
+  refreshSlotCaps(p);
+}
+
+void TimeExpandedNetwork::setItemRemaining(std::size_t item, double bytes) {
+  item_remaining_.at(item) = std::max(bytes, 0.0);
+  net_.setArcCapacity(source_arc_[item], unitsFor(item_remaining_[item]));
+}
+
+void TimeExpandedNetwork::setPathUp(std::size_t path, bool up) {
+  if ((path_up_.at(path) != 0) == up) return;
+  path_up_[path] = up ? 1 : 0;
+  refreshSlotCaps(path);
+}
+
+void TimeExpandedNetwork::setPathRate(std::size_t path, double rate_bps) {
+  if (path_rate_bps_.at(path) == rate_bps) return;
+  path_rate_bps_[path] = rate_bps;
+  refreshSlotCaps(path);
+}
+
+MinCostFlow::Result TimeExpandedNetwork::solveScratch() {
+  return net_.solve(source_, sink_);
+}
+
+MinCostFlow::Result TimeExpandedNetwork::resolveIncremental() {
+  return net_.resolve(source_, sink_);
+}
+
+std::vector<ItemPlan> TimeExpandedNetwork::extractPlan() const {
+  const std::size_t items = item_remaining_.size();
+  const std::size_t paths = path_rate_bps_.size();
+  const std::size_t slots = config_.slots_per_path;
+  std::vector<ItemPlan> plan(items);
+
+  for (std::size_t i = 0; i < items; ++i) {
+    if (item_remaining_[i] <= kEps) continue;  // done: stays kUnassigned
+    std::size_t best_path = ItemPlan::kUnassigned;
+    double best_flow = 0;
+    double best_key = horizon_s_;
+    for (std::size_t p = 0; p < paths; ++p) {
+      double f = 0;
+      double weighted = 0;
+      for (std::size_t t = 0; t < slots; ++t) {
+        const MinCostFlow::ArcId a = assign_arc_[i][p * slots + t];
+        const double af = net_.arcFlow(a);
+        f += af;
+        weighted += af * net_.arcCost(a);
+      }
+      // Argmax flow; ties go to the lower path index (fixed scan order).
+      if (f > best_flow + MinCostFlow::kFlowEps) {
+        best_flow = f;
+        best_path = p;
+        best_key = f > kEps ? weighted / f : horizon_s_;
+      }
+    }
+    if (best_path == ItemPlan::kUnassigned) {
+      // All of this item's flow sits on overflow (or the network is
+      // saturated): fall back to the minimum-estimated-time up path so the
+      // plan stays total and work-conserving.
+      double best_t = std::numeric_limits<double>::infinity();
+      for (std::size_t p = 0; p < paths; ++p) {
+        if (!path_up_[p] || path_rate_bps_[p] <= kEps) continue;
+        const double t =
+            item_remaining_[i] * kBitsPerByte / path_rate_bps_[p];
+        if (std::tie(t, p) < std::tie(best_t, best_path)) {
+          best_t = t;
+          best_path = p;
+        }
+      }
+      best_key = horizon_s_;
+    }
+    plan[i].path = best_path;
+    plan[i].order_key = best_key;
+  }
+
+  // Load-balancing repair: unit costs admit many equal-cost optima whose
+  // extractions differ wildly in makespan; migrate items off the
+  // makespan-defining path while the projected makespan strictly drops.
+  std::vector<double> load(paths, 0.0);
+  for (std::size_t i = 0; i < items; ++i) {
+    if (plan[i].path != ItemPlan::kUnassigned) {
+      load[plan[i].path] += item_remaining_[i];
+    }
+  }
+  const auto finish = [&](std::size_t p, double l) {
+    if (l <= kEps) return 0.0;
+    if (!path_up_[p] || path_rate_bps_[p] <= kEps) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return l * kBitsPerByte / path_rate_bps_[p];
+  };
+  for (std::size_t round = 0; round < items; ++round) {
+    std::size_t pmax = 0;
+    double cur = -1;
+    for (std::size_t p = 0; p < paths; ++p) {
+      const double f = finish(p, load[p]);
+      if (f > cur) {
+        cur = f;
+        pmax = p;
+      }
+    }
+    if (cur <= kEps) break;
+    std::size_t move_item = items;
+    std::size_t move_to = paths;
+    double best_new = cur * (1.0 - 1e-9);
+    for (std::size_t i = 0; i < items; ++i) {
+      if (plan[i].path != pmax) continue;
+      const double b = item_remaining_[i];
+      const double np = finish(pmax, load[pmax] - b);
+      for (std::size_t q = 0; q < paths; ++q) {
+        if (q == pmax || !path_up_[q] || path_rate_bps_[q] <= kEps) continue;
+        double third = 0;  // max over paths other than pmax and q
+        for (std::size_t p = 0; p < paths; ++p) {
+          if (p == pmax || p == q) continue;
+          third = std::max(third, finish(p, load[p]));
+        }
+        const double nm =
+            std::max({np, finish(q, load[q] + b), third});
+        if (nm < best_new) {
+          best_new = nm;
+          move_item = i;
+          move_to = q;
+        }
+      }
+    }
+    if (move_item == items) break;
+    load[pmax] -= item_remaining_[move_item];
+    load[move_to] += item_remaining_[move_item];
+    plan[move_item].path = move_to;
+  }
+  return plan;
+}
+
+}  // namespace gol::flow

@@ -1,0 +1,118 @@
+// Time-expanded network (TEN) for transaction scheduling: items on one
+// side, (path, time-slot) nodes on the other, solved as a min-cost max-flow
+// (flow/min_cost_flow.hpp). The horizon is split into uniform slots per
+// path; a slot's capacity is the units the path can move during it at the
+// current rate estimate, and the cost of assigning a unit to a slot is the
+// slot's midpoint time — so the optimum front-loads work onto fast paths
+// and the total cost approximates the sum of completion times.
+//
+// Demand is quantized into integral units (unit = smallest item size, so a
+// transaction of uniform HLS segments is one unit per item) and the solver
+// augments by integral bottlenecks, which keeps flows integral and the
+// item -> path extraction unsplit. An overflow node with a beyond-horizon
+// penalty cost guarantees feasibility whatever dies: max flow always equals
+// total demand, so callers never distinguish "infeasible" from "solved".
+//
+// The network is patchable in place for incremental re-solve: a checkpoint
+// shrinks an item's source capacity, churn flips a path's slot capacities
+// to zero and back, rate drift rescales them — then resolveIncremental()
+// repairs only the affected flow (see MinCostFlow::resolve).
+//
+// Plan extraction maps flow back to an assignment. Unit costs are shared by
+// many equal-cost optima (items of equal size are interchangeable to the
+// LP), so raw argmax extraction can return a badly unbalanced partition;
+// extractPlan() follows it with a bounded, deterministic load-balancing
+// repair pass that moves items off the makespan-defining path while the
+// projected makespan strictly improves.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "flow/min_cost_flow.hpp"
+
+namespace gol::flow {
+
+struct TenConfig {
+  std::size_t slots_per_path = 8;
+  /// Horizon = slack * ideal finish time (total bytes over aggregate rate);
+  /// >1 leaves headroom for imbalance before the overflow node engages.
+  double horizon_slack = 1.35;
+  /// Overflow cost = penalty_factor * horizon per unit: worse than any
+  /// in-horizon slot, so overflow only carries genuinely unroutable demand.
+  double overflow_penalty_factor = 10.0;
+};
+
+/// Where one item should go, per the last solve.
+struct ItemPlan {
+  static constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+  std::size_t path = kUnassigned;
+  /// Flow-weighted mean slot time of the item's units on `path` — sort key
+  /// for dispatch order within a path (earlier planned work first).
+  double order_key = 0;
+};
+
+class TimeExpandedNetwork {
+ public:
+  TimeExpandedNetwork(std::vector<double> item_bytes,
+                      std::vector<double> path_rates_bps,
+                      TenConfig config = {});
+
+  std::size_t itemCount() const { return item_remaining_.size(); }
+  std::size_t pathCount() const { return path_rate_bps_.size(); }
+  double unitBytes() const { return unit_bytes_; }
+  double horizonSeconds() const { return horizon_s_; }
+  double slotSeconds() const { return slot_dur_s_; }
+
+  /// Patches (each marks the network dirty only when the value changed).
+  void setItemRemaining(std::size_t item, double bytes);
+  void setPathUp(std::size_t path, bool up);
+  void setPathRate(std::size_t path, double rate_bps);
+  /// Appends a path mid-flight (engine dynamic membership): new slot nodes
+  /// and assignment arcs, starting flowless — resolveIncremental() routes
+  /// onto them.
+  void addPath(double rate_bps);
+
+  MinCostFlow::Result solveScratch();
+  MinCostFlow::Result resolveIncremental();
+
+  /// Argmax flow -> path assignment plus the load-balancing repair pass.
+  /// Items with no remaining demand come back kUnassigned; items the flow
+  /// left entirely on overflow fall back to their min-estimated-time path.
+  std::vector<ItemPlan> extractPlan() const;
+
+  double itemRemaining(std::size_t item) const {
+    return item_remaining_[item];
+  }
+  bool pathUp(std::size_t path) const { return path_up_[path] != 0; }
+  double pathRate(std::size_t path) const { return path_rate_bps_[path]; }
+
+  const SolveStats& stats() const { return net_.stats(); }
+  void resetStats() { net_.resetStats(); }
+
+ private:
+  double unitsFor(double bytes) const;
+  void refreshSlotCaps(std::size_t path);
+
+  TenConfig config_;
+  std::vector<double> item_remaining_;   ///< Bytes still owed per item.
+  std::vector<double> path_rate_bps_;
+  std::vector<std::uint8_t> path_up_;
+  double unit_bytes_ = 1;
+  double horizon_s_ = 1;
+  double slot_dur_s_ = 1;
+
+  MinCostFlow net_;
+  MinCostFlow::NodeId source_ = -1;
+  MinCostFlow::NodeId sink_ = -1;
+  MinCostFlow::NodeId overflow_ = -1;
+  std::vector<MinCostFlow::NodeId> item_node_;
+  std::vector<MinCostFlow::ArcId> source_arc_;    ///< source -> item.
+  std::vector<MinCostFlow::ArcId> overflow_arc_;  ///< item -> overflow.
+  /// assign_arc_[item][path * slots + t]: item -> (path, slot).
+  std::vector<std::vector<MinCostFlow::ArcId>> assign_arc_;
+  /// slot_arc_[path][t]: (path, slot) -> sink.
+  std::vector<std::vector<MinCostFlow::ArcId>> slot_arc_;
+};
+
+}  // namespace gol::flow

@@ -47,7 +47,9 @@ void expectAccounting(const TransactionResult& res) {
 
 TEST(FaultFuzz, RandomPlansTerminateWithBalancedBooks) {
   const int seeds = seedCount();
-  const char* policies[] = {"greedy", "rr", "min"};
+  // The opt arm exercises the flow solver's incremental re-solve under
+  // kill/flap/stall churn; the others cover the paper's policies.
+  const char* policies[] = {"greedy", "rr", "min", "opt"};
   for (int s = 0; s < seeds; ++s) {
     const std::uint64_t seed = 0xf417 + static_cast<std::uint64_t>(s);
 
@@ -66,7 +68,7 @@ TEST(FaultFuzz, RandomPlansTerminateWithBalancedBooks) {
     // Make one path flaky on top of the plan so retry/backoff and the
     // fault machinery overlap.
     b.failNextStarts(static_cast<int>(seed % 3), 0.05);
-    auto scheduler = SchedulerRegistry::instance().make(policies[s % 3]);
+    auto scheduler = SchedulerRegistry::instance().make(policies[s % 4]);
     EngineConfig cfg;
     cfg.all_paths_down_grace_s = 5.0;  // bound the worst case
     cfg.retry.max_attempts = 3;

@@ -1,0 +1,256 @@
+// The `opt` policy end-to-end: flow-driven dispatch through the engine,
+// dominance over the paper's policies on fault-free traces, the offline
+// oracle bound as an engine-accounting regression check, consistency under
+// churn, and bitwise determinism across worker-thread counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/opt_scheduler.hpp"
+#include "core/scheduler.hpp"
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+#include "fake_path.hpp"
+#include "flow/oracle.hpp"
+#include "sim/units.hpp"
+
+namespace gol::core {
+namespace {
+
+using sim::mbps;
+using sim::megabytes;
+using testing::FakePath;
+
+TransactionResult runToCompletion(sim::Simulator& sim,
+                                  TransactionEngine& engine,
+                                  Transaction txn) {
+  std::optional<TransactionResult> result;
+  engine.run(std::move(txn),
+             [&](TransactionResult r) { result = std::move(r); });
+  sim.run();
+  EXPECT_TRUE(result.has_value());
+  return *result;
+}
+
+/// Runs `policy` over constant-rate fake paths, fault-free.
+TransactionResult runPolicy(const std::string& policy,
+                            const std::vector<double>& item_bytes,
+                            const std::vector<double>& rates_bps) {
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<FakePath>> paths;
+  std::vector<TransferPath*> raw;
+  for (std::size_t p = 0; p < rates_bps.size(); ++p) {
+    paths.push_back(std::make_unique<FakePath>(
+        sim, "p" + std::to_string(p), rates_bps[p]));
+    raw.push_back(paths.back().get());
+  }
+  auto sched = makeScheduler(policy);
+  TransactionEngine engine(sim, raw, *sched);
+  return runToCompletion(
+      sim, engine, makeTransaction(TransferDirection::kDownload, item_bytes));
+}
+
+TEST(OptRegistry, OptIsARegisteredPolicy) {
+  EXPECT_EQ(makeScheduler("opt")->name(), "opt");
+  const auto names = SchedulerRegistry::instance().list();
+  EXPECT_NE(std::find(names.begin(), names.end(), "opt"), names.end());
+}
+
+TEST(OptScheduler, BeatsEveryBaselineOnTheSkewedInstance) {
+  // 1, 1, 8 MB over 8 and 2 Mbps. The optimum (8 s) needs the fast path
+  // reserved for the big item; GRD/RR/MIN all start a small item on it and
+  // land at 9+ s. OPT's flow plan finds the reservation.
+  const std::vector<double> items{megabytes(1), megabytes(1), megabytes(8)};
+  const std::vector<double> rates{mbps(8), mbps(2)};
+  const double opt = runPolicy("opt", items, rates).duration_s;
+  EXPECT_NEAR(opt, 8.0, 1e-6);
+  for (const char* policy : {"greedy", "rr", "min"}) {
+    EXPECT_LE(opt, runPolicy(policy, items, rates).duration_s + 1e-9)
+        << policy;
+  }
+  EXPECT_GT(runPolicy("greedy", items, rates).duration_s, 8.5);
+}
+
+TEST(OptScheduler, DominatesBaselinesAcrossFaultFreeInstances) {
+  // Scheduler dominance property: on fault-free constant-rate traces, OPT's
+  // makespan is never above any baseline's, and never below the offline
+  // oracle bound.
+  struct Instance {
+    std::vector<double> items;
+    std::vector<double> rates;
+  };
+  const std::vector<Instance> instances = {
+      {std::vector<double>(8, megabytes(1)), {mbps(8), mbps(2)}},
+      {{megabytes(1), megabytes(1), megabytes(8)}, {mbps(8), mbps(2)}},
+      {{megabytes(4), megabytes(2), megabytes(2), megabytes(1)},
+       {mbps(6), mbps(3), mbps(1)}},
+      {std::vector<double>(12, megabytes(2)), {mbps(8), mbps(8), mbps(4)}},
+      {{megabytes(6), megabytes(3)}, {mbps(4), mbps(4), mbps(4)}},
+  };
+  for (std::size_t n = 0; n < instances.size(); ++n) {
+    const auto& inst = instances[n];
+    std::vector<flow::PathProfile> profiles;
+    for (const double r : inst.rates) {
+      profiles.push_back(flow::PathProfile::constant(r));
+    }
+    const double bound = flow::makespanLowerBound(inst.items, profiles);
+    const double opt = runPolicy("opt", inst.items, inst.rates).duration_s;
+    EXPECT_GE(opt, bound - 1e-6) << "instance " << n;
+    for (const char* policy : {"greedy", "rr", "min"}) {
+      const double base = runPolicy(policy, inst.items, inst.rates).duration_s;
+      EXPECT_LE(opt, base + 1e-9) << "instance " << n << " vs " << policy;
+      EXPECT_GE(base, bound - 1e-6) << "instance " << n << " " << policy;
+    }
+  }
+}
+
+TEST(OptScheduler, OracleBoundHoldsUnderPathDeath) {
+  // Kill the fast path mid-run; every policy must still finish no earlier
+  // than the oracle's bound computed from the matching capacity profiles.
+  // Finishing below the bound would mean the engine invented bytes.
+  const std::vector<double> items(6, megabytes(1));
+  const double kill_at = 1.5;
+  std::vector<flow::PathProfile> profiles{
+      flow::PathProfile::killedAt(mbps(8), kill_at),
+      flow::PathProfile::constant(mbps(2))};
+  const double bound = flow::makespanLowerBound(items, profiles);
+  ASSERT_GT(bound, 0.0);
+  for (const char* policy : {"greedy", "rr", "min", "opt"}) {
+    sim::Simulator sim;
+    FakePath fast(sim, "fast", mbps(8));
+    FakePath slow(sim, "slow", mbps(2));
+    sim.scheduleIn(kill_at, [&] { fast.die(); });
+    auto sched = makeScheduler(policy);
+    TransactionEngine engine(sim, {&fast, &slow}, *sched);
+    const auto res = runToCompletion(
+        sim, engine, makeTransaction(TransferDirection::kDownload, items));
+    EXPECT_TRUE(res.complete()) << policy;
+    EXPECT_GE(res.duration_s, bound - 1e-6) << policy;
+  }
+}
+
+TEST(OptScheduler, SurvivesChurnAndCompletes) {
+  // Failures, a death+revival and scripted attempt errors: the incremental
+  // re-solve path must keep the plan consistent with the engine's contract
+  // (the engine throws on any contract violation, so completing is the
+  // assertion).
+  sim::Simulator sim;
+  FakePath a(sim, "a", mbps(8));
+  FakePath b(sim, "b", mbps(4));
+  FakePath c(sim, "c", mbps(2));
+  a.failNextStarts(2, 0.2);
+  sim.scheduleIn(1.0, [&] { b.die(); });
+  sim.scheduleIn(3.0, [&] { b.revive(); });
+  OptScheduler opt;
+  EngineConfig cfg;
+  cfg.retry.base_backoff_s = 0.1;
+  TransactionEngine engine(sim, {&a, &b, &c}, opt, cfg);
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload,
+                      std::vector<double>(10, megabytes(1))));
+  EXPECT_TRUE(res.complete());
+  // Churn forced at least one incremental re-solve.
+  ASSERT_NE(opt.solveStats(), nullptr);
+  EXPECT_GE(opt.solveStats()->resolves, 1u);
+  EXPECT_EQ(opt.solveStats()->scratch_solves, 1u);
+}
+
+TEST(OptScheduler, ChurnIsRepairedIncrementallyNotFromScratch) {
+  // The incremental contract at engine level: one path death on a live
+  // transaction re-solves with a small fraction of the scratch solve's
+  // work, and never re-runs the scratch build.
+  sim::Simulator sim;
+  FakePath a(sim, "a", mbps(8));
+  FakePath b(sim, "b", mbps(8));
+  sim.scheduleIn(0.7, [&] { b.die(); });
+  OptScheduler opt;
+  TransactionEngine engine(sim, {&a, &b}, opt);
+  const auto res = runToCompletion(
+      sim, engine,
+      makeTransaction(TransferDirection::kDownload,
+                      std::vector<double>(8, megabytes(1))));
+  EXPECT_TRUE(res.complete());
+  ASSERT_NE(opt.solveStats(), nullptr);
+  EXPECT_EQ(opt.solveStats()->scratch_solves, 1u);
+  EXPECT_GE(opt.solveStats()->resolves, 1u);
+}
+
+TEST(OptScheduler, UnitLevelPlannedDispatchAndTailDuplication) {
+  // Scheduler-contract view (no engine): the big item is planned onto the
+  // fast path, small items onto the slow one; with nothing pending the
+  // idle path duplicates the oldest in-flight item it is not carrying.
+  const auto txn = makeTransaction(
+      TransferDirection::kDownload,
+      {megabytes(1), megabytes(1), megabytes(8)});
+  std::vector<ItemView> items;
+  for (const auto& it : txn.items) {
+    ItemView iv;
+    iv.item = &it;
+    items.push_back(iv);
+  }
+  EngineView view{&items, 2, 0.0, items.size()};
+  OptScheduler opt;
+  opt.onTransactionStart(txn, {mbps(8), mbps(2)});
+  const auto fast_pick = opt.nextItem(view, 0);
+  ASSERT_TRUE(fast_pick.has_value());
+  EXPECT_EQ(*fast_pick, 2u);  // the 8 MB item owns the fast path
+  items[2].status = ItemStatus::kInFlight;
+  items[2].carriers.push_back(0);
+  items[2].first_assigned_at = 0.0;
+  view.pending = 2;
+  const auto slow_pick = opt.nextItem(view, 1);
+  ASSERT_TRUE(slow_pick.has_value());
+  EXPECT_NE(*slow_pick, 2u);
+  items[*slow_pick].status = ItemStatus::kInFlight;
+  items[*slow_pick].carriers.push_back(1);
+  items[*slow_pick].first_assigned_at = 0.0;
+  view.pending = 1;
+  // Mark the remaining small item done; path 1 going idle must duplicate
+  // item 2 (oldest in flight, carried only by path 0).
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (items[i].status == ItemStatus::kPending) {
+      items[i].status = ItemStatus::kDone;
+    }
+  }
+  items[*slow_pick].status = ItemStatus::kDone;
+  items[*slow_pick].carriers.clear();
+  view.pending = 0;
+  const auto dup = opt.nextItem(view, 1);
+  ASSERT_TRUE(dup.has_value());
+  EXPECT_EQ(*dup, 2u);
+  // Its own carrier never duplicates it.
+  EXPECT_FALSE(opt.nextItem(view, 0).has_value());
+}
+
+TEST(OptScheduler, FoldedSweepIsByteIdenticalAcrossJobs) {
+  // The fig06 determinism contract extended to the new policy: a folded
+  // multi-rep sweep produces bitwise-identical per-rep results and fold
+  // whatever the worker-thread count (each rep is self-contained).
+  const auto sweep = [](unsigned threads) {
+    exec::ThreadPool pool(threads);
+    const auto values = exec::parallelMapIndexed(pool, 8, [](std::size_t rep) {
+      const double skew = 1.0 + 0.25 * static_cast<double>(rep % 4);
+      std::vector<double> items(6 + rep % 3, megabytes(1));
+      items.push_back(megabytes(4) * skew);
+      return runPolicy("opt", items, {mbps(8), mbps(2 * skew)}).duration_s;
+    });
+    double fold = 0;
+    for (const double v : values) fold += v;
+    return std::make_pair(values, fold);
+  };
+  const auto serial = sweep(1);
+  const auto parallel = sweep(8);
+  ASSERT_EQ(serial.first.size(), parallel.first.size());
+  for (std::size_t i = 0; i < serial.first.size(); ++i) {
+    EXPECT_EQ(serial.first[i], parallel.first[i]) << "rep " << i;
+  }
+  EXPECT_EQ(serial.second, parallel.second) << "fold must match bitwise";
+}
+
+}  // namespace
+}  // namespace gol::core

@@ -70,6 +70,21 @@ TEST(Greedy, DuplicatesOldestInFlightWhenNonePending) {
   EXPECT_EQ(*g.nextItem(f.view, 2), 0u);
 }
 
+TEST(Greedy, DuplicateTieBreaksToLowestIndex) {
+  // Tie-break audit: two in-flight items first-assigned at the same
+  // instant must resolve by the explicit (first_assigned_at, index) key,
+  // not scan order.
+  const auto txn = twoMbItems(3);
+  ViewFixture f(txn, 3);
+  GreedyScheduler g;
+  f.markInFlight(0, 0, 2.0);
+  f.markInFlight(1, 1, 2.0);
+  f.markDone(2);
+  EXPECT_EQ(*g.nextItem(f.view, 2), 0u);
+  // And the lowest-index item is skipped when this path already has it.
+  EXPECT_EQ(*g.nextItem(f.view, 0), 1u);
+}
+
 TEST(Greedy, NeverDuplicatesOntoOwnCarrier) {
   const auto txn = twoMbItems(2);
   ViewFixture f(txn, 2);
@@ -165,6 +180,26 @@ TEST(MinTime, EstimateTracksObservedGoodput) {
   EXPECT_NEAR(min.estimatedRateBps(1), 1e6, 1);
 }
 
+TEST(MinTime, EqualEstimatesTieBreakToLowestPath) {
+  // Tie-break audit: symmetric nominal rates give identical estimates;
+  // the explicit (estimate, path-id) key must send post-bootstrap items to
+  // the lowest path index deterministically.
+  const auto txn = twoMbItems(4);
+  ViewFixture f(txn, 2);
+  MinTimeScheduler min;
+  min.onTransactionStart(txn, {2e6, 2e6});
+  EXPECT_EQ(*min.nextItem(f.view, 0), 0u);  // bootstrap deal
+  f.markInFlight(0, 0, 0);
+  EXPECT_EQ(*min.nextItem(f.view, 1), 1u);
+  f.markInFlight(1, 1, 0);
+  // Post-bootstrap with tied estimates: items 2 and 3 both commit to
+  // path 0; path 1 idles (MIN never steals).
+  EXPECT_EQ(*min.nextItem(f.view, 0), 2u);
+  f.markInFlight(2, 0, 1);
+  EXPECT_FALSE(min.nextItem(f.view, 1).has_value());
+  EXPECT_EQ(*min.nextItem(f.view, 0), 3u);
+}
+
 TEST(MinTime, SkipsStaleQueueEntries) {
   const auto txn = twoMbItems(3);
   ViewFixture f(txn, 2);
@@ -185,6 +220,7 @@ TEST(SchedulerRegistryTest, ListsCanonicalBuiltinsWithoutAliases) {
   EXPECT_TRUE(has("greedy-noresched"));
   EXPECT_TRUE(has("rr"));
   EXPECT_TRUE(has("min"));
+  EXPECT_TRUE(has("opt"));
   EXPECT_FALSE(has("grd"));  // alias: constructible but not listed
   EXPECT_TRUE(SchedulerRegistry::instance().known("grd"));
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));

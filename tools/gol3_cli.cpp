@@ -3,6 +3,7 @@
 //   gol3 vod       [--location N] [--phones N] [--quality bps] ...
 //   gol3 upload    [--location N] [--phones N] [--photos N]
 //   gol3 estimate  --history 640,580,700,615,655 [--tau N] [--alpha X]
+//   gol3 oracle    --items 1,1,8 --rates 8,2 [--kill 0@1.5] [--flap 1@2+3]
 //   gol3 trace-dslam --out FILE [--subscribers N] [--seed N]
 //   gol3 trace-mno   --out FILE [--users N] [--months N] [--seed N]
 //   gol3 month     [--location N] [--days N]
@@ -21,6 +22,7 @@
 #include "core/upload_session.hpp"
 #include "core/vod_session.hpp"
 #include "exec/thread_pool.hpp"
+#include "flow/oracle.hpp"
 #include "sim/fault_plan.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/export.hpp"
@@ -232,6 +234,85 @@ int cmdEstimate(int argc, const char* const* argv) {
   return 0;
 }
 
+std::vector<double> parseCsvDoubles(const std::string& csv, double scale) {
+  std::vector<double> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(std::strtod(item.c_str(), nullptr) * scale);
+  }
+  return out;
+}
+
+int cmdOracle(int argc, const char* const* argv) {
+  cli::ArgParser args(
+      "gol3 oracle",
+      "Offline optimality oracle: the LP/flow lower bound on makespan for a "
+      "set of items over capacity profiles. No scheduler can beat it; a "
+      "recorded run that does indicates an engine accounting bug.");
+  args.addString("items", "comma-separated item sizes in MB");
+  args.addString("rates", "comma-separated path rates in Mbps");
+  args.addString("kill", "path deaths as idx@t[,idx@t...] (path down for "
+                 "good at t seconds)", "");
+  args.addString("flap", "path flaps as idx@t+dur[,...] (down at t, back "
+                 "after dur seconds)", "");
+  args.addFlag("json", "print the bound as JSON");
+  if (!args.parse(argc, argv, 2)) {
+    std::fprintf(stderr, "%s%s", args.error().empty() ? "" : (args.error() + "\n").c_str(),
+                 args.usage().c_str());
+    return args.helpRequested() ? 0 : 2;
+  }
+  const auto items = parseCsvDoubles(args.getString("items"), 1e6);
+  const auto rates = parseCsvDoubles(args.getString("rates"), 1e6);
+  std::vector<flow::PathProfile> profiles;
+  for (const double r : rates) profiles.push_back(flow::PathProfile::constant(r));
+  // Faults rewrite the affected path's profile; idx@t parses with the same
+  // strtod discipline as the rate lists (idx, then t after the '@').
+  const auto applyEvents = [&](const std::string& spec, bool flap) {
+    std::stringstream ss(spec);
+    std::string ev;
+    while (std::getline(ss, ev, ',')) {
+      const auto at = ev.find('@');
+      if (at == std::string::npos) {
+        throw std::invalid_argument("expected idx@t, got '" + ev + "'");
+      }
+      const auto idx = static_cast<std::size_t>(
+          std::strtoul(ev.substr(0, at).c_str(), nullptr, 10));
+      if (idx >= profiles.size()) {
+        throw std::invalid_argument("path index " + std::to_string(idx) +
+                                    " out of range");
+      }
+      const std::string when = ev.substr(at + 1);
+      char* rest = nullptr;
+      const double t = std::strtod(when.c_str(), &rest);
+      if (flap) {
+        const double dur = (rest != nullptr && *rest == '+')
+                               ? std::strtod(rest + 1, nullptr)
+                               : 1.0;
+        profiles[idx] = flow::PathProfile::flap(rates[idx], t, dur);
+      } else {
+        profiles[idx] = flow::PathProfile::killedAt(rates[idx], t);
+      }
+    }
+  };
+  double bound = 0.0;
+  try {
+    applyEvents(args.getString("kill"), /*flap=*/false);
+    applyEvents(args.getString("flap"), /*flap=*/true);
+    bound = flow::makespanLowerBound(items, profiles);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gol3: %s\n", e.what());
+    return 2;
+  }
+  if (args.getFlag("json")) {
+    std::printf("{\"makespan_lower_bound_s\": %.9g}\n", bound);
+  } else {
+    std::printf("makespan lower bound: %.3f s (%zu items, %zu paths)\n",
+                bound, items.size(), profiles.size());
+  }
+  return 0;
+}
+
 int cmdTraceDslam(int argc, const char* const* argv) {
   cli::ArgParser args("gol3 trace-dslam", "Generate a DSLAM day as CSV");
   args.addString("out", "output CSV path");
@@ -275,20 +356,23 @@ int cmdTraceMno(int argc, const char* const* argv) {
   return 0;
 }
 
-void usage() {
-  std::fprintf(stderr,
+void usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: gol3 <command> [options] [--metrics-out FILE]\n"
                "commands:\n"
                "  vod          run one VoD powerboost\n"
                "  upload       upload a photo set\n"
                "  estimate     Sec. 6 allowance estimator\n"
+               "  oracle       offline LP/flow lower bound on makespan\n"
                "  trace-dslam  generate a DSLAM trace CSV\n"
                "  trace-mno    generate an MNO dataset CSV\n"
+               "schedulers (--scheduler): %s\n"
                "run 'gol3 <command> --help' for command options\n"
                "--metrics-out FILE works with every command: dumps the "
                "telemetry registry as JSON after the run\n"
                "--jobs N works with every command: caps worker threads for "
-               "parallel sections (default: all hardware threads)\n");
+               "parallel sections (default: all hardware threads)\n",
+               core::SchedulerRegistry::instance().namesJoined().c_str());
 }
 
 }  // namespace
@@ -316,17 +400,22 @@ int main(int argc, char** argv) {
   char** fargv = filtered.data();
 
   if (fargc < 2) {
-    usage();
+    usage(stderr);
     return 2;
   }
   const std::string cmd = fargv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    usage(stdout);
+    return 0;
+  }
   int rc = 2;
   if (cmd == "vod") rc = cmdVod(fargc, fargv);
   else if (cmd == "upload") rc = cmdUpload(fargc, fargv);
   else if (cmd == "estimate") rc = cmdEstimate(fargc, fargv);
+  else if (cmd == "oracle") rc = cmdOracle(fargc, fargv);
   else if (cmd == "trace-dslam") rc = cmdTraceDslam(fargc, fargv);
   else if (cmd == "trace-mno") rc = cmdTraceMno(fargc, fargv);
-  else usage();
+  else usage(stderr);
 
   if (!metrics_out.empty()) {
     try {
