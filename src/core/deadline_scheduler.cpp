@@ -22,23 +22,20 @@ void DeadlineScheduler::onTransactionStart(
 
 std::optional<std::size_t> DeadlineScheduler::nextItem(
     const EngineView& view, std::size_t path_index) {
-  const auto& items = *view.items;
+  const ItemTable& items = *view.items;
 
   // Earliest-deadline pending item.
   std::optional<std::size_t> best;
   for (std::size_t i = 0; i < items.size(); ++i) {
-    if (items[i].status != ItemStatus::kPending) continue;
+    if (items.status(i) != ItemStatus::kPending) continue;
     if (!best || deadlines_[i] < deadlines_[*best]) best = i;
   }
 
   // Most imminent in-flight item this path could duplicate.
   std::optional<std::size_t> urgent;
   for (std::size_t i = 0; i < items.size(); ++i) {
-    const ItemView& iv = items[i];
-    if (iv.status != ItemStatus::kInFlight) continue;
-    if (std::find(iv.carriers.begin(), iv.carriers.end(), path_index) !=
-        iv.carriers.end())
-      continue;
+    if (items.status(i) != ItemStatus::kInFlight) continue;
+    if (items.carriedBy(i, path_index)) continue;
     if (deadlines_[i] > view.now + horizon_) continue;
     if (!urgent || deadlines_[i] < deadlines_[*urgent]) urgent = i;
   }
@@ -56,16 +53,16 @@ std::optional<std::size_t> DeadlineScheduler::nextItem(
   if (deadlines_[*urgent] < deadlines_[*best] &&
       deadlines_[*urgent] <= view.now + horizon_ / 3.0 &&
       !path_rates_bps_.empty()) {
-    const ItemView& uv = items[*urgent];
-    const double bytes = uv.item->bytes;
+    const double bytes = items.bytes(*urgent);
+    const double assigned_at = items.firstAssignedAt(*urgent);
     double carrier_eta = std::numeric_limits<double>::infinity();
-    for (std::size_t c : uv.carriers) {
+    items.forEachCarrier(*urgent, [&](std::size_t c) {
       const double rate = std::max(path_rates_bps_.at(c), 1e3);
       const double moved =
-          std::max(0.0, (view.now - uv.first_assigned_at)) * rate / 8.0;
+          std::max(0.0, (view.now - assigned_at)) * rate / 8.0;
       const double remaining = std::max(0.0, bytes - moved);
       carrier_eta = std::min(carrier_eta, remaining * 8.0 / rate);
-    }
+    });
     const double fresh_eta =
         bytes * 8.0 / std::max(path_rates_bps_.at(path_index), 1e3);
     if (fresh_eta < carrier_eta) return urgent;

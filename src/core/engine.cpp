@@ -20,6 +20,7 @@ TransactionEngine::TransactionEngine(sim::Simulator& sim,
                                      std::vector<TransferPath*> paths,
                                      Scheduler& scheduler, EngineConfig config)
     : sim_(sim),
+      wheel_(sim),
       scheduler_(scheduler),
       config_(config),
       jitter_(config.jitter_seed),
@@ -85,10 +86,23 @@ void TransactionEngine::bindInstruments() {
 
 void TransactionEngine::bindPathInstruments(PathState& ps) {
   if (registry_ == nullptr || ps.bytes != nullptr) return;
+  // Bound once per attach/instrument — the labelled-counter lookup (string
+  // hashing) never sits on the per-item accounting path.
   const telemetry::Labels path{{"path", ps.path->name()}};
   ps.bytes = &registry_->counter("gol.engine.path_bytes", path);
   ps.wasted = &registry_->counter("gol.engine.path_wasted_bytes", path);
   ps.salvaged = &registry_->counter("gol.engine.path_salvaged_bytes", path);
+}
+
+void TransactionEngine::ensureAccountingSlot(PathId pid) {
+  if (pid < pid_delivered_.size()) return;
+  const std::size_t n = pid + 1;
+  pid_delivered_.resize(n, 0.0);
+  pid_wasted_.resize(n, 0.0);
+  pid_salvaged_.resize(n, 0.0);
+  pid_delivered_touched_.resize(n, 0);
+  pid_wasted_touched_.resize(n, 0);
+  pid_salvaged_touched_.resize(n, 0);
 }
 
 std::size_t TransactionEngine::usablePathCount() const {
@@ -114,7 +128,7 @@ void TransactionEngine::attachPath(TransferPath* path) {
     if (active_ && ps.path->alive()) {
       scheduler_.onPathUp(i);
       if (grace_timer_ != 0) {
-        sim_.cancel(grace_timer_);
+        wheel_.cancel(grace_timer_);
         grace_timer_ = 0;
       }
       dispatch(i);
@@ -126,8 +140,11 @@ void TransactionEngine::attachPath(TransferPath* path) {
   const std::size_t index = paths_.size();
   PathState ps;
   ps.path = path;
+  ps.pid = interner_.intern(path->name());
   ps.rate_est_bps = std::max(path->nominalRateBps(), 1e3);
+  ensureAccountingSlot(ps.pid);
   paths_.push_back(std::move(ps));
+  table_.ensurePaths(paths_.size());
   bindPathInstruments(paths_.back());
   paths_.back().listener = path->addStateListener(
       [this, index](TransferPath&, bool alive, const std::string& reason) {
@@ -138,7 +155,7 @@ void TransactionEngine::attachPath(TransferPath* path) {
     scheduler_.onPathAdded(index, path->nominalRateBps());
     if (path->alive()) {
       if (grace_timer_ != 0) {
-        sim_.cancel(grace_timer_);
+        wheel_.cancel(grace_timer_);
         grace_timer_ = 0;
       }
       dispatch(index);
@@ -179,7 +196,14 @@ void TransactionEngine::run(Transaction txn,
   result_.total_bytes = txn_.totalBytes();
   result_.item_completion_s.assign(txn_.items.size(), 0.0);
   result_.per_item_attempts.assign(txn_.items.size(), 0);
-  item_meta_.assign(txn_.items.size(), ItemMeta{});
+  table_.reset(txn_.items);
+  table_.ensurePaths(paths_.size());
+  std::fill(pid_delivered_.begin(), pid_delivered_.end(), 0.0);
+  std::fill(pid_wasted_.begin(), pid_wasted_.end(), 0.0);
+  std::fill(pid_salvaged_.begin(), pid_salvaged_.end(), 0.0);
+  std::fill(pid_delivered_touched_.begin(), pid_delivered_touched_.end(), 0);
+  std::fill(pid_wasted_touched_.begin(), pid_wasted_touched_.end(), 0);
+  std::fill(pid_salvaged_touched_.begin(), pid_salvaged_touched_.end(), 0);
   failed_path_names_.clear();
   done_count_ = 0;
   failed_count_ = 0;
@@ -200,14 +224,6 @@ void TransactionEngine::run(Transaction txn,
   bindInstruments();
   if (transactions_) transactions_->inc();
   if (trace_) txn_span_ = trace_->begin("transaction", "engine", 0);
-
-  items_.clear();
-  items_.reserve(txn_.items.size());
-  for (const auto& it : txn_.items) {
-    ItemView iv;
-    iv.item = &it;
-    items_.push_back(std::move(iv));
-  }
 
   std::vector<double> nominal;
   nominal.reserve(paths_.size());
@@ -256,7 +272,7 @@ void TransactionEngine::dispatch(std::size_t path_index) {
   if (!ps.attached || !ps.path->alive() || ps.path->busy()) return;
   if (sim_.now() < ps.quarantined_until) return;
 
-  EngineView view{&items_, paths_.size(), sim_.now(), pending_count_};
+  EngineView view{&table_, paths_.size(), sim_.now(), pending_count_};
   auto choice = scheduler_.nextItem(view, path_index);
   bool hedged = false;
   if (!choice) {
@@ -274,18 +290,19 @@ void TransactionEngine::dispatch(std::size_t path_index) {
   }
   if (decisions_) decisions_->inc();
   const std::size_t idx = *choice;
-  ItemView& iv = items_.at(idx);
-  if (iv.status == ItemStatus::kDone || iv.status == ItemStatus::kFailed)
+  if (idx >= table_.size())
+    throw std::logic_error("scheduler returned an out-of-range item");
+  const ItemStatus status = table_.status(idx);
+  if (status == ItemStatus::kDone || status == ItemStatus::kFailed)
     throw std::logic_error("scheduler assigned a terminal item");
-  if (iv.status == ItemStatus::kBackoff)
+  if (status == ItemStatus::kBackoff)
     throw std::logic_error("scheduler assigned an item in retry backoff");
-  if (std::find(iv.carriers.begin(), iv.carriers.end(), path_index) !=
-      iv.carriers.end())
+  if (table_.carriedBy(idx, path_index))
     throw std::logic_error("scheduler re-assigned item to its own carrier");
 
-  if (iv.status == ItemStatus::kPending) {
-    iv.status = ItemStatus::kInFlight;
-    iv.first_assigned_at = sim_.now();
+  if (status == ItemStatus::kPending) {
+    table_.setStatus(idx, ItemStatus::kInFlight);
+    table_.setFirstAssignedAt(idx, sim_.now());
     --pending_count_;
   } else {
     ++result_.duplicated_items;
@@ -298,35 +315,36 @@ void TransactionEngine::dispatch(std::size_t path_index) {
   // Resume from the item's checkpoint when both sides support it; a
   // non-resuming path restarts at 0 and the overlap is settled when the
   // item completes.
-  ItemMeta& meta = item_meta_[idx];
+  const Item& item = table_.item(idx);
   double offset = 0;
-  if (config_.resume && ps.path->supportsResume() && meta.checkpoint > 0) {
-    offset = std::min(meta.checkpoint, iv.item->bytes);
+  if (config_.resume && ps.path->supportsResume() &&
+      table_.checkpoint(idx) > 0) {
+    offset = std::min(table_.checkpoint(idx), item.bytes);
     ++result_.resumed_attempts;
     if (resumed_) resumed_->inc();
   }
   ps.attempt_offset = offset;
   ps.hedged = hedged;
   if (trace_) {
-    std::string span_name = iv.item->name;
+    std::string span_name = item.name;
     if (offset > 0) span_name = "resume:" + span_name;
     if (hedged) span_name = "hedge:" + span_name;
     ps.span = trace_->begin(span_name, "engine",
                             static_cast<int>(path_index) + 1);
   }
-  iv.carriers.push_back(path_index);
+  table_.addCarrier(idx, path_index);
   ps.busy_since = sim_.now();
   ps.current_item = idx;
   const std::uint64_t gen = ++ps.attempt_gen;
   if (config_.watchdog.enabled) {
-    ps.watchdog = sim_.scheduleIn(
-        watchdogDeadline(ps, *iv.item, offset),
+    ps.watchdog = wheel_.armIn(
+        watchdogDeadline(ps, item, offset),
         [this, path_index, gen] { onWatchdog(path_index, gen); });
   }
-  ps.path->start(*iv.item, offset,
+  ps.path->start(item, offset,
                  TransferPath::DoneFn([this, path_index, gen](
-                     const Item& item, const ItemResult& result) {
-                   onItemEvent(path_index, gen, item, result);
+                     const Item& it, const ItemResult& result) {
+                   onItemEvent(path_index, gen, it, result);
                  }));
 }
 
@@ -334,23 +352,21 @@ std::optional<std::size_t> TransactionEngine::hedgeCandidate(
     std::size_t path_index) const {
   if (config_.hedge_tail_items <= 0 || pending_count_ > 0)
     return std::nullopt;
-  const std::size_t remaining = items_.size() - done_count_ - failed_count_;
+  const std::size_t remaining = table_.size() - done_count_ - failed_count_;
   if (remaining == 0 ||
       remaining > static_cast<std::size_t>(config_.hedge_tail_items))
     return std::nullopt;
   std::optional<std::size_t> best;
   double best_t = 0;
-  for (std::size_t i = 0; i < items_.size(); ++i) {
-    const ItemView& iv = items_[i];
-    if (iv.status != ItemStatus::kInFlight) continue;
-    if (std::find(iv.carriers.begin(), iv.carriers.end(), path_index) !=
-        iv.carriers.end())
-      continue;
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    if (table_.status(i) != ItemStatus::kInFlight) continue;
+    if (table_.carriedBy(i, path_index)) continue;
     // Explicit (first_assigned_at, index) key, matching the schedulers'
     // tie-break convention.
-    if (!best || std::tie(iv.first_assigned_at, i) < std::tie(best_t, *best)) {
+    const double t = table_.firstAssignedAt(i);
+    if (!best || std::make_tuple(t, i) < std::make_tuple(best_t, *best)) {
       best = i;
-      best_t = iv.first_assigned_at;
+      best_t = t;
     }
   }
   return best;
@@ -359,7 +375,8 @@ std::optional<std::size_t> TransactionEngine::hedgeCandidate(
 void TransactionEngine::recordWaste(PathState& ps, double bytes) {
   if (bytes <= 0) return;
   result_.wasted_bytes += bytes;
-  result_.per_path_wasted_bytes[ps.path->name()] += bytes;
+  pid_wasted_[ps.pid] += bytes;
+  pid_wasted_touched_[ps.pid] = 1;
   if (wasted_bytes_) wasted_bytes_->inc(bytes);
   if (ps.wasted) ps.wasted->inc(bytes);
 }
@@ -367,42 +384,33 @@ void TransactionEngine::recordWaste(PathState& ps, double bytes) {
 void TransactionEngine::recordSalvage(PathState& ps, std::size_t item_index,
                                       double bytes) {
   if (bytes <= 0) return;
-  ItemMeta& meta = item_meta_[item_index];
-  meta.checkpoint += bytes;
-  meta.salvage.emplace_back(ps.path->name(), bytes);
-  items_[item_index].checkpoint_bytes = meta.checkpoint;
+  table_.appendSalvage(item_index, ps.pid, bytes);
   result_.salvaged_bytes += bytes;
-  result_.per_path_salvaged_bytes[ps.path->name()] += bytes;
+  pid_salvaged_[ps.pid] += bytes;
+  pid_salvaged_touched_[ps.pid] = 1;
   if (salvaged_bytes_) salvaged_bytes_->inc(bytes);
   if (ps.salvaged) ps.salvaged->inc(bytes);
 }
 
 void TransactionEngine::reclaimSalvage(std::size_t item_index,
                                        double keep_prefix) {
-  ItemMeta& meta = item_meta_[item_index];
-  double excess = meta.checkpoint - keep_prefix;
-  if (excess <= 0) return;
   // Peel ledger runs back-to-front: the bytes beyond keep_prefix were
   // re-fetched (or are untrusted), so they were moved for nothing.
-  while (excess > 1e-12 && !meta.salvage.empty()) {
-    auto& [name, run] = meta.salvage.back();
-    const double take = std::min(run, excess);
-    run -= take;
-    excess -= take;
+  table_.peelSalvage(item_index, keep_prefix, [this](PathId pid,
+                                                     double take) {
     result_.salvaged_bytes -= take;
-    result_.per_path_salvaged_bytes[name] -= take;
+    pid_salvaged_[pid] -= take;
+    pid_salvaged_touched_[pid] = 1;
     result_.wasted_bytes += take;
-    result_.per_path_wasted_bytes[name] += take;
+    pid_wasted_[pid] += take;
+    pid_wasted_touched_[pid] = 1;
     if (wasted_bytes_) wasted_bytes_->inc(take);
-    if (run <= 1e-12) meta.salvage.pop_back();
-  }
-  meta.checkpoint = keep_prefix;
-  items_[item_index].checkpoint_bytes = keep_prefix;
+  });
 }
 
 void TransactionEngine::clearAttempt(PathState& ps) {
   if (ps.watchdog != 0) {
-    sim_.cancel(ps.watchdog);
+    wheel_.cancel(ps.watchdog);
     ps.watchdog = 0;
   }
   ++ps.attempt_gen;  // any in-flight callback/timer for this attempt is void
@@ -428,9 +436,9 @@ void TransactionEngine::onItemEvent(std::size_t path_index, std::uint64_t gen,
     // match what the generator promised is a corruption, not a delivery.
     // Duplicate-race losers skip the gate — their bytes are waste either
     // way and the item already landed verified.
-    const ItemView& iv = items_.at(item.index);
-    if (iv.status != ItemStatus::kDone && config_.verify_checksums &&
-        item.checksum != 0 && result.checksum != item.checksum) {
+    if (table_.status(item.index) != ItemStatus::kDone &&
+        config_.verify_checksums && item.checksum != 0 &&
+        result.checksum != item.checksum) {
       corrupt = true;
     } else {
       onItemCompleted(path_index, item, result);
@@ -441,13 +449,13 @@ void TransactionEngine::onItemEvent(std::size_t path_index, std::uint64_t gen,
   if (corrupt) {
     ++result_.corrupt_payloads;
     if (corrupt_) corrupt_->inc();
-    ItemView& iv = items_.at(item.index);
-    if (iv.status != ItemStatus::kDone) {
+    if (table_.status(item.index) != ItemStatus::kDone) {
       // The checkpoint prefix can no longer be trusted (the corrupting
       // element may have been mangling every attempt): discard it, and
       // abort sibling attempts whose byte ranges anchored to it.
       reclaimSalvage(item.index, 0.0);
-      const std::vector<std::size_t> siblings = iv.carriers;
+      const std::vector<std::size_t> siblings =
+          table_.carriersSnapshot(item.index);
       for (std::size_t other : siblings) {
         if (other == path_index) continue;
         PathState& os = paths_[other];
@@ -459,9 +467,7 @@ void TransactionEngine::onItemEvent(std::size_t path_index, std::uint64_t gen,
         clearAttempt(os);
         recordWaste(os, moved);
         if (aborted_) aborted_->inc();
-        iv.carriers.erase(
-            std::remove(iv.carriers.begin(), iv.carriers.end(), other),
-            iv.carriers.end());
+        table_.removeCarrier(item.index, other);
       }
     }
   }
@@ -485,7 +491,6 @@ void TransactionEngine::onItemEvent(std::size_t path_index, std::uint64_t gen,
 void TransactionEngine::onItemCompleted(std::size_t path_index,
                                         const Item& item,
                                         const ItemResult& result) {
-  ItemView& iv = items_.at(item.index);
   PathState& ps = paths_[path_index];
   const double elapsed = sim_.now() - ps.busy_since;
   const double offset = ps.attempt_offset;
@@ -501,10 +506,8 @@ void TransactionEngine::onItemCompleted(std::size_t path_index,
 
   // The duplicate race: a copy may complete on another path in the same
   // instant; only the first counts.
-  if (iv.status == ItemStatus::kDone) {
-    iv.carriers.erase(
-        std::remove(iv.carriers.begin(), iv.carriers.end(), path_index),
-        iv.carriers.end());
+  if (table_.status(item.index) == ItemStatus::kDone) {
+    table_.removeCarrier(item.index, path_index);
     recordWaste(ps, result.bytes_moved);
     if (aborted_) aborted_->inc();
     if (trace_ && ps.span) {
@@ -516,7 +519,7 @@ void TransactionEngine::onItemCompleted(std::size_t path_index,
     return;
   }
 
-  iv.status = ItemStatus::kDone;
+  table_.setStatus(item.index, ItemStatus::kDone);
   ++done_count_;
   result_.item_completion_s[item.index] = sim_.now() - started_at_;
   // The completing attempt delivered [offset, bytes); the prefix [0,
@@ -524,7 +527,8 @@ void TransactionEngine::onItemCompleted(std::size_t path_index,
   // consumed (a checkpoint past its start, or any checkpoint when the
   // winner restarted at 0) was re-fetched and becomes waste.
   const double tail = std::max(item.bytes - offset, 0.0);
-  result_.per_path_bytes[ps.path->name()] += tail;
+  pid_delivered_[ps.pid] += tail;
+  pid_delivered_touched_[ps.pid] = 1;
   reclaimSalvage(item.index, offset);
   if (hedged) {
     ++result_.hedge_wins;
@@ -540,8 +544,9 @@ void TransactionEngine::onItemCompleted(std::size_t path_index,
   scheduler_.onItemComplete(path_index, item, elapsed);
 
   // Abort the losing duplicates and free their paths.
-  std::vector<std::size_t> others = iv.carriers;
-  iv.carriers.clear();
+  const std::vector<std::size_t> others =
+      table_.carriersSnapshot(item.index);
+  table_.clearCarriers(item.index);
   for (std::size_t other : others) {
     if (other == path_index) continue;
     PathState& os = paths_[other];
@@ -601,21 +606,20 @@ void TransactionEngine::pathAttemptFailed(std::size_t path_index,
                                           const char* span_outcome,
                                           bool count_against_item) {
   PathState& ps = paths_[path_index];
-  ItemView& iv = items_.at(item_index);
-  ItemMeta& meta = item_meta_[item_index];
+  const ItemStatus status_in = table_.status(item_index);
 
   // Salvage: the attempt's contiguous prefix extends the item's checkpoint
   // by whatever part reaches past it. Requires the attempt to have started
   // at (or before) the current checkpoint so the ranges join up, and a
   // path whose receive buffer survives the failure (supportsResume).
   double salvaged = 0;
-  if (iv.status != ItemStatus::kDone && config_.resume &&
+  if (status_in != ItemStatus::kDone && config_.resume &&
       ps.path->supportsResume() && salvageable_bytes > 0 &&
-      ps.attempt_offset <= meta.checkpoint + 1e-9) {
+      ps.attempt_offset <= table_.checkpoint(item_index) + 1e-9) {
     const double prefix = std::min(salvageable_bytes, moved_bytes);
     const double reach =
-        std::min(ps.attempt_offset + prefix, iv.item->bytes);
-    salvaged = std::max(0.0, reach - meta.checkpoint);
+        std::min(ps.attempt_offset + prefix, table_.bytes(item_index));
+    salvaged = std::max(0.0, reach - table_.checkpoint(item_index));
     if (salvaged > 0) recordSalvage(ps, item_index, salvaged);
   }
   recordWaste(ps, moved_bytes - salvaged);
@@ -627,9 +631,7 @@ void TransactionEngine::pathAttemptFailed(std::size_t path_index,
   if (ps.hedged && hedge_losses_) hedge_losses_->inc();
   clearAttempt(ps);
 
-  iv.carriers.erase(
-      std::remove(iv.carriers.begin(), iv.carriers.end(), path_index),
-      iv.carriers.end());
+  table_.removeCarrier(item_index, path_index);
 
   // Quarantine-and-probe: a path that keeps failing while nominally alive
   // is benched for a growing interval instead of retried in a hot loop.
@@ -642,40 +644,43 @@ void TransactionEngine::pathAttemptFailed(std::size_t path_index,
             : std::min(ps.quarantine_len_s * q.multiplier, q.max_s);
     ps.quarantined_until = sim_.now() + ps.quarantine_len_s;
     if (quarantines_) quarantines_->inc();
-    if (ps.probe != 0) sim_.cancel(ps.probe);
-    ps.probe = sim_.scheduleIn(ps.quarantine_len_s, [this, path_index] {
+    if (ps.probe != 0) wheel_.cancel(ps.probe);
+    ps.probe = wheel_.armIn(ps.quarantine_len_s, [this, path_index] {
       paths_[path_index].probe = 0;
       dispatch(path_index);
     });
   }
 
-  if (iv.status == ItemStatus::kDone) return;  // raced a completion
-  if (!iv.carriers.empty()) {
+  if (status_in == ItemStatus::kDone) return;  // raced a completion
+  if (table_.carrierCount(item_index) > 0) {
     // A duplicate is still running elsewhere; the item's fate rides on it.
     dispatch(path_index);
     return;
   }
 
   if (count_against_item) {
-    if (++meta.failed_attempts >= config_.retry.max_attempts) {
-      iv.status = ItemStatus::kFailed;
+    if (table_.bumpFailedAttempts(item_index) >= config_.retry.max_attempts) {
+      table_.setStatus(item_index, ItemStatus::kFailed);
       ++failed_count_;
       ++result_.failed_items;
       if (items_failed_) items_failed_->inc();
       // A checkpoint of an undeliverable item bought nothing: waste.
       reclaimSalvage(item_index, 0.0);
     } else {
-      iv.status = ItemStatus::kBackoff;
+      table_.setStatus(item_index, ItemStatus::kBackoff);
       ++result_.retries;
       if (retries_) retries_->inc();
-      meta.backoff =
-          sim_.scheduleIn(backoffDelay(meta.failed_attempts),
-                          [this, item_index] { onBackoffExpired(item_index); });
+      table_.setBackoffTimer(
+          item_index,
+          wheel_.armIn(backoffDelay(table_.failedAttempts(item_index)),
+                       [this, handle = table_.handle(item_index)] {
+                         onBackoffExpired(handle);
+                       }));
     }
   } else {
     // The path failed, not the item: back into the pool immediately, no
     // penalty against the item's retry budget.
-    iv.status = ItemStatus::kPending;
+    table_.setStatus(item_index, ItemStatus::kPending);
     ++pending_count_;
     scheduler_.onItemRequeued(item_index);
   }
@@ -684,12 +689,12 @@ void TransactionEngine::pathAttemptFailed(std::size_t path_index,
   if (active_) dispatch(path_index);
 }
 
-void TransactionEngine::onBackoffExpired(std::size_t item_index) {
-  if (!active_) return;
-  item_meta_[item_index].backoff = 0;
-  ItemView& iv = items_.at(item_index);
-  if (iv.status != ItemStatus::kBackoff) return;
-  iv.status = ItemStatus::kPending;
+void TransactionEngine::onBackoffExpired(ItemHandle handle) {
+  if (!active_ || !table_.valid(handle)) return;
+  const std::size_t item_index = handle.index;
+  table_.setBackoffTimer(item_index, 0);
+  if (table_.status(item_index) != ItemStatus::kBackoff) return;
+  table_.setStatus(item_index, ItemStatus::kPending);
   ++pending_count_;
   scheduler_.onItemRequeued(item_index);
   dispatchAll();
@@ -720,13 +725,13 @@ void TransactionEngine::onPathStateChange(std::size_t path_index, bool alive,
   ps.quarantined_until = 0;
   ps.quarantine_len_s = 0;
   if (ps.probe != 0) {
-    sim_.cancel(ps.probe);
+    wheel_.cancel(ps.probe);
     ps.probe = 0;
   }
   if (!active_ || !ps.attached) return;
   scheduler_.onPathUp(path_index);
   if (grace_timer_ != 0) {
-    sim_.cancel(grace_timer_);
+    wheel_.cancel(grace_timer_);
     grace_timer_ = 0;
   }
   dispatchAll();
@@ -735,9 +740,9 @@ void TransactionEngine::onPathStateChange(std::size_t path_index, bool alive,
 void TransactionEngine::armGraceTimerIfStranded() {
   if (!active_ || grace_timer_ != 0) return;
   if (usablePathCount() > 0) return;
-  if (done_count_ + failed_count_ == items_.size()) return;
-  grace_timer_ = sim_.scheduleIn(config_.all_paths_down_grace_s,
-                                 [this] { onGraceExpired(); });
+  if (done_count_ + failed_count_ == table_.size()) return;
+  grace_timer_ = wheel_.armIn(config_.all_paths_down_grace_s,
+                              [this] { onGraceExpired(); });
 }
 
 void TransactionEngine::onGraceExpired() {
@@ -746,17 +751,17 @@ void TransactionEngine::onGraceExpired() {
   if (usablePathCount() > 0) return;  // a path came back; stand down
   // Every usable path is gone and none returned within the grace window:
   // fail the remaining items so the transaction still terminates.
-  for (std::size_t i = 0; i < items_.size(); ++i) {
-    ItemView& iv = items_[i];
-    if (iv.status == ItemStatus::kDone || iv.status == ItemStatus::kFailed)
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    const ItemStatus status = table_.status(i);
+    if (status == ItemStatus::kDone || status == ItemStatus::kFailed)
       continue;
-    if (item_meta_[i].backoff != 0) {
-      sim_.cancel(item_meta_[i].backoff);
-      item_meta_[i].backoff = 0;
+    if (table_.backoffTimer(i) != 0) {
+      wheel_.cancel(table_.backoffTimer(i));
+      table_.setBackoffTimer(i, 0);
     }
-    if (iv.status == ItemStatus::kPending) --pending_count_;
-    iv.status = ItemStatus::kFailed;
-    iv.carriers.clear();
+    if (status == ItemStatus::kPending) --pending_count_;
+    table_.setStatus(i, ItemStatus::kFailed);
+    table_.clearCarriers(i);
     ++failed_count_;
     ++result_.failed_items;
     if (items_failed_) items_failed_->inc();
@@ -767,6 +772,18 @@ void TransactionEngine::onGraceExpired() {
 
 void TransactionEngine::maybeFinish() {
   if (active_ && done_count_ + failed_count_ == txn_.items.size()) finish();
+}
+
+void TransactionEngine::materializePerPathMaps() {
+  for (PathId pid = 0; pid < interner_.size(); ++pid) {
+    const std::string& name = interner_.name(pid);
+    if (pid_delivered_touched_[pid])
+      result_.per_path_bytes[name] = pid_delivered_[pid];
+    if (pid_wasted_touched_[pid])
+      result_.per_path_wasted_bytes[name] = pid_wasted_[pid];
+    if (pid_salvaged_touched_[pid])
+      result_.per_path_salvaged_bytes[name] = pid_salvaged_[pid];
+  }
 }
 
 void TransactionEngine::checkAccounting() const {
@@ -796,19 +813,19 @@ void TransactionEngine::checkAccounting() const {
 
 void TransactionEngine::finish() {
   active_ = false;
-  // Drain every event the engine still owns; nothing may fire into the
+  // Drain every timer the engine still owns; nothing may fire into the
   // next transaction.
   if (grace_timer_ != 0) {
-    sim_.cancel(grace_timer_);
+    wheel_.cancel(grace_timer_);
     grace_timer_ = 0;
   }
   for (auto& ps : paths_) {
     if (ps.watchdog != 0) {
-      sim_.cancel(ps.watchdog);
+      wheel_.cancel(ps.watchdog);
       ps.watchdog = 0;
     }
     if (ps.probe != 0) {
-      sim_.cancel(ps.probe);
+      wheel_.cancel(ps.probe);
       ps.probe = 0;
     }
     ++ps.attempt_gen;
@@ -816,17 +833,18 @@ void TransactionEngine::finish() {
     ps.attempt_offset = 0;
     ps.hedged = false;
   }
-  for (auto& meta : item_meta_) {
-    if (meta.backoff != 0) {
-      sim_.cancel(meta.backoff);
-      meta.backoff = 0;
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    if (table_.backoffTimer(i) != 0) {
+      wheel_.cancel(table_.backoffTimer(i));
+      table_.setBackoffTimer(i, 0);
     }
   }
 
   result_.duration_s = sim_.now() - started_at_;
   result_.delivered_bytes = 0;
-  for (const auto& iv : items_) {
-    if (iv.status == ItemStatus::kDone) result_.delivered_bytes += iv.item->bytes;
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    if (table_.status(i) == ItemStatus::kDone)
+      result_.delivered_bytes += table_.bytes(i);
   }
   result_.failed_paths.assign(failed_path_names_.begin(),
                               failed_path_names_.end());
@@ -838,6 +856,7 @@ void TransactionEngine::finish() {
   } else {
     result_.outcome = TransactionOutcome::kCompleted;
   }
+  materializePerPathMaps();
   checkAccounting();
   if (trace_ && txn_span_) {
     trace_->end(txn_span_,

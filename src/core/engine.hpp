@@ -17,10 +17,12 @@
 #include <vector>
 
 #include "core/item.hpp"
+#include "core/item_table.hpp"
 #include "core/scheduler.hpp"
 #include "core/transfer_path.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer_wheel.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
 
@@ -184,6 +186,12 @@ class TransactionEngine {
   /// Paths currently attached and alive.
   std::size_t usablePathCount() const;
 
+  /// Read-only views of the columnar internals, for the memory-bound
+  /// regression tests and benches: the item table (column/arena reuse)
+  /// and the timer wheel (one-alarm design).
+  const ItemTable& itemTable() const { return table_; }
+  const sim::TimerWheel& timerWheel() const { return wheel_; }
+
  private:
   static constexpr std::size_t kNoItem = static_cast<std::size_t>(-1);
 
@@ -199,8 +207,12 @@ class TransactionEngine {
     bool hedged = false;
     /// Bumped per attempt; stale watchdogs/callbacks compare and drop.
     std::uint64_t attempt_gen = 0;
-    sim::EventId watchdog = 0;
-    sim::EventId probe = 0;  ///< Pending quarantine-expiry dispatch.
+    sim::TimerWheel::TimerId watchdog = 0;
+    sim::TimerWheel::TimerId probe = 0;  ///< Pending quarantine-expiry probe.
+    /// Interned name for flat per-path accounting (PathInterner). Stable
+    /// across re-attachment; two paths sharing a name share the id, same
+    /// as the name-keyed result maps always merged them.
+    PathId pid = 0;
     double quarantined_until = 0;
     double quarantine_len_s = 0;  ///< Last length, for the growth schedule.
     int consecutive_failures = 0;
@@ -217,19 +229,6 @@ class TransactionEngine {
     telemetry::Counter* salvaged = nullptr;
   };
 
-  struct ItemMeta {
-    int failed_attempts = 0;  ///< Sole-carrier failures (gates retry cap).
-    sim::EventId backoff = 0;
-    /// Verified contiguous prefix [0, checkpoint) salvaged from earlier
-    /// attempts; the next resume-capable attempt starts here.
-    double checkpoint = 0;
-    /// Who moved the checkpoint's bytes: (path name, bytes) runs, in
-    /// order, summing to `checkpoint`. Settled at item completion (kept
-    /// portion stays salvage, overlap with the winning attempt becomes
-    /// waste) or discarded wholesale on corruption/terminal failure.
-    std::vector<std::pair<std::string, double>> salvage;
-  };
-
   void dispatch(std::size_t path_index);
   void dispatchAll();
   void onItemEvent(std::size_t path_index, std::uint64_t gen,
@@ -237,7 +236,9 @@ class TransactionEngine {
   void onItemCompleted(std::size_t path_index, const Item& item,
                        const ItemResult& result);
   void onWatchdog(std::size_t path_index, std::uint64_t gen);
-  void onBackoffExpired(std::size_t item_index);
+  /// Generation-checked: a handle from a previous transaction fails
+  /// ItemTable::valid and the expiry is dropped.
+  void onBackoffExpired(ItemHandle handle);
   void onPathStateChange(std::size_t path_index, bool alive,
                          const std::string& reason);
   /// Common tail for failed and timed-out attempts: salvages the usable
@@ -266,12 +267,21 @@ class TransactionEngine {
   void finish();
   void bindInstruments();
   void bindPathInstruments(PathState& ps);
+  /// Sizes the PathId-indexed accounting columns for `pid`.
+  void ensureAccountingSlot(PathId pid);
+  /// Converts the flat PathId-indexed accounting into the name-keyed maps
+  /// of TransactionResult (key present iff the seed's map-based accounting
+  /// would have inserted it).
+  void materializePerPathMaps();
   void checkAccounting() const;
   double backoffDelay(int failed_attempts);
   double watchdogDeadline(const PathState& ps, const Item& item,
                           double offset) const;
 
   sim::Simulator& sim_;
+  /// All watchdog/backoff/probe/grace deadlines; the simulator heap sees
+  /// one alarm event instead of one event per in-flight item.
+  sim::TimerWheel wheel_;
   std::vector<PathState> paths_;
   Scheduler& scheduler_;
   EngineConfig config_;
@@ -302,8 +312,17 @@ class TransactionEngine {
   telemetry::Counter* reschedules_ = nullptr;
 
   Transaction txn_;
-  std::vector<ItemView> items_;
-  std::vector<ItemMeta> item_meta_;
+  ItemTable table_;
+  PathInterner interner_;
+  // Flat per-path accounting, indexed by PathId; the `touched` flags
+  // reproduce the exact key-presence of the old map-based accounting
+  // (operator[] inserted a key even for a += 0).
+  std::vector<double> pid_delivered_;
+  std::vector<double> pid_wasted_;
+  std::vector<double> pid_salvaged_;
+  std::vector<std::uint8_t> pid_delivered_touched_;
+  std::vector<std::uint8_t> pid_wasted_touched_;
+  std::vector<std::uint8_t> pid_salvaged_touched_;
   std::function<void(TransactionResult)> on_done_;
   TransactionResult result_;
   std::set<std::string> failed_path_names_;
@@ -311,7 +330,7 @@ class TransactionEngine {
   std::size_t done_count_ = 0;
   std::size_t failed_count_ = 0;
   std::size_t pending_count_ = 0;
-  sim::EventId grace_timer_ = 0;
+  sim::TimerWheel::TimerId grace_timer_ = 0;
   bool active_ = false;
   telemetry::SpanId txn_span_ = 0;
 };

@@ -7,11 +7,11 @@ namespace gol::core {
 
 std::optional<std::size_t> GreedyScheduler::nextItem(const EngineView& view,
                                                      std::size_t path_index) {
-  const auto& items = *view.items;
+  const ItemTable& items = *view.items;
 
   // Step 1: first pending item, in transaction order.
   for (std::size_t i = 0; i < items.size(); ++i) {
-    if (items[i].status == ItemStatus::kPending) return i;
+    if (items.status(i) == ItemStatus::kPending) return i;
   }
   if (!reschedule_) return std::nullopt;
 
@@ -20,17 +20,14 @@ std::optional<std::size_t> GreedyScheduler::nextItem(const EngineView& view,
   // being transferred by the other N-1 paths").
   std::optional<std::size_t> oldest;
   for (std::size_t i = 0; i < items.size(); ++i) {
-    const ItemView& iv = items[i];
-    if (iv.status != ItemStatus::kInFlight) continue;
-    if (std::find(iv.carriers.begin(), iv.carriers.end(), path_index) !=
-        iv.carriers.end())
-      continue;
+    if (items.status(i) != ItemStatus::kInFlight) continue;
+    if (items.carriedBy(i, path_index)) continue;
     // Explicit (first_assigned_at, index) key: equal timestamps — common
     // when a burst of items is dispatched at t=0 — resolve to the lowest
     // index instead of depending on scan order.
     if (!oldest ||
-        std::tie(iv.first_assigned_at, i) <
-            std::tie(items[*oldest].first_assigned_at, *oldest)) {
+        std::make_tuple(items.firstAssignedAt(i), i) <
+            std::make_tuple(items.firstAssignedAt(*oldest), *oldest)) {
       oldest = i;
     }
   }

@@ -1,0 +1,132 @@
+#include "core/item_table.hpp"
+
+#include <stdexcept>
+
+namespace gol::core {
+
+PathId PathInterner::intern(const std::string& name) {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<PathId>(i);
+  }
+  names_.push_back(name);
+  return static_cast<PathId>(names_.size() - 1);
+}
+
+ItemTable::ItemTable() = default;
+
+void ItemTable::reset(const std::vector<Item>& items) {
+  items_ = items.data();
+  size_ = items.size();
+  ++epoch_;
+
+  status_.assign(size_, ItemStatus::kPending);
+  bytes_.resize(size_);
+  for (std::size_t i = 0; i < size_; ++i) bytes_[i] = items_[i].bytes;
+  checkpoint_.assign(size_, 0.0);
+  first_assigned_.assign(size_, 0.0);
+  failed_attempts_.assign(size_, 0);
+  backoff_.assign(size_, 0);
+  gen_.assign(size_, epoch_);
+
+  carrier_head_.assign(size_, kNoPath);
+  carrier_tail_.assign(size_, kNoPath);
+  carrier_count_.assign(size_, 0);
+  for (auto& n : path_next_) n = kNoPath;
+
+  salvage_tail_.assign(size_, nullptr);
+  salvage_free_ = nullptr;
+  arena_.reset();
+}
+
+void ItemTable::ensurePaths(std::size_t n) {
+  if (path_next_.size() < n) path_next_.resize(n, kNoPath);
+}
+
+void ItemTable::addCarrier(std::size_t i, std::size_t path) {
+  ensurePaths(path + 1);
+  path_next_[path] = kNoPath;
+  if (carrier_tail_[i] == kNoPath) {
+    carrier_head_[i] = path;
+  } else {
+    path_next_[carrier_tail_[i]] = path;
+  }
+  carrier_tail_[i] = path;
+  ++carrier_count_[i];
+}
+
+void ItemTable::removeCarrier(std::size_t i, std::size_t path) {
+  std::size_t prev = kNoPath;
+  for (std::size_t p = carrier_head_[i]; p != kNoPath; p = path_next_[p]) {
+    if (p == path) {
+      if (prev == kNoPath) {
+        carrier_head_[i] = path_next_[p];
+      } else {
+        path_next_[prev] = path_next_[p];
+      }
+      if (carrier_tail_[i] == path) carrier_tail_[i] = prev;
+      path_next_[p] = kNoPath;
+      --carrier_count_[i];
+      return;
+    }
+    prev = p;
+  }
+}
+
+void ItemTable::clearCarriers(std::size_t i) {
+  std::size_t p = carrier_head_[i];
+  while (p != kNoPath) {
+    const std::size_t next = path_next_[p];
+    path_next_[p] = kNoPath;
+    p = next;
+  }
+  carrier_head_[i] = kNoPath;
+  carrier_tail_[i] = kNoPath;
+  carrier_count_[i] = 0;
+}
+
+bool ItemTable::carriedBy(std::size_t i, std::size_t path) const {
+  for (std::size_t p = carrier_head_[i]; p != kNoPath; p = path_next_[p]) {
+    if (p == path) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> ItemTable::carriersSnapshot(std::size_t i) const {
+  std::vector<std::size_t> out;
+  out.reserve(carrier_count_[i]);
+  for (std::size_t p = carrier_head_[i]; p != kNoPath; p = path_next_[p])
+    out.push_back(p);
+  return out;
+}
+
+void ItemTable::appendSalvage(std::size_t i, PathId pid, double bytes) {
+  SalvageNode* n;
+  if (salvage_free_ != nullptr) {
+    n = salvage_free_;
+    salvage_free_ = n->prev;
+  } else {
+    n = arena_.allocate<SalvageNode>();
+  }
+  n->bytes = bytes;
+  n->pid = pid;
+  n->prev = salvage_tail_[i];
+  salvage_tail_[i] = n;
+  checkpoint_[i] += bytes;
+}
+
+std::size_t ItemTable::columnBytesReserved() const {
+  return status_.capacity() * sizeof(ItemStatus) +
+         bytes_.capacity() * sizeof(double) +
+         checkpoint_.capacity() * sizeof(double) +
+         first_assigned_.capacity() * sizeof(double) +
+         failed_attempts_.capacity() * sizeof(int) +
+         backoff_.capacity() * sizeof(std::uint64_t) +
+         gen_.capacity() * sizeof(std::uint32_t) +
+         carrier_head_.capacity() * sizeof(std::size_t) +
+         carrier_tail_.capacity() * sizeof(std::size_t) +
+         carrier_count_.capacity() * sizeof(std::uint32_t) +
+         path_next_.capacity() * sizeof(std::size_t) +
+         salvage_tail_.capacity() * sizeof(SalvageNode*);
+}
+
+}  // namespace gol::core

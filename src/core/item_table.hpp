@@ -1,0 +1,186 @@
+// Columnar (struct-of-arrays) item state for the transaction engine.
+//
+// The engine used to keep a vector<ItemView>{Item*, status, carriers
+// vector, ...} plus a parallel vector<ItemMeta>{attempts, checkpoint,
+// salvage vector<pair<string,double>>} — two allocations per item before
+// the first byte moved, and scheduler scans that dragged whole objects
+// through cache to read one byte of status. ItemTable stores each field as
+// its own column so the hot scans (status sweeps, first_assigned_at
+// tie-breaks) touch only the bytes they read, and the per-item containers
+// are gone:
+//
+//  - carriers: each path carries at most one item at a time, so an item's
+//    carrier list threads through a per-path `next` slot — O(1) tail
+//    append (insertion order preserved; abort/redispatch loops depend on
+//    it), zero allocation;
+//  - salvage ledger: (PathId, bytes) runs in arena-backed nodes, appended
+//    at the tail and peeled from the tail, with a free list so churn reuses
+//    nodes instead of growing the arena;
+//  - path names: interned to dense PathIds (PathInterner) so per-path
+//    accounting is a flat array op; names are re-attached only at the
+//    TransactionResult boundary.
+//
+// Rows are addressed by index in the hot path and by generation-checked
+// ItemHandle where a reference can outlive the transaction that created it
+// (timer captures): reset() bumps every row's generation, so a stale
+// handle fails valid() instead of aliasing the next transaction's row.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/arena.hpp"
+#include "core/item.hpp"
+
+namespace gol::core {
+
+enum class ItemStatus : std::uint8_t {
+  kPending,   ///< Waiting for a path.
+  kInFlight,  ///< On at least one path right now.
+  kDone,      ///< Delivered.
+  kBackoff,   ///< Failed attempt; waiting out the retry backoff.
+  kFailed,    ///< Retry budget exhausted — terminal, never delivered.
+};
+
+/// Dense id for a path name (see PathInterner). Ids are stable for the
+/// interner's lifetime, across transactions and path re-attachment.
+using PathId = std::uint32_t;
+
+/// Generation-checked reference to an ItemTable row. Indices are reused
+/// across transactions; the generation is not.
+struct ItemHandle {
+  std::uint32_t index = 0;
+  std::uint32_t gen = 0;
+};
+
+/// Interns path names to dense PathIds. The engine accounts per-path bytes
+/// into flat arrays indexed by PathId and materializes the name-keyed maps
+/// of TransactionResult once, at finish.
+class PathInterner {
+ public:
+  /// Returns the existing id for `name` or assigns the next dense one.
+  PathId intern(const std::string& name);
+  const std::string& name(PathId id) const { return names_[id]; }
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+class ItemTable {
+ public:
+  static constexpr std::size_t kNoPath = static_cast<std::size_t>(-1);
+
+  ItemTable();
+
+  /// Rebinds the table to `items` (owned by the caller, must outlive the
+  /// table's use) and resets every column. Bumps all row generations and
+  /// releases the previous transaction's salvage arena wholesale.
+  void reset(const std::vector<Item>& items);
+  /// Sizes the per-path carrier links; call before addCarrier sees `n`.
+  void ensurePaths(std::size_t n);
+
+  std::size_t size() const { return size_; }
+  const Item& item(std::size_t i) const { return items_[i]; }
+
+  // -- Hot columns -----------------------------------------------------
+  ItemStatus status(std::size_t i) const { return status_[i]; }
+  void setStatus(std::size_t i, ItemStatus s) { status_[i] = s; }
+  double bytes(std::size_t i) const { return bytes_[i]; }
+  double checkpoint(std::size_t i) const { return checkpoint_[i]; }
+  double firstAssignedAt(std::size_t i) const { return first_assigned_[i]; }
+  void setFirstAssignedAt(std::size_t i, double t) { first_assigned_[i] = t; }
+  int failedAttempts(std::size_t i) const { return failed_attempts_[i]; }
+  /// Increments the sole-carrier failure count and returns the new value.
+  int bumpFailedAttempts(std::size_t i) { return ++failed_attempts_[i]; }
+  std::uint64_t backoffTimer(std::size_t i) const { return backoff_[i]; }
+  void setBackoffTimer(std::size_t i, std::uint64_t t) { backoff_[i] = t; }
+
+  // -- Handles ---------------------------------------------------------
+  ItemHandle handle(std::size_t i) const {
+    return {static_cast<std::uint32_t>(i), gen_[i]};
+  }
+  bool valid(ItemHandle h) const {
+    return h.index < size_ && gen_[h.index] == h.gen;
+  }
+
+  // -- Carriers (insertion-ordered, threaded through per-path slots) ---
+  void addCarrier(std::size_t i, std::size_t path);
+  void removeCarrier(std::size_t i, std::size_t path);
+  void clearCarriers(std::size_t i);
+  std::size_t carrierCount(std::size_t i) const { return carrier_count_[i]; }
+  bool carriedBy(std::size_t i, std::size_t path) const;
+  template <typename F>
+  void forEachCarrier(std::size_t i, F&& f) const {
+    for (std::size_t p = carrier_head_[i]; p != kNoPath; p = path_next_[p])
+      f(p);
+  }
+  /// Carrier list as a vector, for abort loops that mutate the list while
+  /// iterating (mirrors the old `copy of iv.carriers` idiom).
+  std::vector<std::size_t> carriersSnapshot(std::size_t i) const;
+
+  // -- Salvage ledger --------------------------------------------------
+  /// Appends a (path, bytes) run and advances the checkpoint by `bytes`.
+  void appendSalvage(std::size_t i, PathId pid, double bytes);
+  /// Shrinks item `i`'s ledger to the prefix [0, keep_prefix), invoking
+  /// `on_reclaim(pid, bytes)` for every reclaimed (partial) run,
+  /// back-to-front — exactly the old peel order. Sets the checkpoint to
+  /// `keep_prefix`. No-op when the checkpoint is already <= keep_prefix.
+  template <typename F>
+  void peelSalvage(std::size_t i, double keep_prefix, F&& on_reclaim) {
+    double excess = checkpoint_[i] - keep_prefix;
+    if (excess <= 0) return;
+    while (excess > 1e-12 && salvage_tail_[i] != nullptr) {
+      SalvageNode* n = salvage_tail_[i];
+      const double take = excess < n->bytes ? excess : n->bytes;
+      n->bytes -= take;
+      excess -= take;
+      on_reclaim(n->pid, take);
+      if (n->bytes <= 1e-12) {
+        salvage_tail_[i] = n->prev;
+        n->prev = salvage_free_;
+        salvage_free_ = n;
+      }
+    }
+    checkpoint_[i] = keep_prefix;
+  }
+
+  // -- Memory introspection (regression hooks) -------------------------
+  /// Arena bytes held for salvage nodes — bounded by peak live runs, not
+  /// cumulative churn (freed nodes are reused via the free list).
+  std::size_t salvageArenaReserved() const { return arena_.bytesReserved(); }
+  /// Heap bytes held by the columns themselves.
+  std::size_t columnBytesReserved() const;
+
+ private:
+  struct SalvageNode {
+    double bytes;
+    SalvageNode* prev;
+    PathId pid;
+  };
+
+  const Item* items_ = nullptr;
+  std::size_t size_ = 0;
+  std::uint32_t epoch_ = 0;
+
+  std::vector<ItemStatus> status_;
+  std::vector<double> bytes_;
+  std::vector<double> checkpoint_;
+  std::vector<double> first_assigned_;
+  std::vector<int> failed_attempts_;
+  std::vector<std::uint64_t> backoff_;
+  std::vector<std::uint32_t> gen_;
+
+  std::vector<std::size_t> carrier_head_;
+  std::vector<std::size_t> carrier_tail_;
+  std::vector<std::uint32_t> carrier_count_;
+  std::vector<std::size_t> path_next_;  // indexed by path, not item
+
+  std::vector<SalvageNode*> salvage_tail_;
+  SalvageNode* salvage_free_ = nullptr;
+  Arena arena_;
+};
+
+}  // namespace gol::core

@@ -87,7 +87,7 @@ std::optional<std::size_t> MinTimeScheduler::nextItem(
     if (q.empty()) return std::nullopt;
     const std::size_t idx = q.front();
     q.pop_front();
-    if ((*view.items)[idx].status == ItemStatus::kPending) return idx;
+    if (view.items->status(idx) == ItemStatus::kPending) return idx;
     // Completed elsewhere or re-queued through a failure: drop the stale
     // entry and its backlog, keep looking.
     backlog_bytes_[path_index] =

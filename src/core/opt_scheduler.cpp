@@ -40,13 +40,12 @@ void OptScheduler::onTransactionStart(
 }
 
 void OptScheduler::refresh(const EngineView& view) {
-  const auto& items = *view.items;
+  const ItemTable& items = *view.items;
   for (std::size_t i = 0; i < items.size() && i < ten_->itemCount(); ++i) {
     double remaining = 0;
-    if (items[i].status != ItemStatus::kDone &&
-        items[i].status != ItemStatus::kFailed) {
-      remaining =
-          std::max(items[i].item->bytes - items[i].checkpoint_bytes, 0.0);
+    if (items.status(i) != ItemStatus::kDone &&
+        items.status(i) != ItemStatus::kFailed) {
+      remaining = std::max(items.bytes(i) - items.checkpoint(i), 0.0);
     }
     ten_->setItemRemaining(i, remaining);
   }
@@ -66,14 +65,14 @@ std::optional<std::size_t> OptScheduler::nextItem(const EngineView& view,
                                                   std::size_t path_index) {
   if (!ten_) return std::nullopt;
   if (dirty_) refresh(view);
-  const auto& items = *view.items;
+  const ItemTable& items = *view.items;
 
   // Planned work for this path first (in planned order), then the
   // earliest-planned pending item anywhere — never idle while work exists.
   std::optional<std::size_t> best;
   std::tuple<int, double, std::size_t> best_key;
   for (std::size_t i = 0; i < items.size(); ++i) {
-    if (items[i].status != ItemStatus::kPending) continue;
+    if (items.status(i) != ItemStatus::kPending) continue;
     const flow::ItemPlan plan =
         i < plan_.size() ? plan_[i] : flow::ItemPlan{};
     const std::tuple<int, double, std::size_t> key{
@@ -90,14 +89,11 @@ std::optional<std::size_t> OptScheduler::nextItem(const EngineView& view,
   // (first_assigned_at, index) tie-break.
   std::optional<std::size_t> oldest;
   for (std::size_t i = 0; i < items.size(); ++i) {
-    const ItemView& iv = items[i];
-    if (iv.status != ItemStatus::kInFlight) continue;
-    if (std::find(iv.carriers.begin(), iv.carriers.end(), path_index) !=
-        iv.carriers.end())
-      continue;
+    if (items.status(i) != ItemStatus::kInFlight) continue;
+    if (items.carriedBy(i, path_index)) continue;
     if (!oldest ||
-        std::tie(iv.first_assigned_at, i) <
-            std::tie(items[*oldest].first_assigned_at, *oldest)) {
+        std::make_tuple(items.firstAssignedAt(i), i) <
+            std::make_tuple(items.firstAssignedAt(*oldest), *oldest)) {
       oldest = i;
     }
   }

@@ -22,7 +22,7 @@ std::optional<std::size_t> RoundRobinScheduler::nextItem(
     q.pop_front();
     // An item may have been completed elsewhere only in pathological
     // configurations; skip anything no longer pending.
-    if ((*view.items)[idx].status == ItemStatus::kPending) return idx;
+    if (view.items->status(idx) == ItemStatus::kPending) return idx;
   }
   return std::nullopt;
 }

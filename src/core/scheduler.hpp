@@ -12,31 +12,15 @@
 #include <vector>
 
 #include "core/item.hpp"
+#include "core/item_table.hpp"
 
 namespace gol::core {
 
-enum class ItemStatus {
-  kPending,   ///< Waiting for a path.
-  kInFlight,  ///< On at least one path right now.
-  kDone,      ///< Delivered.
-  kBackoff,   ///< Failed attempt; waiting out the retry backoff.
-  kFailed,    ///< Retry budget exhausted — terminal, never delivered.
-};
-
-/// Read-only view of the engine's bookkeeping, given to schedulers.
-struct ItemView {
-  const Item* item = nullptr;
-  ItemStatus status = ItemStatus::kPending;
-  /// Paths currently carrying this item (indices into the engine's list).
-  std::vector<std::size_t> carriers;
-  double first_assigned_at = 0;
-  /// Verified contiguous prefix already salvaged from earlier attempts;
-  /// resume-capable paths re-fetch only [checkpoint_bytes, item->bytes).
-  double checkpoint_bytes = 0;
-};
-
+/// Read-only view of the engine's bookkeeping, given to schedulers. Item
+/// state is columnar (ItemTable): status sweeps and tie-break scans read
+/// one column, carrier membership is carriedBy()/forEachCarrier().
 struct EngineView {
-  const std::vector<ItemView>* items = nullptr;
+  const ItemTable* items = nullptr;
   std::size_t path_count = 0;
   double now = 0;
   /// Maintained incrementally by the engine (O(1) per status transition),

@@ -1,0 +1,152 @@
+// Hierarchical timer wheel over the discrete-event simulator.
+//
+// The engine arms one watchdog per attempt, one backoff per failed item and
+// one probe per quarantined path — and cancels almost all of them before
+// they fire. Scheduling those straight into the simulator heap costs
+// O(log n) per arm and leaves a tombstone per cancel, so the event heap
+// scales with in-flight items. The wheel absorbs that churn: arm, disarm
+// and re-arm are O(1) slot-list operations (the same generation trick the
+// simulator uses for cancel), and the simulator only ever sees ONE event
+// per wheel — an alarm kept at the earliest live deadline.
+//
+// Hierarchy: kLevels levels of 64 slots; level l slots span 64^l ticks
+// (tick = resolution, default ~1 ms). A timer lands in the coarsest level
+// that still resolves its distance from the cursor and cascades toward
+// level 0 as the cursor crosses slot boundaries — the classic
+// hashed/hierarchical timing-wheel design. Deadlines past the whole span
+// go to an overflow list that re-buckets lazily.
+//
+// Determinism contract (what the engine's bit-exactness rides on):
+//  - timers fire at their EXACT armed deadline (the alarm is scheduled at
+//    the minimum live deadline; ticks only bucket, they never quantize
+//    firing times);
+//  - timers due at the same instant fire in arm order;
+//  - cancel is O(1) and releases the callable's captures immediately.
+// One semantic difference from per-timer heap events: timers due at the
+// same instant are extracted as a batch before the first callback runs, so
+// a callback cancelling a sibling due at that same instant does not stop
+// it firing. Callers that care (the engine does) guard callbacks with
+// their own generation counters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/units.hpp"
+
+namespace gol::sim {
+
+class TimerWheel {
+ public:
+  /// Handle identifying an armed timer; 0 is never valid.
+  using TimerId = std::uint64_t;
+
+  static constexpr double kDefaultResolutionS = 1.0 / 1024.0;
+
+  explicit TimerWheel(Simulator& sim,
+                      double resolution_s = kDefaultResolutionS);
+  ~TimerWheel();
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Arms `fn` to run at absolute sim time `deadline` (clamped to now()).
+  TimerId armAt(Time deadline, Task fn);
+  /// Arms `fn` to run `delay` seconds from now (negative clamps to now).
+  TimerId armIn(Time delay, Task fn);
+  /// O(1). Cancelling a fired or unknown id is a harmless no-op.
+  void cancel(TimerId id) noexcept;
+
+  std::size_t armed() const { return live_; }
+  double resolution() const { return res_; }
+
+  // Introspection / regression hooks.
+  std::uint64_t firedCount() const { return fired_; }
+  std::uint64_t cascadedCount() const { return cascaded_; }
+  /// Alarms that fired with nothing due (a cancelled minimum) — pure
+  /// overhead, should stay rare relative to firedCount().
+  std::uint64_t spuriousAlarms() const { return spurious_; }
+  /// Timer cells ever allocated — bounded by the peak number of
+  /// concurrently armed timers, regardless of arm/cancel volume.
+  std::size_t cellCapacity() const { return cell_count_; }
+
+ private:
+  static constexpr int kSlotBits = 6;
+  static constexpr std::uint32_t kSlots = 1u << kSlotBits;  // 64
+  static constexpr int kLevels = 5;  // span = 64^5 ticks (~12 days @ 1ms)
+  static constexpr std::int32_t kNil = -1;
+  static constexpr std::int32_t kFarBucket = kLevels * kSlots;
+
+  struct Cell {
+    Task fn;
+    double deadline = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t tick = 0;
+    std::uint32_t gen = 0;  // odd while armed, even while free
+    std::int32_t bucket = kNil;
+    std::int32_t prev = kNil;
+    std::int32_t next = kNil;
+  };
+
+  struct Due {
+    double deadline;
+    std::uint64_t seq;
+    Task fn;
+  };
+
+  // Cells live in fixed chunks so growth never relocates a pending Task.
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  Cell& cellAt(std::uint32_t c) {
+    return cells_[c >> kChunkShift][c & (kChunkSize - 1)];
+  }
+  const Cell& cellAt(std::uint32_t c) const {
+    return cells_[c >> kChunkShift][c & (kChunkSize - 1)];
+  }
+
+  std::uint64_t tickOf(double t) const {
+    return t <= 0 ? 0 : static_cast<std::uint64_t>(t * inv_res_);
+  }
+  std::int32_t bucketFor(std::uint64_t tick) const;
+  std::uint32_t allocCell();
+  void freeCell(std::uint32_t c);
+  void linkCell(std::uint32_t c, std::int32_t bucket);
+  void unlinkCell(std::uint32_t c);
+  void rearmAlarm(double at);
+  void onAlarm();
+  void advanceTo(std::uint64_t target, double now);
+  void drainLevel0Slot(std::uint32_t slot, double now);
+  void cascade(std::uint64_t at_tick);
+  void collectFar(double now);
+  double minLiveDeadline() const;
+
+  Simulator& sim_;
+  double res_;
+  double inv_res_;
+  std::uint64_t cursor_ = 0;     // wheel time, in ticks
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+  std::uint64_t fired_ = 0;
+  std::uint64_t cascaded_ = 0;
+  std::uint64_t spurious_ = 0;
+
+  std::int32_t buckets_[kLevels * kSlots + 1];  // heads; +1 = far list
+  /// Per-level occupancy bitmasks (bit s = slot s non-empty), so the
+  /// alarm's min-deadline scan touches only occupied slots.
+  std::uint64_t slot_mask_[kLevels] = {};
+  std::size_t level_count_[kLevels] = {};
+  std::size_t far_count_ = 0;
+
+  std::vector<std::unique_ptr<Cell[]>> cells_;
+  std::uint32_t cell_count_ = 0;
+  std::vector<std::uint32_t> free_cells_;
+  std::vector<Due> due_;  // scratch for one alarm batch
+
+  EventId alarm_ = 0;
+  double alarm_at_ = 0;
+  bool alarm_armed_ = false;
+};
+
+}  // namespace gol::sim

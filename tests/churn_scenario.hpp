@@ -1,0 +1,149 @@
+// Deterministic engine-churn scenarios shared by the columnar-core
+// regression tests and the golden generator. The scenarios are frozen: the
+// golden JSON / digest constants in item_table_test.cpp were produced by
+// running these exact scenarios against the pre-refactor (object-per-item,
+// per-item-timer) engine, so any behavioural drift in the columnar core —
+// timer ordering, accounting, salvage settlement — shows up as a diff.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/result_json.hpp"
+#include "core/round_robin_scheduler.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "fake_path.hpp"
+#include "http/checksum.hpp"
+#include "sim/simulator.hpp"
+
+namespace gol::core::testing {
+
+struct ChurnRun {
+  TransactionResult result;
+  std::string json;          ///< Full transactionResultJson (item arrays on).
+  std::uint64_t json_hash;   ///< FNV-1a of `json`.
+  std::size_t sim_slot_capacity;   ///< Simulator callable slots allocated.
+  std::size_t sim_peak_pending;    ///< Upper bound proxy: slots ~ peak live.
+  std::size_t wheel_cell_capacity;     ///< Timer cells = peak concurrent timers.
+  std::uint64_t wheel_fired;           ///< Timers that ran to their callback.
+  std::uint64_t wheel_spurious;        ///< Alarms that found nothing due.
+  std::size_t salvage_arena_reserved;  ///< Arena bytes behind salvage ledgers.
+  std::size_t column_bytes_reserved;   ///< Heap bytes of the item columns.
+};
+
+inline std::uint64_t fnv1a(const std::string& s) {
+  return http::fnv1aStep(s);
+}
+
+/// Small, failure-heavy scenario: scripted attempt failures (salvage +
+/// retry/backoff), a stall (watchdog), a payload corruption (checkpoint
+/// discard), a path death + revival (grace/requeue) and tail hedging, over
+/// four unequal paths. Exercises every row of the three-way accounting.
+inline ChurnRun runFaultyChurnScenario(std::size_t items) {
+  sim::Simulator sim;
+  FakePath adsl(sim, "adsl", 2.0e6);
+  FakePath ph0(sim, "ph0", 1.5e6);
+  FakePath ph1(sim, "ph1", 1.1e6);
+  FakePath ph2(sim, "ph2", 0.7e6);
+  ph2.setResumeSupported(false);  // legacy path: restarts at 0, no salvage
+
+  GreedyScheduler scheduler;
+  EngineConfig cfg;
+  cfg.retry.max_attempts = 4;
+  cfg.retry.base_backoff_s = 0.3;
+  cfg.watchdog.min_deadline_s = 4.0;
+  cfg.hedge_tail_items = 3;
+  TransactionEngine engine(sim, {&adsl, &ph0, &ph1, &ph2}, scheduler, cfg);
+  engine.instrument(nullptr);
+
+  std::vector<double> sizes;
+  sizes.reserve(items);
+  for (std::size_t i = 0; i < items; ++i)
+    sizes.push_back(80e3 + static_cast<double>(i % 7) * 30e3);
+  Transaction txn = makeTransaction(TransferDirection::kDownload, sizes);
+
+  // Scripted churn. Every fault is keyed to absolute sim time so the run is
+  // bit-reproducible; faults landing on an idle path are harmless no-ops.
+  ph0.failNextStarts(25, 0.07);            // partial failures -> salvage
+  sim.scheduleAt(6.0, [&] { ph1.stallCurrent(); });   // watchdog timeout
+  sim.scheduleAt(9.0, [&] { adsl.corruptCurrent(); });  // integrity gate
+  sim.scheduleAt(12.0, [&] { ph2.die("scripted-death"); });
+  sim.scheduleAt(18.0, [&] { ph2.revive("scripted-revival"); });
+  sim.scheduleAt(21.0, [&] { ph0.failNextStarts(8, 0.11); });
+  sim.scheduleAt(26.0, [&] { ph1.stallCurrent(); });
+
+  ChurnRun run{};
+  bool done = false;
+  engine.run(std::move(txn), [&](TransactionResult r) {
+    run.result = std::move(r);
+    done = true;
+  });
+  sim.run();
+  if (!done) throw std::logic_error("faulty churn scenario never finished");
+  run.json = transactionResultJson(run.result);
+  run.json_hash = fnv1a(run.json);
+  run.sim_slot_capacity = sim.slotCapacity();
+  run.sim_peak_pending = sim.slotCapacity();
+  run.wheel_cell_capacity = engine.timerWheel().cellCapacity();
+  run.wheel_fired = engine.timerWheel().firedCount();
+  run.wheel_spurious = engine.timerWheel().spuriousAlarms();
+  run.salvage_arena_reserved = engine.itemTable().salvageArenaReserved();
+  run.column_bytes_reserved = engine.itemTable().columnBytesReserved();
+  return run;
+}
+
+/// Large clean-ish churn: round-robin over eight paths with one flaky path
+/// (bounded scripted failures early on, so resume/salvage still runs) and
+/// no O(M)-scan policies, sized for the million-item regression. Watchdogs
+/// arm and disarm once per attempt — the timer-churn hot path.
+inline ChurnRun runMillionChurnScenario(std::size_t items) {
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<FakePath>> paths;
+  std::vector<TransferPath*> raw;
+  const double rates[] = {20e6, 16e6, 12e6, 11e6, 9e6, 8e6, 6e6, 5e6};
+  for (int p = 0; p < 8; ++p) {
+    paths.push_back(std::make_unique<FakePath>(
+        sim, "p" + std::to_string(p), rates[p]));
+    raw.push_back(paths.back().get());
+  }
+  paths[3]->failNextStarts(400, 0.02);  // early retry/salvage churn
+
+  RoundRobinScheduler scheduler;
+  EngineConfig cfg;
+  cfg.retry.max_attempts = 5;
+  cfg.retry.base_backoff_s = 0.2;
+  TransactionEngine engine(sim, raw, scheduler, cfg);
+  engine.instrument(nullptr);
+
+  std::vector<double> sizes;
+  sizes.reserve(items);
+  for (std::size_t i = 0; i < items; ++i)
+    sizes.push_back(30e3 + static_cast<double>(i % 11) * 8e3);
+  Transaction txn = makeTransaction(TransferDirection::kDownload, sizes);
+
+  ChurnRun run{};
+  bool done = false;
+  engine.run(std::move(txn), [&](TransactionResult r) {
+    run.result = std::move(r);
+    done = true;
+  });
+  sim.run();
+  if (!done) throw std::logic_error("million churn scenario never finished");
+  // Hash-only for the big run: the full JSON (with both per-item arrays)
+  // would be tens of megabytes; the digest pins it just as hard.
+  run.json = transactionResultJson(run.result);
+  run.json_hash = fnv1a(run.json);
+  run.sim_slot_capacity = sim.slotCapacity();
+  run.sim_peak_pending = sim.slotCapacity();
+  run.wheel_cell_capacity = engine.timerWheel().cellCapacity();
+  run.wheel_fired = engine.timerWheel().firedCount();
+  run.wheel_spurious = engine.timerWheel().spuriousAlarms();
+  run.salvage_arena_reserved = engine.itemTable().salvageArenaReserved();
+  run.column_bytes_reserved = engine.itemTable().columnBytesReserved();
+  return run;
+}
+
+}  // namespace gol::core::testing

@@ -46,12 +46,9 @@ TEST(DeadlineScheduler, PicksEarliestDeadlineFirst) {
   DeadlineScheduler s({30.0, 20.0, 5.0});
   const auto txn = makeTransaction(TransferDirection::kDownload,
                                    {1e6, 1e6, 1e6});
-  std::vector<ItemView> views;
-  for (const auto& it : txn.items) {
-    ItemView iv;
-    iv.item = &it;
-    views.push_back(iv);
-  }
+  ItemTable views;
+  views.reset(txn.items);
+  views.ensurePaths(2);
   EngineView view{&views, 2, 0.0};
   s.onTransactionStart(txn, {1e6, 1e6});
   EXPECT_EQ(*s.nextItem(view, 0), 2u);
@@ -61,21 +58,19 @@ TEST(DeadlineScheduler, DuplicationGatedByUrgencyHorizon) {
   DeadlineScheduler s({5.0, 100.0}, /*urgency_horizon_s=*/15.0);
   const auto txn =
       makeTransaction(TransferDirection::kDownload, {1e6, 1e6});
-  std::vector<ItemView> views;
-  for (const auto& it : txn.items) {
-    ItemView iv;
-    iv.item = &it;
-    iv.status = ItemStatus::kInFlight;
-    views.push_back(iv);
-  }
-  views[0].carriers = {0};
-  views[1].carriers = {1};
+  ItemTable views;
+  views.reset(txn.items);
+  views.ensurePaths(3);
+  for (std::size_t i = 0; i < views.size(); ++i)
+    views.setStatus(i, ItemStatus::kInFlight);
+  views.addCarrier(0, 0);
+  views.addCarrier(1, 1);
   EngineView view{&views, 3, 0.0};
   s.onTransactionStart(txn, {1e6, 1e6, 1e6});
   // Path 2 idles: item 0 (due in 5 s) is within the horizon -> duplicate;
   // item 1 (due in 100 s) would not be.
   EXPECT_EQ(*s.nextItem(view, 2), 0u);
-  views[0].status = ItemStatus::kDone;
+  views.setStatus(0, ItemStatus::kDone);
   EXPECT_FALSE(s.nextItem(view, 2).has_value());  // item 1 not urgent
   view.now = 90.0;
   EXPECT_EQ(*s.nextItem(view, 2), 1u);  // now it is

@@ -425,8 +425,8 @@ class PendingAuditScheduler : public GreedyScheduler {
   std::optional<std::size_t> nextItem(const EngineView& view,
                                       std::size_t path_index) override {
     std::size_t scan = 0;
-    for (const auto& iv : *view.items)
-      if (iv.status == ItemStatus::kPending) ++scan;
+    for (std::size_t i = 0; i < view.items->size(); ++i)
+      if (view.items->status(i) == ItemStatus::kPending) ++scan;
     EXPECT_EQ(view.pendingCount(), scan);
     ++audits_;
     return GreedyScheduler::nextItem(view, path_index);

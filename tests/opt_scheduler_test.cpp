@@ -187,38 +187,35 @@ TEST(OptScheduler, UnitLevelPlannedDispatchAndTailDuplication) {
   const auto txn = makeTransaction(
       TransferDirection::kDownload,
       {megabytes(1), megabytes(1), megabytes(8)});
-  std::vector<ItemView> items;
-  for (const auto& it : txn.items) {
-    ItemView iv;
-    iv.item = &it;
-    items.push_back(iv);
-  }
+  ItemTable items;
+  items.reset(txn.items);
+  items.ensurePaths(2);
   EngineView view{&items, 2, 0.0, items.size()};
   OptScheduler opt;
   opt.onTransactionStart(txn, {mbps(8), mbps(2)});
   const auto fast_pick = opt.nextItem(view, 0);
   ASSERT_TRUE(fast_pick.has_value());
   EXPECT_EQ(*fast_pick, 2u);  // the 8 MB item owns the fast path
-  items[2].status = ItemStatus::kInFlight;
-  items[2].carriers.push_back(0);
-  items[2].first_assigned_at = 0.0;
+  items.setStatus(2, ItemStatus::kInFlight);
+  items.addCarrier(2, 0);
+  items.setFirstAssignedAt(2, 0.0);
   view.pending = 2;
   const auto slow_pick = opt.nextItem(view, 1);
   ASSERT_TRUE(slow_pick.has_value());
   EXPECT_NE(*slow_pick, 2u);
-  items[*slow_pick].status = ItemStatus::kInFlight;
-  items[*slow_pick].carriers.push_back(1);
-  items[*slow_pick].first_assigned_at = 0.0;
+  items.setStatus(*slow_pick, ItemStatus::kInFlight);
+  items.addCarrier(*slow_pick, 1);
+  items.setFirstAssignedAt(*slow_pick, 0.0);
   view.pending = 1;
   // Mark the remaining small item done; path 1 going idle must duplicate
   // item 2 (oldest in flight, carried only by path 0).
   for (std::size_t i = 0; i < 2; ++i) {
-    if (items[i].status == ItemStatus::kPending) {
-      items[i].status = ItemStatus::kDone;
+    if (items.status(i) == ItemStatus::kPending) {
+      items.setStatus(i, ItemStatus::kDone);
     }
   }
-  items[*slow_pick].status = ItemStatus::kDone;
-  items[*slow_pick].carriers.clear();
+  items.setStatus(*slow_pick, ItemStatus::kDone);
+  items.clearCarriers(*slow_pick);
   view.pending = 0;
   const auto dup = opt.nextItem(view, 1);
   ASSERT_TRUE(dup.has_value());

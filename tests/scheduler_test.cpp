@@ -18,26 +18,23 @@ Transaction twoMbItems(int n) {
 
 struct ViewFixture {
   explicit ViewFixture(const Transaction& txn, std::size_t paths) {
-    for (const auto& it : txn.items) {
-      ItemView iv;
-      iv.item = &it;
-      items.push_back(iv);
-    }
+    items.reset(txn.items);
+    items.ensurePaths(paths);
     view.items = &items;
     view.path_count = paths;
   }
 
   void markInFlight(std::size_t idx, std::size_t path, double at) {
-    items[idx].status = ItemStatus::kInFlight;
-    items[idx].carriers.push_back(path);
-    items[idx].first_assigned_at = at;
+    items.setStatus(idx, ItemStatus::kInFlight);
+    items.addCarrier(idx, path);
+    items.setFirstAssignedAt(idx, at);
   }
   void markDone(std::size_t idx) {
-    items[idx].status = ItemStatus::kDone;
-    items[idx].carriers.clear();
+    items.setStatus(idx, ItemStatus::kDone);
+    items.clearCarriers(idx);
   }
 
-  std::vector<ItemView> items;
+  ItemTable items;
   EngineView view;
 };
 
@@ -155,7 +152,7 @@ TEST(MinTime, BootstrapsRoundRobinThenUsesEstimates) {
   f.markInFlight(1, 1, 0);
   // After bootstrap, the fast path should receive the bulk.
   f.markDone(0);
-  min.onItemComplete(0, *f.items[0].item, 2.0);  // 2 MB in 2 s = 8 Mbps
+  min.onItemComplete(0, f.items.item(0), 2.0);  // 2 MB in 2 s = 8 Mbps
   int to_fast = 0;
   for (int i = 0; i < 4; ++i) {
     const auto pick0 = min.nextItem(f.view, 0);

@@ -1,0 +1,367 @@
+// TimerWheel contract tests: exact-deadline firing (ticks bucket, never
+// quantize), arm-order ties, O(1) lazy cancel, cascade correctness across
+// level boundaries, the far-overflow list, and bounded cell growth. The
+// fuzz at the bottom replays one random arm/cancel script through the
+// wheel AND through plain per-timer Simulator events and requires the two
+// firing logs to match entry-for-entry — the wheel must be observationally
+// identical to the event queue it replaces, minus the heap churn.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer_wheel.hpp"
+
+namespace gol::sim {
+namespace {
+
+constexpr double kRes = TimerWheel::kDefaultResolutionS;
+
+TEST(TimerWheelTest, FiresAtExactDeadlineNotTickQuantized) {
+  Simulator sim;
+  TimerWheel wheel(sim);
+  double fired_at = -1.0;
+  wheel.armAt(1.23456789, [&] { fired_at = sim.now(); });
+  sim.run();
+  // Bitwise equality on purpose: the alarm is scheduled at the deadline
+  // itself; the tick grid only buckets.
+  EXPECT_EQ(fired_at, 1.23456789);
+  EXPECT_EQ(wheel.firedCount(), 1u);
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(TimerWheelTest, ZeroAndNegativeDelaysClampToNow) {
+  Simulator sim;
+  TimerWheel wheel(sim);
+  std::vector<std::pair<int, double>> log;
+  sim.scheduleAt(2.0, [&] {
+    wheel.armIn(-5.0, [&] { log.push_back({0, sim.now()}); });
+    wheel.armIn(0.0, [&] { log.push_back({1, sim.now()}); });
+    wheel.armAt(1.0, [&] { log.push_back({2, sim.now()}); });  // in the past
+  });
+  sim.run();
+  ASSERT_EQ(log.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(log[static_cast<std::size_t>(i)].first, i);  // arm order
+    EXPECT_EQ(log[static_cast<std::size_t>(i)].second, 2.0);
+  }
+}
+
+TEST(TimerWheelTest, EqualDeadlinesFireInArmOrder) {
+  Simulator sim;
+  TimerWheel wheel(sim);
+  std::vector<int> order;
+  // Armed out of any natural index order; only arm sequence may decide.
+  wheel.armAt(3.0, [&] { order.push_back(0); });
+  wheel.armAt(3.0, [&] { order.push_back(1); });
+  wheel.armAt(1.0, [&] { order.push_back(2); });
+  wheel.armAt(3.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 0, 1, 3}));
+}
+
+TEST(TimerWheelTest, EarlierArmRetargetsTheAlarm) {
+  Simulator sim;
+  TimerWheel wheel(sim);
+  std::vector<double> fires;
+  wheel.armAt(20.0, [&] { fires.push_back(sim.now()); });
+  wheel.armAt(5.0, [&] { fires.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(fires.size(), 2u);
+  EXPECT_EQ(fires[0], 5.0);
+  EXPECT_EQ(fires[1], 20.0);
+}
+
+TEST(TimerWheelTest, CancelPreventsFiringAndIsIdempotent) {
+  Simulator sim;
+  TimerWheel wheel(sim);
+  int fired = 0;
+  const auto a = wheel.armAt(1.0, [&] { ++fired; });
+  const auto b = wheel.armAt(2.0, [&] { fired += 10; });
+  wheel.cancel(a);
+  wheel.cancel(a);               // double cancel: no-op
+  wheel.cancel(0);               // null id: no-op
+  wheel.cancel(0xdeadbeefULL);   // garbage id: no-op
+  EXPECT_EQ(wheel.armed(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+  wheel.cancel(b);  // already fired: no-op, wheel still usable
+  wheel.armAt(3.0, [&] { fired += 100; });
+  sim.run();
+  EXPECT_EQ(fired, 110);
+}
+
+TEST(TimerWheelTest, CancelReleasesCallableCapturesImmediately) {
+  Simulator sim;
+  TimerWheel wheel(sim);
+  auto token = std::make_shared<int>(7);
+  const auto id = wheel.armAt(5.0, [token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  wheel.cancel(id);
+  // Released at cancel time, not lazily when the slot is reused.
+  EXPECT_EQ(token.use_count(), 1);
+  sim.run();
+}
+
+TEST(TimerWheelTest, CancelledMinimumCostsOneSpuriousAlarm) {
+  Simulator sim;
+  TimerWheel wheel(sim);
+  double fired_at = -1.0;
+  const auto a = wheel.armAt(10.0, [] {});
+  wheel.armAt(20.0, [&] { fired_at = sim.now(); });
+  wheel.cancel(a);  // the alarm stays targeted at 10 (lazy cancel)
+  sim.run();
+  EXPECT_EQ(fired_at, 20.0);
+  EXPECT_EQ(wheel.spuriousAlarms(), 1u);
+  EXPECT_EQ(wheel.firedCount(), 1u);
+}
+
+TEST(TimerWheelTest, SameInstantBatchSurvivesSiblingCancel) {
+  // Documented semantic difference from per-timer heap events: timers due
+  // at the same instant are extracted as a batch before the first callback
+  // runs, so cancelling a same-instant sibling from a callback does not
+  // stop it. Callers guard with their own generations (the engine does).
+  Simulator sim;
+  TimerWheel wheel(sim);
+  std::vector<int> order;
+  TimerWheel::TimerId sibling = 0;
+  wheel.armAt(1.0, [&] {
+    order.push_back(0);
+    wheel.cancel(sibling);
+  });
+  sibling = wheel.armAt(1.0, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(TimerWheelTest, CallbackCancelsLaterTimer) {
+  Simulator sim;
+  TimerWheel wheel(sim);
+  bool late_fired = false;
+  TimerWheel::TimerId late = 0;
+  wheel.armAt(1.0, [&] { wheel.cancel(late); });
+  late = wheel.armAt(2.0, [&] { late_fired = true; });
+  sim.run();
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(TimerWheelTest, CallbackReArmsPeriodically) {
+  Simulator sim;
+  TimerWheel wheel(sim);
+  std::vector<double> ticks;
+  std::function<void()> beat = [&] {
+    ticks.push_back(sim.now());
+    if (ticks.size() < 5) wheel.armIn(1.5, [&] { beat(); });
+  };
+  wheel.armIn(1.5, [&] { beat(); });
+  sim.run();
+  ASSERT_EQ(ticks.size(), 5u);
+  for (std::size_t i = 0; i < ticks.size(); ++i) {
+    EXPECT_EQ(ticks[i], 1.5 * static_cast<double>(i + 1));
+  }
+}
+
+TEST(TimerWheelTest, CascadeBoundariesFireExactly) {
+  // Deadlines straddling every level boundary (64, 64^2, 64^3, 64^4 ticks)
+  // plus off-grid fractions; each must fire at its exact deadline, in
+  // deadline order, with cascades actually happening.
+  Simulator sim;
+  TimerWheel wheel(sim);
+  const std::uint64_t ticks[] = {1,      63,     64,     65,     4095,
+                                 4096,   4097,   262143, 262144, 262145,
+                                 16777215, 16777216, 16777217};
+  std::vector<double> deadlines;
+  for (const std::uint64_t t : ticks) {
+    deadlines.push_back(static_cast<double>(t) * kRes);
+    deadlines.push_back(static_cast<double>(t) * kRes + 0.3 * kRes);
+  }
+  std::vector<double> fires;
+  for (const double d : deadlines) {
+    wheel.armAt(d, [&fires, &sim] { fires.push_back(sim.now()); });
+  }
+  sim.run();
+  std::vector<double> expected = deadlines;
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(fires.size(), expected.size());
+  for (std::size_t i = 0; i < fires.size(); ++i) {
+    EXPECT_EQ(fires[i], expected[i]) << "fire " << i;
+  }
+  EXPECT_GT(wheel.cascadedCount(), 0u);
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(TimerWheelTest, LongIdleGapCostsOneAlarmEvent) {
+  // A single far-ish timer: the cursor level-jumps across the idle span
+  // instead of stepping tick by tick, and the simulator sees exactly one
+  // alarm event (the one-event-per-wheel contract).
+  Simulator sim;
+  TimerWheel wheel(sim);
+  double fired_at = -1.0;
+  wheel.armAt(16000.0, [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired_at, 16000.0);
+  EXPECT_EQ(sim.processedEvents(), 1u);
+}
+
+TEST(TimerWheelTest, FarOverflowTimersFireAndCancel) {
+  // Beyond the wheel span (64^5 ticks ~ 1.05e6 s at the default
+  // resolution) timers live on the far list and re-bucket lazily.
+  Simulator sim;
+  TimerWheel wheel(sim);
+  std::vector<std::pair<int, double>> log;
+  wheel.armAt(2.4e6, [&] { log.push_back({0, sim.now()}); });
+  wheel.armAt(1.2e6, [&] { log.push_back({1, sim.now()}); });
+  const auto dropped = wheel.armAt(1.8e6, [&] { log.push_back({2, sim.now()}); });
+  wheel.armAt(50.0, [&] { log.push_back({3, sim.now()}); });
+  wheel.cancel(dropped);
+  sim.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], (std::pair<int, double>{3, 50.0}));
+  EXPECT_EQ(log[1], (std::pair<int, double>{1, 1.2e6}));
+  EXPECT_EQ(log[2], (std::pair<int, double>{0, 2.4e6}));
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(TimerWheelTest, CellCapacityBoundedByPeakConcurrency) {
+  // 500 rounds x 32 armed, half cancelled before firing: 16k arms total,
+  // but cell storage must stay at the peak concurrent count (32), and
+  // every lazily-cancelled minimum costs exactly one spurious alarm.
+  Simulator sim;
+  TimerWheel wheel(sim);
+  int fired = 0;
+  for (int r = 0; r < 500; ++r) {
+    sim.scheduleAt(static_cast<double>(r), [&] {
+      std::vector<TimerWheel::TimerId> doomed;
+      for (int i = 0; i < 16; ++i) {
+        doomed.push_back(wheel.armIn(0.25, [&] { ++fired; }));
+      }
+      for (int i = 0; i < 16; ++i) wheel.armIn(0.5, [&] { ++fired; });
+      for (const auto id : doomed) wheel.cancel(id);
+    });
+  }
+  sim.run();
+  EXPECT_EQ(fired, 500 * 16);
+  EXPECT_EQ(wheel.firedCount(), 500u * 16u);
+  EXPECT_LE(wheel.cellCapacity(), 32u);
+  EXPECT_EQ(wheel.spuriousAlarms(), 500u);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz: wheel vs plain Simulator events.
+
+struct Op {
+  double t = 0;        ///< Absolute sim time the op executes at.
+  int kind = 0;        ///< 0 = arm, 1 = cancel, 2 = arm same-deadline twins.
+  double delay = 0;
+  std::size_t target = 0;  ///< For cancel: arm-index to cancel.
+};
+
+struct Fire {
+  double at;
+  std::size_t idx;  ///< Arm index (global, in arm order).
+  bool operator==(const Fire& o) const { return at == o.at && idx == o.idx; }
+};
+
+std::vector<Op> makeScript(std::uint64_t seed, int ops) {
+  Rng rng(seed);
+  std::vector<Op> script;
+  double t = 0;
+  std::size_t arms = 0;
+  for (int i = 0; i < ops; ++i) {
+    t += rng.uniform(1e-4, 2.0);
+    Op op;
+    op.t = t;
+    const double roll = rng.uniform(0.0, 1.0);
+    if (arms > 0 && roll < 0.3) {
+      op.kind = 1;
+      op.target = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(arms) - 1));
+    } else {
+      // Delay scales spanning sub-tick, level 0..4 and the far list.
+      static const double kHi[] = {0.01, 5.0, 500.0, 5e5, 3e6};
+      op.delay = rng.uniform(0.0, kHi[rng.uniformInt(0, 4)]);
+      if (roll > 0.9) {
+        op.kind = 2;  // twins: same deadline, distinct arm order
+        arms += 2;
+      } else {
+        op.kind = 0;
+        arms += 1;
+      }
+    }
+    script.push_back(op);
+  }
+  return script;
+}
+
+/// Replays `script` against the wheel; fires logged as (time, arm index).
+std::vector<Fire> runWheel(const std::vector<Op>& script) {
+  Simulator sim;
+  TimerWheel wheel(sim);
+  std::vector<TimerWheel::TimerId> ids;
+  std::vector<Fire> log;
+  for (const Op& op : script) {
+    sim.scheduleAt(op.t, [&, op] {
+      if (op.kind == 1) {
+        wheel.cancel(ids[op.target]);
+        return;
+      }
+      const int n = op.kind == 2 ? 2 : 1;
+      for (int k = 0; k < n; ++k) {
+        const std::size_t idx = ids.size();
+        ids.push_back(
+            wheel.armIn(op.delay, [&, idx] { log.push_back({sim.now(), idx}); }));
+      }
+    });
+  }
+  sim.run();
+  EXPECT_EQ(wheel.armed(), 0u);
+  EXPECT_EQ(wheel.firedCount(), log.size());
+  return log;
+}
+
+/// Replays `script` with one plain simulator event per timer — the
+/// reference semantics the wheel must reproduce.
+std::vector<Fire> runReference(const std::vector<Op>& script) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  std::vector<Fire> log;
+  for (const Op& op : script) {
+    sim.scheduleAt(op.t, [&, op] {
+      if (op.kind == 1) {
+        sim.cancel(ids[op.target]);
+        return;
+      }
+      const int n = op.kind == 2 ? 2 : 1;
+      for (int k = 0; k < n; ++k) {
+        const std::size_t idx = ids.size();
+        ids.push_back(
+            sim.scheduleIn(op.delay, [&, idx] { log.push_back({sim.now(), idx}); }));
+      }
+    });
+  }
+  sim.run();
+  return log;
+}
+
+TEST(TimerWheelFuzz, MatchesPerTimerSimulatorEvents) {
+  for (const std::uint64_t seed : {11u, 4242u, 987654u}) {
+    const auto script = makeScript(seed, 1500);
+    const auto wheel_log = runWheel(script);
+    const auto ref_log = runReference(script);
+    ASSERT_EQ(wheel_log.size(), ref_log.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < wheel_log.size(); ++i) {
+      ASSERT_TRUE(wheel_log[i] == ref_log[i])
+          << "seed " << seed << " fire " << i << ": wheel ("
+          << wheel_log[i].at << ", " << wheel_log[i].idx << ") vs ref ("
+          << ref_log[i].at << ", " << ref_log[i].idx << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gol::sim

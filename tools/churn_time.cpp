@@ -1,0 +1,70 @@
+// Wall-clock timing for the engine-churn scenario (8 fake paths,
+// round-robin, one flaky path) — the same shape as the million-item churn
+// test, without the hashing. Build this tool on two revisions (a git
+// worktree works well) to A/B engine bookkeeping changes end to end:
+//   ./build/tools/churn_time 1000000
+// Wall numbers are machine-dependent; the items/s ratio between two
+// builds on the same machine is the signal.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/round_robin_scheduler.hpp"
+#include "../tests/fake_path.hpp"
+#include "sim/simulator.hpp"
+
+using namespace gol;
+using namespace gol::core;
+using namespace gol::core::testing;
+
+int main(int argc, char** argv) {
+  const std::size_t items = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                     : 100000;
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<FakePath>> paths;
+  std::vector<TransferPath*> raw;
+  const double rates[] = {20e6, 16e6, 12e6, 11e6, 9e6, 8e6, 6e6, 5e6};
+  for (int p = 0; p < 8; ++p) {
+    paths.push_back(std::make_unique<FakePath>(
+        sim, "p" + std::to_string(p), rates[p]));
+    raw.push_back(paths.back().get());
+  }
+  paths[3]->failNextStarts(400, 0.02);
+
+  RoundRobinScheduler scheduler;
+  EngineConfig cfg;
+  cfg.retry.max_attempts = 5;
+  cfg.retry.base_backoff_s = 0.2;
+  TransactionEngine engine(sim, raw, scheduler, cfg);
+  engine.instrument(nullptr);
+
+  std::vector<double> sizes;
+  sizes.reserve(items);
+  for (std::size_t i = 0; i < items; ++i)
+    sizes.push_back(30e3 + static_cast<double>(i % 11) * 8e3);
+  Transaction txn = makeTransaction(TransferDirection::kDownload, sizes);
+
+  bool done = false;
+  TransactionResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.run(std::move(txn), [&](TransactionResult r) {
+    result = std::move(r);
+    done = true;
+  });
+  sim.run();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!done) return 1;
+  std::printf("%zu items: %.3f s (%.0f items/s), outcome %d, retries %llu, "
+              "sim slots %zu\n",
+              items, secs, static_cast<double>(items) / secs,
+              static_cast<int>(result.outcome),
+              static_cast<unsigned long long>(result.retries),
+              sim.slotCapacity());
+  return 0;
+}

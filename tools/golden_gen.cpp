@@ -1,0 +1,36 @@
+// One-shot generator for the columnar-core regression goldens: runs the
+// frozen churn scenarios (tests/churn_scenario.hpp) and prints the JSON
+// digests (and the small scenario's full JSON) that item_table_test.cpp
+// pins. Run it against a known-good engine to regenerate the constants.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "../tests/churn_scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gol::core::testing;
+  const std::size_t big = argc > 1
+      ? static_cast<std::size_t>(std::atoll(argv[1]))
+      : 1000000;
+
+  ChurnRun small = runFaultyChurnScenario(2000);
+  std::printf("== faulty churn (2000 items) ==\n");
+  std::printf("json_hash = 0x%016llxULL\n",
+              static_cast<unsigned long long>(small.json_hash));
+  std::printf("sim_slot_capacity = %zu\n", small.sim_slot_capacity);
+  std::printf("json:\n%s\n", small.json.c_str());
+
+  ChurnRun million = runMillionChurnScenario(big);
+  std::printf("== million churn (%zu items) ==\n", big);
+  std::printf("json_hash = 0x%016llxULL\n",
+              static_cast<unsigned long long>(million.json_hash));
+  std::printf("sim_slot_capacity = %zu\n", million.sim_slot_capacity);
+  std::printf("outcome=%s duration=%.6f delivered=%.0f wasted=%.0f "
+              "salvaged=%.0f retries=%zu timeouts=%zu\n",
+              gol::core::toString(million.result.outcome),
+              million.result.duration_s, million.result.delivered_bytes,
+              million.result.wasted_bytes, million.result.salvaged_bytes,
+              million.result.retries, million.result.timeouts);
+  return 0;
+}
