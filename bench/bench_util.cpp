@@ -40,12 +40,15 @@ Args parseArgs(int argc, char** argv, int default_reps) {
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       args.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
       exec::ThreadPool::setDefaultThreads(args.jobs);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      args.shards = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       args.quick = true;
     } else {
-      std::fprintf(
-          stderr, "usage: %s [--seed N] [--reps N] [--jobs N] [--quick]\n",
-          argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--seed N] [--reps N] [--jobs N] [--shards N] "
+                   "[--quick]\n",
+                   argv[0]);
       std::exit(2);
     }
   }

@@ -21,11 +21,15 @@ struct Args {
   int reps = 0;
   bool quick = false;   ///< --quick: trims sweeps for smoke runs.
   unsigned jobs = 0;    ///< --jobs: worker threads (0 = all hardware threads).
+  /// --shards: shard count for sharded-simulation benches (0 = bench
+  /// default). Changing it changes which couplings are windowed, so it is
+  /// part of the deterministic configuration, not a tuning knob.
+  std::size_t shards = 0;
 };
 
-/// Parses --seed N, --reps N, --quick, --jobs N. Unknown flags abort with
-/// usage. Also starts the per-figure wall clock (reported to stderr at
-/// exit, so stdout stays byte-identical across --jobs settings).
+/// Parses --seed N, --reps N, --quick, --jobs N, --shards N. Unknown flags
+/// abort with usage. Also starts the per-figure wall clock (reported to
+/// stderr at exit, so stdout stays byte-identical across --jobs settings).
 Args parseArgs(int argc, char** argv, int default_reps);
 
 /// Process-wide worker pool for repetition fan-out, sized by --jobs.

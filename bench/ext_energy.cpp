@@ -7,8 +7,7 @@
 
 #include "bench_util.hpp"
 #include "cellular/energy.hpp"
-#include "core/engine.hpp"
-#include "core/home.hpp"
+#include "core/scenario.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 
@@ -26,30 +25,27 @@ int main(int argc, char** argv) {
       double total_j, active_j;
     };
     const auto outs = bench::mapReps(args.reps, [&](int rep) {
-      core::HomeConfig cfg;
-      cfg.location = cell::evaluationLocations()[3];
-      cfg.phones = 1;
-      cfg.seed = args.seed + static_cast<std::uint64_t>(rep * 17);
-      core::HomeEnvironment home(cfg);
-      cell::EnergyMeter meter(home.simulator(), home.phone(0).rrc());
+      auto scn =
+          core::ScenarioBuilder()
+              .location(cell::evaluationLocations()[3])
+              .phonesPerHousehold(1)
+              .useAdsl(false)  // cellular-only: meter the onload in isolation
+              .scheduler("greedy")
+              .seed(args.seed + static_cast<std::uint64_t>(rep * 17))
+              .build();
+      cell::EnergyMeter meter(scn.simulator(),
+                              scn.household(0).phones[0]->rrc());
 
-      auto paths = home.makePaths(core::TransferDirection::kDownload, 1,
-                                  /*include_adsl=*/false);
-      std::vector<core::TransferPath*> raw;
-      for (auto& p : paths) raw.push_back(p.get());
-      auto sched = core::makeScheduler("greedy");
-      core::TransactionEngine engine(home.simulator(), raw, *sched);
       const int items = std::max(1, static_cast<int>(boost_mb));
-      const auto res = core::runTransaction(
-          home.simulator(), engine,
-          core::makeTransaction(
-              core::TransferDirection::kDownload,
-              std::vector<double>(static_cast<std::size_t>(items),
-                                  boost_mb * 1e6 / items)));
+      const auto res = scn.run(
+          0, core::makeTransaction(
+                 core::TransferDirection::kDownload,
+                 std::vector<double>(static_cast<std::size_t>(items),
+                                     boost_mb * 1e6 / items)));
       (void)res;
       const double active_j = meter.joules();
       // Let the radio age out to idle: the tail is part of the bill.
-      home.simulator().run();
+      scn.simulator().run();
       return RepOut{meter.joules(), active_j};
     });
     for (const RepOut& r : outs) {

@@ -6,37 +6,13 @@
 // decay + shared-channel caps), but stays above 1 well past a handful of
 // simultaneous boosts.
 #include <cstdio>
-#include <memory>
 #include <optional>
+#include <vector>
 
-#include "access/adsl.hpp"
-#include "access/wifi.hpp"
 #include "bench_util.hpp"
-#include "core/engine.hpp"
-#include "core/scheduler.hpp"
-#include "core/sim_paths.hpp"
-#include "http/sim_client.hpp"
-#include "http/sim_origin.hpp"
-#include "sim/units.hpp"
+#include "core/scenario.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
-
-namespace {
-
-using namespace gol;
-
-/// One household wired into a shared simulator/location.
-struct Household {
-  std::unique_ptr<access::AdslLine> adsl;
-  std::unique_ptr<access::WifiLan> wifi;
-  std::vector<std::unique_ptr<cell::CellularDevice>> phones;
-  std::vector<std::unique_ptr<core::TransferPath>> paths;
-  std::unique_ptr<core::Scheduler> scheduler;
-  std::unique_ptr<core::TransactionEngine> engine;
-  std::optional<core::TransactionResult> result;
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gol;
@@ -61,75 +37,47 @@ int main(int argc, char** argv) {
     };
     const auto outs = bench::mapReps(args.reps, [&](int rep) {
       RepOut out;
-      sim::Simulator simulator;
-      net::FlowNetwork network(simulator);
-      sim::Rng rng(args.seed + static_cast<std::uint64_t>(rep * 31 + homes));
-
-      cell::LocationSpec spec = cell::evaluationLocations()[3];
-      cell::Location location(network, spec, rng.fork());
-      location.setAvailableFraction(0.78);
-      http::SimOrigin origin(network, "origin");
-      http::SimHttpClient http(network);
-
-      std::vector<Household> hood(static_cast<std::size_t>(homes));
-      for (int h = 0; h < homes; ++h) {
-        auto& home = hood[static_cast<std::size_t>(h)];
-        access::AdslConfig adsl_cfg;
-        adsl_cfg.sync_down_bps = spec.adsl_down_bps;
-        adsl_cfg.sync_up_bps = spec.adsl_up_bps;
-        adsl_cfg.down_utilization = spec.adsl_down_utilization;
-        home.adsl = std::make_unique<access::AdslLine>(
-            network, "adsl" + std::to_string(h), adsl_cfg);
-        home.wifi = std::make_unique<access::WifiLan>(
-            network, "wifi" + std::to_string(h), access::WifiConfig{});
-        for (int p = 0; p < 2; ++p) {
-          home.phones.push_back(location.makeDevice(
-              "h" + std::to_string(h) + "p" + std::to_string(p)));
-        }
-
-        net::NetPath adsl_path = home.adsl->downPath();
-        adsl_path.links.push_back(origin.serveLink());
-        adsl_path.links.push_back(home.wifi->medium());
-        home.paths.push_back(std::make_unique<core::AdslTransferPath>(
-            http, "adsl" + std::to_string(h), std::move(adsl_path)));
-        for (auto& phone : home.phones) {
-          home.paths.push_back(std::make_unique<core::CellularTransferPath>(
-              *phone, cell::Direction::kDownlink, phone->name(),
-              std::vector<net::Link*>{home.wifi->medium(),
-                                      origin.serveLink()}));
-        }
-        std::vector<core::TransferPath*> raw;
-        for (auto& p : home.paths) raw.push_back(p.get());
-        home.scheduler = core::makeScheduler("greedy");
-        home.engine = std::make_unique<core::TransactionEngine>(
-            simulator, raw, *home.scheduler);
-      }
+      auto hood =
+          core::ScenarioBuilder()
+              .location(cell::evaluationLocations()[3])
+              .households(homes)
+              .phonesPerHousehold(2)
+              .scheduler("greedy")
+              .seed(args.seed + static_cast<std::uint64_t>(rep * 31 + homes))
+              .build();
 
       // All homes hit play at the same instant (the worst case).
-      for (auto& home : hood) {
-        home.engine->run(
-            core::makeTransaction(
-                core::TransferDirection::kDownload,
-                std::vector<double>(segments, video_bytes / segments)),
-            [&home](core::TransactionResult r) { home.result = std::move(r); });
+      std::vector<std::optional<core::TransactionResult>> results(
+          static_cast<std::size_t>(homes));
+      for (int h = 0; h < homes; ++h) {
+        auto& slot = results[static_cast<std::size_t>(h)];
+        hood.household(static_cast<std::size_t>(h))
+            .engine->run(
+                core::makeTransaction(
+                    core::TransferDirection::kDownload,
+                    std::vector<double>(segments, video_bytes / segments)),
+                [&slot](core::TransactionResult r) { slot = std::move(r); });
       }
-      simulator.run();
+      hood.simulator().run();
 
-      for (auto& home : hood) {
-        if (!home.result) continue;
-        out.durations.push_back(home.result->duration_s);
+      for (const auto& result : results) {
+        if (!result) continue;
+        out.durations.push_back(result->duration_s);
         double phone_bytes = 0;
-        for (const auto& [name, bytes] : home.result->per_path_bytes) {
-          if (name.rfind("adsl", 0) != 0) phone_bytes += bytes;
+        for (const auto& [name, bytes] : result->per_path_bytes) {
+          // Builder path names end ".../adsl"; everything else is a phone.
+          if (name.size() < 4 ||
+              name.compare(name.size() - 4, 4, "adsl") != 0) {
+            phone_bytes += bytes;
+          }
         }
-        out.cell_mbps.push_back(phone_bytes * 8 / home.result->duration_s /
-                                1e6);
+        out.cell_mbps.push_back(phone_bytes * 8 / result->duration_s / 1e6);
       }
 
       if (homes == 1 && rep == 0) {
         // ADSL-only reference from the same environment.
-        out.adsl_only_s = video_bytes * 8 /
-                          hood[0].adsl->goodputDownBps();
+        out.adsl_only_s =
+            video_bytes * 8 / hood.household(0).adsl->goodputDownBps();
       }
       return out;
     });

@@ -1,0 +1,92 @@
+// Metro-scale sharded simulation: the whole-city run the single event loop
+// could never hold. Neighborhoods (DSLAM + households) grouped into
+// cell-tower areas, sharded across sim::ShardedSimulator with conservative
+// window sync (see docs/architecture.md, "Sharded simulation").
+//
+// Output contract: stdout is bit-exact across runs and across --jobs for a
+// fixed --shards (the determinism tests diff it); wall time, events/sec and
+// per-shard occupancy go to stderr and BENCH_metro.json only.
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/metro.hpp"
+#include "telemetry/telemetry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gol;
+  const auto args = bench::parseArgs(argc, argv, 1);
+  bench::banner("Metro", "City-scale sharded simulation",
+                "Sec. 2.1 sizes a tower area at ~875 DSL subscribers; this "
+                "runs every subscriber of a metro district at once");
+
+  core::MetroConfig cfg;
+  cfg.seed = args.seed;
+  if (args.quick) {
+    // CI smoke: a district, not the city.
+    cfg.neighborhoods = 16;
+    cfg.households_per_neighborhood = 10;
+    cfg.horizon_s = 120.0;
+    cfg.shards = 2;
+  } else {
+    // The full metro: 20k households, ~1.7M transactions over a simulated
+    // hour. 200 shards = one tower area per shard: cuts align with area
+    // boundaries (no replica reconciliation needed) and each shard's flow
+    // network stays small enough that incremental water-fill is cheap
+    // (100 homes per shard).
+    cfg.neighborhoods = 800;
+    cfg.households_per_neighborhood = 25;
+    cfg.horizon_s = 3600.0;
+    cfg.shards = 200;
+  }
+  if (args.shards != 0) cfg.shards = args.shards;
+
+  std::printf("metro: %d neighborhoods x %d households (%lld homes), "
+              "%d-neighborhood areas, %zu shards, window %.1fs, horizon "
+              "%.0fs\n",
+              cfg.neighborhoods, cfg.households_per_neighborhood,
+              cfg.householdCount(), cfg.neighborhoods_per_area, cfg.shards,
+              cfg.window_s, cfg.horizon_s);
+
+  core::MetroSimulation metro(cfg);
+  const core::MetroResult res = metro.run(bench::pool());
+
+  std::printf("transactions: %" PRIu64 "  items ok: %" PRIu64
+              "  failed: %" PRIu64 "\n",
+              res.transactions, res.items_ok, res.items_failed);
+  std::printf("payload: %.3f GB over %.0f sim-seconds (%.1f%% onloaded to "
+              "cellular)\n",
+              res.bytes / 1e9, res.sim_s,
+              res.bytes > 0 ? 100.0 * res.cell_bytes / res.bytes : 0.0);
+  std::printf("events: %" PRIu64 " across %zu windows\n", res.events,
+              res.windows);
+  std::printf("digest: %016" PRIx64 "\n", res.digest);
+
+  // Timing is real-clock: stderr + JSON only, never stdout.
+  std::fprintf(stderr, "[metro] %.2f s wall, %.0f events/s aggregate\n",
+               res.wall_s, res.eventsPerSec());
+  for (std::size_t s = 0; s < res.shards.size(); ++s) {
+    std::fprintf(stderr,
+                 "[metro] shard %zu: %" PRIu64 " events, %.2f s busy "
+                 "(occupancy %.0f%%)\n",
+                 s, res.shards[s].events, res.shards[s].busy_s,
+                 res.wall_s > 0 ? 100.0 * res.shards[s].busy_s / res.wall_s
+                                : 0.0);
+  }
+
+  auto& reg = telemetry::Registry::global();
+  reg.gauge("gol.metro.households").set(static_cast<double>(res.households));
+  reg.gauge("gol.metro.transactions")
+      .set(static_cast<double>(res.transactions));
+  reg.gauge("gol.metro.events").set(static_cast<double>(res.events));
+  reg.gauge("gol.metro.windows").set(static_cast<double>(res.windows));
+  reg.gauge("gol.metro.shards").set(static_cast<double>(res.shard_count));
+  reg.gauge("gol.metro.wall_s").set(res.wall_s);
+  reg.gauge("gol.metro.events_per_sec").set(res.eventsPerSec());
+  for (std::size_t s = 0; s < res.shards.size(); ++s) {
+    reg.gauge("gol.metro.shard_busy_s", {{"shard", std::to_string(s)}})
+        .set(res.shards[s].busy_s);
+  }
+  bench::exportMetrics("metro");
+  return 0;
+}

@@ -18,10 +18,11 @@ CellularDevice::CellularDevice(net::FlowNetwork& net, std::string name,
       rrc_(net.simulator(), cfg.rrc) {}
 
 double CellularDevice::sectorBias(const Sector* s) {
-  auto it = sector_bias_db_.find(s);
-  if (it != sector_bias_db_.end()) return it->second;
+  for (const auto& [sec, bias] : sector_bias_db_) {
+    if (sec == s) return bias;
+  }
   const double bias = rng_.normal(0.0, cfg_.sector_diversity_db);
-  sector_bias_db_.emplace(s, bias);
+  sector_bias_db_.emplace_back(s, bias);
   return bias;
 }
 

@@ -109,7 +109,10 @@ class CellularDevice {
   sim::Rng rng_;
   RrcMachine rrc_;
   std::map<TransferId, Transfer> transfers_;
-  std::map<const Sector*, double> sector_bias_db_;
+  /// Per-sector attachment bias, drawn lazily on first encounter. Flat
+  /// vector: a device sees ~6 sectors and chooseSector probes all of them
+  /// on every transfer, so a linear scan beats tree lookups.
+  std::vector<std::pair<const Sector*, double>> sector_bias_db_;
   TransferId next_id_ = 1;
   double metered_bytes_ = 0;
   bool ticking_ = false;

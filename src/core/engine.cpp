@@ -145,7 +145,10 @@ void TransactionEngine::attachPath(TransferPath* path) {
   ensureAccountingSlot(ps.pid);
   paths_.push_back(std::move(ps));
   table_.ensurePaths(paths_.size());
-  bindPathInstruments(paths_.back());
+  // Deferred to bindInstruments() (first run) unless instruments are
+  // already live — so construct-then-instrument(nullptr) never touches the
+  // registry (metro builds hundreds of thousands of engines).
+  if (transactions_ != nullptr) bindPathInstruments(paths_.back());
   paths_.back().listener = path->addStateListener(
       [this, index](TransferPath&, bool alive, const std::string& reason) {
         onPathStateChange(index, alive, reason);

@@ -1,0 +1,324 @@
+#include "core/metro.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "access/dslam.hpp"
+#include "cellular/sector.hpp"
+#include "core/item.hpp"
+#include "core/scenario.hpp"
+#include "http/sim_client.hpp"
+#include "http/sim_origin.hpp"
+#include "net/flow_network.hpp"
+
+namespace gol::core {
+
+namespace {
+
+// splitmix64: decorrelates structured (seed, tag, index) tuples into
+// independent stream seeds without any cross-index coupling.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t mix(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
+                  std::uint64_t b = 0) {
+  return mix(mix(mix(seed ^ tag) ^ a) ^ b);
+}
+
+void fnv(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ULL;
+  }
+}
+
+}  // namespace
+
+MetroConfig::MetroConfig() : location(cell::evaluationLocations()[3]) {}
+
+struct MetroSimulation::HouseholdState {
+  Scenario* scenario = nullptr;
+  std::size_t index = 0;    ///< Household index within the scenario.
+  std::size_t area = 0;
+  std::size_t area_slot = 0;  ///< Index into areas_[area] (this replica).
+  sim::Rng rng{0};          ///< Arrival/size draws (workload stream).
+  std::string item_prefix;  ///< Cached "<home>/i" (hot-path alloc saver).
+  std::vector<double> sizes;  ///< Reused per-transaction draw buffer.
+  std::uint64_t transactions = 0;
+  std::uint64_t items_ok = 0;
+  std::uint64_t items_failed = 0;
+  double bytes = 0;
+  double cell_bytes = 0;  ///< Cumulative bytes moved over cellular paths.
+  double busy_s = 0;      ///< Summed transaction durations (sim time).
+};
+
+struct MetroSimulation::World {
+  explicit World(sim::Simulator& sim) : sim(&sim), net(sim) {}
+
+  sim::Simulator* sim;
+  net::FlowNetwork net;
+  http::SimHttpClient http{net};
+  std::vector<std::unique_ptr<http::SimOrigin>> origins;
+  std::vector<std::unique_ptr<cell::Location>> replicas;
+  std::vector<Scenario> neighborhoods;
+  /// Per-neighborhood (area, slot-in-areas_[area]) of its Location replica.
+  std::vector<std::pair<std::size_t, std::size_t>> neighborhood_area;
+  std::vector<HouseholdState> households;  ///< Stable after construction.
+};
+
+std::size_t MetroSimulation::shardOf(int n) const {
+  return static_cast<std::size_t>(n) * cfg_.shards /
+         static_cast<std::size_t>(cfg_.neighborhoods);
+}
+
+MetroSimulation::MetroSimulation(const MetroConfig& cfg) : cfg_(cfg) {
+  if (cfg_.neighborhoods < 1 || cfg_.households_per_neighborhood < 1 ||
+      cfg_.neighborhoods_per_area < 1) {
+    throw std::invalid_argument("metro: counts must be >= 1");
+  }
+  if (cfg_.shards < 1 ||
+      cfg_.shards > static_cast<std::size_t>(cfg_.neighborhoods)) {
+    throw std::invalid_argument("metro: shards must be in [1, neighborhoods]");
+  }
+
+  sim::ShardedSimulator::Config scfg;
+  scfg.shards = cfg_.shards;
+  scfg.window_s = cfg_.window_s;
+  sharded_ = std::make_unique<sim::ShardedSimulator>(scfg);
+
+  worlds_.reserve(cfg_.shards);
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    worlds_.push_back(std::make_unique<World>(sharded_->shard(s)));
+  }
+
+  const int area_count =
+      (cfg_.neighborhoods + cfg_.neighborhoods_per_area - 1) /
+      cfg_.neighborhoods_per_area;
+  areas_.resize(static_cast<std::size_t>(area_count));
+
+  // One Location replica per (area, shard-that-touches-it). Created in
+  // fixed (area, shard) order; each replica gets its own derived stream so
+  // the layout is deterministic however the areas land on shards.
+  std::vector<std::vector<cell::Location*>> replica_of(
+      static_cast<std::size_t>(area_count),
+      std::vector<cell::Location*>(cfg_.shards, nullptr));
+  for (int n = 0; n < cfg_.neighborhoods; ++n) {
+    const std::size_t s = shardOf(n);
+    const std::size_t a =
+        static_cast<std::size_t>(n / cfg_.neighborhoods_per_area);
+    if (replica_of[a][s]) continue;
+    World& w = *worlds_[s];
+    // Streams are seeded by (area, replica ordinal), not shard id: a shard
+    // count whose cuts align with area boundaries then reproduces the
+    // single-replica layout bit-for-bit, so only genuinely split couplings
+    // can move results across shard counts.
+    w.replicas.push_back(std::make_unique<cell::Location>(
+        w.net, cfg_.location,
+        sim::Rng(mix(cfg_.seed, 0xA5EAu, a, areas_[a].size()))));
+    w.replicas.back()->setAvailableFraction(cfg_.base_available_fraction);
+    replica_of[a][s] = w.replicas.back().get();
+    areas_[a].emplace_back(s, replica_of[a][s]);
+  }
+
+  // Per-neighborhood worlds: one origin + one DSLAM'd Scenario each.
+  access::DslamConfig dslam_cfg;
+  dslam_cfg.subscribers =
+      static_cast<std::size_t>(cfg_.households_per_neighborhood);
+  dslam_cfg.avg_sync_down_bps = cfg_.location.adsl_down_bps;
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    worlds_[s]->neighborhoods.reserve(
+        static_cast<std::size_t>(cfg_.neighborhoods));
+  }
+  for (int n = 0; n < cfg_.neighborhoods; ++n) {
+    const std::size_t s = shardOf(n);
+    const std::size_t a =
+        static_cast<std::size_t>(n / cfg_.neighborhoods_per_area);
+    World& w = *worlds_[s];
+    const std::string prefix = "n" + std::to_string(n);
+    w.origins.push_back(std::make_unique<http::SimOrigin>(
+        w.net, prefix + "/origin", http::SimOriginConfig{}));
+    w.neighborhoods.push_back(
+        ScenarioBuilder()
+            .dslam(dslam_cfg)
+            .households(cfg_.households_per_neighborhood)
+            .phonesPerHousehold(cfg_.phones_per_household)
+            .scheduler(cfg_.scheduler)
+            .engine(cfg_.engine)
+            .metrics(nullptr)  // 20k engines would drown the global registry
+            .lazyEngines(true)
+            .seed(mix(cfg_.seed, 0x6E16u, static_cast<std::uint64_t>(n)))
+            .namePrefix(prefix)
+            .buildOn(*w.sim, w.net, *replica_of[a][s], *w.origins.back(),
+                     w.http));
+    std::size_t slot = 0;
+    while (areas_[a][slot].first != s) ++slot;
+    w.neighborhood_area.emplace_back(a, slot);
+  }
+
+  // Household driver state. Shards hold contiguous neighborhood ranges, so
+  // walking shards in order and neighborhoods within them visits households
+  // in global order — the workload stream of household g is seeded by g
+  // alone and survives re-sharding unchanged.
+  std::uint64_t gid = 0;
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    World& w = *worlds_[s];
+    w.households.reserve(
+        w.neighborhoods.size() *
+        static_cast<std::size_t>(cfg_.households_per_neighborhood));
+    for (std::size_t k = 0; k < w.neighborhoods.size(); ++k) {
+      Scenario& scen = w.neighborhoods[k];
+      for (std::size_t i = 0; i < scen.householdCount(); ++i) {
+        HouseholdState hh;
+        hh.scenario = &scen;
+        hh.index = i;
+        hh.area = w.neighborhood_area[k].first;
+        hh.area_slot = w.neighborhood_area[k].second;
+        hh.rng = sim::Rng(mix(cfg_.seed, 0x4057u, gid++));
+        w.households.push_back(std::move(hh));
+      }
+    }
+  }
+
+  window_cell_bytes_.resize(areas_.size());
+  prev_cell_bytes_.resize(areas_.size());
+  for (std::size_t a = 0; a < areas_.size(); ++a) {
+    window_cell_bytes_[a].resize(areas_[a].size(), 0.0);
+    prev_cell_bytes_[a].resize(areas_[a].size(), 0.0);
+    has_split_area_ = has_split_area_ || areas_[a].size() > 1;
+  }
+}
+
+MetroSimulation::~MetroSimulation() = default;
+
+void MetroSimulation::startArrival(World& world, HouseholdState& hh) {
+  const double think = hh.rng.exponential(1.0 / cfg_.mean_think_s);
+  const double at = world.sim->now() + think;
+  if (at >= cfg_.horizon_s) return;  // household retires
+  world.sim->scheduleAt(at, [this, &world, &hh] {
+    hh.sizes.resize(static_cast<std::size_t>(cfg_.items_per_txn));
+    for (auto& sz : hh.sizes) {
+      sz = std::max(512.0, hh.rng.exponential(1.0 / cfg_.mean_item_bytes));
+    }
+    Scenario::Household& house = hh.scenario->household(hh.index);
+    if (hh.item_prefix.empty()) hh.item_prefix = house.name + "/i";
+    TransactionEngine& engine =
+        house.engine ? *house.engine : hh.scenario->rebuildEngine(hh.index);
+    engine.run(
+        makeTransaction(TransferDirection::kDownload, hh.sizes,
+                        hh.item_prefix),
+        [this, &world, &hh](TransactionResult r) {
+          ++hh.transactions;
+          const std::size_t total = r.per_item_attempts.size();
+          hh.items_ok += static_cast<std::uint64_t>(total - r.failed_items);
+          hh.items_failed += static_cast<std::uint64_t>(r.failed_items);
+          hh.bytes += r.delivered_bytes;
+          hh.busy_s += r.duration_s;
+          for (const auto& [path, bytes] : r.per_path_bytes) {
+            // Phone paths carry the device name; the ADSL path ends "adsl".
+            if (path.size() < 4 || path.compare(path.size() - 4, 4, "adsl"))
+              hh.cell_bytes += bytes;
+          }
+          // Defer (optional) teardown out of the engine's own completion
+          // path, then draw the next arrival.
+          world.sim->scheduleIn(0.0, [this, &world, &hh] {
+            if (cfg_.release_engines) hh.scenario->releaseEngine(hh.index);
+            startArrival(world, hh);
+          });
+        });
+  });
+}
+
+void MetroSimulation::exchange(double /*window_end*/) {
+  // Reconcile split areas: derate each replica by the cellular traffic its
+  // foreign siblings moved during the window just ended (window-averaged —
+  // instantaneous load at the barrier instant is almost always zero for
+  // short transactions). Fixed (area, slot) iteration order keeps this
+  // deterministic.
+  // Area-aligned cuts have nothing to reconcile: skip the household sweep
+  // entirely (the flagship 200-shard config lands here every window).
+  if (!has_split_area_) return;
+  for (auto& sums : window_cell_bytes_) {
+    std::fill(sums.begin(), sums.end(), 0.0);
+  }
+  for (auto& wp : worlds_) {
+    for (const auto& hh : wp->households) {
+      if (areas_[hh.area].size() < 2) continue;
+      window_cell_bytes_[hh.area][hh.area_slot] += hh.cell_bytes;
+    }
+  }
+  const double capacity = cfg_.location.shared_dl_aggregate_bps +
+                          cfg_.location.shared_ul_aggregate_bps;
+  for (std::size_t a = 0; a < areas_.size(); ++a) {
+    auto& replicas = areas_[a];
+    auto& cur = window_cell_bytes_[a];
+    auto& prev = prev_cell_bytes_[a];
+    if (replicas.size() < 2) continue;
+    double total_bps = 0;
+    for (std::size_t r = 0; r < replicas.size(); ++r) {
+      total_bps += (cur[r] - prev[r]) * 8.0 / cfg_.window_s;
+    }
+    for (std::size_t r = 0; r < replicas.size(); ++r) {
+      const double foreign =
+          total_bps - (cur[r] - prev[r]) * 8.0 / cfg_.window_s;
+      const double avail = cfg_.base_available_fraction * capacity /
+                           (capacity + foreign);
+      replicas[r].second->setAvailableFraction(avail);
+    }
+  }
+  for (std::size_t a = 0; a < areas_.size(); ++a) {
+    prev_cell_bytes_[a] = window_cell_bytes_[a];
+  }
+}
+
+MetroResult MetroSimulation::run(exec::ThreadPool& pool) {
+  sharded_->setExchange([this](double edge) { exchange(edge); });
+
+  // Seed every household's first arrival.
+  for (auto& wp : worlds_) {
+    for (auto& hh : wp->households) startArrival(*wp, hh);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sharded_->run(pool, cfg_.horizon_s);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  MetroResult res;
+  res.shard_count = cfg_.shards;
+  res.sim_s = sharded_->now();
+  res.windows = sharded_->windowsRun();
+  res.events = sharded_->totalEvents();
+  res.wall_s = wall;
+  res.digest = 0xCBF29CE484222325ULL;
+  for (const auto& st : sharded_->stats()) {
+    res.shards.push_back({st.events, st.busy_s});
+  }
+  for (auto& wp : worlds_) {
+    for (auto& hh : wp->households) {
+      ++res.households;
+      res.transactions += hh.transactions;
+      res.items_ok += hh.items_ok;
+      res.items_failed += hh.items_failed;
+      res.bytes += hh.bytes;
+      res.cell_bytes += hh.cell_bytes;
+      fnv(res.digest, hh.transactions);
+      fnv(res.digest, hh.items_ok);
+      fnv(res.digest, static_cast<std::uint64_t>(std::llround(hh.bytes)));
+      // Microsecond-folded durations make the digest sensitive to *rate*
+      // perturbations (a derated sector shifts completion times long
+      // before it changes any completion count).
+      fnv(res.digest,
+          static_cast<std::uint64_t>(std::llround(hh.busy_s * 1e6)));
+    }
+  }
+  return res;
+}
+
+}  // namespace gol::core

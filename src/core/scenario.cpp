@@ -1,0 +1,240 @@
+#include "core/scenario.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/home.hpp"
+
+namespace gol::core {
+
+ScenarioBuilder& ScenarioBuilder::location(cell::LocationSpec spec) {
+  location_ = std::move(spec);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::lte() {
+  lte_ = true;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::availableFraction(double f) {
+  available_fraction_ = f;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::origin(http::SimOriginConfig cfg) {
+  origin_ = cfg;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::wifi(access::WifiConfig cfg) {
+  wifi_ = cfg;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::device(cell::DeviceConfig cfg) {
+  device_ = cfg;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::dslam(access::DslamConfig cfg) {
+  dslam_ = cfg;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::households(int n) {
+  if (n < 1) throw std::invalid_argument("households must be >= 1");
+  households_ = n;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::phonesPerHousehold(int n) {
+  if (n < 0) throw std::invalid_argument("phonesPerHousehold must be >= 0");
+  phones_ = n;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::clientWired(bool wired) {
+  client_wired_ = wired;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::adslRates(double down_bps, double up_bps) {
+  adsl_rates_ = {down_bps, up_bps};
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::direction(TransferDirection dir) {
+  direction_ = dir;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::useAdsl(bool v) {
+  use_adsl_ = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::scheduler(std::string name) {
+  scheduler_ = std::move(name);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::engine(EngineConfig cfg) {
+  engine_ = cfg;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::metrics(telemetry::Registry* registry) {
+  registry_ = registry;
+  explicit_registry_ = true;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::lazyEngines(bool v) {
+  lazy_engines_ = v;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::seed(std::uint64_t s) {
+  seed_ = s;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::namePrefix(std::string p) {
+  prefix_ = std::move(p);
+  return *this;
+}
+
+namespace {
+
+std::string joinName(const std::string& base, const std::string& leaf) {
+  return base.empty() ? leaf : base + "/" + leaf;
+}
+
+}  // namespace
+
+Scenario ScenarioBuilder::build() {
+  Scenario s;
+  s.own_sim_ = std::make_unique<sim::Simulator>();
+  s.own_net_ = std::make_unique<net::FlowNetwork>(*s.own_sim_);
+
+  // Fork order matches HomeEnvironment: location first, then households —
+  // a one-household build() reproduces a HomeEnvironment bit-for-bit.
+  sim::Rng rng(seed_);
+  const cell::LocationSpec spec = lte_ ? cell::lteUpgrade(location_) : location_;
+  s.own_location_ =
+      std::make_unique<cell::Location>(*s.own_net_, spec, rng.fork());
+  s.own_location_->setAvailableFraction(available_fraction_);
+  s.own_origin_ = std::make_unique<http::SimOrigin>(
+      *s.own_net_, joinName(prefix_, "origin"), origin_);
+  s.own_http_ = std::make_unique<http::SimHttpClient>(*s.own_net_);
+
+  wire(s, *s.own_sim_, *s.own_net_, *s.own_location_, *s.own_origin_,
+       *s.own_http_, rng);
+  return s;
+}
+
+Scenario ScenarioBuilder::buildOn(sim::Simulator& sim, net::FlowNetwork& net,
+                                  cell::Location& location,
+                                  http::SimOrigin& origin,
+                                  http::SimHttpClient& http) {
+  Scenario s;
+  sim::Rng rng(seed_);
+  rng.fork();  // burn the location fork so build()/buildOn() streams align
+  wire(s, sim, net, location, origin, http, rng);
+  return s;
+}
+
+void ScenarioBuilder::wire(Scenario& s, sim::Simulator& sim,
+                           net::FlowNetwork& net, cell::Location& location,
+                           http::SimOrigin& origin, http::SimHttpClient& http,
+                           sim::Rng& rng) {
+  s.sim_ = &sim;
+  s.net_ = &net;
+  s.location_ = &location;
+  s.origin_ = &origin;
+  s.http_ = &http;
+  s.scheduler_name_ = scheduler_;
+  s.engine_cfg_ = engine_;
+  s.registry_ = registry_;
+  s.explicit_registry_ = explicit_registry_;
+
+  if (dslam_) {
+    s.dslam_ = std::make_unique<access::Dslam>(net, joinName(prefix_, "dslam"),
+                                               *dslam_);
+  }
+
+  const cell::LocationSpec& spec = location.spec();
+  access::AdslConfig adsl_cfg;
+  adsl_cfg.sync_down_bps = adsl_rates_ ? adsl_rates_->first : spec.adsl_down_bps;
+  adsl_cfg.sync_up_bps = adsl_rates_ ? adsl_rates_->second : spec.adsl_up_bps;
+  adsl_cfg.down_utilization = spec.adsl_down_utilization;
+  const cell::DeviceConfig dev =
+      lte_ ? cell::lteDeviceConfig(device_) : device_;
+  const bool down = direction_ == TransferDirection::kDownload;
+
+  s.households_.resize(static_cast<std::size_t>(households_));
+  for (int i = 0; i < households_; ++i) {
+    Scenario::Household& hh = s.households_[static_cast<std::size_t>(i)];
+    const std::string base =
+        households_ == 1 ? prefix_ : joinName(prefix_, "h" + std::to_string(i));
+    hh.name = base.empty() ? "home" : base;
+    hh.rng = rng.fork();
+
+    if (s.dslam_) {
+      hh.adsl = &s.dslam_->addLine(adsl_cfg);
+    } else {
+      hh.adsl_owned = std::make_unique<access::AdslLine>(
+          net, joinName(base, "adsl"), adsl_cfg);
+      hh.adsl = hh.adsl_owned.get();
+    }
+    hh.wifi =
+        std::make_unique<access::WifiLan>(net, joinName(base, "wifi"), wifi_);
+    for (int p = 0; p < phones_; ++p) {
+      hh.phones.push_back(
+          location.makeDevice(joinName(base, "phone" + std::to_string(p)),
+                              dev));
+    }
+
+    // Path composition mirrors HomeEnvironment::makePaths (the audited
+    // rtt/loss formulas), plus the DSLAM backhaul hop when aggregated.
+    if (use_adsl_) {
+      net::NetPath path = down ? hh.adsl->downPath() : hh.adsl->upPath();
+      if (s.dslam_) {
+        path.links.push_back(down ? s.dslam_->backhaulDown()
+                                  : s.dslam_->backhaulUp());
+      }
+      path.links.push_back(down ? origin.serveLink() : origin.ingestLink());
+      if (!client_wired_) path.links.push_back(hh.wifi->medium());
+      path.rtt_s += origin.config().rtt_s +
+                    (client_wired_ ? 0.0 : hh.wifi->config().rtt_s);
+      path.loss_rate += client_wired_ ? 0.0 : hh.wifi->config().loss_rate;
+      hh.paths.push_back(std::make_unique<AdslTransferPath>(
+          http, joinName(base, "adsl"), std::move(path)));
+    }
+    for (auto& phone : hh.phones) {
+      std::vector<net::Link*> extra = {
+          hh.wifi->medium(), down ? origin.serveLink() : origin.ingestLink()};
+      const double extra_rtt =
+          hh.wifi->config().rtt_s + origin.config().rtt_s;
+      hh.paths.push_back(std::make_unique<CellularTransferPath>(
+          *phone, down ? cell::Direction::kDownlink : cell::Direction::kUplink,
+          phone->name(), std::move(extra), extra_rtt));
+    }
+
+    if (!lazy_engines_) s.rebuildEngine(static_cast<std::size_t>(i));
+  }
+}
+
+std::vector<TransferPath*> Scenario::Household::rawPaths() const {
+  std::vector<TransferPath*> out;
+  out.reserve(paths.size());
+  for (const auto& p : paths) out.push_back(p.get());
+  return out;
+}
+
+TransactionEngine& Scenario::rebuildEngine(std::size_t i) {
+  Household& hh = households_.at(i);
+  hh.engine.reset();  // engine references the scheduler: drop it first
+  hh.scheduler = makeScheduler(scheduler_name_);
+  hh.engine = std::make_unique<TransactionEngine>(*sim_, hh.rawPaths(),
+                                                  *hh.scheduler, engine_cfg_);
+  if (explicit_registry_) hh.engine->instrument(registry_);
+  return *hh.engine;
+}
+
+void Scenario::releaseEngine(std::size_t i) {
+  Household& hh = households_.at(i);
+  hh.engine.reset();
+  hh.scheduler.reset();
+}
+
+TransactionResult Scenario::run(std::size_t i, Transaction txn) {
+  Household& hh = households_.at(i);
+  if (!hh.engine) rebuildEngine(i);
+  return runTransaction(*sim_, *hh.engine, std::move(txn));
+}
+
+}  // namespace gol::core

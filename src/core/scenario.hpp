@@ -1,0 +1,206 @@
+// ScenarioBuilder: the one audited code path for wiring 3GOL scenarios.
+//
+// Every experiment used to hand-roll the same ten lines — ADSL line, home
+// Wi-Fi, phones at the location, transfer paths, scheduler, engine — with
+// small copy/paste divergences (RTT composition, path naming, forgotten
+// Wi-Fi loss). The builder centralizes that wiring behind a fluent API:
+//
+//   auto scenario = core::ScenarioBuilder()
+//                       .location(cell::evaluationLocations()[3])
+//                       .households(16)
+//                       .phonesPerHousehold(2)
+//                       .scheduler("greedy")
+//                       .seed(42)
+//                       .build();                  // owns sim + network
+//   scenario.household(3).engine->run(...);
+//
+// Two build modes:
+//  - build(): standalone — the Scenario owns its Simulator, FlowNetwork,
+//    Location, origin and HTTP client. One-stop for single benches.
+//  - buildOn(sim, net, location, origin, http): shared-infrastructure —
+//    households are wired into existing objects. This is how the metro
+//    driver populates each shard's world (many neighborhoods per
+//    simulator) and how ext_neighborhood puts K homes under one cell area.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "access/adsl.hpp"
+#include "access/dslam.hpp"
+#include "access/wifi.hpp"
+#include "cellular/location.hpp"
+#include "core/engine.hpp"
+#include "core/scheduler.hpp"
+#include "core/sim_paths.hpp"
+#include "core/transfer_path.hpp"
+#include "http/sim_client.hpp"
+#include "http/sim_origin.hpp"
+#include "net/flow_network.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace gol::core {
+
+class Scenario;
+
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder() = default;
+
+  // --- Environment -------------------------------------------------------
+  ScenarioBuilder& location(cell::LocationSpec spec);
+  /// Upgrades the location and handset to LTE (Sec. 2.3's 4G scenario).
+  ScenarioBuilder& lte();
+  /// Static background cell load (1 = empty cell).
+  ScenarioBuilder& availableFraction(double f);
+  ScenarioBuilder& origin(http::SimOriginConfig cfg);
+  ScenarioBuilder& wifi(access::WifiConfig cfg);
+  ScenarioBuilder& device(cell::DeviceConfig cfg);
+  /// Households' ADSL lines aggregate behind one shared DSLAM backhaul
+  /// (the Fig 11 metro topology) instead of standalone lines.
+  ScenarioBuilder& dslam(access::DslamConfig cfg);
+
+  // --- Households --------------------------------------------------------
+  ScenarioBuilder& households(int n);
+  ScenarioBuilder& phonesPerHousehold(int n);
+  /// Clients wired to the gateway instead of on Wi-Fi (skips the Wi-Fi
+  /// medium + RTT on every path).
+  ScenarioBuilder& clientWired(bool wired = true);
+  /// Per-household ADSL sync-rate override; defaults to the location's
+  /// measured line.
+  ScenarioBuilder& adslRates(double down_bps, double up_bps);
+
+  // --- Transaction plumbing ----------------------------------------------
+  ScenarioBuilder& direction(TransferDirection dir);
+  ScenarioBuilder& useAdsl(bool v);
+  ScenarioBuilder& scheduler(std::string name);
+  ScenarioBuilder& engine(EngineConfig cfg);
+  /// Telemetry registry for the engines (global by default; nullptr
+  /// silences them — the metro bench does, 20k engines would drown the
+  /// global registry in per-path label churn).
+  ScenarioBuilder& metrics(telemetry::Registry* registry);
+  /// Defer scheduler+engine construction: households get paths only and
+  /// Scenario::rebuildEngine(i) creates (or replaces) the engine on
+  /// demand. The metro driver uses this to cap live-engine memory — an
+  /// engine exists only while its household has a transaction in flight.
+  ScenarioBuilder& lazyEngines(bool v = true);
+  ScenarioBuilder& seed(std::uint64_t s);
+  /// Prefix for link/path/device names (shard- or neighborhood-qualified
+  /// in metro runs, so names stay unique within a shared FlowNetwork).
+  ScenarioBuilder& namePrefix(std::string p);
+
+  /// Standalone build: the Scenario owns simulator + network + location.
+  Scenario build();
+  /// Shared-infrastructure build: wires the households into existing
+  /// objects (which must outlive the Scenario).
+  Scenario buildOn(sim::Simulator& sim, net::FlowNetwork& net,
+                   cell::Location& location, http::SimOrigin& origin,
+                   http::SimHttpClient& http);
+
+ private:
+  friend class Scenario;
+  void wire(Scenario& s, sim::Simulator& sim, net::FlowNetwork& net,
+            cell::Location& location, http::SimOrigin& origin,
+            http::SimHttpClient& http, sim::Rng& rng);
+
+  cell::LocationSpec location_ = cell::evaluationLocations()[3];
+  bool lte_ = false;
+  double available_fraction_ = 0.78;
+  http::SimOriginConfig origin_{};
+  access::WifiConfig wifi_{};
+  cell::DeviceConfig device_{};
+  std::optional<access::DslamConfig> dslam_;
+  int households_ = 1;
+  int phones_ = 2;
+  bool client_wired_ = false;
+  std::optional<std::pair<double, double>> adsl_rates_;
+  TransferDirection direction_ = TransferDirection::kDownload;
+  bool use_adsl_ = true;
+  std::string scheduler_ = "greedy";
+  EngineConfig engine_{};
+  telemetry::Registry* registry_ = &telemetry::Registry::global();
+  bool explicit_registry_ = false;
+  bool lazy_engines_ = false;
+  std::uint64_t seed_ = 42;
+  std::string prefix_;
+};
+
+/// A built scenario: households with access lines, phones, transfer paths
+/// and (unless lazyEngines) a ready TransactionEngine each.
+class Scenario {
+ public:
+  struct Household {
+    std::string name;
+    /// Owned standalone line, or a DSLAM-owned line (owned == nullptr).
+    std::unique_ptr<access::AdslLine> adsl_owned;
+    access::AdslLine* adsl = nullptr;
+    std::unique_ptr<access::WifiLan> wifi;
+    std::vector<std::unique_ptr<cell::CellularDevice>> phones;
+    std::vector<std::unique_ptr<TransferPath>> paths;
+    std::unique_ptr<Scheduler> scheduler;
+    std::unique_ptr<TransactionEngine> engine;
+    /// Per-household stream for workload draws (sizes, arrival times);
+    /// forked deterministically in household order at build time.
+    sim::Rng rng{0};
+
+    std::vector<TransferPath*> rawPaths() const;
+  };
+
+  Scenario(Scenario&&) = default;
+  Scenario& operator=(Scenario&&) = default;
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  sim::Simulator& simulator() { return *sim_; }
+  net::FlowNetwork& network() { return *net_; }
+  cell::Location& location() { return *location_; }
+  http::SimOrigin& origin() { return *origin_; }
+  http::SimHttpClient& http() { return *http_; }
+  access::Dslam* dslam() { return dslam_.get(); }
+
+  std::size_t householdCount() const { return households_.size(); }
+  Household& household(std::size_t i) { return households_.at(i); }
+
+  /// (Re)creates household i's scheduler + engine through the same wiring
+  /// the eager build uses. Destroys any previous engine first — the caller
+  /// must not hold a transaction in flight on it.
+  TransactionEngine& rebuildEngine(std::size_t i);
+  /// Releases household i's engine + scheduler (memory control for
+  /// metro-scale runs; rebuildEngine brings them back).
+  void releaseEngine(std::size_t i);
+
+  /// Synchronously runs one transaction on household i's engine.
+  TransactionResult run(std::size_t i, Transaction txn);
+
+ private:
+  friend class ScenarioBuilder;
+  Scenario() = default;
+
+  // Owned infra in standalone mode; null when borrowed via buildOn.
+  std::unique_ptr<sim::Simulator> own_sim_;
+  std::unique_ptr<net::FlowNetwork> own_net_;
+  std::unique_ptr<cell::Location> own_location_;
+  std::unique_ptr<http::SimOrigin> own_origin_;
+  std::unique_ptr<http::SimHttpClient> own_http_;
+
+  sim::Simulator* sim_ = nullptr;
+  net::FlowNetwork* net_ = nullptr;
+  cell::Location* location_ = nullptr;
+  http::SimOrigin* origin_ = nullptr;
+  http::SimHttpClient* http_ = nullptr;
+  std::unique_ptr<access::Dslam> dslam_;
+
+  // Builder knobs the engine-rebuild path re-reads.
+  std::string scheduler_name_;
+  EngineConfig engine_cfg_;
+  telemetry::Registry* registry_ = nullptr;
+  bool explicit_registry_ = false;
+
+  std::vector<Household> households_;
+};
+
+}  // namespace gol::core

@@ -1,0 +1,34 @@
+// Options shared by every 3GOL session type (upload, VoD, ...). The
+// concrete session option structs (UploadOptions, VodOptions) inherit from
+// SessionOptions so path admission, scheduling and fault-injection knobs
+// mean the same thing — and default the same way — across session kinds.
+#pragma once
+
+#include <string>
+
+#include "core/engine.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace gol::core {
+
+struct SessionOptions {
+  /// Multipath item-scheduling policy (SchedulerRegistry name).
+  std::string scheduler = "greedy";
+  /// Phone paths admitted alongside the ADSL line.
+  int phones = 1;
+  bool use_adsl = true;
+  /// Start phones from connected mode ("H" runs) instead of idle ("3G").
+  bool warm_start = false;
+  /// Retry/watchdog/quarantine knobs for the session's transaction.
+  EngineConfig engine;
+  /// Optional fault schedule injected into the transaction's paths (times
+  /// are relative to the transaction, i.e. start at ~0). Targeted events
+  /// go by path name: "adsl", "phone0", "phone1", ...
+  ///
+  /// Ownership: NON-owning. The plan must outlive the session run; the
+  /// session never copies or frees it. Benches typically keep the plan on
+  /// the stack next to the session object.
+  const sim::FaultPlan* faults = nullptr;
+};
+
+}  // namespace gol::core

@@ -7,23 +7,17 @@
 
 #include "core/engine.hpp"
 #include "core/home.hpp"
-#include "sim/fault_plan.hpp"
+#include "core/session_options.hpp"
 #include "sim/rng.hpp"
 
 namespace gol::core {
 
-struct UploadOptions {
+/// Scheduler/paths/faults knobs live in the SessionOptions base, shared
+/// with VodOptions.
+struct UploadOptions : SessionOptions {
   int photos = 30;            ///< Paper: 30 pictures per run.
   double mean_bytes = 2.5e6;  ///< Paper: iPhone 4S/5 Flickr sample mean.
   double sd_bytes = 0.74e6;   ///< ... and standard deviation.
-  std::string scheduler = "greedy";
-  int phones = 1;
-  bool use_adsl = true;
-  bool warm_start = false;
-  /// Retry/watchdog/quarantine knobs for the upload transaction.
-  EngineConfig engine;
-  /// Optional fault schedule injected into the upload paths.
-  const sim::FaultPlan* faults = nullptr;
 };
 
 struct UploadOutcome {

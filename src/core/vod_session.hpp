@@ -9,23 +9,20 @@
 
 #include "core/engine.hpp"
 #include "core/home.hpp"
+#include "core/session_options.hpp"
 #include "hls/player.hpp"
 #include "hls/segmenter.hpp"
-#include "sim/fault_plan.hpp"
 #include "telemetry/span.hpp"
 
 namespace gol::core {
 
-struct VodOptions {
+/// Scheduler/paths/faults knobs live in the SessionOptions base, shared
+/// with UploadOptions.
+struct VodOptions : SessionOptions {
   hls::VideoSpec video;
   /// Pre-buffer amount as a fraction of video length (the paper sweeps
   /// 20 % .. 100 %; 100 % equals full download).
   double prebuffer_fraction = 0.2;
-  std::string scheduler = "greedy";
-  int phones = 1;
-  bool use_adsl = true;
-  /// Start phones from connected mode ("H") instead of idle ("3G").
-  bool warm_start = false;
   /// Use the playout-aware DeadlineScheduler (the paper's future-work
   /// extension) instead of `scheduler`: earliest-deadline-first with
   /// urgency-gated duplication. Cuts stalls when playback starts before
@@ -37,12 +34,6 @@ struct VodOptions {
   ///   telemetry::TraceRecorder rec(
   ///       telemetry::Clock{[&sim] { return sim.now(); }});
   telemetry::TraceRecorder* trace = nullptr;
-  /// Retry/watchdog/quarantine knobs for the segment transaction.
-  EngineConfig engine;
-  /// Optional fault schedule injected into the segment transaction's
-  /// paths (times are relative to the transaction, i.e. start at ~0).
-  /// Targeted events go by path name: "adsl", "phone0", "phone1", ...
-  const sim::FaultPlan* faults = nullptr;
 };
 
 struct VodOutcome {

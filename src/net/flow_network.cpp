@@ -143,6 +143,45 @@ void FlowNetwork::advance() {
   last_advance_ = now;
 }
 
+std::vector<std::vector<FlowId>> FlowNetwork::components() {
+  // One affectedFlows()-style traversal per unvisited flow. The flows_ map
+  // is id-ordered, so each component is discovered from (and led by) its
+  // smallest flow id and the group order is deterministic.
+  std::vector<std::vector<FlowId>> out;
+  ++epoch_;
+  const std::uint32_t pass = epoch_;
+  std::vector<const Link*> frontier;
+  for (auto& [seed_id, seed_st] : flows_) {
+    if (seed_st.visit_epoch == pass) continue;
+    std::vector<FlowId> comp;
+    const auto visitFlow = [&](FlowId id, FlowState& st) {
+      if (st.visit_epoch == pass) return;
+      st.visit_epoch = pass;
+      comp.push_back(id);
+      for (const Link* l : st.path) {
+        auto& stamp = link_epoch_[l->id()];
+        if (stamp != pass) {
+          stamp = pass;
+          frontier.push_back(l);
+        }
+      }
+    };
+    visitFlow(seed_id, seed_st);
+    while (!frontier.empty()) {
+      const Link* l = frontier.back();
+      frontier.pop_back();
+      for (const FlowId id : link_flows_[l->id()]) {
+        visitFlow(id, flows_.find(id)->second);
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    out.push_back(std::move(comp));
+  }
+  return out;
+}
+
+std::size_t FlowNetwork::componentCount() { return components().size(); }
+
 std::vector<FlowId> FlowNetwork::affectedFlows(
     const std::vector<const Link*>& seed_links, FlowId seed_flow) {
   ++epoch_;

@@ -63,6 +63,17 @@ class FlowNetwork {
   /// Sum of current flow rates crossing the link, in bps.
   double linkLoadBps(const Link* link) const;
 
+  /// Connected components of the *active* flow set: flows sharing a link
+  /// (transitively) are grouped together. Each group is sorted by FlowId
+  /// and groups are ordered by their smallest member, so the result is
+  /// deterministic. This is the sharding seam the metro-scale driver
+  /// partitions along: two flows in different components provably cannot
+  /// influence each other's max-min rates, so they may live on different
+  /// shards without any synchronization.
+  std::vector<std::vector<FlowId>> components();
+  /// Number of connected components of the active flow set.
+  std::size_t componentCount();
+
   /// Verifies every incremental rate update against a full water-fill over
   /// all flows and throws std::logic_error on divergence. Defaults to on in
   /// Debug (!NDEBUG) builds, off in Release; the fuzz suite forces it on.

@@ -1,0 +1,98 @@
+// Component-sharded simulation with conservative time-window sync.
+//
+// One metro-scale scenario does not fit a single event loop: the fluid
+// network partitions into components (households x DSLAMs x cell sectors)
+// that only interact at a few shared couplings, so each component group —
+// a *shard* — gets its own deterministic Simulator and runs freely on a
+// worker thread up to the next window edge. At every edge all shards
+// rendezvous (a barrier), a serial exchange callback reconciles the
+// cross-shard couplings (shared sector load, in the metro scenario), and
+// the next window starts. This is classic conservative parallel
+// discrete-event simulation with a fixed lookahead equal to the window:
+// no shard ever observes another shard's state mid-window, so the
+// execution is independent of thread scheduling.
+//
+// Determinism contract (the metro bench's byte-exactness rides on it):
+//  - each shard's Simulator is bit-reproducible on its own;
+//  - shards never touch each other's state inside a window (enforced by
+//    construction: a shard's scenario objects reference only its own
+//    Simulator/FlowNetwork);
+//  - the exchange callback runs on the calling thread, between windows,
+//    and iterates couplings in a fixed order.
+// Under those rules the run is bit-exact across repetitions and across
+// worker-pool sizes for a FIXED shard count. Changing the shard count
+// moves couplings between the continuous (intra-shard) and windowed
+// (cross-shard) regimes, so results across shard counts are only
+// statistically equivalent — the tests/metro suite checks both.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "sim/simulator.hpp"
+
+namespace gol::sim {
+
+class ShardedSimulator {
+ public:
+  struct Config {
+    std::size_t shards = 1;
+    /// Conservative sync window: cross-shard effects propagate with at
+    /// most this much sim-time delay. Smaller = tighter coupling, more
+    /// barriers; larger = cheaper, staler cross-shard state.
+    double window_s = 1.0;
+  };
+
+  struct ShardStats {
+    std::uint64_t events = 0;  ///< processedEvents() at the last barrier.
+    double busy_s = 0;         ///< Wall seconds spent inside runUntil().
+  };
+
+  explicit ShardedSimulator(const Config& cfg);
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  std::size_t shardCount() const { return shards_.size(); }
+  Simulator& shard(std::size_t i) { return *shards_.at(i); }
+  const Simulator& shard(std::size_t i) const { return *shards_.at(i); }
+  double windowSeconds() const { return cfg_.window_s; }
+  /// The last synchronized window edge (all shards are exactly here
+  /// between windows; 0 before the first run()).
+  double now() const { return now_; }
+  std::size_t windowsRun() const { return windows_; }
+
+  /// Serial cross-shard reconciliation, called at every window edge with
+  /// all shards parked exactly at `window_end`. May freely mutate any
+  /// shard's state (rate caps, background load, new events).
+  void setExchange(std::function<void(double window_end)> fn) {
+    exchange_ = std::move(fn);
+  }
+  /// Early-stop predicate evaluated after each exchange; return true to
+  /// end the run before the horizon (e.g. "all transactions landed").
+  void setDone(std::function<bool()> fn) { done_ = std::move(fn); }
+
+  /// Runs windows until `horizon_s`: each window executes every shard's
+  /// runUntil(edge) across `pool` (one task per shard), then the exchange.
+  /// Window edges are computed as start + k*window so repeated runs take
+  /// bit-identical edge sequences. May be called repeatedly to extend the
+  /// horizon.
+  void run(exec::ThreadPool& pool, double horizon_s);
+
+  /// Aggregate events processed across all shards.
+  std::uint64_t totalEvents() const;
+  const std::vector<ShardStats>& stats() const { return stats_; }
+
+ private:
+  Config cfg_;
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::vector<ShardStats> stats_;
+  std::function<void(double)> exchange_;
+  std::function<bool()> done_;
+  double now_ = 0;
+  std::size_t windows_ = 0;
+};
+
+}  // namespace gol::sim

@@ -1,0 +1,210 @@
+// sim::ShardedSimulator: conservative window barriers, exchange ordering,
+// determinism across pool sizes, and per-shard TimerWheel isolation — the
+// invariants the metro scenario's bit-exactness contract rides on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "sim/sharded.hpp"
+#include "sim/timer_wheel.hpp"
+
+namespace gol::sim {
+namespace {
+
+TEST(ShardedSimulator, WindowEdgesAreExactMultiplesOfTheWindow) {
+  ShardedSimulator::Config cfg;
+  cfg.shards = 3;
+  cfg.window_s = 0.75;
+  ShardedSimulator sharded(cfg);
+
+  std::vector<double> edges;
+  sharded.setExchange([&](double edge) { edges.push_back(edge); });
+
+  exec::ThreadPool pool(2);
+  sharded.run(pool, 3.0);
+
+  ASSERT_EQ(edges.size(), 4u);
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    // Edges must be start + k*window (no accumulated += drift), so repeated
+    // runs and re-runs see bit-identical edge sequences.
+    EXPECT_DOUBLE_EQ(edges[k], static_cast<double>(k + 1) * 0.75);
+  }
+  EXPECT_EQ(sharded.windowsRun(), 4u);
+  EXPECT_DOUBLE_EQ(sharded.now(), 3.0);
+}
+
+TEST(ShardedSimulator, AllShardsParkExactlyAtTheEdgeDuringExchange) {
+  ShardedSimulator::Config cfg;
+  cfg.shards = 4;
+  cfg.window_s = 0.5;
+  ShardedSimulator sharded(cfg);
+
+  // Busy shards: self-rescheduling events at shard-dependent periods.
+  for (std::size_t s = 0; s < cfg.shards; ++s) {
+    Simulator& shard = sharded.shard(s);
+    auto* tick = new std::function<void()>;
+    const double period = 0.01 + 0.003 * static_cast<double>(s);
+    *tick = [&shard, tick, period] {
+      if (shard.now() < 10.0) shard.scheduleIn(period, [tick] { (*tick)(); });
+    };
+    shard.scheduleIn(period, [tick] { (*tick)(); });
+  }
+
+  bool checked = false;
+  sharded.setExchange([&](double edge) {
+    for (std::size_t s = 0; s < sharded.shardCount(); ++s) {
+      EXPECT_DOUBLE_EQ(sharded.shard(s).now(), edge);
+    }
+    checked = true;
+  });
+
+  exec::ThreadPool pool(4);
+  sharded.run(pool, 2.0);
+  EXPECT_TRUE(checked);
+}
+
+// The cross-`--jobs` determinism contract: the same sharded scenario must
+// produce bit-identical per-shard event traces however many workers the
+// pool has (including more workers than shards and a serial pool).
+TEST(ShardedSimulator, EventTraceBitExactAcrossPoolSizes) {
+  auto trace = [](unsigned pool_threads) {
+    ShardedSimulator::Config cfg;
+    cfg.shards = 4;
+    cfg.window_s = 0.25;
+    ShardedSimulator sharded(cfg);
+
+    std::vector<std::vector<double>> per_shard(cfg.shards);
+    for (std::size_t s = 0; s < cfg.shards; ++s) {
+      Simulator& shard = sharded.shard(s);
+      auto* out = &per_shard[s];
+      auto* tick = new std::function<void()>;
+      const double period = 0.007 + 0.0011 * static_cast<double>(s);
+      *tick = [&shard, tick, out, period] {
+        out->push_back(shard.now());
+        if (shard.now() < 5.0) {
+          shard.scheduleIn(period, [tick] { (*tick)(); });
+        }
+      };
+      shard.scheduleIn(period, [tick] { (*tick)(); });
+    }
+    exec::ThreadPool pool(pool_threads);
+    sharded.run(pool, 2.0);
+    return per_shard;
+  };
+
+  const auto serial = trace(1);
+  const auto wide = trace(8);
+  ASSERT_EQ(serial.size(), wide.size());
+  for (std::size_t s = 0; s < serial.size(); ++s) {
+    ASSERT_EQ(serial[s].size(), wide[s].size()) << "shard " << s;
+    for (std::size_t i = 0; i < serial[s].size(); ++i) {
+      EXPECT_DOUBLE_EQ(serial[s][i], wide[s][i]);
+    }
+  }
+}
+
+// Conservative lookahead: state exchanged at edge k is visible to every
+// shard throughout window k+1 — an event the exchange schedules lands in
+// the next window, never the one just run.
+TEST(ShardedSimulator, ExchangeEffectsLandInTheNextWindow) {
+  ShardedSimulator::Config cfg;
+  cfg.shards = 2;
+  cfg.window_s = 1.0;
+  ShardedSimulator sharded(cfg);
+
+  std::vector<double> fired_at;
+  sharded.setExchange([&](double edge) {
+    if (edge < 3.5) {
+      sharded.shard(1).scheduleIn(0.5, [&fired_at, &sharded] {
+        fired_at.push_back(sharded.shard(1).now());
+      });
+    }
+  });
+
+  exec::ThreadPool pool(2);
+  sharded.run(pool, 4.0);
+  ASSERT_EQ(fired_at.size(), 3u);
+  EXPECT_DOUBLE_EQ(fired_at[0], 1.5);
+  EXPECT_DOUBLE_EQ(fired_at[1], 2.5);
+  EXPECT_DOUBLE_EQ(fired_at[2], 3.5);
+}
+
+TEST(ShardedSimulator, DonePredicateStopsBeforeTheHorizon) {
+  ShardedSimulator::Config cfg;
+  cfg.shards = 2;
+  cfg.window_s = 1.0;
+  ShardedSimulator sharded(cfg);
+  sharded.setDone([&] { return sharded.now() >= 3.0; });
+
+  exec::ThreadPool pool(2);
+  sharded.run(pool, 100.0);
+  EXPECT_DOUBLE_EQ(sharded.now(), 3.0);
+  EXPECT_EQ(sharded.windowsRun(), 3u);
+}
+
+// Each shard owns its own TimerWheel on its own Simulator: timers fire at
+// exact deadlines within their shard's windows, arm order is preserved at
+// equal deadlines, and nothing leaks across shards.
+TEST(ShardedSimulator, TimerWheelPerShardFiresAtExactDeadlines) {
+  ShardedSimulator::Config cfg;
+  cfg.shards = 3;
+  cfg.window_s = 0.5;
+  ShardedSimulator sharded(cfg);
+
+  std::vector<std::unique_ptr<TimerWheel>> wheels;
+  std::vector<std::vector<std::pair<int, double>>> fired(cfg.shards);
+  for (std::size_t s = 0; s < cfg.shards; ++s) {
+    wheels.push_back(std::make_unique<TimerWheel>(sharded.shard(s)));
+    Simulator& shard = sharded.shard(s);
+    auto* out = &fired[s];
+    // Deadlines straddle several window edges; two timers share t=1.25 to
+    // pin the arm-order guarantee.
+    wheels[s]->armAt(1.25, [out, &shard] { out->emplace_back(0, shard.now()); });
+    wheels[s]->armAt(0.2 + 0.1 * static_cast<double>(s),
+                     [out, &shard] { out->emplace_back(1, shard.now()); });
+    wheels[s]->armAt(1.25, [out, &shard] { out->emplace_back(2, shard.now()); });
+    const TimerWheel::TimerId doomed =
+        wheels[s]->armAt(0.9, [out, &shard] { out->emplace_back(3, shard.now()); });
+    wheels[s]->cancel(doomed);
+  }
+
+  exec::ThreadPool pool(3);
+  sharded.run(pool, 2.0);
+
+  for (std::size_t s = 0; s < cfg.shards; ++s) {
+    ASSERT_EQ(fired[s].size(), 3u) << "shard " << s;
+    EXPECT_EQ(fired[s][0].first, 1);
+    EXPECT_DOUBLE_EQ(fired[s][0].second, 0.2 + 0.1 * static_cast<double>(s));
+    // Equal-deadline timers fire in arm order.
+    EXPECT_EQ(fired[s][1].first, 0);
+    EXPECT_EQ(fired[s][2].first, 2);
+    EXPECT_DOUBLE_EQ(fired[s][1].second, 1.25);
+    EXPECT_DOUBLE_EQ(fired[s][2].second, 1.25);
+    EXPECT_EQ(wheels[s]->firedCount(), 3u);
+    EXPECT_EQ(wheels[s]->armed(), 0u);
+  }
+}
+
+TEST(ShardedSimulator, TotalEventsSumsAllShards) {
+  ShardedSimulator::Config cfg;
+  cfg.shards = 2;
+  cfg.window_s = 1.0;
+  ShardedSimulator sharded(cfg);
+  for (std::size_t s = 0; s < cfg.shards; ++s) {
+    for (int i = 0; i < 5; ++i) {
+      sharded.shard(s).scheduleAt(0.1 * (i + 1), [] {});
+    }
+  }
+  exec::ThreadPool pool(2);
+  sharded.run(pool, 1.0);
+  EXPECT_EQ(sharded.totalEvents(), 10u);
+  ASSERT_EQ(sharded.stats().size(), 2u);
+  EXPECT_EQ(sharded.stats()[0].events, 5u);
+  EXPECT_EQ(sharded.stats()[1].events, 5u);
+}
+
+}  // namespace
+}  // namespace gol::sim

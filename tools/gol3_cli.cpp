@@ -7,8 +7,10 @@
 //   gol3 trace-dslam --out FILE [--subscribers N] [--seed N]
 //   gol3 trace-mno   --out FILE [--users N] [--months N] [--seed N]
 //   gol3 month     [--location N] [--days N]
+//   gol3 metro     [--neighborhoods N] [--households N] [--shards N] ...
 //
 // Everything the examples demonstrate, scriptable.
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -18,6 +20,7 @@
 
 #include "cli/args.hpp"
 #include "core/allowance.hpp"
+#include "core/metro.hpp"
 #include "core/result_json.hpp"
 #include "core/upload_session.hpp"
 #include "core/vod_session.hpp"
@@ -356,6 +359,74 @@ int cmdTraceMno(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmdMetro(int argc, const char* const* argv) {
+  cli::ArgParser args("gol3 metro",
+                      "City-scale sharded simulation: neighborhoods of DSL "
+                      "households grouped into cell-tower areas, run across "
+                      "component-sharded event loops with conservative "
+                      "window sync");
+  args.addInt("neighborhoods", "neighborhoods (one DSLAM each)", 64);
+  args.addInt("households", "households per neighborhood", 25);
+  args.addInt("area", "neighborhoods per cell-tower area", 4);
+  args.addInt("phones", "phones per household", 1);
+  args.addInt("shards", "shard count (0 = one per neighborhood)", 4);
+  args.addDouble("window", "conservative sync window, sim seconds", 5.0);
+  args.addDouble("horizon", "simulated seconds", 600.0);
+  args.addString("scheduler", core::SchedulerRegistry::instance().namesJoined(),
+                 "greedy");
+  args.addInt("seed", "random seed", 1);
+  args.addFlag("json", "print the aggregate result as JSON");
+  if (!args.parse(argc, argv, 2)) {
+    std::fprintf(stderr, "%s%s", args.error().empty() ? "" : (args.error() + "\n").c_str(),
+                 args.usage().c_str());
+    return args.helpRequested() ? 0 : 2;
+  }
+
+  core::MetroConfig cfg;
+  cfg.neighborhoods = static_cast<int>(args.getInt("neighborhoods"));
+  cfg.households_per_neighborhood = static_cast<int>(args.getInt("households"));
+  cfg.neighborhoods_per_area = static_cast<int>(args.getInt("area"));
+  cfg.phones_per_household = static_cast<int>(args.getInt("phones"));
+  cfg.shards = static_cast<std::size_t>(args.getInt("shards"));
+  if (cfg.shards == 0) cfg.shards = static_cast<std::size_t>(cfg.neighborhoods);
+  cfg.window_s = args.getDouble("window");
+  cfg.horizon_s = args.getDouble("horizon");
+  cfg.scheduler = args.getString("scheduler");
+  if (!core::SchedulerRegistry::instance().known(cfg.scheduler)) {
+    std::fprintf(stderr, "gol3: unknown scheduler '%s' (available: %s)\n",
+                 cfg.scheduler.c_str(),
+                 core::SchedulerRegistry::instance().namesJoined().c_str());
+    return 2;
+  }
+  cfg.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+
+  core::MetroSimulation metro(cfg);
+  exec::ThreadPool pool;
+  const core::MetroResult res = metro.run(pool);
+  if (args.getFlag("json")) {
+    std::printf("{\"households\": %" PRIu64 ", \"transactions\": %" PRIu64
+                ", \"items_ok\": %" PRIu64 ", \"items_failed\": %" PRIu64
+                ", \"bytes\": %.9g, \"cell_bytes\": %.9g, \"events\": %" PRIu64
+                ", \"windows\": %zu, \"shards\": %zu, \"sim_s\": %.9g"
+                ", \"digest\": \"%016" PRIx64 "\"}\n",
+                res.households, res.transactions, res.items_ok,
+                res.items_failed, res.bytes, res.cell_bytes, res.events,
+                res.windows, res.shard_count, res.sim_s, res.digest);
+    return 0;
+  }
+  std::printf("%" PRIu64 " households, %" PRIu64 " transactions, %" PRIu64
+              " items (%.3f GB, %.1f%% onloaded) over %.0f sim-s\n",
+              res.households, res.transactions, res.items_ok, res.bytes / 1e9,
+              res.bytes > 0 ? 100.0 * res.cell_bytes / res.bytes : 0.0,
+              res.sim_s);
+  std::printf("%" PRIu64 " events, %zu shards x %zu windows, digest %016"
+              PRIx64 "\n",
+              res.events, res.shard_count, res.windows, res.digest);
+  std::fprintf(stderr, "[metro] %.2f s wall, %.0f events/s\n", res.wall_s,
+               res.eventsPerSec());
+  return 0;
+}
+
 void usage(std::FILE* out) {
   std::fprintf(out,
                "usage: gol3 <command> [options] [--metrics-out FILE]\n"
@@ -366,6 +437,7 @@ void usage(std::FILE* out) {
                "  oracle       offline LP/flow lower bound on makespan\n"
                "  trace-dslam  generate a DSLAM trace CSV\n"
                "  trace-mno    generate an MNO dataset CSV\n"
+               "  metro        city-scale sharded simulation\n"
                "schedulers (--scheduler): %s\n"
                "run 'gol3 <command> --help' for command options\n"
                "--metrics-out FILE works with every command: dumps the "
@@ -415,6 +487,7 @@ int main(int argc, char** argv) {
   else if (cmd == "oracle") rc = cmdOracle(fargc, fargv);
   else if (cmd == "trace-dslam") rc = cmdTraceDslam(fargc, fargv);
   else if (cmd == "trace-mno") rc = cmdTraceMno(fargc, fargv);
+  else if (cmd == "metro") rc = cmdMetro(fargc, fargv);
   else usage(stderr);
 
   if (!metrics_out.empty()) {
