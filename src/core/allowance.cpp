@@ -68,6 +68,10 @@ void UsageTracker::recordUsage(double bytes) {
   used_month_ += bytes;
 }
 
+void UsageTracker::setMonthlyAllowance(double bytes) {
+  monthly_allowance_ = std::max(0.0, bytes);
+}
+
 void UsageTracker::nextDay() {
   used_today_ = 0;
   ++day_;

@@ -62,6 +62,13 @@ class UsageTracker {
   /// monthly allowance.
   void nextDay();
 
+  /// Live re-estimation hook: replaces the monthly allowance mid-flight
+  /// (e.g. when a fresh 3GOLa(t) estimate lands). Usage already metered
+  /// this month stays charged, so a shrunken allowance can zero A(t)
+  /// immediately.
+  void setMonthlyAllowance(double bytes);
+  double monthlyAllowanceBytes() const { return monthly_allowance_; }
+
   double usedThisMonthBytes() const { return used_month_; }
   double usedTodayBytes() const { return used_today_; }
   int dayOfMonth() const { return day_; }

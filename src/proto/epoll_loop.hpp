@@ -15,6 +15,10 @@
 namespace gol::proto {
 
 enum class Interest : std::uint32_t {
+  /// Registered but wants neither readability nor writability. The fd
+  /// stays armed for EPOLLERR/EPOLLHUP (always reported), so a paused
+  /// relay side still hears about peer aborts — the backpressure state.
+  kNone = 0,
   kRead = 1,
   kWrite = 2,
   kReadWrite = 3,

@@ -107,6 +107,9 @@ void MultipathHttpClient::start(std::vector<FetchItem> items) {
   result_ = MultipathResult{};
   result_.item_completion_s.assign(items_.size(), 0.0);
   result_.per_item_attempts.assign(items_.size(), 0);
+  // A quota denial only disables an endpoint for the transaction it hit:
+  // the next transaction probes again (the allowance may have refreshed).
+  for (auto& slot : slots_) slot.denied = false;
   done_ = items_.empty();
   result_.complete = done_;
   started_at_ = Clock::now();
@@ -156,7 +159,7 @@ void MultipathHttpClient::dispatchAll() {
 
 void MultipathHttpClient::dispatch(std::size_t slot_index) {
   Slot& slot = slots_[slot_index];
-  if (slot.item.has_value() || done_) return;
+  if (slot.item.has_value() || done_ || slot.denied) return;
   if (Clock::now() < slot.quarantined_until) return;
   const auto pick = pickItem(slot_index);
   if (!pick) return;
@@ -182,7 +185,7 @@ void MultipathHttpClient::dispatch(std::size_t slot_index) {
   slot.started_at = Clock::now();
   const std::uint64_t gen = ++slot.attempt_gen;
 
-  auto conn = connectTcp(slot.endpoint.port);
+  auto conn = connectTcp(slot.endpoint.port, cfg_.bind_addr);
   if (!conn) {
     // Synchronous connect failure (rare on loopback; usually the refusal
     // arrives as a socket error on the first poll) — a failed attempt like
@@ -403,6 +406,20 @@ void MultipathHttpClient::completeItem(std::size_t slot_index) {
   }
 
   if (resp.status != 200 && resp.status != 206) {
+    // The proxy's explicit degradation signals ride on 503. "quota" means
+    // the tenant's 3GOLa(t) allowance is gone: not a failure of the item —
+    // the endpoint is disabled and the item falls back to the other legs.
+    // "busy" (cap/queue shed) is transient and takes the normal
+    // failed-attempt/backoff path.
+    if (resp.status == 503) {
+      if (const auto denied = resp.header("X-3GOL-Denied"); denied) {
+        if (*denied == "quota") {
+          denyEndpoint(slot_index);
+          return;
+        }
+        ++result_.busy_sheds;
+      }
+    }
     failAttempt(slot_index);
     return;
   }
@@ -487,6 +504,44 @@ void MultipathHttpClient::completeItem(std::size_t slot_index) {
   dispatch(slot_index);
 }
 
+void MultipathHttpClient::denyEndpoint(std::size_t slot_index) {
+  Slot& slot = slots_[slot_index];
+  if (!slot.item.has_value()) return;
+  const std::size_t idx = *slot.item;
+  result_.wasted_bytes += slot.in.size();
+  slot.in.clear();
+  releaseSlot(slot);
+  slot.denied = true;
+  ++result_.quota_denials;
+  result_.denied_endpoints.push_back(slot.endpoint.name);
+
+  auto& c = carriers_[idx];
+  c.erase(std::remove(c.begin(), c.end(), slot_index), c.end());
+  if (states_[idx] == ItemState::kInFlight && c.empty()) {
+    // Back to the queue WITHOUT charging an attempt: the denial is the
+    // service degrading gracefully, not the item failing. Any checkpoint
+    // the dead relay left stays salvaged for the next carrier to resume.
+    states_[idx] = ItemState::kPending;
+  }
+
+  // Termination guard: with every endpoint denied nothing can carry the
+  // remaining items — fail them now instead of hanging the transaction.
+  if (std::all_of(slots_.begin(), slots_.end(),
+                  [](const Slot& s) { return s.denied; })) {
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      if (states_[i] == ItemState::kDone || states_[i] == ItemState::kFailed)
+        continue;
+      states_[i] = ItemState::kFailed;
+      reclaimPrefix(i);
+      ++failed_count_;
+      ++result_.failed_items;
+    }
+    finish();
+    return;
+  }
+  dispatchAll();
+}
+
 void MultipathHttpClient::abortSlot(std::size_t slot_index) {
   Slot& slot = slots_[slot_index];
   if (!slot.item.has_value()) return;
@@ -502,7 +557,8 @@ void MultipathHttpClient::finish() {
                                   failed_endpoint_names_.end());
   if (result_.failed_items > 0) {
     result_.outcome = FetchOutcome::kPartialFailure;
-  } else if (result_.retries > 0 || result_.timeouts > 0) {
+  } else if (result_.retries > 0 || result_.timeouts > 0 ||
+             result_.quota_denials > 0 || result_.busy_sheds > 0) {
     result_.outcome = FetchOutcome::kCompletedDegraded;
   } else {
     result_.outcome = FetchOutcome::kCompleted;

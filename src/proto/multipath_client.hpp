@@ -65,6 +65,10 @@ struct ClientConfig {
   /// declaring the item done; a mismatch discards the checkpoint and
   /// re-enters retry.
   bool verify_checksums = true;
+  /// Source address (host order, e.g. 0x7f00000a for 127.0.0.10) bound
+  /// before connecting — the client's tenant identity to a multi-tenant
+  /// proxy. 0 = kernel default.
+  std::uint32_t bind_addr = 0;
 };
 
 struct MultipathResult {
@@ -83,6 +87,16 @@ struct MultipathResult {
   std::size_t failed_items = 0;   ///< Items that ran out of attempts.
   std::size_t resumed_attempts = 0;  ///< Attempts sent with a Range header.
   std::size_t corrupt_payloads = 0;  ///< Length/digest verification fails.
+  /// Explicit "onload denied" (503 + X-3GOL-Denied: quota) replies. Each
+  /// permanently disables that endpoint for this transaction; the item is
+  /// re-queued without charging an attempt and completes on the remaining
+  /// legs (the ADSL fallback of Sec. 6).
+  std::size_t quota_denials = 0;
+  /// Transient busy sheds (503 + X-3GOL-Denied: busy): the normal failed-
+  /// attempt/backoff path.
+  std::size_t busy_sheds = 0;
+  /// Endpoints disabled by a quota denial during this transaction.
+  std::vector<std::string> denied_endpoints;
   std::vector<int> per_item_attempts;
   /// Endpoints that produced at least one hard failure.
   std::vector<std::string> failed_endpoints;
@@ -124,12 +138,21 @@ class MultipathHttpClient {
     int consecutive_failures = 0;
     std::chrono::steady_clock::time_point quarantined_until{};
     double rate_est_bps = 0;
+    /// Quota-denied by the proxy: endpoint disabled for the rest of the
+    /// transaction (the client continues single-path — degraded, not dead).
+    bool denied = false;
   };
 
   void dispatch(std::size_t slot_index);
   void dispatchAll();
   void onSlotEvent(std::size_t slot_index, bool readable, bool writable);
   void completeItem(std::size_t slot_index);
+  /// Handles an explicit quota denial: disables the endpoint for the
+  /// transaction and re-queues the item WITHOUT charging an attempt (the
+  /// denial is the service degrading gracefully, not the item failing).
+  /// When every endpoint is denied, fails whatever cannot complete so the
+  /// transaction still terminates.
+  void denyEndpoint(std::size_t slot_index);
   void abortSlot(std::size_t slot_index);
   /// Books the failed attempt on `slot_index`: waste, endpoint health,
   /// quarantine, and the item's retry/terminal-failure disposition.

@@ -1,19 +1,40 @@
 #include "proto/proxy.hpp"
 
+#include <fcntl.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <stdexcept>
+#include <system_error>
+
+#include "http/message.hpp"
 
 namespace gol::proto {
 
 namespace {
 constexpr std::size_t kChunk = 16384;
-constexpr std::size_t kHighWater = 512 * 1024;
+constexpr int kMaxIov = 16;
+
+std::string denialReply(const char* reason) {
+  http::Response resp;
+  resp.status = 503;
+  resp.reason = "Service Unavailable";
+  resp.headers["X-3GOL-Denied"] = reason;
+  resp.headers["Connection"] = "close";
+  return resp.serialize();
+}
+
+Fd openReserveFd() { return Fd(::open("/dev/null", O_RDONLY | O_CLOEXEC)); }
 }  // namespace
 
 OnloadProxy::OnloadProxy(EpollLoop& loop, const ProxyConfig& cfg)
-    : loop_(loop), cfg_(cfg) {
+    : loop_(loop),
+      cfg_(cfg),
+      reserve_fd_(openReserveFd()),
+      busy_reply_(denialReply("busy")),
+      quota_reply_(denialReply("quota")) {
   auto l = listenTcp(0);
   if (!l) throw std::runtime_error("OnloadProxy: cannot listen");
   listener_ = std::move(*l);
@@ -23,6 +44,7 @@ OnloadProxy::OnloadProxy(EpollLoop& loop, const ProxyConfig& cfg)
 }
 
 OnloadProxy::~OnloadProxy() {
+  pending_.clear();  // parked fds close; nothing gets promoted mid-teardown
   while (!pipes_.empty()) closePipe(pipes_.begin()->first);
   if (listener_.fd.valid()) loop_.remove(listener_.fd.get());
 }
@@ -30,7 +52,9 @@ OnloadProxy::~OnloadProxy() {
 void OnloadProxy::instrument(telemetry::Registry* registry) {
   if (registry == nullptr) {
     accepts_ = closes_ = bytes_down_ = bytes_up_ = nullptr;
-    active_gauge_ = nullptr;
+    shed_busy_ctr_ = shed_emfile_ctr_ = denied_ctr_ = nullptr;
+    quota_kill_ctr_ = idle_close_ctr_ = bp_pause_ctr_ = nullptr;
+    active_gauge_ = pending_gauge_ = nullptr;
     return;
   }
   accepts_ = &registry->counter("gol.proto.proxy_accepts");
@@ -38,35 +62,185 @@ void OnloadProxy::instrument(telemetry::Registry* registry) {
   bytes_down_ =
       &registry->counter("gol.proto.bytes_proxied", {{"dir", "down"}});
   bytes_up_ = &registry->counter("gol.proto.bytes_proxied", {{"dir", "up"}});
+  shed_busy_ctr_ =
+      &registry->counter("gol.proto.proxy_sheds", {{"reason", "busy"}});
+  shed_emfile_ctr_ =
+      &registry->counter("gol.proto.proxy_sheds", {{"reason", "emfile"}});
+  denied_ctr_ = &registry->counter("gol.proto.proxy_quota_denials");
+  quota_kill_ctr_ = &registry->counter("gol.proto.proxy_quota_kills");
+  idle_close_ctr_ = &registry->counter("gol.proto.proxy_idle_closes");
+  bp_pause_ctr_ = &registry->counter("gol.proto.proxy_backpressure_pauses");
   active_gauge_ = &registry->gauge("gol.proto.proxy_active_connections");
+  pending_gauge_ = &registry->gauge("gol.proto.proxy_pending_connections");
+}
+
+void OnloadProxy::replyAndClose(Fd fd, const std::string& wire) {
+  // Best-effort: the reply is ~120 bytes, far under a fresh socket's send
+  // buffer; if even that fails the close alone carries the signal.
+  try {
+    writeSome(fd.get(), wire.data(), wire.size());
+  } catch (const std::system_error&) {
+  }
+  // fd closes on scope exit (FIN after the reply, so the peer reads it).
 }
 
 void OnloadProxy::onAccept() {
-  while (auto client = acceptOne(listener_.fd.get())) {
-    auto upstream = connectTcp(cfg_.upstream_port);
-    if (!upstream) continue;  // origin unavailable: drop the client
-    if (accepts_) accepts_->inc();
-    auto pipe = std::make_unique<Pipe>(cfg_.up_bps, cfg_.down_bps);
-    const int ckey = client->get();
-    const int ukey = upstream->get();
-    pipe->client = std::move(*client);
-    pipe->upstream = std::move(*upstream);
-    pipes_[ckey] = std::move(pipe);
-    upstream_to_pipe_[ukey] = ckey;
-
-    loop_.add(ckey, Interest::kRead,
-              [this, ckey](bool, bool) { onEvent(ckey, true); });
-    loop_.add(ukey, Interest::kReadWrite,
-              [this, ckey](bool, bool) { onEvent(ckey, false); });
-    if (active_gauge_) active_gauge_->set(static_cast<double>(pipes_.size()));
+  for (;;) {
+    int err = 0;
+    std::string peer;
+    auto client = acceptOne(listener_.fd.get(), &peer, &err);
+    if (!client) {
+      if (err == EMFILE || err == ENFILE) {
+        if (!shedOverFdLimit()) break;
+        continue;
+      }
+      break;  // EAGAIN: queue drained
+    }
+    admitOrPark(std::move(*client), std::move(peer));
   }
 }
 
-std::chrono::microseconds OnloadProxy::DelayLine::drainInto(
-    std::string& out) {
+bool OnloadProxy::shedOverFdLimit() {
+  // The fd table is full but the accept queue is not: without a spare fd
+  // the level-triggered listener would wake every poll and spin. Burn the
+  // reserve to accept one waiter, shed it politely, re-arm.
+  if (!reserve_fd_.valid()) return false;
+  reserve_fd_.reset();
+  auto victim = acceptOne(listener_.fd.get());
+  bool progress = false;
+  if (victim) {
+    ++shed_emfile_;
+    if (shed_emfile_ctr_) shed_emfile_ctr_->inc();
+    replyAndClose(std::move(*victim), busy_reply_);
+    progress = true;
+  }
+  reserve_fd_ = openReserveFd();
+  return progress && reserve_fd_.valid();
+}
+
+void OnloadProxy::admitOrPark(Fd client, std::string tenant) {
+  if (cfg_.max_connections > 0 && pipes_.size() >= cfg_.max_connections) {
+    // Park newest-on-top. Past the bound the OLDEST waiter is shed: under
+    // sustained overload LIFO keeps serving arrivals that are still
+    // likely listening instead of queue-aged ones that have given up.
+    pending_.push_back(PendingConn{std::move(client), std::move(tenant)});
+    if (pending_.size() > cfg_.accept_queue_limit) {
+      ++shed_busy_;
+      if (shed_busy_ctr_) shed_busy_ctr_->inc();
+      replyAndClose(std::move(pending_.front().fd), busy_reply_);
+      pending_.erase(pending_.begin());
+    }
+    if (pending_gauge_)
+      pending_gauge_->set(static_cast<double>(pending_.size()));
+    return;
+  }
+  startPipe(std::move(client), std::move(tenant));
+}
+
+void OnloadProxy::startPipe(Fd client, std::string tenant) {
+  if (cfg_.governor) {
+    switch (cfg_.governor->admit(tenant)) {
+      case AdmitDecision::kDenyQuota:
+        ++denied_quota_;
+        if (denied_ctr_) denied_ctr_->inc();
+        replyAndClose(std::move(client), quota_reply_);
+        return;
+      case AdmitDecision::kShedTenant:
+        ++shed_busy_;
+        if (shed_busy_ctr_) shed_busy_ctr_->inc();
+        replyAndClose(std::move(client), busy_reply_);
+        return;
+      case AdmitDecision::kAdmit:
+        break;
+    }
+  }
+  auto upstream = connectTcp(cfg_.upstream_port);
+  if (!upstream) {
+    // Origin unreachable or fd budget spent on the upstream leg: shed
+    // explicitly rather than dropping the client on the floor.
+    if (cfg_.governor) cfg_.governor->onConnectionClosed(tenant);
+    ++shed_busy_;
+    if (shed_busy_ctr_) shed_busy_ctr_->inc();
+    replyAndClose(std::move(client), busy_reply_);
+    return;
+  }
+  if (accepts_) accepts_->inc();
+  if (cfg_.sndbuf_bytes > 0) {
+    setSendBuf(client.get(), cfg_.sndbuf_bytes);
+    setSendBuf(upstream->get(), cfg_.sndbuf_bytes);
+  }
+  auto pipe = std::make_unique<Pipe>(cfg_.up_bps, cfg_.down_bps);
+  const int ckey = client.get();
+  const int ukey = upstream->get();
+  pipe->client = std::move(client);
+  pipe->upstream = std::move(*upstream);
+  pipe->tenant = std::move(tenant);
+  pipe->gen = ++pipe_gen_;
+  pipe->last_activity = std::chrono::steady_clock::now();
+  const std::uint64_t gen = pipe->gen;
+  pipes_[ckey] = std::move(pipe);
+  upstream_to_pipe_[ukey] = ckey;
+
+  loop_.add(ckey, Interest::kRead,
+            [this, ckey](bool, bool) { onEvent(ckey, true); });
+  loop_.add(ukey, Interest::kReadWrite,
+            [this, ckey](bool, bool) { onEvent(ckey, false); });
+  if (active_gauge_) active_gauge_->set(static_cast<double>(pipes_.size()));
+  if (cfg_.idle_timeout.count() > 0) {
+    armIdleTimer(ckey, gen,
+                 std::chrono::duration_cast<std::chrono::microseconds>(
+                     cfg_.idle_timeout));
+  }
+}
+
+void OnloadProxy::drainPending() {
+  while (!pending_.empty() &&
+         (cfg_.max_connections == 0 ||
+          pipes_.size() < cfg_.max_connections)) {
+    PendingConn pc = std::move(pending_.back());  // LIFO: newest first
+    pending_.pop_back();
+    startPipe(std::move(pc.fd), std::move(pc.tenant));
+  }
+  if (pending_gauge_)
+    pending_gauge_->set(static_cast<double>(pending_.size()));
+}
+
+int OnloadProxy::ChunkQueue::fillIov(struct iovec* iov, int max_iov,
+                                     std::size_t limit) const {
+  int n = 0;
+  std::size_t off = head;
+  for (const auto& c : chunks) {
+    if (n == max_iov || limit == 0) break;
+    const std::size_t take = std::min(c.size() - off, limit);
+    iov[n].iov_base = const_cast<char*>(c.data() + off);
+    iov[n].iov_len = take;
+    limit -= take;
+    ++n;
+    off = 0;
+  }
+  return n;
+}
+
+void OnloadProxy::ChunkQueue::consume(std::size_t n) {
+  bytes -= std::min(bytes, n);
+  while (n > 0 && !chunks.empty()) {
+    const std::size_t avail = chunks.front().size() - head;
+    if (n >= avail) {
+      n -= avail;
+      head = 0;
+      chunks.pop_front();
+    } else {
+      head += n;
+      n = 0;
+    }
+  }
+}
+
+std::chrono::microseconds OnloadProxy::DelayLine::drainInto(ChunkQueue& out) {
   const auto now = std::chrono::steady_clock::now();
   while (!chunks.empty() && chunks.front().eligible_at <= now) {
-    out += chunks.front().data;
+    bytes -= std::min(bytes, chunks.front().data.size());
+    out.push(std::move(chunks.front().data));
     chunks.pop_front();
   }
   if (chunks.empty()) return std::chrono::microseconds(0);
@@ -80,35 +254,50 @@ void OnloadProxy::onEvent(int pipe_key, bool from_client) {
   if (it == pipes_.end()) return;
   Pipe& pipe = *it->second;
 
-  // Ingest whatever arrived on the signalled side into the delay line
-  // (subject to buffer caps).
+  // Ingest whatever arrived on the signalled side into the delay line,
+  // stopping at the backpressure watermark. When the side's read interest
+  // is paused (interest kNone) the only events epoll still delivers are
+  // ERR/HUP — the peer is gone — so drain what the kernel holds (bounded
+  // by the socket buffer, not the watermark) to reach the EOF.
   char buf[kChunk];
-  const auto eligible =
-      std::chrono::steady_clock::now() + cfg_.latency;
-  if (from_client && pipe.to_upstream.size() < kHighWater) {
-    for (;;) {
-      const long n = readSome(pipe.client.get(), buf, sizeof buf);
-      if (n == 0) {
-        pipe.client_eof = true;
-        break;
+  const auto now = std::chrono::steady_clock::now();
+  const auto eligible = now + cfg_.latency;
+  try {
+    if (from_client) {
+      const bool hup_drain = pipe.client_read_paused;
+      while (!pipe.client_eof &&
+             (hup_drain ||
+              pipe.bufferedTowardUpstream() < cfg_.buffer_watermark)) {
+        const long n = readSome(pipe.client.get(), buf, sizeof buf);
+        if (n == 0) {
+          pipe.client_eof = true;
+          break;
+        }
+        if (n < 0) break;
+        pipe.delay_to_upstream.push(
+            std::string(buf, static_cast<std::size_t>(n)), eligible);
+        pipe.last_activity = now;
       }
-      if (n < 0) break;
-      pipe.delay_to_upstream.push(
-          std::string(buf, static_cast<std::size_t>(n)), eligible);
-      if (pipe.to_upstream.size() >= kHighWater) break;
-    }
-  } else if (!from_client && pipe.to_client.size() < kHighWater) {
-    for (;;) {
-      const long n = readSome(pipe.upstream.get(), buf, sizeof buf);
-      if (n == 0) {
-        pipe.upstream_eof = true;
-        break;
+    } else {
+      const bool hup_drain = pipe.upstream_read_paused;
+      while (!pipe.upstream_eof &&
+             (hup_drain ||
+              pipe.bufferedTowardClient() < cfg_.buffer_watermark)) {
+        const long n = readSome(pipe.upstream.get(), buf, sizeof buf);
+        if (n == 0) {
+          pipe.upstream_eof = true;
+          break;
+        }
+        if (n < 0) break;
+        pipe.delay_to_client.push(
+            std::string(buf, static_cast<std::size_t>(n)), eligible);
+        pipe.last_activity = now;
       }
-      if (n < 0) break;
-      pipe.delay_to_client.push(
-          std::string(buf, static_cast<std::size_t>(n)), eligible);
-      if (pipe.to_client.size() >= kHighWater) break;
     }
+  } catch (const std::system_error&) {
+    // Hard socket error beyond reset: the relay is dead either way.
+    closePipe(pipe_key);
+    return;
   }
   pump(pipe_key);
 }
@@ -123,41 +312,77 @@ void OnloadProxy::pump(int pipe_key) {
   wait = std::max(wait, pipe.delay_to_client.drainInto(pipe.to_client));
   wait = std::max(wait, pipe.delay_to_upstream.drainInto(pipe.to_upstream));
 
-  if (!pipe.to_client.empty()) {
-    const std::size_t allowed =
-        std::min(pipe.down_limiter.available(), pipe.to_client.size());
-    if (allowed > 0) {
-      const long n =
-          writeSome(pipe.client.get(), pipe.to_client.data(), allowed);
-      if (n > 0) {
-        pipe.down_limiter.consume(static_cast<std::size_t>(n));
-        relayed_down_ += static_cast<std::size_t>(n);
-        if (bytes_down_) bytes_down_->inc(static_cast<double>(n));
-        pipe.to_client.erase(0, static_cast<std::size_t>(n));
+  std::size_t charged = 0;
+  struct iovec iov[kMaxIov];
+  try {
+    if (!pipe.to_client.empty()) {
+      const std::size_t allowed =
+          std::min(pipe.down_limiter.available(), pipe.to_client.bytes);
+      if (allowed > 0) {
+        const int n_iov = pipe.to_client.fillIov(iov, kMaxIov, allowed);
+        const long n = writevSome(pipe.client.get(), iov, n_iov);
+        if (n == 0) {  // peer gone (EPIPE/reset): nothing left to relay to
+          closePipe(pipe_key);
+          return;
+        }
+        if (n > 0) {
+          pipe.down_limiter.consume(static_cast<std::size_t>(n));
+          relayed_down_ += static_cast<std::size_t>(n);
+          charged += static_cast<std::size_t>(n);
+          if (bytes_down_) bytes_down_->inc(static_cast<double>(n));
+          pipe.to_client.consume(static_cast<std::size_t>(n));
+          pipe.last_activity = std::chrono::steady_clock::now();
+        }
+      }
+      if (!pipe.to_client.empty()) {
+        wait = std::max(wait, pipe.down_limiter.delayFor(std::min(
+                                  pipe.to_client.bytes, kChunk)));
       }
     }
-    if (!pipe.to_client.empty()) {
-      wait = std::max(wait, pipe.down_limiter.delayFor(
-                                std::min(pipe.to_client.size(), kChunk)));
+
+    if (!pipe.to_upstream.empty()) {
+      const std::size_t allowed =
+          std::min(pipe.up_limiter.available(), pipe.to_upstream.bytes);
+      if (allowed > 0) {
+        const int n_iov = pipe.to_upstream.fillIov(iov, kMaxIov, allowed);
+        const long n = writevSome(pipe.upstream.get(), iov, n_iov);
+        if (n == 0) {
+          closePipe(pipe_key);
+          return;
+        }
+        if (n > 0) {
+          pipe.up_limiter.consume(static_cast<std::size_t>(n));
+          relayed_up_ += static_cast<std::size_t>(n);
+          charged += static_cast<std::size_t>(n);
+          if (bytes_up_) bytes_up_->inc(static_cast<double>(n));
+          pipe.to_upstream.consume(static_cast<std::size_t>(n));
+          pipe.last_activity = std::chrono::steady_clock::now();
+        }
+      }
+      if (!pipe.to_upstream.empty()) {
+        wait = std::max(wait, pipe.up_limiter.delayFor(std::min(
+                                  pipe.to_upstream.bytes, kChunk)));
+      }
     }
+  } catch (const std::system_error&) {
+    closePipe(pipe_key);
+    return;
   }
 
-  if (!pipe.to_upstream.empty()) {
-    const std::size_t allowed =
-        std::min(pipe.up_limiter.available(), pipe.to_upstream.size());
-    if (allowed > 0) {
-      const long n =
-          writeSome(pipe.upstream.get(), pipe.to_upstream.data(), allowed);
-      if (n > 0) {
-        pipe.up_limiter.consume(static_cast<std::size_t>(n));
-        relayed_up_ += static_cast<std::size_t>(n);
-        if (bytes_up_) bytes_up_->inc(static_cast<double>(n));
-        pipe.to_upstream.erase(0, static_cast<std::size_t>(n));
-      }
-    }
-    if (!pipe.to_upstream.empty()) {
-      wait = std::max(wait, pipe.up_limiter.delayFor(
-                                std::min(pipe.to_upstream.size(), kChunk)));
+  peak_buffered_ = std::max(
+      {peak_buffered_, pipe.bufferedTowardClient(),
+       pipe.bufferedTowardUpstream()});
+
+  // Meter the tenant's live allowance; exhaustion mid-relay closes the
+  // pipe — the client books a failed attempt and, when it reconnects, gets
+  // the explicit quota denial that triggers its ADSL-only fallback.
+  if (cfg_.governor && charged > 0) {
+    cfg_.governor->chargeBytes(pipe.tenant, static_cast<double>(charged));
+    if (!cfg_.governor->eligible(pipe.tenant)) {
+      ++quota_kills_;
+      if (quota_kill_ctr_) quota_kill_ctr_->inc();
+      closePipe(pipe_key);
+      return;
     }
   }
 
@@ -175,18 +400,55 @@ void OnloadProxy::pump(int pipe_key) {
     ::shutdown(pipe.upstream.get(), SHUT_WR);
   }
 
-  // Keep write-interest only while bytes are queued for that side; the
-  // shaped waits are timer-driven, not EPOLLOUT-driven.
-  loop_.modify(pipe.client.get(),
-               pipe.to_client.empty() ? Interest::kRead
-                                      : Interest::kReadWrite);
-  loop_.modify(pipe.upstream.get(),
-               pipe.to_upstream.empty() ? Interest::kRead
-                                        : Interest::kReadWrite);
+  updateInterest(pipe);
 
   if (wait.count() > 0 && !pipe.timer_armed) {
     pipe.timer_armed = true;
     armTimer(pipe_key, wait);
+  }
+}
+
+void OnloadProxy::updateInterest(Pipe& pipe) {
+  // Watermark hysteresis: pause reading a side when the bytes it feeds
+  // cross the high watermark, resume below half. Level-triggered epoll
+  // makes "skip the read but keep the interest" a busy loop, so pausing
+  // must actually drop read interest.
+  const std::size_t high = cfg_.buffer_watermark;
+  const std::size_t low = high / 2;
+  if (!pipe.client_read_paused && pipe.bufferedTowardUpstream() >= high) {
+    pipe.client_read_paused = true;
+    ++bp_pauses_;
+    if (bp_pause_ctr_) bp_pause_ctr_->inc();
+  } else if (pipe.client_read_paused &&
+             pipe.bufferedTowardUpstream() <= low) {
+    pipe.client_read_paused = false;
+  }
+  if (!pipe.upstream_read_paused && pipe.bufferedTowardClient() >= high) {
+    pipe.upstream_read_paused = true;
+    ++bp_pauses_;
+    if (bp_pause_ctr_) bp_pause_ctr_->inc();
+  } else if (pipe.upstream_read_paused &&
+             pipe.bufferedTowardClient() <= low) {
+    pipe.upstream_read_paused = false;
+  }
+
+  // Keep write-interest only while bytes are queued for that side (the
+  // shaped waits are timer-driven, not EPOLLOUT-driven); keep read
+  // interest only while neither EOF nor backpressure stops ingestion.
+  const auto want = [](bool read, bool write) {
+    return static_cast<Interest>((read ? 1u : 0u) | (write ? 2u : 0u));
+  };
+  const Interest ci = want(!pipe.client_eof && !pipe.client_read_paused,
+                           !pipe.to_client.empty());
+  if (ci != pipe.client_interest) {
+    loop_.modify(pipe.client.get(), ci);
+    pipe.client_interest = ci;
+  }
+  const Interest ui = want(!pipe.upstream_eof && !pipe.upstream_read_paused,
+                           !pipe.to_upstream.empty());
+  if (ui != pipe.upstream_interest) {
+    loop_.modify(pipe.upstream.get(), ui);
+    pipe.upstream_interest = ui;
   }
 }
 
@@ -196,6 +458,30 @@ void OnloadProxy::armTimer(int pipe_key, std::chrono::microseconds delay) {
     if (it == pipes_.end()) return;
     it->second->timer_armed = false;
     pump(pipe_key);
+  });
+}
+
+void OnloadProxy::armIdleTimer(int pipe_key, std::uint64_t gen,
+                               std::chrono::microseconds delay) {
+  loop_.runAfter(delay, [this, pipe_key, gen] {
+    auto it = pipes_.find(pipe_key);
+    // The gen check defeats client-fd reuse: a stale timer must not judge
+    // a newer pipe that happens to share the fd number.
+    if (it == pipes_.end() || it->second->gen != gen) return;
+    const auto idle =
+        std::chrono::steady_clock::now() - it->second->last_activity;
+    const auto limit = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(cfg_.idle_timeout);
+    if (idle >= limit) {
+      ++idle_closed_;
+      if (idle_close_ctr_) idle_close_ctr_->inc();
+      closePipe(pipe_key);
+      return;
+    }
+    armIdleTimer(pipe_key, gen,
+                 std::chrono::duration_cast<std::chrono::microseconds>(
+                     limit - idle) +
+                     std::chrono::microseconds(1000));
   });
 }
 
@@ -232,9 +518,12 @@ void OnloadProxy::closePipe(int pipe_key) {
   loop_.remove(pipe.client.get());
   loop_.remove(pipe.upstream.get());
   upstream_to_pipe_.erase(pipe.upstream.get());
+  if (cfg_.governor) cfg_.governor->onConnectionClosed(pipe.tenant);
   pipes_.erase(it);
   if (closes_) closes_->inc();
   if (active_gauge_) active_gauge_->set(static_cast<double>(pipes_.size()));
+  // A slot freed up: promote the newest parked waiter.
+  drainPending();
 }
 
 }  // namespace gol::proto

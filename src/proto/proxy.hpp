@@ -2,6 +2,14 @@
 // LAN connections through the cellular interface. Here it is a TCP relay
 // to the origin whose two directions are token-bucket shaped, standing in
 // for a netem-emulated 3G link (down: HSDPA-like, up: HSUPA-like).
+//
+// Hardened as a multi-tenant service: per-tenant admission/quota through a
+// TenantGovernor (live 3GOLa(t)), a global connection cap with a LIFO
+// accept queue (newest waiters served first, oldest shed with an explicit
+// busy reply), bounded per-pipe buffering with read-side backpressure
+// (watermark + hysteresis instead of unbounded DelayLines), slow-client
+// idle timeouts, and EMFILE-safe accept via a reserve fd so running out of
+// descriptors degrades into polite shedding instead of a hot accept loop.
 #pragma once
 
 #include <cstdint>
@@ -9,10 +17,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "proto/epoll_loop.hpp"
 #include "proto/rate_limiter.hpp"
 #include "proto/socket.hpp"
+#include "proto/tenant_governor.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace gol::proto {
@@ -23,6 +33,30 @@ struct ProxyConfig {
   double up_bps = 1.2e6;            ///< Client -> upstream shaping.
   /// Emulated one-way latency added before bytes are released.
   std::chrono::microseconds latency{50000};
+
+  // --- Overload protection (service hardening) ---
+  /// Concurrent relays allowed; beyond it, accepts park in the LIFO
+  /// pending queue. 0 = unlimited.
+  std::size_t max_connections = 0;
+  /// Parked-accept bound: when exceeded, the OLDEST waiter is shed with
+  /// an explicit busy reply (LIFO service order — the newest arrival is
+  /// the one most likely to still be listening).
+  std::size_t accept_queue_limit = 64;
+  /// Per-direction buffered-byte high watermark (delay line + matured
+  /// queue). At the watermark the proxy stops reading the fast side;
+  /// reading resumes below half of it.
+  std::size_t buffer_watermark = 512 * 1024;
+  /// Close relays with no byte movement for this long. 0 = disabled.
+  std::chrono::milliseconds idle_timeout{0};
+  /// Test hook: SO_SNDBUF applied to both relay sockets (0 = default) —
+  /// forces the short-write/EAGAIN paths a tiny kernel buffer exposes.
+  int sndbuf_bytes = 0;
+  /// Optional admission/quota layer; not owned. When set, every accept is
+  /// admitted per tenant (peer source address) and every relayed byte is
+  /// charged against the tenant's live 3GOLa(t) allowance; exhaustion
+  /// closes the tenant's relays and denies reconnects with the explicit
+  /// "onload denied" signal clients honor by falling back to ADSL.
+  TenantGovernor* governor = nullptr;
 };
 
 class OnloadProxy {
@@ -36,6 +70,18 @@ class OnloadProxy {
   std::size_t bytesRelayedDown() const { return relayed_down_; }
   std::size_t bytesRelayedUp() const { return relayed_up_; }
   std::size_t activeConnections() const { return pipes_.size(); }
+  std::size_t pendingConnections() const { return pending_.size(); }
+
+  /// Overload/degradation books.
+  std::size_t shedBusy() const { return shed_busy_; }        ///< cap/queue
+  std::size_t shedFdExhausted() const { return shed_emfile_; }
+  std::size_t deniedQuota() const { return denied_quota_; }
+  std::size_t quotaKills() const { return quota_kills_; }    ///< mid-relay
+  std::size_t idleClosed() const { return idle_closed_; }
+  std::size_t backpressurePauses() const { return bp_pauses_; }
+  /// High-water mark of per-pipe userspace buffering observed (bytes, one
+  /// direction) — bounded by buffer_watermark plus one read chunk.
+  std::size_t peakBufferedBytes() const { return peak_buffered_; }
 
   /// Fault injection: hard-kills every active relay. Client sockets are
   /// closed with SO_LINGER 0 so the peer sees ECONNRESET mid-transfer, the
@@ -49,11 +95,32 @@ class OnloadProxy {
   bool accepting() const { return listener_.fd.valid(); }
 
   /// Publishes accept/close counters, per-direction relayed-byte counters
-  /// (`gol.proto.bytes_proxied{dir=down|up}`), and an active-connections
-  /// gauge into `registry` (nullptr detaches).
+  /// (`gol.proto.bytes_proxied{dir=down|up}`), shed/denial/idle-close
+  /// counters by reason, and active/pending gauges into `registry`
+  /// (nullptr detaches).
   void instrument(telemetry::Registry* registry);
 
  private:
+  /// Matured relay bytes as a chunk list with a consumed-head offset, so
+  /// the shaped fast path gathers them with writev instead of repeatedly
+  /// concatenating and erasing one flat string.
+  struct ChunkQueue {
+    std::deque<std::string> chunks;
+    std::size_t head = 0;   ///< Consumed prefix of chunks.front().
+    std::size_t bytes = 0;  ///< Total unconsumed bytes.
+
+    void push(std::string data) {
+      if (data.empty()) return;
+      bytes += data.size();
+      chunks.push_back(std::move(data));
+    }
+    bool empty() const { return bytes == 0; }
+    /// Builds up to `max_iov` iovecs covering at most `limit` bytes.
+    int fillIov(struct iovec* iov, int max_iov, std::size_t limit) const;
+    /// Drops `n` written bytes from the front (possibly mid-chunk).
+    void consume(std::size_t n);
+  };
+
   /// Bytes waiting out the emulated one-way latency before they become
   /// eligible for (rate-shaped) forwarding — a userspace netem delay line.
   struct DelayLine {
@@ -62,38 +129,77 @@ class OnloadProxy {
       std::string data;
     };
     std::deque<Chunk> chunks;
+    std::size_t bytes = 0;
 
     void push(std::string data, std::chrono::steady_clock::time_point at) {
+      bytes += data.size();
       chunks.push_back(Chunk{at, std::move(data)});
     }
     bool empty() const { return chunks.empty(); }
     /// Moves every chunk whose latency elapsed into `out`; returns the
     /// wait until the next chunk matures (zero when empty/ready).
-    std::chrono::microseconds drainInto(std::string& out);
+    std::chrono::microseconds drainInto(ChunkQueue& out);
   };
 
-  /// One relay direction: reads from `from`, delays, shapes, writes to `to`.
+  /// One relay: reads from each side, delays, shapes, writes to the other.
   struct Pipe {
     Fd client;
     Fd upstream;
+    std::string tenant;
     DelayLine delay_to_upstream;
     DelayLine delay_to_client;
-    std::string to_upstream;   ///< Matured client -> upstream bytes.
-    std::string to_client;     ///< Matured upstream -> client bytes.
+    ChunkQueue to_upstream;   ///< Matured client -> upstream bytes.
+    ChunkQueue to_client;     ///< Matured upstream -> client bytes.
     RateLimiter up_limiter;
     RateLimiter down_limiter;
     bool client_eof = false;
     bool upstream_eof = false;
     bool timer_armed = false;
+    /// Backpressure: read interest dropped on this side because the
+    /// opposite direction's buffered bytes crossed the watermark.
+    bool client_read_paused = false;
+    bool upstream_read_paused = false;
+    /// Cached epoll interest per side, so pump() only issues epoll_ctl
+    /// when the wanted interest actually changes.
+    Interest client_interest = Interest::kRead;
+    Interest upstream_interest = Interest::kReadWrite;
+    /// Guards timers against client-fd reuse after closePipe.
+    std::uint64_t gen = 0;
+    std::chrono::steady_clock::time_point last_activity;
 
     Pipe(double up_bps, double down_bps)
         : up_limiter(up_bps), down_limiter(down_bps) {}
+    std::size_t bufferedTowardClient() const {
+      return delay_to_client.bytes + to_client.bytes;
+    }
+    std::size_t bufferedTowardUpstream() const {
+      return delay_to_upstream.bytes + to_upstream.bytes;
+    }
+  };
+
+  struct PendingConn {
+    Fd fd;
+    std::string tenant;
   };
 
   void onAccept();
+  /// EMFILE degradation: burn the reserve fd to accept one waiter, shed it
+  /// with a busy reply, re-arm. Returns whether progress was made (false
+  /// stops the accept loop for this round).
+  bool shedOverFdLimit();
+  void admitOrPark(Fd client, std::string tenant);
+  void startPipe(Fd client, std::string tenant);
+  /// Pops LIFO waiters into free relay slots (after a pipe closes).
+  void drainPending();
+  void replyAndClose(Fd fd, const std::string& wire);
   void onEvent(int pipe_key, bool from_client);
   void pump(int pipe_key);
+  /// Recomputes pause flags (watermark hysteresis) and per-side epoll
+  /// interest; issues epoll_ctl only on change.
+  void updateInterest(Pipe& pipe);
   void armTimer(int pipe_key, std::chrono::microseconds delay);
+  void armIdleTimer(int pipe_key, std::uint64_t gen,
+                    std::chrono::microseconds delay);
   void closePipe(int pipe_key);
 
   EpollLoop& loop_;
@@ -102,13 +208,32 @@ class OnloadProxy {
   std::uint16_t port_;
   std::map<int, std::unique_ptr<Pipe>> pipes_;  // keyed by client fd
   std::map<int, int> upstream_to_pipe_;
+  std::vector<PendingConn> pending_;  // LIFO stack; shed from the front
+  Fd reserve_fd_;                     // EMFILE parachute (/dev/null)
+  std::uint64_t pipe_gen_ = 0;
   std::size_t relayed_down_ = 0;
   std::size_t relayed_up_ = 0;
+  std::size_t shed_busy_ = 0;
+  std::size_t shed_emfile_ = 0;
+  std::size_t denied_quota_ = 0;
+  std::size_t quota_kills_ = 0;
+  std::size_t idle_closed_ = 0;
+  std::size_t bp_pauses_ = 0;
+  std::size_t peak_buffered_ = 0;
+  std::string busy_reply_;
+  std::string quota_reply_;
   telemetry::Counter* accepts_ = nullptr;
   telemetry::Counter* closes_ = nullptr;
   telemetry::Counter* bytes_down_ = nullptr;
   telemetry::Counter* bytes_up_ = nullptr;
+  telemetry::Counter* shed_busy_ctr_ = nullptr;
+  telemetry::Counter* shed_emfile_ctr_ = nullptr;
+  telemetry::Counter* denied_ctr_ = nullptr;
+  telemetry::Counter* quota_kill_ctr_ = nullptr;
+  telemetry::Counter* idle_close_ctr_ = nullptr;
+  telemetry::Counter* bp_pause_ctr_ = nullptr;
   telemetry::Gauge* active_gauge_ = nullptr;
+  telemetry::Gauge* pending_gauge_ = nullptr;
 };
 
 }  // namespace gol::proto

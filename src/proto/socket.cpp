@@ -67,10 +67,18 @@ std::optional<Listener> listenTcp(std::uint16_t port, int backlog) {
   return out;
 }
 
-std::optional<Fd> connectTcp(std::uint16_t port) {
+std::optional<Fd> connectTcp(std::uint16_t port, std::uint32_t source_host) {
   Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) return std::nullopt;
   setNonBlocking(fd.get());
+  if (source_host != 0) {
+    sockaddr_in src{};
+    src.sin_family = AF_INET;
+    src.sin_port = 0;  // ephemeral
+    src.sin_addr.s_addr = htonl(source_host);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&src), sizeof src) < 0)
+      return std::nullopt;
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -83,10 +91,22 @@ std::optional<Fd> connectTcp(std::uint16_t port) {
   return fd;
 }
 
-std::optional<Fd> acceptOne(int listener_fd) {
-  const int fd = ::accept4(listener_fd, nullptr, nullptr,
-                           SOCK_NONBLOCK | SOCK_CLOEXEC);
-  if (fd < 0) return std::nullopt;
+std::optional<Fd> acceptOne(int listener_fd, std::string* peer, int* err) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  const int fd =
+      ::accept4(listener_fd, reinterpret_cast<sockaddr*>(&addr), &len,
+                SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) {
+    if (err) *err = errno;
+    return std::nullopt;
+  }
+  if (err) *err = 0;
+  if (peer) {
+    char buf[INET_ADDRSTRLEN] = {};
+    ::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof buf);
+    *peer = buf;
+  }
   return Fd(fd);
 }
 
@@ -104,6 +124,21 @@ long writeSome(int fd, const char* buf, std::size_t len) {
   if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
   if (errno == EPIPE || errno == ECONNRESET) return 0;
   throw std::system_error(errno, std::generic_category(), "write");
+}
+
+long writevSome(int fd, const struct iovec* iov, int iovcnt) {
+  msghdr msg{};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+  const auto n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+  if (n >= 0) return n;
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+  if (errno == EPIPE || errno == ECONNRESET) return 0;
+  throw std::system_error(errno, std::generic_category(), "writev");
+}
+
+void setSendBuf(int fd, int bytes) {
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof bytes);
 }
 
 }  // namespace gol::proto

@@ -9,6 +9,8 @@
 #include <optional>
 #include <string>
 
+struct iovec;  // <sys/uio.h>
+
 namespace gol::proto {
 
 /// Owning file descriptor. Move-only; closes on destruction.
@@ -40,17 +42,33 @@ struct Listener {
 std::optional<Listener> listenTcp(std::uint16_t port, int backlog = 64);
 
 /// Starts a non-blocking connect to 127.0.0.1:`port`. The connection
-/// completes asynchronously (poll for writability).
-std::optional<Fd> connectTcp(std::uint16_t port);
+/// completes asynchronously (poll for writability). `source_host` (host
+/// order, e.g. 0x7f000002 for 127.0.0.2) binds the source address before
+/// connecting — loopback owns all of 127/8, so distinct source addresses
+/// give the peer distinct client identities (the prototype's tenant key).
+/// 0 = kernel default.
+std::optional<Fd> connectTcp(std::uint16_t port,
+                             std::uint32_t source_host = 0);
 
-/// Accepts one pending connection; nullopt when none is ready.
-std::optional<Fd> acceptOne(int listener_fd);
+/// Accepts one pending connection; nullopt when none is ready. When given,
+/// `peer` receives the client's dotted address (its tenant identity) and
+/// `err` the accept errno on failure (0 when a connection was returned) —
+/// callers distinguish "queue drained" (EAGAIN) from fd exhaustion
+/// (EMFILE/ENFILE), which needs the reserve-fd degradation path.
+std::optional<Fd> acceptOne(int listener_fd, std::string* peer = nullptr,
+                            int* err = nullptr);
 
 /// Non-blocking read/write helpers. Return bytes moved, 0 on EOF (read),
 /// -1 on would-block, throw on hard errors.
 long readSome(int fd, char* buf, std::size_t len);
 long writeSome(int fd, const char* buf, std::size_t len);
+/// Gathering write over `iovcnt` buffers (sendmsg + MSG_NOSIGNAL); same
+/// return contract as writeSome. Short writes may land mid-iovec.
+long writevSome(int fd, const struct iovec* iov, int iovcnt);
 
 void setNonBlocking(int fd);
+/// Shrinks the kernel send buffer (SO_SNDBUF) — test hook for forcing
+/// short writes on the relay fast path.
+void setSendBuf(int fd, int bytes);
 
 }  // namespace gol::proto

@@ -1,0 +1,115 @@
+#include "proto/tenant_governor.hpp"
+
+namespace gol::proto {
+
+const char* toString(AdmitDecision decision) {
+  switch (decision) {
+    case AdmitDecision::kAdmit: return "admit";
+    case AdmitDecision::kDenyQuota: return "deny_quota";
+    case AdmitDecision::kShedTenant: return "shed_tenant";
+  }
+  return "unknown";
+}
+
+TenantGovernor::TenantGovernor(TenantGovernorConfig cfg)
+    : cfg_(std::move(cfg)) {}
+
+TenantGovernor::Tenant& TenantGovernor::tenantFor(const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    it = tenants_
+             .emplace(name, Tenant(cfg_.default_monthly_allowance_bytes,
+                                   cfg_.days_per_month))
+             .first;
+  }
+  return it->second;
+}
+
+void TenantGovernor::setFreeHistory(const std::string& tenant,
+                                    const std::vector<double>& free_history) {
+  tenantFor(tenant).tracker.setMonthlyAllowance(
+      core::estimateMonthlyAllowance(free_history, cfg_.allowance));
+}
+
+void TenantGovernor::setMonthlyAllowance(const std::string& tenant,
+                                         double bytes) {
+  tenantFor(tenant).tracker.setMonthlyAllowance(bytes);
+}
+
+AdmitDecision TenantGovernor::admit(const std::string& tenant) {
+  Tenant& t = tenantFor(tenant);
+  if (!t.tracker.eligible()) {
+    ++denied_quota_;
+    if (denied_ctr_) denied_ctr_->inc();
+    return AdmitDecision::kDenyQuota;
+  }
+  if (cfg_.max_connections_per_tenant > 0 &&
+      t.active >= cfg_.max_connections_per_tenant) {
+    ++shed_tenant_;
+    if (shed_ctr_) shed_ctr_->inc();
+    return AdmitDecision::kShedTenant;
+  }
+  ++t.active;
+  ++active_total_;
+  ++admitted_;
+  if (admitted_ctr_) admitted_ctr_->inc();
+  if (active_gauge_) active_gauge_->set(static_cast<double>(active_total_));
+  return AdmitDecision::kAdmit;
+}
+
+void TenantGovernor::onConnectionClosed(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || it->second.active == 0) return;
+  --it->second.active;
+  --active_total_;
+  if (active_gauge_) active_gauge_->set(static_cast<double>(active_total_));
+}
+
+void TenantGovernor::chargeBytes(const std::string& tenant, double bytes) {
+  tenantFor(tenant).tracker.recordUsage(bytes);
+}
+
+void TenantGovernor::nextDay() {
+  for (auto& [name, t] : tenants_) t.tracker.nextDay();
+}
+
+bool TenantGovernor::eligible(const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  // Unknown tenants bootstrap with the default allowance, so they are
+  // eligible iff that default is positive.
+  if (it == tenants_.end()) return cfg_.default_monthly_allowance_bytes > 0;
+  return it->second.tracker.eligible();
+}
+
+double TenantGovernor::availableTodayBytes(const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end())
+    return cfg_.default_monthly_allowance_bytes /
+           std::max(1, cfg_.days_per_month);
+  return it->second.tracker.availableTodayBytes();
+}
+
+double TenantGovernor::usedTodayBytes(const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0.0 : it->second.tracker.usedTodayBytes();
+}
+
+std::size_t TenantGovernor::activeConnections(
+    const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.active;
+}
+
+void TenantGovernor::instrument(telemetry::Registry* registry) {
+  if (registry == nullptr) {
+    admitted_ctr_ = denied_ctr_ = shed_ctr_ = nullptr;
+    active_gauge_ = nullptr;
+    return;
+  }
+  admitted_ctr_ = &registry->counter("gol.proto.tenant_admits");
+  denied_ctr_ = &registry->counter("gol.proto.tenant_quota_denials");
+  shed_ctr_ = &registry->counter("gol.proto.tenant_cap_sheds");
+  active_gauge_ = &registry->gauge("gol.proto.tenant_active_connections");
+}
+
+}  // namespace gol::proto

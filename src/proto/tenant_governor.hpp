@@ -1,0 +1,107 @@
+// Per-tenant admission and quota for the multi-tenant onload proxy
+// (Sec. 6 made live): each client identity — in the loopback prototype,
+// the 127.x source address a household connects from — is metered by a
+// core::UsageTracker whose monthly budget comes from the 3GOLa(t)
+// guard-band estimator over that tenant's trailing free-capacity history.
+//
+// The governor answers three questions the relay path asks under load:
+//   * admit(tenant)   — may this connection start? (quota + per-tenant cap)
+//   * chargeBytes     — meter relayed bytes against the tenant's A(t)
+//   * eligible        — has the tenant's rolling allowance survived?
+//
+// Denials are advisory: the proxy turns kDenyQuota into an explicit
+// "onload denied, fall back to ADSL" reply the multipath client honors by
+// continuing single-path — degradation, never failure.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/allowance.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace gol::proto {
+
+struct TenantGovernorConfig {
+  /// Concurrent relay connections allowed per tenant (0 = unlimited).
+  std::size_t max_connections_per_tenant = 0;
+  /// Monthly budget for tenants with no free-capacity history yet. The
+  /// paper's estimator is conservative (no history -> zero onloading);
+  /// a service has to bootstrap, so unknown tenants get this instead.
+  double default_monthly_allowance_bytes = 50e6;
+  /// Days the monthly allowance is sliced into (1 = the whole budget is
+  /// available immediately — the load-test configuration).
+  int days_per_month = 30;
+  core::AllowanceConfig allowance;  ///< tau/alpha for 3GOLa(t).
+};
+
+enum class AdmitDecision {
+  kAdmit,       ///< Connection accepted and counted.
+  kDenyQuota,   ///< A(t) exhausted: onload denied, client falls back.
+  kShedTenant,  ///< Per-tenant connection cap hit: transient busy.
+};
+
+const char* toString(AdmitDecision decision);
+
+class TenantGovernor {
+ public:
+  explicit TenantGovernor(TenantGovernorConfig cfg = {});
+
+  /// Feeds a tenant's trailing monthly free-capacity series (bytes, most
+  /// recent last) through estimateMonthlyAllowance and installs the
+  /// result as its live budget — the offline estimator running online.
+  void setFreeHistory(const std::string& tenant,
+                      const std::vector<double>& free_history);
+  /// Installs an explicit monthly budget (bypasses the estimator).
+  void setMonthlyAllowance(const std::string& tenant, double bytes);
+
+  /// Admission check at accept time. kAdmit increments the tenant's
+  /// active-connection count; the caller must pair it with
+  /// onConnectionClosed.
+  AdmitDecision admit(const std::string& tenant);
+  void onConnectionClosed(const std::string& tenant);
+
+  /// Meters relayed bytes against the tenant's daily allowance A(t).
+  void chargeBytes(const std::string& tenant, double bytes);
+  /// Rolls every tracker to the next day (A(t) refreshes).
+  void nextDay();
+
+  bool eligible(const std::string& tenant) const;
+  double availableTodayBytes(const std::string& tenant) const;
+  double usedTodayBytes(const std::string& tenant) const;
+  std::size_t activeConnections() const { return active_total_; }
+  std::size_t activeConnections(const std::string& tenant) const;
+  std::size_t tenantCount() const { return tenants_.size(); }
+
+  std::size_t admitted() const { return admitted_; }
+  std::size_t deniedQuota() const { return denied_quota_; }
+  std::size_t shedTenantCap() const { return shed_tenant_; }
+
+  /// Publishes admit/deny/shed counters and an active-connections gauge
+  /// into `registry` (nullptr detaches).
+  void instrument(telemetry::Registry* registry);
+
+ private:
+  struct Tenant {
+    core::UsageTracker tracker;
+    std::size_t active = 0;
+    explicit Tenant(double monthly, int days) : tracker(monthly, days) {}
+  };
+
+  Tenant& tenantFor(const std::string& name);
+
+  TenantGovernorConfig cfg_;
+  std::map<std::string, Tenant> tenants_;
+  std::size_t active_total_ = 0;
+  std::size_t admitted_ = 0;
+  std::size_t denied_quota_ = 0;
+  std::size_t shed_tenant_ = 0;
+  telemetry::Counter* admitted_ctr_ = nullptr;
+  telemetry::Counter* denied_ctr_ = nullptr;
+  telemetry::Counter* shed_ctr_ = nullptr;
+  telemetry::Gauge* active_gauge_ = nullptr;
+};
+
+}  // namespace gol::proto

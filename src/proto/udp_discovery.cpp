@@ -76,7 +76,10 @@ std::optional<Advertisement> parseAdvertisement(std::string_view datagram) {
 
 UdpDiscoveryListener::UdpDiscoveryListener(EpollLoop& loop,
                                            std::chrono::milliseconds ttl)
-    : loop_(loop), ttl_(ttl), sock_(makeUdpSocket()) {
+    : loop_(loop),
+      ttl_(ttl),
+      sock_(makeUdpSocket()),
+      liveness_(std::make_shared<bool>(true)) {
   sockaddr_in addr = loopbackAddr(0);
   if (::bind(sock_.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
       0)
@@ -86,10 +89,36 @@ UdpDiscoveryListener::UdpDiscoveryListener(EpollLoop& loop,
   port_ = ntohs(addr.sin_port);
   loop_.add(sock_.get(), Interest::kRead,
             [this](bool, bool) { onReadable(); });
+  schedulePurge();
 }
 
 UdpDiscoveryListener::~UdpDiscoveryListener() {
+  *liveness_ = false;
   if (sock_.valid()) loop_.remove(sock_.get());
+}
+
+void UdpDiscoveryListener::schedulePurge() {
+  loop_.runAfter(
+      std::chrono::duration_cast<std::chrono::microseconds>(ttl_),
+      [this, alive = std::weak_ptr<bool>(liveness_)] {
+        if (auto p = alive.lock(); p && *p) {
+          purgeStale();
+          schedulePurge();
+        }
+      });
+}
+
+void UdpDiscoveryListener::purgeStale() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto horizon = ttl_ * kExpiryTtls;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.seen > horizon) {
+      ++expired_;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void UdpDiscoveryListener::onReadable() {

@@ -53,9 +53,21 @@ class UdpDiscoveryListener {
   bool isAdmissible(const std::string& name) const;
   std::size_t datagramsReceived() const { return received_; }
   std::size_t malformedDatagrams() const { return malformed_; }
+  /// Device names currently held (fresh or aging toward expiry). Stale
+  /// entries are erased once silent past kExpiryTtls TTL periods, so a
+  /// churning fleet cannot grow this without bound.
+  std::size_t trackedEntries() const { return entries_.size(); }
+  std::size_t expiredEntries() const { return expired_; }
+
+  /// A silent device is dropped from the table after this many TTLs. One
+  /// TTL already makes it inadmissible; the extra grace lets a device that
+  /// merely missed a couple of beacons revive without being forgotten.
+  static constexpr int kExpiryTtls = 3;
 
  private:
   void onReadable();
+  void purgeStale();
+  void schedulePurge();
 
   EpollLoop& loop_;
   std::chrono::milliseconds ttl_;
@@ -68,6 +80,9 @@ class UdpDiscoveryListener {
   std::map<std::string, Entry> entries_;
   std::size_t received_ = 0;
   std::size_t malformed_ = 0;
+  std::size_t expired_ = 0;
+  /// Guards the purge timer against use-after-destruction.
+  std::shared_ptr<bool> liveness_;
 };
 
 /// Phone side: beacons while `eligible` returns an advertisement to send

@@ -138,6 +138,25 @@ TEST(Tracker, MonthRollsOver) {
   EXPECT_TRUE(t.eligible());
 }
 
+TEST(Tracker, LiveReestimateReplacesAllowanceMidMonth) {
+  UsageTracker t(100.0, 10);  // 10 B/day
+  t.recordUsage(5.0);
+  // A fresh 3GOLa(t) estimate shrinks the budget: usage already metered
+  // stays charged, so A(t) can hit zero immediately.
+  t.setMonthlyAllowance(40.0);
+  EXPECT_DOUBLE_EQ(t.monthlyAllowanceBytes(), 40.0);
+  EXPECT_DOUBLE_EQ(t.availableTodayBytes(), 0.0);  // 4 B/day slice < 5 used
+  EXPECT_FALSE(t.eligible());
+  // A grown estimate re-opens headroom the same day.
+  t.setMonthlyAllowance(200.0);
+  EXPECT_NEAR(t.availableTodayBytes(), 15.0, 1e-9);  // 20/day minus 5 used
+  EXPECT_TRUE(t.eligible());
+  // Negative estimates clamp to zero rather than going nonsensical.
+  t.setMonthlyAllowance(-50.0);
+  EXPECT_DOUBLE_EQ(t.monthlyAllowanceBytes(), 0.0);
+  EXPECT_FALSE(t.eligible());
+}
+
 TEST(Tracker, NegativeUsageIgnored) {
   UsageTracker t(100.0, 10);
   t.recordUsage(-5.0);

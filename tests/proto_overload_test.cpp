@@ -1,0 +1,508 @@
+// Overload and multi-tenancy hardening of the live proxy service: fd
+// exhaustion, connection-cap LIFO shedding, backpressure watermarks, tenant
+// quota admission with the explicit ADSL-fallback denial, idle reaping, and
+// a mini soak with fault injection. These are the failure modes a proxy
+// serving a whole neighborhood of households hits on day one.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "http/message.hpp"
+#include "proto/multipath_client.hpp"
+#include "proto/origin_server.hpp"
+#include "proto/proxy.hpp"
+#include "proto/tenant_governor.hpp"
+
+namespace gol::proto {
+namespace {
+
+std::vector<FetchItem> makeItems(int count, std::size_t bytes) {
+  std::vector<FetchItem> items;
+  for (int i = 0; i < count; ++i) {
+    items.push_back({"/obj/" + std::to_string(bytes), bytes});
+  }
+  return items;
+}
+
+std::string makeGet(std::size_t bytes) {
+  http::Request req;
+  req.target = "/obj/" + std::to_string(bytes);
+  req.headers["Host"] = "origin";
+  req.headers["Connection"] = "close";
+  return req.serialize();
+}
+
+std::size_t openFdCount() {
+  std::size_t n = 0;
+  for ([[maybe_unused]] const auto& e :
+       std::filesystem::directory_iterator("/proc/self/fd"))
+    ++n;
+  return n;
+}
+
+/// A hand-driven HTTP connection: sends one request, collects the response,
+/// and (like a real client) closes once the response parses complete — the
+/// origin holds connections open and relies on the client-side FIN to tear
+/// the relay down. Used where MultipathHttpClient's retry machinery would
+/// hide exactly the raw shed/deny/park behavior under test.
+class RawClient {
+ public:
+  RawClient(EpollLoop& loop, std::uint16_t port, std::string request)
+      : loop_(loop), out_(std::move(request)) {
+    auto fd = connectTcp(port);
+    if (!fd) throw std::runtime_error("RawClient: connect failed");
+    fd_ = std::move(*fd);
+    loop_.add(fd_.get(),
+              out_.empty() ? Interest::kRead : Interest::kReadWrite,
+              [this](bool r, bool w) { onEvent(r, w); });
+  }
+  ~RawClient() { close(); }
+
+  void close() {
+    if (!fd_.valid()) return;
+    loop_.remove(fd_.get());
+    fd_.reset();
+  }
+  /// Terminal: a complete response arrived or the peer hung up.
+  bool done() const { return done_; }
+  const std::string& received() const { return in_; }
+
+ private:
+  void onEvent(bool readable, bool writable) {
+    if (!fd_.valid()) return;
+    try {
+      if (writable && !out_.empty()) {
+        const long n = writeSome(fd_.get(), out_.data(), out_.size());
+        if (n > 0) out_.erase(0, static_cast<std::size_t>(n));
+        if (n == 0) {
+          finish();
+          return;
+        }
+        if (out_.empty()) loop_.modify(fd_.get(), Interest::kRead);
+      }
+      if (readable) {
+        char buf[4096];
+        for (;;) {
+          const long n = readSome(fd_.get(), buf, sizeof buf);
+          if (n == 0) {
+            finish();
+            return;
+          }
+          if (n < 0) break;
+          in_.append(buf, static_cast<std::size_t>(n));
+        }
+        if (http::parseResponse(in_).status == http::ParseStatus::kComplete)
+          finish();
+      }
+    } catch (const std::system_error&) {
+      finish();
+    }
+  }
+
+  void finish() {
+    done_ = true;
+    close();
+  }
+
+  EpollLoop& loop_;
+  Fd fd_;
+  std::string out_;
+  std::string in_;
+  bool done_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// TenantGovernor unit behavior
+// ---------------------------------------------------------------------------
+
+TEST(TenantGovernor, AdmitChargeDenyRefreshCycle) {
+  TenantGovernorConfig cfg;
+  cfg.days_per_month = 1;
+  TenantGovernor gov(cfg);
+  gov.setMonthlyAllowance("127.0.0.2", 1000.0);
+
+  EXPECT_EQ(gov.admit("127.0.0.2"), AdmitDecision::kAdmit);
+  EXPECT_EQ(gov.activeConnections("127.0.0.2"), 1u);
+  gov.chargeBytes("127.0.0.2", 1500.0);
+  EXPECT_FALSE(gov.eligible("127.0.0.2"));
+  EXPECT_EQ(gov.admit("127.0.0.2"), AdmitDecision::kDenyQuota);
+  EXPECT_EQ(gov.deniedQuota(), 1u);
+  gov.onConnectionClosed("127.0.0.2");
+  EXPECT_EQ(gov.activeConnections(), 0u);
+
+  // days_per_month = 1: every nextDay() starts a fresh month.
+  gov.nextDay();
+  EXPECT_TRUE(gov.eligible("127.0.0.2"));
+  EXPECT_EQ(gov.admit("127.0.0.2"), AdmitDecision::kAdmit);
+}
+
+TEST(TenantGovernor, PerTenantConnectionCap) {
+  TenantGovernorConfig cfg;
+  cfg.days_per_month = 1;
+  cfg.max_connections_per_tenant = 2;
+  TenantGovernor gov(cfg);
+  EXPECT_EQ(gov.admit("t"), AdmitDecision::kAdmit);
+  EXPECT_EQ(gov.admit("t"), AdmitDecision::kAdmit);
+  EXPECT_EQ(gov.admit("t"), AdmitDecision::kShedTenant);
+  EXPECT_EQ(gov.shedTenantCap(), 1u);
+  // Another tenant is unaffected by t's cap.
+  EXPECT_EQ(gov.admit("u"), AdmitDecision::kAdmit);
+  gov.onConnectionClosed("t");
+  EXPECT_EQ(gov.admit("t"), AdmitDecision::kAdmit);
+}
+
+TEST(TenantGovernor, FreeHistoryDrivesAllowance) {
+  TenantGovernorConfig cfg;
+  cfg.days_per_month = 1;
+  TenantGovernor gov(cfg);
+  // A stable user: 3GOLa(t) = mean - 4*stddev = the full free capacity.
+  gov.setFreeHistory("stable", {500e3, 500e3, 500e3, 500e3, 500e3});
+  EXPECT_TRUE(gov.eligible("stable"));
+  EXPECT_NEAR(gov.availableTodayBytes("stable"), 500e3, 1.0);
+  // A volatile user: the alpha=4 guard band clamps the estimate to zero.
+  gov.setFreeHistory("volatile", {900e3, 10e3, 800e3, 5e3, 700e3});
+  EXPECT_FALSE(gov.eligible("volatile"));
+  EXPECT_EQ(gov.admit("volatile"), AdmitDecision::kDenyQuota);
+}
+
+TEST(TenantGovernor, UnknownTenantsBootstrapWithDefault) {
+  TenantGovernorConfig zero;
+  zero.default_monthly_allowance_bytes = 0;
+  TenantGovernor strict(zero);
+  EXPECT_FALSE(strict.eligible("nobody"));
+  EXPECT_EQ(strict.admit("nobody"), AdmitDecision::kDenyQuota);
+
+  TenantGovernorConfig open;
+  open.default_monthly_allowance_bytes = 50e6;
+  TenantGovernor lenient(open);
+  EXPECT_TRUE(lenient.eligible("nobody"));
+  EXPECT_EQ(lenient.admit("nobody"), AdmitDecision::kAdmit);
+  EXPECT_EQ(lenient.tenantCount(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Overload protection on the relay path
+// ---------------------------------------------------------------------------
+
+TEST(ProtoOverload, FdExhaustionShedsPolitelyAndRecovers) {
+  EpollLoop loop;
+  OriginServer origin(loop);
+  ProxyConfig cfg;
+  cfg.upstream_port = origin.port();
+  cfg.down_bps = 50e6;
+  OnloadProxy proxy(loop, cfg);
+
+  // Establish the victim connection first (it needs an fd of its own),
+  // then exhaust the process fd table so the proxy's accept hits EMFILE.
+  RawClient victim(loop, proxy.port(), makeGet(1000));
+  std::vector<Fd> hoard;
+  for (;;) {
+    Fd f(::open("/dev/null", O_RDONLY | O_CLOEXEC));
+    if (!f.valid()) break;
+    hoard.push_back(std::move(f));
+  }
+
+  // The reserve-fd parachute: the proxy must accept the waiter, shed it
+  // with an explicit busy reply, and re-arm — never spin or crash.
+  ASSERT_TRUE(loop.runUntil([&] { return proxy.shedFdExhausted() >= 1; },
+                            std::chrono::milliseconds(5000)));
+  hoard.clear();
+  ASSERT_TRUE(loop.runUntil([&] { return victim.done(); },
+                            std::chrono::milliseconds(5000)));
+  EXPECT_NE(victim.received().find("503"), std::string::npos);
+  EXPECT_NE(victim.received().find("X-3GOL-Denied: busy"),
+            std::string::npos);
+  EXPECT_EQ(proxy.activeConnections(), 0u);
+
+  // With descriptors back, service resumes untouched.
+  MultipathHttpClient client(loop, {{"phone0", proxy.port()}});
+  const auto res =
+      client.run(makeItems(1, 20000), std::chrono::milliseconds(5000));
+  EXPECT_TRUE(res.complete);
+}
+
+TEST(ProtoOverload, ConnectionCapShedsOldestServesNewest) {
+  EpollLoop loop;
+  OriginServer origin(loop);
+  ProxyConfig cfg;
+  cfg.upstream_port = origin.port();
+  cfg.down_bps = 1e6;  // the active relay stays busy for ~1.6 s
+  cfg.max_connections = 1;
+  cfg.accept_queue_limit = 2;
+  OnloadProxy proxy(loop, cfg);
+
+  RawClient active(loop, proxy.port(), makeGet(200000));
+  ASSERT_TRUE(loop.runUntil([&] { return proxy.activeConnections() == 1; },
+                            std::chrono::milliseconds(2000)));
+
+  // Four more arrivals. c1 and c2 park; c3's arrival overflows the queue
+  // and sheds the OLDEST (c1); c4 sheds c2. LIFO: the two newest wait.
+  RawClient c1(loop, proxy.port(), makeGet(20000));
+  ASSERT_TRUE(loop.runUntil([&] { return proxy.pendingConnections() == 1; },
+                            std::chrono::milliseconds(2000)));
+  RawClient c2(loop, proxy.port(), makeGet(20000));
+  ASSERT_TRUE(loop.runUntil([&] { return proxy.pendingConnections() == 2; },
+                            std::chrono::milliseconds(2000)));
+  RawClient c3(loop, proxy.port(), makeGet(20000));
+  ASSERT_TRUE(loop.runUntil([&] { return proxy.shedBusy() == 1; },
+                            std::chrono::milliseconds(2000)));
+  RawClient c4(loop, proxy.port(), makeGet(20000));
+  ASSERT_TRUE(loop.runUntil([&] { return proxy.shedBusy() == 2; },
+                            std::chrono::milliseconds(2000)));
+
+  ASSERT_TRUE(loop.runUntil([&] { return c1.done() && c2.done(); },
+                            std::chrono::milliseconds(2000)));
+  EXPECT_NE(c1.received().find("X-3GOL-Denied: busy"), std::string::npos);
+  EXPECT_NE(c2.received().find("X-3GOL-Denied: busy"), std::string::npos);
+  EXPECT_TRUE(c3.received().empty());
+  EXPECT_TRUE(c4.received().empty());
+
+  // Free the slot: the NEWEST waiter (c4) is promoted first.
+  active.close();
+  ASSERT_TRUE(loop.runUntil([&] { return !c4.received().empty(); },
+                            std::chrono::milliseconds(5000)));
+  EXPECT_TRUE(c3.received().empty());
+  EXPECT_EQ(proxy.pendingConnections(), 1u);
+
+  // And once c4 finishes, c3 gets its turn — nothing starves forever.
+  ASSERT_TRUE(loop.runUntil([&] { return c3.done() && c4.done(); },
+                            std::chrono::milliseconds(10000)));
+  EXPECT_NE(c3.received().find("200"), std::string::npos);
+  EXPECT_NE(c4.received().find("200"), std::string::npos);
+}
+
+TEST(ProtoOverload, BackpressureBoundsBufferingAndCompletes) {
+  EpollLoop loop;
+  OriginServer origin(loop);  // unshaped: dumps the object instantly
+  ProxyConfig cfg;
+  cfg.upstream_port = origin.port();
+  cfg.down_bps = 8e6;
+  cfg.buffer_watermark = 64 * 1024;
+  OnloadProxy proxy(loop, cfg);
+  MultipathHttpClient client(loop, {{"phone0", proxy.port()}});
+
+  const auto res =
+      client.run(makeItems(1, 400000), std::chrono::milliseconds(10000));
+  ASSERT_TRUE(res.complete);
+  EXPECT_EQ(res.per_endpoint_bytes.at("phone0"), 400000u);
+  // Without backpressure the fast origin side would park the whole 400 KB
+  // in the delay line; the watermark caps userspace buffering at the
+  // high-water mark plus at most one read chunk.
+  EXPECT_GE(proxy.backpressurePauses(), 1u);
+  EXPECT_LE(proxy.peakBufferedBytes(), cfg.buffer_watermark + 16384);
+}
+
+TEST(ProtoOverload, TinySendBufferShortWritesStayCorrect) {
+  // A 4 KB SO_SNDBUF forces the relay through constant short writes and
+  // EAGAIN, including writev endings mid-iovec. Delivery must stay
+  // byte-exact (the client verifies length and FNV-1a digest).
+  EpollLoop loop;
+  OriginServer origin(loop);
+  ProxyConfig cfg;
+  cfg.upstream_port = origin.port();
+  cfg.down_bps = 16e6;
+  cfg.sndbuf_bytes = 4096;
+  OnloadProxy proxy(loop, cfg);
+  MultipathHttpClient client(loop, {{"phone0", proxy.port()}});
+
+  const auto res =
+      client.run(makeItems(2, 150000), std::chrono::milliseconds(15000));
+  ASSERT_TRUE(res.complete);
+  EXPECT_EQ(res.outcome, FetchOutcome::kCompleted);
+  EXPECT_EQ(res.corrupt_payloads, 0u);
+  EXPECT_EQ(res.per_endpoint_bytes.at("phone0"), 300000u);
+}
+
+TEST(ProtoOverload, IdleConnectionsAreReaped) {
+  EpollLoop loop;
+  OriginServer origin(loop);
+  ProxyConfig cfg;
+  cfg.upstream_port = origin.port();
+  cfg.idle_timeout = std::chrono::milliseconds(150);
+  OnloadProxy proxy(loop, cfg);
+
+  // Connects, then goes silent: a slow-loris client holding a relay slot.
+  RawClient loris(loop, proxy.port(), "");
+  ASSERT_TRUE(loop.runUntil([&] { return proxy.idleClosed() == 1; },
+                            std::chrono::milliseconds(5000)));
+  ASSERT_TRUE(loop.runUntil([&] { return loris.done(); },
+                            std::chrono::milliseconds(2000)));
+  EXPECT_EQ(proxy.activeConnections(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Live 3GOLa(t) admission and graceful degradation
+// ---------------------------------------------------------------------------
+
+TEST(ProtoOverload, QuotaExhaustionMidItemFallsBackToAdsl) {
+  EpollLoop loop;
+  OriginServer origin(loop);
+
+  TenantGovernorConfig gcfg;
+  gcfg.days_per_month = 1;
+  TenantGovernor governor(gcfg);
+  // The tenant's live allowance covers ~1.25 of the 4 items it will try
+  // to onload: exhaustion lands mid-transfer.
+  governor.setMonthlyAllowance("127.0.0.51", 100e3);
+
+  ProxyConfig adsl_cfg;
+  adsl_cfg.upstream_port = origin.port();
+  adsl_cfg.down_bps = 2e6;  // the ADSL leg
+  OnloadProxy adsl(loop, adsl_cfg);
+  ProxyConfig phone_cfg;
+  phone_cfg.upstream_port = origin.port();
+  phone_cfg.down_bps = 8e6;  // the 3G leg: faster, but metered
+  phone_cfg.governor = &governor;
+  OnloadProxy phone(loop, phone_cfg);
+
+  ClientConfig ccfg;
+  ccfg.base_backoff = std::chrono::milliseconds(100);
+  ccfg.bind_addr = 0x7f000033;  // 127.0.0.51 — the tenant identity
+  MultipathHttpClient client(
+      loop, {{"adsl", adsl.port()}, {"phone0", phone.port()}}, ccfg);
+  const auto res =
+      client.run(makeItems(4, 80000), std::chrono::milliseconds(30000));
+
+  // The transaction survives the quota wall: every item delivered, the
+  // result marked degraded, never errored.
+  ASSERT_TRUE(res.complete);
+  EXPECT_EQ(res.failed_items, 0u);
+  EXPECT_EQ(res.outcome, FetchOutcome::kCompletedDegraded);
+  // Exhaustion killed a relay mid-item, and the reconnect got the explicit
+  // denial that disabled the endpoint for the rest of the transaction.
+  EXPECT_GE(phone.quotaKills() + phone.deniedQuota(), 1u);
+  ASSERT_GE(res.quota_denials, 1u);
+  ASSERT_EQ(res.denied_endpoints.size(), 1u);
+  EXPECT_EQ(res.denied_endpoints[0], "phone0");
+  EXPECT_GE(governor.deniedQuota(), 1u);
+  // The ADSL leg carried the fallback traffic.
+  EXPECT_GT(res.per_endpoint_bytes.at("adsl"), 0u);
+}
+
+TEST(ProtoOverload, AllEndpointsDeniedStillTerminates) {
+  // Sole endpoint, quota already exhausted: the very first connect gets
+  // the denial. With nowhere to fall back to, the transaction must end in
+  // partial failure — never hang.
+  EpollLoop loop;
+  OriginServer origin(loop);
+  TenantGovernorConfig gcfg;
+  gcfg.default_monthly_allowance_bytes = 0;  // nobody has quota
+  TenantGovernor governor(gcfg);
+  ProxyConfig cfg;
+  cfg.upstream_port = origin.port();
+  cfg.governor = &governor;
+  OnloadProxy proxy(loop, cfg);
+
+  MultipathHttpClient client(loop, {{"phone0", proxy.port()}});
+  const auto res =
+      client.run(makeItems(2, 10000), std::chrono::milliseconds(5000));
+  EXPECT_FALSE(res.complete);
+  EXPECT_EQ(res.outcome, FetchOutcome::kPartialFailure);
+  EXPECT_EQ(res.failed_items, 2u);
+  EXPECT_EQ(res.quota_denials, 1u);  // one denial disabled the endpoint
+  EXPECT_EQ(origin.requestsServed(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Mini soak: concurrency + faults, bounded resources, total termination
+// ---------------------------------------------------------------------------
+
+TEST(ProtoOverload, MiniSoakWithFaultsTerminatesAndLeaksNothing) {
+  const std::size_t fds_before = openFdCount();
+  {
+    EpollLoop loop;
+    OriginServer origin(loop);
+    TenantGovernorConfig gcfg;
+    gcfg.days_per_month = 1;
+    gcfg.default_monthly_allowance_bytes = 100e6;
+    TenantGovernor governor(gcfg);
+
+    auto mkproxy = [&](double bps) {
+      ProxyConfig cfg;
+      cfg.upstream_port = origin.port();
+      cfg.down_bps = bps;
+      cfg.max_connections = 8;
+      cfg.accept_queue_limit = 4;
+      cfg.buffer_watermark = 128 * 1024;
+      cfg.governor = &governor;
+      return std::make_unique<OnloadProxy>(loop, cfg);
+    };
+    auto phone0 = mkproxy(8e6);
+    auto phone1 = mkproxy(6e6);
+    // The always-available ADSL leg: shaped (so the soak outlasts the fault
+    // timers below), uncapped, ungoverned — completion is guaranteed.
+    ProxyConfig adsl_cfg;
+    adsl_cfg.upstream_port = origin.port();
+    adsl_cfg.down_bps = 2e6;
+    adsl_cfg.buffer_watermark = 128 * 1024;
+    OnloadProxy adsl(loop, adsl_cfg);
+
+    ClientConfig ccfg;
+    ccfg.base_backoff = std::chrono::milliseconds(80);
+    ccfg.quarantine = std::chrono::milliseconds(200);
+    std::vector<std::unique_ptr<MultipathHttpClient>> clients;
+    for (int i = 0; i < 24; ++i) {
+      ClientConfig c = ccfg;
+      c.bind_addr = 0x7f000100 + static_cast<std::uint32_t>(i);  // 127.0.1.x
+      clients.push_back(std::make_unique<MultipathHttpClient>(
+          loop,
+          std::vector<Endpoint>{{"adsl", adsl.port()},
+                                {"phone0", phone0->port()},
+                                {"phone1", phone1->port()}},
+          c));
+      clients.back()->start(makeItems(3, 30000));
+    }
+
+    // Faults mid-soak: one proxy hard-kills its relays, the other vanishes
+    // and returns.
+    loop.runAfter(std::chrono::milliseconds(200),
+                  [&] { phone0->killActiveConnections(); });
+    loop.runAfter(std::chrono::milliseconds(250), [&] {
+      phone1->killActiveConnections();
+      phone1->pauseAccepting();
+    });
+    loop.runAfter(std::chrono::milliseconds(700),
+                  [&] { phone1->resumeAccepting(); });
+
+    ASSERT_TRUE(loop.runUntil(
+        [&] {
+          for (const auto& c : clients)
+            if (!c->done()) return false;
+          return true;
+        },
+        std::chrono::milliseconds(60000)));
+
+    // Every transfer terminated with all bytes intact (the ADSL leg
+    // guarantees completability); degraded is fine, stuck is not.
+    for (const auto& c : clients) {
+      const auto& r = c->result();
+      EXPECT_TRUE(r.complete);
+      EXPECT_EQ(r.failed_items, 0u);
+      EXPECT_EQ(r.corrupt_payloads, 0u);
+    }
+    // Let the proxies drain connections clients walked away from (abandoned
+    // phone pipes close on EOF, parked waiters get served or reaped).
+    ASSERT_TRUE(loop.runUntil(
+        [&] {
+          const auto quiet = [](const OnloadProxy& p) {
+            return p.activeConnections() == 0 && p.pendingConnections() == 0;
+          };
+          return quiet(*phone0) && quiet(*phone1) && quiet(adsl);
+        },
+        std::chrono::milliseconds(10000)));
+    // Buffering stayed bounded by the watermark on every pipe.
+    EXPECT_LE(phone0->peakBufferedBytes(), 128u * 1024u + 16384u);
+    EXPECT_LE(phone1->peakBufferedBytes(), 128u * 1024u + 16384u);
+    EXPECT_LE(adsl.peakBufferedBytes(), 128u * 1024u + 16384u);
+  }
+  // Everything torn down: not one descriptor may linger.
+  EXPECT_EQ(openFdCount(), fds_before);
+}
+
+}  // namespace
+}  // namespace gol::proto

@@ -129,6 +129,41 @@ TEST(UdpDiscovery, MalformedDatagramsCountedNotCrashing) {
   EXPECT_TRUE(listener.admissible().empty());
 }
 
+TEST(UdpDiscovery, StaleEntriesArePurgedFromTheTable) {
+  // A device that falls silent must not just turn inadmissible — its entry
+  // has to leave the table, or a churning fleet grows the map forever.
+  EpollLoop loop;
+  UdpDiscoveryListener listener(loop, std::chrono::milliseconds(80));
+  Advertisement ad;
+  ad.name = "ghost";
+  ad.proxy_port = 777;
+  bool eligible = true;
+  UdpDiscoveryBeacon beacon(
+      loop, listener.port(),
+      [&]() -> std::optional<Advertisement> {
+        if (!eligible) return std::nullopt;
+        return ad;
+      },
+      std::chrono::milliseconds(20));
+  beacon.start();
+  ASSERT_TRUE(loop.runUntil([&] { return listener.isAdmissible("ghost"); },
+                            std::chrono::milliseconds(3000)));
+  EXPECT_EQ(listener.trackedEntries(), 1u);
+
+  eligible = false;  // the device goes dark
+  // One TTL makes it inadmissible; kExpiryTtls TTLs of silence erase it.
+  ASSERT_TRUE(loop.runUntil([&] { return listener.trackedEntries() == 0; },
+                            std::chrono::milliseconds(3000)));
+  EXPECT_FALSE(listener.isAdmissible("ghost"));
+  EXPECT_EQ(listener.expiredEntries(), 1u);
+
+  // A revived device is re-admitted from scratch.
+  eligible = true;
+  ASSERT_TRUE(loop.runUntil([&] { return listener.isAdmissible("ghost"); },
+                            std::chrono::milliseconds(3000)));
+  EXPECT_EQ(listener.trackedEntries(), 1u);
+}
+
 TEST(UdpDiscovery, BeaconDestructionCancelsTimerSafely) {
   EpollLoop loop;
   UdpDiscoveryListener listener(loop);

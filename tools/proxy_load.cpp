@@ -1,0 +1,382 @@
+// Soak harness for the hardened onload proxy service: a closed-loop fleet
+// of multipath clients (each a distinct tenant source address) hammering a
+// bank of governed phone proxies plus an always-available ADSL leg, with
+// optional socket-level fault injection — relay kills, proxy blackouts, and
+// tenant quota exhaustion/refresh cycles.
+//
+// Reports transaction latency percentiles (p50/p99/p999), request rate, and
+// the overload/degradation books (sheds, denials, quota kills, degraded
+// transactions), checks for fd and RSS leaks across the run, and writes the
+// machine-readable counterpart to BENCH_proxy_load.json (the committed seed
+// lives in bench/seeds/).
+//
+//   ./build/tools/proxy_load --clients 1000 --duration-s 30 --faults
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "proto/multipath_client.hpp"
+#include "proto/origin_server.hpp"
+#include "proto/proxy.hpp"
+#include "proto/tenant_governor.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace gol;
+using namespace gol::proto;
+using Clock = std::chrono::steady_clock;
+
+struct Args {
+  int clients = 200;
+  double duration_s = 10.0;
+  int tenants = 32;
+  int phones = 3;
+  int items = 3;
+  std::size_t bytes = 30000;
+  bool faults = false;
+  std::size_t max_conns = 64;
+  double tenant_quota = 1e6;  ///< bytes per tenant per refresh period
+  std::size_t buffer_watermark = 128 * 1024;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--clients N] [--duration-s S] [--tenants N]\n"
+               "          [--phones N] [--items N] [--bytes N] [--faults]\n"
+               "          [--max-conns N] [--tenant-quota BYTES]\n"
+               "          [--buffer-watermark BYTES]\n",
+               argv0);
+  std::exit(2);
+}
+
+Args parseArgs(int argc, char** argv) {
+  Args a;
+  auto num = [&](int& i) -> double {
+    if (i + 1 >= argc) usage(argv[0]);
+    return std::atof(argv[++i]);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--clients") a.clients = static_cast<int>(num(i));
+    else if (flag == "--duration-s") a.duration_s = num(i);
+    else if (flag == "--tenants") a.tenants = static_cast<int>(num(i));
+    else if (flag == "--phones") a.phones = static_cast<int>(num(i));
+    else if (flag == "--items") a.items = static_cast<int>(num(i));
+    else if (flag == "--bytes") a.bytes = static_cast<std::size_t>(num(i));
+    else if (flag == "--faults") a.faults = true;
+    else if (flag == "--max-conns") a.max_conns = static_cast<std::size_t>(num(i));
+    else if (flag == "--tenant-quota") a.tenant_quota = num(i);
+    else if (flag == "--buffer-watermark")
+      a.buffer_watermark = static_cast<std::size_t>(num(i));
+    else usage(argv[0]);
+  }
+  if (a.clients < 1 || a.tenants < 1 || a.phones < 1 || a.items < 1)
+    usage(argv[0]);
+  return a;
+}
+
+std::size_t openFdCount() {
+  std::size_t n = 0;
+  for ([[maybe_unused]] const auto& e :
+       std::filesystem::directory_iterator("/proc/self/fd"))
+    ++n;
+  return n;
+}
+
+std::size_t rssKb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      std::istringstream is(line.substr(6));
+      std::size_t kb = 0;
+      is >> kb;
+      return kb;
+    }
+  }
+  return 0;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size()));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+std::vector<FetchItem> makeItems(int count, std::size_t bytes) {
+  std::vector<FetchItem> items;
+  for (int i = 0; i < count; ++i)
+    items.push_back({"/obj/" + std::to_string(bytes), bytes});
+  return items;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parseArgs(argc, argv);
+  const std::size_t fds_before = openFdCount();
+  const std::size_t rss_before_kb = rssKb();
+
+  // Aggregate books harvested across every finished transaction.
+  std::vector<double> latencies_s;
+  std::size_t transactions = 0, degraded = 0, partial = 0, items_done = 0;
+  std::size_t retries = 0, timeouts = 0, quota_denials = 0, busy_sheds = 0;
+  std::size_t corrupt = 0;
+  // Service-side books, copied out before teardown.
+  std::size_t shed_busy = 0, shed_fd = 0, denied_quota = 0, quota_kills = 0;
+  std::size_t idle_closed = 0, bp_pauses = 0, peak_buffered = 0;
+  std::size_t governor_denied = 0, governor_shed = 0, tenant_count = 0;
+  bool all_terminated = false;
+  double elapsed_s = 0;
+
+  {
+    EpollLoop loop;
+    OriginServer origin(loop);
+
+    TenantGovernorConfig gcfg;
+    gcfg.days_per_month = 1;  // whole budget live; nextDay() = fresh period
+    gcfg.default_monthly_allowance_bytes = args.tenant_quota;
+    TenantGovernor governor(gcfg);
+
+    // The governed, capped phone bank — the metered 3G legs.
+    std::vector<std::unique_ptr<OnloadProxy>> phones;
+    for (int p = 0; p < args.phones; ++p) {
+      ProxyConfig cfg;
+      cfg.upstream_port = origin.port();
+      cfg.down_bps = 8e6;
+      cfg.up_bps = 2e6;
+      cfg.max_connections = args.max_conns;
+      cfg.accept_queue_limit = std::max<std::size_t>(4, args.max_conns / 4);
+      cfg.buffer_watermark = args.buffer_watermark;
+      cfg.idle_timeout = std::chrono::milliseconds(2000);
+      cfg.governor = &governor;
+      phones.push_back(std::make_unique<OnloadProxy>(loop, cfg));
+      phones.back()->instrument(&telemetry::Registry::global());
+    }
+    // The ADSL leg: slower, uncapped, ungoverned — completion is always
+    // possible, so degradation never becomes failure.
+    ProxyConfig adsl_cfg;
+    adsl_cfg.upstream_port = origin.port();
+    adsl_cfg.down_bps = 2e6;
+    adsl_cfg.buffer_watermark = args.buffer_watermark;
+    OnloadProxy adsl(loop, adsl_cfg);
+
+    std::vector<Endpoint> endpoints{{"adsl", adsl.port()}};
+    for (int p = 0; p < args.phones; ++p)
+      endpoints.push_back(
+          {"phone" + std::to_string(p), phones[static_cast<std::size_t>(p)]->port()});
+
+    // The closed-loop fleet: each client finishes a transaction and starts
+    // the next until the deadline. Clients persist across transactions so
+    // endpoint health and rate estimates carry over, as they would in a
+    // long-lived household gateway.
+    struct Fleet {
+      std::unique_ptr<MultipathHttpClient> client;
+      bool harvested = false;
+    };
+    std::vector<Fleet> fleet;
+    for (int i = 0; i < args.clients; ++i) {
+      ClientConfig ccfg;
+      // Under deliberate oversubscription most attempts die to busy sheds;
+      // a deeper attempt budget lets items ride the backoff out to the
+      // uncapped ADSL leg instead of exhausting and failing.
+      ccfg.max_attempts = 8;
+      ccfg.base_backoff = std::chrono::milliseconds(50);
+      ccfg.quarantine = std::chrono::milliseconds(300);
+      // Tenant identity: a distinct loopback source address per tenant,
+      // shared by clients of the same household (127.1.x.y).
+      const auto tenant = static_cast<std::uint32_t>(i % args.tenants);
+      ccfg.bind_addr = 0x7f010000u + tenant;
+      fleet.push_back(
+          {std::make_unique<MultipathHttpClient>(loop, endpoints, ccfg),
+           false});
+      fleet.back().client->start(makeItems(args.items, args.bytes));
+    }
+
+    const auto t0 = Clock::now();
+    const auto deadline =
+        t0 + std::chrono::microseconds(
+                 static_cast<long>(args.duration_s * 1e6));
+    bool past_deadline = false;
+
+    // Fault plan: rotate relay kills across the phone bank, black out one
+    // proxy periodically, and roll tenant quotas so exhaustion/denial/
+    // refresh cycles all happen mid-soak.
+    std::function<void()> killer, blackout, refresher;
+    std::size_t kill_idx = 0, blackout_idx = 0;
+    if (args.faults) {
+      killer = [&] {
+        if (past_deadline) return;
+        phones[kill_idx++ % phones.size()]->killActiveConnections();
+        loop.runAfter(std::chrono::milliseconds(1100), [&] { killer(); });
+      };
+      blackout = [&] {
+        if (past_deadline) return;
+        auto& victim = *phones[blackout_idx++ % phones.size()];
+        victim.pauseAccepting();
+        loop.runAfter(std::chrono::milliseconds(400),
+                      [&victim] { victim.resumeAccepting(); });
+        loop.runAfter(std::chrono::milliseconds(1700), [&] { blackout(); });
+      };
+      refresher = [&] {
+        if (past_deadline) return;
+        governor.nextDay();
+        loop.runAfter(std::chrono::milliseconds(2300), [&] { refresher(); });
+      };
+      loop.runAfter(std::chrono::milliseconds(500), [&] { killer(); });
+      loop.runAfter(std::chrono::milliseconds(900), [&] { blackout(); });
+      loop.runAfter(std::chrono::milliseconds(2300), [&] { refresher(); });
+    }
+
+    const auto harvest = [&](Fleet& f) {
+      const auto& r = f.client->result();
+      ++transactions;
+      latencies_s.push_back(r.duration_s);
+      degraded += r.outcome == FetchOutcome::kCompletedDegraded;
+      partial += r.outcome == FetchOutcome::kPartialFailure;
+      items_done +=
+          static_cast<std::size_t>(args.items) - r.failed_items;
+      retries += r.retries;
+      timeouts += r.timeouts;
+      quota_denials += r.quota_denials;
+      busy_sheds += r.busy_sheds;
+      corrupt += r.corrupt_payloads;
+    };
+
+    all_terminated = loop.runUntil(
+        [&] {
+          past_deadline = Clock::now() >= deadline;
+          bool all_done = true;
+          for (auto& f : fleet) {
+            if (!f.client->done()) {
+              all_done = false;
+              continue;
+            }
+            if (!f.harvested) {
+              harvest(f);
+              f.harvested = true;
+            }
+            if (!past_deadline) {
+              f.client->start(makeItems(args.items, args.bytes));
+              f.harvested = false;
+              all_done = false;
+            }
+          }
+          return past_deadline && all_done;
+        },
+        std::chrono::milliseconds(
+            static_cast<long>(args.duration_s * 1000) + 60000));
+    elapsed_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+    // Let the service drain relays whose clients walked away mid-fault.
+    const auto quiet = [&] {
+      if (adsl.activeConnections() + adsl.pendingConnections() != 0)
+        return false;
+      for (const auto& p : phones)
+        if (p->activeConnections() + p->pendingConnections() != 0)
+          return false;
+      return true;
+    };
+    loop.runUntil(quiet, std::chrono::milliseconds(10000));
+
+    for (const auto& p : phones) {
+      shed_busy += p->shedBusy();
+      shed_fd += p->shedFdExhausted();
+      denied_quota += p->deniedQuota();
+      quota_kills += p->quotaKills();
+      idle_closed += p->idleClosed();
+      bp_pauses += p->backpressurePauses();
+      peak_buffered = std::max(peak_buffered, p->peakBufferedBytes());
+    }
+    shed_busy += adsl.shedBusy();
+    bp_pauses += adsl.backpressurePauses();
+    peak_buffered = std::max(peak_buffered, adsl.peakBufferedBytes());
+    governor_denied = governor.deniedQuota();
+    governor_shed = governor.shedTenantCap();
+    tenant_count = governor.tenantCount();
+  }  // full teardown before the leak checks
+
+  const std::size_t fds_after = openFdCount();
+  const std::size_t rss_after_kb = rssKb();
+  const long fd_leak = static_cast<long>(fds_after) -
+                       static_cast<long>(fds_before);
+
+  std::sort(latencies_s.begin(), latencies_s.end());
+  const double p50 = percentile(latencies_s, 0.50) * 1e3;
+  const double p99 = percentile(latencies_s, 0.99) * 1e3;
+  const double p999 = percentile(latencies_s, 0.999) * 1e3;
+  const double rps =
+      elapsed_s > 0 ? static_cast<double>(items_done) / elapsed_s : 0;
+
+  std::printf("proxy_load: %d clients (%d tenants), %d phone legs, "
+              "%.1fs soak%s\n",
+              args.clients, args.tenants, args.phones, elapsed_s,
+              args.faults ? " [faults]" : "");
+  std::printf("  transactions  %zu done (%zu degraded, %zu partial), "
+              "%.0f req/s\n",
+              transactions, degraded, partial, rps);
+  std::printf("  latency (ms)  p50 %.1f   p99 %.1f   p999 %.1f\n",
+              p50, p99, p999);
+  std::printf("  service books shed_busy=%zu shed_fd=%zu denied=%zu "
+              "quota_kills=%zu idle=%zu\n",
+              shed_busy, shed_fd, denied_quota, quota_kills, idle_closed);
+  std::printf("  client books  retries=%zu timeouts=%zu quota_denials=%zu "
+              "busy_sheds=%zu corrupt=%zu\n",
+              retries, timeouts, quota_denials, busy_sheds, corrupt);
+  std::printf("  backpressure  pauses=%zu peak_buffered=%zu B\n",
+              bp_pauses, peak_buffered);
+  std::printf("  hygiene       fd_leak=%ld rss %zu -> %zu kB, "
+              "terminated=%s\n",
+              fd_leak, rss_before_kb, rss_after_kb,
+              all_terminated ? "yes" : "NO (stuck)");
+
+  auto& reg = telemetry::Registry::global();
+  const auto g = [&](const char* name, double v) {
+    reg.gauge(std::string("gol.bench.proxy_load.") + name).set(v);
+  };
+  g("clients", args.clients);
+  g("tenants", tenant_count ? static_cast<double>(tenant_count)
+                            : args.tenants);
+  g("duration_s", elapsed_s);
+  g("transactions", static_cast<double>(transactions));
+  g("degraded", static_cast<double>(degraded));
+  g("partial_failures", static_cast<double>(partial));
+  g("rps", rps);
+  g("latency_p50_ms", p50);
+  g("latency_p99_ms", p99);
+  g("latency_p999_ms", p999);
+  g("shed_busy", static_cast<double>(shed_busy));
+  g("shed_fd_exhausted", static_cast<double>(shed_fd));
+  g("denied_quota", static_cast<double>(denied_quota));
+  g("quota_kills", static_cast<double>(quota_kills));
+  g("idle_closed", static_cast<double>(idle_closed));
+  g("client_retries", static_cast<double>(retries));
+  g("client_timeouts", static_cast<double>(timeouts));
+  g("client_quota_denials", static_cast<double>(quota_denials));
+  g("client_busy_sheds", static_cast<double>(busy_sheds));
+  g("corrupt_payloads", static_cast<double>(corrupt));
+  g("backpressure_pauses", static_cast<double>(bp_pauses));
+  g("peak_buffered_bytes", static_cast<double>(peak_buffered));
+  g("governor_denied", static_cast<double>(governor_denied));
+  g("governor_shed_tenant_cap", static_cast<double>(governor_shed));
+  g("fd_leak", static_cast<double>(fd_leak));
+  g("rss_delta_kb", static_cast<double>(rss_after_kb) -
+                        static_cast<double>(rss_before_kb));
+  g("terminated", all_terminated ? 1 : 0);
+  telemetry::writeJsonSnapshot(reg, "BENCH_proxy_load.json");
+  std::printf("metrics snapshot: BENCH_proxy_load.json\n");
+
+  // Hard failures a CI soak must catch: stuck transactions, corrupted
+  // payloads, or leaked descriptors.
+  if (!all_terminated || corrupt > 0 || fd_leak > 0) return 1;
+  return 0;
+}
