@@ -72,6 +72,13 @@ void UsageTracker::setMonthlyAllowance(double bytes) {
   monthly_allowance_ = std::max(0.0, bytes);
 }
 
+void UsageTracker::restoreUsage(double used_today, double used_month,
+                                int day) {
+  used_today_ = std::max(0.0, used_today);
+  used_month_ = std::max(used_today_, std::max(0.0, used_month));
+  day_ = ((day % days_per_month_) + days_per_month_) % days_per_month_;
+}
+
 void UsageTracker::nextDay() {
   used_today_ = 0;
   ++day_;

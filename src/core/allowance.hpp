@@ -67,6 +67,12 @@ class UsageTracker {
   /// this month stays charged, so a shrunken allowance can zero A(t)
   /// immediately.
   void setMonthlyAllowance(double bytes);
+
+  /// Crash-recovery hook: reinstates metered usage replayed from a durable
+  /// ledger (proto::QuotaJournal). Negative inputs clamp to zero and the
+  /// day wraps into [0, days_per_month) — recovery must never manufacture
+  /// negative balances or a day index nextDay() cannot reach.
+  void restoreUsage(double used_today, double used_month, int day);
   double monthlyAllowanceBytes() const { return monthly_allowance_; }
 
   double usedThisMonthBytes() const { return used_month_; }

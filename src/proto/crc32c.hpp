@@ -1,0 +1,48 @@
+// CRC32C (Castagnoli) for the quota journal's record framing. Software
+// table-driven implementation — the journal's append path is dominated by
+// the write/fdatasync pair, so a few ns/byte of checksum is noise, and a
+// dependency-free header keeps replay() usable from tests and tools that
+// only want to inspect a journal file.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gol::proto {
+
+namespace detail {
+
+constexpr std::uint32_t kCrc32cPoly = 0x82f63b78u;  // reflected Castagnoli
+
+inline constexpr std::array<std::uint32_t, 256> makeCrc32cTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1u) ? kCrc32cPoly : 0u);
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr auto kCrc32cTable = makeCrc32cTable();
+
+}  // namespace detail
+
+/// One streaming step: folds `data` into a running CRC. Start from 0 and
+/// chain calls; the result is the standard CRC-32C of the concatenation.
+inline std::uint32_t crc32cStep(std::string_view data,
+                                std::uint32_t crc = 0) {
+  crc = ~crc;
+  for (const char c : data) {
+    crc = (crc >> 8) ^
+          detail::kCrc32cTable[(crc ^ static_cast<unsigned char>(c)) & 0xffu];
+  }
+  return ~crc;
+}
+
+inline std::uint32_t crc32c(std::string_view data) { return crc32cStep(data); }
+
+}  // namespace gol::proto

@@ -34,8 +34,9 @@ OnloadProxy::OnloadProxy(EpollLoop& loop, const ProxyConfig& cfg)
       cfg_(cfg),
       reserve_fd_(openReserveFd()),
       busy_reply_(denialReply("busy")),
-      quota_reply_(denialReply("quota")) {
-  auto l = listenTcp(0);
+      quota_reply_(denialReply("quota")),
+      drain_reply_(denialReply("draining")) {
+  auto l = listenTcp(cfg.listen_port);
   if (!l) throw std::runtime_error("OnloadProxy: cannot listen");
   listener_ = std::move(*l);
   port_ = listener_.port;
@@ -119,6 +120,15 @@ bool OnloadProxy::shedOverFdLimit() {
 }
 
 void OnloadProxy::admitOrPark(Fd client, std::string tenant) {
+  if (draining_) {
+    // Drain ladder, rung one: no new relays. The explicit reply (rather
+    // than a silent refusal) lets the multipath client book a transient
+    // shed and immediately route the item to another leg.
+    ++shed_draining_;
+    if (shed_busy_ctr_) shed_busy_ctr_->inc();
+    replyAndClose(std::move(client), drain_reply_);
+    return;
+  }
   if (cfg_.max_connections > 0 && pipes_.size() >= cfg_.max_connections) {
     // Park newest-on-top. Past the bound the OLDEST waiter is shed: under
     // sustained overload LIFO keeps serving arrivals that are still
@@ -193,7 +203,49 @@ void OnloadProxy::startPipe(Fd client, std::string tenant) {
   }
 }
 
+void OnloadProxy::beginDrain() { beginDrain(cfg_.drain_deadline); }
+
+void OnloadProxy::beginDrain(std::chrono::milliseconds deadline) {
+  if (draining_) return;
+  draining_ = true;
+  const std::uint64_t gen = ++drain_gen_;
+  // Rung two: parked waiters will never get a relay slot now — turn them
+  // away explicitly instead of letting them age out against a dead queue.
+  for (auto& pc : pending_) {
+    ++shed_draining_;
+    if (shed_busy_ctr_) shed_busy_ctr_->inc();
+    replyAndClose(std::move(pc.fd), drain_reply_);
+  }
+  pending_.clear();
+  if (pending_gauge_) pending_gauge_->set(0);
+  // Rung three: let active relays finish, but bound the wait — a wedged
+  // peer must not be able to hold shutdown hostage.
+  if (pipes_.empty()) {
+    maybeFinishDrain();
+    return;
+  }
+  loop_.runAfter(
+      std::chrono::duration_cast<std::chrono::microseconds>(deadline),
+      [this, gen] {
+        if (gen != drain_gen_ || !draining_) return;
+        while (!pipes_.empty()) {
+          ++drain_forced_;
+          closePipe(pipes_.begin()->first);
+        }
+      });
+}
+
+void OnloadProxy::maybeFinishDrain() {
+  if (!draining_ || !pipes_.empty()) return;
+  if (on_drain_complete) {
+    auto cb = std::move(on_drain_complete);
+    on_drain_complete = nullptr;
+    cb();
+  }
+}
+
 void OnloadProxy::drainPending() {
+  if (draining_) return;
   while (!pending_.empty() &&
          (cfg_.max_connections == 0 ||
           pipes_.size() < cfg_.max_connections)) {
@@ -524,6 +576,7 @@ void OnloadProxy::closePipe(int pipe_key) {
   if (active_gauge_) active_gauge_->set(static_cast<double>(pipes_.size()));
   // A slot freed up: promote the newest parked waiter.
   drainPending();
+  maybeFinishDrain();
 }
 
 }  // namespace gol::proto

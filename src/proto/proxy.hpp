@@ -29,6 +29,10 @@ namespace gol::proto {
 
 struct ProxyConfig {
   std::uint16_t upstream_port = 0;  ///< The origin to pipe to.
+  /// Port to listen on (0 = ephemeral). A restarted proxy binds the same
+  /// port so clients reconnect without re-discovery — the crash-recovery
+  /// path needs a stable address.
+  std::uint16_t listen_port = 0;
   double down_bps = 2e6;            ///< Upstream -> client shaping.
   double up_bps = 1.2e6;            ///< Client -> upstream shaping.
   /// Emulated one-way latency added before bytes are released.
@@ -51,6 +55,9 @@ struct ProxyConfig {
   /// Test hook: SO_SNDBUF applied to both relay sockets (0 = default) —
   /// forces the short-write/EAGAIN paths a tiny kernel buffer exposes.
   int sndbuf_bytes = 0;
+  /// Default deadline for beginDrain(): relays still alive past it are
+  /// force-closed so shutdown always terminates.
+  std::chrono::milliseconds drain_deadline{5000};
   /// Optional admission/quota layer; not owned. When set, every accept is
   /// admitted per tenant (peer source address) and every relayed byte is
   /// charged against the tenant's live 3GOLa(t) allowance; exhaustion
@@ -82,6 +89,27 @@ class OnloadProxy {
   /// High-water mark of per-pipe userspace buffering observed (bytes, one
   /// direction) — bounded by buffer_watermark plus one read chunk.
   std::size_t peakBufferedBytes() const { return peak_buffered_; }
+
+  // --- Lifecycle (graceful drain) ---
+  /// Begins the drain ladder: parked waiters are shed immediately and new
+  /// arrivals get an explicit "draining" reply (clients treat it like a
+  /// transient busy shed and route elsewhere), while active relays run to
+  /// completion. Relays still alive at the deadline are force-closed.
+  /// Idempotent; `on_drain_complete` (if set) fires exactly once, when the
+  /// last relay closes.
+  void beginDrain();
+  void beginDrain(std::chrono::milliseconds deadline);
+  bool draining() const { return draining_; }
+  /// True once draining and every relay has closed.
+  bool drainComplete() const {
+    return draining_ && pipes_.empty() && pending_.empty();
+  }
+  /// Relays the deadline had to force-close (0 = fully graceful drain).
+  std::size_t drainForcedCloses() const { return drain_forced_; }
+  /// Arrivals turned away with the draining reply.
+  std::size_t shedDraining() const { return shed_draining_; }
+  /// Invoked once when the drain finishes (graceful or forced).
+  std::function<void()> on_drain_complete;
 
   /// Fault injection: hard-kills every active relay. Client sockets are
   /// closed with SO_LINGER 0 so the peer sees ECONNRESET mid-transfer, the
@@ -197,6 +225,8 @@ class OnloadProxy {
   /// Recomputes pause flags (watermark hysteresis) and per-side epoll
   /// interest; issues epoll_ctl only on change.
   void updateInterest(Pipe& pipe);
+  /// Fires on_drain_complete once the last relay closes while draining.
+  void maybeFinishDrain();
   void armTimer(int pipe_key, std::chrono::microseconds delay);
   void armIdleTimer(int pipe_key, std::uint64_t gen,
                     std::chrono::microseconds delay);
@@ -213,6 +243,10 @@ class OnloadProxy {
   std::uint64_t pipe_gen_ = 0;
   std::size_t relayed_down_ = 0;
   std::size_t relayed_up_ = 0;
+  bool draining_ = false;
+  std::uint64_t drain_gen_ = 0;  ///< Guards the deadline timer.
+  std::size_t drain_forced_ = 0;
+  std::size_t shed_draining_ = 0;
   std::size_t shed_busy_ = 0;
   std::size_t shed_emfile_ = 0;
   std::size_t denied_quota_ = 0;
@@ -222,6 +256,7 @@ class OnloadProxy {
   std::size_t peak_buffered_ = 0;
   std::string busy_reply_;
   std::string quota_reply_;
+  std::string drain_reply_;
   telemetry::Counter* accepts_ = nullptr;
   telemetry::Counter* closes_ = nullptr;
   telemetry::Counter* bytes_down_ = nullptr;

@@ -1,0 +1,418 @@
+#include "proto/quota_journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <vector>
+
+#include "proto/crc32c.hpp"
+
+namespace gol::proto {
+
+namespace {
+
+constexpr char kMagic[] = "3GOLQJ1\n";
+constexpr std::size_t kMagicLen = 8;
+constexpr std::size_t kHeaderLen = 9;  // crc(4) + len(4) + type(1)
+/// Frame-length sanity bound. A legitimate record is a tenant name plus a
+/// few doubles (snapshots are bounded by the tenant count, which the limit
+/// comfortably covers at ~100k tenants per record); anything larger is a
+/// corrupt length field.
+constexpr std::uint32_t kMaxRecordLen = 8u << 20;
+
+enum RecordType : std::uint8_t {
+  kCharge = 1,
+  kAllowance = 2,
+  kNextDay = 3,
+  kSnapshot = 4,
+};
+
+void putU16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void putU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void putF64(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+}
+
+/// Bounds-checked little-endian reader over a record payload; any read
+/// past the end marks the cursor bad, which replay treats as corruption.
+struct Cursor {
+  const char* p;
+  std::size_t left;
+  bool ok = true;
+
+  bool take(void* out, std::size_t n) {
+    if (!ok || left < n) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(out, p, n);
+    p += n;
+    left -= n;
+    return true;
+  }
+  std::uint16_t u16() {
+    unsigned char b[2] = {};
+    take(b, 2);
+    return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  }
+  std::uint32_t u32() {
+    unsigned char b[4] = {};
+    take(b, 4);
+    return static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+           (static_cast<std::uint32_t>(b[2]) << 16) |
+           (static_cast<std::uint32_t>(b[3]) << 24);
+  }
+  double f64() {
+    unsigned char b[8] = {};
+    take(b, 8);
+    std::uint64_t bits = 0;
+    for (int i = 7; i >= 0; --i) bits = (bits << 8) | b[i];
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str(std::size_t n) {
+    if (!ok || left < n) {
+      ok = false;
+      return {};
+    }
+    std::string s(p, n);
+    p += n;
+    left -= n;
+    return s;
+  }
+};
+
+std::uint32_t readU32(const char* p) {
+  unsigned char b[4];
+  std::memcpy(b, p, 4);
+  return static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+/// Applies one verified record to the ledger. Returns false on a
+/// structurally invalid payload (treated as corruption by the caller).
+bool applyRecord(std::uint8_t type, std::string_view payload,
+                 int days_per_month, ReplayResult& out) {
+  Cursor c{payload.data(), payload.size()};
+  switch (type) {
+    case kCharge: {
+      const std::uint16_t n = c.u16();
+      const std::string name = c.str(n);
+      const double bytes = c.f64();
+      if (!c.ok || c.left != 0 || !(bytes >= 0)) return false;
+      auto& t = out.state[name];
+      t.used_today += bytes;
+      t.used_month += bytes;
+      ++out.charge_records;
+      out.charged_bytes += bytes;
+      return true;
+    }
+    case kAllowance: {
+      const std::uint16_t n = c.u16();
+      const std::string name = c.str(n);
+      const double bytes = c.f64();
+      if (!c.ok || c.left != 0) return false;
+      out.state[name].monthly_allowance = std::max(0.0, bytes);
+      return true;
+    }
+    case kNextDay: {
+      if (!payload.empty()) return false;
+      for (auto& [name, t] : out.state) {
+        t.used_today = 0;
+        if (++t.day >= days_per_month) {
+          t.day = 0;
+          t.used_month = 0;
+        }
+      }
+      return true;
+    }
+    case kSnapshot: {
+      const std::uint32_t count = c.u32();
+      if (!c.ok) return false;
+      LedgerState snap;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint16_t n = c.u16();
+        const std::string name = c.str(n);
+        TenantLedger t;
+        t.monthly_allowance = c.f64();
+        t.used_today = c.f64();
+        t.used_month = c.f64();
+        t.day = static_cast<int>(c.u32());
+        if (!c.ok) return false;
+        snap[name] = t;
+      }
+      if (c.left != 0) return false;
+      // A snapshot is authoritative: it replaces whatever was replayed so
+      // far (compacted files start with one).
+      out.state = std::move(snap);
+      return true;
+    }
+    default:
+      return false;  // unknown type = corruption, not forward-compat
+  }
+}
+
+}  // namespace
+
+ReplayResult QuotaJournal::replay(std::string_view bytes,
+                                  int days_per_month) {
+  ReplayResult out;
+  days_per_month = std::max(1, days_per_month);
+  if (bytes.size() < kMagicLen ||
+      std::memcmp(bytes.data(), kMagic, kMagicLen) != 0) {
+    // No (or corrupt) header: nothing trustworthy in the file at all.
+    out.torn = !bytes.empty();
+    return out;
+  }
+  std::size_t pos = kMagicLen;
+  out.valid_bytes = pos;
+  while (pos + kHeaderLen <= bytes.size()) {
+    const std::uint32_t crc = readU32(bytes.data() + pos);
+    const std::uint32_t len = readU32(bytes.data() + pos + 4);
+    if (len > kMaxRecordLen || pos + kHeaderLen + len > bytes.size()) break;
+    // CRC covers len|type|payload so a flipped length field can't re-frame
+    // the stream into plausible garbage.
+    const std::string_view covered =
+        bytes.substr(pos + 4, 5 + static_cast<std::size_t>(len));
+    if (crc32c(covered) != crc) break;
+    const std::uint8_t type =
+        static_cast<std::uint8_t>(bytes[pos + kHeaderLen - 1]);
+    const std::string_view payload = bytes.substr(pos + kHeaderLen, len);
+    if (!applyRecord(type, payload, days_per_month, out)) break;
+    ++out.records;
+    pos += kHeaderLen + len;
+    out.valid_bytes = pos;
+  }
+  out.torn = out.valid_bytes != bytes.size();
+  return out;
+}
+
+QuotaJournal::QuotaJournal(QuotaJournalConfig cfg)
+    : cfg_(std::move(cfg)), last_sync_(std::chrono::steady_clock::now()) {
+  cfg_.days_per_month = std::max(1, cfg_.days_per_month);
+}
+
+QuotaJournal::~QuotaJournal() {
+  if (fd_ < 0) return;
+  try {
+    flush();
+  } catch (const std::system_error&) {
+    // Destructor flush is best-effort; open() truncates any torn tail.
+  }
+  ::close(fd_);
+}
+
+void QuotaJournal::writeAll(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(),
+                              "QuotaJournal: write");
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+ReplayResult QuotaJournal::open() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  fd_ = ::open(cfg_.path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0)
+    throw std::system_error(errno, std::generic_category(),
+                            "QuotaJournal: open " + cfg_.path);
+  std::string contents;
+  {
+    char buf[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::read(fd_, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::system_error(errno, std::generic_category(),
+                                "QuotaJournal: read");
+      }
+      if (n == 0) break;
+      contents.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+  ReplayResult recovered = replay(contents, cfg_.days_per_month);
+  if (contents.empty()) {
+    // Fresh journal: stamp the header.
+    writeAll(fd_, kMagic, kMagicLen);
+    recovered.valid_bytes = kMagicLen;
+  } else if (recovered.valid_bytes < kMagicLen) {
+    // Header itself is damaged — nothing can be salvaged; start the ledger
+    // empty but PRESERVE the damaged file for forensics and begin fresh.
+    const std::string quarantine = cfg_.path + ".corrupt";
+    ::rename(cfg_.path.c_str(), quarantine.c_str());
+    ::close(fd_);
+    fd_ = ::open(cfg_.path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
+                 0644);
+    if (fd_ < 0)
+      throw std::system_error(errno, std::generic_category(),
+                              "QuotaJournal: reopen " + cfg_.path);
+    writeAll(fd_, kMagic, kMagicLen);
+    recovered.valid_bytes = kMagicLen;
+  } else if (recovered.torn) {
+    // Drop the torn tail so new appends extend a consistent prefix.
+    if (::ftruncate(fd_, static_cast<off_t>(recovered.valid_bytes)) < 0)
+      throw std::system_error(errno, std::generic_category(),
+                              "QuotaJournal: ftruncate");
+    if (::lseek(fd_, 0, SEEK_END) < 0)
+      throw std::system_error(errno, std::generic_category(),
+                              "QuotaJournal: lseek");
+  }
+  file_bytes_ = std::max(recovered.valid_bytes, kMagicLen);
+  pending_.clear();
+  at_risk_ = 0;
+  last_sync_ = std::chrono::steady_clock::now();
+  return recovered;
+}
+
+void QuotaJournal::appendRecord(std::uint8_t type, std::string payload) {
+  std::string body;
+  body.reserve(5 + payload.size());
+  putU32(body, static_cast<std::uint32_t>(payload.size()));
+  body.push_back(static_cast<char>(type));
+  body += payload;
+  std::string framed;
+  framed.reserve(4 + body.size());
+  putU32(framed, crc32c(body));
+  framed += body;
+  pending_ += framed;
+  ++appended_;
+}
+
+void QuotaJournal::appendCharge(const std::string& tenant, double bytes) {
+  if (!(bytes > 0)) return;
+  std::string payload;
+  putU16(payload, static_cast<std::uint16_t>(
+                      std::min<std::size_t>(tenant.size(), 0xffff)));
+  payload += tenant.substr(0, 0xffff);
+  putF64(payload, bytes);
+  appendRecord(kCharge, std::move(payload));
+  at_risk_ += bytes;
+  maybeFlush();
+}
+
+void QuotaJournal::appendAllowance(const std::string& tenant, double bytes) {
+  std::string payload;
+  putU16(payload, static_cast<std::uint16_t>(
+                      std::min<std::size_t>(tenant.size(), 0xffff)));
+  payload += tenant.substr(0, 0xffff);
+  putF64(payload, bytes);
+  appendRecord(kAllowance, std::move(payload));
+  maybeFlush();
+}
+
+void QuotaJournal::appendNextDay() {
+  appendRecord(kNextDay, {});
+  // A day roll re-opens admission — losing it under-grants rather than
+  // over-grants, but flush eagerly anyway: it is rare and cheap.
+  flush();
+}
+
+void QuotaJournal::maybeFlush() {
+  if (pending_.empty()) return;
+  if (at_risk_ < cfg_.bytes_at_risk_limit &&
+      std::chrono::steady_clock::now() - last_sync_ < cfg_.sync_interval)
+    return;
+  flush();
+}
+
+void QuotaJournal::flush() {
+  if (fd_ < 0 || pending_.empty()) {
+    last_sync_ = std::chrono::steady_clock::now();
+    return;
+  }
+  writeAll(fd_, pending_.data(), pending_.size());
+  if (cfg_.fsync) ::fdatasync(fd_);
+  file_bytes_ += pending_.size();
+  pending_.clear();
+  at_risk_ = 0;
+  ++flushes_;
+  last_sync_ = std::chrono::steady_clock::now();
+}
+
+void QuotaJournal::checkpoint(const LedgerState& state) {
+  // Serialize the snapshot record.
+  std::string payload;
+  putU32(payload, static_cast<std::uint32_t>(state.size()));
+  for (const auto& [name, t] : state) {
+    putU16(payload, static_cast<std::uint16_t>(
+                        std::min<std::size_t>(name.size(), 0xffff)));
+    payload += name.substr(0, 0xffff);
+    putF64(payload, t.monthly_allowance);
+    putF64(payload, t.used_today);
+    putF64(payload, t.used_month);
+    putU32(payload, static_cast<std::uint32_t>(std::max(0, t.day)));
+  }
+  std::string body;
+  putU32(body, static_cast<std::uint32_t>(payload.size()));
+  body.push_back(static_cast<char>(kSnapshot));
+  body += payload;
+  std::string image(kMagic, kMagicLen);
+  putU32(image, crc32c(body));
+  image += body;
+
+  // tmp + fsync + rename: the journal is replaced atomically, so a crash
+  // at any point leaves either the old log or the new snapshot — never a
+  // half-written hybrid.
+  const std::string tmp = cfg_.path + ".tmp";
+  int tfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                   0644);
+  if (tfd < 0)
+    throw std::system_error(errno, std::generic_category(),
+                            "QuotaJournal: open " + tmp);
+  try {
+    writeAll(tfd, image.data(), image.size());
+    if (cfg_.fsync) ::fdatasync(tfd);
+  } catch (...) {
+    ::close(tfd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(tfd);
+  if (::rename(tmp.c_str(), cfg_.path.c_str()) < 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw std::system_error(err, std::generic_category(),
+                            "QuotaJournal: rename");
+  }
+  // Swap the live fd to the new file; pending records were not part of the
+  // snapshot's source state only if the caller snapshotted stale state —
+  // the governor always flushes its view, so drop them.
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(cfg_.path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0)
+    throw std::system_error(errno, std::generic_category(),
+                            "QuotaJournal: reopen " + cfg_.path);
+  file_bytes_ = image.size();
+  pending_.clear();
+  at_risk_ = 0;
+  ++compactions_;
+  last_sync_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace gol::proto

@@ -1,0 +1,126 @@
+// Crash-safe durability for the tenant quota ledger (Sec. 6 made
+// restartable): the whole 3GOLa(t) guarantee rests on charged bytes never
+// being forgotten, yet the governor's UsageTracker state is in-memory — a
+// proxy crash or deploy would silently re-grant spent quota. QuotaJournal
+// is an append-only, CRC32C-framed write-ahead log of per-tenant byte
+// charges, allowance re-estimates, and day rolls:
+//
+//   file  := magic("3GOLQJ1\n") record*
+//   record:= crc32c(4 LE) len(4 LE) type(1) payload(len)
+//            (crc covers len|type|payload, so a corrupted length field
+//            cannot mis-frame the stream — it just fails the checksum)
+//
+// Appends batch in a userspace buffer and group-commit on either edge of
+// the sync policy: `sync_interval` elapsed or `bytes_at_risk_limit`
+// charged-but-unsynced bytes accumulated. A kill -9 therefore loses at
+// most one sync window of charges — never records already flushed, and
+// never in a way that double-charges (replay is prefix-consistent: it
+// stops at the first torn or corrupt record and truncates the tail).
+//
+// Compaction: checkpoint() rewrites the journal as one snapshot record via
+// the tmp + fsync + rename dance, so the log never grows without bound and
+// recovery stays O(live tenants + one sync window of deltas).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace gol::proto {
+
+/// Mirror of core::UsageTracker's durable state for one tenant.
+struct TenantLedger {
+  double monthly_allowance = 0;
+  double used_today = 0;
+  double used_month = 0;
+  int day = 0;
+};
+
+using LedgerState = std::map<std::string, TenantLedger>;
+
+struct ReplayResult {
+  LedgerState state;
+  /// Length of the clean prefix; bytes past it are torn/corrupt tail.
+  std::size_t valid_bytes = 0;
+  std::size_t records = 0;
+  std::size_t charge_records = 0;
+  double charged_bytes = 0;  ///< Total bytes across replayed charges.
+  bool torn = false;         ///< A corrupt/torn tail was dropped.
+};
+
+struct QuotaJournalConfig {
+  std::string path;
+  /// Days the monthly allowance is sliced into — must match the governor's
+  /// days_per_month, since day-roll records replay tracker semantics.
+  int days_per_month = 30;
+  /// Group-commit edges: flush when this much wall time has passed since
+  /// the last sync with records pending...
+  std::chrono::milliseconds sync_interval{50};
+  /// ...or when this many charged-but-unsynced bytes are at risk.
+  double bytes_at_risk_limit = 256e3;
+  /// Compact (snapshot + truncate history) once the file grows past this.
+  std::size_t compact_min_bytes = 1 << 20;
+  /// fdatasync on every flush. Off trades the power-loss guarantee for
+  /// speed; kill -9 durability (the crash harness) only needs write().
+  bool fsync = true;
+};
+
+class QuotaJournal {
+ public:
+  /// Pure replay of a journal image — the recovery core, shared by open()
+  /// and the torn-write fuzz tests. Applies records in order with
+  /// UsageTracker semantics (allowance clamps at >= 0, day rolls reset
+  /// used_today and wrap the month) and stops at the first record whose
+  /// frame is incomplete or whose CRC fails.
+  static ReplayResult replay(std::string_view bytes, int days_per_month);
+
+  explicit QuotaJournal(QuotaJournalConfig cfg);
+  ~QuotaJournal();  ///< Best-effort flush of pending records.
+  QuotaJournal(const QuotaJournal&) = delete;
+  QuotaJournal& operator=(const QuotaJournal&) = delete;
+
+  /// Opens (creating if absent) the journal, replays it, and truncates the
+  /// file to the clean prefix so appends continue from consistent state.
+  /// Throws std::system_error on I/O failure.
+  ReplayResult open();
+
+  void appendCharge(const std::string& tenant, double bytes);
+  void appendAllowance(const std::string& tenant, double bytes);
+  void appendNextDay();
+
+  /// Writes pending records and (cfg.fsync) fdatasyncs.
+  void flush();
+  /// Rewrites the journal as a single snapshot of `state` (written to
+  /// path.tmp, fsynced, renamed over path), dropping replayed history.
+  void checkpoint(const LedgerState& state);
+  /// True once the on-disk file has outgrown compact_min_bytes — the
+  /// owner should call checkpoint() with its current state.
+  bool wantsCompaction() const { return file_bytes_ >= cfg_.compact_min_bytes; }
+
+  double bytesAtRisk() const { return at_risk_; }
+  std::size_t pendingBytes() const { return pending_.size(); }
+  std::size_t fileBytes() const { return file_bytes_; }
+  std::size_t flushes() const { return flushes_; }
+  std::size_t compactions() const { return compactions_; }
+  std::size_t appendedRecords() const { return appended_; }
+  const std::string& path() const { return cfg_.path; }
+
+ private:
+  void appendRecord(std::uint8_t type, std::string payload);
+  void maybeFlush();
+  void writeAll(int fd, const char* data, std::size_t len);
+
+  QuotaJournalConfig cfg_;
+  int fd_ = -1;
+  std::string pending_;  ///< Framed records not yet written to the file.
+  double at_risk_ = 0;   ///< Charged bytes represented in pending_.
+  std::chrono::steady_clock::time_point last_sync_;
+  std::size_t file_bytes_ = 0;
+  std::size_t flushes_ = 0;
+  std::size_t compactions_ = 0;
+  std::size_t appended_ = 0;
+};
+
+}  // namespace gol::proto

@@ -21,19 +21,25 @@ TenantGovernor::Tenant& TenantGovernor::tenantFor(const std::string& name) {
              .emplace(name, Tenant(cfg_.default_monthly_allowance_bytes,
                                    cfg_.days_per_month))
              .first;
+    // Journal the bootstrap allowance so replay sees every tenant's budget
+    // before its first charge.
+    if (journal_)
+      journal_->appendAllowance(name, cfg_.default_monthly_allowance_bytes);
   }
   return it->second;
 }
 
 void TenantGovernor::setFreeHistory(const std::string& tenant,
                                     const std::vector<double>& free_history) {
-  tenantFor(tenant).tracker.setMonthlyAllowance(
-      core::estimateMonthlyAllowance(free_history, cfg_.allowance));
+  // Route through setMonthlyAllowance so the re-estimate is journaled.
+  setMonthlyAllowance(
+      tenant, core::estimateMonthlyAllowance(free_history, cfg_.allowance));
 }
 
 void TenantGovernor::setMonthlyAllowance(const std::string& tenant,
                                          double bytes) {
   tenantFor(tenant).tracker.setMonthlyAllowance(bytes);
+  if (journal_) journal_->appendAllowance(tenant, bytes);
 }
 
 AdmitDecision TenantGovernor::admit(const std::string& tenant) {
@@ -66,11 +72,56 @@ void TenantGovernor::onConnectionClosed(const std::string& tenant) {
 }
 
 void TenantGovernor::chargeBytes(const std::string& tenant, double bytes) {
+  if (bytes <= 0) return;
+  // Ground-truth hook fires before the journal append: a crash between
+  // the two loses a journaled charge (bounded by the sync window), never
+  // fabricates one — recovered <= truth always holds.
+  if (on_charge) on_charge(tenant, bytes);
   tenantFor(tenant).tracker.recordUsage(bytes);
+  if (journal_) {
+    journal_->appendCharge(tenant, bytes);
+    if (journal_->wantsCompaction()) checkpoint();
+  }
 }
 
 void TenantGovernor::nextDay() {
   for (auto& [name, t] : tenants_) t.tracker.nextDay();
+  if (journal_) journal_->appendNextDay();
+}
+
+void TenantGovernor::attachJournal(QuotaJournal* journal) {
+  journal_ = journal;
+}
+
+void TenantGovernor::restore(const LedgerState& state) {
+  tenants_.clear();
+  active_total_ = 0;
+  for (const auto& [name, ledger] : state) {
+    auto it =
+        tenants_
+            .emplace(name, Tenant(ledger.monthly_allowance, cfg_.days_per_month))
+            .first;
+    it->second.tracker.restoreUsage(ledger.used_today, ledger.used_month,
+                                    ledger.day);
+  }
+}
+
+LedgerState TenantGovernor::snapshot() const {
+  LedgerState out;
+  for (const auto& [name, t] : tenants_) {
+    TenantLedger l;
+    l.monthly_allowance = t.tracker.monthlyAllowanceBytes();
+    l.used_today = t.tracker.usedTodayBytes();
+    l.used_month = t.tracker.usedThisMonthBytes();
+    l.day = t.tracker.dayOfMonth();
+    out[name] = l;
+  }
+  return out;
+}
+
+void TenantGovernor::checkpoint() {
+  if (!journal_) return;
+  journal_->checkpoint(snapshot());
 }
 
 bool TenantGovernor::eligible(const std::string& tenant) const {

@@ -15,11 +15,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "core/allowance.hpp"
+#include "proto/quota_journal.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace gol::proto {
@@ -83,6 +85,30 @@ class TenantGovernor {
   /// into `registry` (nullptr detaches).
   void instrument(telemetry::Registry* registry);
 
+  // --- Durability (crash-safe quota ledger) ---
+  /// Attaches a write-ahead journal (not owned; nullptr detaches). Every
+  /// subsequent chargeBytes / setMonthlyAllowance / nextDay — and the
+  /// default-allowance bootstrap of a first-seen tenant — appends a record
+  /// before returning, so a restarted proxy can replay spent quota instead
+  /// of silently re-granting it. Auto-compacts via checkpoint() once the
+  /// journal outgrows its configured size.
+  void attachJournal(QuotaJournal* journal);
+  /// Rebuilds every tracker from a replayed ledger (replaces any existing
+  /// tenant state). Call before attachJournal to avoid re-journaling the
+  /// recovered records.
+  void restore(const LedgerState& state);
+  /// Durable view of every tenant's tracker.
+  LedgerState snapshot() const;
+  /// Flushes pending records and compacts the journal to one snapshot of
+  /// the current state. No-op without an attached journal.
+  void checkpoint();
+
+  /// Test/harness hook: observes every charge BEFORE it reaches the
+  /// journal (the crash harness's ground-truth channel — written first so
+  /// a crash between the two can only lose a journaled charge, never
+  /// invent one).
+  std::function<void(const std::string& tenant, double bytes)> on_charge;
+
  private:
   struct Tenant {
     core::UsageTracker tracker;
@@ -93,6 +119,7 @@ class TenantGovernor {
   Tenant& tenantFor(const std::string& name);
 
   TenantGovernorConfig cfg_;
+  QuotaJournal* journal_ = nullptr;
   std::map<std::string, Tenant> tenants_;
   std::size_t active_total_ = 0;
   std::size_t admitted_ = 0;

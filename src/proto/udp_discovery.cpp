@@ -15,6 +15,7 @@ namespace gol::proto {
 namespace {
 
 constexpr char kMagic[] = "3GOL-ADVERT v1 ";
+constexpr char kGoodbyeMagic[] = "3GOL-GOODBYE v1 ";
 
 std::optional<std::string_view> fieldValue(std::string_view datagram,
                                            std::string_view key) {
@@ -44,6 +45,17 @@ sockaddr_in loopbackAddr(std::uint16_t port) {
 }
 
 }  // namespace
+
+std::string encodeGoodbye(const std::string& name) {
+  return std::string(kGoodbyeMagic) + "name=" + name;
+}
+
+std::optional<std::string> parseGoodbye(std::string_view datagram) {
+  if (datagram.rfind(kGoodbyeMagic, 0) != 0) return std::nullopt;
+  const auto name = fieldValue(datagram, "name");
+  if (!name || name->empty()) return std::nullopt;
+  return std::string(*name);
+}
 
 std::string encodeAdvertisement(const Advertisement& ad) {
   return std::string(kMagic) + "name=" + ad.name +
@@ -127,8 +139,15 @@ void UdpDiscoveryListener::onReadable() {
     const auto n = ::recv(sock_.get(), buf, sizeof buf, 0);
     if (n < 0) break;
     ++received_;
-    const auto ad = parseAdvertisement(
-        std::string_view(buf, static_cast<std::size_t>(n)));
+    const std::string_view datagram(buf, static_cast<std::size_t>(n));
+    // Explicit retraction: the device is draining — forget it NOW instead
+    // of serving a dead endpoint for up to kExpiryTtls TTLs.
+    if (const auto bye = parseGoodbye(datagram)) {
+      ++goodbyes_;
+      entries_.erase(*bye);
+      continue;
+    }
+    const auto ad = parseAdvertisement(datagram);
     if (!ad) {
       ++malformed_;
       continue;
@@ -171,8 +190,7 @@ void UdpDiscoveryBeacon::start() {
   tick();
 }
 
-void UdpDiscoveryBeacon::tick() {
-  if (!running_) return;
+void UdpDiscoveryBeacon::announceNow() {
   if (eligible_) {
     if (const auto ad = eligible_()) {
       const std::string wire = encodeAdvertisement(*ad);
@@ -182,6 +200,19 @@ void UdpDiscoveryBeacon::tick() {
       ++sent_;
     }
   }
+}
+
+void UdpDiscoveryBeacon::sendGoodbye(const std::string& name) {
+  const std::string wire = encodeGoodbye(name);
+  const sockaddr_in addr = loopbackAddr(listener_port_);
+  ::sendto(sock_.get(), wire.data(), wire.size(), 0,
+           reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  ++goodbyes_sent_;
+}
+
+void UdpDiscoveryBeacon::tick() {
+  if (!running_) return;
+  announceNow();
   loop_.runAfter(std::chrono::duration_cast<std::chrono::microseconds>(
                      interval_),
                  [this, alive = std::weak_ptr<bool>(liveness_)] {

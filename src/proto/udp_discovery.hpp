@@ -36,6 +36,14 @@ struct Advertisement {
 std::string encodeAdvertisement(const Advertisement& ad);
 std::optional<Advertisement> parseAdvertisement(std::string_view datagram);
 
+/// Explicit retraction: a draining proxy broadcasts
+///   3GOL-GOODBYE v1 name=<device>
+/// so clients drop the endpoint immediately instead of waiting out
+/// kExpiryTtls TTL periods against a dead address. parse returns the
+/// retracted device name, or nullopt for anything else.
+std::string encodeGoodbye(const std::string& name);
+std::optional<std::string> parseGoodbye(std::string_view datagram);
+
 /// Client side: binds an ephemeral loopback UDP port and collects fresh
 /// advertisements.
 class UdpDiscoveryListener {
@@ -58,6 +66,8 @@ class UdpDiscoveryListener {
   /// churning fleet cannot grow this without bound.
   std::size_t trackedEntries() const { return entries_.size(); }
   std::size_t expiredEntries() const { return expired_; }
+  /// Explicit goodbye retractions honored (entry dropped immediately).
+  std::size_t goodbyesReceived() const { return goodbyes_; }
 
   /// A silent device is dropped from the table after this many TTLs. One
   /// TTL already makes it inadmissible; the extra grace lets a device that
@@ -81,6 +91,7 @@ class UdpDiscoveryListener {
   std::size_t received_ = 0;
   std::size_t malformed_ = 0;
   std::size_t expired_ = 0;
+  std::size_t goodbyes_ = 0;
   /// Guards the purge timer against use-after-destruction.
   std::shared_ptr<bool> liveness_;
 };
@@ -99,7 +110,15 @@ class UdpDiscoveryBeacon {
 
   void start();
   void stop() { running_ = false; }
+  /// Sends one advertisement immediately (if `eligible` allows), without
+  /// waiting for the next interval tick — a restarted proxy re-announces
+  /// the instant it is serving again.
+  void announceNow();
+  /// Broadcasts an explicit retraction for `name` (a draining proxy's
+  /// parting datagram). Independent of start()/stop().
+  void sendGoodbye(const std::string& name);
   std::size_t beaconsSent() const { return sent_; }
+  std::size_t goodbyesSent() const { return goodbyes_sent_; }
 
  private:
   void tick();
@@ -111,6 +130,7 @@ class UdpDiscoveryBeacon {
   Fd sock_;
   bool running_ = false;
   std::size_t sent_ = 0;
+  std::size_t goodbyes_sent_ = 0;
   /// Guards the timer callback against use-after-destruction.
   std::shared_ptr<bool> liveness_;
 };

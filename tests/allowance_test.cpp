@@ -163,5 +163,69 @@ TEST(Tracker, NegativeUsageIgnored) {
   EXPECT_DOUBLE_EQ(t.usedThisMonthBytes(), 0.0);
 }
 
+TEST(Tracker, ReestimateBelowConsumedZerosAvailabilityNeverNegative) {
+  UsageTracker t(1000.0, 10);
+  t.recordUsage(300.0);
+  // The fresh estimate lands BELOW what the month already consumed: A(t)
+  // must clamp to exactly zero (never negative) and close eligibility.
+  t.setMonthlyAllowance(200.0);
+  EXPECT_DOUBLE_EQ(t.availableTodayBytes(), 0.0);
+  EXPECT_GE(t.availableTodayBytes(), 0.0);
+  EXPECT_FALSE(t.eligible());
+  // Landing exactly ON the consumed amount is the boundary: still zero.
+  t.setMonthlyAllowance(300.0);
+  EXPECT_DOUBLE_EQ(t.availableTodayBytes(), 0.0);
+  EXPECT_FALSE(t.eligible());
+  // Usage stays charged through the shrink — nothing was forgiven.
+  EXPECT_DOUBLE_EQ(t.usedThisMonthBytes(), 300.0);
+  // Day rolls under the shrunken budget keep A(t) pinned at zero until
+  // the monthly headroom genuinely reopens.
+  t.nextDay();
+  EXPECT_DOUBLE_EQ(t.availableTodayBytes(), 0.0);
+}
+
+TEST(Tracker, RestoreUsageClampsNegativesAndKeepsInvariants) {
+  UsageTracker t(1000.0, 10);
+  // A corrupt-or-hostile ledger must not manufacture negative balances.
+  t.restoreUsage(-50.0, -200.0, 0);
+  EXPECT_DOUBLE_EQ(t.usedTodayBytes(), 0.0);
+  EXPECT_DOUBLE_EQ(t.usedThisMonthBytes(), 0.0);
+  EXPECT_TRUE(t.eligible());
+  // used_month can never be below used_today after a restore.
+  t.restoreUsage(80.0, 10.0, 2);
+  EXPECT_DOUBLE_EQ(t.usedTodayBytes(), 80.0);
+  EXPECT_GE(t.usedThisMonthBytes(), t.usedTodayBytes());
+}
+
+TEST(Tracker, RestoreUsageWrapsDayIntoValidRange) {
+  UsageTracker t(1000.0, 10);
+  t.restoreUsage(0.0, 0.0, 27);  // a ledger from days_per_month=30 config
+  EXPECT_EQ(t.dayOfMonth(), 7);
+  t.restoreUsage(0.0, 0.0, -3);  // negative wraps, never escapes the month
+  EXPECT_GE(t.dayOfMonth(), 0);
+  EXPECT_LT(t.dayOfMonth(), 10);
+  // nextDay() can always reach a wrap from a restored day index.
+  for (int i = 0; i < 10; ++i) t.nextDay();
+  EXPECT_DOUBLE_EQ(t.usedThisMonthBytes(), 0.0);
+}
+
+TEST(Tracker, RestoreUsageRoundTripsLiveState) {
+  UsageTracker live(500.0, 5);
+  live.recordUsage(120.0);
+  live.nextDay();
+  live.recordUsage(30.0);
+
+  UsageTracker recovered(500.0, 5);
+  recovered.restoreUsage(live.usedTodayBytes(), live.usedThisMonthBytes(),
+                         live.dayOfMonth());
+  EXPECT_DOUBLE_EQ(recovered.availableTodayBytes(),
+                   live.availableTodayBytes());
+  EXPECT_EQ(recovered.eligible(), live.eligible());
+  recovered.nextDay();
+  live.nextDay();
+  EXPECT_DOUBLE_EQ(recovered.availableTodayBytes(),
+                   live.availableTodayBytes());
+}
+
 }  // namespace
 }  // namespace gol::core

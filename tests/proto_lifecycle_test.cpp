@@ -1,0 +1,304 @@
+// Proxy lifecycle tests: the graceful-drain ladder (park-shedding, the
+// explicit "draining" reply, run-to-completion for active relays, the
+// deadline force-close backstop) and cold-start recovery — a proxy that
+// dies and returns on the same port with its quota ledger replayed from
+// the journal, denying tenants that were exhausted before the crash.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "http/message.hpp"
+#include "proto/multipath_client.hpp"
+#include "proto/origin_server.hpp"
+#include "proto/proxy.hpp"
+#include "proto/quota_journal.hpp"
+#include "proto/tenant_governor.hpp"
+
+namespace gol::proto {
+namespace {
+
+std::vector<FetchItem> makeItems(int count, std::size_t bytes) {
+  std::vector<FetchItem> items;
+  for (int i = 0; i < count; ++i)
+    items.push_back({"/obj/" + std::to_string(bytes), bytes});
+  return items;
+}
+
+std::string makeGet(std::size_t bytes) {
+  http::Request req;
+  req.target = "/obj/" + std::to_string(bytes);
+  req.headers["Host"] = "origin";
+  req.headers["Connection"] = "close";
+  return req.serialize();
+}
+
+std::string tempPath(const std::string& tag) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string name = std::string("gol3_lc_") + info->test_suite_name() +
+                           "_" + info->name() + "_" + tag;
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// A hand-driven HTTP connection (same shape as proto_overload_test's):
+/// sends one request, collects the response, closes on completion or EOF.
+class RawClient {
+ public:
+  RawClient(EpollLoop& loop, std::uint16_t port, std::string request)
+      : loop_(loop), out_(std::move(request)) {
+    auto fd = connectTcp(port);
+    if (!fd) throw std::runtime_error("RawClient: connect failed");
+    fd_ = std::move(*fd);
+    loop_.add(fd_.get(),
+              out_.empty() ? Interest::kRead : Interest::kReadWrite,
+              [this](bool r, bool w) { onEvent(r, w); });
+  }
+  ~RawClient() { close(); }
+
+  void close() {
+    if (!fd_.valid()) return;
+    loop_.remove(fd_.get());
+    fd_.reset();
+  }
+  bool done() const { return done_; }
+  const std::string& received() const { return in_; }
+
+ private:
+  void onEvent(bool readable, bool writable) {
+    if (!fd_.valid()) return;
+    try {
+      if (writable && !out_.empty()) {
+        const long n = writeSome(fd_.get(), out_.data(), out_.size());
+        if (n > 0) out_.erase(0, static_cast<std::size_t>(n));
+        if (n == 0) {
+          finish();
+          return;
+        }
+        if (out_.empty()) loop_.modify(fd_.get(), Interest::kRead);
+      }
+      if (readable) {
+        char buf[4096];
+        for (;;) {
+          const long n = readSome(fd_.get(), buf, sizeof buf);
+          if (n == 0) {
+            finish();
+            return;
+          }
+          if (n < 0) break;
+          in_.append(buf, static_cast<std::size_t>(n));
+        }
+        if (http::parseResponse(in_).status == http::ParseStatus::kComplete)
+          finish();
+      }
+    } catch (const std::system_error&) {
+      finish();
+    }
+  }
+
+  void finish() {
+    done_ = true;
+    close();
+  }
+
+  EpollLoop& loop_;
+  Fd fd_;
+  std::string out_;
+  std::string in_;
+  bool done_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Graceful drain
+// ---------------------------------------------------------------------------
+
+TEST(ProxyDrain, LadderShedsParkedTurnsAwayArrivalsFinishesActive) {
+  EpollLoop loop;
+  OriginServer origin(loop);
+  ProxyConfig cfg;
+  cfg.upstream_port = origin.port();
+  cfg.down_bps = 1e6;  // the active relay stays busy ~1.6 s
+  cfg.max_connections = 1;
+  cfg.accept_queue_limit = 4;
+  cfg.drain_deadline = std::chrono::milliseconds(10000);
+  OnloadProxy proxy(loop, cfg);
+
+  RawClient active(loop, proxy.port(), makeGet(200000));
+  ASSERT_TRUE(loop.runUntil([&] { return proxy.activeConnections() == 1; },
+                            std::chrono::milliseconds(2000)));
+  RawClient parked(loop, proxy.port(), makeGet(20000));
+  ASSERT_TRUE(loop.runUntil([&] { return proxy.pendingConnections() == 1; },
+                            std::chrono::milliseconds(2000)));
+
+  int drain_complete_fired = 0;
+  proxy.on_drain_complete = [&] { ++drain_complete_fired; };
+  proxy.beginDrain();
+  proxy.beginDrain();  // idempotent
+  EXPECT_TRUE(proxy.draining());
+  EXPECT_FALSE(proxy.drainComplete());  // the active relay still runs
+
+  // The parked waiter is shed immediately with the explicit draining
+  // reply — it will never be served, so it must not sit out the drain.
+  ASSERT_TRUE(loop.runUntil([&] { return parked.done(); },
+                            std::chrono::milliseconds(2000)));
+  EXPECT_NE(parked.received().find("503"), std::string::npos);
+  EXPECT_NE(parked.received().find("X-3GOL-Denied: draining"),
+            std::string::npos);
+
+  // A new arrival mid-drain gets the same answer.
+  RawClient late(loop, proxy.port(), makeGet(20000));
+  ASSERT_TRUE(loop.runUntil([&] { return late.done(); },
+                            std::chrono::milliseconds(2000)));
+  EXPECT_NE(late.received().find("X-3GOL-Denied: draining"),
+            std::string::npos);
+  EXPECT_EQ(proxy.shedDraining(), 2u);
+
+  // The active relay runs to completion — drain degrades new work, never
+  // in-flight work — and the drain then completes gracefully.
+  ASSERT_TRUE(loop.runUntil([&] { return proxy.drainComplete(); },
+                            std::chrono::milliseconds(10000)));
+  EXPECT_TRUE(active.done());
+  EXPECT_NE(active.received().find("200"), std::string::npos);
+  EXPECT_EQ(proxy.drainForcedCloses(), 0u);
+  EXPECT_EQ(drain_complete_fired, 1);
+}
+
+TEST(ProxyDrain, DeadlineForceClosesStragglers) {
+  EpollLoop loop;
+  OriginServer origin(loop);
+  ProxyConfig cfg;
+  cfg.upstream_port = origin.port();
+  cfg.down_bps = 100e3;  // 500 KB would need ~40 s: it cannot finish
+  OnloadProxy proxy(loop, cfg);
+
+  RawClient slow(loop, proxy.port(), makeGet(500000));
+  ASSERT_TRUE(loop.runUntil([&] { return proxy.activeConnections() == 1; },
+                            std::chrono::milliseconds(2000)));
+
+  proxy.beginDrain(std::chrono::milliseconds(100));
+  ASSERT_TRUE(loop.runUntil([&] { return proxy.drainComplete(); },
+                            std::chrono::milliseconds(5000)));
+  EXPECT_EQ(proxy.drainForcedCloses(), 1u);
+  ASSERT_TRUE(loop.runUntil([&] { return slow.done(); },
+                            std::chrono::milliseconds(2000)));
+}
+
+TEST(ProxyDrain, MultipathClientRoutesAroundDrainingEndpoint) {
+  // The client treats the draining reply like a transient busy shed: it
+  // routes to the healthy leg and does NOT mark the endpoint quota-denied.
+  EpollLoop loop;
+  OriginServer origin(loop);
+  ProxyConfig cfg;
+  cfg.upstream_port = origin.port();
+  cfg.down_bps = 8e6;
+  OnloadProxy draining_proxy(loop, cfg);
+  OnloadProxy healthy(loop, cfg);
+  draining_proxy.beginDrain();
+
+  ClientConfig ccfg;
+  ccfg.base_backoff = std::chrono::milliseconds(30);
+  MultipathHttpClient client(loop,
+                             {{"phone0", draining_proxy.port()},
+                              {"phone1", healthy.port()}},
+                             ccfg);
+  const auto res =
+      client.run(makeItems(3, 30000), std::chrono::milliseconds(10000));
+  ASSERT_TRUE(res.complete);
+  EXPECT_EQ(res.failed_items, 0u);
+  EXPECT_EQ(res.corrupt_payloads, 0u);
+  EXPECT_TRUE(res.denied_endpoints.empty());
+  EXPECT_EQ(res.per_endpoint_bytes.count("phone0"), 0u);
+  EXPECT_EQ(res.per_endpoint_bytes.at("phone1"), 90000u);
+  EXPECT_GE(draining_proxy.shedDraining(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cold-start recovery: same port, replayed ledger
+// ---------------------------------------------------------------------------
+
+TEST(ProxyRecovery, RebindsSamePortAndKeepsDenyingExhaustedTenant) {
+  const std::string wal = tempPath("wal");
+  std::filesystem::remove(wal);
+
+  EpollLoop loop;
+  OriginServer origin(loop);
+  TenantGovernorConfig gcfg;
+  gcfg.days_per_month = 1;
+  gcfg.default_monthly_allowance_bytes = 60e3;
+
+  std::uint16_t port = 0;
+  {
+    // First incarnation: journaled governor, fixed (ephemeral) port.
+    QuotaJournal journal({wal, 1});
+    journal.open();
+    TenantGovernor governor(gcfg);
+    governor.attachJournal(&journal);
+    ProxyConfig cfg;
+    cfg.upstream_port = origin.port();
+    cfg.down_bps = 8e6;
+    cfg.governor = &governor;
+    OnloadProxy proxy(loop, cfg);
+    port = proxy.port();
+
+    // The tenant burns through its whole allowance...
+    MultipathHttpClient client(loop, {{"phone0", port}});
+    const auto res =
+        client.run(makeItems(2, 40000), std::chrono::milliseconds(10000));
+    EXPECT_GE(res.quota_denials + proxy.quotaKills(), 1u);
+    EXPECT_FALSE(governor.eligible("127.0.0.1"));
+    journal.flush();
+  }  // ...and the proxy dies (no checkpoint — recovery replays raw log)
+
+  // Second incarnation: same port, ledger replayed before admitting.
+  QuotaJournal journal({wal, 1});
+  TenantGovernor governor(gcfg);
+  governor.restore(journal.open().state);
+  governor.attachJournal(&journal);
+  EXPECT_FALSE(governor.eligible("127.0.0.1"));  // spent quota stayed spent
+
+  ProxyConfig cfg;
+  cfg.upstream_port = origin.port();
+  cfg.listen_port = port;  // SO_REUSEADDR rebinds through TIME_WAIT
+  cfg.governor = &governor;
+  OnloadProxy revived(loop, cfg);
+  EXPECT_EQ(revived.port(), port);
+
+  // The reconnecting client gets the explicit quota denial, not service —
+  // a restart must never re-grant a tenant its spent allowance.
+  MultipathHttpClient client(loop, {{"phone0", port}});
+  const auto res =
+      client.run(makeItems(1, 10000), std::chrono::milliseconds(5000));
+  EXPECT_FALSE(res.complete);
+  EXPECT_EQ(res.quota_denials, 1u);
+  EXPECT_EQ(origin.requestsServed(), 2u);  // only the pre-crash fetches
+  std::filesystem::remove(wal);
+}
+
+TEST(ProxyRecovery, DrainCheckpointMakesRecoveryASingleSnapshot) {
+  const std::string wal = tempPath("wal");
+  std::filesystem::remove(wal);
+  TenantGovernorConfig gcfg;
+  gcfg.days_per_month = 1;
+  {
+    QuotaJournal journal({wal, 1});
+    journal.open();
+    TenantGovernor governor(gcfg);
+    governor.attachJournal(&journal);
+    for (int i = 0; i < 50; ++i)
+      governor.chargeBytes("t" + std::to_string(i % 5), 1000);
+    governor.checkpoint();  // the drain ladder's final step
+  }
+  QuotaJournal journal({wal, 1});
+  const auto r = journal.open();
+  // Compacted on the way down: one snapshot record, no tear, full state.
+  EXPECT_FALSE(r.torn);
+  EXPECT_EQ(r.records, 1u);
+  EXPECT_EQ(r.charge_records, 0u);
+  ASSERT_EQ(r.state.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.state.at("t0").used_month, 10000);
+  std::filesystem::remove(wal);
+}
+
+}  // namespace
+}  // namespace gol::proto

@@ -164,6 +164,80 @@ TEST(UdpDiscovery, StaleEntriesArePurgedFromTheTable) {
   EXPECT_EQ(listener.trackedEntries(), 1u);
 }
 
+TEST(GoodbyeCodec, RoundTripAndRejection) {
+  const auto parsed = parseGoodbye(encodeGoodbye("phone7"));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, "phone7");
+  EXPECT_FALSE(parseGoodbye("").has_value());
+  EXPECT_FALSE(parseGoodbye("3GOL-GOODBYE v1 name=").has_value());
+  EXPECT_FALSE(parseGoodbye("3GOL-GOODBYE v2 name=x").has_value());
+  // An advertisement is not a goodbye and vice versa.
+  EXPECT_FALSE(parseGoodbye("3GOL-ADVERT v1 name=x proxy_port=1 "
+                            "quota_bytes=1")
+                   .has_value());
+  EXPECT_FALSE(parseAdvertisement(encodeGoodbye("x")).has_value());
+}
+
+TEST(UdpDiscovery, GoodbyeRetractsImmediatelyNotAfterTtl) {
+  // A draining proxy's goodbye must drop the entry NOW — a generous TTL
+  // (here 60 s) would otherwise keep routing clients at a dead endpoint.
+  EpollLoop loop;
+  UdpDiscoveryListener listener(loop, std::chrono::milliseconds(60000));
+  Advertisement ad;
+  ad.name = "phone0";
+  ad.proxy_port = 4000;
+  UdpDiscoveryBeacon beacon(loop, listener.port(),
+                            [ad] { return std::optional(ad); },
+                            std::chrono::milliseconds(50));
+  beacon.start();
+  ASSERT_TRUE(loop.runUntil([&] { return listener.isAdmissible("phone0"); },
+                            std::chrono::milliseconds(3000)));
+  EXPECT_EQ(listener.trackedEntries(), 1u);
+
+  beacon.stop();  // stop advertising first, as the drain ladder does
+  beacon.sendGoodbye("phone0");
+  ASSERT_TRUE(loop.runUntil([&] { return listener.goodbyesReceived() >= 1; },
+                            std::chrono::milliseconds(3000)));
+  EXPECT_FALSE(listener.isAdmissible("phone0"));
+  EXPECT_EQ(listener.trackedEntries(), 0u);  // erased, not just stale
+  EXPECT_GE(beacon.goodbyesSent(), 1u);
+}
+
+TEST(UdpDiscovery, RestartReannouncesImmediatelyAfterGoodbye) {
+  // The restart path: goodbye on drain, then the revived proxy's start()
+  // announces synchronously — admissibility returns without waiting out a
+  // beacon interval.
+  EpollLoop loop;
+  UdpDiscoveryListener listener(loop, std::chrono::milliseconds(5000));
+  Advertisement ad;
+  ad.name = "phone0";
+  ad.proxy_port = 4001;
+  {
+    UdpDiscoveryBeacon dying(loop, listener.port(),
+                             [ad] { return std::optional(ad); },
+                             std::chrono::milliseconds(40));
+    dying.start();
+    ASSERT_TRUE(loop.runUntil([&] { return listener.isAdmissible("phone0"); },
+                              std::chrono::milliseconds(3000)));
+    dying.stop();
+    dying.sendGoodbye("phone0");
+    ASSERT_TRUE(loop.runUntil([&] { return !listener.isAdmissible("phone0"); },
+                              std::chrono::milliseconds(3000)));
+  }
+
+  // The "restarted proxy": a long interval would leave a gap; announceNow
+  // via start() closes it.
+  Advertisement revived_ad = ad;
+  revived_ad.proxy_port = 4002;  // recovered on the same name, new details
+  UdpDiscoveryBeacon revived(loop, listener.port(),
+                             [revived_ad] { return std::optional(revived_ad); },
+                             std::chrono::minutes(10));
+  revived.start();
+  ASSERT_TRUE(loop.runUntil([&] { return listener.isAdmissible("phone0"); },
+                            std::chrono::milliseconds(2000)));
+  EXPECT_EQ(listener.admissible()[0].proxy_port, 4002);
+}
+
 TEST(UdpDiscovery, BeaconDestructionCancelsTimerSafely) {
   EpollLoop loop;
   UdpDiscoveryListener listener(loop);

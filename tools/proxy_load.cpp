@@ -10,15 +10,35 @@
 // machine-readable counterpart to BENCH_proxy_load.json (the committed seed
 // lives in bench/seeds/).
 //
+// --crash-soak swaps the in-process phone bank for out-of-process
+// tools/proxy_host children (each with its own WAL journal and a ground-
+// truth charge log), then rotates SIGKILL across them at a jittered period
+// with immediate restart on the same port/journal. The harness verifies
+// the durability contract end to end: recovered per-tenant usage never
+// exceeds the ground truth (zero double-charges), the truth-vs-recovered
+// gap stays within one sync window per crash, the client fleet rides the
+// restarts transparently (reconnect + Range-resume, zero corrupt
+// payloads), and the final SIGTERM drains every child to exit 0. Restart/
+// recovery-time percentiles land in BENCH_proxy_load.json.
+//
 //   ./build/tools/proxy_load --clients 1000 --duration-s 30 --faults
+//   ./build/tools/proxy_load --clients 200 --duration-s 20 --crash-soak
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -26,6 +46,8 @@
 #include "proto/multipath_client.hpp"
 #include "proto/origin_server.hpp"
 #include "proto/proxy.hpp"
+#include "proto/quota_journal.hpp"
+#include "proto/socket.hpp"
 #include "proto/tenant_governor.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -46,6 +68,13 @@ struct Args {
   std::size_t max_conns = 64;
   double tenant_quota = 1e6;  ///< bytes per tenant per refresh period
   std::size_t buffer_watermark = 128 * 1024;
+  // --- Crash-soak mode (out-of-process proxy_host children) ---
+  bool crash_soak = false;
+  double crash_period_ms = 1500;   ///< mean period between SIGKILLs
+  double sync_interval_ms = 25;    ///< child journal group-commit window
+  double bytes_at_risk = 64e3;     ///< child journal flush-by-bytes edge
+  double drain_deadline_ms = 4000; ///< child graceful-drain budget
+  std::string proxy_host_bin;      ///< default: <dir of argv[0]>/proxy_host
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -53,7 +82,10 @@ struct Args {
                "usage: %s [--clients N] [--duration-s S] [--tenants N]\n"
                "          [--phones N] [--items N] [--bytes N] [--faults]\n"
                "          [--max-conns N] [--tenant-quota BYTES]\n"
-               "          [--buffer-watermark BYTES]\n",
+               "          [--buffer-watermark BYTES]\n"
+               "          [--crash-soak] [--crash-period-ms MS]\n"
+               "          [--sync-interval-ms MS] [--bytes-at-risk BYTES]\n"
+               "          [--drain-deadline-ms MS] [--proxy-host-bin PATH]\n",
                argv0);
   std::exit(2);
 }
@@ -77,6 +109,15 @@ Args parseArgs(int argc, char** argv) {
     else if (flag == "--tenant-quota") a.tenant_quota = num(i);
     else if (flag == "--buffer-watermark")
       a.buffer_watermark = static_cast<std::size_t>(num(i));
+    else if (flag == "--crash-soak") a.crash_soak = true;
+    else if (flag == "--crash-period-ms") a.crash_period_ms = num(i);
+    else if (flag == "--sync-interval-ms") a.sync_interval_ms = num(i);
+    else if (flag == "--bytes-at-risk") a.bytes_at_risk = num(i);
+    else if (flag == "--drain-deadline-ms") a.drain_deadline_ms = num(i);
+    else if (flag == "--proxy-host-bin") {
+      if (i + 1 >= argc) usage(argv[0]);
+      a.proxy_host_bin = argv[++i];
+    }
     else usage(argv[0]);
   }
   if (a.clients < 1 || a.tenants < 1 || a.phones < 1 || a.items < 1)
@@ -119,6 +160,52 @@ std::vector<FetchItem> makeItems(int count, std::size_t bytes) {
   return items;
 }
 
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// Ground-truth charge log written by proxy_host's on_charge hook: one
+/// "tenant bytes" line per charge, unbuffered write() so it survives
+/// SIGKILL exactly. Returns per-tenant totals.
+std::map<std::string, double> parseTruth(const std::string& path) {
+  std::map<std::string, double> totals;
+  std::ifstream f(path);
+  std::string tenant;
+  double bytes = 0;
+  while (f >> tenant >> bytes) totals[tenant] += bytes;
+  return totals;
+}
+
+/// One out-of-process governed proxy (a tools/proxy_host child) under
+/// crash rotation: fixed pre-picked port, persistent journal + truth
+/// files that survive every SIGKILL/restart cycle.
+struct PhoneProc {
+  std::uint16_t port = 0;
+  std::string journal, truth, log;
+  pid_t pid = -1;
+  bool ready = false;  ///< READY seen in log since the last (re)spawn
+  int spawns = 0;
+  int crashes = 0;  ///< SIGKILLs the harness inflicted
+  Clock::time_point spawned_at{};
+};
+
+/// Reserves an ephemeral loopback port by binding and immediately
+/// releasing it; the child rebinds it with SO_REUSEADDR. Keeping the port
+/// fixed across restarts is what lets clients reconnect transparently.
+std::uint16_t pickPort() {
+  const auto l = listenTcp(0);
+  return l ? l->port : 0;
+}
+
+std::string defaultHostBin(const char* argv0) {
+  const std::filesystem::path p(argv0);
+  if (p.has_parent_path()) return (p.parent_path() / "proxy_host").string();
+  return "./proxy_host";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -137,6 +224,14 @@ int main(int argc, char** argv) {
   std::size_t governor_denied = 0, governor_shed = 0, tenant_count = 0;
   bool all_terminated = false;
   double elapsed_s = 0;
+  // Crash-soak books (populated only with --crash-soak).
+  std::size_t crash_restarts = 0, unexpected_deaths = 0, drain_forced = 0;
+  std::size_t journal_torn_final = 0;
+  bool final_drain_clean = true;
+  std::vector<double> recovery_ms;
+  double truth_bytes_total = 0, recovered_bytes_total = 0;
+  double quota_lost = 0, quota_lost_bound = 0, double_charge_bytes = 0;
+  std::string crash_dir;
 
   {
     EpollLoop loop;
@@ -147,20 +242,122 @@ int main(int argc, char** argv) {
     gcfg.default_monthly_allowance_bytes = args.tenant_quota;
     TenantGovernor governor(gcfg);
 
-    // The governed, capped phone bank — the metered 3G legs.
+    // The governed, capped phone bank — the metered 3G legs. In crash-soak
+    // mode the bank is out-of-process proxy_host children instead, so a
+    // SIGKILL takes out a whole proxy (sockets, buffers, in-memory ledger)
+    // the way a real deploy kill or OOM does.
     std::vector<std::unique_ptr<OnloadProxy>> phones;
-    for (int p = 0; p < args.phones; ++p) {
-      ProxyConfig cfg;
-      cfg.upstream_port = origin.port();
-      cfg.down_bps = 8e6;
-      cfg.up_bps = 2e6;
-      cfg.max_connections = args.max_conns;
-      cfg.accept_queue_limit = std::max<std::size_t>(4, args.max_conns / 4);
-      cfg.buffer_watermark = args.buffer_watermark;
-      cfg.idle_timeout = std::chrono::milliseconds(2000);
-      cfg.governor = &governor;
-      phones.push_back(std::make_unique<OnloadProxy>(loop, cfg));
-      phones.back()->instrument(&telemetry::Registry::global());
+    if (!args.crash_soak) {
+      for (int p = 0; p < args.phones; ++p) {
+        ProxyConfig cfg;
+        cfg.upstream_port = origin.port();
+        cfg.down_bps = 8e6;
+        cfg.up_bps = 2e6;
+        cfg.max_connections = args.max_conns;
+        cfg.accept_queue_limit = std::max<std::size_t>(4, args.max_conns / 4);
+        cfg.buffer_watermark = args.buffer_watermark;
+        cfg.idle_timeout = std::chrono::milliseconds(2000);
+        cfg.governor = &governor;
+        phones.push_back(std::make_unique<OnloadProxy>(loop, cfg));
+        phones.back()->instrument(&telemetry::Registry::global());
+      }
+    }
+
+    std::vector<PhoneProc> procs;
+    const std::string host_bin = !args.proxy_host_bin.empty()
+                                     ? args.proxy_host_bin
+                                     : defaultHostBin(argv[0]);
+    // (Re)spawns a child on its fixed port against its persistent journal;
+    // stdout goes to a per-incarnation log the parent polls for READY.
+    const auto spawnChild = [&](PhoneProc& ph) {
+      ph.spawned_at = Clock::now();
+      ph.ready = false;
+      ++ph.spawns;
+      std::vector<std::string> cargs = {
+          host_bin,
+          "--port", std::to_string(ph.port),
+          "--upstream-port", std::to_string(origin.port()),
+          "--journal", ph.journal,
+          "--truth", ph.truth,
+          "--quota", std::to_string(args.tenant_quota),
+          "--days", "1",
+          "--sync-interval-ms", std::to_string(args.sync_interval_ms),
+          "--bytes-at-risk", std::to_string(args.bytes_at_risk),
+          "--max-conns", std::to_string(args.max_conns),
+          "--buffer-watermark", std::to_string(args.buffer_watermark),
+          "--idle-timeout-ms", "2000",
+          "--drain-deadline-ms", std::to_string(args.drain_deadline_ms),
+      };
+      const pid_t pid = ::fork();
+      if (pid == 0) {
+        const int logfd =
+            ::open(ph.log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (logfd >= 0) {
+          ::dup2(logfd, STDOUT_FILENO);
+          ::close(logfd);
+        }
+        std::vector<char*> argvv;
+        argvv.reserve(cargs.size() + 1);
+        for (auto& s : cargs) argvv.push_back(s.data());
+        argvv.push_back(nullptr);
+        ::execv(host_bin.c_str(), argvv.data());
+        _exit(127);
+      }
+      ph.pid = pid;
+    };
+    if (args.crash_soak) {
+      std::string tmpl =
+          (std::filesystem::temp_directory_path() / "gol3_crash.XXXXXX")
+              .string();
+      if (::mkdtemp(tmpl.data()) == nullptr) {
+        std::perror("proxy_load: mkdtemp");
+        return 2;
+      }
+      crash_dir = tmpl;
+      for (int p = 0; p < args.phones; ++p) {
+        PhoneProc ph;
+        ph.port = pickPort();
+        const std::string base = crash_dir + "/phone" + std::to_string(p);
+        ph.journal = base + ".wal";
+        ph.truth = base + ".truth";
+        ph.log = base + ".log";
+        procs.push_back(std::move(ph));
+        spawnChild(procs.back());
+      }
+    }
+    // Reaps unexpected child deaths (respawning to keep the soak alive,
+    // but recorded as a hard failure) and promotes freshly spawned
+    // children to ready once READY shows up in their log — the delta
+    // from spawn to READY is the restart/recovery time.
+    const auto pollChildren = [&] {
+      for (auto& ph : procs) {
+        if (ph.pid <= 0) continue;
+        int st = 0;
+        if (::waitpid(ph.pid, &st, WNOHANG) == ph.pid) {
+          ++unexpected_deaths;
+          ph.pid = -1;
+          spawnChild(ph);
+          continue;
+        }
+        if (!ph.ready && slurp(ph.log).find("READY port=") !=
+                             std::string::npos) {
+          ph.ready = true;
+          if (ph.spawns > 1)  // cold boot isn't a recovery
+            recovery_ms.push_back(std::chrono::duration<double, std::milli>(
+                                      Clock::now() - ph.spawned_at)
+                                      .count());
+        }
+      }
+    };
+    if (args.crash_soak) {
+      // Wait out the cold boots so the soak clock measures steady state.
+      loop.runUntil(
+          [&] {
+            pollChildren();
+            return std::all_of(procs.begin(), procs.end(),
+                               [](const PhoneProc& p) { return p.ready; });
+          },
+          std::chrono::milliseconds(10000));
     }
     // The ADSL leg: slower, uncapped, ungoverned — completion is always
     // possible, so degradation never becomes failure.
@@ -173,7 +370,9 @@ int main(int argc, char** argv) {
     std::vector<Endpoint> endpoints{{"adsl", adsl.port()}};
     for (int p = 0; p < args.phones; ++p)
       endpoints.push_back(
-          {"phone" + std::to_string(p), phones[static_cast<std::size_t>(p)]->port()});
+          {"phone" + std::to_string(p),
+           args.crash_soak ? procs[static_cast<std::size_t>(p)].port
+                           : phones[static_cast<std::size_t>(p)]->port()});
 
     // The closed-loop fleet: each client finishes a transaction and starts
     // the next until the deadline. Clients persist across transactions so
@@ -208,12 +407,43 @@ int main(int argc, char** argv) {
                  static_cast<long>(args.duration_s * 1e6));
     bool past_deadline = false;
 
+    // Crash plan: rotate SIGKILL across the child bank at a jittered
+    // period ("at a random offset" — never aligned with sync flushes),
+    // respawning immediately on the same port and journal. waitpid right
+    // after SIGKILL is effectively instant.
+    std::function<void()> crasher;
+    std::size_t crash_idx = 0;
+    std::minstd_rand crash_rng(0x3601u);
+    if (args.crash_soak) {
+      crasher = [&] {
+        if (past_deadline) return;
+        auto& ph = procs[crash_idx++ % procs.size()];
+        if (ph.pid > 0 && ph.ready) {
+          ::kill(ph.pid, SIGKILL);
+          ::waitpid(ph.pid, nullptr, 0);
+          ph.pid = -1;
+          ++ph.crashes;
+          ++crash_restarts;
+          spawnChild(ph);
+        }
+        const double jitter =
+            args.crash_period_ms *
+            (0.5 + static_cast<double>(crash_rng() % 1000) / 1000.0);
+        loop.runAfter(std::chrono::milliseconds(static_cast<long>(jitter)),
+                      [&] { crasher(); });
+      };
+      loop.runAfter(std::chrono::milliseconds(
+                        static_cast<long>(args.crash_period_ms)),
+                    [&] { crasher(); });
+    }
+
     // Fault plan: rotate relay kills across the phone bank, black out one
     // proxy periodically, and roll tenant quotas so exhaustion/denial/
-    // refresh cycles all happen mid-soak.
+    // refresh cycles all happen mid-soak. (In crash-soak mode the SIGKILL
+    // rotation IS the fault plan; the in-process injectors have no bank.)
     std::function<void()> killer, blackout, refresher;
     std::size_t kill_idx = 0, blackout_idx = 0;
-    if (args.faults) {
+    if (args.faults && !args.crash_soak) {
       killer = [&] {
         if (past_deadline) return;
         phones[kill_idx++ % phones.size()]->killActiveConnections();
@@ -255,6 +485,7 @@ int main(int argc, char** argv) {
     all_terminated = loop.runUntil(
         [&] {
           past_deadline = Clock::now() >= deadline;
+          if (args.crash_soak) pollChildren();
           bool all_done = true;
           for (auto& f : fleet) {
             if (!f.client->done()) {
@@ -287,6 +518,70 @@ int main(int argc, char** argv) {
       return true;
     };
     loop.runUntil(quiet, std::chrono::milliseconds(10000));
+
+    if (args.crash_soak) {
+      // Final lifecycle check: SIGTERM must walk every surviving child
+      // down the graceful-drain ladder to exit 0.
+      for (auto& ph : procs)
+        if (ph.pid > 0) ::kill(ph.pid, SIGTERM);
+      const auto drain_by =
+          Clock::now() + std::chrono::milliseconds(
+                             static_cast<long>(args.drain_deadline_ms) + 6000);
+      for (auto& ph : procs) {
+        if (ph.pid <= 0) continue;
+        int st = 0;
+        for (;;) {
+          if (::waitpid(ph.pid, &st, WNOHANG) == ph.pid) break;
+          if (Clock::now() >= drain_by) {
+            ::kill(ph.pid, SIGKILL);
+            ::waitpid(ph.pid, &st, 0);
+            break;
+          }
+          ::usleep(20000);
+        }
+        if (!WIFEXITED(st) || WEXITSTATUS(st) != 0)
+          final_drain_clean = false;
+        const std::string log = slurp(ph.log);
+        if (const auto pos = log.rfind("DRAINED forced=");
+            pos != std::string::npos)
+          drain_forced += static_cast<std::size_t>(
+              std::atol(log.c_str() + pos + 15));
+        else
+          final_drain_clean = false;  // never printed its drain line
+        ph.pid = -1;
+      }
+
+      // Conservation audit, the heart of the durability contract. Per
+      // (child, tenant): recovered usage must never exceed the ground
+      // truth (a double-charge would mean replay invented bytes), and the
+      // total shortfall must fit inside one sync window per crash — the
+      // userspace pending buffer (bytes_at_risk plus one in-flight charge,
+      // bounded by the relay buffer watermark) times the crashes suffered,
+      // doubled for a torn tail flush. Children never roll the day, so a
+      // tenant's used_month IS its lifetime charged bytes.
+      for (const auto& ph : procs) {
+        const ReplayResult rr = QuotaJournal::replay(slurp(ph.journal), 1);
+        journal_torn_final += rr.torn ? 1 : 0;
+        const auto truth = parseTruth(ph.truth);
+        for (const auto& [tenant, truth_bytes] : truth) {
+          const auto it = rr.state.find(tenant);
+          const double rec = it != rr.state.end() ? it->second.used_month : 0;
+          truth_bytes_total += truth_bytes;
+          recovered_bytes_total += rec;
+          if (rec > truth_bytes + 1.0)
+            double_charge_bytes += rec - truth_bytes;
+          else
+            quota_lost += std::max(0.0, truth_bytes - rec);
+        }
+        for (const auto& [tenant, ledger] : rr.state)
+          if (truth.find(tenant) == truth.end() && ledger.used_month > 1.0)
+            double_charge_bytes += ledger.used_month;  // invented tenant
+        quota_lost_bound +=
+            static_cast<double>(ph.crashes) *
+            (2 * args.bytes_at_risk +
+             2.0 * (static_cast<double>(args.buffer_watermark) + 16384.0));
+      }
+    }
 
     for (const auto& p : phones) {
       shed_busy += p->shedBusy();
@@ -339,6 +634,28 @@ int main(int argc, char** argv) {
               fd_leak, rss_before_kb, rss_after_kb,
               all_terminated ? "yes" : "NO (stuck)");
 
+  std::sort(recovery_ms.begin(), recovery_ms.end());
+  const double rec_p50 = percentile(recovery_ms, 0.50);
+  const double rec_p95 = percentile(recovery_ms, 0.95);
+  const double rec_max = recovery_ms.empty() ? 0 : recovery_ms.back();
+  const bool conserved = double_charge_bytes <= 0.0 &&
+                         quota_lost <= quota_lost_bound + 1.0;
+  if (args.crash_soak) {
+    std::printf("  crash soak    kills=%zu unexpected_deaths=%zu "
+                "recovery_ms p50 %.1f p95 %.1f max %.1f\n",
+                crash_restarts, unexpected_deaths, rec_p50, rec_p95,
+                rec_max);
+    std::printf("  conservation  truth=%.0f recovered=%.0f lost=%.0f "
+                "(bound %.0f) double_charged=%.0f -> %s\n",
+                truth_bytes_total, recovered_bytes_total, quota_lost,
+                quota_lost_bound, double_charge_bytes,
+                conserved ? "OK" : "VIOLATED");
+    std::printf("  final drain   clean=%s forced_closes=%zu "
+                "torn_journals=%zu\n",
+                final_drain_clean ? "yes" : "NO", drain_forced,
+                journal_torn_final);
+  }
+
   auto& reg = telemetry::Registry::global();
   const auto g = [&](const char* name, double v) {
     reg.gauge(std::string("gol.bench.proxy_load.") + name).set(v);
@@ -372,11 +689,40 @@ int main(int argc, char** argv) {
   g("rss_delta_kb", static_cast<double>(rss_after_kb) -
                         static_cast<double>(rss_before_kb));
   g("terminated", all_terminated ? 1 : 0);
+  g("crash_mode", args.crash_soak ? 1 : 0);
+  if (args.crash_soak) {
+    g("crash_kills", static_cast<double>(crash_restarts));
+    g("crash_unexpected_deaths", static_cast<double>(unexpected_deaths));
+    g("crash_recovery_ms_p50", rec_p50);
+    g("crash_recovery_ms_p95", rec_p95);
+    g("crash_recovery_ms_max", rec_max);
+    g("quota_truth_bytes", truth_bytes_total);
+    g("quota_recovered_bytes", recovered_bytes_total);
+    g("quota_lost_bytes", quota_lost);
+    g("quota_lost_bound_bytes", quota_lost_bound);
+    g("quota_double_charged_bytes", double_charge_bytes);
+    g("final_drain_clean", final_drain_clean ? 1 : 0);
+    g("drain_forced_closes", static_cast<double>(drain_forced));
+  }
   telemetry::writeJsonSnapshot(reg, "BENCH_proxy_load.json");
   std::printf("metrics snapshot: BENCH_proxy_load.json\n");
 
   // Hard failures a CI soak must catch: stuck transactions, corrupted
-  // payloads, or leaked descriptors.
-  if (!all_terminated || corrupt > 0 || fd_leak > 0) return 1;
-  return 0;
+  // payloads, leaked descriptors — and, under --crash-soak, any breach of
+  // the durability contract: a conservation violation, a child dying on
+  // its own, or a final drain that didn't exit clean.
+  bool failed = !all_terminated || corrupt > 0 || fd_leak > 0;
+  if (args.crash_soak)
+    failed = failed || !conserved || unexpected_deaths > 0 ||
+             !final_drain_clean;
+  if (!crash_dir.empty()) {
+    if (failed) {
+      std::printf("crash-soak artifacts kept for debugging: %s\n",
+                  crash_dir.c_str());
+    } else {
+      std::error_code ec;
+      std::filesystem::remove_all(crash_dir, ec);
+    }
+  }
+  return failed ? 1 : 0;
 }
